@@ -1,0 +1,88 @@
+#ifndef RIOTSHARE_BENCH_BENCH_2MM_H_
+#define RIOTSHARE_BENCH_BENCH_2MM_H_
+// Shared driver for the two-matrix-multiplication experiment (paper
+// Section 6.2, Table 3, Figures 4 and 5). Config A and Config B binaries
+// differ only in the configuration passed to Run().
+//
+// Paper Section 6.2 background (Config A:
+// Table 3, Figure 4). The paper's selected plans:
+//   Plan 0: no sharing.
+//   Plan 1: accumulate C and E in memory (both statements' W->R/W->W).
+//   Plan 2: Plan 1 + fuse the nests, sharing the read of A (optimal here).
+//   Plan 3: share B and D re-reads plus A across statements.
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "bench_common.h"
+
+namespace riot {
+namespace bench {
+namespace {
+
+inline int FindPlan(const OptimizationResult& r, const Program& p,
+             const std::vector<std::string>& labels) {
+  for (size_t i = 0; i < r.plans.size(); ++i) {
+    const Plan& plan = r.plans[i];
+    if (plan.opportunities.size() != labels.size()) continue;
+    std::set<std::string> have;
+    for (int oi : plan.opportunities) {
+      have.insert(r.analysis.sharing[static_cast<size_t>(oi)].Label(p));
+    }
+    bool all = true;
+    for (const auto& l : labels) {
+      if (!have.count(l)) all = false;
+    }
+    if (all) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+inline void Run(TwoMatMulConfig config, const char* title, const char* optimal) {
+  std::printf("=== %s ===\n", title);
+  Harness h(config == TwoMatMulConfig::kConfigA ? "fig4" : "fig5",
+            [config](int64_t s) { return MakeTwoMatMul(config, s); });
+  const auto& r = h.Optimize();
+  const Program& p = h.paper_workload().program;
+  h.PrintPlanSpace(12);
+  std::printf("  (paper reports 40 plans under both configurations)\n\n");
+
+  // The paper's four selected plans.
+  struct Sel {
+    const char* name;
+    std::vector<std::string> labels;
+  };
+  std::vector<Sel> sels = {
+      {"Plan 0 (no sharing)", {}},
+      {"Plan 1 (accumulate C,E)",
+       {"s1WC->s1RC", "s1WC->s1WC", "s2WE->s2RE", "s2WE->s2WE"}},
+      {"Plan 2 (fuse, share A)",
+       {"s1WC->s1RC", "s1WC->s1WC", "s2WE->s2RE", "s2WE->s2WE",
+        "s1RA->s2RA"}},
+      {"Plan 3 (share A,B,D)",
+       {"s1RA->s2RA", "s1RB->s1RB", "s2RD->s2RD"}},
+  };
+  std::vector<PlanRun> runs;
+  for (const auto& sel : sels) {
+    int idx = FindPlan(r, p, sel.labels);
+    if (idx < 0) {
+      std::printf("  !! selected plan not found: %s\n", sel.name);
+      continue;
+    }
+    runs.push_back(h.RunPlan(idx, sel.name));
+  }
+  Harness::PrintRuns(runs);
+
+  int best = r.best_index;
+  std::printf("\noptimal plan: %d {%s}\n", best,
+              r.plans[size_t(best)]
+                  .DescribeOpportunities(p, r.analysis.sharing)
+                  .c_str());
+  std::printf("paper: %s is optimal under this configuration\n", optimal);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace riot
+
+#endif  // RIOTSHARE_BENCH_BENCH_2MM_H_

@@ -1,0 +1,55 @@
+// Ablation bench (DESIGN.md §5, paper Section 7 future work): joint
+// block-size + I/O-sharing optimization on the addmul program. Quantifies
+// the paper's Section 6.1 observation that spending extra memory on bigger
+// blocks ("club" plan) is inferior to spending it on sharing, and shows the
+// advisor picking the globally best (blocking, plan) pair under a cap.
+#include <cstdio>
+
+#include "core/block_advisor.h"
+#include "ops/workload.h"
+
+namespace riot {
+namespace {
+
+void Run() {
+  std::printf("=== Block-size co-optimization (paper Section 7) ===\n");
+  std::vector<int64_t> rows = {3000, 4500, 6000, 9000, 12000};
+  std::vector<BlockConfigCandidate> cands;
+  for (int64_t br : rows) {
+    cands.push_back({"blocks " + std::to_string(br) + "x4000",
+                     MakeAddMulBlocked(br, /*scale=*/1).program});
+  }
+  OptimizerOptions opts;
+  opts.memory_cap_bytes = int64_t{8000} * 1000 * 1000;  // the paper's 8 GB
+  BlockAdvice advice = OptimizeWithBlockSizes(std::move(cands), opts);
+  std::printf("%-20s %10s %12s %12s %8s\n", "configuration", "plans",
+              "best I/O(s)", "best mem(MB)", "opt(s)");
+  for (const auto& o : advice.outcomes) {
+    if (o.feasible) {
+      std::printf("%-20s %10zu %12.1f %12.1f %8.2f\n", o.label.c_str(),
+                  o.num_plans, o.best_plan.cost.io_seconds,
+                  o.best_plan.cost.peak_memory_bytes / 1e6,
+                  o.optimize_seconds);
+    } else {
+      std::printf("%-20s %10zu %12s %12s %8.2f\n", o.label.c_str(),
+                  o.num_plans, "infeasible", "-", o.optimize_seconds);
+    }
+  }
+  if (advice.best_candidate >= 0) {
+    const auto& b =
+        advice.outcomes[static_cast<size_t>(advice.best_candidate)];
+    std::printf("\njoint optimum: %s with {%s}\n", b.label.c_str(),
+                "see plan list above");
+    std::printf("paper comparison: the 'club' strategy (9000-row blocks, no "
+                "sharing) costs 2390.8 s; cost-driven joint choice reaches "
+                "%.1f s.\n", b.best_plan.cost.io_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace riot
+
+int main() {
+  riot::Run();
+  return 0;
+}

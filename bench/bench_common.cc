@@ -1,0 +1,148 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "exec/verify.h"
+#include "util/logging.h"
+
+namespace riot {
+namespace bench {
+
+int64_t ExecScale(int64_t def) {
+  const char* env = std::getenv("RIOT_SCALE");
+  if (env != nullptr) {
+    int64_t v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+Harness::Harness(std::string name, std::function<Workload(int64_t)> factory)
+    : name_(std::move(name)), factory_(std::move(factory)),
+      paper_(factory_(1)), scaled_(factory_(ExecScale())),
+      env_(NewPosixEnv()) {
+  dir_ = "bench_data_" + name_;
+  std::filesystem::create_directories(dir_);
+  paper_.program.Validate().CheckOK();
+  scaled_.program.Validate().CheckOK();
+}
+
+Harness::~Harness() {
+  std::error_code ec;
+  std::filesystem::remove_all(dir_, ec);
+}
+
+const OptimizationResult& Harness::Optimize(const OptimizerOptions& opts) {
+  if (!optimized_) {
+    result_ = riot::Optimize(paper_.program, opts);
+    optimized_ = true;
+    std::printf(
+        "[%s] optimizer: %zu sharing opportunities, %zu plans, "
+        "%lld candidates tested, %lld pruned, %.2f s\n",
+        name_.c_str(), result_.analysis.sharing.size(), result_.plans.size(),
+        static_cast<long long>(result_.candidates_tested),
+        static_cast<long long>(result_.candidates_pruned),
+        result_.optimize_seconds);
+  }
+  return result_;
+}
+
+PlanRun Harness::RunPlan(int plan_index, const std::string& label) {
+  RIOT_CHECK(optimized_);
+  const Plan& plan = result_.plans[static_cast<size_t>(plan_index)];
+
+  // Map the paper-scale plan onto the scaled program: block grids (and thus
+  // statements, domains, accesses, schedules, opportunity order) are
+  // identical across scales; only block byte sizes differ.
+  AnalysisResult scaled_analysis = AnalyzeProgram(scaled_.program);
+  RIOT_CHECK_EQ(scaled_analysis.sharing.size(),
+                result_.analysis.sharing.size());
+  std::vector<const CoAccess*> q;
+  for (int oi : plan.opportunities) {
+    const CoAccess& paper_opp =
+        result_.analysis.sharing[static_cast<size_t>(oi)];
+    const CoAccess& scaled_opp =
+        scaled_analysis.sharing[static_cast<size_t>(oi)];
+    RIOT_CHECK_EQ(paper_opp.Label(paper_.program),
+                  scaled_opp.Label(scaled_.program));
+    q.push_back(&scaled_analysis.sharing[static_cast<size_t>(oi)]);
+  }
+
+  auto rt = OpenStores(env_.get(), scaled_.program, dir_);
+  rt.status().CheckOK();
+  InitInputs(scaled_, *rt, /*seed=*/1234).CheckOK();
+  // Reset outputs so plans never see stale results.
+  for (int arr : scaled_.output_arrays) {
+    ZeroArray(scaled_.program.array(arr),
+              rt->stores[static_cast<size_t>(arr)].get())
+        .CheckOK();
+  }
+
+  PlanCost scaled_cost = EvaluatePlanCost(scaled_.program, plan.schedule, q);
+  ExecOptions eo;
+  eo.memory_cap_bytes = scaled_cost.peak_memory_bytes;
+  Executor ex(scaled_.program, rt->raw(), scaled_.kernels, eo);
+  auto stats = ex.Run(plan.schedule, q);
+  stats.status().CheckOK();
+
+  // Exactness checks: measured I/O must equal the scaled prediction.
+  RIOT_CHECK_EQ(stats->bytes_read, scaled_cost.read_bytes);
+  RIOT_CHECK_EQ(stats->bytes_written, scaled_cost.write_bytes);
+  RIOT_CHECK_EQ(stats->peak_required_bytes, scaled_cost.peak_memory_bytes);
+
+  PlanRun run;
+  run.label = label;
+  run.predicted = plan.cost;
+  run.measured = *stats;
+  run.measured_model_s =
+      static_cast<double>(stats->bytes_read) / (kPaperReadMBps * 1e6) +
+      static_cast<double>(stats->bytes_written) / (kPaperWriteMBps * 1e6);
+  run.scale_factor =
+      static_cast<double>(plan.cost.TotalBytes()) /
+      std::max<int64_t>(1, scaled_cost.TotalBytes());
+  return run;
+}
+
+void Harness::PrintRuns(const std::vector<PlanRun>& runs) {
+  std::printf(
+      "%-28s %14s %14s %16s %14s %12s %12s\n", "plan",
+      "pred I/O(s)", "pred mem(MB)", "meas I/O vol(MB)", "meas I/O(s)",
+      "meas CPU(s)", "model I/O(s)");
+  for (const auto& r : runs) {
+    std::printf(
+        "%-28s %14.1f %14.1f %16.1f %14.3f %12.3f %12.3f\n", r.label.c_str(),
+        r.predicted.io_seconds, r.predicted.peak_memory_bytes / 1e6,
+        (r.measured.bytes_read + r.measured.bytes_written) / 1e6,
+        r.measured.io_seconds, r.measured.compute_seconds,
+        r.measured_model_s);
+  }
+  std::printf(
+      "(pred = optimizer at paper scale; meas = executed at 1/%lld scale on "
+      "real files; model = measured volume at the paper's 96/60 MB/s disk)\n",
+      ExecScale());
+}
+
+void Harness::PrintPlanSpace(size_t max_rows) const {
+  RIOT_CHECK(optimized_);
+  std::printf("plan space (%zu plans): footprint(MB) vs I/O time(s)\n",
+              result_.plans.size());
+  size_t shown = 0;
+  for (size_t i = 0; i < result_.plans.size() && shown < max_rows; ++i) {
+    const Plan& p = result_.plans[i];
+    std::printf("  plan %-4zu mem=%9.1f MB  io=%9.1f s  {%s}\n", i,
+                p.cost.peak_memory_bytes / 1e6, p.cost.io_seconds,
+                p.DescribeOpportunities(paper_.program,
+                                        result_.analysis.sharing)
+                    .c_str());
+    ++shown;
+  }
+  if (shown < result_.plans.size()) {
+    std::printf("  ... %zu more plans omitted\n",
+                result_.plans.size() - shown);
+  }
+}
+
+}  // namespace bench
+}  // namespace riot

@@ -1,0 +1,73 @@
+// Shared benchmark harness: optimizes a workload at paper scale, executes
+// selected plans at a reduced scale on real files, and prints paper-style
+// tables (predicted vs measured, paper-reported numbers alongside).
+#ifndef RIOTSHARE_BENCH_BENCH_COMMON_H_
+#define RIOTSHARE_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "ops/runtime.h"
+#include "ops/workload.h"
+#include "storage/env.h"
+
+namespace riot {
+namespace bench {
+
+/// Execution scale (paper block dims divided by this); RIOT_SCALE overrides.
+int64_t ExecScale(int64_t def = 40);
+
+/// Paper disk model: sustained 96 MB/s read, 60 MB/s write (Section 6).
+constexpr double kPaperReadMBps = 96.0;
+constexpr double kPaperWriteMBps = 60.0;
+
+struct PlanRun {
+  std::string label;
+  PlanCost predicted;       // at paper scale
+  ExecStats measured;       // at execution scale
+  double measured_model_s;  // measured bytes converted at paper disk rates
+  double scale_factor;      // paper bytes / scaled bytes (for comparison)
+};
+
+class Harness {
+ public:
+  /// `factory(scale)` builds the workload at the given scale.
+  Harness(std::string name, std::function<Workload(int64_t)> factory);
+  ~Harness();
+
+  /// Runs the optimizer on the paper-scale program.
+  const OptimizationResult& Optimize(const OptimizerOptions& opts = {});
+
+  /// Executes the plan with the given index (into Optimize()'s plan list)
+  /// at execution scale against real files; verifies outputs against the
+  /// original plan's outputs.
+  PlanRun RunPlan(int plan_index, const std::string& label);
+
+  const OptimizationResult& result() const { return result_; }
+  const Workload& paper_workload() const { return paper_; }
+  Workload& scaled_workload() { return scaled_; }
+
+  /// Formats a table of plan runs.
+  static void PrintRuns(const std::vector<PlanRun>& runs);
+  void PrintPlanSpace(size_t max_rows = 64) const;
+
+ private:
+  std::string name_;
+  std::string dir_;
+  std::function<Workload(int64_t)> factory_;
+  Workload paper_;
+  Workload scaled_;
+  OptimizationResult result_;
+  bool optimized_ = false;
+  std::unique_ptr<Env> env_;
+  // Reference outputs from the original plan at execution scale.
+  bool have_reference_ = false;
+};
+
+}  // namespace bench
+}  // namespace riot
+
+#endif  // RIOTSHARE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,9 @@
+// E4 (DESIGN.md): two matrix multiplications, Config A (Figure 4).
+#include "bench_2mm.h"
+
+int main() {
+  riot::bench::Run(riot::TwoMatMulConfig::kConfigA,
+                   "Figure 4 / Table 3: two matrix multiplications, Config A",
+                   "Plan 2 (fuse, share A)");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// E5 (DESIGN.md): two matrix multiplications, Config B (Figure 5). The
+// paper's headline crossover: Plan 2 is optimal under Config A but
+// suboptimal here, where Plan 3 wins.
+#include "bench_2mm.h"
+
+int main() {
+  riot::bench::Run(riot::TwoMatMulConfig::kConfigB,
+                   "Figure 5 / Table 3: two matrix multiplications, Config B",
+                   "Plan 3 (share A,B,D)");
+  return 0;
+}

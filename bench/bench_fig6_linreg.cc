@@ -1,0 +1,122 @@
+// E6 (DESIGN.md): linear regression, the paper's complete 7-step program
+// (Section 6.3, Table 4, Figure 6). Paper headline: the best plan uses only
+// 6.0% more memory than the unoptimized plan but saves 43.8% of I/O time
+// (27.0% total runtime), by sharing the reads of X between the two
+// out-of-core multiplications and eliminating intermediate materialization.
+//
+// Paper selected plans: Plan 0 (original), Plan 1 (keep U and V in memory
+// during the accumulations), Plan 2 (best: Plan 1 + share X reads +
+// eliminate Yhat/E materialization).
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+
+namespace riot {
+namespace bench {
+namespace {
+
+// Finds the cheapest plan realizing at least `required` whose memory stays
+// under `cap` (used to locate the paper's selected plans in our larger plan
+// space).
+int CheapestWith(const OptimizationResult& r, const Program& p,
+                 const std::vector<std::string>& required, double cap_mb) {
+  int best = -1;
+  for (size_t i = 0; i < r.plans.size(); ++i) {
+    const Plan& plan = r.plans[i];
+    std::set<std::string> have;
+    for (int oi : plan.opportunities) {
+      have.insert(r.analysis.sharing[static_cast<size_t>(oi)].Label(p));
+    }
+    bool ok = true;
+    for (const auto& l : required) {
+      if (!have.count(l)) ok = false;
+    }
+    if (!ok) continue;
+    if (plan.cost.peak_memory_bytes / 1e6 > cap_mb) continue;
+    if (best < 0 ||
+        plan.cost.io_seconds < r.plans[size_t(best)].cost.io_seconds) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void Run() {
+  std::printf("=== Figure 6 / Table 4: linear regression (7 steps) ===\n");
+  Harness h("fig6", MakeLinReg);
+  OptimizerOptions opts;
+  // The paper's machine has 8 GB; plans beyond that are not selectable.
+  opts.memory_cap_bytes = int64_t{8000} * 1000 * 1000;
+  const auto& r = h.Optimize(opts);
+  const Program& p = h.paper_workload().program;
+  std::printf("paper: 16 sharing opportunities, optimization 156.7 s "
+              "(Python), 94%% of the search space pruned\n");
+  std::printf("ours:  %zu opportunities, optimization %.1f s (C++)\n\n",
+              r.analysis.sharing.size(), r.optimize_seconds);
+
+  // Paper's selected plans. Plan 1 is the exact "keep U and V in memory
+  // during the multiplication" set.
+  int plan0 = 0;
+  int plan1 = -1;
+  {
+    std::set<std::string> want = {"s1WU->s1RU", "s1WU->s1WU", "s2WV->s2RV",
+                                  "s2WV->s2WV"};
+    for (size_t i = 0; i < r.plans.size(); ++i) {
+      if (r.plans[i].opportunities.size() != want.size()) continue;
+      std::set<std::string> have;
+      for (int oi : r.plans[i].opportunities) {
+        have.insert(r.analysis.sharing[static_cast<size_t>(oi)].Label(p));
+      }
+      if (have == want) {
+        plan1 = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  // Paper's best: +6% memory over plan 0. Our search also finds cheaper
+  // higher-memory plans; restrict to the paper's memory envelope to locate
+  // the corresponding plan, then also report our unrestricted best.
+  double mem0 = r.plans[0].cost.peak_memory_bytes / 1e6;
+  int plan2 = CheapestWith(r, p,
+                           {"s1RX->s2RX", "s5WYh->s6RYh", "s6WEr->s7REr"},
+                           mem0 * 1.10);
+  std::vector<PlanRun> runs;
+  runs.push_back(h.RunPlan(plan0, "Plan 0 (original)"));
+  if (plan1 >= 0) runs.push_back(h.RunPlan(plan1, "Plan 1 (pin U,V)"));
+  if (plan2 >= 0) runs.push_back(h.RunPlan(plan2, "Plan 2 (share X, elim)"));
+  int best = r.best_index;
+  if (best != plan2 && best != plan1 && best != 0) {
+    runs.push_back(h.RunPlan(best, "our best (8GB cap)"));
+  }
+  Harness::PrintRuns(runs);
+
+  if (plan2 >= 0) {
+    const PlanCost& c0 = r.plans[0].cost;
+    const PlanCost& c2 = r.plans[size_t(plan2)].cost;
+    std::printf("\npaper: best plan = +6.0%% memory, -43.8%% I/O time\n");
+    std::printf("ours (paper-envelope plan): %+.1f%% memory, %+.1f%% I/O\n",
+                100.0 * (double(c2.peak_memory_bytes) /
+                             double(c0.peak_memory_bytes) - 1.0),
+                100.0 * (c2.io_seconds / c0.io_seconds - 1.0));
+    const PlanCost& cb = r.plans[size_t(best)].cost;
+    std::printf("ours (unrestricted best under 8 GB): %+.1f%% memory, "
+                "%+.1f%% I/O {%s}\n",
+                100.0 * (double(cb.peak_memory_bytes) /
+                             double(c0.peak_memory_bytes) - 1.0),
+                100.0 * (cb.io_seconds / c0.io_seconds - 1.0),
+                r.plans[size_t(best)]
+                    .DescribeOpportunities(p, r.analysis.sharing)
+                    .c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace riot
+
+int main() {
+  riot::bench::Run();
+  return 0;
+}

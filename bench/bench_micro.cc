@@ -1,0 +1,171 @@
+// E10 (DESIGN.md): google-benchmark microbenchmarks for the substrates:
+// exact simplex/ILP, polyhedral operations, analysis, schedule solving,
+// buffer pool, dense kernels, and the two storage formats.
+#include <benchmark/benchmark.h>
+
+#include "analysis/coaccess.h"
+#include "core/cost_model.h"
+#include "core/schedule_solver.h"
+#include "ilp/ilp.h"
+#include "kernels/dense.h"
+#include "ops/workload.h"
+#include "polyhedral/farkas.h"
+#include "polyhedral/polyhedron.h"
+#include "storage/buffer_pool.h"
+
+namespace riot {
+namespace {
+
+void BM_SimplexFeasibility(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<LpConstraint> cons;
+  for (size_t i = 0; i < n; ++i) {
+    RVector c(n);
+    c[i] = Rational(1);
+    cons.push_back({c, CmpOp::kGe, Rational(-(int64_t)i)});
+    cons.push_back({c, CmpOp::kLe, Rational((int64_t)i + 5)});
+  }
+  RVector obj(n);
+  obj[0] = Rational(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveLp(n, cons, obj));
+  }
+}
+BENCHMARK(BM_SimplexFeasibility)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_IlpL1Sample(benchmark::State& state) {
+  std::vector<LpConstraint> cons = {
+      {RVector::FromInts({1, 1, 0}), CmpOp::kEq, Rational(3)},
+      {RVector::FromInts({0, 1, 2}), CmpOp::kGe, Rational(1)},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindIntegerPoint(3, cons));
+  }
+}
+BENCHMARK(BM_IlpL1Sample);
+
+void BM_PolyhedronEnumerate(benchmark::State& state) {
+  Polyhedron p(3);
+  for (size_t d = 0; d < 3; ++d) {
+    p.AddVarBounds(d, 0, state.range(0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.EnumerateIntegerPoints());
+  }
+}
+BENCHMARK(BM_PolyhedronEnumerate)->Arg(4)->Arg(8);
+
+void BM_FarkasBox(benchmark::State& state) {
+  Polyhedron p(2);
+  p.AddVarBounds(0, 0, 11);
+  p.AddVarBounds(1, 0, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FarkasNonNegativeForms(p));
+  }
+}
+BENCHMARK(BM_FarkasBox);
+
+void BM_AnalyzeAddMul(benchmark::State& state) {
+  Workload w = MakeAddMul(40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeProgram(w.program));
+  }
+}
+BENCHMARK(BM_AnalyzeAddMul);
+
+void BM_FindSchedulePaperSet(benchmark::State& state) {
+  Workload w = MakeAddMul(40);
+  AnalysisResult a = AnalyzeProgram(w.program);
+  ScheduleSolver solver(w.program, a.dependences);
+  std::vector<const CoAccess*> q;
+  for (const auto& o : a.sharing) {
+    std::string l = o.Label(w.program);
+    if (l == "s1WC->s2RC" || l == "s2WE->s2RE" || l == "s2WE->s2WE") {
+      q.push_back(&o);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.FindSchedule(q));
+  }
+}
+BENCHMARK(BM_FindSchedulePaperSet);
+
+void BM_CostEvaluation(benchmark::State& state) {
+  Workload w = MakeAddMul(40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluatePlanCost(w.program, w.program.original_schedule(), {}));
+  }
+}
+BENCHMARK(BM_CostEvaluation);
+
+void BM_BufferPoolFetchHit(benchmark::State& state) {
+  auto env = NewMemEnv();
+  auto store = OpenDaf(env.get(), "/b", 4096, 16);
+  BufferPool pool(1 << 20);
+  auto f = pool.Fetch(0, 0, 4096, store->get(), false);
+  pool.Unpin(*f);
+  for (auto _ : state) {
+    auto fr = pool.Fetch(0, 0, 4096, store->get(), false);
+    pool.Unpin(*fr);
+    benchmark::DoNotOptimize(fr);
+  }
+}
+BENCHMARK(BM_BufferPoolFetchHit);
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<double> a(static_cast<size_t>(n * n)),
+      b(static_cast<size_t>(n * n)), c(static_cast<size_t>(n * n));
+  DenseView va{a.data(), n, n}, vb{b.data(), n, n}, vc{c.data(), n, n};
+  BlockFillRandom(&va, 1);
+  BlockFillRandom(&vb, 2);
+  for (auto _ : state) {
+    BlockGemm(va, false, vb, false, &vc, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_StoreWrite(benchmark::State& state) {
+  auto env = NewMemEnv();
+  const bool lab = state.range(0) != 0;
+  auto store = OpenBlockStore(env.get(), "/s",
+                              lab ? StorageFormat::kLabTree
+                                  : StorageFormat::kDaf,
+                              64 << 10, 256);
+  std::vector<uint8_t> buf(64 << 10, 0x5A);
+  int64_t i = 0;
+  for (auto _ : state) {
+    (*store)->WriteBlock(i++ % 256, buf.data()).CheckOK();
+  }
+  state.SetBytesProcessed(state.iterations() * (64 << 10));
+  state.SetLabel(lab ? "labtree" : "daf");
+}
+BENCHMARK(BM_StoreWrite)->Arg(0)->Arg(1);
+
+void BM_StoreRead(benchmark::State& state) {
+  auto env = NewMemEnv();
+  const bool lab = state.range(0) != 0;
+  auto store = OpenBlockStore(env.get(), "/s",
+                              lab ? StorageFormat::kLabTree
+                                  : StorageFormat::kDaf,
+                              64 << 10, 256);
+  std::vector<uint8_t> buf(64 << 10, 0x5A);
+  for (int64_t b = 0; b < 256; ++b) {
+    (*store)->WriteBlock(b, buf.data()).CheckOK();
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    (*store)->ReadBlock(i++ % 256, buf.data()).CheckOK();
+  }
+  state.SetBytesProcessed(state.iterations() * (64 << 10));
+  state.SetLabel(lab ? "labtree" : "daf");
+}
+BENCHMARK(BM_StoreRead)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace riot
+
+BENCHMARK_MAIN();

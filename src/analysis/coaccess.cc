@@ -1,0 +1,317 @@
+#include "analysis/coaccess.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace riot {
+
+namespace {
+
+struct Event {
+  size_t order;  // position in the original execution order
+  AccessRef ref;
+  AccessType type;
+  std::vector<int64_t> iter;
+};
+
+using CoAccessKey = std::pair<AccessRef, AccessRef>;
+
+// Computes constraint generators for a pair set: if the set of joint points
+// (src_iter, dst_iter) is an affine image of a full integer box (true for
+// every co-access of a regular loop nest), the box's corner points generate
+// the whole set by convex combination, so affine schedule constraints need
+// only be enforced there. Returns all pairs when the structure test fails
+// (sound and complete either way; only performance differs).
+std::vector<InstancePair> ComputeGenerators(
+    const std::vector<InstancePair>& pairs) {
+  if (pairs.size() <= 4) return pairs;
+  const size_t dx = pairs[0].src_iter.size();
+  const size_t dim = dx + pairs[0].dst_iter.size();
+  auto joint = [&](const InstancePair& p) {
+    std::vector<int64_t> v = p.src_iter;
+    v.insert(v.end(), p.dst_iter.begin(), p.dst_iter.end());
+    return v;
+  };
+  const std::vector<int64_t> base = joint(pairs[0]);
+  // Basis of the affine hull from the difference vectors.
+  RMatrix basis(0, dim);
+  size_t rank = 0;
+  for (const auto& p : pairs) {
+    std::vector<int64_t> v = joint(p);
+    RVector diff(dim);
+    for (size_t d = 0; d < dim; ++d) diff[d] = Rational(v[d] - base[d]);
+    if (diff.IsZero()) continue;
+    if (basis.rows() == 0 || !basis.RowSpanContains(diff)) {
+      basis.AppendRow(diff);
+      ++rank;
+      if (rank == dim) break;
+    }
+  }
+  if (rank == 0) return {pairs[0]};
+  // Coordinate subset S on which the projection is bijective: the pivot
+  // columns of the basis RREF.
+  std::vector<size_t> pivot_cols;
+  RMatrix rref = basis.Rref(&pivot_cols);
+  if (pivot_cols.size() != rank) return pairs;
+  // Parameterize each point by its S-coordinates (relative to base).
+  std::map<std::vector<int64_t>, size_t> param_of;  // u -> pair index
+  std::vector<int64_t> lo(rank, INT64_MAX), hi(rank, INT64_MIN);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    std::vector<int64_t> v = joint(pairs[i]);
+    std::vector<int64_t> u(rank);
+    for (size_t d = 0; d < rank; ++d) {
+      u[d] = v[pivot_cols[d]] - base[pivot_cols[d]];
+      lo[d] = std::min(lo[d], u[d]);
+      hi[d] = std::max(hi[d], u[d]);
+    }
+    if (!param_of.emplace(std::move(u), i).second) {
+      return pairs;  // projection not injective: not an affine box image
+    }
+  }
+  // Full-box test.
+  int64_t cells = 1;
+  for (size_t d = 0; d < rank; ++d) {
+    cells *= hi[d] - lo[d] + 1;
+    if (cells > static_cast<int64_t>(pairs.size())) return pairs;
+  }
+  if (cells != static_cast<int64_t>(pairs.size())) return pairs;
+  // Verify every point actually lies in the affine hull (x = base + B^T c
+  // must be solvable); equivalently non-pivot coordinates must be affine in
+  // u. It suffices to verify hull membership of every corner's preimage and
+  // of all points — the injective full-box parameterization plus rank
+  // computation above already guarantee membership for points used to build
+  // the basis; check the rest cheaply by re-deriving each coordinate.
+  // Corner preimages:
+  std::vector<InstancePair> gens;
+  const size_t corners = size_t{1} << rank;
+  for (size_t mask = 0; mask < corners; ++mask) {
+    std::vector<int64_t> u(rank);
+    for (size_t d = 0; d < rank; ++d) {
+      u[d] = (mask >> d) & 1 ? hi[d] : lo[d];
+    }
+    auto it = param_of.find(u);
+    if (it == param_of.end()) return pairs;  // degenerate; be safe
+    gens.push_back(pairs[it->second]);
+  }
+  // Affine-consistency check: every point must be the affine interpolation
+  // of the corners; verify by checking that each coordinate is an affine
+  // function of u (fit on rank+1 corners, verify on all points).
+  // Fit: coord(v) = a0 + sum_d a_d * u_d using base corner and its rank
+  // axis-neighbors... simpler: verify v - base lies in rowspace(basis).
+  for (const auto& p : pairs) {
+    std::vector<int64_t> v = joint(p);
+    RVector diff(dim);
+    for (size_t d = 0; d < dim; ++d) diff[d] = Rational(v[d] - base[d]);
+    if (!basis.RowSpanContains(diff)) return pairs;
+  }
+  return gens;
+}
+
+// Order-preserving one-one reduction: pair the last k sources with the
+// first k targets (k = min counts), index-wise. For one-many this keeps the
+// target closest in time to the single source; for many-one the source
+// closest to the single target; for balanced many-many the paper's
+// "desirable" parallel matching of Figure 7(b).
+std::vector<std::pair<size_t, size_t>> OrderPreservingMatch(
+    const std::vector<size_t>& sources, const std::vector<size_t>& targets) {
+  // Inputs are event order indices, ascending. A source must precede its
+  // target; with last-k/first-k this can pair s >= t, so fall back to the
+  // greedy "latest unmatched source before each target" when that happens.
+  size_t k = std::min(sources.size(), targets.size());
+  std::vector<std::pair<size_t, size_t>> out;
+  bool ok = true;
+  for (size_t i = 0; i < k; ++i) {
+    size_t s = sources[sources.size() - k + i];
+    size_t t = targets[i];
+    if (s >= t) {
+      ok = false;
+      break;
+    }
+    out.emplace_back(s, t);
+  }
+  if (ok) return out;
+  out.clear();
+  size_t si = 0;
+  std::vector<size_t> avail;  // stack of unmatched sources so far
+  for (size_t t : targets) {
+    while (si < sources.size() && sources[si] < t) avail.push_back(sources[si++]);
+    if (!avail.empty()) {
+      out.emplace_back(avail.back(), t);
+      avail.pop_back();
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+AnalysisResult AnalyzeProgram(const Program& program,
+                              const AnalysisOptions& options) {
+  AnalysisResult result;
+  auto order = program.ScheduledOrder(program.original_schedule());
+
+  // Per-(array, block) event chains in original execution order. Within one
+  // statement instance, reads precede the write (a read-modify-write is two
+  // accesses, read first; paper footnote 4), which matters for the
+  // no-write-in-between scan below.
+  std::map<std::pair<int, int64_t>, std::vector<Event>> chains;
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const auto& inst = order[pos];
+    const Statement& st = program.statement(inst.stmt_id);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t ai = 0; ai < st.accesses.size(); ++ai) {
+        const Access& a = st.accesses[ai];
+        if ((pass == 0) != (a.type == AccessType::kRead)) continue;
+        if (!a.ActiveAt(inst.iter)) continue;
+        BlockCoord c = a.BlockAt(inst.iter);
+        int64_t lin = program.array(a.array_id).LinearBlockIndex(c);
+        chains[{a.array_id, lin}].push_back(
+            {pos, {inst.stmt_id, static_cast<int>(ai)}, a.type, inst.iter});
+      }
+    }
+  }
+
+  std::map<CoAccessKey, CoAccess> deps;
+  std::map<CoAccessKey, CoAccess> shares;
+  // For multiplicity reduction we need per-block grouping of sharing pairs.
+  std::map<CoAccessKey, std::map<std::pair<int, int64_t>,
+                                 std::vector<std::pair<size_t, size_t>>>>
+      share_pairs_by_block;  // values: (src event idx, dst event idx)
+
+  for (const auto& [block_key, events] : chains) {
+    const int array_id = block_key.first;
+    for (size_t i = 0; i < events.size(); ++i) {
+      for (size_t j = i + 1; j < events.size(); ++j) {
+        if (options.no_write_in_between) {
+          // Any write strictly between i and j kills the pair.
+          bool write_between = false;
+          for (size_t m = i + 1; m < j; ++m) {
+            if (events[m].type == AccessType::kWrite) {
+              write_between = true;
+              break;
+            }
+          }
+          if (write_between) break;  // farther j only worse; writes persist
+        }
+        const Event& e1 = events[i];
+        const Event& e2 = events[j];
+        // Co-accesses require the source to strictly precede the target
+        // (Theta x lex< Theta x'); two accesses of one instance don't pair.
+        if (e1.order == e2.order) continue;
+        CoAccessKey key{e1.ref, e2.ref};
+        const bool has_write = e1.type == AccessType::kWrite ||
+                               e2.type == AccessType::kWrite;
+        const bool is_sharing_type =
+            !(e1.type == AccessType::kRead && e2.type == AccessType::kWrite);
+        if (has_write) {
+          auto& ca = deps[key];
+          if (ca.array_id < 0) {
+            ca.src = e1.ref;
+            ca.dst = e2.ref;
+            ca.src_type = e1.type;
+            ca.dst_type = e2.type;
+            ca.array_id = array_id;
+          }
+          ca.pairs.push_back({e1.iter, e2.iter});
+        }
+        if (is_sharing_type) {
+          auto& ca = shares[key];
+          if (ca.array_id < 0) {
+            ca.src = e1.ref;
+            ca.dst = e2.ref;
+            ca.src_type = e1.type;
+            ca.dst_type = e2.type;
+            ca.array_id = array_id;
+          }
+          share_pairs_by_block[key][block_key].emplace_back(i, j);
+        }
+      }
+    }
+  }
+
+  // Multiplicity reduction for sharing opportunities (per shared block).
+  for (auto& [key, by_block] : share_pairs_by_block) {
+    CoAccess& ca = shares[key];
+    for (auto& [block_key, idx_pairs] : by_block) {
+      const auto& events = chains[block_key];
+      if (!options.multiplicity_reduction) {
+        for (auto [si, ti] : idx_pairs) {
+          ca.pairs.push_back({events[si].iter, events[ti].iter});
+        }
+        continue;
+      }
+      std::set<size_t> src_set, dst_set;
+      for (auto [si, ti] : idx_pairs) {
+        src_set.insert(si);
+        dst_set.insert(ti);
+      }
+      std::vector<size_t> sources(src_set.begin(), src_set.end());
+      std::vector<size_t> targets(dst_set.begin(), dst_set.end());
+      for (auto [si, ti] : OrderPreservingMatch(sources, targets)) {
+        ca.pairs.push_back({events[si].iter, events[ti].iter});
+      }
+    }
+    std::sort(ca.pairs.begin(), ca.pairs.end());
+    ca.pairs.erase(std::unique(ca.pairs.begin(), ca.pairs.end()),
+                   ca.pairs.end());
+  }
+
+  for (auto& [key, ca] : deps) {
+    std::sort(ca.pairs.begin(), ca.pairs.end());
+    ca.pairs.erase(std::unique(ca.pairs.begin(), ca.pairs.end()),
+                   ca.pairs.end());
+    if (!ca.pairs.empty()) {
+      ca.generators = ComputeGenerators(ca.pairs);
+      result.dependences.push_back(std::move(ca));
+    }
+  }
+  for (auto& [key, ca] : shares) {
+    if (!ca.pairs.empty()) {
+      ca.generators = ComputeGenerators(ca.pairs);
+      result.sharing.push_back(std::move(ca));
+    }
+  }
+  return result;
+}
+
+PolyhedronUnion ExtentPolyhedron(const Program& program, const AccessRef& src,
+                                 const AccessRef& dst) {
+  const Statement& s1 = program.statement(src.stmt_id);
+  const Statement& s2 = program.statement(dst.stmt_id);
+  const Access& a1 = program.access(src);
+  const Access& a2 = program.access(dst);
+  RIOT_CHECK_EQ(a1.array_id, a2.array_id);
+
+  Polyhedron space = Polyhedron::ProductSpace(s1.domain, s2.domain);
+  const size_t d1 = s1.depth();
+  const size_t d2 = s2.depth();
+  // Phi x == Phi' x'.
+  for (size_t r = 0; r < a1.phi.rows(); ++r) {
+    RVector row(space.dim());
+    for (size_t c = 0; c < d1; ++c) row[c] = a1.phi.At(r, c);
+    for (size_t c = 0; c < d2; ++c) row[d1 + c] = -a2.phi.At(r, c);
+    space.AddEq(std::move(row), a1.phi.At(r, d1) - a2.phi.At(r, d2));
+  }
+  // Guards.
+  auto add_guard = [&](const Access& a, size_t offset, size_t depth) {
+    if (!a.guard) return;
+    for (const auto& c : a.guard->constraints()) {
+      RVector row(space.dim());
+      for (size_t d = 0; d < depth; ++d) row[offset + d] = c.coeffs[d];
+      AffineConstraint nc{std::move(row), c.constant, c.is_equality};
+      space.AddConstraint(std::move(nc));
+    }
+  };
+  add_guard(a1, 0, d1);
+  add_guard(a2, d1, d2);
+  // Original-schedule lexicographic order.
+  const Schedule& orig = program.original_schedule();
+  return LexLess(space, orig.ForStatement(src.stmt_id), 0, d1,
+                 orig.ForStatement(dst.stmt_id), d1, d2);
+}
+
+}  // namespace riot

@@ -1,0 +1,96 @@
+// Co-access extraction and classification (paper Section 4.3 / 5.1).
+//
+// A co-access a -> a' pairs two accesses to the same array; its extent
+// relates statement instances touching the same block with the source
+// executing first under the original schedule. Co-accesses with a write are
+// dependences; co-accesses of type W->R, W->W, R->R are sharing
+// opportunities. Two preprocessing steps from the paper are applied:
+//   * no-write-in-between pruning (linear sharing model), and
+//   * multiplicity reduction making every sharing opportunity one-one
+//     (order-preserving matching; Remark A.1).
+//
+// Extents are computed exactly at the block-instance level: block grids are
+// small (tens to hundreds of points per statement), so enumeration is cheap
+// and yields byte-exact downstream cost estimates. A symbolic
+// polyhedral path (ExtentPolyhedron) is provided for cross-validation.
+#ifndef RIOTSHARE_ANALYSIS_COACCESS_H_
+#define RIOTSHARE_ANALYSIS_COACCESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "polyhedral/polyhedron.h"
+
+namespace riot {
+
+/// \brief A related pair of statement instances (source executes first).
+struct InstancePair {
+  std::vector<int64_t> src_iter;
+  std::vector<int64_t> dst_iter;
+
+  bool operator==(const InstancePair& o) const {
+    return src_iter == o.src_iter && dst_iter == o.dst_iter;
+  }
+  bool operator<(const InstancePair& o) const {
+    if (src_iter != o.src_iter) return src_iter < o.src_iter;
+    return dst_iter < o.dst_iter;
+  }
+};
+
+/// \brief A co-access with its (pruned/reduced) instance-level extent.
+struct CoAccess {
+  AccessRef src;
+  AccessRef dst;
+  AccessType src_type = AccessType::kRead;
+  AccessType dst_type = AccessType::kRead;
+  int array_id = -1;
+  std::vector<InstancePair> pairs;
+  /// Constraint generators: a subset of `pairs` whose convex hull contains
+  /// all of `pairs`. Any affine condition (>=, =) holds on every pair iff it
+  /// holds on the generators, so the schedule solver only needs these —
+  /// typically the 2^r corners of the pair set's parameter box instead of
+  /// hundreds of instance pairs. Falls back to all pairs when the set is not
+  /// a full affine box lattice.
+  std::vector<InstancePair> generators;
+
+  bool IsSelf() const { return src.stmt_id == dst.stmt_id; }
+  bool IsSharingType() const {
+    return !(src_type == AccessType::kRead && dst_type == AccessType::kWrite);
+  }
+  bool IsDependenceType() const {
+    return src_type == AccessType::kWrite || dst_type == AccessType::kWrite;
+  }
+  std::string Label(const Program& p) const {
+    return p.AccessLabel(src) + "->" + p.AccessLabel(dst);
+  }
+};
+
+struct AnalysisOptions {
+  /// Apply the no-write-in-between rule (Section 5.1). Disabling it keeps
+  /// every ordered pair; exposed for ablation only.
+  bool no_write_in_between = true;
+  /// Reduce sharing opportunities to one-one multiplicity (Remark A.1).
+  bool multiplicity_reduction = true;
+};
+
+struct AnalysisResult {
+  std::vector<CoAccess> dependences;
+  std::vector<CoAccess> sharing;
+};
+
+/// \brief Extracts dependences and sharing opportunities for the program.
+AnalysisResult AnalyzeProgram(const Program& program,
+                              const AnalysisOptions& options = {});
+
+/// \brief Symbolic extent polyhedron of co-access (a, a') before pruning:
+/// { (x, x') : x in D_src, x' in D_dst, Phi x = Phi' x',
+///   Theta_src x lex< Theta_dst x' } as a union over lex depths.
+/// Space layout: src iteration variables then dst iteration variables.
+PolyhedronUnion ExtentPolyhedron(const Program& program, const AccessRef& src,
+                                 const AccessRef& dst);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_ANALYSIS_COACCESS_H_

@@ -1,0 +1,39 @@
+#include "core/block_advisor.h"
+
+#include "util/logging.h"
+
+namespace riot {
+
+BlockAdvice OptimizeWithBlockSizes(
+    std::vector<BlockConfigCandidate> candidates,
+    const OptimizerOptions& options) {
+  BlockAdvice advice;
+  for (auto& cand : candidates) {
+    BlockConfigOutcome out;
+    out.label = cand.label;
+    OptimizationResult r = Optimize(cand.program, options);
+    out.num_plans = r.plans.size();
+    out.optimize_seconds = r.optimize_seconds;
+    // The optimizer's best_index already honors the cap, but when nothing
+    // fits it falls back to plan 0; detect that case explicitly.
+    const Plan& best = r.best();
+    if (best.cost.peak_memory_bytes <= options.memory_cap_bytes) {
+      out.feasible = true;
+      out.best_plan = best;
+    }
+    advice.outcomes.push_back(std::move(out));
+  }
+  for (size_t i = 0; i < advice.outcomes.size(); ++i) {
+    const auto& o = advice.outcomes[i];
+    if (!o.feasible) continue;
+    if (advice.best_candidate < 0 ||
+        o.best_plan.cost.io_seconds <
+            advice.outcomes[static_cast<size_t>(advice.best_candidate)]
+                .best_plan.cost.io_seconds) {
+      advice.best_candidate = static_cast<int>(i);
+    }
+  }
+  return advice;
+}
+
+}  // namespace riot

@@ -1,0 +1,51 @@
+// Block-size co-optimization (paper Section 7 future work: "extending
+// RIOTShare with the ability of selecting optimal array block sizes. By
+// jointly optimizing array block sizes and I/O sharing, the optimizer can
+// produce better plans that use memory more effectively").
+//
+// The advisor takes a set of candidate block configurations of the same
+// logical computation (e.g. the paper's Section 6.1 "club" family: the same
+// matrices partitioned as 12x12 blocks of 6000x4000 vs 8x12 blocks of
+// 9000x4000), runs the full sharing optimizer on each under the memory cap,
+// and returns the global best (configuration, plan) pair. This directly
+// quantifies the paper's observation that "blindly enlarging array blocks is
+// not the best way of utilizing extra memory".
+#ifndef RIOTSHARE_CORE_BLOCK_ADVISOR_H_
+#define RIOTSHARE_CORE_BLOCK_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "ir/program.h"
+
+namespace riot {
+
+struct BlockConfigCandidate {
+  std::string label;
+  Program program;
+};
+
+struct BlockConfigOutcome {
+  std::string label;
+  /// Best plan found for this configuration under the cap; invalid (and
+  /// feasible == false) when no plan fits.
+  bool feasible = false;
+  Plan best_plan;
+  size_t num_plans = 0;
+  double optimize_seconds = 0.0;
+};
+
+struct BlockAdvice {
+  int best_candidate = -1;  // index into outcomes; -1 when nothing fits
+  std::vector<BlockConfigOutcome> outcomes;
+};
+
+/// \brief Optimizes every candidate configuration and ranks them by the
+/// best-plan I/O time under options.memory_cap_bytes.
+BlockAdvice OptimizeWithBlockSizes(std::vector<BlockConfigCandidate> candidates,
+                                   const OptimizerOptions& options = {});
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_CORE_BLOCK_ADVISOR_H_

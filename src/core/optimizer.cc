@@ -1,0 +1,181 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace riot {
+
+std::string Plan::DescribeOpportunities(const Program& p,
+                                        const std::vector<CoAccess>& o) const {
+  if (opportunities.empty()) return "(none)";
+  std::ostringstream os;
+  for (size_t i = 0; i < opportunities.size(); ++i) {
+    if (i) os << ", ";
+    os << o[static_cast<size_t>(opportunities[i])].Label(p);
+  }
+  return os.str();
+}
+
+namespace {
+
+// Generates size-k candidates whose every (k-1)-subset is feasible
+// (Apriori candidate generation; Algorithm 2 line 5).
+std::vector<std::vector<int>> GenerateCandidates(
+    const std::set<std::vector<int>>& feasible_km1, size_t k, int num_opps,
+    bool use_apriori, int64_t* pruned) {
+  std::vector<std::vector<int>> candidates;
+  if (k == 1) {
+    for (int i = 0; i < num_opps; ++i) candidates.push_back({i});
+    return candidates;
+  }
+  // Join step: extend each feasible (k-1)-set with a larger element.
+  std::set<std::vector<int>> seen;
+  auto all_subsets_feasible = [&](const std::vector<int>& c) {
+    std::vector<int> sub(c.begin(), c.end() - 1);
+    for (size_t drop = 0; drop + 1 < c.size(); ++drop) {
+      sub = c;
+      sub.erase(sub.begin() + static_cast<std::ptrdiff_t>(drop));
+      if (!feasible_km1.count(sub)) return false;
+    }
+    return true;
+  };
+  std::set<std::vector<int>> base;
+  if (use_apriori) {
+    base = feasible_km1;
+  } else {
+    // Exhaustive: every (k-1)-subset of opportunity ids.
+    std::vector<int> idx(k - 1);
+    std::function<void(size_t, int)> gen = [&](size_t pos, int start) {
+      if (pos == k - 1) {
+        base.insert(idx);
+        return;
+      }
+      for (int i = start; i < num_opps; ++i) {
+        idx[pos] = i;
+        gen(pos + 1, i + 1);
+      }
+    };
+    gen(0, 0);
+  }
+  for (const auto& s : base) {
+    for (int next = s.back() + 1; next < num_opps; ++next) {
+      std::vector<int> c = s;
+      c.push_back(next);
+      if (seen.count(c)) continue;
+      seen.insert(c);
+      if (use_apriori && !all_subsets_feasible(c)) {
+        ++*pruned;
+        continue;
+      }
+      candidates.push_back(c);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+OptimizationResult Optimize(const Program& program,
+                            const OptimizerOptions& options) {
+  auto t0 = std::chrono::steady_clock::now();
+  OptimizationResult result;
+  result.analysis = AnalyzeProgram(program, options.analysis);
+  const auto& sharing = result.analysis.sharing;
+  const int num_opps = static_cast<int>(sharing.size());
+
+  ScheduleSolver solver(program, result.analysis.dependences, options.solver);
+
+  auto add_plan = [&](std::vector<int> opps, Schedule sched) {
+    Plan plan;
+    plan.opportunities = std::move(opps);
+    std::vector<const CoAccess*> q;
+    for (int oi : plan.opportunities) {
+      q.push_back(&sharing[static_cast<size_t>(oi)]);
+    }
+    plan.cost = EvaluatePlanCost(program, sched, q, options.cost);
+    plan.schedule = std::move(sched);
+    result.plans.push_back(std::move(plan));
+  };
+
+  // Plan 0: the unmodified original schedule.
+  add_plan({}, program.original_schedule());
+
+  // Warm the per-statement instance cache before the parallel section (the
+  // cache is lazily built and not thread-safe to initialize concurrently).
+  for (const auto& s : program.statements()) program.InstancesOf(s.id);
+
+  const size_t workers =
+      options.num_threads > 0
+          ? options.num_threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+
+  std::set<std::vector<int>> feasible_prev;  // C_{k-1}
+  size_t k = 1;
+  while (k <= static_cast<size_t>(num_opps) &&
+         k <= options.max_combination_size &&
+         (k == 1 || !feasible_prev.empty())) {
+    auto candidates = GenerateCandidates(feasible_prev, k, num_opps,
+                                         options.use_apriori,
+                                         &result.candidates_pruned);
+    result.candidates_tested += static_cast<int64_t>(candidates.size());
+    // Test candidates in parallel; they are independent (FindSchedule is
+    // const and ScheduleSolver's stats are atomic).
+    std::vector<std::optional<Schedule>> found(candidates.size());
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= candidates.size()) break;
+        std::vector<const CoAccess*> q;
+        for (int oi : candidates[i]) {
+          q.push_back(&sharing[static_cast<size_t>(oi)]);
+        }
+        found[i] = solver.FindSchedule(q);
+      }
+    };
+    std::vector<std::thread> pool;
+    for (size_t t = 1; t < std::min(workers, candidates.size()); ++t) {
+      pool.emplace_back(worker);
+    }
+    worker();
+    for (auto& t : pool) t.join();
+
+    std::set<std::vector<int>> feasible_k;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (!found[i]) continue;
+      ++result.schedules_found;
+      feasible_k.insert(candidates[i]);
+      add_plan(candidates[i], std::move(*found[i]));
+    }
+    feasible_prev = std::move(feasible_k);
+    ++k;
+  }
+
+  // Best plan under the memory cap.
+  result.best_index = 0;
+  for (size_t i = 0; i < result.plans.size(); ++i) {
+    const Plan& p = result.plans[i];
+    if (p.cost.peak_memory_bytes > options.memory_cap_bytes) continue;
+    const Plan& cur = result.plans[static_cast<size_t>(result.best_index)];
+    const bool cur_fits =
+        cur.cost.peak_memory_bytes <= options.memory_cap_bytes;
+    if (!cur_fits || p.cost.io_seconds < cur.cost.io_seconds) {
+      result.best_index = static_cast<int>(i);
+    }
+  }
+
+  result.optimize_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace riot

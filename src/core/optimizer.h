@@ -1,0 +1,68 @@
+// The RIOTShare optimizer (paper Section 5): enumerates feasible
+// combinations of sharing opportunities with an Apriori-like search
+// (Algorithm 2, using the antimonotonicity of Lemma 2), finds a legal
+// schedule for each feasible combination (Algorithm 3), costs every plan,
+// and selects the cheapest plan whose memory requirement fits the cap.
+#ifndef RIOTSHARE_CORE_OPTIMIZER_H_
+#define RIOTSHARE_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/coaccess.h"
+#include "core/cost_model.h"
+#include "core/schedule_solver.h"
+#include "ir/program.h"
+#include "ir/schedule.h"
+
+namespace riot {
+
+struct OptimizerOptions {
+  /// Memory cap for plan selection; plans above the cap stay in the result
+  /// but are not eligible as "best".
+  int64_t memory_cap_bytes = std::numeric_limits<int64_t>::max();
+  /// Apriori candidate pruning (Lemma 2); false = exhaustive power set
+  /// (ablation; exponential in |O| without pruning).
+  bool use_apriori = true;
+  /// Optional cap on the size of opportunity combinations explored.
+  size_t max_combination_size = std::numeric_limits<size_t>::max();
+  /// Worker threads for candidate testing within an Apriori level
+  /// (candidates are independent). 0 = hardware concurrency.
+  size_t num_threads = 0;
+  CostModelOptions cost;
+  AnalysisOptions analysis;
+  SolverOptions solver;
+};
+
+/// \brief One legal execution plan: a schedule realizing a specific set of
+/// sharing opportunities, with its evaluated cost.
+struct Plan {
+  std::vector<int> opportunities;  // indices into OptimizationResult sharing
+  Schedule schedule;
+  PlanCost cost;
+
+  std::string DescribeOpportunities(const Program& p,
+                                    const std::vector<CoAccess>& o) const;
+};
+
+struct OptimizationResult {
+  AnalysisResult analysis;
+  std::vector<Plan> plans;  // plans[0] is always the original schedule
+  int best_index = 0;       // min I/O time among plans within the memory cap
+  int64_t candidates_tested = 0;
+  int64_t candidates_pruned = 0;   // skipped thanks to Apriori
+  int64_t schedules_found = 0;
+  double optimize_seconds = 0.0;
+
+  const Plan& best() const { return plans[static_cast<size_t>(best_index)]; }
+};
+
+/// \brief Runs analysis, plan search, and costing for the program.
+OptimizationResult Optimize(const Program& program,
+                            const OptimizerOptions& options = {});
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_CORE_OPTIMIZER_H_

@@ -1,0 +1,136 @@
+#include "core/plan_realization.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace riot {
+
+RealizedPlan RealizePlan(const Program& program, const Schedule& schedule,
+                         const std::vector<const CoAccess*>& realized) {
+  RealizedPlan rp;
+  rp.order = program.ScheduledOrder(schedule);
+
+  // Group instances by time prefix (all but the last, constant dimension).
+  rp.group_of.resize(rp.order.size());
+  std::vector<int64_t> prev_prefix;
+  for (size_t pos = 0; pos < rp.order.size(); ++pos) {
+    const TimeVector& t = rp.order[pos].time;
+    RIOT_CHECK_GE(t.size(), 1u);
+    std::vector<int64_t> prefix(t.begin(), t.end() - 1);
+    if (pos == 0 || prefix != prev_prefix) {
+      ++rp.num_groups;
+      prev_prefix = std::move(prefix);
+    }
+    rp.group_of[pos] = rp.num_groups - 1;
+  }
+
+  std::map<std::pair<int, std::vector<int64_t>>, size_t> pos_of;
+  for (size_t pos = 0; pos < rp.order.size(); ++pos) {
+    pos_of[{rp.order[pos].stmt_id, rp.order[pos].iter}] = pos;
+  }
+  auto pos_at = [&](int stmt_id, const std::vector<int64_t>& iter) {
+    auto it = pos_of.find({stmt_id, iter});
+    RIOT_CHECK(it != pos_of.end()) << "instance missing from schedule order";
+    return it->second;
+  };
+
+  // Saved I/Os and retention spans from each realized opportunity.
+  for (const CoAccess* o : realized) {
+    const Access& src_acc = program.access(o->src);
+    const bool src_w = o->src_type == AccessType::kWrite;
+    const bool dst_w = o->dst_type == AccessType::kWrite;
+    for (const auto& pr : o->pairs) {
+      if (dst_w && src_w) {
+        rp.saved_writes.insert(
+            {o->src.stmt_id, pr.src_iter, o->src.access_idx});
+        continue;  // W->W: no retention needed
+      }
+      // W->R or R->R: the target's read is saved; block stays in memory
+      // from the source access through the target's group.
+      rp.saved_reads.insert({o->dst.stmt_id, pr.dst_iter, o->dst.access_idx});
+      size_t p1 = pos_at(o->src.stmt_id, pr.src_iter);
+      size_t p2 = pos_at(o->dst.stmt_id, pr.dst_iter);
+      RIOT_CHECK_LE(p1, p2);
+      BlockCoord c = src_acc.BlockAt(pr.src_iter);
+      int64_t lin = program.array(o->array_id).LinearBlockIndex(c);
+      rp.spans.push_back(
+          {p1, rp.group_of[p1], rp.group_of[p2], o->array_id, lin});
+    }
+  }
+  std::sort(rp.spans.begin(), rp.spans.end());
+  rp.spans.erase(std::unique(rp.spans.begin(), rp.spans.end(),
+                             [](const RetentionSpan& a,
+                                const RetentionSpan& b) {
+                               return !(a < b) && !(b < a);
+                             }),
+                 rp.spans.end());
+
+  // Per-block access chains under the NEW execution order, used for write
+  // elimination below. Within an instance, reads precede the write.
+  struct Ev {
+    size_t pos;
+    AccessInstanceKey key;
+    AccessType type;
+  };
+  std::map<std::pair<int, int64_t>, std::vector<Ev>> chains;
+  for (size_t pos = 0; pos < rp.order.size(); ++pos) {
+    const auto& inst = rp.order[pos];
+    const Statement& st = program.statement(inst.stmt_id);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t ai = 0; ai < st.accesses.size(); ++ai) {
+        const Access& a = st.accesses[ai];
+        if ((pass == 0) != (a.type == AccessType::kRead)) continue;
+        if (!a.ActiveAt(inst.iter)) continue;
+        int64_t lin = program.array(a.array_id)
+                          .LinearBlockIndex(a.BlockAt(inst.iter));
+        chains[{a.array_id, lin}].push_back(
+            {pos,
+             {inst.stmt_id, inst.iter, static_cast<int>(ai)},
+             a.type});
+      }
+    }
+  }
+
+  // A W->W save is only honored when every read between the two writes is
+  // itself served from memory; otherwise a disk read would observe a stale
+  // block, so the first write must still be performed. (The paper's best
+  // plans always pair W->W with the corresponding W->R, where this check is
+  // vacuous; it keeps the executor correct for every plan in the space.)
+  for (const auto& [key, events] : chains) {
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (events[i].type != AccessType::kWrite) continue;
+      if (!rp.saved_writes.count(events[i].key)) continue;
+      for (size_t j = i + 1; j < events.size(); ++j) {
+        if (events[j].type == AccessType::kWrite) break;
+        if (!rp.saved_reads.count(events[j].key)) {
+          rp.saved_writes.erase(events[i].key);
+          break;
+        }
+      }
+    }
+  }
+
+  // Elided writes of non-persistent temporaries: under the new execution
+  // order, a write whose every subsequent read (before the next write of the
+  // same block) is served from memory never needs to hit disk.
+  for (const auto& [key, events] : chains) {
+    if (program.array(key.first).persistent) continue;
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (events[i].type != AccessType::kWrite) continue;
+      bool all_saved = true;
+      for (size_t j = i + 1; j < events.size(); ++j) {
+        if (events[j].type == AccessType::kWrite) break;
+        if (!rp.saved_reads.count(events[j].key)) {
+          all_saved = false;
+          break;
+        }
+      }
+      if (all_saved) rp.elided_writes.insert(events[i].key);
+    }
+  }
+  return rp;
+}
+
+}  // namespace riot

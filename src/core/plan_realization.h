@@ -1,0 +1,72 @@
+// Plan realization: the static interpretation of "schedule + realized
+// sharing set" shared by the cost model and the execution engine.
+//
+// Given a schedule and the subset Q of sharing opportunities the plan
+// exploits (paper Section 5.5: code generation must exploit exactly Q, not
+// whatever the schedule accidentally enables), this module derives:
+//   * the scheduled instance stream, grouped by time prefix (all but the
+//     final constant dimension),
+//   * which read I/Os are saved (served from a retained in-memory block),
+//   * which write I/Os are saved (W->W overwrites) or elided entirely
+//     (writes of non-persistent temporaries whose every subsequent read is
+//     served from memory — paper footnote 8), and
+//   * block retention spans (how long each shared block must stay pinned).
+#ifndef RIOTSHARE_CORE_PLAN_REALIZATION_H_
+#define RIOTSHARE_CORE_PLAN_REALIZATION_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "analysis/coaccess.h"
+#include "ir/program.h"
+#include "ir/schedule.h"
+
+namespace riot {
+
+/// \brief Identifies one access of one statement instance.
+struct AccessInstanceKey {
+  int stmt_id;
+  std::vector<int64_t> iter;
+  int access_idx;
+
+  bool operator<(const AccessInstanceKey& o) const {
+    if (stmt_id != o.stmt_id) return stmt_id < o.stmt_id;
+    if (iter != o.iter) return iter < o.iter;
+    return access_idx < o.access_idx;
+  }
+};
+
+/// \brief A block that must stay in memory from the source access (at
+/// stream position begin_pos) until every group <= end_group completes.
+struct RetentionSpan {
+  size_t begin_pos;   // position in the scheduled instance stream
+  size_t begin_group;
+  size_t end_group;  // inclusive
+  int array_id;
+  int64_t block;  // linear block index
+
+  bool operator<(const RetentionSpan& o) const {
+    return std::tie(begin_pos, begin_group, end_group, array_id, block) <
+           std::tie(o.begin_pos, o.begin_group, o.end_group, o.array_id,
+                    o.block);
+  }
+};
+
+struct RealizedPlan {
+  std::vector<ScheduledInstance> order;  // scheduled execution order
+  std::vector<size_t> group_of;          // per position in `order`
+  size_t num_groups = 0;
+  std::set<AccessInstanceKey> saved_reads;
+  std::set<AccessInstanceKey> saved_writes;   // W->W overwrite elimination
+  std::set<AccessInstanceKey> elided_writes;  // dead temporary materialization
+  std::vector<RetentionSpan> spans;
+};
+
+/// \brief Computes the realization of a plan.
+RealizedPlan RealizePlan(const Program& program, const Schedule& schedule,
+                         const std::vector<const CoAccess*>& realized);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_CORE_PLAN_REALIZATION_H_

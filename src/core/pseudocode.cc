@@ -1,0 +1,130 @@
+#include "core/pseudocode.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace riot {
+
+namespace {
+
+struct Range {
+  size_t begin, end;  // into the instance stream
+};
+
+// Structural signature of a subtree: used to decide whether consecutive
+// loop iterations have the same body and can be collapsed into one loop.
+std::string Signature(const std::vector<ScheduledInstance>& order,
+                      const Range& r, size_t depth, size_t max_depth) {
+  std::ostringstream os;
+  if (depth == max_depth) {
+    for (size_t i = r.begin; i < r.end; ++i) {
+      os << "s" << order[i].stmt_id << ";";
+    }
+    return os.str();
+  }
+  // Partition by time[depth]; signature = sequence of child signatures
+  // (values themselves are abstracted away, only structure matters).
+  size_t i = r.begin;
+  while (i < r.end) {
+    size_t j = i;
+    while (j < r.end && order[j].time[depth] == order[i].time[depth]) ++j;
+    os << "[" << Signature(order, {i, j}, depth + 1, max_depth) << "]";
+    i = j;
+  }
+  return os.str();
+}
+
+void Emit(const std::vector<ScheduledInstance>& order, const Program& prog,
+          const Range& r, size_t depth, size_t max_depth, int indent,
+          std::ostringstream* out) {
+  auto pad = [&](int n) {
+    for (int i = 0; i < n; ++i) *out << "  ";
+  };
+  if (depth == max_depth) {
+    // Leaf: the statements executed at one full time prefix, in constant-
+    // dimension order.
+    for (size_t i = r.begin; i < r.end; ++i) {
+      pad(indent);
+      const Statement& st = prog.statement(order[i].stmt_id);
+      *out << st.name << "(";
+      for (size_t d = 0; d < order[i].iter.size(); ++d) {
+        if (d) *out << ",";
+        *out << (d < st.iters.size() ? st.iters[d] : "?") << "="
+             << order[i].iter[d];
+      }
+      *out << ");\n";
+    }
+    return;
+  }
+  // Partition this range by the value of time[depth].
+  std::vector<std::pair<int64_t, Range>> parts;
+  size_t i = r.begin;
+  while (i < r.end) {
+    size_t j = i;
+    while (j < r.end && order[j].time[depth] == order[i].time[depth]) ++j;
+    parts.push_back({order[i].time[depth], {i, j}});
+    i = j;
+  }
+  // Group consecutive partitions with identical structure into loops.
+  size_t p = 0;
+  while (p < parts.size()) {
+    std::string sig = Signature(order, parts[p].second, depth + 1, max_depth);
+    size_t q = p + 1;
+    int64_t stride = 0;
+    while (q < parts.size()) {
+      if (Signature(order, parts[q].second, depth + 1, max_depth) != sig) {
+        break;
+      }
+      int64_t s = parts[q].first - parts[q - 1].first;
+      if (q == p + 1) {
+        stride = s;
+      } else if (s != stride) {
+        break;
+      }
+      ++q;
+    }
+    if (q - p == 1) {
+      pad(indent);
+      *out << "t" << depth + 1 << " = " << parts[p].first << ":\n";
+      Emit(order, prog, parts[p].second, depth + 1, max_depth, indent + 1,
+           out);
+    } else {
+      pad(indent);
+      *out << "for (t" << depth + 1 << " = " << parts[p].first << "; t"
+           << depth + 1;
+      if (stride > 0) {
+        *out << " <= " << parts[q - 1].first << "; t" << depth + 1 << " += "
+             << stride;
+      } else {
+        *out << " >= " << parts[q - 1].first << "; t" << depth + 1 << " -= "
+             << -stride;
+      }
+      *out << ") {\n";
+      // Representative body (all iterations in the group are isomorphic).
+      Emit(order, prog, parts[p].second, depth + 1, max_depth, indent + 1,
+           out);
+      pad(indent);
+      *out << "}  // " << (q - p) << " iterations\n";
+    }
+    p = q;
+  }
+}
+
+}  // namespace
+
+std::string EmitPseudoCode(const Program& program, const Schedule& schedule) {
+  auto order = program.ScheduledOrder(schedule);
+  if (order.empty()) return "(empty program)\n";
+  const size_t rows = order[0].time.size();
+  // The last dimension is the constant (textual) dimension: leaf level.
+  std::ostringstream out;
+  out << "// schedule with " << rows << " time dimensions; body of the "
+      << "first iteration of each collapsed loop shown\n";
+  Emit(order, program, {0, order.size()}, 0, rows - 1, 0, &out);
+  return out.str();
+}
+
+}  // namespace riot

@@ -1,0 +1,27 @@
+// Pseudo-code emission for optimized plans (paper Section 5.5: the chosen
+// schedule "is subsequently transformed into C code with for and if control
+// structures"). This printer reconstructs the loop structure of a schedule
+// from its scheduled instance stream: time dimensions become loops (with
+// recognized ranges and strides), and ranges whose bodies differ split into
+// sequential segments — reproducing shapes like Figure 1(b), where the
+// j == 0 iteration contains s1 and s2 while j >= 1 contains only s2.
+//
+// Unlike CLooG this works from the (finite, block-granularity) instance
+// stream rather than symbolically, which is exact for the programs this
+// system executes.
+#ifndef RIOTSHARE_CORE_PSEUDOCODE_H_
+#define RIOTSHARE_CORE_PSEUDOCODE_H_
+
+#include <string>
+
+#include "ir/program.h"
+#include "ir/schedule.h"
+
+namespace riot {
+
+/// \brief Renders the loop structure of `schedule` applied to `program`.
+std::string EmitPseudoCode(const Program& program, const Schedule& schedule);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_CORE_PSEUDOCODE_H_

@@ -1,0 +1,69 @@
+// FindSchedule (paper Algorithm 3): given the program's dependences and a
+// candidate set Q of sharing opportunities, construct a (d~+1)-dimensional
+// affine schedule that
+//   * weakly satisfies every dependence at every depth and strongly
+//     satisfies each one at some depth (or at the final constant dimension),
+//   * realizes every opportunity in Q per the constraints of Table 1,
+//   * maps every statement instance to a unique time (dimensionality
+//     constraints driven by EnumRow, Algorithm 1), and
+// returns nullopt when no such schedule exists.
+//
+// Constraints on each schedule row are linear in the row's coefficients;
+// rows are found depth-by-depth, sampling an integer coefficient vector with
+// minimum L1 norm at each depth (exact branch-and-bound ILP), which
+// reproduces the paper's published schedules (coefficients in {-1, 0, 1}).
+#ifndef RIOTSHARE_CORE_SCHEDULE_SOLVER_H_
+#define RIOTSHARE_CORE_SCHEDULE_SOLVER_H_
+
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "analysis/coaccess.h"
+#include "ir/program.h"
+#include "ir/schedule.h"
+
+namespace riot {
+
+struct SolverOptions {
+  /// Box bound on schedule coefficients during integer sampling.
+  int64_t coeff_bound = 3;
+};
+
+struct SolverStats {
+  std::atomic<int64_t> lp_calls{0};
+  std::atomic<int64_t> ilp_calls{0};
+};
+
+class ScheduleSolver {
+ public:
+  ScheduleSolver(const Program& program, std::vector<CoAccess> dependences,
+                 SolverOptions options = {});
+
+  /// Attempts to find a legal schedule realizing all opportunities in q.
+  std::optional<Schedule> FindSchedule(
+      const std::vector<const CoAccess*>& q) const;
+
+  /// Exact legality check: every dependence pair strictly ordered and all
+  /// instance times unique under `sched`.
+  bool IsLegal(const Schedule& sched) const;
+
+  /// Exact realization check of Table 1 for one opportunity under `sched`
+  /// (used by tests and by FindSchedule's final verification).
+  bool Realizes(const Schedule& sched, const CoAccess& opp) const;
+
+  const std::vector<CoAccess>& dependences() const { return deps_; }
+  SolverStats& stats() const { return stats_; }
+
+ private:
+  struct JointSpace;
+
+  const Program& prog_;
+  std::vector<CoAccess> deps_;
+  SolverOptions opts_;
+  mutable SolverStats stats_;
+};
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_CORE_SCHEDULE_SOLVER_H_

@@ -1,0 +1,170 @@
+#include "exec/executor.h"
+
+#include <chrono>
+#include <map>
+
+#include "util/logging.h"
+
+namespace riot {
+
+namespace {
+
+double Since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Executor::Executor(const Program& program, std::vector<BlockStore*> stores,
+                   std::vector<StatementKernel> kernels, ExecOptions options)
+    : prog_(program), stores_(std::move(stores)),
+      kernels_(std::move(kernels)), opts_(options) {
+  RIOT_CHECK_EQ(stores_.size(), prog_.arrays().size());
+  RIOT_CHECK_EQ(kernels_.size(), prog_.statements().size());
+}
+
+Result<ExecStats> Executor::Run(const Schedule& schedule,
+                                const std::vector<const CoAccess*>& realized) {
+  auto wall0 = std::chrono::steady_clock::now();
+  const bool opportunistic = opts_.mode == ExecMode::kOpportunisticCache;
+  // Under the opportunistic-cache ablation the plan's sharing set is
+  // deliberately ignored: no saved reads, no retention obligations.
+  RealizedPlan rp = RealizePlan(prog_, schedule,
+                                opportunistic
+                                    ? std::vector<const CoAccess*>{}
+                                    : realized);
+  BufferPool pool(opts_.memory_cap_bytes);
+  ExecStats stats;
+
+  // Retention lookup: (source position, array, block) -> furthest end group.
+  std::map<std::tuple<size_t, int, int64_t>, size_t> retain_at;
+  for (const auto& span : rp.spans) {
+    auto key = std::make_tuple(span.begin_pos, span.array_id, span.block);
+    auto it = retain_at.find(key);
+    if (it == retain_at.end() || it->second < span.end_group) {
+      retain_at[key] = span.end_group;
+    }
+  }
+
+  size_t cur_group = 0;
+  std::vector<BufferPool::Frame*> frames;
+  std::vector<DenseView> views;
+  std::vector<DenseView*> view_ptrs;
+  for (size_t pos = 0; pos < rp.order.size(); ++pos) {
+    const auto& inst = rp.order[pos];
+    if (rp.group_of[pos] != cur_group) {
+      cur_group = rp.group_of[pos];
+      pool.ReleaseRetainedBefore(static_cast<int64_t>(cur_group));
+    }
+    const Statement& st = prog_.statement(inst.stmt_id);
+    const size_t na = st.accesses.size();
+    frames.assign(na, nullptr);
+    views.assign(na, DenseView{});
+    view_ptrs.assign(na, nullptr);
+
+    // Fetch blocks: reads first (they may populate the frame the write
+    // access aliases), then the write.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t ai = 0; ai < na; ++ai) {
+        const Access& a = st.accesses[ai];
+        if ((pass == 0) != (a.type == AccessType::kRead)) continue;
+        if (!a.ActiveAt(inst.iter)) continue;
+        const ArrayInfo& arr = prog_.array(a.array_id);
+        const int64_t lin = arr.LinearBlockIndex(a.BlockAt(inst.iter));
+        const int64_t bytes = arr.BlockBytes();
+        BlockStore* store = stores_[static_cast<size_t>(a.array_id)];
+        AccessInstanceKey key{inst.stmt_id, inst.iter, static_cast<int>(ai)};
+        BufferPool::Frame* frame = nullptr;
+        if (a.type == AccessType::kRead) {
+          // A read is served from memory ONLY when the plan realizes a
+          // sharing opportunity for it (Section 5.3: a schedule may
+          // "accidentally" enable more sharing, but generated code exploits
+          // exactly Q). Everything else is a disk read, even on a pool hit.
+          bool saved = rp.saved_reads.count(key) > 0;
+          BufferPool::Frame* present = pool.Probe(a.array_id, lin);
+          if (opportunistic) {
+            // Whatever the pool still holds is reusable; correctness is
+            // preserved because performed writes are write-through, so any
+            // cached frame matches disk.
+            saved = present != nullptr;
+          }
+          if (saved && present == nullptr && opts_.strict_sharing) {
+            return Status::Internal(
+                "saved read not in memory: " + st.name + " access " +
+                std::to_string(ai) + " (plan/realization bug)");
+          }
+          auto f = pool.Fetch(a.array_id, lin, bytes, store, /*load=*/false);
+          if (!f.ok()) return f.status();
+          frame = *f;
+          if (!saved || present == nullptr) {
+            auto t0 = std::chrono::steady_clock::now();
+            RIOT_RETURN_NOT_OK(store->ReadBlock(lin, frame->data.data()));
+            stats.io_seconds += Since(t0);
+            stats.bytes_read += bytes;
+            ++stats.block_reads;
+          }
+        } else {
+          // Write target: no disk read; a guarded read access of the same
+          // block (accumulation) was fetched in pass 0 if live.
+          auto f = pool.Fetch(a.array_id, lin, bytes, store, /*load=*/false);
+          if (!f.ok()) return f.status();
+          frame = *f;
+        }
+        frames[ai] = frame;
+        RIOT_CHECK_EQ(arr.ndim(), 2u) << "executor requires 2-D arrays";
+        views[ai] = DenseView{reinterpret_cast<double*>(frame->data.data()),
+                              arr.block_elems[0], arr.block_elems[1]};
+        view_ptrs[ai] = &views[ai];
+        // Retention spans whose source access is this instance.
+        auto rit = retain_at.find(std::make_tuple(pos, a.array_id, lin));
+        if (rit != retain_at.end()) {
+          pool.Retain(frame, static_cast<int64_t>(rit->second));
+        }
+      }
+    }
+
+    // Compute.
+    {
+      auto t0 = std::chrono::steady_clock::now();
+      kernels_[static_cast<size_t>(inst.stmt_id)](inst.iter, view_ptrs);
+      stats.compute_seconds += Since(t0);
+    }
+
+    // Write-out.
+    for (size_t ai = 0; ai < na; ++ai) {
+      const Access& a = st.accesses[ai];
+      if (a.type != AccessType::kWrite || frames[ai] == nullptr) continue;
+      AccessInstanceKey key{inst.stmt_id, inst.iter, static_cast<int>(ai)};
+      const bool skip = rp.saved_writes.count(key) > 0 ||
+                        rp.elided_writes.count(key) > 0;
+      if (!skip) {
+        const ArrayInfo& arr = prog_.array(a.array_id);
+        auto t0 = std::chrono::steady_clock::now();
+        BlockStore* store = stores_[static_cast<size_t>(a.array_id)];
+        RIOT_RETURN_NOT_OK(
+            store->WriteBlock(frames[ai]->block, frames[ai]->data.data()));
+        stats.io_seconds += Since(t0);
+        stats.bytes_written += arr.BlockBytes();
+        ++stats.block_writes;
+      }
+      // Either way the in-memory copy is authoritative; retention (set
+      // above) protects it for pending saved reads.
+      frames[ai]->dirty = false;
+    }
+
+    // Measure the requirement while the instance's frames are still pinned,
+    // then release them.
+    stats.peak_required_bytes =
+        std::max(stats.peak_required_bytes, pool.PinnedOrRetainedBytes());
+    for (size_t ai = 0; ai < na; ++ai) {
+      if (frames[ai] != nullptr) pool.Unpin(frames[ai]);
+    }
+  }
+
+  stats.pool = pool.stats();
+  stats.wall_seconds = Since(wall0);
+  return stats;
+}
+
+}  // namespace riot

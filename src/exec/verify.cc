@@ -1,0 +1,34 @@
+#include "exec/verify.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace riot {
+
+Result<std::vector<double>> ReadWholeArray(const ArrayInfo& info,
+                                           BlockStore* store) {
+  const int64_t per_block = info.ElemsPerBlock();
+  std::vector<double> out(
+      static_cast<size_t>(per_block * info.NumBlocks()));
+  for (int64_t b = 0; b < info.NumBlocks(); ++b) {
+    RIOT_RETURN_NOT_OK(
+        store->ReadBlock(b, out.data() + b * per_block));
+  }
+  return out;
+}
+
+Result<double> MaxAbsDifference(const ArrayInfo& info, BlockStore* a,
+                                BlockStore* b) {
+  auto va = ReadWholeArray(info, a);
+  if (!va.ok()) return va.status();
+  auto vb = ReadWholeArray(info, b);
+  if (!vb.ok()) return vb.status();
+  double m = 0.0;
+  for (size_t i = 0; i < va.ValueOrDie().size(); ++i) {
+    m = std::max(m, std::fabs((*va)[i] - (*vb)[i]));
+  }
+  return m;
+}
+
+}  // namespace riot

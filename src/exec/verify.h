@@ -1,0 +1,26 @@
+// Verification helpers: read whole arrays back from block stores and
+// compare plans' outputs (optimized plans must produce bitwise-comparable
+// results to the original schedule up to floating-point reassociation).
+#ifndef RIOTSHARE_EXEC_VERIFY_H_
+#define RIOTSHARE_EXEC_VERIFY_H_
+
+#include <vector>
+
+#include "ir/array.h"
+#include "storage/block_store.h"
+#include "util/status.h"
+
+namespace riot {
+
+/// \brief Reads every block of `info` from `store` into one dense buffer
+/// (blocks concatenated in linear block order).
+Result<std::vector<double>> ReadWholeArray(const ArrayInfo& info,
+                                           BlockStore* store);
+
+/// \brief Max absolute elementwise difference between two stored arrays.
+Result<double> MaxAbsDifference(const ArrayInfo& info, BlockStore* a,
+                                BlockStore* b);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_EXEC_VERIFY_H_

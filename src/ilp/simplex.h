@@ -1,0 +1,46 @@
+// Exact two-phase primal simplex over rationals.
+//
+// Variables are free (unrestricted in sign) unless constrained otherwise;
+// internally each free variable is split into a difference of nonnegatives.
+// Bland's rule guarantees termination. All arithmetic is exact, so
+// feasibility answers are decisions, not approximations — this is what lets
+// the optimizer treat polyhedron emptiness and schedule legality as exact.
+#ifndef RIOTSHARE_ILP_SIMPLEX_H_
+#define RIOTSHARE_ILP_SIMPLEX_H_
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace riot {
+
+enum class CmpOp { kLe, kGe, kEq };
+
+/// \brief One linear constraint: coeffs . x  (op)  rhs.
+struct LpConstraint {
+  RVector coeffs;
+  CmpOp op = CmpOp::kLe;
+  Rational rhs;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  RVector x;           // valid iff status == kOptimal
+  Rational objective;  // valid iff status == kOptimal
+};
+
+/// \brief Maximize objective . x subject to the constraints; x free.
+///
+/// Pass a zero objective for a pure feasibility test.
+LpSolution SolveLp(size_t num_vars, const std::vector<LpConstraint>& cons,
+                   const RVector& objective);
+
+/// \brief Convenience: feasibility of the system.
+bool LpFeasible(size_t num_vars, const std::vector<LpConstraint>& cons);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_ILP_SIMPLEX_H_

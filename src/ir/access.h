@@ -1,0 +1,75 @@
+// Array accesses: the tuple <s, t, A, Phi> of paper Section 4.1, where Phi
+// is an affine map from the statement's iteration vector to a block
+// subscript of A. An optional guard polyhedron restricts the iterations at
+// which the access occurs (models if-conditionals, e.g. the k==0 init of a
+// multiply accumulation reading its output only for k >= 1).
+#ifndef RIOTSHARE_IR_ACCESS_H_
+#define RIOTSHARE_IR_ACCESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/array.h"
+#include "linalg/matrix.h"
+#include "polyhedral/polyhedron.h"
+
+namespace riot {
+
+enum class AccessType { kRead, kWrite };
+
+inline const char* AccessTypeName(AccessType t) {
+  return t == AccessType::kRead ? "R" : "W";
+}
+
+/// \brief Reference to an access: statement id + index within the statement.
+struct AccessRef {
+  int stmt_id = -1;
+  int access_idx = -1;
+
+  bool operator==(const AccessRef& o) const {
+    return stmt_id == o.stmt_id && access_idx == o.access_idx;
+  }
+  bool operator<(const AccessRef& o) const {
+    if (stmt_id != o.stmt_id) return stmt_id < o.stmt_id;
+    return access_idx < o.access_idx;
+  }
+};
+
+/// \brief One block access performed by a statement.
+struct Access {
+  AccessType type = AccessType::kRead;
+  int array_id = -1;
+  /// Affine map: rows = array dimensionality, cols = statement depth + 1
+  /// (iteration coefficients then a constant column).
+  RMatrix phi;
+  /// Iterations at which the access actually occurs; nullopt = everywhere.
+  std::optional<Polyhedron> guard;
+
+  /// Block subscript accessed at the given iteration vector.
+  BlockCoord BlockAt(const std::vector<int64_t>& iter) const {
+    RIOT_CHECK_EQ(phi.cols(), iter.size() + 1);
+    BlockCoord c(phi.rows());
+    for (size_t r = 0; r < phi.rows(); ++r) {
+      Rational acc = phi.At(r, iter.size());
+      for (size_t d = 0; d < iter.size(); ++d) {
+        acc += phi.At(r, d) * Rational(iter[d]);
+      }
+      c[r] = acc.ToInt64();
+    }
+    return c;
+  }
+
+  bool ActiveAt(const std::vector<int64_t>& iter) const {
+    return !guard.has_value() || guard->Contains(iter);
+  }
+
+  bool SameFunction(const Access& o) const {
+    return type == o.type && array_id == o.array_id && phi == o.phi;
+  }
+};
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_IR_ACCESS_H_

@@ -1,0 +1,69 @@
+// Array metadata: an N-dimensional array of elements partitioned into a grid
+// of large logical blocks. Blocks are the unit of I/O throughout the system
+// (paper Section 1: "each array access represents a block access").
+#ifndef RIOTSHARE_IR_ARRAY_H_
+#define RIOTSHARE_IR_ARRAY_H_
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace riot {
+
+using BlockCoord = std::vector<int64_t>;
+
+/// \brief Metadata for one on-disk array.
+struct ArrayInfo {
+  int id = -1;
+  std::string name;
+  /// Number of blocks along each dimension (e.g. {12, 12}).
+  std::vector<int64_t> grid;
+  /// Elements per block along each dimension (e.g. {6000, 4000}).
+  std::vector<int64_t> block_elems;
+  size_t elem_size = sizeof(double);
+  /// Whether the array must exist on disk after the program runs. Writes to
+  /// non-persistent temporaries can be elided when every subsequent read is
+  /// served from memory (paper footnote 8: "decide if C needs to be written
+  /// to disk").
+  bool persistent = true;
+
+  size_t ndim() const { return grid.size(); }
+
+  int64_t ElemsPerBlock() const {
+    int64_t n = 1;
+    for (int64_t e : block_elems) n *= e;
+    return n;
+  }
+  int64_t BlockBytes() const {
+    return ElemsPerBlock() * static_cast<int64_t>(elem_size);
+  }
+  int64_t NumBlocks() const {
+    int64_t n = 1;
+    for (int64_t g : grid) n *= g;
+    return n;
+  }
+  int64_t TotalBytes() const { return NumBlocks() * BlockBytes(); }
+  int64_t TotalElems(size_t dim) const {
+    RIOT_CHECK_LT(dim, grid.size());
+    return grid[dim] * block_elems[dim];
+  }
+
+  /// Row-major linearization of a block coordinate (used as storage key).
+  int64_t LinearBlockIndex(const BlockCoord& c) const {
+    RIOT_CHECK_EQ(c.size(), grid.size());
+    int64_t idx = 0;
+    for (size_t d = 0; d < grid.size(); ++d) {
+      RIOT_CHECK(c[d] >= 0 && c[d] < grid[d])
+          << name << " block coord out of range at dim " << d;
+      idx = idx * grid[d] + c[d];
+    }
+    return idx;
+  }
+};
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_IR_ARRAY_H_

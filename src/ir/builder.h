@@ -1,0 +1,68 @@
+// Small helpers for constructing IR pieces: rectangular iteration domains
+// and affine access maps from integer literals.
+#ifndef RIOTSHARE_IR_BUILDER_H_
+#define RIOTSHARE_IR_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/access.h"
+#include "linalg/matrix.h"
+#include "polyhedral/polyhedron.h"
+
+namespace riot {
+
+/// \brief Domain { x : lo_d <= x_d <= hi_d } with variable names.
+inline Polyhedron RectDomain(
+    const std::vector<std::pair<int64_t, int64_t>>& bounds,
+    std::vector<std::string> names = {}) {
+  Polyhedron p(bounds.size(), std::move(names));
+  for (size_t d = 0; d < bounds.size(); ++d) {
+    p.AddVarBounds(d, bounds[d].first, bounds[d].second);
+  }
+  return p;
+}
+
+/// \brief Affine map matrix from per-row integer coefficient lists; each row
+/// is {c_0, ..., c_{depth-1}, constant}.
+inline RMatrix AffineMap(std::vector<std::vector<int64_t>> rows) {
+  RMatrix m;
+  for (auto& row : rows) {
+    m.AppendRow(RVector::FromInts(row));
+  }
+  return m;
+}
+
+/// \brief Read access of array `array_id` with map rows `rows`.
+inline Access Read(int array_id, std::vector<std::vector<int64_t>> rows) {
+  Access a;
+  a.type = AccessType::kRead;
+  a.array_id = array_id;
+  a.phi = AffineMap(std::move(rows));
+  return a;
+}
+
+/// \brief Write access of array `array_id` with map rows `rows`.
+inline Access Write(int array_id, std::vector<std::vector<int64_t>> rows) {
+  Access a;
+  a.type = AccessType::kWrite;
+  a.array_id = array_id;
+  a.phi = AffineMap(std::move(rows));
+  return a;
+}
+
+/// \brief Guard restricting an access to iterations with x_var >= value.
+inline Polyhedron GuardGe(const Polyhedron& domain, size_t var,
+                          int64_t value) {
+  Polyhedron g = domain;
+  RVector c(domain.dim());
+  c[var] = Rational(1);
+  g.AddGe(std::move(c), Rational(-value));
+  return g;
+}
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_IR_BUILDER_H_

@@ -1,0 +1,41 @@
+#include "ir/schedule.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace riot {
+
+int CompareTime(const TimeVector& a, const TimeVector& b) {
+  RIOT_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+TimeVector Schedule::TimeOf(int stmt_id,
+                            const std::vector<int64_t>& iter) const {
+  const RMatrix& m = ForStatement(stmt_id);
+  RIOT_CHECK_EQ(m.cols(), iter.size() + 1);
+  TimeVector t(m.rows());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    Rational acc = m.At(r, iter.size());
+    for (size_t d = 0; d < iter.size(); ++d) {
+      acc += m.At(r, d) * Rational(iter[d]);
+    }
+    t[r] = acc.ToInt64();
+  }
+  return t;
+}
+
+std::string Schedule::ToString() const {
+  std::ostringstream os;
+  for (size_t s = 0; s < per_stmt_.size(); ++s) {
+    os << "s" << s << ":\n" << per_stmt_[s].ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace riot

@@ -1,0 +1,53 @@
+// Multidimensional affine schedules (paper Section 4.1/4.2).
+//
+// A statement schedule is a matrix with one row per time dimension; each row
+// holds the coefficients over the statement's iteration variables followed
+// by a constant. A program schedule holds one matrix per statement; all
+// matrices share the same number of rows so time vectors compare
+// lexicographically across statements.
+#ifndef RIOTSHARE_IR_SCHEDULE_H_
+#define RIOTSHARE_IR_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace riot {
+
+using TimeVector = std::vector<int64_t>;
+
+/// \brief Lexicographic comparison of equal-length time vectors.
+int CompareTime(const TimeVector& a, const TimeVector& b);
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<RMatrix> per_stmt)
+      : per_stmt_(std::move(per_stmt)) {}
+
+  size_t num_statements() const { return per_stmt_.size(); }
+  size_t depth() const {
+    return per_stmt_.empty() ? 0 : per_stmt_[0].rows();
+  }
+  const RMatrix& ForStatement(int stmt_id) const {
+    return per_stmt_[static_cast<size_t>(stmt_id)];
+  }
+  RMatrix& MutableForStatement(int stmt_id) {
+    return per_stmt_[static_cast<size_t>(stmt_id)];
+  }
+  void Append(RMatrix m) { per_stmt_.push_back(std::move(m)); }
+
+  /// Execution time of a statement instance.
+  TimeVector TimeOf(int stmt_id, const std::vector<int64_t>& iter) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<RMatrix> per_stmt_;
+};
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_IR_SCHEDULE_H_

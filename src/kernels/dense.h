@@ -1,0 +1,63 @@
+// Dense column-major block kernels — the in-memory compute substrate
+// standing in for GotoBLAS2. All kernels operate on raw double buffers
+// viewed as column-major matrices (the paper's storage scheme: blocks laid
+// out column-major, elements within a block column-major).
+#ifndef RIOTSHARE_KERNELS_DENSE_H_
+#define RIOTSHARE_KERNELS_DENSE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace riot {
+
+/// \brief Non-owning column-major matrix view: element (r, c) is
+/// data[c * rows + r].
+struct DenseView {
+  double* data = nullptr;
+  int64_t rows = 0;
+  int64_t cols = 0;
+
+  double& At(int64_t r, int64_t c) { return data[c * rows + r]; }
+  double At(int64_t r, int64_t c) const { return data[c * rows + r]; }
+  int64_t elems() const { return rows * cols; }
+};
+
+/// C = A + B (elementwise); all views same shape.
+void BlockAdd(const DenseView& a, const DenseView& b, DenseView* c);
+
+/// C = A - B (elementwise).
+void BlockSub(const DenseView& a, const DenseView& b, DenseView* c);
+
+/// C op= alpha * op(A) * op(B); accumulate=false overwrites C.
+/// transpose flags select op(X) = X or X^T (BLAS-style).
+void BlockGemm(const DenseView& a, bool trans_a, const DenseView& b,
+               bool trans_b, DenseView* c, bool accumulate,
+               double alpha = 1.0);
+
+/// Scalar (non-blocked, element-at-a-time with function-call overhead)
+/// GEMM used to model a system computing without an optimized kernel
+/// (SciDB-like comparator).
+void BlockGemmScalar(const DenseView& a, bool trans_a, const DenseView& b,
+                     bool trans_b, DenseView* c, bool accumulate);
+
+/// Fill with a deterministic pseudo-random pattern (seeded).
+void BlockFillRandom(DenseView* v, uint64_t seed);
+void BlockFillConst(DenseView* v, double value);
+
+/// out = in^-1 via LU with partial pivoting; fails on singular input.
+Status BlockInverse(const DenseView& in, DenseView* out);
+
+/// Sum of squares of all elements (RSS building block).
+double BlockSumSquares(const DenseView& v);
+
+/// Column-wise sum of squares added into acc[0..cols): RSS per response.
+void BlockColumnSumSquares(const DenseView& v, double* acc);
+
+/// Max absolute elementwise difference (verification helper).
+double BlockMaxAbsDiff(const DenseView& a, const DenseView& b);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_KERNELS_DENSE_H_

@@ -1,0 +1,233 @@
+#include "linalg/matrix.h"
+
+#include <sstream>
+
+namespace riot {
+
+RVector RVector::operator+(const RVector& o) const {
+  RIOT_CHECK_EQ(size(), o.size());
+  RVector r(size());
+  for (size_t i = 0; i < size(); ++i) r[i] = v_[i] + o[i];
+  return r;
+}
+
+RVector RVector::operator-(const RVector& o) const {
+  RIOT_CHECK_EQ(size(), o.size());
+  RVector r(size());
+  for (size_t i = 0; i < size(); ++i) r[i] = v_[i] - o[i];
+  return r;
+}
+
+RVector RVector::operator*(const Rational& c) const {
+  RVector r(size());
+  for (size_t i = 0; i < size(); ++i) r[i] = v_[i] * c;
+  return r;
+}
+
+std::string RVector::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < size(); ++i) {
+    if (i) os << ", ";
+    os << v_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+RMatrix::RMatrix(std::initializer_list<std::initializer_list<Rational>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    RIOT_CHECK_EQ(row.size(), cols_);
+    for (const auto& x : row) data_.push_back(x);
+  }
+}
+
+RMatrix RMatrix::Identity(size_t n) {
+  RMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = Rational(1);
+  return m;
+}
+
+RMatrix RMatrix::FromRows(const std::vector<RVector>& rows) {
+  if (rows.empty()) return RMatrix();
+  RMatrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) m.SetRow(r, rows[r]);
+  return m;
+}
+
+RVector RMatrix::Row(size_t r) const {
+  RVector v(cols_);
+  for (size_t c = 0; c < cols_; ++c) v[c] = At(r, c);
+  return v;
+}
+
+RVector RMatrix::Col(size_t c) const {
+  RVector v(rows_);
+  for (size_t r = 0; r < rows_; ++r) v[r] = At(r, c);
+  return v;
+}
+
+void RMatrix::SetRow(size_t r, const RVector& v) {
+  RIOT_CHECK_EQ(v.size(), cols_);
+  for (size_t c = 0; c < cols_; ++c) At(r, c) = v[c];
+}
+
+void RMatrix::AppendRow(const RVector& v) {
+  if (rows_ == 0 && cols_ == 0) cols_ = v.size();
+  RIOT_CHECK_EQ(v.size(), cols_);
+  for (size_t c = 0; c < cols_; ++c) data_.push_back(v[c]);
+  ++rows_;
+}
+
+RMatrix RMatrix::Transpose() const {
+  RMatrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  return t;
+}
+
+RMatrix RMatrix::operator*(const RMatrix& o) const {
+  RIOT_CHECK_EQ(cols_, o.rows_);
+  RMatrix m(rows_, o.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      if (At(r, k).IsZero()) continue;
+      for (size_t c = 0; c < o.cols_; ++c) {
+        m.At(r, c) += At(r, k) * o.At(k, c);
+      }
+    }
+  }
+  return m;
+}
+
+RVector RMatrix::Apply(const RVector& x) const {
+  RIOT_CHECK_EQ(cols_, x.size());
+  RVector y(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    Rational acc;
+    for (size_t c = 0; c < cols_; ++c) acc += At(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+RMatrix RMatrix::Rref(std::vector<size_t>* pivot_cols) const {
+  RMatrix m = *this;
+  if (pivot_cols) pivot_cols->clear();
+  size_t lead = 0;
+  for (size_t r = 0; r < m.rows_ && lead < m.cols_; ++r) {
+    // Find a pivot in column `lead` at or below row r.
+    size_t pr = r;
+    while (pr < m.rows_ && m.At(pr, lead).IsZero()) ++pr;
+    if (pr == m.rows_) {
+      ++lead;
+      --r;  // retry same row with next column
+      continue;
+    }
+    if (pr != r) {
+      for (size_t c = 0; c < m.cols_; ++c) std::swap(m.At(pr, c), m.At(r, c));
+    }
+    Rational inv = Rational(1) / m.At(r, lead);
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) *= inv;
+    for (size_t rr = 0; rr < m.rows_; ++rr) {
+      if (rr == r || m.At(rr, lead).IsZero()) continue;
+      Rational f = m.At(rr, lead);
+      for (size_t c = 0; c < m.cols_; ++c) {
+        m.At(rr, c) -= f * m.At(r, c);
+      }
+    }
+    if (pivot_cols) pivot_cols->push_back(lead);
+    ++lead;
+  }
+  return m;
+}
+
+size_t RMatrix::Rank() const {
+  std::vector<size_t> pivots;
+  Rref(&pivots);
+  return pivots.size();
+}
+
+std::vector<RVector> RMatrix::NullSpaceBasis() const {
+  std::vector<size_t> pivots;
+  RMatrix r = Rref(&pivots);
+  std::vector<bool> is_pivot(cols_, false);
+  for (size_t p : pivots) is_pivot[p] = true;
+  std::vector<RVector> basis;
+  for (size_t free = 0; free < cols_; ++free) {
+    if (is_pivot[free]) continue;
+    RVector v(cols_);
+    v[free] = Rational(1);
+    for (size_t i = 0; i < pivots.size(); ++i) {
+      v[pivots[i]] = -r.At(i, free);
+    }
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+std::optional<RMatrix> RMatrix::Inverse() const {
+  RIOT_CHECK_EQ(rows_, cols_);
+  RMatrix aug(rows_, 2 * cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) aug.At(r, c) = At(r, c);
+    aug.At(r, cols_ + r) = Rational(1);
+  }
+  std::vector<size_t> pivots;
+  RMatrix red = aug.Rref(&pivots);
+  if (pivots.size() != rows_) return std::nullopt;
+  for (size_t i = 0; i < pivots.size(); ++i) {
+    if (pivots[i] != i) return std::nullopt;  // pivot escaped left block
+  }
+  RMatrix inv(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) inv.At(r, c) = red.At(r, cols_ + c);
+  return inv;
+}
+
+std::optional<RVector> RMatrix::Solve(const RVector& b) const {
+  RIOT_CHECK_EQ(b.size(), rows_);
+  RMatrix aug(rows_, cols_ + 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) aug.At(r, c) = At(r, c);
+    aug.At(r, cols_) = b[r];
+  }
+  std::vector<size_t> pivots;
+  RMatrix red = aug.Rref(&pivots);
+  // Inconsistent iff a pivot lands in the augmented column.
+  for (size_t p : pivots) {
+    if (p == cols_) return std::nullopt;
+  }
+  RVector x(cols_);
+  for (size_t i = 0; i < pivots.size(); ++i) {
+    x[pivots[i]] = red.At(i, cols_);
+  }
+  return x;
+}
+
+bool RMatrix::RowSpanContains(const RVector& v) const {
+  RIOT_CHECK_EQ(v.size(), cols_);
+  if (v.IsZero()) return true;
+  RMatrix m = *this;
+  size_t base_rank = m.Rank();
+  m.AppendRow(v);
+  return m.Rank() == base_rank;
+}
+
+std::string RMatrix::ToString() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c) os << "\t";
+      os << At(r, c);
+    }
+    os << (r + 1 == rows_ ? "]" : "\n");
+  }
+  return os.str();
+}
+
+}  // namespace riot

@@ -1,0 +1,124 @@
+// Exact dense vectors and matrices over Rational, plus the row-reduction
+// toolbox the polyhedral layer and the optimizer need: RREF, rank, null
+// space, inverse, and linear-system solving.
+#ifndef RIOTSHARE_LINALG_MATRIX_H_
+#define RIOTSHARE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/rational.h"
+#include "util/logging.h"
+
+namespace riot {
+
+/// \brief Dense rational vector.
+class RVector {
+ public:
+  RVector() = default;
+  explicit RVector(size_t n) : v_(n) {}
+  RVector(std::initializer_list<Rational> init) : v_(init) {}
+  explicit RVector(std::vector<Rational> v) : v_(std::move(v)) {}
+
+  static RVector FromInts(const std::vector<int64_t>& ints) {
+    RVector r(ints.size());
+    for (size_t i = 0; i < ints.size(); ++i) r[i] = Rational(ints[i]);
+    return r;
+  }
+
+  size_t size() const { return v_.size(); }
+  Rational& operator[](size_t i) { return v_[i]; }
+  const Rational& operator[](size_t i) const { return v_[i]; }
+
+  bool IsZero() const {
+    for (const auto& x : v_) {
+      if (!x.IsZero()) return false;
+    }
+    return true;
+  }
+
+  Rational Dot(const RVector& o) const {
+    RIOT_CHECK_EQ(size(), o.size());
+    Rational acc;
+    for (size_t i = 0; i < size(); ++i) acc += v_[i] * o[i];
+    return acc;
+  }
+
+  RVector operator+(const RVector& o) const;
+  RVector operator-(const RVector& o) const;
+  RVector operator*(const Rational& c) const;
+  bool operator==(const RVector& o) const { return v_ == o.v_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Rational> v_;
+};
+
+/// \brief Dense rational matrix (row major).
+class RMatrix {
+ public:
+  RMatrix() : rows_(0), cols_(0) {}
+  RMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+  RMatrix(std::initializer_list<std::initializer_list<Rational>> init);
+
+  static RMatrix Identity(size_t n);
+  static RMatrix FromRows(const std::vector<RVector>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  Rational& At(size_t r, size_t c) {
+    RIOT_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const Rational& At(size_t r, size_t c) const {
+    RIOT_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  RVector Row(size_t r) const;
+  RVector Col(size_t c) const;
+  void SetRow(size_t r, const RVector& v);
+  void AppendRow(const RVector& v);
+
+  RMatrix Transpose() const;
+  RMatrix operator*(const RMatrix& o) const;
+  RVector Apply(const RVector& x) const;
+
+  /// Reduced row echelon form (in place on a copy). Returns the RREF and the
+  /// pivot column of each nonzero row.
+  RMatrix Rref(std::vector<size_t>* pivot_cols = nullptr) const;
+
+  size_t Rank() const;
+
+  /// Basis of { x : M x = 0 }, one RVector per basis vector.
+  std::vector<RVector> NullSpaceBasis() const;
+
+  /// Inverse; nullopt if singular. Requires square.
+  std::optional<RMatrix> Inverse() const;
+
+  /// One solution x of M x = b, or nullopt if inconsistent.
+  std::optional<RVector> Solve(const RVector& b) const;
+
+  /// True iff v is a linear combination of this matrix's rows.
+  bool RowSpanContains(const RVector& v) const;
+
+  bool operator==(const RMatrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<Rational> data_;
+};
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_LINALG_MATRIX_H_

@@ -1,0 +1,108 @@
+#include "linalg/rational.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace riot {
+
+namespace {
+// Bound chosen so that products of two in-range values stay within __int128.
+const int128 kRangeLimit = (int128(1) << 62);
+
+std::string Int128ToString(int128 v) {
+  if (v == 0) return "0";
+  bool neg = v < 0;
+  // Careful with INT128_MIN; our range checks keep us far from it.
+  if (neg) v = -v;
+  std::string s;
+  while (v > 0) {
+    s.push_back(static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  if (neg) s.push_back('-');
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+}  // namespace
+
+void Rational::CheckRange(int128 v) {
+  RIOT_CHECK(v < kRangeLimit && v > -kRangeLimit)
+      << "rational overflow; value magnitude exceeds 2^62";
+}
+
+int128 Rational::Gcd(int128 a, int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+void Rational::Normalize() {
+  RIOT_CHECK(den_ != 0) << "zero denominator";
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  int128 g = Gcd(num_, den_);
+  num_ /= g;
+  den_ /= g;
+  CheckRange(num_);
+  CheckRange(den_);
+}
+
+int64_t Rational::Floor() const {
+  int128 q = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) q -= 1;
+  return static_cast<int64_t>(q);
+}
+
+int64_t Rational::Ceil() const {
+  int128 q = num_ / den_;
+  if (num_ % den_ != 0 && num_ > 0) q += 1;
+  return static_cast<int64_t>(q);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  // Reduce cross terms first to limit growth.
+  int128 g = Gcd(den_, o.den_);
+  int128 lcm_part = o.den_ / g;
+  return FromInt128(num_ * lcm_part + o.num_ * (den_ / g), den_ * lcm_part);
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  int128 g1 = Gcd(num_, o.den_);
+  int128 g2 = Gcd(o.num_, den_);
+  return FromInt128((num_ / g1) * (o.num_ / g2), (den_ / g2) * (o.den_ / g1));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  RIOT_CHECK(!o.IsZero()) << "division by zero";
+  return *this * FromInt128(o.den_, o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // num_/den_ < o.num_/o.den_  <=>  num_*o.den_ < o.num_*den_ (dens > 0).
+  return num_ * o.den_ < o.num_ * den_;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return Int128ToString(num_);
+  return Int128ToString(num_) + "/" + Int128ToString(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+}  // namespace riot

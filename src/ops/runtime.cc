@@ -1,0 +1,46 @@
+#include "ops/runtime.h"
+
+#include "kernels/dense.h"
+#include "util/logging.h"
+
+namespace riot {
+
+Result<Runtime> OpenStores(Env* env, const Program& program,
+                           const std::string& dir, StorageFormat format) {
+  Runtime rt;
+  for (const auto& arr : program.arrays()) {
+    auto store = OpenBlockStore(env, dir + "/" + arr.name + ".blk", format,
+                                arr.BlockBytes(), arr.NumBlocks());
+    if (!store.ok()) return store.status();
+    rt.stores.push_back(std::move(store).ValueOrDie());
+  }
+  return rt;
+}
+
+Status InitInputs(const Workload& workload, const Runtime& runtime,
+                  uint64_t seed) {
+  for (int array_id : workload.input_arrays) {
+    const ArrayInfo& arr = workload.program.array(array_id);
+    std::vector<double> buf(static_cast<size_t>(arr.ElemsPerBlock()));
+    for (int64_t blk = 0; blk < arr.NumBlocks(); ++blk) {
+      DenseView v{buf.data(), arr.block_elems[0], arr.block_elems[1]};
+      BlockFillRandom(&v, seed * 1000003 +
+                              static_cast<uint64_t>(array_id) * 101 +
+                              static_cast<uint64_t>(blk));
+      RIOT_RETURN_NOT_OK(
+          runtime.stores[static_cast<size_t>(array_id)]->WriteBlock(
+              blk, buf.data()));
+    }
+  }
+  return Status::OK();
+}
+
+Status ZeroArray(const ArrayInfo& info, BlockStore* store) {
+  std::vector<double> buf(static_cast<size_t>(info.ElemsPerBlock()), 0.0);
+  for (int64_t blk = 0; blk < info.NumBlocks(); ++blk) {
+    RIOT_RETURN_NOT_OK(store->WriteBlock(blk, buf.data()));
+  }
+  return Status::OK();
+}
+
+}  // namespace riot

@@ -1,0 +1,41 @@
+// Runtime helpers: open one block store per array of a workload, initialize
+// input arrays with deterministic pseudo-random data, and build executors.
+#ifndef RIOTSHARE_OPS_RUNTIME_H_
+#define RIOTSHARE_OPS_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ops/workload.h"
+#include "storage/block_store.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace riot {
+
+struct Runtime {
+  std::vector<std::unique_ptr<BlockStore>> stores;  // by array id
+
+  std::vector<BlockStore*> raw() const {
+    std::vector<BlockStore*> r;
+    for (const auto& s : stores) r.push_back(s.get());
+    return r;
+  }
+};
+
+/// \brief Opens (creating) one store per array under `dir` (path prefix).
+Result<Runtime> OpenStores(Env* env, const Program& program,
+                           const std::string& dir,
+                           StorageFormat format = StorageFormat::kDaf);
+
+/// \brief Fills each input array with seeded pseudo-random blocks.
+Status InitInputs(const Workload& workload, const Runtime& runtime,
+                  uint64_t seed);
+
+/// \brief Zero-fills an array (used to reset outputs between plan runs).
+Status ZeroArray(const ArrayInfo& info, BlockStore* store);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_OPS_RUNTIME_H_

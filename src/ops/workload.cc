@@ -1,0 +1,376 @@
+#include "ops/workload.h"
+
+#include "ir/builder.h"
+#include "kernels/dense.h"
+#include "util/logging.h"
+
+namespace riot {
+
+namespace {
+
+ArrayInfo Matrix(const std::string& name, int64_t grid_r, int64_t grid_c,
+                 int64_t block_r, int64_t block_c, int64_t scale,
+                 bool persistent = true) {
+  RIOT_CHECK_EQ(block_r % scale, 0) << name << " rows not divisible by scale";
+  RIOT_CHECK_EQ(block_c % scale, 0) << name << " cols not divisible by scale";
+  ArrayInfo a;
+  a.name = name;
+  a.grid = {grid_r, grid_c};
+  a.block_elems = {block_r / scale, block_c / scale};
+  a.persistent = persistent;
+  return a;
+}
+
+// Generic C = A + B over an (n1 x n2) block grid; returns the statement id.
+int AddAdditionStatement(Program* p, int a, int b, int c, int64_t n1,
+                         int64_t n2, int nest, const std::string& name) {
+  Statement s;
+  s.name = name;
+  s.iters = {"i", "k"};
+  s.domain = RectDomain({{0, n1 - 1}, {0, n2 - 1}}, {"i", "k"});
+  s.accesses.push_back(Read(a, {{1, 0, 0}, {0, 1, 0}}));
+  s.accesses.push_back(Read(b, {{1, 0, 0}, {0, 1, 0}}));
+  s.accesses.push_back(Write(c, {{1, 0, 0}, {0, 1, 0}}));
+  return p->AddStatement(std::move(s), nest, 0);
+}
+
+// Generic E[i,j] += C[i,k] * D[k,j] over (n1 x n3 x n2); the read of E is
+// guarded by k >= 1 (paper footnote 1: k == 0 initializes).
+int AddMultiplyStatement(Program* p, int c, int d, int e, int64_t n1,
+                         int64_t n3, int64_t n2, int nest,
+                         const std::string& name) {
+  Statement s;
+  s.name = name;
+  s.iters = {"i", "j", "k"};
+  s.domain =
+      RectDomain({{0, n1 - 1}, {0, n3 - 1}, {0, n2 - 1}}, {"i", "j", "k"});
+  s.accesses.push_back(Read(c, {{1, 0, 0, 0}, {0, 0, 1, 0}}));  // C[i,k]
+  s.accesses.push_back(Read(d, {{0, 0, 1, 0}, {0, 1, 0, 0}}));  // D[k,j]
+  Access re = Read(e, {{1, 0, 0, 0}, {0, 1, 0, 0}});            // E[i,j]
+  re.guard = GuardGe(s.domain, 2, 1);                           // k >= 1
+  s.accesses.push_back(std::move(re));
+  s.accesses.push_back(Write(e, {{1, 0, 0, 0}, {0, 1, 0, 0}}));
+  return p->AddStatement(std::move(s), nest, 0);
+}
+
+StatementKernel AddKernel() {
+  return [](const std::vector<int64_t>&, const std::vector<DenseView*>& v) {
+    BlockAdd(*v[0], *v[1], v[2]);
+  };
+}
+
+// views: [C, D, E(read, nullable), E(write)]; accumulate when k > 0.
+StatementKernel MulAccumulateKernel() {
+  return [](const std::vector<int64_t>& iter,
+            const std::vector<DenseView*>& v) {
+    const bool accumulate = iter[2] > 0;
+    BlockGemm(*v[0], false, *v[1], false, v[3], accumulate);
+  };
+}
+
+Workload MakeAddMulImpl(int64_t scale, int64_t n1_blocks,
+                        int64_t block_rows) {
+  Workload w;
+  w.name = "addmul";
+  Program& p = w.program;
+  // Paper Table 2: A,B,C 12x12 blocks of 6000x4000; D 12x1 of 4000x5000;
+  // E 12x1 of 6000x5000. The "tall blocks" variant uses 8x12 of 9000x4000.
+  const int64_t n1 = n1_blocks, n2 = 12, n3 = 1;
+  int a = p.AddArray(Matrix("A", n1, n2, block_rows, 4000, scale));
+  int b = p.AddArray(Matrix("B", n1, n2, block_rows, 4000, scale));
+  int c = p.AddArray(
+      Matrix("C", n1, n2, block_rows, 4000, scale, /*persistent=*/false));
+  int d = p.AddArray(Matrix("D", n2, n3, 4000, 5000, scale));
+  int e = p.AddArray(Matrix("E", n1, n3, block_rows, 5000, scale));
+  AddAdditionStatement(&p, a, b, c, n1, n2, /*nest=*/0, "s1");
+  AddMultiplyStatement(&p, c, d, e, n1, n3, n2, /*nest=*/1, "s2");
+  w.kernels = {AddKernel(), MulAccumulateKernel()};
+  w.input_arrays = {a, b, d};
+  w.output_arrays = {e};
+  return w;
+}
+
+}  // namespace
+
+Workload MakeAddMul(int64_t scale) { return MakeAddMulImpl(scale, 12, 6000); }
+
+Workload MakeAddMulTall(int64_t scale) {
+  Workload w = MakeAddMulImpl(scale, 8, 9000);
+  w.name = "addmul_tall";
+  return w;
+}
+
+Workload MakeAddMulBlocked(int64_t block_rows, int64_t scale) {
+  const int64_t total_rows = 72000;
+  RIOT_CHECK_EQ(total_rows % block_rows, 0)
+      << "block_rows must divide " << total_rows;
+  Workload w = MakeAddMulImpl(scale, total_rows / block_rows, block_rows);
+  w.name = "addmul_b" + std::to_string(block_rows);
+  return w;
+}
+
+Workload MakeTwoMatMul(TwoMatMulConfig config, int64_t scale) {
+  Workload w;
+  w.name = config == TwoMatMulConfig::kConfigA ? "twomm_a" : "twomm_b";
+  Program& p = w.program;
+  int a, b, c, d, e;
+  int64_t n1, n2, n3, n4;  // A: n1 x n3 blocks; B: n3 x n2; D: n3 x n4
+  if (config == TwoMatMulConfig::kConfigA) {
+    // Table 3 Config A: A 6x6 of 8000x7000; B,D 6x10 of 7000x3000;
+    // C,E 6x10 of 8000x3000.
+    n1 = 6, n3 = 6, n2 = 10, n4 = 10;
+    a = p.AddArray(Matrix("A", n1, n3, 8000, 7000, scale));
+    b = p.AddArray(Matrix("B", n3, n2, 7000, 3000, scale));
+    c = p.AddArray(Matrix("C", n1, n2, 8000, 3000, scale));
+    d = p.AddArray(Matrix("D", n3, n4, 7000, 3000, scale));
+    e = p.AddArray(Matrix("E", n1, n4, 8000, 3000, scale));
+  } else {
+    // Table 3 Config B: A 18x6 of 2000x8000; B 6x4 of 8000x6000;
+    // C 18x4 of 2000x6000; D 6x4 of 8000x7000; E 18x4 of 2000x7000.
+    n1 = 18, n3 = 6, n2 = 4, n4 = 4;
+    a = p.AddArray(Matrix("A", n1, n3, 2000, 8000, scale));
+    b = p.AddArray(Matrix("B", n3, n2, 8000, 6000, scale));
+    c = p.AddArray(Matrix("C", n1, n2, 2000, 6000, scale));
+    d = p.AddArray(Matrix("D", n3, n4, 8000, 7000, scale));
+    e = p.AddArray(Matrix("E", n1, n4, 2000, 7000, scale));
+  }
+  AddMultiplyStatement(&p, a, b, c, n1, n2, n3, /*nest=*/0, "s1");
+  AddMultiplyStatement(&p, a, d, e, n1, n4, n3, /*nest=*/1, "s2");
+  w.kernels = {MulAccumulateKernel(), MulAccumulateKernel()};
+  w.input_arrays = {a, b, d};
+  w.output_arrays = {c, e};
+  return w;
+}
+
+Workload MakeLinReg(int64_t scale) {
+  Workload w;
+  w.name = "linreg";
+  Program& p = w.program;
+  // Table 4: X 25x1 blocks of 60000x4000; Y, Yhat, E 25x1 of 60000x400;
+  // U, W 1x1 of 4000x4000; V, beta 1x1 of 4000x400; RSS 1x1 of 1x400.
+  const int64_t nb = 25;
+  int x = p.AddArray(Matrix("X", nb, 1, 60000, 4000, scale));
+  int y = p.AddArray(Matrix("Y", nb, 1, 60000, 400, scale));
+  int u = p.AddArray(Matrix("U", 1, 1, 4000, 4000, scale));
+  int v = p.AddArray(Matrix("V", 1, 1, 4000, 400, scale));
+  int wm = p.AddArray(Matrix("W", 1, 1, 4000, 4000, scale));
+  int beta = p.AddArray(Matrix("Bh", 1, 1, 4000, 400, scale));
+  int yhat = p.AddArray(
+      Matrix("Yh", nb, 1, 60000, 400, scale, /*persistent=*/false));
+  int eres = p.AddArray(
+      Matrix("Er", nb, 1, 60000, 400, scale, /*persistent=*/false));
+  int rss = p.AddArray(Matrix("R", 1, 1, scale, 400, scale));  // 1 x k block
+
+  auto dom_k = RectDomain({{0, nb - 1}}, {"k"});
+  auto dom_1 = RectDomain({{0, 0}}, {"z"});
+
+  {  // s1: U += X[k]' X[k]
+    Statement s;
+    s.name = "s1";
+    s.iters = {"k"};
+    s.domain = dom_k;
+    s.accesses.push_back(Read(x, {{1, 0}, {0, 0}}));
+    Access ru = Read(u, {{0, 0}, {0, 0}});
+    ru.guard = GuardGe(dom_k, 0, 1);
+    s.accesses.push_back(std::move(ru));
+    s.accesses.push_back(Write(u, {{0, 0}, {0, 0}}));
+    p.AddStatement(std::move(s), 0, 0);
+    w.kernels.push_back([](const std::vector<int64_t>& iter,
+                           const std::vector<DenseView*>& vv) {
+      BlockGemm(*vv[0], true, *vv[0], false, vv[2], iter[0] > 0);
+    });
+  }
+  {  // s2: V += X[k]' Y[k]
+    Statement s;
+    s.name = "s2";
+    s.iters = {"k"};
+    s.domain = dom_k;
+    s.accesses.push_back(Read(x, {{1, 0}, {0, 0}}));
+    s.accesses.push_back(Read(y, {{1, 0}, {0, 0}}));
+    Access rv = Read(v, {{0, 0}, {0, 0}});
+    rv.guard = GuardGe(dom_k, 0, 1);
+    s.accesses.push_back(std::move(rv));
+    s.accesses.push_back(Write(v, {{0, 0}, {0, 0}}));
+    p.AddStatement(std::move(s), 1, 0);
+    w.kernels.push_back([](const std::vector<int64_t>& iter,
+                           const std::vector<DenseView*>& vv) {
+      BlockGemm(*vv[0], true, *vv[1], false, vv[3], iter[0] > 0);
+    });
+  }
+  {  // s3: W = U^-1
+    Statement s;
+    s.name = "s3";
+    s.iters = {"z"};
+    s.domain = dom_1;
+    s.accesses.push_back(Read(u, {{0, 0}, {0, 0}}));
+    s.accesses.push_back(Write(wm, {{0, 0}, {0, 0}}));
+    p.AddStatement(std::move(s), 2, 0);
+    w.kernels.push_back([](const std::vector<int64_t>&,
+                           const std::vector<DenseView*>& vv) {
+      BlockInverse(*vv[0], vv[1]).CheckOK();
+    });
+  }
+  {  // s4: beta = W V
+    Statement s;
+    s.name = "s4";
+    s.iters = {"z"};
+    s.domain = dom_1;
+    s.accesses.push_back(Read(wm, {{0, 0}, {0, 0}}));
+    s.accesses.push_back(Read(v, {{0, 0}, {0, 0}}));
+    s.accesses.push_back(Write(beta, {{0, 0}, {0, 0}}));
+    p.AddStatement(std::move(s), 3, 0);
+    w.kernels.push_back([](const std::vector<int64_t>&,
+                           const std::vector<DenseView*>& vv) {
+      BlockGemm(*vv[0], false, *vv[1], false, vv[2], false);
+    });
+  }
+  {  // s5: Yhat[k] = X[k] beta
+    Statement s;
+    s.name = "s5";
+    s.iters = {"k"};
+    s.domain = dom_k;
+    s.accesses.push_back(Read(x, {{1, 0}, {0, 0}}));
+    s.accesses.push_back(Read(beta, {{0, 0}, {0, 0}}));
+    s.accesses.push_back(Write(yhat, {{1, 0}, {0, 0}}));
+    p.AddStatement(std::move(s), 4, 0);
+    w.kernels.push_back([](const std::vector<int64_t>&,
+                           const std::vector<DenseView*>& vv) {
+      BlockGemm(*vv[0], false, *vv[1], false, vv[2], false);
+    });
+  }
+  {  // s6: E[k] = Y[k] - Yhat[k]
+    Statement s;
+    s.name = "s6";
+    s.iters = {"k"};
+    s.domain = dom_k;
+    s.accesses.push_back(Read(y, {{1, 0}, {0, 0}}));
+    s.accesses.push_back(Read(yhat, {{1, 0}, {0, 0}}));
+    s.accesses.push_back(Write(eres, {{1, 0}, {0, 0}}));
+    p.AddStatement(std::move(s), 5, 0);
+    w.kernels.push_back([](const std::vector<int64_t>&,
+                           const std::vector<DenseView*>& vv) {
+      BlockSub(*vv[0], *vv[1], vv[2]);
+    });
+  }
+  {  // s7: R += column sums of squares of E[k]
+    Statement s;
+    s.name = "s7";
+    s.iters = {"k"};
+    s.domain = dom_k;
+    s.accesses.push_back(Read(eres, {{1, 0}, {0, 0}}));
+    Access rr = Read(rss, {{0, 0}, {0, 0}});
+    rr.guard = GuardGe(dom_k, 0, 1);
+    s.accesses.push_back(std::move(rr));
+    s.accesses.push_back(Write(rss, {{0, 0}, {0, 0}}));
+    p.AddStatement(std::move(s), 6, 0);
+    w.kernels.push_back([](const std::vector<int64_t>& iter,
+                           const std::vector<DenseView*>& vv) {
+      DenseView* out = vv[2];
+      if (iter[0] == 0) BlockFillConst(out, 0.0);
+      // out has `scale` rows but only row 0 is meaningful; accumulate
+      // column sums of squares into row 0.
+      const DenseView& e = *vv[0];
+      for (int64_t c = 0; c < e.cols; ++c) {
+        double sum = 0.0;
+        for (int64_t r = 0; r < e.rows; ++r) sum += e.At(r, c) * e.At(r, c);
+        out->At(0, c) += sum;
+      }
+    });
+  }
+  w.input_arrays = {x, y};
+  w.output_arrays = {beta, rss};
+  return w;
+}
+
+Workload MakeJoinFilter(int64_t nr, int64_t ns, int64_t rows_per_block) {
+  Workload w;
+  w.name = "joinfilter";
+  Program& p = w.program;
+  ArrayInfo rel;
+  rel.grid = {nr, 1};
+  rel.block_elems = {rows_per_block, 2};  // columns: key, payload
+  rel.name = "R";
+  int r = p.AddArray(rel);
+  rel.name = "U";
+  rel.persistent = false;  // filtered intermediate
+  int u = p.AddArray(rel);
+  rel.name = "S";
+  rel.persistent = true;
+  rel.grid = {ns, 1};
+  int s_arr = p.AddArray(rel);
+  ArrayInfo counts;
+  counts.name = "T";
+  counts.grid = {nr, ns};
+  counts.block_elems = {1, 1};
+  int t = p.AddArray(counts);
+
+  {  // s1: U[i] = FILTER(R[i])
+    Statement st;
+    st.name = "s1";
+    st.iters = {"i"};
+    st.domain = RectDomain({{0, nr - 1}}, {"i"});
+    st.accesses.push_back(Read(r, {{1, 0}, {0, 0}}));
+    st.accesses.push_back(Write(u, {{1, 0}, {0, 0}}));
+    p.AddStatement(std::move(st), 0, 0);
+    w.kernels.push_back([](const std::vector<int64_t>&,
+                           const std::vector<DenseView*>& v) {
+      // Keep tuples with key > 0; zero out the rest (fixed-width blocks
+      // keep their slots, a zero key marks a deleted tuple).
+      const DenseView& in = *v[0];
+      DenseView* out = v[1];
+      for (int64_t row = 0; row < in.rows; ++row) {
+        const bool keep = in.At(row, 0) > 0.0;
+        out->At(row, 0) = keep ? in.At(row, 0) : 0.0;
+        out->At(row, 1) = keep ? in.At(row, 1) : 0.0;
+      }
+    });
+  }
+  {  // s2: T[i,j] = |{ (a,b) in U[i] x S[j] : key(a) == key(b) != 0 }|
+    Statement st;
+    st.name = "s2";
+    st.iters = {"i", "j"};
+    st.domain = RectDomain({{0, nr - 1}, {0, ns - 1}}, {"i", "j"});
+    st.accesses.push_back(Read(u, {{1, 0, 0}, {0, 0, 0}}));      // U[i]
+    st.accesses.push_back(Read(s_arr, {{0, 1, 0}, {0, 0, 0}}));  // S[j]
+    st.accesses.push_back(Write(t, {{1, 0, 0}, {0, 1, 0}}));     // T[i,j]
+    p.AddStatement(std::move(st), 1, 0);
+    w.kernels.push_back([](const std::vector<int64_t>&,
+                           const std::vector<DenseView*>& v) {
+      const DenseView& lhs = *v[0];
+      const DenseView& rhs = *v[1];
+      double count = 0;
+      for (int64_t a = 0; a < lhs.rows; ++a) {
+        const double key = lhs.At(a, 0);
+        if (key == 0.0) continue;
+        for (int64_t b = 0; b < rhs.rows; ++b) {
+          if (rhs.At(b, 0) == key) count += 1.0;
+        }
+      }
+      v[2]->At(0, 0) = count;
+    });
+  }
+  w.input_arrays = {r, s_arr};
+  w.output_arrays = {t};
+  return w;
+}
+
+Workload MakeExample1(int64_t n1, int64_t n2, int64_t n3, int64_t block_rows,
+                      int64_t block_cols) {
+  Workload w;
+  w.name = "example1";
+  Program& p = w.program;
+  int a = p.AddArray(Matrix("A", n1, n2, block_rows, block_cols, 1));
+  int b = p.AddArray(Matrix("B", n1, n2, block_rows, block_cols, 1));
+  int c = p.AddArray(
+      Matrix("C", n1, n2, block_rows, block_cols, 1, /*persistent=*/false));
+  int d = p.AddArray(Matrix("D", n2, n3, block_cols, block_rows, 1));
+  int e = p.AddArray(Matrix("E", n1, n3, block_rows, block_rows, 1));
+  AddAdditionStatement(&p, a, b, c, n1, n2, /*nest=*/0, "s1");
+  AddMultiplyStatement(&p, c, d, e, n1, n3, n2, /*nest=*/1, "s2");
+  w.kernels = {AddKernel(), MulAccumulateKernel()};
+  w.input_arrays = {a, b, d};
+  w.output_arrays = {e};
+  return w;
+}
+
+}  // namespace riot

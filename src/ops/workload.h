@@ -1,0 +1,65 @@
+// Workloads: ready-to-run programs pairing the polyhedral IR (consumed by
+// the optimizer) with statement kernels (consumed by the executor) and
+// array roles (inputs to initialize, outputs to verify).
+//
+// Factories are provided for each program evaluated in the paper:
+//   * MakeAddMul      — Example 1 / Section 6.1: C = A + B; E = C D
+//   * MakeAddMulTall  — the paper's "club" variant with 1.5x-taller blocks
+//   * MakeTwoMatMul   — Section 6.2: C = A B; E = A D (Configs A and B)
+//   * MakeLinReg      — Section 6.3: 7-step ordinary-least-squares pipeline
+//   * MakeExample1    — Example 1 with free block-grid parameters (tests)
+//
+// Every factory takes `scale`: block element dimensions are the paper's
+// divided by scale, while the block *grids* are the paper's exactly, so the
+// plan space and sharing structure are scale-invariant (see DESIGN.md §3).
+#ifndef RIOTSHARE_OPS_WORKLOAD_H_
+#define RIOTSHARE_OPS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "ir/program.h"
+
+namespace riot {
+
+struct Workload {
+  std::string name;
+  Program program;
+  std::vector<StatementKernel> kernels;  // by statement id
+  std::vector<int> input_arrays;         // initialized before execution
+  std::vector<int> output_arrays;        // compared across plans
+};
+
+Workload MakeAddMul(int64_t scale);
+Workload MakeAddMulTall(int64_t scale);
+
+/// The addmul program with a chosen blocking of the same logical matrices:
+/// A/B/C/E have 72000/block_rows blocks of block_rows x 4000 elements
+/// (block_rows must divide 72000 and be divisible by scale). Used by the
+/// block-size advisor (paper Section 7 future work).
+Workload MakeAddMulBlocked(int64_t block_rows, int64_t scale);
+
+enum class TwoMatMulConfig { kConfigA, kConfigB };
+Workload MakeTwoMatMul(TwoMatMulConfig config, int64_t scale);
+
+Workload MakeLinReg(int64_t scale);
+
+/// Example 1 with explicit block-grid sizes (n1 x n2 matrices of small
+/// blocks); used by unit tests and the quickstart example.
+Workload MakeExample1(int64_t n1, int64_t n2, int64_t n3,
+                      int64_t block_rows = 8, int64_t block_cols = 8);
+
+/// Pig/relational-style program (paper Section 4.1: "table scans and nested
+/// loop joins in traditional databases, FILTER and FOREACH commands in Pig"
+/// are static-control):
+///   s1: U = FILTER(R)          (FOREACH block of R, keep keys > threshold)
+///   s2: T = U JOIN S on key    (block nested-loop join, T[i,j] = count)
+/// R: nr blocks of rows x 2 (key, payload); S: ns blocks; T: nr x ns counts.
+/// Sharing opportunities include pipelining U from the filter into the join
+/// and reusing S blocks across the outer loop.
+Workload MakeJoinFilter(int64_t nr, int64_t ns, int64_t rows_per_block = 32);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_OPS_WORKLOAD_H_

@@ -1,0 +1,86 @@
+#include "polyhedral/farkas.h"
+
+#include "util/logging.h"
+
+namespace riot {
+
+Polyhedron FarkasNonNegativeForms(const Polyhedron& p) {
+  const size_t n = p.dim();
+  // Split equalities into +/- inequality pairs so every multiplier is >= 0.
+  std::vector<AffineConstraint> ineqs;
+  for (const auto& c : p.constraints()) {
+    if (c.is_equality) {
+      AffineConstraint a{c.coeffs, c.constant, false};
+      AffineConstraint b{c.coeffs * Rational(-1), -c.constant, false};
+      ineqs.push_back(std::move(a));
+      ineqs.push_back(std::move(b));
+    } else {
+      ineqs.push_back(c);
+    }
+  }
+  const size_t np = ineqs.size();
+  // Space: [u_0..u_{n-1}, u0, lambda_0, lambda_1..lambda_np]; dim n+2+np.
+  const size_t u0_idx = n;
+  const size_t l0_idx = n + 1;
+  Polyhedron sys(n + 2 + np);
+  // Coefficient matching: u_j - sum_k lambda_k a_kj == 0 for each var j.
+  for (size_t j = 0; j < n; ++j) {
+    RVector row(sys.dim());
+    row[j] = Rational(1);
+    for (size_t k = 0; k < np; ++k) {
+      row[l0_idx + 1 + k] = -ineqs[k].coeffs[j];
+    }
+    sys.AddEq(std::move(row), Rational(0));
+  }
+  // Constant matching: u0 - lambda_0 - sum_k lambda_k b_k == 0.
+  {
+    RVector row(sys.dim());
+    row[u0_idx] = Rational(1);
+    row[l0_idx] = Rational(-1);
+    for (size_t k = 0; k < np; ++k) {
+      row[l0_idx + 1 + k] = -ineqs[k].constant;
+    }
+    sys.AddEq(std::move(row), Rational(0));
+  }
+  // lambda >= 0.
+  for (size_t k = 0; k <= np; ++k) {
+    RVector row(sys.dim());
+    row[l0_idx + k] = Rational(1);
+    sys.AddGe(std::move(row), Rational(0));
+  }
+  // Eliminate all lambdas (from the back to keep indices stable).
+  Polyhedron cur = std::move(sys);
+  for (size_t k = 0; k <= np; ++k) {
+    cur = cur.EliminateVar(cur.dim() - 1);
+  }
+  RIOT_CHECK_EQ(cur.dim(), n + 1);
+  std::vector<std::string> names;
+  for (size_t j = 0; j < n; ++j) names.push_back("u" + std::to_string(j));
+  names.push_back("u_const");
+  cur.set_names(names);
+  return cur;
+}
+
+Polyhedron SubstituteLinearMap(const Polyhedron& f, const RMatrix& m,
+                               const RVector& m0, size_t w_dim) {
+  RIOT_CHECK_EQ(m.rows(), f.dim());
+  RIOT_CHECK_EQ(m.cols(), w_dim);
+  RIOT_CHECK_EQ(m0.size(), f.dim());
+  Polyhedron out(w_dim);
+  for (const auto& c : f.constraints()) {
+    RVector w_coeffs(w_dim);
+    for (size_t j = 0; j < w_dim; ++j) {
+      Rational acc;
+      for (size_t i = 0; i < f.dim(); ++i) {
+        acc += c.coeffs[i] * m.At(i, j);
+      }
+      w_coeffs[j] = acc;
+    }
+    Rational cst = c.constant + c.coeffs.Dot(m0);
+    AffineConstraint nc{std::move(w_coeffs), cst, c.is_equality};
+    out.AddConstraint(std::move(nc));
+  }
+  return out;
+}
+
+}  // namespace riot

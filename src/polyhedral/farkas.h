@@ -1,0 +1,34 @@
+// Affine form of the Farkas lemma (Lemma 1 in the paper; Schrijver [20]).
+//
+// Given a nonempty polyhedron P = { x : a_k.x + b_k >= 0 }, an affine form
+// u.x + u0 is nonnegative everywhere on P iff there exist multipliers
+// lambda_0.. lambda_p >= 0 with  u.x + u0 == lambda_0 + sum_k lambda_k
+// (a_k.x + b_k) identically. Matching coefficients and eliminating the
+// lambdas (Fourier-Motzkin) yields a polyhedron over (u, u0) describing all
+// such forms. The optimizer uses this to linearize "schedule respects
+// dependence" / "schedule realizes sharing" conditions into constraints on
+// schedule coefficients.
+#ifndef RIOTSHARE_POLYHEDRAL_FARKAS_H_
+#define RIOTSHARE_POLYHEDRAL_FARKAS_H_
+
+#include "polyhedral/polyhedron.h"
+
+namespace riot {
+
+/// \brief Polyhedron over (u_0..u_{n-1}, u0), dim n+1, characterizing every
+/// affine form u.x + u0 that is >= 0 over all of P (P must be nonempty;
+/// if P is empty every form qualifies and the universe polyhedron returns).
+Polyhedron FarkasNonNegativeForms(const Polyhedron& p);
+
+/// \brief Rewrites a polyhedron F over (u, u0) into one over unknowns w via
+/// the affine substitution (u, u0) = M w + m0.
+///
+/// M has F.dim() rows and w_dim columns. Used to map Farkas results into
+/// schedule-coefficient space: the form's coefficients are linear in the
+/// schedule row being solved for.
+Polyhedron SubstituteLinearMap(const Polyhedron& f, const RMatrix& m,
+                               const RVector& m0, size_t w_dim);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_POLYHEDRAL_FARKAS_H_

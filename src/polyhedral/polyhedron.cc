@@ -1,0 +1,411 @@
+#include "polyhedral/polyhedron.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace riot {
+
+Rational AffineConstraint::EvaluateAt(const std::vector<int64_t>& point) const {
+  RIOT_CHECK_EQ(point.size(), coeffs.size());
+  Rational acc = constant;
+  for (size_t i = 0; i < point.size(); ++i) {
+    acc += coeffs[i] * Rational(point[i]);
+  }
+  return acc;
+}
+
+bool AffineConstraint::SatisfiedAt(const std::vector<int64_t>& point) const {
+  Rational v = EvaluateAt(point);
+  return is_equality ? v.IsZero() : !v.IsNegative();
+}
+
+std::string AffineConstraint::ToString(
+    const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  bool first = true;
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    if (coeffs[i].IsZero()) continue;
+    if (!first) os << " + ";
+    os << coeffs[i] << "*";
+    if (i < names.size()) {
+      os << names[i];
+    } else {
+      os << "x" << i;
+    }
+    first = false;
+  }
+  if (first) os << "0";
+  if (!constant.IsZero()) os << " + " << constant;
+  os << (is_equality ? " == 0" : " >= 0");
+  return os.str();
+}
+
+void Polyhedron::AddGe(RVector coeffs, Rational constant) {
+  RIOT_CHECK_EQ(coeffs.size(), dim_);
+  cons_.push_back({std::move(coeffs), constant, false});
+}
+
+void Polyhedron::AddEq(RVector coeffs, Rational constant) {
+  RIOT_CHECK_EQ(coeffs.size(), dim_);
+  cons_.push_back({std::move(coeffs), constant, true});
+}
+
+void Polyhedron::AddVarBounds(size_t var, int64_t lo, int64_t hi) {
+  RVector a(dim_), b(dim_);
+  a[var] = Rational(1);
+  AddGe(a, Rational(-lo));  // x - lo >= 0
+  b[var] = Rational(-1);
+  AddGe(b, Rational(hi));  // -x + hi >= 0
+}
+
+void Polyhedron::AddVarEq(size_t var, int64_t value) {
+  RVector a(dim_);
+  a[var] = Rational(1);
+  AddEq(a, Rational(-value));
+}
+
+void Polyhedron::AddConstraint(AffineConstraint c) {
+  RIOT_CHECK_EQ(c.coeffs.size(), dim_);
+  cons_.push_back(std::move(c));
+}
+
+bool Polyhedron::Contains(const std::vector<int64_t>& point) const {
+  for (const auto& c : cons_) {
+    if (!c.SatisfiedAt(point)) return false;
+  }
+  return true;
+}
+
+std::vector<LpConstraint> Polyhedron::ToLpConstraints() const {
+  std::vector<LpConstraint> lp;
+  lp.reserve(cons_.size());
+  for (const auto& c : cons_) {
+    // coeffs.x + const >= 0  <=>  coeffs.x >= -const
+    lp.push_back({c.coeffs, c.is_equality ? CmpOp::kEq : CmpOp::kGe,
+                  -c.constant});
+  }
+  return lp;
+}
+
+bool Polyhedron::IsEmptyRational() const {
+  return !LpFeasible(dim_, ToLpConstraints());
+}
+
+bool Polyhedron::IsEmptyInteger() const {
+  if (IsEmptyRational()) return true;
+  bool found = false;
+  ForEachIntegerPoint([&](const std::vector<int64_t>&) {
+    found = true;
+    return false;  // stop at first
+  });
+  return !found;
+}
+
+std::optional<Rational> Polyhedron::Minimize(const RVector& objective) const {
+  LpSolution s = SolveLp(dim_, ToLpConstraints(), objective * Rational(-1));
+  if (s.status != LpStatus::kOptimal) return std::nullopt;
+  return -s.objective;
+}
+
+std::optional<Rational> Polyhedron::Maximize(const RVector& objective) const {
+  LpSolution s = SolveLp(dim_, ToLpConstraints(), objective);
+  if (s.status != LpStatus::kOptimal) return std::nullopt;
+  return s.objective;
+}
+
+std::optional<std::pair<int64_t, int64_t>> Polyhedron::IntegerVarBounds(
+    size_t var) const {
+  RVector obj(dim_);
+  obj[var] = Rational(1);
+  auto lo = Minimize(obj);
+  auto hi = Maximize(obj);
+  if (!lo || !hi) return std::nullopt;
+  return std::make_pair(lo->Ceil(), hi->Floor());
+}
+
+void Polyhedron::ForEachIntegerPoint(
+    const std::function<bool(const std::vector<int64_t>&)>& fn) const {
+  if (IsEmptyRational()) return;
+  std::vector<int64_t> prefix;
+  bool stop = false;
+  EnumerateRec(&prefix, *this, fn, &stop);
+}
+
+void Polyhedron::EnumerateRec(
+    std::vector<int64_t>* prefix, const Polyhedron& rest,
+    const std::function<bool(const std::vector<int64_t>&)>& fn,
+    bool* stop) const {
+  if (*stop) return;
+  if (rest.dim() == 0) {
+    // All variables fixed; rest's constraints are constants already checked
+    // during substitution, but verify for safety.
+    for (const auto& c : rest.constraints()) {
+      Rational v = c.constant;
+      if (c.is_equality ? !v.IsZero() : v.IsNegative()) return;
+    }
+    if (!fn(*prefix)) *stop = true;
+    return;
+  }
+  if (rest.IsEmptyRational()) return;
+  auto bounds = rest.IntegerVarBounds(0);
+  if (!bounds) {
+    RIOT_CHECK(false) << "enumeration over unbounded polyhedron";
+  }
+  for (int64_t v = bounds->first; v <= bounds->second && !*stop; ++v) {
+    Polyhedron sub = rest.SubstituteVar(0, v);
+    prefix->push_back(v);
+    EnumerateRec(prefix, sub, fn, stop);
+    prefix->pop_back();
+  }
+}
+
+std::vector<std::vector<int64_t>> Polyhedron::EnumerateIntegerPoints() const {
+  std::vector<std::vector<int64_t>> pts;
+  ForEachIntegerPoint([&](const std::vector<int64_t>& p) {
+    pts.push_back(p);
+    return true;
+  });
+  return pts;
+}
+
+Polyhedron Polyhedron::Intersect(const Polyhedron& other) const {
+  RIOT_CHECK_EQ(dim_, other.dim_);
+  Polyhedron p = *this;
+  for (const auto& c : other.cons_) p.cons_.push_back(c);
+  return p;
+}
+
+Polyhedron Polyhedron::EliminateVar(size_t var) const {
+  RIOT_CHECK_LT(var, dim_);
+  // Split equalities into two inequalities first so FM applies uniformly;
+  // but prefer Gaussian elimination when an equality mentions the variable
+  // (cheaper and exact).
+  for (size_t i = 0; i < cons_.size(); ++i) {
+    const auto& eq = cons_[i];
+    if (!eq.is_equality || eq.coeffs[var].IsZero()) continue;
+    // Substitute var from this equality into all other constraints.
+    Polyhedron out(dim_ - 1);
+    std::vector<std::string> nn;
+    for (size_t d = 0; d < dim_; ++d) {
+      if (d != var && d < names_.size()) nn.push_back(names_[d]);
+    }
+    out.set_names(nn);
+    Rational pivot = eq.coeffs[var];
+    for (size_t j = 0; j < cons_.size(); ++j) {
+      if (j == i) continue;
+      const auto& c = cons_[j];
+      // c' = c - (c[var]/pivot) * eq
+      Rational f = c.coeffs[var] / pivot;
+      RVector nc(dim_ - 1);
+      size_t k = 0;
+      for (size_t d = 0; d < dim_; ++d) {
+        if (d == var) continue;
+        nc[k++] = c.coeffs[d] - f * eq.coeffs[d];
+      }
+      Rational ncst = c.constant - f * eq.constant;
+      if (c.is_equality) {
+        out.AddEq(std::move(nc), ncst);
+      } else {
+        out.AddGe(std::move(nc), ncst);
+      }
+    }
+    return out;
+  }
+  // Pure Fourier-Motzkin over inequalities.
+  std::vector<AffineConstraint> lower, upper, rest;
+  for (const auto& c0 : cons_) {
+    std::vector<AffineConstraint> expanded;
+    if (c0.is_equality) {
+      AffineConstraint a = c0;
+      a.is_equality = false;
+      AffineConstraint b = c0;
+      b.is_equality = false;
+      b.coeffs = b.coeffs * Rational(-1);
+      b.constant = -b.constant;
+      expanded = {a, b};
+    } else {
+      expanded = {c0};
+    }
+    for (auto& c : expanded) {
+      if (c.coeffs[var].IsPositive()) {
+        lower.push_back(c);  // var >= ...  (coeff > 0)
+      } else if (c.coeffs[var].IsNegative()) {
+        upper.push_back(c);  // var <= ...
+      } else {
+        rest.push_back(c);
+      }
+    }
+  }
+  auto drop_var = [&](const RVector& v) {
+    RVector r(dim_ - 1);
+    size_t k = 0;
+    for (size_t d = 0; d < dim_; ++d) {
+      if (d != var) r[k++] = v[d];
+    }
+    return r;
+  };
+  Polyhedron out(dim_ - 1);
+  std::vector<std::string> nn;
+  for (size_t d = 0; d < dim_; ++d) {
+    if (d != var && d < names_.size()) nn.push_back(names_[d]);
+  }
+  out.set_names(nn);
+  for (const auto& c : rest) {
+    out.AddGe(drop_var(c.coeffs), c.constant);
+  }
+  for (const auto& lo : lower) {
+    for (const auto& hi : upper) {
+      // lo: a.x + p*var + b >= 0 (p>0)  =>  var >= -(a.x+b)/p
+      // hi: c.x + q*var + d >= 0 (q<0)  =>  var <= -(c.x+d)/q ... combine:
+      // (-q)*(a.x+b) + p*(c.x+d) >= 0
+      Rational p = lo.coeffs[var];
+      Rational q = hi.coeffs[var];  // negative
+      RVector comb(dim_ - 1);
+      RVector la = drop_var(lo.coeffs);
+      RVector hc = drop_var(hi.coeffs);
+      for (size_t d = 0; d + 1 <= dim_ - 1; ++d) {
+        comb[d] = la[d] * (-q) + hc[d] * p;
+      }
+      Rational cst = lo.constant * (-q) + hi.constant * p;
+      out.AddGe(std::move(comb), cst);
+    }
+  }
+  return out;
+}
+
+Polyhedron Polyhedron::ProjectOntoPrefix(size_t k) const {
+  Polyhedron p = *this;
+  while (p.dim() > k) {
+    p = p.EliminateVar(p.dim() - 1);
+  }
+  return p;
+}
+
+Polyhedron Polyhedron::ProductSpace(const Polyhedron& a, const Polyhedron& b) {
+  Polyhedron p(a.dim() + b.dim());
+  std::vector<std::string> names;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    names.push_back(i < a.names_.size() ? a.names_[i] : "x" + std::to_string(i));
+  }
+  for (size_t i = 0; i < b.dim(); ++i) {
+    names.push_back((i < b.names_.size() ? b.names_[i] : "y" + std::to_string(i)) + "'");
+  }
+  p.set_names(names);
+  for (const auto& c : a.cons_) {
+    RVector v(p.dim());
+    for (size_t d = 0; d < a.dim(); ++d) v[d] = c.coeffs[d];
+    AffineConstraint nc{std::move(v), c.constant, c.is_equality};
+    p.AddConstraint(std::move(nc));
+  }
+  for (const auto& c : b.cons_) {
+    RVector v(p.dim());
+    for (size_t d = 0; d < b.dim(); ++d) v[a.dim() + d] = c.coeffs[d];
+    AffineConstraint nc{std::move(v), c.constant, c.is_equality};
+    p.AddConstraint(std::move(nc));
+  }
+  return p;
+}
+
+Polyhedron Polyhedron::SubstituteVar(size_t var, int64_t value) const {
+  RIOT_CHECK_LT(var, dim_);
+  Polyhedron out(dim_ - 1);
+  std::vector<std::string> nn;
+  for (size_t d = 0; d < dim_; ++d) {
+    if (d != var && d < names_.size()) nn.push_back(names_[d]);
+  }
+  out.set_names(nn);
+  for (const auto& c : cons_) {
+    RVector v(dim_ - 1);
+    size_t k = 0;
+    for (size_t d = 0; d < dim_; ++d) {
+      if (d != var) v[k++] = c.coeffs[d];
+    }
+    Rational cst = c.constant + c.coeffs[var] * Rational(value);
+    AffineConstraint nc{std::move(v), cst, c.is_equality};
+    out.AddConstraint(std::move(nc));
+  }
+  return out;
+}
+
+std::string Polyhedron::ToString() const {
+  std::ostringstream os;
+  os << "{ dim=" << dim_ << " :";
+  for (const auto& c : cons_) {
+    os << "\n  " << c.ToString(names_);
+  }
+  os << " }";
+  return os.str();
+}
+
+void PolyhedronUnion::Add(Polyhedron p) {
+  if (dim_ == 0 && parts_.empty()) dim_ = p.dim();
+  RIOT_CHECK_EQ(p.dim(), dim_);
+  parts_.push_back(std::move(p));
+}
+
+bool PolyhedronUnion::IsEmptyInteger() const {
+  for (const auto& p : parts_) {
+    if (!p.IsEmptyInteger()) return false;
+  }
+  return true;
+}
+
+bool PolyhedronUnion::Contains(const std::vector<int64_t>& point) const {
+  for (const auto& p : parts_) {
+    if (p.Contains(point)) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<int64_t>> PolyhedronUnion::EnumerateIntegerPoints()
+    const {
+  // Deduplicated union of per-disjunct enumerations.
+  std::vector<std::vector<int64_t>> all;
+  for (const auto& p : parts_) {
+    auto pts = p.EnumerateIntegerPoints();
+    all.insert(all.end(), pts.begin(), pts.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+PolyhedronUnion LexLess(const Polyhedron& space, const RMatrix& theta_a,
+                        size_t x_offset, size_t x_dim, const RMatrix& theta_b,
+                        size_t y_offset, size_t y_dim) {
+  RIOT_CHECK_EQ(theta_a.cols(), x_dim + 1);  // coeffs + constant
+  RIOT_CHECK_EQ(theta_b.cols(), y_dim + 1);
+  const size_t depth = std::min(theta_a.rows(), theta_b.rows());
+  PolyhedronUnion result(space.dim());
+  // Row r of theta applied to subvector at offset, as a constraint row over
+  // the product space. diff = theta_b.y - theta_a.x (+ const diff).
+  auto diff_row = [&](size_t r, RVector* coeffs, Rational* constant) {
+    RVector v(space.dim());
+    for (size_t d = 0; d < y_dim; ++d) v[y_offset + d] = theta_b.At(r, d);
+    for (size_t d = 0; d < x_dim; ++d) {
+      v[x_offset + d] -= theta_a.At(r, d);
+    }
+    *coeffs = std::move(v);
+    *constant = theta_b.At(r, y_dim) - theta_a.At(r, x_dim);
+  };
+  for (size_t r = 0; r < depth; ++r) {
+    Polyhedron disjunct = space;
+    for (size_t q = 0; q < r; ++q) {
+      RVector v;
+      Rational c;
+      diff_row(q, &v, &c);
+      disjunct.AddEq(std::move(v), c);
+    }
+    RVector v;
+    Rational c;
+    diff_row(r, &v, &c);
+    // strict: theta_b.y - theta_a.x >= 1 (integer schedules)
+    disjunct.AddGe(std::move(v), c - Rational(1));
+    result.Add(std::move(disjunct));
+  }
+  return result;
+}
+
+}  // namespace riot

@@ -1,0 +1,140 @@
+// Integer polyhedra as systems of affine constraints, with the operations
+// the RIOTShare optimizer needs: intersection, emptiness (exact, via
+// rational LP + integer search), Fourier-Motzkin projection, variable
+// bounds, integer point enumeration, and lexicographic-order construction.
+//
+// Conventions follow the paper: a constraint row is (coeffs..., const) and
+// means coeffs . x + const >= 0 (inequality) or == 0 (equality).
+#ifndef RIOTSHARE_POLYHEDRAL_POLYHEDRON_H_
+#define RIOTSHARE_POLYHEDRAL_POLYHEDRON_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ilp/simplex.h"
+#include "linalg/matrix.h"
+
+namespace riot {
+
+/// \brief One affine constraint over a dim-dimensional space.
+struct AffineConstraint {
+  RVector coeffs;  // size dim
+  Rational constant;
+  bool is_equality = false;
+
+  Rational EvaluateAt(const std::vector<int64_t>& point) const;
+  bool SatisfiedAt(const std::vector<int64_t>& point) const;
+  std::string ToString(const std::vector<std::string>& names) const;
+};
+
+/// \brief A (convex) integer polyhedron: conjunction of affine constraints.
+class Polyhedron {
+ public:
+  Polyhedron() : dim_(0) {}
+  explicit Polyhedron(size_t dim) : dim_(dim) {}
+  Polyhedron(size_t dim, std::vector<std::string> names)
+      : dim_(dim), names_(std::move(names)) {}
+
+  size_t dim() const { return dim_; }
+  const std::vector<AffineConstraint>& constraints() const { return cons_; }
+  const std::vector<std::string>& names() const { return names_; }
+  void set_names(std::vector<std::string> names) { names_ = std::move(names); }
+
+  /// coeffs . x + constant >= 0
+  void AddGe(RVector coeffs, Rational constant);
+  /// coeffs . x + constant == 0
+  void AddEq(RVector coeffs, Rational constant);
+  /// Convenience: x[var] >= lo and x[var] <= hi.
+  void AddVarBounds(size_t var, int64_t lo, int64_t hi);
+  /// Convenience: x[var] == value.
+  void AddVarEq(size_t var, int64_t value);
+  void AddConstraint(AffineConstraint c);
+
+  bool Contains(const std::vector<int64_t>& point) const;
+
+  /// Exact rational emptiness (LP feasibility of the relaxation).
+  bool IsEmptyRational() const;
+
+  /// Exact integer emptiness. Requires the polyhedron to be bounded in every
+  /// dimension (true for all iteration/extent polyhedra in this system).
+  bool IsEmptyInteger() const;
+
+  /// Rational min/max of x[var] over the polyhedron; nullopt if empty or
+  /// unbounded in that direction.
+  std::optional<Rational> Minimize(const RVector& objective) const;
+  std::optional<Rational> Maximize(const RVector& objective) const;
+  std::optional<std::pair<int64_t, int64_t>> IntegerVarBounds(size_t var) const;
+
+  /// All integer points (lexicographic order). Requires boundedness.
+  std::vector<std::vector<int64_t>> EnumerateIntegerPoints() const;
+
+  /// Calls fn for each integer point; stops early if fn returns false.
+  void ForEachIntegerPoint(
+      const std::function<bool(const std::vector<int64_t>&)>& fn) const;
+
+  /// Conjunction with another polyhedron over the same space.
+  Polyhedron Intersect(const Polyhedron& other) const;
+
+  /// Fourier-Motzkin elimination of variable `var` (rational projection).
+  Polyhedron EliminateVar(size_t var) const;
+
+  /// Project onto the first `k` variables (eliminates the rest).
+  Polyhedron ProjectOntoPrefix(size_t k) const;
+
+  /// Polyhedron over (x, y) in a dim_x + dim_y product space given
+  /// constraints added by the caller; helper just builds the empty shell.
+  static Polyhedron ProductSpace(const Polyhedron& a, const Polyhedron& b);
+
+  /// Substitute x[var] := value, producing a polyhedron over dim-1 vars
+  /// (variable indices above `var` shift down by one).
+  Polyhedron SubstituteVar(size_t var, int64_t value) const;
+
+  std::string ToString() const;
+
+  /// Convert to LP constraints over dim_ variables (for simplex).
+  std::vector<LpConstraint> ToLpConstraints() const;
+
+ private:
+  void EnumerateRec(std::vector<int64_t>* prefix, const Polyhedron& rest,
+                    const std::function<bool(const std::vector<int64_t>&)>& fn,
+                    bool* stop) const;
+
+  size_t dim_;
+  std::vector<AffineConstraint> cons_;
+  std::vector<std::string> names_;
+};
+
+/// \brief Union of convex polyhedra over a common space (used for
+/// lexicographic order conditions and subtractions).
+class PolyhedronUnion {
+ public:
+  PolyhedronUnion() = default;
+  explicit PolyhedronUnion(size_t dim) : dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+  void Add(Polyhedron p);
+  const std::vector<Polyhedron>& disjuncts() const { return parts_; }
+
+  bool IsEmptyInteger() const;
+  bool Contains(const std::vector<int64_t>& point) const;
+  std::vector<std::vector<int64_t>> EnumerateIntegerPoints() const;
+
+ private:
+  size_t dim_ = 0;
+  std::vector<Polyhedron> parts_;
+};
+
+/// \brief Builds the "Theta_a x  lex<  Theta_b y" condition over the product
+/// space (x, y), where rows of theta_a/theta_b are affine forms over the
+/// respective extended iteration vectors (coeffs, const). Returns one
+/// disjunct per depth at which the order can first differ.
+PolyhedronUnion LexLess(const Polyhedron& space, const RMatrix& theta_a,
+                        size_t x_offset, size_t x_dim, const RMatrix& theta_b,
+                        size_t y_offset, size_t y_dim);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_POLYHEDRAL_POLYHEDRON_H_

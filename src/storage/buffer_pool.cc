@@ -1,0 +1,114 @@
+#include "storage/buffer_pool.h"
+
+#include "util/logging.h"
+
+namespace riot {
+
+BufferPool::Frame* BufferPool::Probe(int array_id, int64_t block) {
+  auto it = frames_.find({array_id, block});
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+void BufferPool::Touch(const Key& key) {
+  auto it = lru_pos_.find(key);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_back(key);
+  lru_pos_[key] = std::prev(lru_.end());
+}
+
+Status BufferPool::EnsureCapacity(int64_t incoming_bytes) {
+  while (used_bytes_ + incoming_bytes > cap_bytes_) {
+    // Find the LRU frame that is neither pinned nor retained.
+    bool evicted = false;
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      auto fit = frames_.find(*it);
+      RIOT_CHECK(fit != frames_.end());
+      Frame& f = fit->second;
+      if (f.pins > 0 || f.retain_until_group >= 0) continue;
+      if (f.dirty) {
+        RIOT_CHECK(f.store != nullptr);
+        RIOT_RETURN_NOT_OK(f.store->WriteBlock(f.block, f.data.data()));
+        ++stats_.dirty_writebacks;
+      }
+      used_bytes_ -= static_cast<int64_t>(f.data.size());
+      ++stats_.evictions;
+      lru_pos_.erase(*it);
+      frames_.erase(fit);
+      lru_.erase(it);
+      evicted = true;
+      break;
+    }
+    if (!evicted) {
+      return Status::ResourceExhausted(
+          "buffer pool cap exceeded with all frames pinned/retained (cap=" +
+          std::to_string(cap_bytes_) + ", used=" +
+          std::to_string(used_bytes_) + ", need=" +
+          std::to_string(incoming_bytes) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
+                                             int64_t bytes, BlockStore* store,
+                                             bool load) {
+  Key key{array_id, block};
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    ++it->second.pins;
+    Touch(key);
+    return &it->second;
+  }
+  ++stats_.misses;
+  RIOT_RETURN_NOT_OK(EnsureCapacity(bytes));
+  Frame f;
+  f.array_id = array_id;
+  f.block = block;
+  f.data.resize(static_cast<size_t>(bytes));
+  f.store = store;
+  if (load) {
+    RIOT_CHECK(store != nullptr);
+    RIOT_RETURN_NOT_OK(store->ReadBlock(block, f.data.data()));
+  }
+  f.pins = 1;
+  used_bytes_ += bytes;
+  auto [ins, ok] = frames_.emplace(key, std::move(f));
+  RIOT_CHECK(ok);
+  Touch(key);
+  return &ins->second;
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  RIOT_CHECK_GT(frame->pins, 0);
+  --frame->pins;
+}
+
+void BufferPool::Retain(Frame* frame, int64_t until_group) {
+  frame->retain_until_group =
+      std::max(frame->retain_until_group, until_group);
+}
+
+void BufferPool::ReleaseRetainedBefore(int64_t group) {
+  for (auto& [key, f] : frames_) {
+    if (f.retain_until_group >= 0 && f.retain_until_group < group) {
+      f.retain_until_group = -1;
+    }
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [key, f] : frames_) {
+    if (f.dirty && f.store != nullptr) {
+      RIOT_RETURN_NOT_OK(f.store->WriteBlock(f.block, f.data.data()));
+      f.dirty = false;
+    }
+  }
+  frames_.clear();
+  lru_.clear();
+  lru_pos_.clear();
+  used_bytes_ = 0;
+  return Status::OK();
+}
+
+}  // namespace riot

@@ -1,0 +1,95 @@
+// Buffer pool with an explicit memory cap (paper Section 4.2: "we impose a
+// memory cap and control memory data reuse explicitly").
+//
+// Frames are keyed by (array id, linear block index). The executor pins a
+// frame while a statement instance computes on it, and additionally marks
+// frames "retained" until a given group index to realize sharing
+// opportunities (keep-until-reuse). Unpinned, unretained frames are evicted
+// LRU when the cap is hit; dirty victims are written back through their
+// BlockStore (spilling — a correct plan never triggers it, and tests assert
+// so via the spill counters).
+#ifndef RIOTSHARE_STORAGE_BUFFER_POOL_H_
+#define RIOTSHARE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "storage/block_store.h"
+#include "util/status.h"
+
+namespace riot {
+
+struct BufferPoolStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t dirty_writebacks = 0;  // spills: should be 0 for in-cap plans
+};
+
+class BufferPool {
+ public:
+  struct Frame {
+    int array_id = -1;
+    int64_t block = -1;
+    std::vector<uint8_t> data;
+    bool dirty = false;
+    int pins = 0;
+    /// Retained until all groups <= retain_until_group complete; -1 = none.
+    int64_t retain_until_group = -1;
+    BlockStore* store = nullptr;  // for dirty write-back on eviction
+  };
+
+  explicit BufferPool(int64_t cap_bytes) : cap_bytes_(cap_bytes) {}
+
+  /// Returns the frame for (array_id, block), fetching from `store` on miss
+  /// when `load` is set (otherwise the frame starts zeroed). The returned
+  /// frame is pinned; call Unpin when done.
+  Result<Frame*> Fetch(int array_id, int64_t block, int64_t bytes,
+                       BlockStore* store, bool load);
+
+  /// Frame lookup without side effects; nullptr if absent.
+  Frame* Probe(int array_id, int64_t block);
+
+  void Unpin(Frame* frame);
+  void Retain(Frame* frame, int64_t until_group);
+  /// Releases every retention that expired strictly before `group`.
+  void ReleaseRetainedBefore(int64_t group);
+
+  /// Drops a clean frame / writes back a dirty one, then drops it.
+  Status FlushAll();
+
+  int64_t used_bytes() const { return used_bytes_; }
+  /// Bytes the plan currently *requires* resident (pinned or retained);
+  /// comparable to the cost model's memory prediction, unlike used_bytes()
+  /// which also counts lazily-evicted cache.
+  int64_t PinnedOrRetainedBytes() const {
+    int64_t bytes = 0;
+    for (const auto& [key, f] : frames_) {
+      if (f.pins > 0 || f.retain_until_group >= 0) {
+        bytes += static_cast<int64_t>(f.data.size());
+      }
+    }
+    return bytes;
+  }
+  int64_t cap_bytes() const { return cap_bytes_; }
+  const BufferPoolStats& stats() const { return stats_; }
+
+ private:
+  using Key = std::pair<int, int64_t>;
+  Status EnsureCapacity(int64_t incoming_bytes);
+  void Touch(const Key& key);
+
+  int64_t cap_bytes_;
+  int64_t used_bytes_ = 0;
+  std::map<Key, Frame> frames_;
+  std::list<Key> lru_;  // front = least recently used
+  std::map<Key, std::list<Key>::iterator> lru_pos_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_STORAGE_BUFFER_POOL_H_

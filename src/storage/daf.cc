@@ -1,0 +1,74 @@
+#include "storage/block_store.h"
+#include "util/logging.h"
+
+namespace riot {
+
+namespace {
+
+// Directly Addressable File: block i at byte offset i * block_bytes.
+class DafStore : public BlockStore {
+ public:
+  DafStore(std::unique_ptr<File> file, int64_t block_bytes,
+           int64_t num_blocks)
+      : BlockStore(block_bytes), file_(std::move(file)),
+        num_blocks_(num_blocks) {}
+
+  Status ReadBlock(int64_t block_index, void* buf) override {
+    RIOT_RETURN_NOT_OK(CheckIndex(block_index));
+    return file_->Read(static_cast<uint64_t>(block_index * block_bytes_),
+                       static_cast<size_t>(block_bytes_), buf);
+  }
+
+  Status WriteBlock(int64_t block_index, const void* buf) override {
+    RIOT_RETURN_NOT_OK(CheckIndex(block_index));
+    return file_->Write(static_cast<uint64_t>(block_index * block_bytes_),
+                        static_cast<size_t>(block_bytes_), buf);
+  }
+
+  bool HasBlock(int64_t block_index) override {
+    auto size = file_->Size();
+    if (!size.ok()) return false;
+    return block_index >= 0 && block_index < num_blocks_ &&
+           static_cast<uint64_t>((block_index + 1) * block_bytes_) <=
+               *size;
+  }
+
+  Status Flush() override { return file_->Sync(); }
+
+ private:
+  Status CheckIndex(int64_t i) const {
+    if (i < 0 || i >= num_blocks_) {
+      return Status::OutOfRange("DAF block index " + std::to_string(i) +
+                                " out of [0," + std::to_string(num_blocks_) +
+                                ")");
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<File> file_;
+  int64_t num_blocks_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BlockStore>> OpenDaf(Env* env, const std::string& path,
+                                            int64_t block_bytes,
+                                            int64_t num_blocks) {
+  auto file = env->OpenFile(path, /*create=*/true);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<BlockStore>(
+      new DafStore(std::move(file).ValueOrDie(), block_bytes, num_blocks));
+}
+
+Result<std::unique_ptr<BlockStore>> OpenBlockStore(Env* env,
+                                                   const std::string& path,
+                                                   StorageFormat format,
+                                                   int64_t block_bytes,
+                                                   int64_t num_blocks) {
+  if (format == StorageFormat::kDaf) {
+    return OpenDaf(env, path, block_bytes, num_blocks);
+  }
+  return OpenLabTree(env, path, block_bytes);
+}
+
+}  // namespace riot

@@ -1,0 +1,16 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace riot {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+}  // namespace riot

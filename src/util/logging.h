@@ -1,0 +1,88 @@
+// Minimal logging and checked assertions (Arrow-style DCHECK/CHECK).
+#ifndef RIOTSHARE_UTIL_LOGGING_H_
+#define RIOTSHARE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace riot {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false)
+      : level_(level), fatal_(fatal) {
+    stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+  ~LogMessage() {
+    if (fatal_) {
+      std::cerr << stream_.str() << std::endl;
+      std::abort();
+    }
+    if (level_ >= GetLogLevel()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel l) {
+    switch (l) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarning: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+  std::ostringstream stream_;
+  LogLevel level_;
+  bool fatal_;
+};
+
+}  // namespace internal
+
+#define RIOT_LOG(level)                                                     \
+  ::riot::internal::LogMessage(::riot::LogLevel::k##level, __FILE__, \
+                               __LINE__)                                    \
+      .stream()
+
+#define RIOT_CHECK(cond)                                                 \
+  if (!(cond))                                                           \
+  ::riot::internal::LogMessage(::riot::LogLevel::kError, __FILE__,       \
+                               __LINE__, /*fatal=*/true)                 \
+      .stream()                                                          \
+      << "Check failed: " #cond " "
+
+#define RIOT_CHECK_EQ(a, b) RIOT_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RIOT_CHECK_LT(a, b) RIOT_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RIOT_CHECK_LE(a, b) RIOT_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RIOT_CHECK_GT(a, b) RIOT_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RIOT_CHECK_GE(a, b) RIOT_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define RIOT_DCHECK(cond) RIOT_CHECK(cond)
+#else
+#define RIOT_DCHECK(cond) \
+  if (false) RIOT_CHECK(cond)
+#endif
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_UTIL_LOGGING_H_

@@ -1,0 +1,158 @@
+// Status / Result error-handling primitives, in the style of Arrow/RocksDB.
+//
+// Library code returns Status (or Result<T>) instead of throwing; callers
+// either propagate with RIOT_RETURN_NOT_OK or terminate loudly with
+// ValueOrDie() in tests/examples where failure is a bug.
+#ifndef RIOTSHARE_UTIL_STATUS_H_
+#define RIOTSHARE_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace riot {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,  // e.g. buffer pool cap exceeded
+  kInternal,
+  kIoError,
+  kNotImplemented,
+  kArithmeticOverflow,
+  kInfeasible,  // optimizer: no legal schedule / empty polyhedron
+};
+
+/// \brief Lightweight status object carrying a code and message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status NotImplemented(std::string m) {
+    return Status(StatusCode::kNotImplemented, std::move(m));
+  }
+  static Status ArithmeticOverflow(std::string m) {
+    return Status(StatusCode::kArithmeticOverflow, std::move(m));
+  }
+  static Status Infeasible(std::string m) {
+    return Status(StatusCode::kInfeasible, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kArithmeticOverflow: return "ArithmeticOverflow";
+      case StatusCode::kInfeasible: return "Infeasible";
+    }
+    return "Unknown";
+  }
+
+  /// Terminate the process if this status is not OK. For tests/examples.
+  void CheckOK() const {
+    if (!ok()) {
+      std::cerr << "Fatal status: " << ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) {
+      std::cerr << "Result error: " << status_.ToString() << std::endl;
+      std::abort();
+    }
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::cerr << "Result error: " << status_.ToString() << std::endl;
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+#define RIOT_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::riot::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define RIOT_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto _res_##__LINE__ = (expr);                \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).ValueOrDie();
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_UTIL_STATUS_H_

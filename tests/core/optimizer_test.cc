@@ -1,0 +1,142 @@
+// Optimizer (Apriori search, Lemma 2) tests.
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ops/workload.h"
+
+namespace riot {
+namespace {
+
+TEST(OptimizerTest, PlanZeroIsOriginal) {
+  Workload w = MakeExample1(2, 3, 2);
+  OptimizationResult r = Optimize(w.program);
+  ASSERT_FALSE(r.plans.empty());
+  EXPECT_TRUE(r.plans[0].opportunities.empty());
+  EXPECT_EQ(r.plans[0].cost.read_bytes, r.plans[0].cost.baseline_read_bytes);
+}
+
+TEST(OptimizerTest, AprioriAndExhaustiveAgree) {
+  // Lemma 2 (antimonotonicity) makes Apriori pruning lossless: both modes
+  // must find exactly the same feasible opportunity sets.
+  Workload w = MakeExample1(2, 3, 2);
+  OptimizerOptions apriori;
+  apriori.use_apriori = true;
+  OptimizerOptions exhaustive;
+  exhaustive.use_apriori = false;
+  auto ra = Optimize(w.program, apriori);
+  auto re = Optimize(w.program, exhaustive);
+  std::set<std::vector<int>> sa, se;
+  for (const auto& p : ra.plans) sa.insert(p.opportunities);
+  for (const auto& p : re.plans) se.insert(p.opportunities);
+  EXPECT_EQ(sa, se);
+  EXPECT_GE(ra.candidates_pruned, 0);
+  EXPECT_LE(ra.candidates_tested, re.candidates_tested);
+}
+
+TEST(OptimizerTest, BestPlanRespectsMemoryCap) {
+  Workload w = MakeExample1(3, 4, 2);
+  OptimizerOptions unlimited;
+  auto r1 = Optimize(w.program, unlimited);
+  const Plan& unconstrained_best = r1.best();
+  // Now cap memory at just below the unconstrained best's requirement; the
+  // chosen plan must fit and can only be costlier.
+  OptimizerOptions capped;
+  capped.memory_cap_bytes = unconstrained_best.cost.peak_memory_bytes - 1;
+  auto r2 = Optimize(w.program, capped);
+  EXPECT_LE(r2.best().cost.peak_memory_bytes, capped.memory_cap_bytes);
+  EXPECT_GE(r2.best().cost.io_seconds, unconstrained_best.cost.io_seconds);
+}
+
+TEST(OptimizerTest, BestPlanNeverWorseThanOriginal) {
+  for (auto [n1, n2, n3] : {std::tuple<int64_t, int64_t, int64_t>{2, 2, 1},
+                            {3, 2, 2},
+                            {2, 4, 3}}) {
+    Workload w = MakeExample1(n1, n2, n3);
+    auto r = Optimize(w.program);
+    EXPECT_LE(r.best().cost.io_seconds, r.plans[0].cost.io_seconds);
+  }
+}
+
+TEST(OptimizerTest, SavingsComeFromRealizedOpportunities) {
+  Workload w = MakeExample1(3, 3, 2);
+  auto r = Optimize(w.program);
+  for (const auto& p : r.plans) {
+    if (p.opportunities.empty()) {
+      EXPECT_EQ(p.cost.TotalBytes(),
+                p.cost.baseline_read_bytes + p.cost.baseline_write_bytes);
+    } else {
+      EXPECT_LE(p.cost.TotalBytes(),
+                p.cost.baseline_read_bytes + p.cost.baseline_write_bytes);
+    }
+  }
+}
+
+TEST(OptimizerTest, SupersetNeverReadsMoreButMayUseMoreMemory) {
+  // Adding an opportunity to a feasible set only adds savings (union
+  // semantics) at possibly higher memory cost.
+  Workload w = MakeExample1(2, 3, 2);
+  auto r = Optimize(w.program);
+  std::map<std::vector<int>, const Plan*> by_set;
+  for (const auto& p : r.plans) by_set[p.opportunities] = &p;
+  for (const auto& [set, plan] : by_set) {
+    for (const auto& [superset, splan] : by_set) {
+      if (superset.size() != set.size() + 1) continue;
+      if (!std::includes(superset.begin(), superset.end(), set.begin(),
+                         set.end())) {
+        continue;
+      }
+      EXPECT_LE(splan->cost.TotalBytes(), plan->cost.TotalBytes())
+          << "superset lost savings";
+    }
+  }
+}
+
+TEST(OptimizerTest, MaxCombinationSizeCapsSearch) {
+  Workload w = MakeExample1(2, 3, 2);
+  OptimizerOptions opts;
+  opts.max_combination_size = 1;
+  auto r = Optimize(w.program, opts);
+  for (const auto& p : r.plans) {
+    EXPECT_LE(p.opportunities.size(), 1u);
+  }
+}
+
+TEST(OptimizerTest, StatsArePopulated) {
+  Workload w = MakeExample1(2, 2, 2);
+  auto r = Optimize(w.program);
+  EXPECT_GT(r.candidates_tested, 0);
+  EXPECT_GT(r.schedules_found, 0);
+  EXPECT_GT(r.optimize_seconds, 0.0);
+  EXPECT_EQ(r.schedules_found + 1, static_cast<int64_t>(r.plans.size()));
+}
+
+TEST(OptimizerTest, SingleThreadMatchesParallel) {
+  Workload w = MakeExample1(2, 3, 2);
+  OptimizerOptions serial;
+  serial.num_threads = 1;
+  OptimizerOptions parallel;
+  parallel.num_threads = 8;
+  auto rs = Optimize(w.program, serial);
+  auto rp = Optimize(w.program, parallel);
+  std::set<std::vector<int>> ss, sp;
+  for (const auto& p : rs.plans) ss.insert(p.opportunities);
+  for (const auto& p : rp.plans) sp.insert(p.opportunities);
+  EXPECT_EQ(ss, sp);
+}
+
+TEST(OptimizerTest, AblationNoMultiplicityReductionStillSound) {
+  Workload w = MakeExample1(2, 2, 2);
+  OptimizerOptions opts;
+  opts.analysis.multiplicity_reduction = false;
+  opts.max_combination_size = 2;  // keep the blowup in check
+  auto r = Optimize(w.program, opts);
+  // Plans still legal: best never worse than original.
+  EXPECT_LE(r.best().cost.io_seconds, r.plans[0].cost.io_seconds);
+}
+
+}  // namespace
+}  // namespace riot

@@ -1,0 +1,127 @@
+#include "ilp/ilp.h"
+
+#include <gtest/gtest.h>
+
+namespace riot {
+namespace {
+
+LpConstraint Make(std::vector<int64_t> coeffs, CmpOp op, int64_t rhs) {
+  return {RVector::FromInts(coeffs), op, Rational(rhs)};
+}
+
+TEST(IlpTest, FractionalLpOptimumForcesBranching) {
+  // max x s.t. 2x <= 5: LP gives 5/2, ILP must give 2.
+  std::vector<LpConstraint> cons = {Make({1}, CmpOp::kGe, 0),
+                                    Make({2}, CmpOp::kLe, 5)};
+  IlpResult r = SolveIlp(1, cons, RVector::FromInts({1}));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.x[0], 2);
+}
+
+TEST(IlpTest, InfeasibleIntegerDespiteFeasibleLp) {
+  // 1/3 <= x <= 2/3 has rational but no integer points.
+  std::vector<LpConstraint> cons = {Make({3}, CmpOp::kGe, 1),
+                                    Make({3}, CmpOp::kLe, 2)};
+  IlpResult r = SolveIlp(1, cons, RVector::FromInts({0}));
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(FindIntegerPoint(1, cons).has_value());
+}
+
+TEST(IlpTest, TwoVarOptimization) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2, x,y >= 0  ->  (2,2) = 10.
+  std::vector<LpConstraint> cons = {
+      Make({1, 1}, CmpOp::kLe, 4), Make({1, 0}, CmpOp::kLe, 2),
+      Make({1, 0}, CmpOp::kGe, 0), Make({0, 1}, CmpOp::kGe, 0)};
+  IlpResult r = SolveIlp(2, cons, RVector::FromInts({3, 2}));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.objective, Rational(10));
+  EXPECT_EQ(r.x[0], 2);
+  EXPECT_EQ(r.x[1], 2);
+}
+
+TEST(IlpTest, FindIntegerPointMinimizesL1) {
+  // x + y == 3 with x,y free: L1-minimal integer points have |x|+|y| = 3.
+  std::vector<LpConstraint> cons = {Make({1, 1}, CmpOp::kEq, 3)};
+  auto p = FindIntegerPoint(2, cons, /*minimize_l1=*/true);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ((*p)[0] + (*p)[1], 3);
+  EXPECT_EQ(std::abs((*p)[0]) + std::abs((*p)[1]), 3);
+}
+
+TEST(IlpTest, L1PrefersZeroVector) {
+  // Unconstrained: the L1-minimal point is the origin.
+  auto p = FindIntegerPoint(3, {}, /*minimize_l1=*/true);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (std::vector<int64_t>{0, 0, 0}));
+}
+
+TEST(IlpTest, PerVariableBounds) {
+  // x == 20 only reachable if that variable's bound allows it.
+  std::vector<LpConstraint> cons = {Make({1, 0}, CmpOp::kEq, 20)};
+  IlpOptions tight;
+  tight.var_bound = 4;
+  EXPECT_FALSE(FindIntegerPoint(2, cons, true, tight).has_value());
+  IlpOptions wide;
+  wide.var_bound = 4;
+  wide.var_bounds = {100, 4};
+  auto p = FindIntegerPoint(2, cons, true, wide);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ((*p)[0], 20);
+}
+
+TEST(IlpTest, EqualitySystemUniqueSolution) {
+  std::vector<LpConstraint> cons = {Make({1, 1}, CmpOp::kEq, 7),
+                                    Make({1, -1}, CmpOp::kEq, 1)};
+  auto p = FindIntegerPoint(2, cons);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ((*p)[0], 4);
+  EXPECT_EQ((*p)[1], 3);
+}
+
+// Property sweep: ILP solution must be feasible and optimal vs brute force.
+class IlpPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IlpPropertyTest, MatchesBruteForce) {
+  std::srand(static_cast<unsigned>(GetParam()) * 7919 + 13);
+  std::vector<LpConstraint> cons;
+  for (int i = 0; i < 3; ++i) {
+    int64_t a = std::rand() % 5 - 2, b = std::rand() % 5 - 2;
+    int64_t r = std::rand() % 9 - 2;
+    cons.push_back(Make({a, b}, CmpOp::kLe, r));
+  }
+  int64_t ca = std::rand() % 5 - 2, cb = std::rand() % 5 - 2;
+  IlpOptions opt;
+  opt.var_bound = 4;
+  IlpResult r = SolveIlp(2, cons, RVector::FromInts({ca, cb}), opt);
+  // Brute force over the [-4, 4]^2 box.
+  bool any = false;
+  int64_t best = 0;
+  for (int64_t x = -4; x <= 4; ++x) {
+    for (int64_t y = -4; y <= 4; ++y) {
+      bool ok = true;
+      for (const auto& c : cons) {
+        Rational lhs = c.coeffs[0] * Rational(x) + c.coeffs[1] * Rational(y);
+        if (lhs > c.rhs) ok = false;
+      }
+      if (!ok) continue;
+      int64_t obj = ca * x + cb * y;
+      if (!any || obj > best) best = obj;
+      any = true;
+    }
+  }
+  EXPECT_EQ(r.feasible, any);
+  if (any) {
+    EXPECT_EQ(r.objective, Rational(best));
+    // Returned point satisfies all constraints.
+    for (const auto& c : cons) {
+      Rational lhs =
+          c.coeffs[0] * Rational(r.x[0]) + c.coeffs[1] * Rational(r.x[1]);
+      EXPECT_LE(lhs, c.rhs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpPropertyTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace riot

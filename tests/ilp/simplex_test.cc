@@ -1,0 +1,143 @@
+#include "ilp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace riot {
+namespace {
+
+LpConstraint Make(std::vector<int64_t> coeffs, CmpOp op, int64_t rhs) {
+  return {RVector::FromInts(coeffs), op, Rational(rhs)};
+}
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max x + y s.t. x <= 4, y <= 3, x + y <= 5  ->  5 at e.g. (2,3).
+  std::vector<LpConstraint> cons = {
+      Make({1, 0}, CmpOp::kLe, 4),
+      Make({0, 1}, CmpOp::kLe, 3),
+      Make({1, 1}, CmpOp::kLe, 5),
+  };
+  LpSolution s = SolveLp(2, cons, RVector::FromInts({1, 1}));
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.objective, Rational(5));
+  EXPECT_EQ(s.x[0] + s.x[1], Rational(5));
+}
+
+TEST(SimplexTest, FreeVariablesCanGoNegative) {
+  // max -x s.t. x >= -7  ->  7 at x = -7.
+  std::vector<LpConstraint> cons = {Make({1}, CmpOp::kGe, -7)};
+  LpSolution s = SolveLp(1, cons, RVector::FromInts({-1}));
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.x[0], Rational(-7));
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  std::vector<LpConstraint> cons = {
+      Make({1}, CmpOp::kGe, 3),
+      Make({1}, CmpOp::kLe, 2),
+  };
+  LpSolution s = SolveLp(1, cons, RVector::FromInts({0}));
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+  EXPECT_FALSE(LpFeasible(1, cons));
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  std::vector<LpConstraint> cons = {Make({1}, CmpOp::kGe, 0)};
+  LpSolution s = SolveLp(1, cons, RVector::FromInts({1}));
+  EXPECT_EQ(s.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // max y s.t. x + y == 10, x - y == 2  ->  unique point (6, 4).
+  std::vector<LpConstraint> cons = {
+      Make({1, 1}, CmpOp::kEq, 10),
+      Make({1, -1}, CmpOp::kEq, 2),
+  };
+  LpSolution s = SolveLp(2, cons, RVector::FromInts({0, 1}));
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.x[0], Rational(6));
+  EXPECT_EQ(s.x[1], Rational(4));
+}
+
+TEST(SimplexTest, RationalOptimum) {
+  // max x s.t. 2x <= 3  ->  x = 3/2.
+  std::vector<LpConstraint> cons = {Make({2}, CmpOp::kLe, 3)};
+  LpSolution s = SolveLp(1, cons, RVector::FromInts({1}));
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.x[0], Rational(3, 2));
+}
+
+TEST(SimplexTest, RedundantConstraintsHarmless) {
+  std::vector<LpConstraint> cons = {
+      Make({1, 1}, CmpOp::kLe, 5),
+      Make({1, 1}, CmpOp::kLe, 5),
+      Make({2, 2}, CmpOp::kLe, 10),
+      Make({1, 0}, CmpOp::kGe, 0),
+      Make({0, 1}, CmpOp::kGe, 0),
+  };
+  LpSolution s = SolveLp(2, cons, RVector::FromInts({1, 1}));
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.objective, Rational(5));
+}
+
+TEST(SimplexTest, DegenerateVertexTerminates) {
+  // Multiple constraints meet at the optimum; Bland's rule must not cycle.
+  std::vector<LpConstraint> cons = {
+      Make({1, 1}, CmpOp::kLe, 1),  Make({1, 0}, CmpOp::kLe, 1),
+      Make({0, 1}, CmpOp::kLe, 1),  Make({1, -1}, CmpOp::kLe, 1),
+      Make({-1, 1}, CmpOp::kLe, 1), Make({1, 0}, CmpOp::kGe, 0),
+      Make({0, 1}, CmpOp::kGe, 0),
+  };
+  LpSolution s = SolveLp(2, cons, RVector::FromInts({1, 1}));
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.objective, Rational(1));
+}
+
+// Brute-force cross-check on small integer boxes.
+class SimplexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexPropertyTest, MatchesBruteForceOnBox) {
+  std::srand(static_cast<unsigned>(GetParam()));
+  // Random constraints over [-3, 3]^2 plus box bounds.
+  std::vector<LpConstraint> cons = {
+      Make({1, 0}, CmpOp::kLe, 3),  Make({1, 0}, CmpOp::kGe, -3),
+      Make({0, 1}, CmpOp::kLe, 3),  Make({0, 1}, CmpOp::kGe, -3),
+  };
+  for (int i = 0; i < 3; ++i) {
+    int64_t a = std::rand() % 5 - 2, b = std::rand() % 5 - 2;
+    int64_t r = std::rand() % 7 - 1;
+    cons.push_back(Make({a, b}, CmpOp::kLe, r));
+  }
+  int64_t ca = std::rand() % 5 - 2, cb = std::rand() % 5 - 2;
+  LpSolution s = SolveLp(2, cons, RVector::FromInts({ca, cb}));
+  // Brute force over a fine rational grid (quarters) inside the box.
+  bool any = false;
+  Rational best;
+  for (int xq = -12; xq <= 12; ++xq) {
+    for (int yq = -12; yq <= 12; ++yq) {
+      Rational x(xq, 4), y(yq, 4);
+      bool ok = true;
+      for (const auto& c : cons) {
+        Rational lhs = c.coeffs[0] * x + c.coeffs[1] * y;
+        if (c.op == CmpOp::kLe && lhs > c.rhs) ok = false;
+        if (c.op == CmpOp::kGe && lhs < c.rhs) ok = false;
+      }
+      if (!ok) continue;
+      Rational obj = Rational(ca) * x + Rational(cb) * y;
+      if (!any || obj > best) best = obj;
+      any = true;
+    }
+  }
+  if (s.status == LpStatus::kOptimal) {
+    ASSERT_TRUE(any);
+    // The LP optimum dominates every grid point.
+    EXPECT_GE(s.objective, best);
+  } else if (s.status == LpStatus::kInfeasible) {
+    EXPECT_FALSE(any);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace riot

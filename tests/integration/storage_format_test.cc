@@ -1,0 +1,66 @@
+// End-to-end execution parameterized by storage format: the optimized plan
+// must produce identical results and identical block-level I/O counts on
+// DAF and LAB-tree stores (paper Section 6: the two formats "work virtually
+// identically for dense matrices").
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "exec/verify.h"
+#include "ops/runtime.h"
+#include "ops/workload.h"
+#include "storage/env.h"
+
+namespace riot {
+namespace {
+
+class StorageFormatTest : public ::testing::TestWithParam<StorageFormat> {};
+
+TEST_P(StorageFormatTest, BestPlanRunsIdentically) {
+  Workload w = MakeExample1(3, 3, 2);
+  OptimizationResult r = Optimize(w.program);
+  const Plan& best = r.best();
+  auto env = NewMemEnv();
+
+  auto rt = OpenStores(env.get(), w.program, "/fmt", GetParam());
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  ASSERT_TRUE(InitInputs(w, *rt, 21).ok());
+  std::vector<const CoAccess*> q;
+  for (int oi : best.opportunities) {
+    q.push_back(&r.analysis.sharing[static_cast<size_t>(oi)]);
+  }
+  ExecOptions eo;
+  eo.memory_cap_bytes = best.cost.peak_memory_bytes;
+  Executor ex(w.program, rt->raw(), w.kernels, eo);
+  auto stats = ex.Run(best.schedule, q);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Identical block-level I/O on either format.
+  EXPECT_EQ(stats->bytes_read, best.cost.read_bytes);
+  EXPECT_EQ(stats->bytes_written, best.cost.write_bytes);
+
+  // Reference on DAF; outputs must agree across formats.
+  auto ref = OpenStores(env.get(), w.program, "/ref", StorageFormat::kDaf);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(InitInputs(w, *ref, 21).ok());
+  Executor ex2(w.program, ref->raw(), w.kernels);
+  ASSERT_TRUE(ex2.Run(w.program.original_schedule(), {}).ok());
+  for (int arr : w.output_arrays) {
+    auto diff = MaxAbsDifference(w.program.array(arr),
+                                 ref->stores[static_cast<size_t>(arr)].get(),
+                                 rt->stores[static_cast<size_t>(arr)].get());
+    ASSERT_TRUE(diff.ok());
+    EXPECT_LE(*diff, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, StorageFormatTest,
+                         ::testing::Values(StorageFormat::kDaf,
+                                           StorageFormat::kLabTree),
+                         [](const auto& info) {
+                           return info.param == StorageFormat::kDaf
+                                      ? "Daf"
+                                      : "LabTree";
+                         });
+
+}  // namespace
+}  // namespace riot

@@ -1,0 +1,208 @@
+#include "kernels/dense.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace riot {
+namespace {
+
+std::vector<double> Buf(int64_t rows, int64_t cols, double fill = 0.0) {
+  return std::vector<double>(static_cast<size_t>(rows * cols), fill);
+}
+
+TEST(DenseViewTest, ColumnMajorIndexing) {
+  auto b = Buf(2, 3);
+  DenseView v{b.data(), 2, 3};
+  v.At(1, 2) = 42.0;
+  EXPECT_EQ(b[2 * 2 + 1], 42.0);  // col 2 * rows 2 + row 1
+  EXPECT_EQ(v.elems(), 6);
+}
+
+TEST(DenseKernelTest, AddAndSub) {
+  auto a = Buf(2, 2), b = Buf(2, 2), c = Buf(2, 2);
+  DenseView va{a.data(), 2, 2}, vb{b.data(), 2, 2}, vc{c.data(), 2, 2};
+  for (int i = 0; i < 4; ++i) {
+    a[static_cast<size_t>(i)] = i;
+    b[static_cast<size_t>(i)] = 10 * i;
+  }
+  BlockAdd(va, vb, &vc);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(c[static_cast<size_t>(i)], 11 * i);
+  BlockSub(vb, va, &vc);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(c[static_cast<size_t>(i)], 9 * i);
+}
+
+TEST(DenseKernelTest, GemmKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50], column-major storage.
+  std::vector<double> a = {1, 3, 2, 4};
+  std::vector<double> b = {5, 7, 6, 8};
+  auto c = Buf(2, 2);
+  DenseView va{a.data(), 2, 2}, vb{b.data(), 2, 2}, vc{c.data(), 2, 2};
+  BlockGemm(va, false, vb, false, &vc, /*accumulate=*/false);
+  EXPECT_EQ(vc.At(0, 0), 19);
+  EXPECT_EQ(vc.At(0, 1), 22);
+  EXPECT_EQ(vc.At(1, 0), 43);
+  EXPECT_EQ(vc.At(1, 1), 50);
+}
+
+TEST(DenseKernelTest, GemmAccumulates) {
+  std::vector<double> a = {1, 0, 0, 1};  // identity
+  std::vector<double> b = {1, 2, 3, 4};
+  auto c = Buf(2, 2, /*fill=*/100.0);
+  DenseView va{a.data(), 2, 2}, vb{b.data(), 2, 2}, vc{c.data(), 2, 2};
+  BlockGemm(va, false, vb, false, &vc, /*accumulate=*/true);
+  EXPECT_EQ(vc.At(0, 0), 101);
+  EXPECT_EQ(vc.At(1, 1), 104);
+}
+
+TEST(DenseKernelTest, GemmTransposeFlagsAgreeWithManual) {
+  const int64_t m = 3, k = 4, n = 2;
+  auto a = Buf(m, k);
+  auto b = Buf(k, n);
+  DenseView va{a.data(), m, k}, vb{b.data(), k, n};
+  BlockFillRandom(&va, 1);
+  BlockFillRandom(&vb, 2);
+  // Reference C = A * B.
+  auto cref = Buf(m, n);
+  DenseView vcref{cref.data(), m, n};
+  BlockGemm(va, false, vb, false, &vcref, false);
+  // A^T stored explicitly, then C = (A^T)^T * B must match.
+  auto at = Buf(k, m);
+  DenseView vat{at.data(), k, m};
+  for (int64_t r = 0; r < m; ++r)
+    for (int64_t c = 0; c < k; ++c) vat.At(c, r) = va.At(r, c);
+  auto c1 = Buf(m, n);
+  DenseView vc1{c1.data(), m, n};
+  BlockGemm(vat, true, vb, false, &vc1, false);
+  EXPECT_LE(BlockMaxAbsDiff(vcref, vc1), 1e-12);
+  // B^T stored explicitly, then C = A * (B^T)^T must match.
+  auto bt = Buf(n, k);
+  DenseView vbt{bt.data(), n, k};
+  for (int64_t r = 0; r < k; ++r)
+    for (int64_t c = 0; c < n; ++c) vbt.At(c, r) = vb.At(r, c);
+  auto c2 = Buf(m, n);
+  DenseView vc2{c2.data(), m, n};
+  BlockGemm(va, false, vbt, true, &vc2, false);
+  EXPECT_LE(BlockMaxAbsDiff(vcref, vc2), 1e-12);
+}
+
+TEST(DenseKernelTest, GemmScalarMatchesBlocked) {
+  const int64_t m = 5, k = 7, n = 3;
+  auto a = Buf(m, k), b = Buf(k, n), c1 = Buf(m, n), c2 = Buf(m, n);
+  DenseView va{a.data(), m, k}, vb{b.data(), k, n};
+  DenseView vc1{c1.data(), m, n}, vc2{c2.data(), m, n};
+  BlockFillRandom(&va, 11);
+  BlockFillRandom(&vb, 12);
+  BlockGemm(va, false, vb, false, &vc1, false);
+  BlockGemmScalar(va, false, vb, false, &vc2, false);
+  EXPECT_LE(BlockMaxAbsDiff(vc1, vc2), 1e-12);
+}
+
+TEST(DenseKernelTest, GemmAlphaScaling) {
+  std::vector<double> a = {1, 0, 0, 1};
+  std::vector<double> b = {1, 2, 3, 4};
+  auto c = Buf(2, 2);
+  DenseView va{a.data(), 2, 2}, vb{b.data(), 2, 2}, vc{c.data(), 2, 2};
+  BlockGemm(va, false, vb, false, &vc, false, /*alpha=*/-2.0);
+  EXPECT_EQ(vc.At(0, 0), -2);
+  EXPECT_EQ(vc.At(1, 1), -8);
+}
+
+TEST(DenseKernelTest, InverseRoundTrip) {
+  const int64_t n = 8;
+  auto a = Buf(n, n);
+  DenseView va{a.data(), n, n};
+  BlockFillRandom(&va, 5);
+  for (int64_t i = 0; i < n; ++i) va.At(i, i) += 10.0;  // well-conditioned
+  auto inv = Buf(n, n), prod = Buf(n, n);
+  DenseView vinv{inv.data(), n, n}, vprod{prod.data(), n, n};
+  ASSERT_TRUE(BlockInverse(va, &vinv).ok());
+  BlockGemm(va, false, vinv, false, &vprod, false);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(vprod.At(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(DenseKernelTest, InverseSingularFails) {
+  auto a = Buf(2, 2, 1.0);  // all ones: singular
+  auto out = Buf(2, 2);
+  DenseView va{a.data(), 2, 2}, vout{out.data(), 2, 2};
+  EXPECT_FALSE(BlockInverse(va, &vout).ok());
+}
+
+TEST(DenseKernelTest, InversePivotsCorrectly) {
+  // Zero on the diagonal forces a row swap.
+  std::vector<double> a = {0, 1, 1, 0};  // [[0,1],[1,0]] col-major
+  auto inv = Buf(2, 2);
+  DenseView va{a.data(), 2, 2}, vinv{inv.data(), 2, 2};
+  ASSERT_TRUE(BlockInverse(va, &vinv).ok());
+  EXPECT_NEAR(vinv.At(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(vinv.At(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(vinv.At(0, 0), 0.0, 1e-12);
+}
+
+TEST(DenseKernelTest, SumSquares) {
+  std::vector<double> v = {3, 4};
+  DenseView dv{v.data(), 2, 1};
+  EXPECT_DOUBLE_EQ(BlockSumSquares(dv), 25.0);
+}
+
+TEST(DenseKernelTest, ColumnSumSquares) {
+  // Columns (1,2) and (3,4): sums 5 and 25.
+  std::vector<double> v = {1, 2, 3, 4};
+  DenseView dv{v.data(), 2, 2};
+  double acc[2] = {100.0, 200.0};
+  BlockColumnSumSquares(dv, acc);
+  EXPECT_DOUBLE_EQ(acc[0], 105.0);
+  EXPECT_DOUBLE_EQ(acc[1], 225.0);
+}
+
+TEST(DenseKernelTest, FillRandomDeterministicAndBounded) {
+  auto a = Buf(4, 4), b = Buf(4, 4);
+  DenseView va{a.data(), 4, 4}, vb{b.data(), 4, 4};
+  BlockFillRandom(&va, 123);
+  BlockFillRandom(&vb, 123);
+  EXPECT_EQ(a, b);
+  BlockFillRandom(&vb, 124);
+  EXPECT_NE(a, b);
+  for (double x : a) {
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+// Property sweep over shapes: (A B)^T == B^T A^T.
+class GemmPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmPropertyTest, TransposeOfProduct) {
+  auto [mi, ki, ni] = GetParam();
+  int64_t m = mi, k = ki, n = ni;
+  auto a = Buf(m, k), b = Buf(k, n);
+  DenseView va{a.data(), m, k}, vb{b.data(), k, n};
+  BlockFillRandom(&va, static_cast<uint64_t>(m * 100 + k));
+  BlockFillRandom(&vb, static_cast<uint64_t>(k * 100 + n));
+  auto ab = Buf(m, n);
+  DenseView vab{ab.data(), m, n};
+  BlockGemm(va, false, vb, false, &vab, false);
+  // B^T A^T via transpose flags on the original buffers: result (n x m).
+  auto btat = Buf(n, m);
+  DenseView vbtat{btat.data(), n, m};
+  BlockGemm(vb, true, va, true, &vbtat, false);
+  for (int64_t r = 0; r < m; ++r) {
+    for (int64_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(vab.At(r, c), vbtat.At(c, r), 1e-10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmPropertyTest,
+    ::testing::Combine(::testing::Values(1, 3, 8), ::testing::Values(1, 5),
+                       ::testing::Values(2, 7)));
+
+}  // namespace
+}  // namespace riot

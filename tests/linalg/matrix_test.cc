@@ -1,0 +1,140 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace riot {
+namespace {
+
+RMatrix RandomMatrix(size_t rows, size_t cols, unsigned seed) {
+  std::srand(seed);
+  RMatrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m.At(r, c) = Rational(std::rand() % 11 - 5);
+    }
+  }
+  return m;
+}
+
+TEST(RVectorTest, DotAndArithmetic) {
+  RVector a = RVector::FromInts({1, 2, 3});
+  RVector b = RVector::FromInts({4, -5, 6});
+  EXPECT_EQ(a.Dot(b), Rational(4 - 10 + 18));
+  EXPECT_EQ((a + b)[1], Rational(-3));
+  EXPECT_EQ((a - b)[2], Rational(-3));
+  EXPECT_EQ((a * Rational(2))[0], Rational(2));
+  EXPECT_FALSE(a.IsZero());
+  EXPECT_TRUE(RVector(3).IsZero());
+}
+
+TEST(RMatrixTest, IdentityAndMultiply) {
+  RMatrix i3 = RMatrix::Identity(3);
+  RMatrix m = RandomMatrix(3, 3, 42);
+  EXPECT_EQ(i3 * m, m);
+  EXPECT_EQ(m * i3, m);
+}
+
+TEST(RMatrixTest, TransposeInvolution) {
+  RMatrix m = RandomMatrix(3, 5, 1);
+  EXPECT_EQ(m.Transpose().Transpose(), m);
+}
+
+TEST(RMatrixTest, RankOfIdentity) {
+  EXPECT_EQ(RMatrix::Identity(4).Rank(), 4u);
+}
+
+TEST(RMatrixTest, RankOfDependentRows) {
+  RMatrix m(3, 3);
+  m.SetRow(0, RVector::FromInts({1, 2, 3}));
+  m.SetRow(1, RVector::FromInts({2, 4, 6}));   // 2x row 0
+  m.SetRow(2, RVector::FromInts({0, 1, -1}));
+  EXPECT_EQ(m.Rank(), 2u);
+}
+
+TEST(RMatrixTest, NullSpaceOrthogonalToRows) {
+  RMatrix m(2, 4);
+  m.SetRow(0, RVector::FromInts({1, 2, 0, -1}));
+  m.SetRow(1, RVector::FromInts({0, 1, 1, 1}));
+  auto basis = m.NullSpaceBasis();
+  EXPECT_EQ(basis.size(), 2u);  // 4 - rank 2
+  for (const auto& v : basis) {
+    EXPECT_TRUE(m.Apply(v).IsZero());
+  }
+}
+
+TEST(RMatrixTest, NullSpaceOfEmptyMatrixIsFullSpace) {
+  RMatrix m(0, 3);
+  auto basis = m.NullSpaceBasis();
+  EXPECT_EQ(basis.size(), 3u);
+}
+
+TEST(RMatrixTest, InverseRoundTrip) {
+  RMatrix m(3, 3);
+  m.SetRow(0, RVector::FromInts({2, 1, 0}));
+  m.SetRow(1, RVector::FromInts({1, 3, 1}));
+  m.SetRow(2, RVector::FromInts({0, 1, 2}));
+  auto inv = m.Inverse();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(m * *inv, RMatrix::Identity(3));
+  EXPECT_EQ(*inv * m, RMatrix::Identity(3));
+}
+
+TEST(RMatrixTest, SingularHasNoInverse) {
+  RMatrix m(2, 2);
+  m.SetRow(0, RVector::FromInts({1, 2}));
+  m.SetRow(1, RVector::FromInts({2, 4}));
+  EXPECT_FALSE(m.Inverse().has_value());
+}
+
+TEST(RMatrixTest, SolveConsistentSystem) {
+  RMatrix m(2, 2);
+  m.SetRow(0, RVector::FromInts({1, 1}));
+  m.SetRow(1, RVector::FromInts({1, -1}));
+  auto x = m.Solve(RVector::FromInts({10, 4}));
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], Rational(7));
+  EXPECT_EQ((*x)[1], Rational(3));
+}
+
+TEST(RMatrixTest, SolveInconsistentReturnsNullopt) {
+  RMatrix m(2, 2);
+  m.SetRow(0, RVector::FromInts({1, 1}));
+  m.SetRow(1, RVector::FromInts({2, 2}));
+  EXPECT_FALSE(m.Solve(RVector::FromInts({1, 3})).has_value());
+}
+
+TEST(RMatrixTest, RowSpanContains) {
+  RMatrix m(2, 3);
+  m.SetRow(0, RVector::FromInts({1, 0, 1}));
+  m.SetRow(1, RVector::FromInts({0, 1, 1}));
+  EXPECT_TRUE(m.RowSpanContains(RVector::FromInts({2, 3, 5})));
+  EXPECT_FALSE(m.RowSpanContains(RVector::FromInts({0, 0, 1})));
+  EXPECT_TRUE(m.RowSpanContains(RVector(3)));  // zero vector always in span
+}
+
+// Property sweep: inverse and rank invariants over random square matrices.
+class MatrixPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MatrixPropertyTest, InverseAndRankInvariants) {
+  RMatrix m = RandomMatrix(4, 4, GetParam());
+  auto inv = m.Inverse();
+  if (inv.has_value()) {
+    EXPECT_EQ(m.Rank(), 4u);
+    EXPECT_EQ(m * *inv, RMatrix::Identity(4));
+  } else {
+    EXPECT_LT(m.Rank(), 4u);
+    EXPECT_FALSE(m.NullSpaceBasis().empty());
+  }
+  // rank(M) == rank(M^T)
+  EXPECT_EQ(m.Rank(), m.Transpose().Rank());
+  // rank-nullity
+  EXPECT_EQ(m.Rank() + m.NullSpaceBasis().size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixPropertyTest,
+                         ::testing::Range(0u, 20u));
+
+}  // namespace
+}  // namespace riot

@@ -1,0 +1,171 @@
+// Workload factory tests: paper table shapes, kernel correctness at small
+// scale, and runtime helpers.
+#include "ops/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/verify.h"
+#include "kernels/dense.h"
+#include "ops/runtime.h"
+#include "storage/env.h"
+
+namespace riot {
+namespace {
+
+TEST(WorkloadTest, AddMulMatchesTable2) {
+  Workload w = MakeAddMul(1);  // paper scale
+  const Program& p = w.program;
+  ASSERT_EQ(p.arrays().size(), 5u);
+  // A, B, C: 12x12 blocks of 6000x4000 -> 25.6 GB total each.
+  for (int id : {0, 1, 2}) {
+    const ArrayInfo& a = p.array(id);
+    EXPECT_EQ(a.grid, (std::vector<int64_t>{12, 12}));
+    EXPECT_EQ(a.block_elems, (std::vector<int64_t>{6000, 4000}));
+    EXPECT_NEAR(a.TotalBytes() / 1e9, 27.6, 0.5);  // 25.6 GiB = 27.6 GB
+  }
+  // D: 12x1 of 4000x5000 -> 1.8 GiB; E: 12x1 of 6000x5000 -> 2.7 GiB.
+  EXPECT_EQ(p.array(3).grid, (std::vector<int64_t>{12, 1}));
+  EXPECT_NEAR(p.array(3).TotalBytes() / 1e9, 1.92, 0.05);
+  EXPECT_EQ(p.array(4).grid, (std::vector<int64_t>{12, 1}));
+  EXPECT_NEAR(p.array(4).TotalBytes() / 1e9, 2.88, 0.05);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(WorkloadTest, AddMulTallKeepsTotalsWithTallerBlocks) {
+  Workload w = MakeAddMulTall(1);
+  // Paper Section 6.1 (club plan): block rows 6000 -> 9000; same matrices,
+  // so 8x12 grid of 9000x4000 keeps A's total size.
+  const ArrayInfo& a = w.program.array(0);
+  EXPECT_EQ(a.grid, (std::vector<int64_t>{8, 12}));
+  EXPECT_EQ(a.block_elems, (std::vector<int64_t>{9000, 4000}));
+  EXPECT_EQ(a.TotalBytes(), MakeAddMul(1).program.array(0).TotalBytes());
+}
+
+TEST(WorkloadTest, TwoMatMulMatchesTable3) {
+  Workload wa = MakeTwoMatMul(TwoMatMulConfig::kConfigA, 1);
+  EXPECT_EQ(wa.program.array(0).grid, (std::vector<int64_t>{6, 6}));
+  EXPECT_EQ(wa.program.array(0).block_elems,
+            (std::vector<int64_t>{8000, 7000}));
+  Workload wb = MakeTwoMatMul(TwoMatMulConfig::kConfigB, 1);
+  EXPECT_EQ(wb.program.array(0).grid, (std::vector<int64_t>{18, 6}));
+  EXPECT_EQ(wb.program.array(0).block_elems,
+            (std::vector<int64_t>{2000, 8000}));
+  // Total sizes from Table 3 (GB, decimal), Config B: A 12.8, B 8.4, C 6.4,
+  // D 10.0, E 7.6.
+  EXPECT_NEAR(wb.program.array(0).TotalBytes() / 1e9, 13.8, 1.0);
+  EXPECT_TRUE(wa.program.Validate().ok());
+  EXPECT_TRUE(wb.program.Validate().ok());
+}
+
+TEST(WorkloadTest, LinRegMatchesTable4) {
+  Workload w = MakeLinReg(1);
+  ASSERT_EQ(w.program.statements().size(), 7u);  // 7-step program
+  const ArrayInfo& x = w.program.array(0);
+  EXPECT_EQ(x.grid, (std::vector<int64_t>{25, 1}));
+  EXPECT_EQ(x.block_elems, (std::vector<int64_t>{60000, 4000}));
+  EXPECT_NEAR(x.TotalBytes() / 1e9, 48.0, 1.0);  // 44.7 GiB
+  EXPECT_TRUE(w.program.Validate().ok());
+}
+
+TEST(WorkloadTest, ScaleDividesBlockDims) {
+  Workload w = MakeAddMul(40);
+  EXPECT_EQ(w.program.array(0).block_elems,
+            (std::vector<int64_t>{150, 100}));
+  // Grids are scale-invariant.
+  EXPECT_EQ(w.program.array(0).grid, (std::vector<int64_t>{12, 12}));
+}
+
+TEST(WorkloadTest, LinRegComputesOrdinaryLeastSquares) {
+  // Execute the whole 7-step pipeline at tiny scale and validate the
+  // statistical identities: U = X'X, beta solves U beta = X'Y, and
+  // RSS = ||Y - X beta||^2 per response column.
+  const int64_t scale = 400;  // X blocks 150x10, k=1 response column... 400/400=1
+  Workload w = MakeLinReg(scale);
+  auto env = NewMemEnv();
+  auto rt = OpenStores(env.get(), w.program, "/lr");
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(InitInputs(w, *rt, 17).ok());
+  Executor ex(w.program, rt->raw(), w.kernels);
+  auto stats = ex.Run(w.program.original_schedule(), {});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  const ArrayInfo& xi = w.program.array(0);
+  const ArrayInfo& yi = w.program.array(1);
+  auto x = ReadWholeArray(xi, rt->stores[0].get()).ValueOrDie();
+  auto y = ReadWholeArray(yi, rt->stores[1].get()).ValueOrDie();
+  auto beta =
+      ReadWholeArray(w.program.array(5), rt->stores[5].get()).ValueOrDie();
+  auto rss =
+      ReadWholeArray(w.program.array(8), rt->stores[8].get()).ValueOrDie();
+
+  const int64_t m = xi.block_elems[1];        // predictors
+  const int64_t kcols = yi.block_elems[1];    // responses
+  const int64_t rows_per_block = xi.block_elems[0];
+  const int64_t nb = xi.grid[0];
+  // Normal equations residual: X'(Y - X beta) should be ~0.
+  std::vector<double> resid(static_cast<size_t>(m * kcols), 0.0);
+  for (int64_t b = 0; b < nb; ++b) {
+    const double* xb = x.data() + b * xi.ElemsPerBlock();
+    const double* yb = y.data() + b * yi.ElemsPerBlock();
+    for (int64_t r = 0; r < rows_per_block; ++r) {
+      for (int64_t c = 0; c < kcols; ++c) {
+        double e = yb[c * rows_per_block + r];
+        for (int64_t f = 0; f < m; ++f) {
+          e -= xb[f * rows_per_block + r] * beta[static_cast<size_t>(c * m + f)];
+        }
+        for (int64_t f = 0; f < m; ++f) {
+          resid[static_cast<size_t>(c * m + f)] +=
+              xb[f * rows_per_block + r] * e;
+        }
+      }
+    }
+  }
+  for (double v : resid) EXPECT_NEAR(v, 0.0, 1e-6);
+  // RSS equals the residual sum of squares.
+  for (int64_t c = 0; c < kcols; ++c) {
+    double expect = 0.0;
+    for (int64_t b = 0; b < nb; ++b) {
+      const double* xb = x.data() + b * xi.ElemsPerBlock();
+      const double* yb = y.data() + b * yi.ElemsPerBlock();
+      for (int64_t r = 0; r < rows_per_block; ++r) {
+        double e = yb[c * rows_per_block + r];
+        for (int64_t f = 0; f < m; ++f) {
+          e -= xb[f * rows_per_block + r] * beta[static_cast<size_t>(c * m + f)];
+        }
+        expect += e * e;
+      }
+    }
+    EXPECT_NEAR(rss[static_cast<size_t>(c)], expect,
+                1e-6 * std::max(1.0, expect));
+  }
+}
+
+TEST(RuntimeTest, ZeroArrayZeroes) {
+  ArrayInfo info;
+  info.name = "Z";
+  info.grid = {2, 2};
+  info.block_elems = {4, 4};
+  auto env = NewMemEnv();
+  auto store = OpenDaf(env.get(), "/z", info.BlockBytes(), info.NumBlocks());
+  ASSERT_TRUE(ZeroArray(info, store->get()).ok());
+  auto all = ReadWholeArray(info, store->get()).ValueOrDie();
+  for (double v : all) EXPECT_EQ(v, 0.0);
+}
+
+TEST(RuntimeTest, InitInputsDeterministic) {
+  Workload w = MakeExample1(2, 2, 1);
+  auto env = NewMemEnv();
+  auto rt1 = OpenStores(env.get(), w.program, "/a");
+  auto rt2 = OpenStores(env.get(), w.program, "/b");
+  ASSERT_TRUE(InitInputs(w, *rt1, 9).ok());
+  ASSERT_TRUE(InitInputs(w, *rt2, 9).ok());
+  for (int arr : w.input_arrays) {
+    auto d = MaxAbsDifference(w.program.array(arr),
+                              rt1->stores[static_cast<size_t>(arr)].get(),
+                              rt2->stores[static_cast<size_t>(arr)].get());
+    EXPECT_EQ(*d, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace riot

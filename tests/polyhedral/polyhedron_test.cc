@@ -1,0 +1,193 @@
+#include "polyhedral/polyhedron.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace riot {
+namespace {
+
+Polyhedron Box2D(int64_t lo0, int64_t hi0, int64_t lo1, int64_t hi1) {
+  Polyhedron p(2, {"x", "y"});
+  p.AddVarBounds(0, lo0, hi0);
+  p.AddVarBounds(1, lo1, hi1);
+  return p;
+}
+
+TEST(PolyhedronTest, ContainsRespectsConstraints) {
+  Polyhedron p = Box2D(0, 3, 0, 2);
+  EXPECT_TRUE(p.Contains({0, 0}));
+  EXPECT_TRUE(p.Contains({3, 2}));
+  EXPECT_FALSE(p.Contains({4, 0}));
+  EXPECT_FALSE(p.Contains({0, -1}));
+}
+
+TEST(PolyhedronTest, EmptinessRational) {
+  Polyhedron p(1);
+  p.AddVarBounds(0, 3, 2);  // 3 <= x <= 2
+  EXPECT_TRUE(p.IsEmptyRational());
+  EXPECT_TRUE(p.IsEmptyInteger());
+}
+
+TEST(PolyhedronTest, IntegerEmptyButRationalNonempty) {
+  // 1/3 <= x <= 2/3.
+  Polyhedron p(1);
+  p.AddGe(RVector::FromInts({3}), Rational(-1));   // 3x - 1 >= 0
+  p.AddGe(RVector::FromInts({-3}), Rational(2));   // -3x + 2 >= 0
+  EXPECT_FALSE(p.IsEmptyRational());
+  EXPECT_TRUE(p.IsEmptyInteger());
+}
+
+TEST(PolyhedronTest, EnumerateBox) {
+  Polyhedron p = Box2D(0, 2, 1, 2);
+  auto pts = p.EnumerateIntegerPoints();
+  EXPECT_EQ(pts.size(), 6u);
+  // Lexicographic order.
+  EXPECT_EQ(pts.front(), (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(pts.back(), (std::vector<int64_t>{2, 2}));
+}
+
+TEST(PolyhedronTest, EnumerateTriangle) {
+  // x >= 0, y >= 0, x + y <= 3: 10 points.
+  Polyhedron p(2);
+  p.AddGe(RVector::FromInts({1, 0}), Rational(0));
+  p.AddGe(RVector::FromInts({0, 1}), Rational(0));
+  p.AddGe(RVector::FromInts({-1, -1}), Rational(3));
+  EXPECT_EQ(p.EnumerateIntegerPoints().size(), 10u);
+}
+
+TEST(PolyhedronTest, EnumerateWithEquality) {
+  Polyhedron p = Box2D(0, 5, 0, 5);
+  RVector diag = RVector::FromInts({1, -1});
+  p.AddEq(std::move(diag), Rational(0));  // x == y
+  auto pts = p.EnumerateIntegerPoints();
+  EXPECT_EQ(pts.size(), 6u);
+  for (const auto& pt : pts) EXPECT_EQ(pt[0], pt[1]);
+}
+
+TEST(PolyhedronTest, ForEachEarlyStop) {
+  Polyhedron p = Box2D(0, 9, 0, 9);
+  int count = 0;
+  p.ForEachIntegerPoint([&](const std::vector<int64_t>&) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(PolyhedronTest, VarBounds) {
+  Polyhedron p = Box2D(-2, 7, 3, 3);
+  auto b0 = p.IntegerVarBounds(0);
+  ASSERT_TRUE(b0.has_value());
+  EXPECT_EQ(b0->first, -2);
+  EXPECT_EQ(b0->second, 7);
+  auto b1 = p.IntegerVarBounds(1);
+  EXPECT_EQ(b1->first, 3);
+  EXPECT_EQ(b1->second, 3);
+}
+
+TEST(PolyhedronTest, FourierMotzkinProjection) {
+  // Project {0<=x<=3, 0<=y<=2, x+y<=4} onto x: still 0..3.
+  Polyhedron p = Box2D(0, 3, 0, 2);
+  p.AddGe(RVector::FromInts({-1, -1}), Rational(4));
+  Polyhedron q = p.EliminateVar(1);
+  EXPECT_EQ(q.dim(), 1u);
+  auto b = q.IntegerVarBounds(0);
+  EXPECT_EQ(b->first, 0);
+  EXPECT_EQ(b->second, 3);
+}
+
+TEST(PolyhedronTest, ProjectionSoundAndTight) {
+  // Projection of an integer polyhedron contains exactly the shadows of
+  // its rational points; verify against enumeration on a skewed body.
+  Polyhedron p(2);
+  p.AddGe(RVector::FromInts({2, -1}), Rational(0));   // 2x >= y
+  p.AddGe(RVector::FromInts({-1, 2}), Rational(0));   // 2y >= x
+  p.AddGe(RVector::FromInts({-1, -1}), Rational(6));  // x + y <= 6
+  std::set<int64_t> shadow;
+  for (const auto& pt : p.EnumerateIntegerPoints()) shadow.insert(pt[0]);
+  Polyhedron q = p.EliminateVar(1);
+  for (int64_t x = -5; x <= 10; ++x) {
+    if (shadow.count(x)) {
+      EXPECT_TRUE(q.Contains({x})) << "lost shadow point " << x;
+    }
+  }
+}
+
+TEST(PolyhedronTest, SubstituteVar) {
+  Polyhedron p = Box2D(0, 3, 0, 2);
+  Polyhedron q = p.SubstituteVar(0, 2);
+  EXPECT_EQ(q.dim(), 1u);
+  EXPECT_FALSE(q.IsEmptyInteger());
+  Polyhedron r = p.SubstituteVar(0, 9);  // outside x range
+  EXPECT_TRUE(r.IsEmptyRational());
+}
+
+TEST(PolyhedronTest, IntersectConjunction) {
+  Polyhedron a = Box2D(0, 5, 0, 5);
+  Polyhedron b = Box2D(3, 9, 3, 9);
+  Polyhedron c = a.Intersect(b);
+  EXPECT_EQ(c.EnumerateIntegerPoints().size(), 9u);  // [3,5]^2
+}
+
+TEST(PolyhedronTest, ProductSpace) {
+  Polyhedron a(1);
+  a.AddVarBounds(0, 0, 1);
+  Polyhedron b(2);
+  b.AddVarBounds(0, 0, 1);
+  b.AddVarBounds(1, 0, 1);
+  Polyhedron prod = Polyhedron::ProductSpace(a, b);
+  EXPECT_EQ(prod.dim(), 3u);
+  EXPECT_EQ(prod.EnumerateIntegerPoints().size(), 8u);
+}
+
+TEST(PolyhedronUnionTest, MembershipAndEnumeration) {
+  PolyhedronUnion u(1);
+  Polyhedron a(1), b(1);
+  a.AddVarBounds(0, 0, 2);
+  b.AddVarBounds(0, 2, 4);
+  u.Add(a);
+  u.Add(b);
+  EXPECT_TRUE(u.Contains({0}));
+  EXPECT_TRUE(u.Contains({4}));
+  EXPECT_FALSE(u.Contains({5}));
+  EXPECT_EQ(u.EnumerateIntegerPoints().size(), 5u);  // dedup at x=2
+  EXPECT_FALSE(u.IsEmptyInteger());
+}
+
+TEST(LexLessTest, OrdersInstancesOfOneLoop) {
+  // One statement, schedule Theta x = (x): x lex< y iff x < y.
+  Polyhedron space(2);
+  space.AddVarBounds(0, 0, 3);
+  space.AddVarBounds(1, 0, 3);
+  RMatrix theta(1, 2);
+  theta.At(0, 0) = Rational(1);  // coeff on the single iter var; last col const
+  PolyhedronUnion lex = LexLess(space, theta, 0, 1, theta, 1, 1);
+  for (int64_t x = 0; x <= 3; ++x) {
+    for (int64_t y = 0; y <= 3; ++y) {
+      EXPECT_EQ(lex.Contains({x, y}), x < y) << x << "," << y;
+    }
+  }
+}
+
+TEST(LexLessTest, TwoDimensionalTime) {
+  // Theta (i,j) = (i, j): lexicographic order on pairs.
+  Polyhedron space(4);
+  for (size_t d = 0; d < 4; ++d) space.AddVarBounds(d, 0, 2);
+  RMatrix theta(2, 3);
+  theta.At(0, 0) = Rational(1);
+  theta.At(1, 1) = Rational(1);
+  PolyhedronUnion lex = LexLess(space, theta, 0, 2, theta, 2, 2);
+  int count = 0;
+  for (int64_t a = 0; a <= 2; ++a)
+    for (int64_t b = 0; b <= 2; ++b)
+      for (int64_t c = 0; c <= 2; ++c)
+        for (int64_t d = 0; d <= 2; ++d) {
+          bool expect = a < c || (a == c && b < d);
+          EXPECT_EQ(lex.Contains({a, b, c, d}), expect);
+          count += expect;
+        }
+  EXPECT_EQ(count, 36);  // C(9,2) ordered pairs
+}
+
+}  // namespace
+}  // namespace riot

@@ -1,0 +1,165 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace riot {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    auto s = OpenDaf(env_.get(), "/s", kBlock, 64);
+    ASSERT_TRUE(s.ok());
+    store_ = std::move(s).ValueOrDie();
+    // Pre-populate blocks with recognizable bytes.
+    std::vector<uint8_t> buf(kBlock);
+    for (int64_t b = 0; b < 64; ++b) {
+      std::fill(buf.begin(), buf.end(), static_cast<uint8_t>(b));
+      ASSERT_TRUE(store_->WriteBlock(b, buf.data()).ok());
+    }
+  }
+
+  static constexpr int64_t kBlock = 128;
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<BlockStore> store_;
+};
+
+TEST_F(BufferPoolTest, FetchLoadsFromStore) {
+  BufferPool pool(1024);
+  auto f = pool.Fetch(0, 7, kBlock, store_.get(), /*load=*/true);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->data[0], 7);
+  EXPECT_EQ(pool.stats().misses, 1);
+  pool.Unpin(*f);
+}
+
+TEST_F(BufferPoolTest, SecondFetchHits) {
+  BufferPool pool(1024);
+  auto f1 = pool.Fetch(0, 3, kBlock, store_.get(), true);
+  pool.Unpin(*f1);
+  auto f2 = pool.Fetch(0, 3, kBlock, store_.get(), true);
+  EXPECT_EQ(pool.stats().hits, 1);
+  EXPECT_EQ(*f1, *f2);  // same frame
+  pool.Unpin(*f2);
+}
+
+TEST_F(BufferPoolTest, CapTriggersLruEviction) {
+  BufferPool pool(3 * kBlock);
+  for (int64_t b = 0; b < 3; ++b) {
+    auto f = pool.Fetch(0, b, kBlock, store_.get(), true);
+    pool.Unpin(*f);
+  }
+  EXPECT_EQ(pool.used_bytes(), 3 * kBlock);
+  auto f = pool.Fetch(0, 3, kBlock, store_.get(), true);
+  pool.Unpin(*f);
+  EXPECT_EQ(pool.stats().evictions, 1);
+  EXPECT_EQ(pool.used_bytes(), 3 * kBlock);
+  // Block 0 was least recently used; re-fetching it must miss.
+  auto f0 = pool.Fetch(0, 0, kBlock, store_.get(), true);
+  EXPECT_EQ(pool.stats().misses, 5);
+  pool.Unpin(*f0);
+}
+
+TEST_F(BufferPoolTest, PinnedFramesAreNotEvicted) {
+  BufferPool pool(2 * kBlock);
+  auto pinned = pool.Fetch(0, 0, kBlock, store_.get(), true);
+  auto f1 = pool.Fetch(0, 1, kBlock, store_.get(), true);
+  pool.Unpin(*f1);
+  // Fetching a third block must evict block 1, not the pinned block 0.
+  auto f2 = pool.Fetch(0, 2, kBlock, store_.get(), true);
+  pool.Unpin(*f2);
+  EXPECT_EQ(pool.Probe(0, 0), *pinned);
+  EXPECT_EQ(pool.Probe(0, 1), nullptr);
+  pool.Unpin(*pinned);
+}
+
+TEST_F(BufferPoolTest, AllPinnedExhaustsPool) {
+  BufferPool pool(2 * kBlock);
+  auto a = pool.Fetch(0, 0, kBlock, store_.get(), true);
+  auto b = pool.Fetch(0, 1, kBlock, store_.get(), true);
+  auto c = pool.Fetch(0, 2, kBlock, store_.get(), true);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  pool.Unpin(*a);
+  pool.Unpin(*b);
+}
+
+TEST_F(BufferPoolTest, RetainedFramesSurviveEviction) {
+  BufferPool pool(2 * kBlock);
+  auto a = pool.Fetch(0, 0, kBlock, store_.get(), true);
+  pool.Retain(*a, /*until_group=*/5);
+  pool.Unpin(*a);
+  auto b = pool.Fetch(0, 1, kBlock, store_.get(), true);
+  pool.Unpin(*b);
+  auto c = pool.Fetch(0, 2, kBlock, store_.get(), true);  // evicts 1, not 0
+  pool.Unpin(*c);
+  EXPECT_NE(pool.Probe(0, 0), nullptr);
+  EXPECT_EQ(pool.Probe(0, 1), nullptr);
+  // After the retention expires it becomes evictable.
+  pool.ReleaseRetainedBefore(/*group=*/6);
+  auto d = pool.Fetch(0, 3, kBlock, store_.get(), true);
+  pool.Unpin(*d);
+  EXPECT_EQ(pool.Probe(0, 0), nullptr);
+}
+
+TEST_F(BufferPoolTest, ReleaseRespectsGroupBoundary) {
+  BufferPool pool(8 * kBlock);
+  auto a = pool.Fetch(0, 0, kBlock, store_.get(), true);
+  pool.Retain(*a, 5);
+  pool.Unpin(*a);
+  pool.ReleaseRetainedBefore(5);  // group 5 not finished yet
+  EXPECT_GE((*a)->retain_until_group, 0);
+  pool.ReleaseRetainedBefore(6);
+  EXPECT_EQ((*a)->retain_until_group, -1);
+}
+
+TEST_F(BufferPoolTest, DirtyEvictionWritesBack) {
+  BufferPool pool(1 * kBlock);
+  auto a = pool.Fetch(0, 9, kBlock, store_.get(), true);
+  (*a)->data[0] = 0xEE;
+  (*a)->dirty = true;
+  pool.Unpin(*a);
+  auto b = pool.Fetch(0, 10, kBlock, store_.get(), true);  // evicts 9
+  pool.Unpin(*b);
+  EXPECT_EQ(pool.stats().dirty_writebacks, 1);
+  std::vector<uint8_t> buf(kBlock);
+  ASSERT_TRUE(store_->ReadBlock(9, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0xEE);
+}
+
+TEST_F(BufferPoolTest, PinnedOrRetainedBytes) {
+  BufferPool pool(8 * kBlock);
+  auto a = pool.Fetch(0, 0, kBlock, store_.get(), true);   // pinned
+  auto b = pool.Fetch(0, 1, kBlock, store_.get(), true);
+  pool.Retain(*b, 3);
+  pool.Unpin(*b);                                          // retained only
+  auto c = pool.Fetch(0, 2, kBlock, store_.get(), true);
+  pool.Unpin(*c);                                          // neither
+  EXPECT_EQ(pool.PinnedOrRetainedBytes(), 2 * kBlock);
+  EXPECT_EQ(pool.used_bytes(), 3 * kBlock);
+  pool.Unpin(*a);
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesDirtyAndClears) {
+  BufferPool pool(4 * kBlock);
+  auto a = pool.Fetch(0, 4, kBlock, store_.get(), true);
+  (*a)->data[0] = 0x77;
+  (*a)->dirty = true;
+  pool.Unpin(*a);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.used_bytes(), 0);
+  std::vector<uint8_t> buf(kBlock);
+  ASSERT_TRUE(store_->ReadBlock(4, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0x77);
+}
+
+TEST_F(BufferPoolTest, FetchWithoutLoadZeroes) {
+  BufferPool pool(4 * kBlock);
+  auto a = pool.Fetch(0, 0, kBlock, store_.get(), /*load=*/false);
+  EXPECT_EQ((*a)->data[0], 0);
+  pool.Unpin(*a);
+}
+
+}  // namespace
+}  // namespace riot

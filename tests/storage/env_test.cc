@@ -1,0 +1,102 @@
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+namespace riot {
+namespace {
+
+void RoundTrip(Env* env, const std::string& path) {
+  auto file = env->OpenFile(path, /*create=*/true);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  const char msg[] = "hello block storage";
+  ASSERT_TRUE((*file)->Write(100, sizeof(msg), msg).ok());
+  char buf[sizeof(msg)] = {};
+  ASSERT_TRUE((*file)->Read(100, sizeof(msg), buf).ok());
+  EXPECT_STREQ(buf, msg);
+  auto size = (*file)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 100 + sizeof(msg));
+}
+
+TEST(MemEnvTest, ReadWriteRoundTrip) {
+  auto env = NewMemEnv();
+  RoundTrip(env.get(), "/x/y");
+  EXPECT_TRUE(env->FileExists("/x/y"));
+  EXPECT_FALSE(env->FileExists("/x/z"));
+  EXPECT_TRUE(env->DeleteFile("/x/y").ok());
+  EXPECT_FALSE(env->FileExists("/x/y"));
+}
+
+TEST(MemEnvTest, OpenMissingWithoutCreateFails) {
+  auto env = NewMemEnv();
+  auto f = env->OpenFile("/missing", /*create=*/false);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MemEnvTest, ReadPastEndFails) {
+  auto env = NewMemEnv();
+  auto f = env->OpenFile("/f", true);
+  char b[16];
+  EXPECT_FALSE((*f)->Read(0, 16, b).ok());
+}
+
+TEST(MemEnvTest, StatsCountBytesAndOps) {
+  auto env = NewMemEnv();
+  auto f = env->OpenFile("/f", true);
+  char buf[64] = {};
+  ASSERT_TRUE((*f)->Write(0, 64, buf).ok());
+  ASSERT_TRUE((*f)->Read(0, 32, buf).ok());
+  EXPECT_EQ(env->stats().bytes_written.load(), 64);
+  EXPECT_EQ(env->stats().bytes_read.load(), 32);
+  EXPECT_EQ(env->stats().write_ops.load(), 1);
+  EXPECT_EQ(env->stats().read_ops.load(), 1);
+  env->stats().Reset();
+  EXPECT_EQ(env->stats().bytes_written.load(), 0);
+}
+
+TEST(PosixEnvTest, ReadWriteRoundTrip) {
+  auto env = NewPosixEnv();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "riot_env_test.bin").string();
+  env->DeleteFile(path).CheckOK();
+  RoundTrip(env.get(), path);
+  EXPECT_TRUE(env->FileExists(path));
+  EXPECT_TRUE(env->DeleteFile(path).ok());
+}
+
+TEST(ThrottledEnvTest, AccruesModeledSeconds) {
+  auto mem = NewMemEnv();
+  // 1 MB/s read, 0.5 MB/s write, no per-request overhead.
+  auto env = NewThrottledEnv(mem.get(), 1.0, 0.5, 0.0);
+  auto f = env->OpenFile("/f", true);
+  std::vector<char> mb(1000000);
+  ASSERT_TRUE((*f)->Write(0, mb.size(), mb.data()).ok());
+  ASSERT_TRUE((*f)->Read(0, mb.size(), mb.data()).ok());
+  // 1 MB write at 0.5 MB/s = 2 s; 1 MB read at 1 MB/s = 1 s.
+  EXPECT_NEAR(env->stats().modeled_seconds.load(), 3.0, 1e-9);
+}
+
+TEST(ThrottledEnvTest, PerRequestOverhead) {
+  auto mem = NewMemEnv();
+  auto env = NewThrottledEnv(mem.get(), 1e9, 1e9, /*per_request_ms=*/10.0);
+  auto f = env->OpenFile("/f", true);
+  char b[8] = {};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*f)->Write(0, 8, b).ok());
+  }
+  EXPECT_NEAR(env->stats().modeled_seconds.load(), 0.05, 1e-6);
+}
+
+TEST(IoStatsTest, ModelSecondsUsesPaperRates) {
+  IoStats s;
+  s.bytes_read = 96 * 1000000;   // 1 second at 96 MB/s
+  s.bytes_written = 60 * 1000000;  // 1 second at 60 MB/s
+  EXPECT_NEAR(s.ModelSeconds(96.0, 60.0), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace riot

@@ -1,0 +1,91 @@
+// Failure injection: I/O errors must propagate cleanly (as Status) through
+// every layer — block stores, buffer pool, executor — never crash or
+// corrupt.
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "ops/runtime.h"
+#include "ops/workload.h"
+#include "storage/block_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/env.h"
+
+namespace riot {
+namespace {
+
+TEST(FaultInjectionTest, StoreSurfacesInjectedErrors) {
+  auto mem = NewMemEnv();
+  auto env = NewFaultyEnv(mem.get(), /*fail_after_ops=*/3);
+  auto store = OpenDaf(env.get(), "/f", 64, 8);
+  std::vector<uint8_t> buf(64);
+  EXPECT_TRUE((*store)->WriteBlock(0, buf.data()).ok());
+  EXPECT_TRUE((*store)->WriteBlock(1, buf.data()).ok());
+  EXPECT_TRUE((*store)->ReadBlock(0, buf.data()).ok());
+  auto st = (*store)->ReadBlock(1, buf.data());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, BufferPoolPropagatesLoadFailure) {
+  auto mem = NewMemEnv();
+  {
+    auto pre = OpenDaf(mem.get(), "/f", 64, 8);
+    std::vector<uint8_t> buf(64);
+    ASSERT_TRUE((*pre)->WriteBlock(0, buf.data()).ok());
+  }
+  auto env = NewFaultyEnv(mem.get(), 0);  // fail immediately
+  auto store = OpenDaf(env.get(), "/f", 64, 8);
+  BufferPool pool(1024);
+  auto f = pool.Fetch(0, 0, 64, store->get(), /*load=*/true);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kIoError);
+  // The pool must not leak a half-constructed frame.
+  EXPECT_EQ(pool.Probe(0, 0), nullptr);
+}
+
+TEST(FaultInjectionTest, ExecutorReturnsErrorMidPlan) {
+  Workload w = MakeExample1(2, 2, 1);
+  auto mem = NewMemEnv();
+  // Initialize inputs through the healthy env, then run through a faulty
+  // wrapper that dies partway into execution.
+  {
+    auto rt = OpenStores(mem.get(), w.program, "/d");
+    ASSERT_TRUE(rt.ok());
+    ASSERT_TRUE(InitInputs(w, *rt, 5).ok());
+  }
+  auto env = NewFaultyEnv(mem.get(), /*fail_after_ops=*/7);
+  auto rt = OpenStores(env.get(), w.program, "/d");
+  ASSERT_TRUE(rt.ok());
+  Executor ex(w.program, rt->raw(), w.kernels);
+  auto stats = ex.Run(w.program.original_schedule(), {});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, LabTreeOpenRejectsCorruptHeader) {
+  auto env = NewMemEnv();
+  {
+    auto f = env->OpenFile("/t", true);
+    const char garbage[64] = "not a labtree";
+    ASSERT_TRUE((*f)->Write(0, sizeof(garbage), garbage).ok());
+  }
+  auto store = OpenLabTree(env.get(), "/t", 64);
+  EXPECT_FALSE(store.ok());
+}
+
+TEST(FaultInjectionTest, LabTreeRejectsBlockSizeMismatch) {
+  auto env = NewMemEnv();
+  {
+    auto store = OpenLabTree(env.get(), "/t", 128);
+    std::vector<uint8_t> buf(128);
+    ASSERT_TRUE((*store)->WriteBlock(0, buf.data()).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto reopened = OpenLabTree(env.get(), "/t", 256);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace riot
