@@ -8,6 +8,9 @@
 #include <filesystem>
 #include <vector>
 
+#include "exec/executor.h"
+#include "ops/runtime.h"
+#include "ops/workload.h"
 #include "storage/block_store.h"
 #include "storage/env.h"
 
@@ -55,10 +58,63 @@ void Run() {
   std::filesystem::remove_all(dir, ec);
 }
 
+// Schedule-driven prefetch: the optimizer knows the plan's exact future
+// block-access sequence, so the executor can overlap disk time with kernel
+// time deterministically. Run the 2mm workload against a ThrottledEnv that
+// physically blocks per request and sweep the pipeline depth.
+void RunPipelineOverlap() {
+  std::printf("\n=== compute/I-O overlap: 2mm on a physically throttled "
+              "disk, pipeline depth sweep ===\n");
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigA, /*scale=*/1000);
+  // The scaled blocks are tiny; give kernels paper-shaped compute weight.
+  for (auto& kernel : w.kernels) {
+    StatementKernel inner = kernel;
+    kernel = [inner](const std::vector<int64_t>& iter,
+                     const std::vector<DenseView*>& views) {
+      inner(iter, views);
+      auto t0 = std::chrono::steady_clock::now();
+      volatile double sink = 0.0;
+      while (std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count() < 300e-6) {
+        sink = sink + 1.0;
+      }
+    };
+  }
+  auto mem = NewMemEnv();
+  auto disk = NewThrottledEnv(mem.get(), /*read=*/1e6, /*write=*/1e6,
+                              /*per_request_ms=*/0.15, /*sleep_scale=*/1.0);
+  std::printf("%6s %9s %9s %9s %9s %10s %8s\n", "depth", "wall(s)",
+              "io(s)", "cpu(s)", "overlap", "hits", "wasted");
+  double sync_wall = 0.0;
+  for (int depth : {0, 1, 2, 4}) {
+    auto rt = OpenStores(disk.get(), w.program,
+                         "/pipe" + std::to_string(depth));
+    rt.status().CheckOK();
+    InitInputs(w, *rt, /*seed=*/42).CheckOK();
+    ExecOptions opts;
+    opts.pipeline_depth = depth;
+    Executor ex(w.program, rt->raw(), w.kernels, opts);
+    auto stats = ex.Run(w.program.original_schedule(), {});
+    stats.status().CheckOK();
+    if (depth == 0) sync_wall = stats->wall_seconds;
+    std::printf("%6d %9.3f %9.3f %9.3f %9.3f %10lld %8lld   (%.2fx)\n",
+                depth, stats->wall_seconds, stats->io_seconds,
+                stats->compute_seconds, stats->overlap_seconds,
+                static_cast<long long>(stats->prefetch_hits),
+                static_cast<long long>(stats->prefetch_wasted),
+                sync_wall / stats->wall_seconds);
+  }
+  std::printf("(depth 0 = synchronous engine: io and cpu strictly add; "
+              "depth >= 1 prefetches the access script ahead of the "
+              "kernels, so wall < io + cpu)\n");
+}
+
 }  // namespace
 }  // namespace riot
 
 int main() {
   riot::Run();
+  riot::RunPipelineOverlap();
   return 0;
 }

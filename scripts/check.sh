@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification matrix: build + ctest in Debug and Release, mirroring
+# .github/workflows/ci.yml for machines without Actions.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+for build_type in Debug Release; do
+  dir="build-${build_type,,}"
+  echo "=== ${build_type} ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE="${build_type}"
+  cmake --build "${dir}" -j "${jobs}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+done
+echo "All checks passed."

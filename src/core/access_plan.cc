@@ -1,0 +1,79 @@
+#include "core/access_plan.h"
+
+#include <map>
+#include <tuple>
+
+#include "util/logging.h"
+
+namespace riot {
+
+AccessScript BuildAccessScript(const Program& program,
+                               const RealizedPlan& rp) {
+  AccessScript script;
+  script.num_groups = rp.num_groups;
+  script.per_pos.resize(rp.order.size());
+
+  // Retention lookup: (source position, array, block) -> furthest end group.
+  std::map<std::tuple<size_t, int, int64_t>, size_t> retain_at;
+  for (const auto& span : rp.spans) {
+    auto key = std::make_tuple(span.begin_pos, span.array_id, span.block);
+    auto it = retain_at.find(key);
+    if (it == retain_at.end() || it->second < span.end_group) {
+      retain_at[key] = span.end_group;
+    }
+  }
+
+  // Latest write position so far per (array, block), for read dep_pos.
+  std::map<std::pair<int, int64_t>, size_t> last_write;
+
+  for (size_t pos = 0; pos < rp.order.size(); ++pos) {
+    const auto& inst = rp.order[pos];
+    const Statement& st = program.statement(inst.stmt_id);
+    script.per_pos[pos].first = static_cast<uint32_t>(script.records.size());
+    int64_t inst_bytes = 0;
+    // Reads first, then the write — the engine's fetch order (a read may
+    // populate the frame the write access aliases).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t ai = 0; ai < st.accesses.size(); ++ai) {
+        const Access& a = st.accesses[ai];
+        if ((pass == 0) != (a.type == AccessType::kRead)) continue;
+        if (!a.ActiveAt(inst.iter)) continue;
+        const ArrayInfo& arr = program.array(a.array_id);
+        BlockAccessRecord rec;
+        rec.pos = pos;
+        rec.group = rp.group_of[pos];
+        rec.stmt_id = inst.stmt_id;
+        rec.access_idx = static_cast<int>(ai);
+        rec.array_id = a.array_id;
+        rec.block = arr.LinearBlockIndex(a.BlockAt(inst.iter));
+        rec.bytes = arr.BlockBytes();
+        rec.type = a.type;
+        AccessInstanceKey key{inst.stmt_id, inst.iter, rec.access_idx};
+        if (a.type == AccessType::kRead) {
+          rec.saved = rp.saved_reads.count(key) > 0;
+          auto w = last_write.find({rec.array_id, rec.block});
+          if (w != last_write.end()) {
+            rec.dep_pos = static_cast<int64_t>(w->second);
+          }
+        } else {
+          rec.saved = rp.saved_writes.count(key) > 0 ||
+                      rp.elided_writes.count(key) > 0;
+          last_write[{rec.array_id, rec.block}] = pos;
+        }
+        auto rit = retain_at.find(std::make_tuple(pos, rec.array_id,
+                                                  rec.block));
+        if (rit != retain_at.end()) {
+          rec.retain_until_group = static_cast<int64_t>(rit->second);
+        }
+        inst_bytes += rec.bytes;
+        script.records.push_back(rec);
+      }
+    }
+    script.per_pos[pos].second = static_cast<uint32_t>(script.records.size());
+    script.max_instance_bytes =
+        std::max(script.max_instance_bytes, inst_bytes);
+  }
+  return script;
+}
+
+}  // namespace riot

@@ -1,0 +1,64 @@
+// Block access script: the fully lowered, explicit per-instance sequence of
+// block accesses a realized plan performs. The optimizer knows the exact
+// future block-access order of a plan (the paper's central premise); this
+// module turns that foreknowledge into a flat script the execution engine
+// interprets and a prefetcher can walk ahead of the kernels, instead of the
+// executor re-deriving accesses from the IR inline.
+//
+// For every scheduled statement instance the script lists, in execution
+// order (reads first, then the write, matching the engine's two passes):
+//   * where the block lives (array id, linear block index, byte size),
+//   * whether the plan serves it from memory (saved read / saved or elided
+//     write) or from disk,
+//   * how long the block must stay resident (retention), and
+//   * for disk reads, the latest earlier write to the same block
+//     (`dep_pos`) — the position a prefetcher must not run ahead of.
+#ifndef RIOTSHARE_CORE_ACCESS_PLAN_H_
+#define RIOTSHARE_CORE_ACCESS_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan_realization.h"
+#include "ir/program.h"
+
+namespace riot {
+
+/// \brief One block access of one scheduled statement instance.
+struct BlockAccessRecord {
+  size_t pos = 0;        // position in the scheduled instance stream
+  size_t group = 0;      // time-prefix group of `pos`
+  int stmt_id = -1;
+  int access_idx = -1;   // index into the statement's access list
+  int array_id = -1;
+  int64_t block = -1;    // linear block index
+  int64_t bytes = 0;     // block byte size
+  AccessType type = AccessType::kRead;
+  /// Read: the plan realizes a sharing opportunity, so the block is served
+  /// from memory. Write: the disk write is saved (W->W) or elided.
+  bool saved = false;
+  /// Retain the frame until all groups <= this complete; -1 = no retention.
+  int64_t retain_until_group = -1;
+  /// For reads: stream position of the latest write to the same
+  /// (array, block) strictly before `pos`; -1 if none. A prefetcher may
+  /// issue this read only after the instance at `dep_pos` has completed.
+  int64_t dep_pos = -1;
+};
+
+/// \brief The lowered access sequence of a realized plan.
+struct AccessScript {
+  std::vector<BlockAccessRecord> records;
+  /// Per instance-stream position: [begin, end) into `records`.
+  std::vector<std::pair<uint32_t, uint32_t>> per_pos;
+  size_t num_groups = 0;
+  /// Largest total byte footprint any single instance touches at once;
+  /// the headroom a prefetch budget must always leave the consumer.
+  int64_t max_instance_bytes = 0;
+};
+
+/// \brief Lowers `rp` (over `program`) into its block access script.
+AccessScript BuildAccessScript(const Program& program, const RealizedPlan& rp);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_CORE_ACCESS_PLAN_H_

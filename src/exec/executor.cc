@@ -1,8 +1,13 @@
 #include "exec/executor.h"
 
 #include <chrono>
+#include <deque>
 #include <map>
+#include <memory>
+#include <tuple>
 
+#include "core/access_plan.h"
+#include "storage/io_pool.h"
 #include "util/logging.h"
 
 namespace riot {
@@ -34,19 +39,183 @@ Result<ExecStats> Executor::Run(const Schedule& schedule,
                                 opportunistic
                                     ? std::vector<const CoAccess*>{}
                                     : realized);
+  const AccessScript script = BuildAccessScript(prog_, rp);
   BufferPool pool(opts_.memory_cap_bytes);
   ExecStats stats;
 
-  // Retention lookup: (source position, array, block) -> furthest end group.
-  std::map<std::tuple<size_t, int, int64_t>, size_t> retain_at;
-  for (const auto& span : rp.spans) {
-    auto key = std::make_tuple(span.begin_pos, span.array_id, span.block);
-    auto it = retain_at.find(key);
-    if (it == retain_at.end() || it->second < span.end_group) {
-      retain_at[key] = span.end_group;
+  // ------------------------------------------------- pipeline stage 1 state
+  // The prefetcher walks the access script up to `depth` groups ahead of
+  // the consumer, reserving kPrefetching frames and handing the reads to
+  // the I/O pool. Depth 0 keeps all of this dormant and the engine is the
+  // classic synchronous interpreter. Opportunistic mode has no trusted
+  // access plan, so it never prefetches.
+  const int depth = opportunistic ? 0 : std::max(0, opts_.pipeline_depth);
+  using Key = std::pair<int, int64_t>;  // (array id, linear block)
+  struct Pending {
+    BufferPool::Frame* frame = nullptr;
+    bool done = false;
+    Status status;
+  };
+  std::unique_ptr<IoPool> io;  // declared after `pool`: joins before frames die
+  std::map<Key, Pending> pending;
+  std::map<uint64_t, Key> key_of_tag;
+  std::deque<Key> issue_order;
+  uint64_t next_tag = 0;
+  size_t cursor = 0;  // next script record the prefetcher considers
+
+  if (depth > 0) {
+    io = std::make_unique<IoPool>(std::max(1, opts_.io_threads));
+    int64_t budget = opts_.prefetch_budget_bytes;
+    if (budget <= 0) {
+      budget = std::max<int64_t>(
+          0, (opts_.memory_cap_bytes - script.max_instance_bytes) / 2);
     }
+    pool.SetPrefetchBudget(budget);
   }
 
+  // Blocks until the prefetch for `key` has completed (draining other
+  // completions encountered on the way).
+  auto wait_pending = [&](const Key& key) -> Pending& {
+    Pending& want = pending.at(key);
+    while (!want.done) {
+      IoPool::Completion c = io->WaitCompletion();
+      auto it = key_of_tag.find(c.tag);
+      RIOT_CHECK(it != key_of_tag.end());
+      Pending& p = pending.at(it->second);
+      p.done = true;
+      p.status = std::move(c.status);
+      pool.CompletePrefetch(p.frame);
+      key_of_tag.erase(it);
+    }
+    return want;
+  };
+
+  // Cancels the issued-but-unconsumed prefetch for `key`: waits for its
+  // I/O, drops the frame, and accounts the disk read that already happened.
+  auto cancel_key = [&](const Key& key) {
+    Pending& p = wait_pending(key);
+    if (p.status.ok()) {
+      stats.bytes_read +=
+          static_cast<int64_t>(p.frame->data.size());
+      ++stats.block_reads;
+    }
+    pool.AbandonPrefetch(p.frame);
+    ++stats.prefetch_wasted;
+    pending.erase(key);
+  };
+
+  // Cancels one outstanding prefetch (most recently issued first) to
+  // relieve memory pressure; false when none remain.
+  auto cancel_one = [&]() -> bool {
+    while (!issue_order.empty()) {
+      Key key = issue_order.back();
+      issue_order.pop_back();
+      if (pending.count(key) == 0) continue;  // already adopted
+      cancel_key(key);
+      return true;
+    }
+    return false;
+  };
+
+  // Stage 1: issue asynchronous reads for every upcoming non-saved read in
+  // the lookahead window. A record whose earlier same-block write has not
+  // been performed yet (true dependence — reading disk now would observe
+  // stale data) is deferred and retried once the consumer passes the
+  // write; records behind it keep flowing. A pool decline for room/budget
+  // pauses issuance until the consumer frees frames.
+  enum class Issue { kHandled, kDepBlocked, kNoRoom };
+  std::deque<size_t> deferred;  // dep-blocked record indices
+  auto try_issue = [&](const BlockAccessRecord& rec,
+                       size_t cur_pos) -> Issue {
+    if (rec.pos <= cur_pos) return Issue::kHandled;  // consumer got there
+    if (rec.dep_pos >= 0 && static_cast<size_t>(rec.dep_pos) >= cur_pos) {
+      return Issue::kDepBlocked;
+    }
+    Key key{rec.array_id, rec.block};
+    if (pending.count(key) > 0) {
+      return Issue::kHandled;  // one in-flight read per block is enough
+    }
+    BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
+    BufferPool::Frame* f =
+        pool.TryStartPrefetch(rec.array_id, rec.block, rec.bytes, store);
+    if (f == nullptr) {
+      if (pool.Probe(rec.array_id, rec.block) != nullptr) {
+        return Issue::kHandled;  // resident; consumer serves it directly
+      }
+      return Issue::kNoRoom;
+    }
+    uint64_t tag = next_tag++;
+    key_of_tag[tag] = key;
+    pending.emplace(key, Pending{f, false, Status::OK()});
+    issue_order.push_back(key);
+    io->ReadBlockAsync(store, rec.block, f->data.data(), tag);
+    return Issue::kHandled;
+  };
+  auto advance_prefetcher = [&](size_t cur_group, size_t cur_pos) {
+    for (auto it = deferred.begin(); it != deferred.end();) {
+      Issue res = try_issue(script.records[*it], cur_pos);
+      if (res == Issue::kNoRoom) return;
+      if (res == Issue::kDepBlocked) {
+        ++it;
+      } else {
+        it = deferred.erase(it);
+      }
+    }
+    while (cursor < script.records.size()) {
+      const BlockAccessRecord& rec = script.records[cursor];
+      if (rec.group > cur_group + static_cast<size_t>(depth)) break;
+      if (rec.type != AccessType::kRead || rec.saved) {
+        ++cursor;  // writes and saved reads never touch disk ahead of time
+        continue;
+      }
+      Issue res = try_issue(rec, cur_pos);
+      if (res == Issue::kNoRoom) break;
+      if (res == Issue::kDepBlocked) deferred.push_back(cursor);
+      ++cursor;
+    }
+  };
+
+  // Synchronous store calls on the consumer thread, serialized against
+  // in-flight worker reads on the same store (store implementations are
+  // not required to be thread-safe; LAB-tree mutates its node cache even
+  // on reads). Time spent waiting for the store is queueing, not disk
+  // time, so the timer starts inside the lock.
+  auto sync_store_op = [&](BlockStore* store, auto&& op) -> Status {
+    std::shared_ptr<std::mutex> serial =
+        io != nullptr ? io->store_mutex(store) : nullptr;
+    std::unique_lock<std::mutex> lock;
+    if (serial != nullptr) lock = std::unique_lock<std::mutex>(*serial);
+    auto t0 = std::chrono::steady_clock::now();
+    Status st = op();
+    stats.io_seconds += Since(t0);
+    return st;
+  };
+  auto sync_read = [&](BlockStore* store, int64_t block,
+                       void* buf) -> Status {
+    return sync_store_op(store,
+                         [&] { return store->ReadBlock(block, buf); });
+  };
+  auto sync_write = [&](BlockStore* store, int64_t block,
+                        const void* buf) -> Status {
+    return sync_store_op(store,
+                         [&] { return store->WriteBlock(block, buf); });
+  };
+
+  // Fetch that relieves prefetch memory pressure instead of failing: the
+  // consumer always wins over lookahead.
+  auto fetch_frame = [&](int array_id, int64_t block, int64_t bytes,
+                         BlockStore* store) -> Result<BufferPool::Frame*> {
+    for (;;) {
+      auto f = pool.Fetch(array_id, block, bytes, store, /*load=*/false);
+      if (f.ok() ||
+          f.status().code() != StatusCode::kResourceExhausted) {
+        return f;
+      }
+      if (!cancel_one()) return f;
+    }
+  };
+
+  // ------------------------------------------------- pipeline stage 2 loop
   size_t cur_group = 0;
   std::vector<BufferPool::Frame*> frames;
   std::vector<DenseView> views;
@@ -57,32 +226,47 @@ Result<ExecStats> Executor::Run(const Schedule& schedule,
       cur_group = rp.group_of[pos];
       pool.ReleaseRetainedBefore(static_cast<int64_t>(cur_group));
     }
+    if (depth > 0) advance_prefetcher(cur_group, pos);
     const Statement& st = prog_.statement(inst.stmt_id);
     const size_t na = st.accesses.size();
     frames.assign(na, nullptr);
     views.assign(na, DenseView{});
     view_ptrs.assign(na, nullptr);
 
-    // Fetch blocks: reads first (they may populate the frame the write
-    // access aliases), then the write.
-    for (int pass = 0; pass < 2; ++pass) {
-      for (size_t ai = 0; ai < na; ++ai) {
-        const Access& a = st.accesses[ai];
-        if ((pass == 0) != (a.type == AccessType::kRead)) continue;
-        if (!a.ActiveAt(inst.iter)) continue;
-        const ArrayInfo& arr = prog_.array(a.array_id);
-        const int64_t lin = arr.LinearBlockIndex(a.BlockAt(inst.iter));
-        const int64_t bytes = arr.BlockBytes();
-        BlockStore* store = stores_[static_cast<size_t>(a.array_id)];
-        AccessInstanceKey key{inst.stmt_id, inst.iter, static_cast<int>(ai)};
-        BufferPool::Frame* frame = nullptr;
-        if (a.type == AccessType::kRead) {
+    // Serve this instance's accesses off the script (reads first, then the
+    // write — a read may populate the frame the write access aliases).
+    const auto [rec_begin, rec_end] = script.per_pos[pos];
+    for (uint32_t ri = rec_begin; ri < rec_end; ++ri) {
+      const BlockAccessRecord& rec = script.records[ri];
+      const size_t ai = static_cast<size_t>(rec.access_idx);
+      const ArrayInfo& arr = prog_.array(rec.array_id);
+      BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
+      Key key{rec.array_id, rec.block};
+      const bool has_pending = depth > 0 && pending.count(key) > 0;
+      BufferPool::Frame* frame = nullptr;
+
+      if (rec.type == AccessType::kRead && !rec.saved && has_pending) {
+        // The prefetcher issued this very disk read; adopt its frame.
+        Pending& p = wait_pending(key);
+        if (!p.status.ok()) return p.status;
+        frame = pool.AdoptPrefetched(p.frame);
+        pending.erase(key);
+        ++stats.prefetch_hits;
+        stats.bytes_read += rec.bytes;
+        ++stats.block_reads;
+      } else {
+        // Any other access colliding with an in-flight prefetch resolves
+        // it first (defensive; the script's dependence positions make this
+        // unreachable for writes).
+        if (has_pending) cancel_key(key);
+        if (rec.type == AccessType::kRead) {
           // A read is served from memory ONLY when the plan realizes a
           // sharing opportunity for it (Section 5.3: a schedule may
-          // "accidentally" enable more sharing, but generated code exploits
-          // exactly Q). Everything else is a disk read, even on a pool hit.
-          bool saved = rp.saved_reads.count(key) > 0;
-          BufferPool::Frame* present = pool.Probe(a.array_id, lin);
+          // "accidentally" enable more sharing, but generated code
+          // exploits exactly Q). Everything else is a disk read, even on
+          // a pool hit.
+          bool saved = rec.saved;
+          BufferPool::Frame* present = pool.Probe(rec.array_id, rec.block);
           if (opportunistic) {
             // Whatever the pool still holds is reusable; correctness is
             // preserved because performed writes are write-through, so any
@@ -94,33 +278,30 @@ Result<ExecStats> Executor::Run(const Schedule& schedule,
                 "saved read not in memory: " + st.name + " access " +
                 std::to_string(ai) + " (plan/realization bug)");
           }
-          auto f = pool.Fetch(a.array_id, lin, bytes, store, /*load=*/false);
+          auto f = fetch_frame(rec.array_id, rec.block, rec.bytes, store);
           if (!f.ok()) return f.status();
           frame = *f;
           if (!saved || present == nullptr) {
-            auto t0 = std::chrono::steady_clock::now();
-            RIOT_RETURN_NOT_OK(store->ReadBlock(lin, frame->data.data()));
-            stats.io_seconds += Since(t0);
-            stats.bytes_read += bytes;
+            RIOT_RETURN_NOT_OK(
+                sync_read(store, rec.block, frame->data.data()));
+            stats.bytes_read += rec.bytes;
             ++stats.block_reads;
           }
         } else {
           // Write target: no disk read; a guarded read access of the same
-          // block (accumulation) was fetched in pass 0 if live.
-          auto f = pool.Fetch(a.array_id, lin, bytes, store, /*load=*/false);
+          // block (accumulation) was fetched in the read pass if live.
+          auto f = fetch_frame(rec.array_id, rec.block, rec.bytes, store);
           if (!f.ok()) return f.status();
           frame = *f;
         }
-        frames[ai] = frame;
-        RIOT_CHECK_EQ(arr.ndim(), 2u) << "executor requires 2-D arrays";
-        views[ai] = DenseView{reinterpret_cast<double*>(frame->data.data()),
-                              arr.block_elems[0], arr.block_elems[1]};
-        view_ptrs[ai] = &views[ai];
-        // Retention spans whose source access is this instance.
-        auto rit = retain_at.find(std::make_tuple(pos, a.array_id, lin));
-        if (rit != retain_at.end()) {
-          pool.Retain(frame, static_cast<int64_t>(rit->second));
-        }
+      }
+      frames[ai] = frame;
+      RIOT_CHECK_EQ(arr.ndim(), 2u) << "executor requires 2-D arrays";
+      views[ai] = DenseView{reinterpret_cast<double*>(frame->data.data()),
+                            arr.block_elems[0], arr.block_elems[1]};
+      view_ptrs[ai] = &views[ai];
+      if (rec.retain_until_group >= 0) {
+        pool.Retain(frame, rec.retain_until_group);
       }
     }
 
@@ -132,20 +313,16 @@ Result<ExecStats> Executor::Run(const Schedule& schedule,
     }
 
     // Write-out.
-    for (size_t ai = 0; ai < na; ++ai) {
-      const Access& a = st.accesses[ai];
-      if (a.type != AccessType::kWrite || frames[ai] == nullptr) continue;
-      AccessInstanceKey key{inst.stmt_id, inst.iter, static_cast<int>(ai)};
-      const bool skip = rp.saved_writes.count(key) > 0 ||
-                        rp.elided_writes.count(key) > 0;
-      if (!skip) {
-        const ArrayInfo& arr = prog_.array(a.array_id);
-        auto t0 = std::chrono::steady_clock::now();
-        BlockStore* store = stores_[static_cast<size_t>(a.array_id)];
-        RIOT_RETURN_NOT_OK(
-            store->WriteBlock(frames[ai]->block, frames[ai]->data.data()));
-        stats.io_seconds += Since(t0);
-        stats.bytes_written += arr.BlockBytes();
+    for (uint32_t ri = rec_begin; ri < rec_end; ++ri) {
+      const BlockAccessRecord& rec = script.records[ri];
+      if (rec.type != AccessType::kWrite) continue;
+      const size_t ai = static_cast<size_t>(rec.access_idx);
+      if (frames[ai] == nullptr) continue;
+      if (!rec.saved) {
+        BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
+        RIOT_RETURN_NOT_OK(sync_write(store, frames[ai]->block,
+                                      frames[ai]->data.data()));
+        stats.bytes_written += rec.bytes;
         ++stats.block_writes;
       }
       // Either way the in-memory copy is authoritative; retention (set
@@ -162,8 +339,18 @@ Result<ExecStats> Executor::Run(const Schedule& schedule,
     }
   }
 
+  // Drain any lookahead the plan ended ahead of.
+  while (cancel_one()) {
+  }
+  if (io != nullptr) {
+    stats.io_seconds += io->read_seconds();
+    io.reset();  // joins the workers
+  }
+
   stats.pool = pool.stats();
   stats.wall_seconds = Since(wall0);
+  stats.overlap_seconds = std::max(
+      0.0, stats.io_seconds + stats.compute_seconds - stats.wall_seconds);
   return stats;
 }
 

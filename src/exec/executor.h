@@ -6,6 +6,15 @@
 // executor fulfills each block access "either by blocks already buffered in
 // memory or by I/O", retains shared blocks until their reuse, skips write
 // I/O for W->W-saved and elided writes, and displaces unneeded buffers.
+//
+// Execution is a two-stage pipeline over the plan's block access script
+// (core/access_plan.h): a prefetcher walks the script up to
+// ExecOptions::pipeline_depth groups ahead of the kernels, issuing
+// asynchronous reads through an I/O worker pool, while the consumer stage
+// runs kernels against completed frames. The optimizer's perfect
+// foreknowledge of the block access sequence is what makes the prefetch
+// deterministic — no heuristics, no speculation. pipeline_depth = 0
+// degrades to the fully synchronous engine bit-for-bit.
 #ifndef RIOTSHARE_EXEC_EXECUTOR_H_
 #define RIOTSHARE_EXEC_EXECUTOR_H_
 
@@ -46,6 +55,20 @@ struct ExecOptions {
   /// When true, a saved read missing from the pool aborts (plan bug); when
   /// false it falls back to a disk read.
   bool strict_sharing = true;
+  /// Lookahead of the prefetching pipeline, in schedule groups: the
+  /// prefetcher walks the plan's block access script up to this many groups
+  /// ahead of the kernels, issuing asynchronous disk reads so I/O overlaps
+  /// compute. 0 (default) disables the pipeline and reproduces the
+  /// synchronous engine bit-for-bit — same I/O counts, same pool behavior.
+  /// Ignored (treated as 0) under kOpportunisticCache, which has no plan
+  /// foreknowledge to prefetch from.
+  int pipeline_depth = 0;
+  /// I/O worker threads servicing prefetch reads when pipeline_depth >= 1.
+  int io_threads = 2;
+  /// Max bytes of prefetched lookahead resident at once. 0 = auto: half
+  /// the cap headroom above the largest single-instance footprint.
+  /// Prefetch never violates memory_cap_bytes regardless of this value.
+  int64_t prefetch_budget_bytes = 0;
 };
 
 struct ExecStats {
@@ -59,6 +82,13 @@ struct ExecStats {
   /// Peak of pinned+retained bytes: the plan's true memory requirement
   /// (comparable to the cost model's prediction).
   int64_t peak_required_bytes = 0;
+  /// Reads served by an adopted prefetched frame (pipeline_depth >= 1).
+  int64_t prefetch_hits = 0;
+  /// Prefetched blocks canceled under memory pressure or never consumed.
+  int64_t prefetch_wasted = 0;
+  /// I/O + compute time hidden by the pipeline:
+  /// max(0, io_seconds + compute_seconds - wall_seconds).
+  double overlap_seconds = 0.0;
   BufferPoolStats pool;
 };
 

@@ -5,27 +5,33 @@
 namespace riot {
 
 BufferPool::Frame* BufferPool::Probe(int array_id, int64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find({array_id, block});
   return it == frames_.end() ? nullptr : &it->second;
 }
 
-void BufferPool::Touch(const Key& key) {
+void BufferPool::TouchLocked(const Key& key) {
   auto it = lru_pos_.find(key);
   if (it != lru_pos_.end()) lru_.erase(it->second);
   lru_.push_back(key);
   lru_pos_[key] = std::prev(lru_.end());
 }
 
-Status BufferPool::EnsureCapacity(int64_t incoming_bytes) {
+Status BufferPool::EnsureCapacityLocked(int64_t incoming_bytes,
+                                        bool for_prefetch) {
   while (used_bytes_ + incoming_bytes > cap_bytes_) {
-    // Find the LRU frame that is neither pinned nor retained.
+    // Find the LRU frame that is neither pinned, retained, nor owned by the
+    // prefetcher.
     bool evicted = false;
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
       auto fit = frames_.find(*it);
       RIOT_CHECK(fit != frames_.end());
       Frame& f = fit->second;
       if (f.pins > 0 || f.retain_until_group >= 0) continue;
+      if (f.state != FrameState::kRegular) continue;
       if (f.dirty) {
+        // Prefetch must never force a spill; decline instead.
+        if (for_prefetch) continue;
         RIOT_CHECK(f.store != nullptr);
         RIOT_RETURN_NOT_OK(f.store->WriteBlock(f.block, f.data.data()));
         ++stats_.dirty_writebacks;
@@ -52,16 +58,20 @@ Status BufferPool::EnsureCapacity(int64_t incoming_bytes) {
 Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
                                              int64_t bytes, BlockStore* store,
                                              bool load) {
+  std::lock_guard<std::mutex> lock(mu_);
   Key key{array_id, block};
   auto it = frames_.find(key);
   if (it != frames_.end()) {
+    Frame& f = it->second;
+    RIOT_CHECK(f.state == FrameState::kRegular)
+        << "Fetch on a block in a prefetch state (adopt/abandon it first)";
     ++stats_.hits;
-    ++it->second.pins;
-    Touch(key);
-    return &it->second;
+    MutateTracked(&f, [&] { ++f.pins; });
+    TouchLocked(key);
+    return &f;
   }
   ++stats_.misses;
-  RIOT_RETURN_NOT_OK(EnsureCapacity(bytes));
+  RIOT_RETURN_NOT_OK(EnsureCapacityLocked(bytes, /*for_prefetch=*/false));
   Frame f;
   f.array_id = array_id;
   f.block = block;
@@ -73,32 +83,133 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
   }
   f.pins = 1;
   used_bytes_ += bytes;
+  required_bytes_ += bytes;
   auto [ins, ok] = frames_.emplace(key, std::move(f));
   RIOT_CHECK(ok);
-  Touch(key);
+  TouchLocked(key);
   return &ins->second;
 }
 
 void BufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   RIOT_CHECK_GT(frame->pins, 0);
-  --frame->pins;
+  MutateTracked(frame, [&] { --frame->pins; });
 }
 
 void BufferPool::Retain(Frame* frame, int64_t until_group) {
-  frame->retain_until_group =
-      std::max(frame->retain_until_group, until_group);
+  std::lock_guard<std::mutex> lock(mu_);
+  MutateTracked(frame, [&] {
+    frame->retain_until_group =
+        std::max(frame->retain_until_group, until_group);
+  });
 }
 
 void BufferPool::ReleaseRetainedBefore(int64_t group) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, f] : frames_) {
     if (f.retain_until_group >= 0 && f.retain_until_group < group) {
-      f.retain_until_group = -1;
+      MutateTracked(&f, [&] { f.retain_until_group = -1; });
     }
   }
 }
 
+BufferPool::Frame* BufferPool::TryStartPrefetch(int array_id, int64_t block,
+                                                int64_t bytes,
+                                                BlockStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key{array_id, block};
+  if (prefetch_bytes_ + bytes > prefetch_budget_bytes_) {
+    ++stats_.prefetch_declined;
+    return nullptr;
+  }
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    // The block lingers as idle cache (kPlanExact re-reads disk even on a
+    // pool hit, so such frames are common). Steal the frame in place: the
+    // caller's dependence check guarantees the disk copy is current, and
+    // the pending-table in the executor routes every consumer access to
+    // the completion. Pinned, retained, dirty, or prefetch-owned frames
+    // are untouchable — decline instead.
+    Frame& f = it->second;
+    if (f.state != FrameState::kRegular || f.pins > 0 ||
+        f.retain_until_group >= 0 || f.dirty) {
+      ++stats_.prefetch_declined;
+      return nullptr;
+    }
+    f.state = FrameState::kPrefetching;
+    f.store = store;
+    prefetch_bytes_ += static_cast<int64_t>(f.data.size());
+    ++stats_.prefetch_issued;
+    TouchLocked(key);
+    return &f;
+  }
+  if (!EnsureCapacityLocked(bytes, /*for_prefetch=*/true).ok()) {
+    ++stats_.prefetch_declined;
+    return nullptr;
+  }
+  Frame f;
+  f.array_id = array_id;
+  f.block = block;
+  f.data.resize(static_cast<size_t>(bytes));
+  f.store = store;
+  f.state = FrameState::kPrefetching;
+  used_bytes_ += bytes;
+  prefetch_bytes_ += bytes;
+  ++stats_.prefetch_issued;
+  auto [ins, ok] = frames_.emplace(key, std::move(f));
+  RIOT_CHECK(ok);
+  TouchLocked(key);
+  return &ins->second;
+}
+
+void BufferPool::CompletePrefetch(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RIOT_CHECK(frame->state == FrameState::kPrefetching);
+  frame->state = FrameState::kPrefetched;
+}
+
+BufferPool::Frame* BufferPool::AdoptPrefetched(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RIOT_CHECK(frame->state == FrameState::kPrefetched);
+  prefetch_bytes_ -= static_cast<int64_t>(frame->data.size());
+  MutateTracked(frame, [&] {
+    frame->state = FrameState::kRegular;
+    frame->pins = 1;
+  });
+  TouchLocked({frame->array_id, frame->block});
+  return frame;
+}
+
+void BufferPool::AbandonPrefetch(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RIOT_CHECK(frame->state == FrameState::kPrefetched);
+  const int64_t bytes = static_cast<int64_t>(frame->data.size());
+  prefetch_bytes_ -= bytes;
+  used_bytes_ -= bytes;
+  ++stats_.prefetch_abandoned;
+  Key key{frame->array_id, frame->block};
+  auto lit = lru_pos_.find(key);
+  RIOT_CHECK(lit != lru_pos_.end());
+  lru_.erase(lit->second);
+  lru_pos_.erase(lit);
+  frames_.erase(key);
+}
+
+void BufferPool::SetPrefetchBudget(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prefetch_budget_bytes_ = bytes;
+}
+
+int64_t BufferPool::prefetch_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prefetch_bytes_;
+}
+
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, f] : frames_) {
+    RIOT_CHECK(f.state != FrameState::kPrefetching)
+        << "FlushAll with a prefetch in flight";
     if (f.dirty && f.store != nullptr) {
       RIOT_RETURN_NOT_OK(f.store->WriteBlock(f.block, f.data.data()));
       f.dirty = false;
@@ -108,7 +219,24 @@ Status BufferPool::FlushAll() {
   lru_.clear();
   lru_pos_.clear();
   used_bytes_ = 0;
+  required_bytes_ = 0;
+  prefetch_bytes_ = 0;
   return Status::OK();
+}
+
+int64_t BufferPool::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+
+int64_t BufferPool::PinnedOrRetainedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return required_bytes_;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace riot

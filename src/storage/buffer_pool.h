@@ -8,6 +8,19 @@
 // LRU when the cap is hit; dirty victims are written back through their
 // BlockStore (spilling — a correct plan never triggers it, and tests assert
 // so via the spill counters).
+//
+// The pool is thread-safe: the pipelined executor's I/O workers fill
+// prefetch frames while the execution thread fetches, pins, and retains.
+// Prefetch has its own frame lifecycle (kPrefetching -> kPrefetched ->
+// adopted or abandoned) and its own budget, and is *never* allowed to
+// violate the cap, evict a pinned/retained/in-flight frame, or force a
+// dirty write-back — a prefetch that would need any of those is declined.
+// One caveat: the pool's own BlockStore calls (dirty write-back on
+// eviction, Fetch with load=true) are NOT serialized against async
+// readers of the same store — a caller running async reads must keep
+// frames clean and fetch with load=false, routing every synchronous
+// store access through its own per-store lock (the pipelined executor
+// does both).
 #ifndef RIOTSHARE_STORAGE_BUFFER_POOL_H_
 #define RIOTSHARE_STORAGE_BUFFER_POOL_H_
 
@@ -15,6 +28,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "storage/block_store.h"
@@ -27,10 +41,20 @@ struct BufferPoolStats {
   int64_t misses = 0;
   int64_t evictions = 0;
   int64_t dirty_writebacks = 0;  // spills: should be 0 for in-cap plans
+  int64_t prefetch_issued = 0;    // TryStartPrefetch successes
+  int64_t prefetch_declined = 0;  // no budget/room without touching
+                                  // protected frames
+  int64_t prefetch_abandoned = 0;  // issued but never adopted
 };
 
 class BufferPool {
  public:
+  /// Lifecycle of a frame's contents with respect to the prefetcher.
+  /// kRegular frames belong to the execution thread; kPrefetching frames
+  /// are being filled by an I/O worker (untouchable, unevictable);
+  /// kPrefetched frames hold completed prefetch data awaiting adoption.
+  enum class FrameState { kRegular, kPrefetching, kPrefetched };
+
   struct Frame {
     int array_id = -1;
     int64_t block = -1;
@@ -40,13 +64,15 @@ class BufferPool {
     /// Retained until all groups <= retain_until_group complete; -1 = none.
     int64_t retain_until_group = -1;
     BlockStore* store = nullptr;  // for dirty write-back on eviction
+    FrameState state = FrameState::kRegular;
   };
 
   explicit BufferPool(int64_t cap_bytes) : cap_bytes_(cap_bytes) {}
 
   /// Returns the frame for (array_id, block), fetching from `store` on miss
   /// when `load` is set (otherwise the frame starts zeroed). The returned
-  /// frame is pinned; call Unpin when done.
+  /// frame is pinned; call Unpin when done. Must not be called for a block
+  /// currently in a prefetch state (adopt or abandon it first).
   Result<Frame*> Fetch(int array_id, int64_t block, int64_t bytes,
                        BlockStore* store, bool load);
 
@@ -58,32 +84,65 @@ class BufferPool {
   /// Releases every retention that expired strictly before `group`.
   void ReleaseRetainedBefore(int64_t group);
 
+  // ------------------------------------------------------- prefetch path
+  /// Reserves a kPrefetching frame for (array_id, block) so an I/O worker
+  /// can fill frame->data. Declines (returns nullptr) when a frame for the
+  /// block already exists in any state, when the prefetch budget is
+  /// exhausted, or when making room would evict anything but a clean,
+  /// unpinned, unretained regular frame. Never triggers a dirty write-back.
+  Frame* TryStartPrefetch(int array_id, int64_t block, int64_t bytes,
+                          BlockStore* store);
+  /// I/O completed: kPrefetching -> kPrefetched.
+  void CompletePrefetch(Frame* frame);
+  /// Hands a kPrefetched frame to the execution thread: the frame becomes
+  /// a pinned regular frame, exactly as if Fetch had loaded it.
+  Frame* AdoptPrefetched(Frame* frame);
+  /// Gives up on a completed prefetch: the frame is dropped from the pool
+  /// entirely (never demoted to cache — a failed or stale prefetch must
+  /// not be able to satisfy a later probe).
+  void AbandonPrefetch(Frame* frame);
+  /// Max total bytes of frames in prefetch states; 0 disables prefetch.
+  void SetPrefetchBudget(int64_t bytes);
+  int64_t prefetch_bytes() const;
+
   /// Drops a clean frame / writes back a dirty one, then drops it.
   Status FlushAll();
 
-  int64_t used_bytes() const { return used_bytes_; }
-  /// Bytes the plan currently *requires* resident (pinned or retained);
-  /// comparable to the cost model's memory prediction, unlike used_bytes()
-  /// which also counts lazily-evicted cache.
-  int64_t PinnedOrRetainedBytes() const {
-    int64_t bytes = 0;
-    for (const auto& [key, f] : frames_) {
-      if (f.pins > 0 || f.retain_until_group >= 0) {
-        bytes += static_cast<int64_t>(f.data.size());
-      }
-    }
-    return bytes;
-  }
+  int64_t used_bytes() const;
+  /// Bytes the plan currently *requires* resident (pinned or retained
+  /// regular frames); comparable to the cost model's memory prediction,
+  /// unlike used_bytes() which also counts lazily-evicted cache and
+  /// prefetch lookahead. Maintained incrementally — O(1).
+  int64_t PinnedOrRetainedBytes() const;
   int64_t cap_bytes() const { return cap_bytes_; }
-  const BufferPoolStats& stats() const { return stats_; }
+  BufferPoolStats stats() const;
 
  private:
   using Key = std::pair<int, int64_t>;
-  Status EnsureCapacity(int64_t incoming_bytes);
-  void Touch(const Key& key);
+  Status EnsureCapacityLocked(int64_t incoming_bytes, bool for_prefetch);
+  void TouchLocked(const Key& key);
+  static bool CountsAsRequired(const Frame& f) {
+    return f.state == FrameState::kRegular &&
+           (f.pins > 0 || f.retain_until_group >= 0);
+  }
+  /// Call around any mutation of pins/retention/state to keep the
+  /// required-bytes counter exact.
+  template <typename Fn>
+  void MutateTracked(Frame* f, Fn&& fn) {
+    const bool before = CountsAsRequired(*f);
+    fn();
+    const bool after = CountsAsRequired(*f);
+    if (before != after) {
+      required_bytes_ += (after ? 1 : -1) * static_cast<int64_t>(f->data.size());
+    }
+  }
 
-  int64_t cap_bytes_;
+  const int64_t cap_bytes_;
+  mutable std::mutex mu_;
   int64_t used_bytes_ = 0;
+  int64_t required_bytes_ = 0;
+  int64_t prefetch_bytes_ = 0;
+  int64_t prefetch_budget_bytes_ = 0;
   std::map<Key, Frame> frames_;
   std::list<Key> lru_;  // front = least recently used
   std::map<Key, std::list<Key>::iterator> lru_pos_;

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "util/logging.h"
@@ -22,10 +23,9 @@ class Timer {
     t0_ = std::chrono::steady_clock::now();
   }
   ~Timer() {
-    double s = std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - t0_)
-                   .count();
-    stats_->AddSeconds(&stats_->io_seconds, s);
+    stats_->AddIoNanos(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - t0_)
+                           .count());
   }
 
  private:
@@ -193,25 +193,25 @@ class MemEnv : public Env {
 class ThrottledFile : public File {
  public:
   ThrottledFile(std::unique_ptr<File> base, IoStats* stats, double rd,
-                double wr, double req_s)
+                double wr, double req_s, double sleep_scale)
       : base_(std::move(base)), stats_(stats), rd_(rd), wr_(wr),
-        req_s_(req_s) {}
+        req_s_(req_s), sleep_scale_(sleep_scale) {}
 
   Status Read(uint64_t offset, size_t n, void* buf) override {
+    Timer t(stats_);
     RIOT_RETURN_NOT_OK(base_->Read(offset, n, buf));
     stats_->bytes_read += static_cast<int64_t>(n);
     ++stats_->read_ops;
-    stats_->AddSeconds(&stats_->modeled_seconds,
-                       static_cast<double>(n) / rd_ + req_s_);
+    Accrue(static_cast<double>(n) / rd_ + req_s_);
     return Status::OK();
   }
 
   Status Write(uint64_t offset, size_t n, const void* buf) override {
+    Timer t(stats_);
     RIOT_RETURN_NOT_OK(base_->Write(offset, n, buf));
     stats_->bytes_written += static_cast<int64_t>(n);
     ++stats_->write_ops;
-    stats_->AddSeconds(&stats_->modeled_seconds,
-                       static_cast<double>(n) / wr_ + req_s_);
+    Accrue(static_cast<double>(n) / wr_ + req_s_);
     return Status::OK();
   }
 
@@ -219,23 +219,32 @@ class ThrottledFile : public File {
   Status Sync() override { return base_->Sync(); }
 
  private:
+  void Accrue(double modeled_s) {
+    stats_->AddModeledSeconds(modeled_s);
+    if (sleep_scale_ > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(modeled_s * sleep_scale_));
+    }
+  }
+
   std::unique_ptr<File> base_;
   IoStats* stats_;
-  double rd_, wr_, req_s_;
+  double rd_, wr_, req_s_, sleep_scale_;
 };
 
 class ThrottledEnv : public Env {
  public:
-  ThrottledEnv(Env* base, double rd_mbps, double wr_mbps, double req_ms)
+  ThrottledEnv(Env* base, double rd_mbps, double wr_mbps, double req_ms,
+               double sleep_scale)
       : base_(base), rd_(rd_mbps * 1e6), wr_(wr_mbps * 1e6),
-        req_s_(req_ms / 1e3) {}
+        req_s_(req_ms / 1e3), sleep_scale_(sleep_scale) {}
 
   Result<std::unique_ptr<File>> OpenFile(const std::string& path,
                                          bool create) override {
     auto f = base_->OpenFile(path, create);
     if (!f.ok()) return f.status();
     return std::unique_ptr<File>(new ThrottledFile(
-        std::move(f).ValueOrDie(), &stats_, rd_, wr_, req_s_));
+        std::move(f).ValueOrDie(), &stats_, rd_, wr_, req_s_, sleep_scale_));
   }
 
   Status DeleteFile(const std::string& path) override {
@@ -247,7 +256,7 @@ class ThrottledEnv : public Env {
 
  private:
   Env* base_;
-  double rd_, wr_, req_s_;
+  double rd_, wr_, req_s_, sleep_scale_;
 };
 
 // -------------------------------------------------------------- FaultyEnv
@@ -307,9 +316,10 @@ std::unique_ptr<Env> NewPosixEnv() { return std::make_unique<PosixEnv>(); }
 std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
 std::unique_ptr<Env> NewThrottledEnv(Env* base, double read_mb_per_s,
                                      double write_mb_per_s,
-                                     double per_request_ms) {
+                                     double per_request_ms,
+                                     double sleep_scale) {
   return std::make_unique<ThrottledEnv>(base, read_mb_per_s, write_mb_per_s,
-                                        per_request_ms);
+                                        per_request_ms, sleep_scale);
 }
 
 std::unique_ptr<Env> NewFaultyEnv(Env* base, int64_t fail_after_ops) {

@@ -19,24 +19,38 @@
 
 namespace riot {
 
-/// \brief Byte/request/time accounting for one Env.
+/// \brief Byte/request/time accounting for one Env. Safe for concurrent
+/// use from I/O worker threads (async prefetch path).
 struct IoStats {
   std::atomic<int64_t> bytes_read{0};
   std::atomic<int64_t> bytes_written{0};
   std::atomic<int64_t> read_ops{0};
   std::atomic<int64_t> write_ops{0};
-  /// Wall-clock seconds spent inside Read/Write calls.
-  std::atomic<double> io_seconds{0.0};
-  /// Virtual seconds accrued by ThrottledEnv's disk model.
-  std::atomic<double> modeled_seconds{0.0};
+
+  /// Wall-clock seconds spent inside Read/Write calls. Stored as integer
+  /// nanoseconds so accumulation is a plain fetch_add (atomic<double> has no
+  /// standard fetch_add before C++20); the clock is nanosecond-granular, so
+  /// nothing is lost.
+  double io_seconds() const { return static_cast<double>(io_nanos_.load()) * 1e-9; }
+  void AddIoNanos(int64_t ns) { io_nanos_.fetch_add(ns); }
+
+  /// Virtual seconds accrued by ThrottledEnv's disk model. Kept as an exact
+  /// double sum (CAS loop) so modeled times match the cost model's
+  /// volume-to-time conversion bit-for-bit.
+  double modeled_seconds() const { return modeled_seconds_.load(); }
+  void AddModeledSeconds(double s) {
+    double cur = modeled_seconds_.load();
+    while (!modeled_seconds_.compare_exchange_weak(cur, cur + s)) {
+    }
+  }
 
   void Reset() {
     bytes_read = 0;
     bytes_written = 0;
     read_ops = 0;
     write_ops = 0;
-    io_seconds = 0.0;
-    modeled_seconds = 0.0;
+    io_nanos_ = 0;
+    modeled_seconds_ = 0.0;
   }
 
   /// Volume-to-time conversion with the given sustained rates (MB/s).
@@ -45,11 +59,9 @@ struct IoStats {
            static_cast<double>(bytes_written.load()) / (write_mb_per_s * 1e6);
   }
 
-  void AddSeconds(std::atomic<double>* acc, double s) {
-    double cur = acc->load();
-    while (!acc->compare_exchange_weak(cur, cur + s)) {
-    }
-  }
+ private:
+  std::atomic<int64_t> io_nanos_{0};
+  std::atomic<double> modeled_seconds_{0.0};
 };
 
 /// \brief A file supporting positional I/O.
@@ -85,10 +97,15 @@ std::unique_ptr<Env> NewPosixEnv();
 std::unique_ptr<Env> NewMemEnv();
 
 /// \brief Wraps `base` (not owned) accruing modeled seconds per request:
-/// bytes/rate + per_request_ms. Stats live on the throttled Env.
+/// bytes/rate + per_request_ms. Stats live on the throttled Env. When
+/// `sleep_scale` > 0, each request additionally *blocks* for
+/// modeled_duration * sleep_scale of real time, turning the virtual disk
+/// into a physically slow one — this is what the pipelined executor's
+/// overlap benchmarks run against.
 std::unique_ptr<Env> NewThrottledEnv(Env* base, double read_mb_per_s,
                                      double write_mb_per_s,
-                                     double per_request_ms = 0.0);
+                                     double per_request_ms = 0.0,
+                                     double sleep_scale = 0.0);
 
 /// \brief Failure injection: wraps `base` (not owned) and fails every
 /// Read/Write with IoError once `fail_after_ops` operations have succeeded

@@ -1,0 +1,97 @@
+#include "storage/io_pool.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace riot {
+
+IoPool::IoPool(int num_threads) {
+  RIOT_CHECK_GT(num_threads, 0);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoPool::~IoPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void IoPool::ReadBlockAsync(BlockStore* store, int64_t block, void* buf,
+                            uint64_t tag) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RIOT_CHECK(!stop_);
+    if (store_mu_.find(store) == store_mu_.end()) {
+      store_mu_[store] = std::make_shared<std::mutex>();
+    }
+    queue_.push_back({store, block, buf, tag});
+    ++outstanding_;
+  }
+  work_cv_.notify_one();
+}
+
+IoPool::Completion IoPool::WaitCompletion() {
+  std::unique_lock<std::mutex> lock(mu_);
+  RIOT_CHECK_GT(outstanding_, 0) << "WaitCompletion with nothing submitted";
+  done_cv_.wait(lock, [this] { return !done_.empty(); });
+  Completion c = std::move(done_.front());
+  done_.pop_front();
+  --outstanding_;
+  return c;
+}
+
+int64_t IoPool::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+std::shared_ptr<std::mutex> IoPool::store_mutex(BlockStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = store_mu_.find(store);
+  if (it == store_mu_.end()) {
+    it = store_mu_.emplace(store, std::make_shared<std::mutex>()).first;
+  }
+  return it->second;
+}
+
+void IoPool::WorkerLoop() {
+  for (;;) {
+    Request req;
+    std::shared_ptr<std::mutex> serial;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      req = queue_.front();
+      queue_.pop_front();
+      serial = store_mu_[req.store];
+    }
+    Status st;
+    {
+      std::lock_guard<std::mutex> store_lock(*serial);
+      // Time inside the lock: waiting for another worker's turn at this
+      // store is queueing, not disk time.
+      auto t0 = std::chrono::steady_clock::now();
+      st = req.store->ReadBlock(req.block, req.buf);
+      read_nanos_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    reads_completed_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_.push_back({req.tag, std::move(st)});
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace riot

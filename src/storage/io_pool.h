@@ -1,0 +1,97 @@
+// Asynchronous block-read path: a small worker pool that services
+// BlockStore reads off the execution thread, with a completion queue the
+// caller drains. This is what lets the executor overlap kernel time with
+// disk time — the prefetcher submits reads for blocks the access script
+// says are needed soon, and kernels keep running while workers block on
+// the device.
+//
+// Reads against the same BlockStore are serialized with a per-store lock
+// (store implementations are not required to support concurrent access);
+// reads against different stores proceed in parallel across workers.
+// Writes stay synchronous on the execution thread: the paper's plans are
+// read-dominated, and write ordering doubles as the dependence barrier the
+// prefetcher relies on.
+#ifndef RIOTSHARE_STORAGE_IO_POOL_H_
+#define RIOTSHARE_STORAGE_IO_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "storage/block_store.h"
+#include "util/status.h"
+
+namespace riot {
+
+class IoPool {
+ public:
+  struct Completion {
+    uint64_t tag = 0;
+    Status status;
+  };
+
+  explicit IoPool(int num_threads);
+  ~IoPool();  // drains the queue and joins the workers
+
+  IoPool(const IoPool&) = delete;
+  IoPool& operator=(const IoPool&) = delete;
+
+  /// Enqueues store->ReadBlock(block, buf). `buf` must stay valid (and
+  /// untouched) until the matching completion is consumed. `tag` is echoed
+  /// back verbatim.
+  void ReadBlockAsync(BlockStore* store, int64_t block, void* buf,
+                      uint64_t tag);
+
+  /// Blocks until the next completion is available (completion order, not
+  /// submission order). Must only be called when at least one submitted
+  /// read has not yet been waited for.
+  Completion WaitCompletion();
+
+  /// Submitted reads whose completion has not been consumed yet.
+  int64_t outstanding() const;
+
+  /// The serialization mutex for `store`. Callers performing their own
+  /// synchronous reads/writes on a store that also has async reads in
+  /// flight MUST hold this around the call — store implementations are
+  /// not required to be thread-safe (LAB-tree mutates its node cache even
+  /// on reads).
+  std::shared_ptr<std::mutex> store_mutex(BlockStore* store);
+
+  /// Wall time spent inside ReadBlock on the workers, and reads serviced.
+  double read_seconds() const {
+    return static_cast<double>(read_nanos_.load()) * 1e-9;
+  }
+  int64_t reads_completed() const { return reads_completed_.load(); }
+
+ private:
+  struct Request {
+    BlockStore* store = nullptr;
+    int64_t block = -1;
+    void* buf = nullptr;
+    uint64_t tag = 0;
+  };
+
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<Request> queue_;
+  std::deque<Completion> done_;
+  std::map<BlockStore*, std::shared_ptr<std::mutex>> store_mu_;
+  int64_t outstanding_ = 0;
+  bool stop_ = false;
+  std::atomic<int64_t> read_nanos_{0};
+  std::atomic<int64_t> reads_completed_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_STORAGE_IO_POOL_H_

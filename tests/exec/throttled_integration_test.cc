@@ -25,7 +25,7 @@ TEST(ThrottledIntegrationTest, ModeledSecondsMatchCostModelConversion) {
     auto rt = OpenStores(disk.get(), w.program, "/t" + std::to_string(pi));
     ASSERT_TRUE(rt.ok());
     ASSERT_TRUE(InitInputs(w, *rt, 3).ok());
-    const double init_seconds = disk->stats().modeled_seconds.load();
+    const double init_seconds = disk->stats().modeled_seconds();
     std::vector<const CoAccess*> q;
     for (int oi : plan.opportunities) {
       q.push_back(&r.analysis.sharing[static_cast<size_t>(oi)]);
@@ -40,7 +40,7 @@ TEST(ThrottledIntegrationTest, ModeledSecondsMatchCostModelConversion) {
                         (cm.read_mb_per_s * 1e6) +
                     static_cast<double>(plan.cost.write_bytes) /
                         (cm.write_mb_per_s * 1e6);
-    double modeled = disk->stats().modeled_seconds.load() - init_seconds;
+    double modeled = disk->stats().modeled_seconds() - init_seconds;
     EXPECT_NEAR(modeled, expect, 1e-9) << "plan " << pi;
   }
 }
@@ -64,8 +64,8 @@ TEST(ThrottledIntegrationTest, RequestOverheadChargesPerBlock) {
   ExecStats s1 = run(flat.get(), "/flat");
   ExecStats s2 = run(perreq.get(), "/perreq");
   EXPECT_EQ(s1.block_reads, s2.block_reads);
-  double extra = perreq->stats().modeled_seconds.load() -
-                 flat->stats().modeled_seconds.load();
+  double extra = perreq->stats().modeled_seconds() -
+                 flat->stats().modeled_seconds();
   // Same byte volume on both paths; the difference is pure request count
   // (including the InitInputs writes, identical on both).
   int64_t reqs = perreq->stats().read_ops.load() +

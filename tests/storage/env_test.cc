@@ -77,7 +77,7 @@ TEST(ThrottledEnvTest, AccruesModeledSeconds) {
   ASSERT_TRUE((*f)->Write(0, mb.size(), mb.data()).ok());
   ASSERT_TRUE((*f)->Read(0, mb.size(), mb.data()).ok());
   // 1 MB write at 0.5 MB/s = 2 s; 1 MB read at 1 MB/s = 1 s.
-  EXPECT_NEAR(env->stats().modeled_seconds.load(), 3.0, 1e-9);
+  EXPECT_NEAR(env->stats().modeled_seconds(), 3.0, 1e-9);
 }
 
 TEST(ThrottledEnvTest, PerRequestOverhead) {
@@ -88,7 +88,7 @@ TEST(ThrottledEnvTest, PerRequestOverhead) {
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE((*f)->Write(0, 8, b).ok());
   }
-  EXPECT_NEAR(env->stats().modeled_seconds.load(), 0.05, 1e-6);
+  EXPECT_NEAR(env->stats().modeled_seconds(), 0.05, 1e-6);
 }
 
 TEST(IoStatsTest, ModelSecondsUsesPaperRates) {

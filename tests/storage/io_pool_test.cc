@@ -1,0 +1,80 @@
+// IoPool: async block reads complete with the right data, errors surface
+// through the completion status, and outstanding bookkeeping drains.
+#include "storage/io_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace riot {
+namespace {
+
+TEST(IoPoolTest, ReadsCompleteWithCorrectData) {
+  auto env = NewMemEnv();
+  const int64_t kBlock = 64;
+  auto store = OpenDaf(env.get(), "/s", kBlock, 16);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> buf(kBlock);
+  for (int64_t b = 0; b < 16; ++b) {
+    std::fill(buf.begin(), buf.end(), static_cast<uint8_t>(b + 1));
+    ASSERT_TRUE((*store)->WriteBlock(b, buf.data()).ok());
+  }
+
+  IoPool pool(2);
+  std::vector<std::vector<uint8_t>> bufs(16,
+                                         std::vector<uint8_t>(kBlock, 0));
+  for (uint64_t b = 0; b < 16; ++b) {
+    pool.ReadBlockAsync(store->get(), static_cast<int64_t>(b),
+                        bufs[b].data(), /*tag=*/b);
+  }
+  std::vector<bool> seen(16, false);
+  for (int i = 0; i < 16; ++i) {
+    IoPool::Completion c = pool.WaitCompletion();
+    ASSERT_TRUE(c.status.ok()) << c.status.ToString();
+    ASSERT_LT(c.tag, 16u);
+    EXPECT_FALSE(seen[c.tag]);
+    seen[c.tag] = true;
+    EXPECT_EQ(bufs[c.tag][0], static_cast<uint8_t>(c.tag + 1));
+    EXPECT_EQ(bufs[c.tag][kBlock - 1], static_cast<uint8_t>(c.tag + 1));
+  }
+  EXPECT_EQ(pool.outstanding(), 0);
+  EXPECT_EQ(pool.reads_completed(), 16);
+  EXPECT_GE(pool.read_seconds(), 0.0);
+}
+
+TEST(IoPoolTest, ErrorsSurfaceInCompletionStatus) {
+  auto env = NewMemEnv();
+  auto store = OpenDaf(env.get(), "/s", 64, 4);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> buf(64);
+  IoPool pool(1);
+  pool.ReadBlockAsync(store->get(), /*block=*/99, buf.data(), /*tag=*/7);
+  IoPool::Completion c = pool.WaitCompletion();
+  EXPECT_FALSE(c.status.ok());
+  EXPECT_EQ(c.tag, 7u);
+}
+
+TEST(IoPoolTest, DestructorDrainsInflightReads) {
+  auto env = NewMemEnv();
+  const int64_t kBlock = 1 << 16;
+  auto store = OpenDaf(env.get(), "/s", kBlock, 8);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> buf(kBlock, 1);
+  for (int64_t b = 0; b < 8; ++b) {
+    ASSERT_TRUE((*store)->WriteBlock(b, buf.data()).ok());
+  }
+  std::vector<std::vector<uint8_t>> bufs(8, std::vector<uint8_t>(kBlock));
+  {
+    IoPool pool(2);
+    for (uint64_t b = 0; b < 8; ++b) {
+      pool.ReadBlockAsync(store->get(), static_cast<int64_t>(b),
+                          bufs[b].data(), b);
+    }
+    // Destroyed with completions unconsumed: the pool must finish the
+    // reads (buffers stay owned here) and join cleanly.
+  }
+  for (const auto& bb : bufs) EXPECT_EQ(bb[0], 1);
+}
+
+}  // namespace
+}  // namespace riot
