@@ -38,8 +38,12 @@ inline int FindPlan(const OptimizationResult& r, const Program& p,
   return -1;
 }
 
-inline void Run(TwoMatMulConfig config, const char* title, const char* optimal) {
+inline void Run(TwoMatMulConfig config, const char* title, const char* optimal,
+                int argc = 0, char** argv = nullptr) {
   std::printf("=== %s ===\n", title);
+  const std::string bench_name =
+      config == TwoMatMulConfig::kConfigA ? "fig4_2mm_a" : "fig5_2mm_b";
+  BenchJson json(bench_name, argc, argv);
   Harness h(config == TwoMatMulConfig::kConfigA ? "fig4" : "fig5",
             [config](int64_t s) { return MakeTwoMatMul(config, s); });
   const auto& r = h.Optimize();
@@ -70,6 +74,8 @@ inline void Run(TwoMatMulConfig config, const char* title, const char* optimal) 
       continue;
     }
     runs.push_back(h.RunPlan(idx, sel.name));
+    json.Add(sel.name, "plan", /*threads=*/1, /*pipeline_depth=*/0,
+             runs.back().measured);
   }
   Harness::PrintRuns(runs);
 
@@ -79,6 +85,12 @@ inline void Run(TwoMatMulConfig config, const char* title, const char* optimal) 
                   .DescribeOpportunities(p, r.analysis.sharing)
                   .c_str());
   std::printf("paper: %s is optimal under this configuration\n", optimal);
+
+  // Parallel kernel dispatch: the compute-bound utilization story.
+  RunThreadSweep(bench_name,
+                 [config](int64_t s) { return MakeTwoMatMul(config, s); },
+                 &json);
+  json.Flush();
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 
 #include "exec/verify.h"
 #include "util/logging.h"
@@ -122,6 +126,136 @@ void Harness::PrintRuns(const std::vector<PlanRun>& runs) {
       "(pred = optimizer at paper scale; meas = executed at 1/%lld scale on "
       "real files; model = measured volume at the paper's 96/60 MB/s disk)\n",
       ExecScale());
+}
+
+BenchJson::BenchJson(std::string bench_name, int argc, char** argv)
+    : bench_(std::move(bench_name)) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      path_ = argv[i + 1];
+      break;
+    }
+  }
+}
+
+void BenchJson::Add(const std::string& plan, const std::string& kind,
+                    int threads, int pipeline_depth, const ExecStats& stats) {
+  if (!active()) return;
+  entries_.push_back(Entry{plan, kind, threads, pipeline_depth, stats});
+}
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+void BenchJson::Flush() {
+  if (!active()) return;
+  std::ofstream f(path_);
+  RIOT_CHECK(f.good()) << "cannot write " << path_;
+  f << "{\n  \"bench\": \"" << JsonEscape(bench_) << "\",\n  \"runs\": [\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const ExecStats& s = e.stats;
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"plan\": \"%s\", \"kind\": \"%s\", \"threads\": %d, "
+        "\"pipeline_depth\": %d, \"wall_seconds\": %.6f, "
+        "\"io_seconds\": %.6f, \"compute_seconds\": %.6f, "
+        "\"overlap_seconds\": %.6f, \"compute_overlap_seconds\": %.6f, "
+        "\"bytes_read\": %lld, \"bytes_written\": %lld, "
+        "\"parallel_groups\": %lld, \"max_ready_width\": %lld}%s\n",
+        JsonEscape(e.plan).c_str(), JsonEscape(e.kind).c_str(), e.threads,
+        e.depth, s.wall_seconds, s.io_seconds, s.compute_seconds,
+        s.overlap_seconds, s.compute_overlap_seconds,
+        static_cast<long long>(s.bytes_read),
+        static_cast<long long>(s.bytes_written),
+        static_cast<long long>(s.parallel_groups),
+        static_cast<long long>(s.max_ready_width),
+        i + 1 < entries_.size() ? "," : "");
+    f << buf;
+  }
+  f << "  ]\n}\n";
+  std::printf("[%s] wrote %zu runs to %s\n", bench_.c_str(), entries_.size(),
+              path_.c_str());
+}
+
+void RunThreadSweep(const std::string& name,
+                    const std::function<Workload(int64_t)>& factory,
+                    BenchJson* json) {
+  Workload w = factory(ExecScale());
+  w.program.Validate().CheckOK();
+  auto env = NewMemEnv();
+
+  std::printf(
+      "\n=== %s: exec_threads sweep (MemEnv, original schedule, "
+      "1/%lld scale) ===\n",
+      name.c_str(), static_cast<long long>(ExecScale()));
+  std::printf("%8s %6s %9s %9s %9s %10s %12s %6s %7s\n", "threads", "depth",
+              "wall(s)", "io(s)", "cpu(s)", "overlap(s)", "cpu_ovl(s)",
+              "width", "groups");
+
+  Runtime ref_rt;
+  double serial_wall = 0.0, best_parallel_wall = 0.0;
+  int run_idx = 0;
+  for (int threads : {1, 2, 4}) {
+    for (int depth : {0, 2}) {
+      std::string dir = "/sweep" + std::to_string(run_idx++);
+      auto rt = OpenStores(env.get(), w.program, dir);
+      rt.status().CheckOK();
+      InitInputs(w, *rt, /*seed=*/1234).CheckOK();
+      ExecOptions eo;
+      eo.exec_threads = threads;
+      eo.pipeline_depth = depth;
+      Executor ex(w.program, rt->raw(), w.kernels, eo);
+      auto stats = ex.Run(w.program.original_schedule(), {});
+      stats.status().CheckOK();
+      std::printf("%8d %6d %9.3f %9.3f %9.3f %10.3f %12.3f %6lld %7lld\n",
+                  threads, depth, stats->wall_seconds, stats->io_seconds,
+                  stats->compute_seconds, stats->overlap_seconds,
+                  stats->compute_overlap_seconds,
+                  static_cast<long long>(stats->max_ready_width),
+                  static_cast<long long>(stats->parallel_groups));
+      if (json != nullptr) {
+        json->Add("original", "sweep", threads, depth, *stats);
+      }
+      if (threads == 1 && depth == 0) {
+        serial_wall = stats->wall_seconds;
+        ref_rt = std::move(rt).ValueOrDie();
+        continue;
+      }
+      if (threads == 4) {
+        best_parallel_wall = best_parallel_wall == 0.0
+                                 ? stats->wall_seconds
+                                 : std::min(best_parallel_wall,
+                                            stats->wall_seconds);
+      }
+      // Every configuration must reproduce the serial outputs exactly.
+      for (int arr : w.output_arrays) {
+        const ArrayInfo& info = w.program.array(arr);
+        auto d = MaxAbsDifference(
+            info, ref_rt.stores[static_cast<size_t>(arr)].get(),
+            rt->stores[static_cast<size_t>(arr)].get());
+        d.status().CheckOK();
+        RIOT_CHECK(*d == 0.0)
+            << name << " threads=" << threads << " depth=" << depth
+            << " diverged on " << info.name;
+      }
+    }
+  }
+  if (serial_wall > 0.0 && best_parallel_wall > 0.0) {
+    std::printf("speedup exec_threads=4 over serial: %.2fx "
+                "(hardware: %u cores)\n",
+                serial_wall / best_parallel_wall,
+                std::thread::hardware_concurrency());
+  }
 }
 
 void Harness::PrintPlanSpace(size_t max_rows) const {

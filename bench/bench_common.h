@@ -32,6 +32,46 @@ struct PlanRun {
   double scale_factor;      // paper bytes / scaled bytes (for comparison)
 };
 
+/// \brief Machine-readable benchmark trajectory: `--json <path>` on a bench
+/// binary collects every run (plan-table runs and thread sweeps) into one
+/// JSON file — {"bench": ..., "runs": [{plan, kind, threads,
+/// pipeline_depth, wall_seconds, io_seconds, compute_seconds,
+/// overlap_seconds, compute_overlap_seconds, bytes_read, bytes_written,
+/// parallel_groups, max_ready_width}, ...]} — so scripts/bench_json.sh can
+/// track wall/overlap/utilization across commits without parsing tables.
+class BenchJson {
+ public:
+  /// Parses `--json <path>` out of argv; inactive (all calls no-ops) when
+  /// the flag is absent.
+  BenchJson(std::string bench_name, int argc, char** argv);
+
+  void Add(const std::string& plan, const std::string& kind, int threads,
+           int pipeline_depth, const ExecStats& stats);
+  /// Writes the file; prints the path. No-op when inactive.
+  void Flush();
+
+  bool active() const { return !path_.empty(); }
+
+ private:
+  struct Entry {
+    std::string plan, kind;
+    int threads, depth;
+    ExecStats stats;
+  };
+  std::string bench_;
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
+/// \brief Executes the workload's original schedule at {1, 2, 4} kernel
+/// threads x {0, 2} pipeline depth against an in-memory Env (unthrottled,
+/// compute-bound), verifies every configuration's outputs are bit-for-bit
+/// equal to the serial run, prints a utilization table (wall, io, cpu,
+/// overlap, DAG width), and records each point into `json` when provided.
+void RunThreadSweep(const std::string& name,
+                    const std::function<Workload(int64_t)>& factory,
+                    BenchJson* json);
+
 class Harness {
  public:
   /// `factory(scale)` builds the workload at the given scale.

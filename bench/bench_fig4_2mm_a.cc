@@ -1,9 +1,9 @@
 // E4 (DESIGN.md): two matrix multiplications, Config A (Figure 4).
 #include "bench_2mm.h"
 
-int main() {
+int main(int argc, char** argv) {
   riot::bench::Run(riot::TwoMatMulConfig::kConfigA,
                    "Figure 4 / Table 3: two matrix multiplications, Config A",
-                   "Plan 2 (fuse, share A)");
+                   "Plan 2 (fuse, share A)", argc, argv);
   return 0;
 }

@@ -3,9 +3,9 @@
 // suboptimal here, where Plan 3 wins.
 #include "bench_2mm.h"
 
-int main() {
+int main(int argc, char** argv) {
   riot::bench::Run(riot::TwoMatMulConfig::kConfigB,
                    "Figure 5 / Table 3: two matrix multiplications, Config B",
-                   "Plan 3 (share A,B,D)");
+                   "Plan 3 (share A,B,D)", argc, argv);
   return 0;
 }

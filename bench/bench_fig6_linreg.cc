@@ -43,8 +43,9 @@ int CheapestWith(const OptimizationResult& r, const Program& p,
   return best;
 }
 
-void Run() {
+void Run(int argc, char** argv) {
   std::printf("=== Figure 6 / Table 4: linear regression (7 steps) ===\n");
+  BenchJson json("fig6_linreg", argc, argv);
   Harness h("fig6", MakeLinReg);
   OptimizerOptions opts;
   // The paper's machine has 8 GB; plans beyond that are not selectable.
@@ -90,6 +91,10 @@ void Run() {
   if (best != plan2 && best != plan1 && best != 0) {
     runs.push_back(h.RunPlan(best, "our best (8GB cap)"));
   }
+  for (const PlanRun& run : runs) {
+    json.Add(run.label, "plan", /*threads=*/1, /*pipeline_depth=*/0,
+             run.measured);
+  }
   Harness::PrintRuns(runs);
 
   if (plan2 >= 0) {
@@ -110,13 +115,16 @@ void Run() {
                     .DescribeOpportunities(p, r.analysis.sharing)
                     .c_str());
   }
+
+  RunThreadSweep("fig6_linreg", MakeLinReg, &json);
+  json.Flush();
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace riot
 
-int main() {
-  riot::bench::Run();
+int main(int argc, char** argv) {
+  riot::bench::Run(argc, argv);
   return 0;
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Machine-readable bench trajectory: runs the 2mm (Config A and B) and
+# linreg sweeps and drops BENCH_<name>.json files (wall, io_seconds,
+# compute_seconds, overlap, threads, DAG width) into the output directory.
+#
+# Usage: scripts/bench_json.sh [build_dir] [out_dir]
+#   build_dir: CMake build tree with the bench binaries (default: build)
+#   out_dir:   where to write BENCH_*.json (default: .)
+# RIOT_SCALE shrinks/grows execution scale as usual.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+out_dir="${2:-.}"
+
+if [[ ! -x "${build_dir}/bench_fig4_2mm_a" ]]; then
+  echo "bench binaries missing; build first: cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+mkdir -p "${out_dir}"
+
+for bench in fig4_2mm_a fig5_2mm_b fig6_linreg; do
+  bin="${build_dir}/bench_${bench}"
+  out="${out_dir}/BENCH_${bench}.json"
+  echo "=== ${bench} -> ${out}"
+  "${bin}" --json "${out}"
+done
+echo "wrote: $(ls "${out_dir}"/BENCH_*.json | tr '\n' ' ')"

@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
 # Tier-1 verification matrix: build + ctest in Debug and Release, mirroring
-# .github/workflows/ci.yml for machines without Actions.
+# .github/workflows/ci.yml for machines without Actions. The fast suite
+# excludes stress-labeled soaks; pass --stress to run those too (Release),
+# mirroring the CI stress job.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 2)"
+run_stress=0
+[[ "${1:-}" == "--stress" ]] && run_stress=1
 
 for build_type in Debug Release; do
   dir="build-${build_type,,}"
   echo "=== ${build_type} ==="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE="${build_type}"
   cmake --build "${dir}" -j "${jobs}"
-  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" -LE stress
 done
+if [[ "${run_stress}" == "1" ]]; then
+  echo "=== stress (Release) ==="
+  ctest --test-dir build-release --output-on-failure -j "${jobs}" -L stress
+fi
 echo "All checks passed."

@@ -1,7 +1,10 @@
 #include "core/access_plan.h"
 
+#include <algorithm>
 #include <map>
+#include <set>
 #include <tuple>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -74,6 +77,74 @@ AccessScript BuildAccessScript(const Program& program,
         std::max(script.max_instance_bytes, inst_bytes);
   }
   return script;
+}
+
+InstanceDag BuildInstanceDag(const AccessScript& script) {
+  InstanceDag dag;
+  const size_t n = script.per_pos.size();
+  dag.succ.resize(n);
+  dag.pred_count.assign(n, 0);
+
+  std::set<std::pair<uint32_t, uint32_t>> edges;
+  auto add_edge = [&](size_t from, size_t to) {
+    if (from == to) return;  // accesses within one instance are not edges
+    RIOT_CHECK_LT(from, to) << "dependence edge must point forward";
+    auto key = std::make_pair(static_cast<uint32_t>(from),
+                              static_cast<uint32_t>(to));
+    if (edges.insert(key).second) {
+      dag.succ[from].push_back(key.second);
+      ++dag.pred_count[to];
+    }
+  };
+
+  // Per-(array, block) scan state. `readers` holds every read since the
+  // last write (WAR sources); `materializer` is the latest access that
+  // (re)loaded or produced the in-memory frame (write or non-saved read),
+  // which saved reads must run after.
+  struct BlockState {
+    int64_t last_write = -1;
+    int64_t materializer = -1;
+    std::vector<uint32_t> readers;
+  };
+  std::map<std::pair<int, int64_t>, BlockState> state;
+
+  for (const BlockAccessRecord& rec : script.records) {
+    BlockState& bs = state[{rec.array_id, rec.block}];
+    if (rec.type == AccessType::kRead) {
+      if (bs.last_write >= 0) {
+        add_edge(static_cast<size_t>(bs.last_write), rec.pos);  // RAW
+      }
+      if (rec.saved && bs.materializer >= 0) {
+        add_edge(static_cast<size_t>(bs.materializer), rec.pos);
+      }
+      if (!rec.saved) bs.materializer = static_cast<int64_t>(rec.pos);
+      bs.readers.push_back(static_cast<uint32_t>(rec.pos));
+    } else {
+      for (uint32_t r : bs.readers) add_edge(r, rec.pos);  // WAR
+      if (bs.last_write >= 0) {
+        add_edge(static_cast<size_t>(bs.last_write), rec.pos);  // WAW
+      }
+      bs.last_write = static_cast<int64_t>(rec.pos);
+      bs.materializer = static_cast<int64_t>(rec.pos);
+      bs.readers.clear();
+    }
+  }
+
+  // Sort successor lists and derive the level structure. Position order is
+  // topological (edges point forward), so one forward sweep suffices.
+  std::vector<size_t> depth(n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    std::sort(dag.succ[p].begin(), dag.succ[p].end());
+    for (uint32_t s : dag.succ[p]) {
+      depth[s] = std::max(depth[s], depth[p] + 1);
+    }
+  }
+  std::map<size_t, size_t> width_at;
+  for (size_t p = 0; p < n; ++p) {
+    dag.critical_path = std::max(dag.critical_path, depth[p] + 1);
+    dag.max_width = std::max(dag.max_width, ++width_at[depth[p]]);
+  }
+  return dag;
 }
 
 }  // namespace riot

@@ -13,6 +13,12 @@
 //   * how long the block must stay resident (retention), and
 //   * for disk reads, the latest earlier write to the same block
 //     (`dep_pos`) — the position a prefetcher must not run ahead of.
+//
+// The same foreknowledge also yields the statement-instance dependence DAG
+// (BuildInstanceDag): the partial order the parallel executor must respect
+// when it dispatches kernels onto a worker pool. Any linear extension of
+// the DAG — in particular any interleaving the scheduler happens to pick —
+// produces bit-for-bit the outputs of the scheduled serial order.
 #ifndef RIOTSHARE_CORE_ACCESS_PLAN_H_
 #define RIOTSHARE_CORE_ACCESS_PLAN_H_
 
@@ -58,6 +64,43 @@ struct AccessScript {
 
 /// \brief Lowers `rp` (over `program`) into its block access script.
 AccessScript BuildAccessScript(const Program& program, const RealizedPlan& rp);
+
+/// \brief Statement-instance dependence DAG over the scheduled stream.
+///
+/// An edge p -> q (p < q in scheduled order) means instance q must not
+/// start before instance p has completed. Edges are derived from the block
+/// accesses already lowered into the script:
+///   * RAW: q reads a block p wrote (q must see p's data, in memory or via
+///     p's write-through),
+///   * WAR: q writes a block p read (q's kernel mutates the frame p's
+///     kernel consumes),
+///   * WAW: q writes a block p wrote (frame contents and the disk image
+///     must end in scheduled order),
+///   * saved-read materialization: q's read is served from memory by the
+///     plan, so it must wait for the access that brought the block in and
+///     retained it (the latest earlier write or non-saved read) — this is
+///     the one edge kind that can connect two reads.
+/// Instances with no path between them may execute concurrently: reads of
+/// the same block never conflict (the executor loads each frame exactly
+/// once behind a latch, then the contents are immutable until the next
+/// DAG-ordered writer).
+struct InstanceDag {
+  /// succ[p] = positions directly depending on p, ascending, deduplicated.
+  std::vector<std::vector<uint32_t>> succ;
+  /// Number of direct dependencies of each position (in-degree).
+  std::vector<uint32_t> pred_count;
+  /// Longest dependence chain, in instances: the number of sequential
+  /// "waves" a perfectly parallel machine still needs.
+  size_t critical_path = 0;
+  /// Largest number of instances at the same chain depth: the peak
+  /// theoretical kernel parallelism of the plan.
+  size_t max_width = 0;
+};
+
+/// \brief Builds the instance dependence DAG of a lowered script. Edges
+/// always point forward in scheduled position, so position order is a
+/// topological order.
+InstanceDag BuildInstanceDag(const AccessScript& script);
 
 }  // namespace riot
 

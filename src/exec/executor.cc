@@ -1,9 +1,16 @@
 #include "exec/executor.h"
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
+#include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <thread>
 #include <tuple>
 
 #include "core/access_plan.h"
@@ -19,6 +26,39 @@ double Since(const std::chrono::steady_clock::time_point& t0) {
       .count();
 }
 
+void AtomicMax(std::atomic<int64_t>* target, int64_t value) {
+  int64_t cur = target->load();
+  while (cur < value && !target->compare_exchange_weak(cur, value)) {
+  }
+}
+
+// Saved/elided writes legitimately leave frame contents different from
+// disk; retention covers every in-run consumer, but such frames must not
+// outlive the run as apparently clean cache in a shared pool. The script
+// knows them statically.
+void DropDivergentWrites(const AccessScript& script, BufferPool* pool) {
+  for (const BlockAccessRecord& rec : script.records) {
+    if (rec.type == AccessType::kWrite && rec.saved) {
+      pool->Drop(rec.array_id, rec.block);
+    }
+  }
+}
+
+// Per-run view of the pool counters: a shared pool accumulates across
+// runs, so each run reports the delta from its own start snapshot.
+BufferPoolStats DiffPoolStats(const BufferPoolStats& end,
+                              const BufferPoolStats& start) {
+  BufferPoolStats d;
+  d.hits = end.hits - start.hits;
+  d.misses = end.misses - start.misses;
+  d.evictions = end.evictions - start.evictions;
+  d.dirty_writebacks = end.dirty_writebacks - start.dirty_writebacks;
+  d.prefetch_issued = end.prefetch_issued - start.prefetch_issued;
+  d.prefetch_declined = end.prefetch_declined - start.prefetch_declined;
+  d.prefetch_abandoned = end.prefetch_abandoned - start.prefetch_abandoned;
+  return d;
+}
+
 }  // namespace
 
 Executor::Executor(const Program& program, std::vector<BlockStore*> stores,
@@ -31,6 +71,22 @@ Executor::Executor(const Program& program, std::vector<BlockStore*> stores,
 
 Result<ExecStats> Executor::Run(const Schedule& schedule,
                                 const std::vector<const CoAccess*>& realized) {
+  // The opportunistic-cache ablation is defined against the serial
+  // reference order; everything else may go parallel.
+  if (opts_.exec_threads > 1 && opts_.mode != ExecMode::kOpportunisticCache) {
+    return RunParallel(schedule, realized);
+  }
+  return RunSerial(schedule, realized);
+}
+
+// ---------------------------------------------------------------------------
+// Serial engine (exec_threads = 1): one thread walks the scheduled instance
+// stream; the optional prefetch pipeline issues asynchronous reads ahead of
+// it. This is the reference semantics every parallel configuration must
+// reproduce bit-for-bit.
+// ---------------------------------------------------------------------------
+Result<ExecStats> Executor::RunSerial(
+    const Schedule& schedule, const std::vector<const CoAccess*>& realized) {
   auto wall0 = std::chrono::steady_clock::now();
   const bool opportunistic = opts_.mode == ExecMode::kOpportunisticCache;
   // Under the opportunistic-cache ablation the plan's sharing set is
@@ -40,7 +96,10 @@ Result<ExecStats> Executor::Run(const Schedule& schedule,
                                     ? std::vector<const CoAccess*>{}
                                     : realized);
   const AccessScript script = BuildAccessScript(prog_, rp);
-  BufferPool pool(opts_.memory_cap_bytes);
+  BufferPool local_pool(opts_.memory_cap_bytes);
+  BufferPool& pool = opts_.shared_pool != nullptr ? *opts_.shared_pool
+                                                  : local_pool;
+  const BufferPoolStats pool_stats0 = pool.stats();
   ExecStats stats;
 
   // ------------------------------------------------- pipeline stage 1 state
@@ -68,7 +127,7 @@ Result<ExecStats> Executor::Run(const Schedule& schedule,
     int64_t budget = opts_.prefetch_budget_bytes;
     if (budget <= 0) {
       budget = std::max<int64_t>(
-          0, (opts_.memory_cap_bytes - script.max_instance_bytes) / 2);
+          0, (pool.cap_bytes() - script.max_instance_bytes) / 2);
     }
     pool.SetPrefetchBudget(budget);
   }
@@ -216,92 +275,635 @@ Result<ExecStats> Executor::Run(const Schedule& schedule,
   };
 
   // ------------------------------------------------- pipeline stage 2 loop
-  size_t cur_group = 0;
+  // The body returns early on error; the cleanup below the lambda then
+  // unpins whatever the failed instance had acquired, drains the pipeline,
+  // and releases retentions, so even an error leaves `pool` clean (the
+  // shared_pool contract).
   std::vector<BufferPool::Frame*> frames;
-  std::vector<DenseView> views;
-  std::vector<DenseView*> view_ptrs;
-  for (size_t pos = 0; pos < rp.order.size(); ++pos) {
-    const auto& inst = rp.order[pos];
-    if (rp.group_of[pos] != cur_group) {
-      cur_group = rp.group_of[pos];
-      pool.ReleaseRetainedBefore(static_cast<int64_t>(cur_group));
-    }
-    if (depth > 0) advance_prefetcher(cur_group, pos);
-    const Statement& st = prog_.statement(inst.stmt_id);
-    const size_t na = st.accesses.size();
-    frames.assign(na, nullptr);
-    views.assign(na, DenseView{});
-    view_ptrs.assign(na, nullptr);
+  Status run_status = [&]() -> Status {
+    size_t cur_group = 0;
+    std::vector<DenseView> views;
+    std::vector<DenseView*> view_ptrs;
+    for (size_t pos = 0; pos < rp.order.size(); ++pos) {
+      const auto& inst = rp.order[pos];
+      if (rp.group_of[pos] != cur_group) {
+        cur_group = rp.group_of[pos];
+        pool.ReleaseRetainedBefore(static_cast<int64_t>(cur_group));
+      }
+      if (depth > 0) advance_prefetcher(cur_group, pos);
+      const Statement& st = prog_.statement(inst.stmt_id);
+      const size_t na = st.accesses.size();
+      frames.assign(na, nullptr);
+      views.assign(na, DenseView{});
+      view_ptrs.assign(na, nullptr);
 
-    // Serve this instance's accesses off the script (reads first, then the
-    // write — a read may populate the frame the write access aliases).
-    const auto [rec_begin, rec_end] = script.per_pos[pos];
-    for (uint32_t ri = rec_begin; ri < rec_end; ++ri) {
-      const BlockAccessRecord& rec = script.records[ri];
-      const size_t ai = static_cast<size_t>(rec.access_idx);
-      const ArrayInfo& arr = prog_.array(rec.array_id);
-      BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
-      Key key{rec.array_id, rec.block};
-      const bool has_pending = depth > 0 && pending.count(key) > 0;
-      BufferPool::Frame* frame = nullptr;
+      // Serve this instance's accesses off the script (reads first, then
+      // the write — a read may populate the frame the write access
+      // aliases).
+      const auto [rec_begin, rec_end] = script.per_pos[pos];
+      for (uint32_t ri = rec_begin; ri < rec_end; ++ri) {
+        const BlockAccessRecord& rec = script.records[ri];
+        const size_t ai = static_cast<size_t>(rec.access_idx);
+        const ArrayInfo& arr = prog_.array(rec.array_id);
+        BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
+        Key key{rec.array_id, rec.block};
+        const bool has_pending = depth > 0 && pending.count(key) > 0;
+        BufferPool::Frame* frame = nullptr;
 
-      if (rec.type == AccessType::kRead && !rec.saved && has_pending) {
-        // The prefetcher issued this very disk read; adopt its frame.
-        Pending& p = wait_pending(key);
-        if (!p.status.ok()) return p.status;
-        frame = pool.AdoptPrefetched(p.frame);
-        pending.erase(key);
-        ++stats.prefetch_hits;
-        stats.bytes_read += rec.bytes;
-        ++stats.block_reads;
-      } else {
-        // Any other access colliding with an in-flight prefetch resolves
-        // it first (defensive; the script's dependence positions make this
-        // unreachable for writes).
-        if (has_pending) cancel_key(key);
-        if (rec.type == AccessType::kRead) {
-          // A read is served from memory ONLY when the plan realizes a
-          // sharing opportunity for it (Section 5.3: a schedule may
-          // "accidentally" enable more sharing, but generated code
-          // exploits exactly Q). Everything else is a disk read, even on
-          // a pool hit.
-          bool saved = rec.saved;
-          BufferPool::Frame* present = pool.Probe(rec.array_id, rec.block);
-          if (opportunistic) {
-            // Whatever the pool still holds is reusable; correctness is
-            // preserved because performed writes are write-through, so any
-            // cached frame matches disk.
-            saved = present != nullptr;
-          }
-          if (saved && present == nullptr && opts_.strict_sharing) {
-            return Status::Internal(
-                "saved read not in memory: " + st.name + " access " +
-                std::to_string(ai) + " (plan/realization bug)");
-          }
-          auto f = fetch_frame(rec.array_id, rec.block, rec.bytes, store);
-          if (!f.ok()) return f.status();
-          frame = *f;
-          if (!saved || present == nullptr) {
-            RIOT_RETURN_NOT_OK(
-                sync_read(store, rec.block, frame->data.data()));
-            stats.bytes_read += rec.bytes;
-            ++stats.block_reads;
-          }
+        if (rec.type == AccessType::kRead && !rec.saved && has_pending) {
+          // The prefetcher issued this very disk read; adopt its frame.
+          Pending& p = wait_pending(key);
+          if (!p.status.ok()) return p.status;
+          frame = pool.AdoptPrefetched(p.frame);
+          pending.erase(key);
+          ++stats.prefetch_hits;
+          stats.bytes_read += rec.bytes;
+          ++stats.block_reads;
         } else {
-          // Write target: no disk read; a guarded read access of the same
-          // block (accumulation) was fetched in the read pass if live.
-          auto f = fetch_frame(rec.array_id, rec.block, rec.bytes, store);
-          if (!f.ok()) return f.status();
-          frame = *f;
+          // Any other access colliding with an in-flight prefetch resolves
+          // it first (defensive; the script's dependence positions make
+          // this unreachable for writes).
+          if (has_pending) cancel_key(key);
+          if (rec.type == AccessType::kRead) {
+            // A read is served from memory ONLY when the plan realizes a
+            // sharing opportunity for it (Section 5.3: a schedule may
+            // "accidentally" enable more sharing, but generated code
+            // exploits exactly Q). Everything else is a disk read, even on
+            // a pool hit.
+            bool saved = rec.saved;
+            BufferPool::Frame* present = pool.Probe(rec.array_id, rec.block);
+            if (opportunistic) {
+              // Whatever the pool still holds is reusable; correctness is
+              // preserved because performed writes are write-through, so
+              // any cached frame matches disk.
+              saved = present != nullptr;
+            }
+            if (saved && present == nullptr && opts_.strict_sharing) {
+              return Status::Internal(
+                  "saved read not in memory: " + st.name + " access " +
+                  std::to_string(ai) + " (plan/realization bug)");
+            }
+            auto f = fetch_frame(rec.array_id, rec.block, rec.bytes, store);
+            if (!f.ok()) return f.status();
+            frame = *f;
+            if (!saved || present == nullptr) {
+              Status rst = sync_read(store, rec.block, frame->data.data());
+              if (!rst.ok()) {
+                // The frame now holds zeros/garbage; it must not linger in
+                // the pool as apparently clean cache (shared_pool reuse).
+                pool.Discard(frame);
+                return rst;
+              }
+              stats.bytes_read += rec.bytes;
+              ++stats.block_reads;
+            }
+          } else {
+            // Write target: no disk read; a guarded read access of the
+            // same block (accumulation) was fetched in the read pass if
+            // live.
+            auto f = fetch_frame(rec.array_id, rec.block, rec.bytes, store);
+            if (!f.ok()) return f.status();
+            frame = *f;
+          }
+        }
+        frames[ai] = frame;
+        RIOT_CHECK_EQ(arr.ndim(), 2u) << "executor requires 2-D arrays";
+        views[ai] = DenseView{reinterpret_cast<double*>(frame->data.data()),
+                              arr.block_elems[0], arr.block_elems[1]};
+        view_ptrs[ai] = &views[ai];
+        if (rec.retain_until_group >= 0) {
+          pool.Retain(frame, rec.retain_until_group);
         }
       }
-      frames[ai] = frame;
+
+      // Compute.
+      {
+        auto t0 = std::chrono::steady_clock::now();
+        kernels_[static_cast<size_t>(inst.stmt_id)](inst.iter, view_ptrs);
+        stats.compute_seconds += Since(t0);
+      }
+
+      // Write-out.
+      for (uint32_t ri = rec_begin; ri < rec_end; ++ri) {
+        const BlockAccessRecord& rec = script.records[ri];
+        if (rec.type != AccessType::kWrite) continue;
+        const size_t ai = static_cast<size_t>(rec.access_idx);
+        if (frames[ai] == nullptr) continue;
+        if (!rec.saved) {
+          BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
+          Status wst = sync_write(store, frames[ai]->block,
+                                  frames[ai]->data.data());
+          if (!wst.ok()) {
+            // The failed (and any not-yet-performed) write frame holds
+            // kernel output that never reached disk; it must not linger
+            // as apparently clean cache (shared_pool reuse).
+            for (uint32_t rj = ri; rj < rec_end; ++rj) {
+              const BlockAccessRecord& rw = script.records[rj];
+              const size_t aj = static_cast<size_t>(rw.access_idx);
+              if (rw.type != AccessType::kWrite || frames[aj] == nullptr) {
+                continue;
+              }
+              pool.Discard(frames[aj]);
+              frames[aj] = nullptr;
+            }
+            return wst;
+          }
+          stats.bytes_written += rec.bytes;
+          ++stats.block_writes;
+        }
+        // Either way the in-memory copy is authoritative; retention (set
+        // above) protects it for pending saved reads.
+        frames[ai]->dirty = false;
+      }
+
+      // Measure the requirement while the instance's frames are still
+      // pinned, then release them.
+      stats.peak_required_bytes =
+          std::max(stats.peak_required_bytes, pool.PinnedOrRetainedBytes());
+      for (size_t ai = 0; ai < na; ++ai) {
+        if (frames[ai] != nullptr) {
+          pool.Unpin(frames[ai]);
+          frames[ai] = nullptr;
+        }
+      }
+    }
+    return Status::OK();
+  }();
+
+  // Unified cleanup (success and error): unpin anything a failed instance
+  // still holds, drain the lookahead the plan ended ahead of, join the I/O
+  // workers, and release every retention this run created.
+  for (BufferPool::Frame* f : frames) {
+    if (f != nullptr) pool.Unpin(f);
+  }
+  while (cancel_one()) {
+  }
+  if (io != nullptr) {
+    stats.io_seconds += io->read_seconds();
+    io.reset();  // joins the workers
+  }
+  pool.ReleaseRetainedBefore(std::numeric_limits<int64_t>::max());
+  DropDivergentWrites(script, &pool);
+  if (!run_status.ok()) return run_status;
+
+  stats.pool = DiffPoolStats(pool.stats(), pool_stats0);
+  stats.wall_seconds = Since(wall0);
+  stats.overlap_seconds = std::max(
+      0.0, stats.io_seconds + stats.compute_seconds - stats.wall_seconds);
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine (exec_threads > 1): the access script is lifted to a
+// statement-instance dependence DAG and ready instances are dispatched onto
+// a kernel worker pool, smallest scheduled position first. The PR-1
+// prefetcher keeps running, gated on *completed* instances instead of a
+// serial cursor. Every physical hazard is covered by one of:
+//   * DAG edges (RAW/WAR/WAW + saved-read materialization) — orderings,
+//   * a per-block load latch — two concurrent readers of one frame load it
+//     exactly once,
+//   * per-store mutexes — store implementations are single-threaded,
+//   * the BufferPool's internal lock — frame table and accounting.
+// Memory pressure never deadlocks: a starved instance releases everything
+// it pinned and parks; the frontier instance (smallest incomplete position
+// — always dispatchable, since edges only point forward) retries until it
+// is alone, and only then is ResourceExhausted real.
+// ---------------------------------------------------------------------------
+Result<ExecStats> Executor::RunParallel(
+    const Schedule& schedule, const std::vector<const CoAccess*>& realized) {
+  auto wall0 = std::chrono::steady_clock::now();
+  RealizedPlan rp = RealizePlan(prog_, schedule, realized);
+  const AccessScript script = BuildAccessScript(prog_, rp);
+  const InstanceDag dag = BuildInstanceDag(script);
+  const size_t n = rp.order.size();
+
+  BufferPool local_pool(opts_.memory_cap_bytes);
+  BufferPool& pool = opts_.shared_pool != nullptr ? *opts_.shared_pool
+                                                  : local_pool;
+  const BufferPoolStats pool_stats0 = pool.stats();
+  const int depth = std::max(0, opts_.pipeline_depth);
+  const int nworkers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(std::max(1, opts_.exec_threads)),
+      std::max<size_t>(1, n)));
+
+  ExecStats stats;
+  stats.parallel_groups = static_cast<int64_t>(dag.critical_path);
+
+  using Key = std::pair<int, int64_t>;  // (array id, linear block)
+  struct Pending {
+    BufferPool::Frame* frame = nullptr;
+    bool done = false;
+    Status status;
+  };
+
+  // Per-worker stats merged on join; shared counters for paths that run in
+  // arbitrary contexts (prefetch cancelation, end-of-run drain).
+  struct LocalStats {
+    int64_t bytes_read = 0, bytes_written = 0;
+    int64_t block_reads = 0, block_writes = 0;
+    int64_t prefetch_hits = 0;
+    double io_seconds = 0.0, compute_seconds = 0.0;
+  };
+  std::atomic<int64_t> canceled_bytes{0}, canceled_reads{0},
+      prefetch_wasted{0}, peak_required{0};
+  std::atomic<bool> aborting{false};
+
+  // Completion flags are read by the prefetcher and by dependence checks
+  // without the scheduler lock.
+  std::unique_ptr<std::atomic<bool>[]> completed(
+      new std::atomic<bool>[std::max<size_t>(1, n)]);
+  for (size_t i = 0; i < n; ++i) completed[i].store(false);
+  std::atomic<size_t> group_frontier{0};
+
+  std::unique_ptr<IoPool> io;  // declared after `pool`: joins before frames die
+  StoreMutexMap fallback_store_mu;  // store serialization when no IoPool
+  if (depth > 0) {
+    io = std::make_unique<IoPool>(std::max(1, opts_.io_threads));
+    int64_t budget = opts_.prefetch_budget_bytes;
+    if (budget <= 0) {
+      budget = std::max<int64_t>(
+          0, (pool.cap_bytes() -
+              static_cast<int64_t>(nworkers) * script.max_instance_bytes) /
+                 2);
+    }
+    pool.SetPrefetchBudget(budget);
+  }
+
+  // ----------------------------------------------------- prefetcher state
+  // All of it lives under pf.mu. Consumers also hold pf.mu across their
+  // pending-table check *and* the subsequent pool Fetch, so the prefetcher
+  // can never slip a kPrefetching frame under a consumer between the two.
+  struct PrefetchState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool draining = false;  // one thread at a time sits in WaitCompletion
+    std::map<Key, Pending> pending;
+    std::map<uint64_t, Key> key_of_tag;
+    std::deque<Key> issue_order;
+    std::deque<size_t> deferred;  // dep-blocked record indices
+    size_t cursor = 0;
+    uint64_t next_tag = 0;
+  } pf;
+
+  // Load latch: (array, block) entries whose frame a consumer is currently
+  // filling from disk. Registered atomically with the creating Fetch
+  // (under pf.mu); later readers of the same frame wait here instead of
+  // racing the load.
+  struct LatchState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::set<Key> loading;
+  } latch;
+
+  // ------------------------------------------------------ scheduler state
+  struct Sched {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::priority_queue<size_t, std::vector<size_t>, std::greater<size_t>>
+        ready;                  // smallest scheduled position first
+    std::vector<size_t> parked; // memory-starved; re-queued on progress
+    std::vector<uint32_t> pred_left;
+    std::vector<size_t> group_left;  // incomplete instances per group
+    size_t n_done = 0;
+    size_t frontier = 0;   // smallest incomplete position
+    size_t running = 0;
+    uint64_t progress_epoch = 0;
+    int64_t max_width = 0;
+    bool failed = false;
+    Status error;
+  } sc;
+  sc.pred_left = dag.pred_count;
+  sc.group_left.assign(rp.num_groups, 0);
+  for (size_t p = 0; p < n; ++p) {
+    ++sc.group_left[rp.group_of[p]];
+    if (dag.pred_count[p] == 0) sc.ready.push(p);
+  }
+
+  // Registers a terminal error (first one wins) and wakes every waiter so
+  // the run unwinds promptly.
+  auto fail_run = [&](const Status& st) {
+    {
+      std::lock_guard<std::mutex> lock(sc.mu);
+      if (!sc.failed) {
+        sc.failed = true;
+        sc.error = st;
+      }
+    }
+    aborting.store(true);
+    sc.cv.notify_all();
+    latch.cv.notify_all();
+    pf.cv.notify_all();
+  };
+
+  auto sync_store_op = [&](BlockStore* store, double* io_acc,
+                           auto&& op) -> Status {
+    std::shared_ptr<std::mutex> serial = io != nullptr
+                                             ? io->store_mutex(store)
+                                             : fallback_store_mu.mutex_for(
+                                                   store);
+    std::lock_guard<std::mutex> lock(*serial);
+    auto t0 = std::chrono::steady_clock::now();
+    Status st = op();
+    *io_acc += Since(t0);
+    return st;
+  };
+
+  // --- prefetch helpers; callers hold pf.mu through the passed lock ------
+  // Marks the pending entry a consumed IoPool completion belongs to done.
+  auto resolve_completion_locked = [&](IoPool::Completion c) {
+    auto it = pf.key_of_tag.find(c.tag);
+    RIOT_CHECK(it != pf.key_of_tag.end());
+    Pending& p = pf.pending.at(it->second);
+    p.done = true;
+    p.status = std::move(c.status);
+    pool.CompletePrefetch(p.frame);
+    pf.key_of_tag.erase(it);
+  };
+
+  // Waits until the pending entry for `key` is done and returns it, or
+  // returns nullptr if another thread resolved (adopted or canceled) the
+  // entry while this one waited — concurrent consumers may race for the
+  // same block, and the first resolution wins. pf.mu is dropped while
+  // sitting in WaitCompletion; only one thread drains at a time.
+  auto wait_pending_locked = [&](std::unique_lock<std::mutex>& l,
+                                 const Key& key) -> Pending* {
+    for (;;) {
+      auto want = pf.pending.find(key);
+      if (want == pf.pending.end()) return nullptr;
+      if (want->second.done) return &want->second;
+      if (!pf.draining) {
+        pf.draining = true;
+        l.unlock();
+        IoPool::Completion c = io->WaitCompletion();
+        l.lock();
+        pf.draining = false;
+        resolve_completion_locked(std::move(c));
+        pf.cv.notify_all();
+      } else {
+        pf.cv.wait(l);
+      }
+    }
+  };
+
+  // False when the entry vanished before this thread could cancel it.
+  auto cancel_key_locked = [&](std::unique_lock<std::mutex>& l,
+                               const Key& key) -> bool {
+    Pending* p = wait_pending_locked(l, key);
+    if (p == nullptr) return false;
+    if (p->status.ok()) {
+      canceled_bytes.fetch_add(static_cast<int64_t>(p->frame->data.size()));
+      canceled_reads.fetch_add(1);
+    }
+    pool.AbandonPrefetch(p->frame);
+    prefetch_wasted.fetch_add(1);
+    pf.pending.erase(key);
+    return true;
+  };
+
+  auto cancel_one_locked = [&](std::unique_lock<std::mutex>& l) -> bool {
+    while (!pf.issue_order.empty()) {
+      Key key = pf.issue_order.back();
+      pf.issue_order.pop_back();
+      if (pf.pending.count(key) == 0) continue;  // already adopted
+      if (cancel_key_locked(l, key)) return true;
+    }
+    return false;
+  };
+
+  enum class Issue { kHandled, kDepBlocked, kNoRoom };
+  auto try_issue_locked = [&](const BlockAccessRecord& rec) -> Issue {
+    if (completed[rec.pos].load()) return Issue::kHandled;
+    if (rec.dep_pos >= 0 &&
+        !completed[static_cast<size_t>(rec.dep_pos)].load()) {
+      return Issue::kDepBlocked;  // producing write not performed yet
+    }
+    Key key{rec.array_id, rec.block};
+    if (pf.pending.count(key) > 0) return Issue::kHandled;
+    BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
+    BufferPool::Frame* f =
+        pool.TryStartPrefetch(rec.array_id, rec.block, rec.bytes, store);
+    if (f == nullptr) {
+      if (pool.Probe(rec.array_id, rec.block) != nullptr) {
+        return Issue::kHandled;  // resident; a consumer serves it directly
+      }
+      return Issue::kNoRoom;
+    }
+    uint64_t tag = pf.next_tag++;
+    pf.key_of_tag[tag] = key;
+    pf.pending.emplace(key, Pending{f, false, Status::OK()});
+    pf.issue_order.push_back(key);
+    io->ReadBlockAsync(store, rec.block, f->data.data(), tag);
+    return Issue::kHandled;
+  };
+
+  auto advance_prefetcher = [&]() {
+    if (io == nullptr) return;
+    std::unique_lock<std::mutex> l(pf.mu);
+    for (auto it = pf.deferred.begin(); it != pf.deferred.end();) {
+      Issue res = try_issue_locked(script.records[*it]);
+      if (res == Issue::kNoRoom) return;
+      if (res == Issue::kDepBlocked) {
+        ++it;
+      } else {
+        it = pf.deferred.erase(it);
+      }
+    }
+    const size_t gf = group_frontier.load();
+    while (pf.cursor < script.records.size()) {
+      const BlockAccessRecord& rec = script.records[pf.cursor];
+      if (rec.group > gf + static_cast<size_t>(depth)) break;
+      if (rec.type != AccessType::kRead || rec.saved) {
+        ++pf.cursor;
+        continue;
+      }
+      Issue res = try_issue_locked(rec);
+      if (res == Issue::kNoRoom) break;
+      if (res == Issue::kDepBlocked) pf.deferred.push_back(pf.cursor);
+      ++pf.cursor;
+    }
+  };
+
+  // --- frame acquisition --------------------------------------------------
+  // Returns the pinned frame for one record, fully loaded for reads. A
+  // kResourceExhausted status is retryable (the caller rolls back and
+  // parks); anything else is terminal.
+  // `created_out` (optional) reports whether this call created the frame
+  // (pool miss) rather than pinning a pre-existing resident one — the
+  // rollback logic may discard only frames the attempt itself created.
+  auto acquire_record = [&](const BlockAccessRecord& rec, LocalStats& ls,
+                            bool* created_out =
+                                nullptr) -> Result<BufferPool::Frame*> {
+    if (aborting.load()) {
+      return Status::Internal("aborted: concurrent failure");
+    }
+    if (created_out != nullptr) *created_out = false;
+    const Statement& st = prog_.statement(rec.stmt_id);
+    BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
+    const Key key{rec.array_id, rec.block};
+    BufferPool::Frame* frame = nullptr;
+    bool resident = false;
+    bool must_load = false;
+    {
+      std::unique_lock<std::mutex> pl(pf.mu);
+      if (pf.pending.count(key) > 0) {
+        if (rec.type == AccessType::kRead && !rec.saved) {
+          // The prefetcher issued this very disk read; adopt its frame
+          // (unless a racing consumer resolved it first — then the block
+          // is simply served through the regular fetch path below).
+          Pending* p = wait_pending_locked(pl, key);
+          if (p != nullptr) {
+            if (!p->status.ok()) return p->status;
+            BufferPool::Frame* adopted = pool.AdoptPrefetched(p->frame);
+            pf.pending.erase(key);
+            ++ls.prefetch_hits;
+            ls.bytes_read += rec.bytes;
+            ++ls.block_reads;
+            return adopted;
+          }
+        } else {
+          // A write or saved read colliding with an in-flight prefetch
+          // resolves it first (defensive; dependence gating makes this
+          // unreachable for writes).
+          cancel_key_locked(pl, key);
+        }
+      }
+      for (;;) {
+        auto f = pool.Fetch(rec.array_id, rec.block, rec.bytes, store,
+                            /*load=*/false, &resident);
+        if (f.ok()) {
+          frame = *f;
+          if (created_out != nullptr) *created_out = !resident;
+          break;
+        }
+        if (f.status().code() != StatusCode::kResourceExhausted) {
+          return f.status();
+        }
+        // Memory pressure: the consumer wins over lookahead.
+        if (!cancel_one_locked(pl)) return f.status();
+      }
+      if (rec.type == AccessType::kRead && !resident) {
+        if (rec.saved && opts_.strict_sharing) {
+          pool.Discard(frame);  // created zeroed by this Fetch, never loaded
+          return Status::Internal(
+              "saved read not in memory: " + st.name + " access " +
+              std::to_string(rec.access_idx) + " (plan/realization bug)");
+        }
+        must_load = true;
+        std::lock_guard<std::mutex> ll(latch.mu);
+        latch.loading.insert(key);
+      }
+    }
+    if (must_load) {
+      Status st_load = sync_store_op(store, &ls.io_seconds, [&] {
+        return store->ReadBlock(rec.block, frame->data.data());
+      });
+      if (!st_load.ok()) {
+        // Mark the run failed *before* releasing the latch so waiters on
+        // this garbage frame observe `aborting` when they wake, and
+        // discard the frame so it cannot linger as apparently clean cache
+        // (Unpin by the waiters erases it once the last pin drops).
+        fail_run(st_load);
+        pool.Discard(frame);
+      }
+      {
+        std::lock_guard<std::mutex> ll(latch.mu);
+        latch.loading.erase(key);
+      }
+      latch.cv.notify_all();
+      if (!st_load.ok()) return st_load;
+      ls.bytes_read += rec.bytes;
+      ++ls.block_reads;
+    } else if (rec.type == AccessType::kRead && resident) {
+      // The resident frame's contents are the block's current value (clean
+      // frames match disk via write-through; newer-than-disk frames exist
+      // only behind retentions the plan orders us after) — but another
+      // consumer may still be mid-load; wait behind the latch. The serial
+      // engine re-reads disk here to stay cost-model-exact; concurrent
+      // consumers instead dedupe the physically redundant read.
+      std::unique_lock<std::mutex> ll(latch.mu);
+      latch.cv.wait(ll, [&] {
+        return latch.loading.count(key) == 0 || aborting.load();
+      });
+      if (aborting.load()) {
+        // The run is failing; this frame may be the failed loader's
+        // garbage (then it is marked discarded and this Unpin erases it).
+        ll.unlock();
+        pool.Unpin(frame);
+        return Status::Internal("aborted: concurrent I/O failure");
+      }
+    }
+    return frame;
+  };
+
+  // --- one execution attempt of one instance ------------------------------
+  enum class Outcome { kDone, kPressure, kError };
+  auto try_exec_once = [&](size_t pos, LocalStats& ls) -> Outcome {
+    const auto& inst = rp.order[pos];
+    const Statement& st = prog_.statement(inst.stmt_id);
+    const size_t na = st.accesses.size();
+    std::vector<BufferPool::Frame*> frames(na, nullptr);
+    std::vector<DenseView> views(na);
+    std::vector<DenseView*> view_ptrs(na, nullptr);
+    const auto [rec_begin, rec_end] = script.per_pos[pos];
+
+    // Failed rollbacks must not leave frames whose contents lie:
+    //   * kAcquireFailed (kernel never ran): discard write targets this
+    //     attempt *created* — they are zero-filled, never written. A
+    //     pre-existing resident frame (e.g. the retained, newer-than-disk
+    //     block an aliased saved read depends on) is only unpinned.
+    //   * kKernelRan (write-through failed): every write frame holds
+    //     kernel output that may never have reached disk — discard all.
+    //   * kRelease (success): plain unpin; frames are valid cache.
+    enum class Rollback { kRelease, kAcquireFailed, kKernelRan };
+    std::vector<bool> is_write(na, false), created_write(na, false);
+    auto rollback = [&](Rollback mode) {
+      for (size_t ai = 0; ai < na; ++ai) {
+        if (frames[ai] == nullptr) continue;
+        const bool discard =
+            (mode == Rollback::kAcquireFailed && created_write[ai]) ||
+            (mode == Rollback::kKernelRan && is_write[ai]);
+        if (discard) {
+          pool.Discard(frames[ai]);
+        } else {
+          pool.Unpin(frames[ai]);
+        }
+        frames[ai] = nullptr;
+      }
+    };
+
+    // Acquisition: pin every frame (reads loaded, write targets bare)
+    // before any retention or kernel side effect, so a memory-starved
+    // attempt can roll back to nothing and be retried safely.
+    for (uint32_t ri = rec_begin; ri < rec_end; ++ri) {
+      const BlockAccessRecord& rec = script.records[ri];
+      bool created = false;
+      auto f = acquire_record(rec, ls, &created);
+      if (!f.ok()) {
+        rollback(Rollback::kAcquireFailed);
+        if (f.status().code() == StatusCode::kResourceExhausted &&
+            !aborting.load()) {
+          return Outcome::kPressure;
+        }
+        fail_run(f.status());
+        return Outcome::kError;
+      }
+      const size_t ai = static_cast<size_t>(rec.access_idx);
+      frames[ai] = *f;
+      is_write[ai] = rec.type == AccessType::kWrite;
+      created_write[ai] = created && is_write[ai];
+      const ArrayInfo& arr = prog_.array(rec.array_id);
       RIOT_CHECK_EQ(arr.ndim(), 2u) << "executor requires 2-D arrays";
-      views[ai] = DenseView{reinterpret_cast<double*>(frame->data.data()),
+      views[ai] = DenseView{reinterpret_cast<double*>(frames[ai]->data.data()),
                             arr.block_elems[0], arr.block_elems[1]};
       view_ptrs[ai] = &views[ai];
+    }
+    // All pinned: retentions are now applied exactly once, by the attempt
+    // that will actually complete the instance.
+    for (uint32_t ri = rec_begin; ri < rec_end; ++ri) {
+      const BlockAccessRecord& rec = script.records[ri];
       if (rec.retain_until_group >= 0) {
-        pool.Retain(frame, rec.retain_until_group);
+        pool.Retain(frames[static_cast<size_t>(rec.access_idx)],
+                    rec.retain_until_group);
       }
     }
 
@@ -309,10 +911,10 @@ Result<ExecStats> Executor::Run(const Schedule& schedule,
     {
       auto t0 = std::chrono::steady_clock::now();
       kernels_[static_cast<size_t>(inst.stmt_id)](inst.iter, view_ptrs);
-      stats.compute_seconds += Since(t0);
+      ls.compute_seconds += Since(t0);
     }
 
-    // Write-out.
+    // Write-out (write-through keeps every unretained frame == disk).
     for (uint32_t ri = rec_begin; ri < rec_end; ++ri) {
       const BlockAccessRecord& rec = script.records[ri];
       if (rec.type != AccessType::kWrite) continue;
@@ -320,37 +922,177 @@ Result<ExecStats> Executor::Run(const Schedule& schedule,
       if (frames[ai] == nullptr) continue;
       if (!rec.saved) {
         BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
-        RIOT_RETURN_NOT_OK(sync_write(store, frames[ai]->block,
-                                      frames[ai]->data.data()));
-        stats.bytes_written += rec.bytes;
-        ++stats.block_writes;
+        Status st_w = sync_store_op(store, &ls.io_seconds, [&] {
+          return store->WriteBlock(frames[ai]->block,
+                                   frames[ai]->data.data());
+        });
+        if (!st_w.ok()) {
+          rollback(Rollback::kKernelRan);
+          fail_run(st_w);
+          return Outcome::kError;
+        }
+        ls.bytes_written += rec.bytes;
+        ++ls.block_writes;
       }
-      // Either way the in-memory copy is authoritative; retention (set
-      // above) protects it for pending saved reads.
-      frames[ai]->dirty = false;
+      pool.MarkClean(frames[ai]);
     }
 
-    // Measure the requirement while the instance's frames are still pinned,
-    // then release them.
-    stats.peak_required_bytes =
-        std::max(stats.peak_required_bytes, pool.PinnedOrRetainedBytes());
-    for (size_t ai = 0; ai < na; ++ai) {
-      if (frames[ai] != nullptr) pool.Unpin(frames[ai]);
-    }
-  }
+    AtomicMax(&peak_required, pool.PinnedOrRetainedBytes());
+    rollback(Rollback::kRelease);  // release pins; retentions persist
+    return Outcome::kDone;
+  };
 
-  // Drain any lookahead the plan ended ahead of.
-  while (cancel_one()) {
-  }
+  // Retries an instance through memory pressure. Non-frontier instances
+  // report back to be parked; the frontier instance waits for the world to
+  // drain and only errors once it is provably alone and still starved.
+  auto exec_instance = [&](size_t pos, LocalStats& ls) -> Outcome {
+    bool retried_alone = false;
+    for (;;) {
+      if (aborting.load()) return Outcome::kError;
+      Outcome oc = try_exec_once(pos, ls);
+      if (oc != Outcome::kPressure) return oc;
+      std::unique_lock<std::mutex> sl(sc.mu);
+      if (sc.failed) return Outcome::kError;
+      if (pos != sc.frontier) return Outcome::kPressure;  // caller parks
+      if (sc.running == 1) {
+        if (retried_alone) {
+          sl.unlock();
+          fail_run(Status::ResourceExhausted(
+              "buffer pool cap exceeded with all frames pinned/retained "
+              "(parallel frontier instance " +
+              std::to_string(pos) + " starved while running alone)"));
+          return Outcome::kError;
+        }
+        retried_alone = true;  // one clean retry with the machine drained
+        continue;
+      }
+      retried_alone = false;
+      uint64_t epoch = sc.progress_epoch;
+      sc.cv.wait(sl, [&] {
+        return sc.failed || sc.running == 1 || sc.progress_epoch != epoch;
+      });
+      if (sc.failed) return Outcome::kError;
+    }
+  };
+
+  // ------------------------------------------------------- worker threads
+  std::vector<LocalStats> worker_stats(static_cast<size_t>(nworkers));
+  auto worker = [&](int wid) {
+    LocalStats& ls = worker_stats[static_cast<size_t>(wid)];
+    std::unique_lock<std::mutex> sl(sc.mu);
+    for (;;) {
+      sc.cv.wait(sl, [&] {
+        return sc.failed || !sc.ready.empty() || sc.n_done == n;
+      });
+      if (sc.failed || sc.n_done == n) return;
+      size_t pos = sc.ready.top();
+      sc.ready.pop();
+      ++sc.running;
+      sc.max_width = std::max(
+          sc.max_width,
+          static_cast<int64_t>(sc.running + sc.ready.size()));
+      sl.unlock();
+
+      if (depth > 0) advance_prefetcher();
+      Outcome oc = exec_instance(pos, ls);
+
+      sl.lock();
+      --sc.running;
+      ++sc.progress_epoch;
+      if (oc == Outcome::kDone) {
+        completed[pos].store(true);
+        ++sc.n_done;
+        while (sc.frontier < n && completed[sc.frontier].load()) {
+          ++sc.frontier;
+        }
+        const size_t g = rp.group_of[pos];
+        if (--sc.group_left[g] == 0) {
+          size_t gf = group_frontier.load();
+          while (gf < rp.num_groups && sc.group_left[gf] == 0) ++gf;
+          if (gf != group_frontier.load()) {
+            group_frontier.store(gf);
+            pool.ReleaseRetainedBefore(static_cast<int64_t>(gf));
+          }
+        }
+        for (uint32_t s : dag.succ[pos]) {
+          if (--sc.pred_left[s] == 0) sc.ready.push(s);
+        }
+        for (size_t p : sc.parked) sc.ready.push(p);
+        sc.parked.clear();
+      } else if (oc == Outcome::kPressure) {
+        sc.parked.push_back(pos);
+        // Parked instances are normally re-queued by the next completion —
+        // but that completion may have happened in the window between
+        // exec_instance dropping sc.mu and this re-lock. If this instance
+        // has meanwhile become the frontier, or nothing is left running to
+        // produce a future completion, re-queue immediately or the run
+        // would strand with work parked and every worker asleep.
+        if (pos == sc.frontier || sc.running == 0) {
+          for (size_t p : sc.parked) sc.ready.push(p);
+          sc.parked.clear();
+        }
+      }
+      // kError: fail_run already recorded it; fall through and let every
+      // worker observe sc.failed.
+      sc.cv.notify_all();
+    }
+  };
+
+  if (depth > 0) advance_prefetcher();  // prime the lookahead
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nworkers));
+  for (int w = 0; w < nworkers; ++w) threads.emplace_back(worker, w);
+  for (auto& t : threads) t.join();
+
+  // Drain every in-flight prefetch (abandoned lookahead on success, all of
+  // it on error) so no kPrefetching frame survives this run — mandatory
+  // when the pool is shared.
   if (io != nullptr) {
+    std::unique_lock<std::mutex> pl(pf.mu);
+    while (io->outstanding() > 0) {
+      pl.unlock();
+      IoPool::Completion c = io->WaitCompletion();
+      pl.lock();
+      resolve_completion_locked(std::move(c));
+    }
+    for (auto& [key, p] : pf.pending) {
+      RIOT_CHECK(p.done);
+      if (p.status.ok()) {
+        canceled_bytes.fetch_add(static_cast<int64_t>(p.frame->data.size()));
+        canceled_reads.fetch_add(1);
+      }
+      pool.AbandonPrefetch(p.frame);
+      prefetch_wasted.fetch_add(1);
+    }
+    pf.pending.clear();
     stats.io_seconds += io->read_seconds();
-    io.reset();  // joins the workers
+    io.reset();  // joins the I/O workers
   }
+  pool.ReleaseRetainedBefore(std::numeric_limits<int64_t>::max());
+  DropDivergentWrites(script, &pool);
 
-  stats.pool = pool.stats();
+  if (sc.failed) return sc.error;
+
+  for (const LocalStats& ls : worker_stats) {
+    stats.bytes_read += ls.bytes_read;
+    stats.bytes_written += ls.bytes_written;
+    stats.block_reads += ls.block_reads;
+    stats.block_writes += ls.block_writes;
+    stats.prefetch_hits += ls.prefetch_hits;
+    stats.io_seconds += ls.io_seconds;
+    stats.compute_seconds += ls.compute_seconds;
+  }
+  stats.bytes_read += canceled_bytes.load();
+  stats.block_reads += canceled_reads.load();
+  stats.prefetch_wasted = prefetch_wasted.load();
+  stats.peak_required_bytes = peak_required.load();
+  stats.max_ready_width = sc.max_width;
+  stats.pool = DiffPoolStats(pool.stats(), pool_stats0);
   stats.wall_seconds = Since(wall0);
   stats.overlap_seconds = std::max(
       0.0, stats.io_seconds + stats.compute_seconds - stats.wall_seconds);
+  stats.compute_overlap_seconds =
+      std::max(0.0, stats.compute_seconds - stats.wall_seconds);
   return stats;
 }
 

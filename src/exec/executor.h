@@ -7,14 +7,32 @@
 // memory or by I/O", retains shared blocks until their reuse, skips write
 // I/O for W->W-saved and elided writes, and displaces unneeded buffers.
 //
-// Execution is a two-stage pipeline over the plan's block access script
-// (core/access_plan.h): a prefetcher walks the script up to
-// ExecOptions::pipeline_depth groups ahead of the kernels, issuing
-// asynchronous reads through an I/O worker pool, while the consumer stage
-// runs kernels against completed frames. The optimizer's perfect
-// foreknowledge of the block access sequence is what makes the prefetch
-// deterministic — no heuristics, no speculation. pipeline_depth = 0
-// degrades to the fully synchronous engine bit-for-bit.
+// Two orthogonal forms of overlap, both derived from the optimizer's
+// perfect foreknowledge of the block access sequence — no heuristics, no
+// speculation:
+//
+//   * I/O pipeline (ExecOptions::pipeline_depth): a prefetcher walks the
+//     plan's block access script (core/access_plan.h) up to `depth` groups
+//     ahead of the kernels, issuing asynchronous reads through an I/O
+//     worker pool while kernels run against completed frames. Depth 0
+//     degrades to the fully synchronous engine bit-for-bit.
+//
+//   * Parallel kernel dispatch (ExecOptions::exec_threads): the script is
+//     lifted to a statement-instance dependence DAG (BuildInstanceDag) and
+//     ready instances are dispatched onto a pool of kernel workers,
+//     smallest scheduled position first. Workers acquire all of an
+//     instance's frames, run the kernel, perform the write-through, then
+//     release — so any interleaving the scheduler picks is a linear
+//     extension of the DAG and produces bit-for-bit the serial outputs.
+//     exec_threads = 1 (the default) runs the classic serial engine
+//     unchanged. With exec_threads > 1 the engine dedupes physically
+//     redundant reads (a non-saved read of a block still resident is
+//     served from the frame instead of re-touching disk), so I/O *counts*
+//     may come in under the cost model's serial prediction; outputs are
+//     unchanged. Parallel execution may transiently need more memory than
+//     the serial peak (out-of-order completions pin and retain early);
+//     memory-starved instances park and retry rather than fail, but a cap
+//     at exactly the serial peak is only guaranteed for exec_threads = 1.
 #ifndef RIOTSHARE_EXEC_EXECUTOR_H_
 #define RIOTSHARE_EXEC_EXECUTOR_H_
 
@@ -66,9 +84,27 @@ struct ExecOptions {
   /// I/O worker threads servicing prefetch reads when pipeline_depth >= 1.
   int io_threads = 2;
   /// Max bytes of prefetched lookahead resident at once. 0 = auto: half
-  /// the cap headroom above the largest single-instance footprint.
-  /// Prefetch never violates memory_cap_bytes regardless of this value.
+  /// the cap headroom above the largest per-worker instance footprint.
+  /// Prefetch never violates the memory cap regardless of this value.
   int64_t prefetch_budget_bytes = 0;
+  /// Kernel worker threads. 1 (default) = the serial engine, bit-for-bit.
+  /// > 1 dispatches DAG-ready statement instances onto this many workers
+  /// (composable with pipeline_depth: the prefetcher keeps feeding frames
+  /// while workers drain them). Ignored (treated as 1) under
+  /// kOpportunisticCache — the ablation is defined against the serial
+  /// reference order.
+  int exec_threads = 1;
+  /// Optional caller-owned pool to run against instead of a private one
+  /// (memory_cap_bytes is then ignored; the pool's own cap governs). Lets
+  /// tests assert pin hygiene after a run — success or error — and is the
+  /// seam future multi-query batching will share frames through. The run
+  /// releases every retention it created before returning; frames linger
+  /// only as clean, evictable cache, and a failed load's garbage frame is
+  /// discarded rather than cached. Lingering frames mirror the stores as
+  /// of the last run: a caller that mutates the stores out-of-band between
+  /// runs must use a fresh pool (or FlushAll), since the parallel engine
+  /// serves resident frames without re-touching disk.
+  BufferPool* shared_pool = nullptr;
 };
 
 struct ExecStats {
@@ -77,7 +113,8 @@ struct ExecStats {
   int64_t block_reads = 0;
   int64_t block_writes = 0;
   double io_seconds = 0.0;       // wall time inside block store calls
-  double compute_seconds = 0.0;  // wall time inside kernels
+  double compute_seconds = 0.0;  // wall time inside kernels (summed across
+                                 // workers when exec_threads > 1)
   double wall_seconds = 0.0;
   /// Peak of pinned+retained bytes: the plan's true memory requirement
   /// (comparable to the cost model's prediction).
@@ -86,9 +123,20 @@ struct ExecStats {
   int64_t prefetch_hits = 0;
   /// Prefetched blocks canceled under memory pressure or never consumed.
   int64_t prefetch_wasted = 0;
-  /// I/O + compute time hidden by the pipeline:
+  /// I/O + compute time hidden by pipelining and/or parallel dispatch:
   /// max(0, io_seconds + compute_seconds - wall_seconds).
   double overlap_seconds = 0.0;
+  /// Dependence-DAG levels (exec_threads > 1): the longest chain of
+  /// instances — the number of sequential waves a perfectly parallel
+  /// machine still executes. 0 in the serial engine (no DAG is built).
+  int64_t parallel_groups = 0;
+  /// Peak number of instances simultaneously ready or running, observed at
+  /// dispatch time (exec_threads > 1): > 1 means the DAG actually exposed
+  /// kernel parallelism on this run. 0 in the serial engine.
+  int64_t max_ready_width = 0;
+  /// Kernel time hidden behind other kernels by multi-threaded dispatch:
+  /// max(0, compute_seconds - wall_seconds). 0 in the serial engine.
+  double compute_overlap_seconds = 0.0;
   BufferPoolStats pool;
 };
 
@@ -99,10 +147,18 @@ class Executor {
            std::vector<StatementKernel> kernels, ExecOptions options = {});
 
   /// Runs the program under `schedule`, exploiting exactly `realized`.
+  /// Guarantees, success or error: all kernel and I/O workers joined, no
+  /// frame left pinned, no retention left behind (relevant when
+  /// ExecOptions::shared_pool is set).
   Result<ExecStats> Run(const Schedule& schedule,
                         const std::vector<const CoAccess*>& realized);
 
  private:
+  Result<ExecStats> RunSerial(const Schedule& schedule,
+                              const std::vector<const CoAccess*>& realized);
+  Result<ExecStats> RunParallel(const Schedule& schedule,
+                                const std::vector<const CoAccess*>& realized);
+
   const Program& prog_;
   std::vector<BlockStore*> stores_;
   std::vector<StatementKernel> kernels_;

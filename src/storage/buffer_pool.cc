@@ -57,14 +57,20 @@ Status BufferPool::EnsureCapacityLocked(int64_t incoming_bytes,
 
 Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
                                              int64_t bytes, BlockStore* store,
-                                             bool load) {
+                                             bool load, bool* was_resident) {
   std::lock_guard<std::mutex> lock(mu_);
   Key key{array_id, block};
   auto it = frames_.find(key);
+  if (was_resident != nullptr) *was_resident = it != frames_.end();
   if (it != frames_.end()) {
     Frame& f = it->second;
     RIOT_CHECK(f.state == FrameState::kRegular)
         << "Fetch on a block in a prefetch state (adopt/abandon it first)";
+    if (f.discarded) {
+      // Garbage contents (failed load) awaiting its holders' release; the
+      // run is already failing — refuse rather than hand out zeros.
+      return Status::Internal("fetch of a discarded frame (run aborting)");
+    }
     ++stats_.hits;
     MutateTracked(&f, [&] { ++f.pins; });
     TouchLocked(key);
@@ -90,10 +96,32 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
   return &ins->second;
 }
 
+void BufferPool::EraseFrameLocked(Frame* frame) {
+  Key key{frame->array_id, frame->block};
+  used_bytes_ -= static_cast<int64_t>(frame->data.size());
+  auto lit = lru_pos_.find(key);
+  RIOT_CHECK(lit != lru_pos_.end());
+  lru_.erase(lit->second);
+  lru_pos_.erase(lit);
+  frames_.erase(key);
+}
+
 void BufferPool::Unpin(Frame* frame) {
   std::lock_guard<std::mutex> lock(mu_);
   RIOT_CHECK_GT(frame->pins, 0);
   MutateTracked(frame, [&] { --frame->pins; });
+  if (frame->discarded && frame->pins == 0) EraseFrameLocked(frame);
+}
+
+void BufferPool::Discard(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RIOT_CHECK_GT(frame->pins, 0);
+  MutateTracked(frame, [&] {
+    --frame->pins;
+    frame->discarded = true;
+    frame->retain_until_group = -1;  // nothing may keep garbage alive
+  });
+  if (frame->pins == 0) EraseFrameLocked(frame);
 }
 
 void BufferPool::Retain(Frame* frame, int64_t until_group) {
@@ -102,6 +130,11 @@ void BufferPool::Retain(Frame* frame, int64_t until_group) {
     frame->retain_until_group =
         std::max(frame->retain_until_group, until_group);
   });
+}
+
+void BufferPool::MarkClean(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frame->dirty = false;
 }
 
 void BufferPool::ReleaseRetainedBefore(int64_t group) {
@@ -205,6 +238,18 @@ int64_t BufferPool::prefetch_bytes() const {
   return prefetch_bytes_;
 }
 
+void BufferPool::Drop(int array_id, int64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find({array_id, block});
+  if (it == frames_.end()) return;
+  Frame& f = it->second;
+  if (f.pins > 0 || f.retain_until_group >= 0 ||
+      f.state != FrameState::kRegular) {
+    return;
+  }
+  EraseFrameLocked(&f);
+}
+
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, f] : frames_) {
@@ -227,6 +272,15 @@ Status BufferPool::FlushAll() {
 int64_t BufferPool::used_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return used_bytes_;
+}
+
+int64_t BufferPool::PinnedFrames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const auto& [key, f] : frames_) {
+    if (f.pins > 0) ++n;
+  }
+  return n;
 }
 
 int64_t BufferPool::PinnedOrRetainedBytes() const {

@@ -10,7 +10,8 @@
 // so via the spill counters).
 //
 // The pool is thread-safe: the pipelined executor's I/O workers fill
-// prefetch frames while the execution thread fetches, pins, and retains.
+// prefetch frames while kernel workers (one in the serial engine, many
+// under exec_threads > 1) concurrently fetch, pin, and retain.
 // Prefetch has its own frame lifecycle (kPrefetching -> kPrefetched ->
 // adopted or abandoned) and its own budget, and is *never* allowed to
 // violate the cap, evict a pinned/retained/in-flight frame, or force a
@@ -65,6 +66,9 @@ class BufferPool {
     int64_t retain_until_group = -1;
     BlockStore* store = nullptr;  // for dirty write-back on eviction
     FrameState state = FrameState::kRegular;
+    /// Contents are garbage (e.g. a failed load): the frame is dropped when
+    /// its last pin releases, and Fetch refuses to hand it out meanwhile.
+    bool discarded = false;
   };
 
   explicit BufferPool(int64_t cap_bytes) : cap_bytes_(cap_bytes) {}
@@ -73,16 +77,30 @@ class BufferPool {
   /// when `load` is set (otherwise the frame starts zeroed). The returned
   /// frame is pinned; call Unpin when done. Must not be called for a block
   /// currently in a prefetch state (adopt or abandon it first).
+  /// `was_resident` (optional) reports whether the frame already existed:
+  /// concurrent consumers need the hit/miss answer atomically with the pin
+  /// (a separate Probe could race with an eviction in between).
   Result<Frame*> Fetch(int array_id, int64_t block, int64_t bytes,
-                       BlockStore* store, bool load);
+                       BlockStore* store, bool load,
+                       bool* was_resident = nullptr);
 
   /// Frame lookup without side effects; nullptr if absent.
   Frame* Probe(int array_id, int64_t block);
 
   void Unpin(Frame* frame);
+  /// Unpin for a frame whose contents must not outlive the caller: marks it
+  /// discarded and erases it once the last pin drops (other holders erase
+  /// it through their own Unpin/Discard). Used when a load into the frame
+  /// failed — a zero/garbage-filled frame must never linger as apparently
+  /// clean cache — and when a rolled-back write target was never loaded.
+  void Discard(Frame* frame);
   void Retain(Frame* frame, int64_t until_group);
   /// Releases every retention that expired strictly before `group`.
   void ReleaseRetainedBefore(int64_t group);
+  /// Clears the dirty flag under the pool lock (the executor's
+  /// write-through makes the in-memory copy match disk; worker threads must
+  /// not touch the flag unsynchronized while eviction scans run).
+  void MarkClean(Frame* frame);
 
   // ------------------------------------------------------- prefetch path
   /// Reserves a kPrefetching frame for (array_id, block) so an I/O worker
@@ -105,10 +123,21 @@ class BufferPool {
   void SetPrefetchBudget(int64_t bytes);
   int64_t prefetch_bytes() const;
 
+  /// Drops the frame for (array_id, block) without write-back, if present,
+  /// unpinned, unretained, and in the regular state; no-op otherwise. The
+  /// executor uses this at end of run to drop frames whose contents
+  /// legitimately diverged from disk (saved/elided writes), so a shared
+  /// pool only ever carries cache that mirrors the stores.
+  void Drop(int array_id, int64_t block);
+
   /// Drops a clean frame / writes back a dirty one, then drops it.
   Status FlushAll();
 
   int64_t used_bytes() const;
+  /// Number of frames currently pinned (pins > 0). A completed Executor::Run
+  /// — success or error — must leave this at zero; fault-injection tests
+  /// assert it through a shared pool.
+  int64_t PinnedFrames() const;
   /// Bytes the plan currently *requires* resident (pinned or retained
   /// regular frames); comparable to the cost model's memory prediction,
   /// unlike used_bytes() which also counts lazily-evicted cache and
@@ -121,6 +150,7 @@ class BufferPool {
   using Key = std::pair<int, int64_t>;
   Status EnsureCapacityLocked(int64_t incoming_bytes, bool for_prefetch);
   void TouchLocked(const Key& key);
+  void EraseFrameLocked(Frame* frame);
   static bool CountsAsRequired(const Frame& f) {
     return f.state == FrameState::kRegular &&
            (f.pins > 0 || f.retain_until_group >= 0);

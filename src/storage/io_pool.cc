@@ -28,9 +28,6 @@ void IoPool::ReadBlockAsync(BlockStore* store, int64_t block, void* buf,
   {
     std::lock_guard<std::mutex> lock(mu_);
     RIOT_CHECK(!stop_);
-    if (store_mu_.find(store) == store_mu_.end()) {
-      store_mu_[store] = std::make_shared<std::mutex>();
-    }
     queue_.push_back({store, block, buf, tag});
     ++outstanding_;
   }
@@ -52,15 +49,6 @@ int64_t IoPool::outstanding() const {
   return outstanding_;
 }
 
-std::shared_ptr<std::mutex> IoPool::store_mutex(BlockStore* store) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = store_mu_.find(store);
-  if (it == store_mu_.end()) {
-    it = store_mu_.emplace(store, std::make_shared<std::mutex>()).first;
-  }
-  return it->second;
-}
-
 void IoPool::WorkerLoop() {
   for (;;) {
     Request req;
@@ -71,8 +59,8 @@ void IoPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and queue drained
       req = queue_.front();
       queue_.pop_front();
-      serial = store_mu_[req.store];
     }
+    serial = store_mutexes_.mutex_for(req.store);
     Status st;
     {
       std::lock_guard<std::mutex> store_lock(*serial);

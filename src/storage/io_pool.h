@@ -29,6 +29,27 @@
 
 namespace riot {
 
+/// \brief Per-store serialization mutexes, shared between every thread
+/// that touches a BlockStore. Store implementations are not required to be
+/// thread-safe (LAB-tree mutates its node cache even on reads), so the
+/// parallel executor's kernel workers — with or without an IoPool — route
+/// every store call through the store's mutex from one shared map.
+class StoreMutexMap {
+ public:
+  std::shared_ptr<std::mutex> mutex_for(BlockStore* store) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(store);
+    if (it == map_.end()) {
+      it = map_.emplace(store, std::make_shared<std::mutex>()).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<BlockStore*, std::shared_ptr<std::mutex>> map_;
+};
+
 class IoPool {
  public:
   struct Completion {
@@ -61,7 +82,12 @@ class IoPool {
   /// flight MUST hold this around the call — store implementations are
   /// not required to be thread-safe (LAB-tree mutates its node cache even
   /// on reads).
-  std::shared_ptr<std::mutex> store_mutex(BlockStore* store);
+  std::shared_ptr<std::mutex> store_mutex(BlockStore* store) {
+    return store_mutexes_.mutex_for(store);
+  }
+  /// The underlying shared map, for callers that mix this pool's async
+  /// reads with their own multi-threaded synchronous store calls.
+  StoreMutexMap* store_mutexes() { return &store_mutexes_; }
 
   /// Wall time spent inside ReadBlock on the workers, and reads serviced.
   double read_seconds() const {
@@ -84,7 +110,7 @@ class IoPool {
   std::condition_variable done_cv_;
   std::deque<Request> queue_;
   std::deque<Completion> done_;
-  std::map<BlockStore*, std::shared_ptr<std::mutex>> store_mu_;
+  StoreMutexMap store_mutexes_;
   int64_t outstanding_ = 0;
   bool stop_ = false;
   std::atomic<int64_t> read_nanos_{0};

@@ -124,5 +124,130 @@ TEST(AccessScriptTest, ReadDependsOnLatestEarlierWrite) {
   EXPECT_TRUE(any_dep);
 }
 
+// ---------------------------------------------------------------------------
+// Instance dependence DAG (BuildInstanceDag): the partial order the parallel
+// executor dispatches against.
+// ---------------------------------------------------------------------------
+
+// Transitive "p happens-before q" over the DAG (positions are topological).
+std::vector<std::vector<bool>> Reachability(const InstanceDag& dag) {
+  const size_t n = dag.succ.size();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (size_t p = n; p-- > 0;) {
+    for (uint32_t s : dag.succ[p]) {
+      reach[p][s] = true;
+      for (size_t q = 0; q < n; ++q) {
+        if (reach[s][q]) reach[p][q] = true;
+      }
+    }
+  }
+  return reach;
+}
+
+TEST(InstanceDagTest, EdgesForwardAndConsistent) {
+  Workload w = MakeExample1(2, 3, 2);
+  RealizedPlan rp = RealizePlan(w.program, w.program.original_schedule(), {});
+  AccessScript s = BuildAccessScript(w.program, rp);
+  InstanceDag dag = BuildInstanceDag(s);
+
+  ASSERT_EQ(dag.succ.size(), rp.order.size());
+  ASSERT_EQ(dag.pred_count.size(), rp.order.size());
+  std::vector<uint32_t> indeg(rp.order.size(), 0);
+  for (size_t p = 0; p < dag.succ.size(); ++p) {
+    for (size_t i = 0; i < dag.succ[p].size(); ++i) {
+      uint32_t q = dag.succ[p][i];
+      EXPECT_GT(q, p) << "edge must point forward";
+      if (i > 0) EXPECT_GT(q, dag.succ[p][i - 1]) << "sorted, deduplicated";
+      ++indeg[q];
+    }
+  }
+  for (size_t q = 0; q < indeg.size(); ++q) {
+    EXPECT_EQ(indeg[q], dag.pred_count[q]) << "pos " << q;
+  }
+  EXPECT_GE(dag.critical_path, 1u);
+  EXPECT_GE(dag.max_width, 1u);
+  EXPECT_LE(dag.critical_path * 1u, rp.order.size());
+}
+
+TEST(InstanceDagTest, ClassicConflictsAreOrdered) {
+  // Brute force over the script: any two instances touching the same block
+  // with at least one kernel write must be ordered in the DAG.
+  Workload w = MakeExample1(2, 2, 2);
+  RealizedPlan rp = RealizePlan(w.program, w.program.original_schedule(), {});
+  AccessScript s = BuildAccessScript(w.program, rp);
+  InstanceDag dag = BuildInstanceDag(s);
+  auto reach = Reachability(dag);
+
+  size_t conflicts = 0;
+  for (const auto& a : s.records) {
+    for (const auto& b : s.records) {
+      if (a.pos >= b.pos) continue;
+      if (a.array_id != b.array_id || a.block != b.block) continue;
+      if (a.type != AccessType::kWrite && b.type != AccessType::kWrite) {
+        continue;
+      }
+      ++conflicts;
+      EXPECT_TRUE(reach[a.pos][b.pos])
+          << "unordered conflict: pos " << a.pos << " -> " << b.pos
+          << " array " << a.array_id << " block " << a.block;
+    }
+  }
+  EXPECT_GT(conflicts, 0u) << "example1 must have real dependences";
+}
+
+TEST(InstanceDagTest, SavedReadOrderedAfterMaterializer) {
+  // Under a realized plan, every saved read must be ordered after the
+  // access that brought its block into memory (last write or non-saved
+  // read) — even when that materializer is itself a read (R->R sharing).
+  Workload w = MakeExample1(2, 3, 1);
+  AnalysisResult a = AnalyzeProgram(w.program);
+  ScheduleSolver solver(w.program, a.dependences);
+  std::vector<const CoAccess*> q = {
+      Find(a.sharing, w.program, "s1WC->s2RC"),
+      Find(a.sharing, w.program, "s2WE->s2RE"),
+      Find(a.sharing, w.program, "s2WE->s2WE")};
+  for (auto* o : q) ASSERT_NE(o, nullptr);
+  auto sched = solver.FindSchedule(q);
+  ASSERT_TRUE(sched.has_value());
+  RealizedPlan rp = RealizePlan(w.program, *sched, q);
+  AccessScript s = BuildAccessScript(w.program, rp);
+  InstanceDag dag = BuildInstanceDag(s);
+  auto reach = Reachability(dag);
+
+  std::map<std::pair<int, int64_t>, int64_t> materializer;
+  size_t saved_checked = 0;
+  for (const auto& rec : s.records) {
+    auto key = std::make_pair(rec.array_id, rec.block);
+    if (rec.type == AccessType::kRead) {
+      if (rec.saved) {
+        auto it = materializer.find(key);
+        ASSERT_NE(it, materializer.end()) << "saved read with no source";
+        if (static_cast<size_t>(it->second) != rec.pos) {
+          EXPECT_TRUE(reach[static_cast<size_t>(it->second)][rec.pos])
+              << "saved read at pos " << rec.pos
+              << " unordered after materializer at " << it->second;
+          ++saved_checked;
+        }
+      } else {
+        materializer[key] = static_cast<int64_t>(rec.pos);
+      }
+    } else {
+      materializer[key] = static_cast<int64_t>(rec.pos);
+    }
+  }
+  EXPECT_GT(saved_checked, 0u);
+}
+
+TEST(InstanceDagTest, IndependentInstancesExposeWidth) {
+  // 2mm: instances with distinct output blocks and disjoint accumulation
+  // chains are unordered — the DAG must expose real parallelism.
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigA, /*scale=*/1000);
+  RealizedPlan rp = RealizePlan(w.program, w.program.original_schedule(), {});
+  AccessScript s = BuildAccessScript(w.program, rp);
+  InstanceDag dag = BuildInstanceDag(s);
+  EXPECT_GT(dag.max_width, 1u);
+  EXPECT_LT(dag.critical_path, rp.order.size());
+}
+
 }  // namespace
 }  // namespace riot

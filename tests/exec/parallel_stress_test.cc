@@ -1,0 +1,110 @@
+// Soak coverage for the parallel executor (ctest label: stress): repeated
+// runs across thread counts, storage formats, tight caps, and fault
+// injection, hunting for races, deadlocks, and pin leaks that a single
+// pass can miss. Run under -DRIOT_SANITIZE=thread for the full effect.
+#include <gtest/gtest.h>
+
+#include "core/access_plan.h"
+#include "exec/executor.h"
+#include "exec/verify.h"
+#include "ops/runtime.h"
+#include "ops/workload.h"
+#include "storage/env.h"
+
+namespace riot {
+namespace {
+
+ExecStats MustRun(const Workload& w, Env* env, const std::string& dir,
+                  ExecOptions opts, Runtime* rt_out,
+                  StorageFormat format = StorageFormat::kDaf) {
+  auto rt = OpenStores(env, w.program, dir, format);
+  rt.status().CheckOK();
+  InitInputs(w, *rt, /*seed=*/7).CheckOK();
+  Executor ex(w.program, rt->raw(), w.kernels, opts);
+  auto stats = ex.Run(w.program.original_schedule(), {});
+  stats.status().CheckOK();
+  if (rt_out != nullptr) *rt_out = std::move(rt).ValueOrDie();
+  return *stats;
+}
+
+TEST(ParallelStressTest, RepeatedRunsStayBitIdentical) {
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigA, /*scale=*/1000);
+  auto env = NewMemEnv();
+  Runtime rt0;
+  MustRun(w, env.get(), "/ref", ExecOptions{}, &rt0);
+  int round = 0;
+  for (int iter = 0; iter < 6; ++iter) {
+    for (int threads : {2, 3, 8}) {
+      ExecOptions opts;
+      opts.exec_threads = threads;
+      opts.pipeline_depth = iter % 3;  // 0 = pure parallel, no pipeline
+      opts.io_threads = 1 + iter % 2;
+      Runtime rt1;
+      MustRun(w, env.get(), "/r" + std::to_string(round++), opts, &rt1);
+      for (int arr : w.output_arrays) {
+        const ArrayInfo& info = w.program.array(arr);
+        auto d = MaxAbsDifference(info, rt0.stores[size_t(arr)].get(),
+                                  rt1.stores[size_t(arr)].get());
+        ASSERT_TRUE(d.ok());
+        ASSERT_EQ(*d, 0.0)
+            << "iter " << iter << " threads " << threads << " array "
+            << info.name;
+      }
+    }
+  }
+}
+
+TEST(ParallelStressTest, LabTreeUnderManyThreads) {
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigB, /*scale=*/1000);
+  auto env = NewMemEnv();
+  Runtime rt0;
+  MustRun(w, env.get(), "/lt_ref", ExecOptions{}, &rt0,
+          StorageFormat::kLabTree);
+  for (int iter = 0; iter < 4; ++iter) {
+    ExecOptions opts;
+    opts.exec_threads = 8;
+    opts.pipeline_depth = 2;
+    Runtime rt1;
+    MustRun(w, env.get(), "/lt" + std::to_string(iter), opts, &rt1,
+            StorageFormat::kLabTree);
+    for (int arr : w.output_arrays) {
+      const ArrayInfo& info = w.program.array(arr);
+      auto d = MaxAbsDifference(info, rt0.stores[size_t(arr)].get(),
+                                rt1.stores[size_t(arr)].get());
+      ASSERT_TRUE(d.ok());
+      ASSERT_EQ(*d, 0.0) << "iter " << iter << " array " << info.name;
+    }
+  }
+}
+
+TEST(ParallelStressTest, FaultSweepNeverHangsOrLeaksPins) {
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigA, /*scale=*/1000);
+  auto mem = NewMemEnv();
+  {
+    auto rt = OpenStores(mem.get(), w.program, "/f");
+    ASSERT_TRUE(rt.ok());
+    ASSERT_TRUE(InitInputs(w, *rt, 5).ok());
+  }
+  for (int64_t fail_after = 0; fail_after < 120; fail_after += 7) {
+    SCOPED_TRACE("fail_after=" + std::to_string(fail_after));
+    auto env = NewFaultyEnv(mem.get(), fail_after);
+    auto rt = OpenStores(env.get(), w.program, "/f");
+    if (!rt.ok()) continue;
+    BufferPool pool(int64_t{1} << 30);
+    ExecOptions eo;
+    eo.exec_threads = 8;
+    eo.pipeline_depth = 2;
+    eo.shared_pool = &pool;
+    Executor ex(w.program, rt->raw(), w.kernels, eo);
+    auto stats = ex.Run(w.program.original_schedule(), {});
+    if (!stats.ok()) {
+      EXPECT_EQ(stats.status().code(), StatusCode::kIoError)
+          << stats.status().ToString();
+    }
+    EXPECT_EQ(pool.PinnedFrames(), 0);
+    EXPECT_EQ(pool.PinnedOrRetainedBytes(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace riot

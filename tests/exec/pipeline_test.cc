@@ -230,5 +230,217 @@ TEST(PipelineTest, OverlapsComputeWithIoOn2mm) {
   EXPECT_EQ(s1.bytes_written, s0.bytes_written);
 }
 
+// ---------------------------------------------------------------------------
+// Parallel kernel dispatch (ExecOptions::exec_threads): every thread/depth
+// configuration must reproduce the serial engine's stored outputs exactly.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExecTest, MatchesSerialAcrossThreadDepthMatrix) {
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigA, /*scale=*/1000);
+  auto env = NewMemEnv();
+  Runtime rt0;
+  ExecStats s0 = MustRun(w, env.get(), "/pm0", w.program.original_schedule(),
+                         {}, ExecOptions{}, &rt0);
+  for (int threads : {2, 4}) {
+    for (int depth : {0, 2}) {
+      ExecOptions opts;
+      opts.exec_threads = threads;
+      opts.pipeline_depth = depth;
+      Runtime rt1;
+      ExecStats s1 = MustRun(
+          w, env.get(),
+          "/pm_t" + std::to_string(threads) + "d" + std::to_string(depth),
+          w.program.original_schedule(), {}, opts, &rt1);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " depth=" + std::to_string(depth));
+      // Writes are plan-exact in every mode; reads may come in under the
+      // serial count (residency dedupe), never over.
+      EXPECT_EQ(s1.bytes_written, s0.bytes_written);
+      EXPECT_EQ(s1.block_writes, s0.block_writes);
+      EXPECT_LE(s1.block_reads, s0.block_reads);
+      EXPECT_GT(s1.block_reads, 0);
+      EXPECT_EQ(s1.pool.dirty_writebacks, 0);
+      EXPECT_GT(s1.parallel_groups, 0);
+      EXPECT_GT(s1.max_ready_width, 1);
+      for (int arr : w.output_arrays) {
+        const ArrayInfo& info = w.program.array(arr);
+        auto d = MaxAbsDifference(info, rt0.stores[size_t(arr)].get(),
+                                  rt1.stores[size_t(arr)].get());
+        ASSERT_TRUE(d.ok());
+        EXPECT_EQ(*d, 0.0) << "array " << info.name;
+      }
+    }
+  }
+}
+
+TEST(ParallelExecTest, SharedPlanSemanticsPreservedUnderThreads) {
+  // Saved reads, W->W saves, and write elision must survive parallel
+  // dispatch: the DAG's materializer edges order every consumer after the
+  // access that retained its block.
+  Workload w = MakeExample1(2, 3, 1);
+  AnalysisResult a = AnalyzeProgram(w.program);
+  ScheduleSolver solver(w.program, a.dependences);
+  std::vector<const CoAccess*> q = {
+      Find(a.sharing, w.program, "s1WC->s2RC"),
+      Find(a.sharing, w.program, "s2WE->s2RE"),
+      Find(a.sharing, w.program, "s2WE->s2WE")};
+  for (auto* o : q) ASSERT_NE(o, nullptr);
+  auto s = solver.FindSchedule(q);
+  ASSERT_TRUE(s.has_value());
+
+  auto env = NewMemEnv();
+  Runtime rt0;
+  ExecStats s0 = MustRun(w, env.get(), "/sp0", *s, q, ExecOptions{}, &rt0);
+  for (int threads : {2, 4}) {
+    ExecOptions opts;
+    opts.exec_threads = threads;
+    opts.pipeline_depth = 2;
+    ASSERT_TRUE(opts.strict_sharing);
+    Runtime rt1;
+    ExecStats s1 = MustRun(w, env.get(), "/sp" + std::to_string(threads), *s,
+                           q, opts, &rt1);
+    // Elided/saved writes stay elided: written bytes match the plan.
+    EXPECT_EQ(s1.bytes_written, s0.bytes_written) << threads;
+    EXPECT_EQ(s1.pool.dirty_writebacks, 0) << threads;
+    for (int arr : w.output_arrays) {
+      const ArrayInfo& info = w.program.array(arr);
+      auto d = MaxAbsDifference(info, rt0.stores[size_t(arr)].get(),
+                                rt1.stores[size_t(arr)].get());
+      ASSERT_TRUE(d.ok());
+      EXPECT_EQ(*d, 0.0) << "threads " << threads << " array " << info.name;
+    }
+  }
+}
+
+TEST(ParallelExecTest, LabTreeStoresStaySerializedUnderThreads) {
+  // Kernel workers + prefetch workers + LAB-tree's non-thread-safe node
+  // cache: every store call must flow through the shared per-store mutex.
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigA, /*scale=*/1000);
+  auto env = NewMemEnv();
+  Runtime rt0;
+  ExecStats s0 = MustRun(w, env.get(), "/plt0", w.program.original_schedule(),
+                         {}, ExecOptions{}, &rt0, StorageFormat::kLabTree);
+  ExecOptions opts;
+  opts.exec_threads = 4;
+  opts.pipeline_depth = 2;
+  opts.io_threads = 2;
+  Runtime rt1;
+  ExecStats s1 = MustRun(w, env.get(), "/plt1", w.program.original_schedule(),
+                         {}, opts, &rt1, StorageFormat::kLabTree);
+  EXPECT_EQ(s1.bytes_written, s0.bytes_written);
+  for (int arr : w.output_arrays) {
+    const ArrayInfo& info = w.program.array(arr);
+    auto d = MaxAbsDifference(info, rt0.stores[size_t(arr)].get(),
+                              rt1.stores[size_t(arr)].get());
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(*d, 0.0) << info.name;
+  }
+}
+
+TEST(ParallelExecTest, SharedPoolEndsCleanOnSuccess) {
+  // The shared_pool contract: a completed run leaves no pins and no
+  // retentions, only clean evictable cache.
+  Workload w = MakeExample1(3, 3, 2);
+  auto env = NewMemEnv();
+  auto rt = OpenStores(env.get(), w.program, "/spool");
+  rt.status().CheckOK();
+  InitInputs(w, *rt, /*seed=*/7).CheckOK();
+  BufferPool pool(int64_t{1} << 30);
+  ExecOptions opts;
+  opts.exec_threads = 4;
+  opts.pipeline_depth = 2;
+  opts.shared_pool = &pool;
+  Executor ex(w.program, rt->raw(), w.kernels, opts);
+  auto stats = ex.Run(w.program.original_schedule(), {});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(pool.PinnedFrames(), 0);
+  EXPECT_EQ(pool.PinnedOrRetainedBytes(), 0);
+  // A second run against the now-warm shared pool must still be correct
+  // (frames left behind are clean cache, never stale).
+  auto stats2 = ex.Run(w.program.original_schedule(), {});
+  ASSERT_TRUE(stats2.ok()) << stats2.status().ToString();
+  EXPECT_EQ(pool.PinnedFrames(), 0);
+}
+
+TEST(ParallelExecTest, DivergentWriteFramesDroppedFromSharedPool) {
+  // A plan with elided writes finishes with frames whose contents never
+  // reached disk (the paper's footnote-8 temporaries). Such frames must
+  // not survive the run as "clean cache" in a shared pool: a later run's
+  // parallel residency-dedupe would trust them over the stores.
+  Workload w = MakeExample1(2, 3, 1);
+  AnalysisResult a = AnalyzeProgram(w.program);
+  ScheduleSolver solver(w.program, a.dependences);
+  std::vector<const CoAccess*> q = {
+      Find(a.sharing, w.program, "s1WC->s2RC"),
+      Find(a.sharing, w.program, "s2WE->s2RE"),
+      Find(a.sharing, w.program, "s2WE->s2WE")};
+  for (auto* o : q) ASSERT_NE(o, nullptr);
+  auto s = solver.FindSchedule(q);
+  ASSERT_TRUE(s.has_value());
+
+  auto env = NewMemEnv();
+  for (int threads : {1, 4}) {
+    auto rt = OpenStores(env.get(), w.program, "/dv" + std::to_string(threads));
+    rt.status().CheckOK();
+    InitInputs(w, *rt, /*seed=*/7).CheckOK();
+    BufferPool pool(int64_t{1} << 30);
+    ExecOptions opts;
+    opts.exec_threads = threads;
+    opts.pipeline_depth = 2;
+    opts.shared_pool = &pool;
+    Executor ex(w.program, rt->raw(), w.kernels, opts);
+    auto stats = ex.Run(*s, q);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    // C's writes are fully elided under this plan (its blocks never touch
+    // disk), so no C frame may linger after the run.
+    const int c_id = 2;
+    for (int64_t b = 0; b < w.program.array(c_id).NumBlocks(); ++b) {
+      EXPECT_EQ(pool.Probe(c_id, b), nullptr)
+          << "threads=" << threads << " C block " << b;
+    }
+    // Per-run pool stats must be deltas even though the pool is shared.
+    ExecStats again = ex.Run(*s, q).ValueOrDie();
+    EXPECT_EQ(again.pool.dirty_writebacks, 0);
+    EXPECT_LE(again.pool.misses, stats->pool.misses + stats->pool.hits);
+  }
+}
+
+TEST(ParallelExecTest, TightCapParksInsteadOfCorrupting) {
+  // Cap near the serial peak: parallel acquisition must back off (park and
+  // retry) rather than deadlock or corrupt. ResourceExhausted is an
+  // acceptable outcome at pathological caps; silent wrong answers or
+  // hangs are not.
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigA, /*scale=*/1000);
+  auto env = NewMemEnv();
+  Runtime rt0;
+  ExecStats s0 = MustRun(w, env.get(), "/tc0", w.program.original_schedule(),
+                         {}, ExecOptions{}, &rt0);
+  ExecOptions opts;
+  opts.exec_threads = 4;
+  opts.pipeline_depth = 2;
+  opts.memory_cap_bytes = s0.peak_required_bytes * 2;
+  auto rt1 = OpenStores(env.get(), w.program, "/tc1");
+  rt1.status().CheckOK();
+  InitInputs(w, *rt1, /*seed=*/7).CheckOK();
+  BufferPool pool(opts.memory_cap_bytes);
+  opts.shared_pool = &pool;
+  Executor ex(w.program, rt1->raw(), w.kernels, opts);
+  auto stats = ex.Run(w.program.original_schedule(), {});
+  EXPECT_EQ(pool.PinnedFrames(), 0);
+  if (!stats.ok()) {
+    EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted)
+        << stats.status().ToString();
+    return;  // starved at a pathological cap: acceptable, and clean
+  }
+  EXPECT_EQ(stats->pool.dirty_writebacks, 0);
+  for (int arr : w.output_arrays) {
+    const ArrayInfo& info = w.program.array(arr);
+    auto d = MaxAbsDifference(info, rt0.stores[size_t(arr)].get(),
+                              rt1->stores[size_t(arr)].get());
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(*d, 0.0) << info.name;
+  }
+}
+
 }  // namespace
 }  // namespace riot

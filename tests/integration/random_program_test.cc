@@ -6,11 +6,23 @@
 // Inputs are integer-valued and kernels use integer coefficients, so
 // floating-point reassociation cannot mask reordering bugs: any deviation
 // is exact.
+//
+// The SweepOracle suite is the differential oracle for the parallel
+// executor: every generated program runs under {exec_threads 1, 2, 4} x
+// {pipeline_depth 0, 2} and all stored outputs must be bit-for-bit equal,
+// while the instance dependence DAG is validated against a brute-force
+// instance-pair dependence check. RIOT_FUZZ_SEEDS overrides the number of
+// fuzzed programs (default 200).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
 #include <random>
 
+#include "core/access_plan.h"
+#include "core/cost_model.h"
 #include "core/optimizer.h"
+#include "core/schedule_solver.h"
 #include "ir/builder.h"
 #include "exec/executor.h"
 #include "exec/verify.h"
@@ -197,6 +209,215 @@ TEST_P(RandomProgramTest, AllPlansExactAndEquivalent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
                          ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+// ---------------------------------------------------------------------------
+// Differential sweep oracle + brute-force DAG validation.
+// ---------------------------------------------------------------------------
+
+uint64_t FuzzSeedCount() {
+  const char* env = std::getenv("RIOT_FUZZ_SEEDS");
+  if (env != nullptr) {
+    long long v = std::atoll(env);
+    if (v > 0) return static_cast<uint64_t>(v);
+  }
+  return 200;
+}
+
+// Brute-force oracle for BuildInstanceDag: (a) completeness — every
+// instance pair sharing a block with at least one kernel write, and every
+// saved read vs its materializing access, must be transitively ordered;
+// (b) soundness — every edge connects instances that touch a common block.
+void ValidateDagAgainstBruteForce(const AccessScript& script,
+                                  const InstanceDag& dag) {
+  const size_t n = script.per_pos.size();
+  ASSERT_EQ(dag.succ.size(), n);
+
+  // Transitive closure; positions are topological so one reverse sweep.
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (size_t p = n; p-- > 0;) {
+    for (uint32_t s : dag.succ[p]) {
+      reach[p][s] = true;
+      for (size_t q = 0; q < n; ++q) {
+        if (reach[s][q]) reach[p][q] = true;
+      }
+    }
+  }
+
+  // Soundness: an edge implies a shared block.
+  for (size_t p = 0; p < n; ++p) {
+    for (uint32_t s : dag.succ[p]) {
+      bool shares = false;
+      auto [pb, pe] = script.per_pos[p];
+      auto [qb, qe] = script.per_pos[s];
+      for (uint32_t i = pb; i < pe && !shares; ++i) {
+        for (uint32_t j = qb; j < qe && !shares; ++j) {
+          shares = script.records[i].array_id == script.records[j].array_id &&
+                   script.records[i].block == script.records[j].block;
+        }
+      }
+      EXPECT_TRUE(shares) << "edge " << p << "->" << s
+                          << " without a common block";
+    }
+  }
+
+  // Completeness, straight off the definition: scan every record pair.
+  std::map<std::pair<int, int64_t>, int64_t> materializer;
+  for (const auto& a : script.records) {
+    if (a.type == AccessType::kRead && a.saved) {
+      auto it = materializer.find({a.array_id, a.block});
+      ASSERT_NE(it, materializer.end())
+          << "saved read at pos " << a.pos << " with no materializer";
+      size_t src = static_cast<size_t>(it->second);
+      if (src != a.pos) {
+        EXPECT_TRUE(reach[src][a.pos])
+            << "saved read at pos " << a.pos
+            << " unordered after materializer at " << src;
+      }
+    } else {
+      materializer[{a.array_id, a.block}] = static_cast<int64_t>(a.pos);
+    }
+  }
+  for (const auto& a : script.records) {
+    for (const auto& b : script.records) {
+      if (a.pos >= b.pos) continue;
+      if (a.array_id != b.array_id || a.block != b.block) continue;
+      if (a.type != AccessType::kWrite && b.type != AccessType::kWrite) {
+        continue;
+      }
+      EXPECT_TRUE(reach[a.pos][b.pos])
+          << "unordered conflict " << a.pos << "->" << b.pos << " on array "
+          << a.array_id << " block " << a.block;
+    }
+  }
+}
+
+class SweepOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SweepOracleTest, AllThreadDepthConfigsBitIdentical) {
+  const uint64_t seed = GetParam();
+  GeneratedProgram g = Generate(seed);
+  ASSERT_TRUE(g.program.Validate().ok());
+
+  // Two plans per program: the original schedule with no sharing, and a
+  // solver schedule realizing up to two sharing opportunities — the latter
+  // exercises saved reads, retention, and elision under parallel dispatch.
+  // (Direct analysis + solver instead of the full optimizer: the oracle
+  // needs one realized plan per program, not the whole plan space.)
+  AnalysisResult analysis = AnalyzeProgram(g.program);
+  ScheduleSolver solver(g.program, analysis.dependences);
+  struct PlanCase {
+    const Schedule* schedule;
+    std::vector<const CoAccess*> q;
+    bool has_cost = false;
+    PlanCost cost;
+  };
+  std::vector<PlanCase> cases;
+  cases.push_back({&g.program.original_schedule(), {}, false, {}});
+  std::optional<Schedule> shared_sched;
+  std::vector<const CoAccess*> shared_q;
+  size_t attempts = 0;
+  for (const CoAccess& opp : analysis.sharing) {
+    if (shared_q.size() >= 2 || ++attempts > 8) break;
+    std::vector<const CoAccess*> trial = shared_q;
+    trial.push_back(&opp);
+    auto s = solver.FindSchedule(trial);
+    if (s.has_value()) {
+      shared_q = trial;
+      shared_sched = *s;
+    }
+  }
+  if (shared_sched.has_value()) {
+    PlanCase pc{&*shared_sched, shared_q, true,
+                EvaluatePlanCost(g.program, *shared_sched, shared_q)};
+    cases.push_back(pc);
+  }
+
+  auto env = NewMemEnv();
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const PlanCase& pc = cases[ci];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " case " +
+                 std::to_string(ci));
+
+    // DAG oracle on this plan's script.
+    RealizedPlan rp = RealizePlan(g.program, *pc.schedule, pc.q);
+    AccessScript script = BuildAccessScript(g.program, rp);
+    InstanceDag dag = BuildInstanceDag(script);
+    ValidateDagAgainstBruteForce(script, dag);
+
+    // Reference: the serial engine (threads 1, depth 0).
+    std::string base = "/c" + std::to_string(ci);
+    auto ref_rt = OpenStores(env.get(), g.program, base + "_ref");
+    ASSERT_TRUE(ref_rt.ok());
+    ASSERT_TRUE(InitIntegers(g.program, *ref_rt, g.inputs, seed).ok());
+    ExecStats ref_stats;
+    {
+      ExecOptions eo;
+      if (pc.has_cost) eo.memory_cap_bytes = pc.cost.peak_memory_bytes;
+      Executor ex(g.program, ref_rt->raw(), g.kernels, eo);
+      auto st = ex.Run(*pc.schedule, pc.q);
+      ASSERT_TRUE(st.ok()) << st.status().ToString();
+      ref_stats = *st;
+      if (pc.has_cost) {
+        // The serial engine stays cost-model-exact under the plan's own cap.
+        EXPECT_EQ(st->bytes_read, pc.cost.read_bytes);
+        EXPECT_EQ(st->bytes_written, pc.cost.write_bytes);
+        EXPECT_EQ(st->peak_required_bytes, pc.cost.peak_memory_bytes);
+      }
+      EXPECT_EQ(st->pool.dirty_writebacks, 0);
+    }
+
+    for (int threads : {1, 2, 4}) {
+      for (int depth : {0, 2}) {
+        if (threads == 1 && depth == 0) continue;  // the reference itself
+        SCOPED_TRACE("threads " + std::to_string(threads) + " depth " +
+                     std::to_string(depth));
+        std::string dir = base + "_t" + std::to_string(threads) + "d" +
+                          std::to_string(depth);
+        auto rt = OpenStores(env.get(), g.program, dir);
+        ASSERT_TRUE(rt.ok());
+        ASSERT_TRUE(InitIntegers(g.program, *rt, g.inputs, seed).ok());
+        BufferPool pool(int64_t{1} << 30);
+        ExecOptions eo;
+        eo.exec_threads = threads;
+        eo.pipeline_depth = depth;
+        eo.shared_pool = &pool;
+        if (threads == 1 && pc.has_cost) {
+          // Serial configs must hold the plan's exact memory cap; parallel
+          // ones may transiently need more (out-of-order retention).
+          eo.shared_pool = nullptr;
+          eo.memory_cap_bytes = pc.cost.peak_memory_bytes;
+          Executor ex(g.program, rt->raw(), g.kernels, eo);
+          auto st = ex.Run(*pc.schedule, pc.q);
+          ASSERT_TRUE(st.ok()) << st.status().ToString();
+          EXPECT_EQ(st->bytes_read, ref_stats.bytes_read);
+          EXPECT_EQ(st->bytes_written, ref_stats.bytes_written);
+          EXPECT_EQ(st->peak_required_bytes, ref_stats.peak_required_bytes);
+          EXPECT_EQ(st->pool.dirty_writebacks, 0);
+        } else {
+          Executor ex(g.program, rt->raw(), g.kernels, eo);
+          auto st = ex.Run(*pc.schedule, pc.q);
+          ASSERT_TRUE(st.ok()) << st.status().ToString();
+          EXPECT_EQ(st->bytes_written, ref_stats.bytes_written);
+          EXPECT_EQ(st->pool.dirty_writebacks, 0);
+          EXPECT_EQ(pool.PinnedFrames(), 0);
+          EXPECT_EQ(pool.PinnedOrRetainedBytes(), 0);
+        }
+        for (int arr : g.outputs) {
+          auto diff = MaxAbsDifference(
+              g.program.array(arr),
+              ref_rt->stores[static_cast<size_t>(arr)].get(),
+              rt->stores[static_cast<size_t>(arr)].get());
+          ASSERT_TRUE(diff.ok());
+          ASSERT_EQ(*diff, 0.0) << "array " << g.program.array(arr).name;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepOracleTest,
+                         ::testing::Range(uint64_t{1},
+                                          uint64_t{1} + FuzzSeedCount()));
 
 }  // namespace
 }  // namespace riot

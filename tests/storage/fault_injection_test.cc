@@ -5,6 +5,7 @@
 
 #include "core/optimizer.h"
 #include "exec/executor.h"
+#include "exec/verify.h"
 #include "ops/runtime.h"
 #include "ops/workload.h"
 #include "storage/block_store.h"
@@ -61,6 +62,128 @@ TEST(FaultInjectionTest, ExecutorReturnsErrorMidPlan) {
   auto stats = ex.Run(w.program.original_schedule(), {});
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, ParallelExecutorSurfacesErrorsCleanly) {
+  // An I/O error injected at an arbitrary point of a parallel run must
+  // surface as a clean Status from Executor::Run: all kernel and I/O
+  // workers joined (a hang here trips the ctest timeout), no frame left
+  // pinned, no retention left behind — asserted through a shared pool.
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigA, /*scale=*/1000);
+  auto mem = NewMemEnv();
+  {
+    auto rt = OpenStores(mem.get(), w.program, "/d");
+    ASSERT_TRUE(rt.ok());
+    ASSERT_TRUE(InitInputs(w, *rt, 5).ok());
+  }
+  size_t failures = 0;
+  for (int64_t fail_after : {0, 1, 3, 9, 17, 40, 77, 150, 400}) {
+    SCOPED_TRACE("fail_after=" + std::to_string(fail_after));
+    auto env = NewFaultyEnv(mem.get(), fail_after);
+    auto rt = OpenStores(env.get(), w.program, "/d");
+    if (!rt.ok()) continue;  // store open itself hit the fault: also clean
+    BufferPool pool(int64_t{1} << 30);
+    ExecOptions eo;
+    eo.exec_threads = 4;
+    eo.pipeline_depth = 2;
+    eo.shared_pool = &pool;
+    Executor ex(w.program, rt->raw(), w.kernels, eo);
+    auto stats = ex.Run(w.program.original_schedule(), {});
+    if (!stats.ok()) {
+      EXPECT_EQ(stats.status().code(), StatusCode::kIoError)
+          << stats.status().ToString();
+      ++failures;
+    }
+    EXPECT_EQ(pool.PinnedFrames(), 0);
+    EXPECT_EQ(pool.PinnedOrRetainedBytes(), 0);
+  }
+  EXPECT_GT(failures, 0u) << "every fail point outran the program";
+}
+
+TEST(FaultInjectionTest, FailedLoadNeverPoisonsSharedPool) {
+  // A failed disk read leaves its target frame zero-filled; the frame must
+  // be discarded, not left registered as clean cache — otherwise a later
+  // run sharing the pool (whose parallel engine serves resident frames
+  // without re-reading disk) would silently compute on zeros.
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigA, /*scale=*/1000);
+  auto mem = NewMemEnv();
+  Runtime healthy_ref;
+  {
+    auto rt = OpenStores(mem.get(), w.program, "/p");
+    ASSERT_TRUE(rt.ok());
+    ASSERT_TRUE(InitInputs(w, *rt, 5).ok());
+    auto ref = OpenStores(mem.get(), w.program, "/p_ref");
+    ASSERT_TRUE(ref.ok());
+    ASSERT_TRUE(InitInputs(w, *ref, 5).ok());
+    Executor ex(w.program, ref->raw(), w.kernels);
+    auto st = ex.Run(w.program.original_schedule(), {});
+    ASSERT_TRUE(st.ok());
+    healthy_ref = std::move(ref).ValueOrDie();
+  }
+
+  BufferPool pool(int64_t{1} << 30);
+  size_t poisoned_attempts = 0;
+  for (int64_t fail_after : {5, 20, 60, 120}) {
+    auto env = NewFaultyEnv(mem.get(), fail_after);
+    auto rt = OpenStores(env.get(), w.program, "/p");
+    if (!rt.ok()) continue;
+    ExecOptions eo;
+    eo.exec_threads = 4;
+    eo.pipeline_depth = 2;
+    eo.shared_pool = &pool;
+    Executor ex(w.program, rt->raw(), w.kernels, eo);
+    auto stats = ex.Run(w.program.original_schedule(), {});
+    if (!stats.ok()) ++poisoned_attempts;
+    EXPECT_EQ(pool.PinnedFrames(), 0);
+  }
+  ASSERT_GT(poisoned_attempts, 0u);
+
+  // Same pool, healthy env: outputs must match a fresh reference exactly.
+  auto rt = OpenStores(mem.get(), w.program, "/p");
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(InitInputs(w, *rt, 5).ok());
+  ExecOptions eo;
+  eo.exec_threads = 4;
+  eo.pipeline_depth = 2;
+  eo.shared_pool = &pool;
+  Executor ex(w.program, rt->raw(), w.kernels, eo);
+  auto stats = ex.Run(w.program.original_schedule(), {});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (int arr : w.output_arrays) {
+    const ArrayInfo& info = w.program.array(arr);
+    auto d = MaxAbsDifference(
+        info, healthy_ref.stores[static_cast<size_t>(arr)].get(),
+        rt->stores[static_cast<size_t>(arr)].get());
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(*d, 0.0) << "array " << info.name;
+  }
+}
+
+TEST(FaultInjectionTest, SerialPipelinedExecutorReleasesPinsOnError) {
+  // The serial engine's error paths honor the same shared-pool contract.
+  Workload w = MakeExample1(2, 2, 1);
+  auto mem = NewMemEnv();
+  {
+    auto rt = OpenStores(mem.get(), w.program, "/s");
+    ASSERT_TRUE(rt.ok());
+    ASSERT_TRUE(InitInputs(w, *rt, 5).ok());
+  }
+  for (int depth : {0, 2}) {
+    SCOPED_TRACE("depth=" + std::to_string(depth));
+    auto env = NewFaultyEnv(mem.get(), /*fail_after_ops=*/7);
+    auto rt = OpenStores(env.get(), w.program, "/s");
+    ASSERT_TRUE(rt.ok());
+    BufferPool pool(int64_t{1} << 30);
+    ExecOptions eo;
+    eo.pipeline_depth = depth;
+    eo.shared_pool = &pool;
+    Executor ex(w.program, rt->raw(), w.kernels, eo);
+    auto stats = ex.Run(w.program.original_schedule(), {});
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+    EXPECT_EQ(pool.PinnedFrames(), 0);
+    EXPECT_EQ(pool.PinnedOrRetainedBytes(), 0);
+  }
 }
 
 TEST(FaultInjectionTest, LabTreeOpenRejectsCorruptHeader) {
