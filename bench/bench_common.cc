@@ -139,9 +139,11 @@ BenchJson::BenchJson(std::string bench_name, int argc, char** argv)
 }
 
 void BenchJson::Add(const std::string& plan, const std::string& kind,
-                    int threads, int pipeline_depth, const ExecStats& stats) {
+                    int threads, int pipeline_depth, const ExecStats& stats,
+                    const std::string& policy, int64_t cap_bytes) {
   if (!active()) return;
-  entries_.push_back(Entry{plan, kind, threads, pipeline_depth, stats});
+  entries_.push_back(
+      Entry{plan, kind, threads, pipeline_depth, policy, cap_bytes, stats});
 }
 
 namespace {
@@ -163,20 +165,28 @@ void BenchJson::Flush() {
   for (size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
     const ExecStats& s = e.stats;
-    char buf[640];
+    char buf[960];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"plan\": \"%s\", \"kind\": \"%s\", \"threads\": %d, "
-        "\"pipeline_depth\": %d, \"wall_seconds\": %.6f, "
+        "\"pipeline_depth\": %d, \"policy\": \"%s\", \"cap_bytes\": %lld, "
+        "\"wall_seconds\": %.6f, "
         "\"io_seconds\": %.6f, \"compute_seconds\": %.6f, "
         "\"overlap_seconds\": %.6f, \"compute_overlap_seconds\": %.6f, "
         "\"bytes_read\": %lld, \"bytes_written\": %lld, "
+        "\"block_reads\": %lld, \"evictions\": %lld, "
+        "\"dirty_writebacks\": %lld, \"policy_saved_reads\": %lld, "
         "\"parallel_groups\": %lld, \"max_ready_width\": %lld}%s\n",
         JsonEscape(e.plan).c_str(), JsonEscape(e.kind).c_str(), e.threads,
-        e.depth, s.wall_seconds, s.io_seconds, s.compute_seconds,
-        s.overlap_seconds, s.compute_overlap_seconds,
+        e.depth, JsonEscape(e.policy).c_str(),
+        static_cast<long long>(e.cap_bytes), s.wall_seconds, s.io_seconds,
+        s.compute_seconds, s.overlap_seconds, s.compute_overlap_seconds,
         static_cast<long long>(s.bytes_read),
         static_cast<long long>(s.bytes_written),
+        static_cast<long long>(s.block_reads),
+        static_cast<long long>(s.pool.evictions),
+        static_cast<long long>(s.pool.dirty_writebacks),
+        static_cast<long long>(s.policy_saved_reads),
         static_cast<long long>(s.parallel_groups),
         static_cast<long long>(s.max_ready_width),
         i + 1 < entries_.size() ? "," : "");

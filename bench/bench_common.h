@@ -33,20 +33,25 @@ struct PlanRun {
 };
 
 /// \brief Machine-readable benchmark trajectory: `--json <path>` on a bench
-/// binary collects every run (plan-table runs and thread sweeps) into one
-/// JSON file — {"bench": ..., "runs": [{plan, kind, threads,
-/// pipeline_depth, wall_seconds, io_seconds, compute_seconds,
-/// overlap_seconds, compute_overlap_seconds, bytes_read, bytes_written,
-/// parallel_groups, max_ready_width}, ...]} — so scripts/bench_json.sh can
-/// track wall/overlap/utilization across commits without parsing tables.
+/// binary collects every run (plan-table runs, thread sweeps, and
+/// replacement-policy sweeps) into one JSON file — {"bench": ..., "runs":
+/// [{plan, kind, threads, pipeline_depth, policy, cap_bytes, wall_seconds,
+/// io_seconds, compute_seconds, overlap_seconds, compute_overlap_seconds,
+/// bytes_read, bytes_written, block_reads, evictions, dirty_writebacks,
+/// policy_saved_reads, parallel_groups, max_ready_width}, ...]} — so
+/// scripts/bench_json.sh can track wall/overlap/utilization and the
+/// LRU-vs-OPT read gap across commits without parsing tables.
 class BenchJson {
  public:
   /// Parses `--json <path>` out of argv; inactive (all calls no-ops) when
   /// the flag is absent.
   BenchJson(std::string bench_name, int argc, char** argv);
 
+  /// `policy`/`cap_bytes` identify a replacement-policy sweep point; leave
+  /// defaulted for runs where they do not apply.
   void Add(const std::string& plan, const std::string& kind, int threads,
-           int pipeline_depth, const ExecStats& stats);
+           int pipeline_depth, const ExecStats& stats,
+           const std::string& policy = "", int64_t cap_bytes = 0);
   /// Writes the file; prints the path. No-op when inactive.
   void Flush();
 
@@ -56,6 +61,8 @@ class BenchJson {
   struct Entry {
     std::string plan, kind;
     int threads, depth;
+    std::string policy;
+    int64_t cap_bytes;
     ExecStats stats;
   };
   std::string bench_;

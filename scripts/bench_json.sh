@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Machine-readable bench trajectory: runs the 2mm (Config A and B) and
-# linreg sweeps and drops BENCH_<name>.json files (wall, io_seconds,
-# compute_seconds, overlap, threads, DAG width) into the output directory.
+# linreg sweeps plus the replacement-policy x cap sweep and drops
+# BENCH_<name>.json files (wall, io_seconds, compute_seconds, overlap,
+# threads, DAG width, and per-policy block_reads/evictions/spills) into
+# the output directory.
 #
 # Usage: scripts/bench_json.sh [build_dir] [out_dir]
 #   build_dir: CMake build tree with the bench binaries (default: build)
@@ -19,7 +21,7 @@ if [[ ! -x "${build_dir}/bench_fig4_2mm_a" ]]; then
 fi
 mkdir -p "${out_dir}"
 
-for bench in fig4_2mm_a fig5_2mm_b fig6_linreg; do
+for bench in fig4_2mm_a fig5_2mm_b fig6_linreg replacement; do
   bin="${build_dir}/bench_${bench}"
   out="${out_dir}/BENCH_${bench}.json"
   echo "=== ${bench} -> ${out}"

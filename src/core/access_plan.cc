@@ -76,6 +76,22 @@ AccessScript BuildAccessScript(const Program& program,
     script.max_instance_bytes =
         std::max(script.max_instance_bytes, inst_bytes);
   }
+
+  // Annotation pass: per-(array, block) use positions, then each record's
+  // next use (the first use strictly after its own position).
+  for (const BlockAccessRecord& rec : script.records) {
+    std::vector<int64_t>& uses =
+        script.block_uses[{rec.array_id, rec.block}];
+    const int64_t pos = static_cast<int64_t>(rec.pos);
+    if (uses.empty() || uses.back() != pos) uses.push_back(pos);
+  }
+  for (BlockAccessRecord& rec : script.records) {
+    const std::vector<int64_t>& uses =
+        script.block_uses.at({rec.array_id, rec.block});
+    auto next = std::upper_bound(uses.begin(), uses.end(),
+                                 static_cast<int64_t>(rec.pos));
+    rec.next_use_pos = next == uses.end() ? -1 : *next;
+  }
   return script;
 }
 

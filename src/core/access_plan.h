@@ -27,6 +27,7 @@
 
 #include "core/plan_realization.h"
 #include "ir/program.h"
+#include "storage/replacement.h"
 
 namespace riot {
 
@@ -49,6 +50,12 @@ struct BlockAccessRecord {
   /// (array, block) strictly before `pos`; -1 if none. A prefetcher may
   /// issue this read only after the instance at `dep_pos` has completed.
   int64_t dep_pos = -1;
+  /// Next instance position at which the same (array, block) is accessed
+  /// again — read or write, saved or not — strictly after `pos`; -1 =
+  /// never. This is the annotation Belady-style replacement consumes: a
+  /// block whose next use is farthest away (or absent) is the provably
+  /// best eviction victim.
+  int64_t next_use_pos = -1;
 };
 
 /// \brief The lowered access sequence of a realized plan.
@@ -60,6 +67,11 @@ struct AccessScript {
   /// Largest total byte footprint any single instance touches at once;
   /// the headroom a prefetch budget must always leave the consumer.
   int64_t max_instance_bytes = 0;
+  /// Per-(array, block) ascending, deduplicated instance positions of use
+  /// (every access, read or write). The per-block future-use iterators
+  /// behind the ScheduleOpt replacement policy and the cost model's cache
+  /// simulator; also the source of `next_use_pos`.
+  BlockUseMap block_uses;
 };
 
 /// \brief Lowers `rp` (over `program`) into its block access script.

@@ -1,9 +1,13 @@
 #include "core/cost_model.h"
 
+#include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
+#include "core/access_plan.h"
 #include "core/plan_realization.h"
+#include "storage/buffer_pool.h"
 #include "util/logging.h"
 
 namespace riot {
@@ -93,7 +97,116 @@ PlanCost EvaluatePlanCost(const Program& program, const Schedule& schedule,
   cost.baseline_io_seconds =
       static_cast<double>(cost.baseline_read_bytes) / rd +
       static_cast<double>(cost.baseline_write_bytes) / wr;
+
+  // Memory-pressure projection: how this schedule behaves as a plain
+  // bounded cache when its exact requirement cannot be afforded.
+  if (options.pressure_cap_bytes > 0) {
+    CacheSimOptions sim;
+    sim.policy = options.pressure_policy;
+    sim.cap_bytes = options.pressure_cap_bytes;
+    sim.opportunistic = true;
+    auto r = SimulateCacheBehavior(program, schedule, realized, sim, options);
+    if (r.ok()) {
+      cost.capped_block_reads = r->block_reads;
+      cost.capped_evictions = r->evictions;
+      cost.capped_io_seconds = r->io_seconds;
+    }
+  }
   return cost;
+}
+
+Result<CacheSimResult> SimulateCacheBehavior(
+    const Program& program, const Schedule& schedule,
+    const std::vector<const CoAccess*>& realized, const CacheSimOptions& sim,
+    const CostModelOptions& options) {
+  // The opportunistic ablation deliberately ignores the plan's sharing set
+  // — exactly like the engine's kOpportunisticCache mode.
+  RealizedPlan rp = RealizePlan(program, schedule,
+                                sim.opportunistic
+                                    ? std::vector<const CoAccess*>{}
+                                    : realized);
+  const AccessScript script = BuildAccessScript(program, rp);
+
+  BufferPool pool(sim.cap_bytes, MakeReplacementPolicy(sim.policy));
+  const bool schedule_policy =
+      sim.policy == ReplacementKind::kScheduleOpt;
+  if (schedule_policy) {
+    pool.BindUsePlan(std::make_shared<BlockUseMap>(script.block_uses));
+  }
+
+  CacheSimResult out;
+  // Replay the depth-0 serial engine's pool discipline, step for step:
+  // release expired retentions at group boundaries, advance the policy
+  // clock per instance, fetch reads-then-write, retain as scripted, unpin
+  // at instance end. The pool's own counters then ARE the prediction.
+  // (access_idx, frame): the engine releases an instance's pins in access
+  // order, not record (reads-then-write) order — Clock's ring order
+  // depends on it.
+  std::vector<std::pair<int, BufferPool::Frame*>> frames;
+  size_t cur_group = 0;
+  for (size_t pos = 0; pos < rp.order.size(); ++pos) {
+    if (rp.group_of[pos] != cur_group) {
+      cur_group = rp.group_of[pos];
+      pool.ReleaseRetainedBefore(static_cast<int64_t>(cur_group));
+    }
+    if (schedule_policy) {
+      pool.AdvanceReplacementClock(static_cast<int64_t>(pos));
+    }
+    const auto [rec_begin, rec_end] = script.per_pos[pos];
+    frames.clear();
+    for (uint32_t ri = rec_begin; ri < rec_end; ++ri) {
+      const BlockAccessRecord& rec = script.records[ri];
+      bool disk_read = false;
+      if (rec.type == AccessType::kRead) {
+        bool saved = rec.saved;
+        const bool present =
+            pool.Probe(rec.array_id, rec.block) != nullptr;
+        if (sim.opportunistic) {
+          saved = present;
+          if (saved) ++out.policy_saved_reads;
+        }
+        if (saved && !present) {
+          return Status::Internal(
+              "cache sim: saved read not resident (plan/realization bug)");
+        }
+        // The engine reads disk for every non-saved read, resident or not
+        // (plan-exact I/O counts must match the linear sharing model).
+        disk_read = !saved || !present;
+      }
+      auto f = pool.Fetch(rec.array_id, rec.block, rec.bytes,
+                          /*store=*/nullptr, /*load=*/false);
+      if (!f.ok()) {
+        for (auto& [ai, held] : frames) pool.Unpin(held);
+        return f.status();
+      }
+      frames.emplace_back(rec.access_idx, *f);
+      if (disk_read) {
+        out.read_bytes += rec.bytes;
+        ++out.block_reads;
+      }
+      if (rec.type == AccessType::kWrite && !rec.saved) {
+        out.write_bytes += rec.bytes;
+        ++out.block_writes;
+      }
+      if (rec.retain_until_group >= 0) {
+        pool.Retain(*f, rec.retain_until_group);
+      }
+    }
+    std::sort(frames.begin(), frames.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [ai, f] : frames) pool.Unpin(f);
+  }
+  pool.ReleaseRetainedBefore(std::numeric_limits<int64_t>::max());
+
+  const BufferPoolStats ps = pool.stats();
+  out.hits = ps.hits;
+  out.misses = ps.misses;
+  out.evictions = ps.evictions;
+  out.dirty_writebacks = ps.dirty_writebacks;
+  out.io_seconds =
+      static_cast<double>(out.read_bytes) / (options.read_mb_per_s * 1e6) +
+      static_cast<double>(out.write_bytes) / (options.write_mb_per_s * 1e6);
+  return out;
 }
 
 }  // namespace riot

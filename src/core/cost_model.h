@@ -7,16 +7,29 @@
 // the extents are instance-exact, predicted I/O volume matches executed I/O
 // volume byte-for-byte (the paper reports 0.6-2.3% error only because it
 // converts volume to seconds with a two-rate disk model; we expose both).
+//
+// SimulateCacheBehavior goes further: it replays the plan's lowered block
+// access script against a real BufferPool (with a chosen replacement
+// policy and cap), mirroring the serial engine's fetch/pin/retain/unpin
+// discipline step for step — so predicted reads, evictions, hits, and
+// misses match a depth-0 serial execution *exactly*, for any policy, at
+// any cap. That lets the optimizer price memory pressure: when no plan's
+// exact requirement fits the cap, plans are ranked by their simulated
+// behavior under a bounded opportunistic cache instead of being assumed to
+// run against an infinite pool.
 #ifndef RIOTSHARE_CORE_COST_MODEL_H_
 #define RIOTSHARE_CORE_COST_MODEL_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "analysis/coaccess.h"
 #include "ir/program.h"
 #include "ir/schedule.h"
+#include "storage/replacement.h"
+#include "util/status.h"
 
 namespace riot {
 
@@ -25,6 +38,16 @@ struct CostModelOptions {
   /// the paper's measured 96 MB/s read and 60 MB/s write (Section 6 setup).
   double read_mb_per_s = 96.0;
   double write_mb_per_s = 60.0;
+  /// When > 0, EvaluatePlanCost additionally replays the plan through the
+  /// cache simulator under `pressure_policy` at this cap in opportunistic
+  /// mode (a plain bounded cache, no planned sharing), filling the
+  /// PlanCost::capped_* fields — pricing memory pressure instead of
+  /// assuming an infinite pool. The optimizer defers this (enumeration
+  /// stays on the cheap linear model) and simulates only the surviving
+  /// plans, and only when none fits the memory cap exactly. 0 (default)
+  /// skips the simulation.
+  int64_t pressure_cap_bytes = 0;
+  ReplacementKind pressure_policy = ReplacementKind::kScheduleOpt;
 };
 
 struct PlanCost {
@@ -37,6 +60,12 @@ struct PlanCost {
   int64_t peak_memory_bytes = 0;
   double io_seconds = 0.0;
   double baseline_io_seconds = 0.0;
+  /// Cache-simulator projection under CostModelOptions::pressure_cap_bytes
+  /// (opportunistic replay). -1 = simulation not run or infeasible at that
+  /// cap (an instance's own footprint exceeds it).
+  int64_t capped_block_reads = -1;
+  int64_t capped_evictions = -1;
+  double capped_io_seconds = 0.0;
 
   int64_t TotalBytes() const { return read_bytes + write_bytes; }
   double SavingsFraction() const {
@@ -52,6 +81,42 @@ struct PlanCost {
 PlanCost EvaluatePlanCost(const Program& program, const Schedule& schedule,
                           const std::vector<const CoAccess*>& realized,
                           const CostModelOptions& options = {});
+
+struct CacheSimOptions {
+  ReplacementKind policy = ReplacementKind::kLru;
+  int64_t cap_bytes = std::numeric_limits<int64_t>::max();
+  /// false: plan-exact replay (saved reads from memory, every other read
+  /// from disk — the policy affects evictions only). true: the
+  /// ExecMode::kOpportunisticCache ablation (sharing ignored; residency
+  /// under the cap and policy decides every read) — where the LRU-vs-OPT
+  /// read gap lives.
+  bool opportunistic = false;
+};
+
+struct CacheSimResult {
+  int64_t block_reads = 0;
+  int64_t block_writes = 0;
+  int64_t read_bytes = 0;
+  int64_t write_bytes = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t dirty_writebacks = 0;  // always 0: the engine is write-through
+  /// Opportunistic replay: reads served from residency instead of disk.
+  int64_t policy_saved_reads = 0;
+  double io_seconds = 0.0;  // volumes at the CostModelOptions rates
+};
+
+/// \brief Replays the plan's block access script against a real BufferPool
+/// with the given policy and cap, mirroring the depth-0 serial engine
+/// exactly: predicted block_reads/evictions/hits/misses equal a measured
+/// serial run's ExecStats/BufferPoolStats for every policy and cap.
+/// Fails with kResourceExhausted when a single instance's pinned footprint
+/// exceeds the cap (the engine would fail identically).
+Result<CacheSimResult> SimulateCacheBehavior(
+    const Program& program, const Schedule& schedule,
+    const std::vector<const CoAccess*>& realized, const CacheSimOptions& sim,
+    const CostModelOptions& options = {});
 
 }  // namespace riot
 

@@ -93,6 +93,13 @@ OptimizationResult Optimize(const Program& program,
 
   ScheduleSolver solver(program, result.analysis.dependences, options.solver);
 
+  // Candidate enumeration costs every plan with the exact linear model
+  // only; the (much dearer) capped cache simulation is deferred to the
+  // pressure fallback below, which runs it for the few surviving plans and
+  // only when no plan fits the cap.
+  CostModelOptions enumerate_cost = options.cost;
+  enumerate_cost.pressure_cap_bytes = 0;
+
   auto add_plan = [&](std::vector<int> opps, Schedule sched) {
     Plan plan;
     plan.opportunities = std::move(opps);
@@ -100,7 +107,7 @@ OptimizationResult Optimize(const Program& program,
     for (int oi : plan.opportunities) {
       q.push_back(&sharing[static_cast<size_t>(oi)]);
     }
-    plan.cost = EvaluatePlanCost(program, sched, q, options.cost);
+    plan.cost = EvaluatePlanCost(program, sched, q, enumerate_cost);
     plan.schedule = std::move(sched);
     result.plans.push_back(std::move(plan));
   };
@@ -170,6 +177,41 @@ OptimizationResult Optimize(const Program& program,
     if (!cur_fits || p.cost.io_seconds < cur.cost.io_seconds) {
       result.best_index = static_cast<int>(i);
     }
+  }
+
+  // Memory-pressure pricing: when no plan's exact requirement fits the cap
+  // and the cost model simulated a bounded cache
+  // (CostModelOptions::pressure_cap_bytes), rank by simulated capped I/O
+  // time instead of defaulting to the original schedule — the schedule
+  // that degrades best under a plain replacement policy wins.
+  if (options.cost.pressure_cap_bytes > 0 &&
+      result.plans[static_cast<size_t>(result.best_index)]
+              .cost.peak_memory_bytes > options.memory_cap_bytes) {
+    CacheSimOptions sim;
+    sim.policy = options.cost.pressure_policy;
+    sim.cap_bytes = options.cost.pressure_cap_bytes;
+    sim.opportunistic = true;
+    int best_capped = -1;
+    for (size_t i = 0; i < result.plans.size(); ++i) {
+      Plan& p = result.plans[i];
+      std::vector<const CoAccess*> q;
+      for (int oi : p.opportunities) {
+        q.push_back(&sharing[static_cast<size_t>(oi)]);
+      }
+      auto r = SimulateCacheBehavior(program, p.schedule, q, sim,
+                                     options.cost);
+      if (!r.ok()) continue;  // infeasible at the cap
+      p.cost.capped_block_reads = r->block_reads;
+      p.cost.capped_evictions = r->evictions;
+      p.cost.capped_io_seconds = r->io_seconds;
+      if (best_capped < 0 ||
+          p.cost.capped_io_seconds <
+              result.plans[static_cast<size_t>(best_capped)]
+                  .cost.capped_io_seconds) {
+        best_capped = static_cast<int>(i);
+      }
+    }
+    if (best_capped >= 0) result.best_index = best_capped;
   }
 
   result.optimize_seconds =

@@ -53,6 +53,9 @@ BufferPoolStats DiffPoolStats(const BufferPoolStats& end,
   d.misses = end.misses - start.misses;
   d.evictions = end.evictions - start.evictions;
   d.dirty_writebacks = end.dirty_writebacks - start.dirty_writebacks;
+  d.async_writebacks = end.async_writebacks - start.async_writebacks;
+  d.writeback_stall_seconds =
+      end.writeback_stall_seconds - start.writeback_stall_seconds;
   d.prefetch_issued = end.prefetch_issued - start.prefetch_issued;
   d.prefetch_declined = end.prefetch_declined - start.prefetch_declined;
   d.prefetch_abandoned = end.prefetch_abandoned - start.prefetch_abandoned;
@@ -96,10 +99,19 @@ Result<ExecStats> Executor::RunSerial(
                                     ? std::vector<const CoAccess*>{}
                                     : realized);
   const AccessScript script = BuildAccessScript(prog_, rp);
-  BufferPool local_pool(opts_.memory_cap_bytes);
+  BufferPool local_pool(opts_.memory_cap_bytes,
+                        MakeReplacementPolicy(opts_.replacement));
   BufferPool& pool = opts_.shared_pool != nullptr ? *opts_.shared_pool
                                                   : local_pool;
   const BufferPoolStats pool_stats0 = pool.stats();
+  // Belady-style replacement needs the plan's future: bind every block's
+  // use positions and advance the policy clock per instance below. The
+  // schedule (and hence the access order) is exact in both modes.
+  const bool schedule_policy =
+      pool.replacement_kind() == ReplacementKind::kScheduleOpt;
+  if (schedule_policy) {
+    pool.BindUsePlan(std::make_shared<BlockUseMap>(script.block_uses));
+  }
   ExecStats stats;
 
   // ------------------------------------------------- pipeline stage 1 state
@@ -130,6 +142,7 @@ Result<ExecStats> Executor::RunSerial(
           0, (pool.cap_bytes() - script.max_instance_bytes) / 2);
     }
     pool.SetPrefetchBudget(budget);
+    if (opts_.writeback_async) pool.SetWriteBehind(io.get());
   }
 
   // Blocks until the prefetch for `key` has completed (draining other
@@ -290,6 +303,9 @@ Result<ExecStats> Executor::RunSerial(
         cur_group = rp.group_of[pos];
         pool.ReleaseRetainedBefore(static_cast<int64_t>(cur_group));
       }
+      if (schedule_policy) {
+        pool.AdvanceReplacementClock(static_cast<int64_t>(pos));
+      }
       if (depth > 0) advance_prefetcher(cur_group, pos);
       const Statement& st = prog_.statement(inst.stmt_id);
       const size_t na = st.accesses.size();
@@ -335,8 +351,10 @@ Result<ExecStats> Executor::RunSerial(
             if (opportunistic) {
               // Whatever the pool still holds is reusable; correctness is
               // preserved because performed writes are write-through, so
-              // any cached frame matches disk.
+              // any cached frame matches disk. The replacement policy is
+              // what decides residency here — count its wins.
               saved = present != nullptr;
+              if (saved) ++stats.policy_saved_reads;
             }
             if (saved && present == nullptr && opts_.strict_sharing) {
               return Status::Internal(
@@ -431,19 +449,26 @@ Result<ExecStats> Executor::RunSerial(
   }();
 
   // Unified cleanup (success and error): unpin anything a failed instance
-  // still holds, drain the lookahead the plan ended ahead of, join the I/O
-  // workers, and release every retention this run created.
+  // still holds, drain the lookahead the plan ended ahead of, land every
+  // write-behind, join the I/O workers, and release every retention this
+  // run created.
   for (BufferPool::Frame* f : frames) {
     if (f != nullptr) pool.Unpin(f);
   }
   while (cancel_one()) {
   }
   if (io != nullptr) {
-    stats.io_seconds += io->read_seconds();
+    if (opts_.writeback_async) {
+      Status wb = pool.DrainWritebacks();
+      pool.SetWriteBehind(nullptr);
+      if (run_status.ok() && !wb.ok()) run_status = wb;
+    }
+    stats.io_seconds += io->read_seconds() + io->write_seconds();
     io.reset();  // joins the workers
   }
   pool.ReleaseRetainedBefore(std::numeric_limits<int64_t>::max());
   DropDivergentWrites(script, &pool);
+  if (schedule_policy) pool.UnbindUsePlan();
   if (!run_status.ok()) return run_status;
 
   stats.pool = DiffPoolStats(pool.stats(), pool_stats0);
@@ -477,10 +502,19 @@ Result<ExecStats> Executor::RunParallel(
   const InstanceDag dag = BuildInstanceDag(script);
   const size_t n = rp.order.size();
 
-  BufferPool local_pool(opts_.memory_cap_bytes);
+  BufferPool local_pool(opts_.memory_cap_bytes,
+                        MakeReplacementPolicy(opts_.replacement));
   BufferPool& pool = opts_.shared_pool != nullptr ? *opts_.shared_pool
                                                   : local_pool;
   const BufferPoolStats pool_stats0 = pool.stats();
+  // ScheduleOpt clocking under parallel dispatch: advance by the completed
+  // frontier (smallest incomplete position) — a linear extension of the
+  // DAG, so a use is never declared past while its instance can still run.
+  const bool schedule_policy =
+      pool.replacement_kind() == ReplacementKind::kScheduleOpt;
+  if (schedule_policy) {
+    pool.BindUsePlan(std::make_shared<BlockUseMap>(script.block_uses));
+  }
   const int depth = std::max(0, opts_.pipeline_depth);
   const int nworkers = static_cast<int>(std::min<size_t>(
       static_cast<size_t>(std::max(1, opts_.exec_threads)),
@@ -502,6 +536,7 @@ Result<ExecStats> Executor::RunParallel(
     int64_t bytes_read = 0, bytes_written = 0;
     int64_t block_reads = 0, block_writes = 0;
     int64_t prefetch_hits = 0;
+    int64_t policy_saved_reads = 0;
     double io_seconds = 0.0, compute_seconds = 0.0;
   };
   std::atomic<int64_t> canceled_bytes{0}, canceled_reads{0},
@@ -527,6 +562,7 @@ Result<ExecStats> Executor::RunParallel(
                  2);
     }
     pool.SetPrefetchBudget(budget);
+    if (opts_.writeback_async) pool.SetWriteBehind(io.get());
   }
 
   // ----------------------------------------------------- prefetcher state
@@ -819,7 +855,9 @@ Result<ExecStats> Executor::RunParallel(
       // only behind retentions the plan orders us after) — but another
       // consumer may still be mid-load; wait behind the latch. The serial
       // engine re-reads disk here to stay cost-model-exact; concurrent
-      // consumers instead dedupe the physically redundant read.
+      // consumers instead dedupe the physically redundant read — a
+      // residency win the replacement policy gets credit for.
+      if (!rec.saved) ++ls.policy_saved_reads;
       std::unique_lock<std::mutex> ll(latch.mu);
       latch.cv.wait(ll, [&] {
         return latch.loading.count(key) == 0 || aborting.load();
@@ -1002,8 +1040,14 @@ Result<ExecStats> Executor::RunParallel(
       if (oc == Outcome::kDone) {
         completed[pos].store(true);
         ++sc.n_done;
+        const size_t old_frontier = sc.frontier;
         while (sc.frontier < n && completed[sc.frontier].load()) {
           ++sc.frontier;
+        }
+        if (schedule_policy && sc.frontier != old_frontier) {
+          // Pool lock nests inside sc.mu here; pool code never takes
+          // sc.mu, so the order is acyclic.
+          pool.AdvanceReplacementClock(static_cast<int64_t>(sc.frontier));
         }
         const size_t g = rp.group_of[pos];
         if (--sc.group_left[g] == 0) {
@@ -1065,11 +1109,23 @@ Result<ExecStats> Executor::RunParallel(
       prefetch_wasted.fetch_add(1);
     }
     pf.pending.clear();
-    stats.io_seconds += io->read_seconds();
+    if (opts_.writeback_async) {
+      Status wb = pool.DrainWritebacks();
+      pool.SetWriteBehind(nullptr);
+      if (!wb.ok()) {
+        std::lock_guard<std::mutex> lock(sc.mu);
+        if (!sc.failed) {
+          sc.failed = true;
+          sc.error = wb;
+        }
+      }
+    }
+    stats.io_seconds += io->read_seconds() + io->write_seconds();
     io.reset();  // joins the I/O workers
   }
   pool.ReleaseRetainedBefore(std::numeric_limits<int64_t>::max());
   DropDivergentWrites(script, &pool);
+  if (schedule_policy) pool.UnbindUsePlan();
 
   if (sc.failed) return sc.error;
 
@@ -1079,6 +1135,7 @@ Result<ExecStats> Executor::RunParallel(
     stats.block_reads += ls.block_reads;
     stats.block_writes += ls.block_writes;
     stats.prefetch_hits += ls.prefetch_hits;
+    stats.policy_saved_reads += ls.policy_saved_reads;
     stats.io_seconds += ls.io_seconds;
     stats.compute_seconds += ls.compute_seconds;
   }

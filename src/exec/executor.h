@@ -94,6 +94,26 @@ struct ExecOptions {
   /// kOpportunisticCache — the ablation is defined against the serial
   /// reference order.
   int exec_threads = 1;
+  /// Eviction policy for the run's private buffer pool (kLru reproduces
+  /// the historical pool bit-for-bit; a shared_pool keeps its own policy).
+  /// kScheduleOpt is Belady/MIN driven by the plan's access script: the
+  /// executor binds every block's future-use positions before the run and
+  /// advances the policy's clock as instances complete — per position in
+  /// the serial engine, by completed frontier in the parallel one (a
+  /// linear extension of the DAG, so the clock never runs ahead of an
+  /// incomplete instance). It applies under both execution modes (the
+  /// schedule, and hence the access order, is exact even when the sharing
+  /// set is ignored); with no bound plan it degrades to LRU order.
+  ReplacementKind replacement = ReplacementKind::kLru;
+  /// Hand dirty eviction victims (spills) to the run's I/O workers
+  /// (write-behind) instead of writing back synchronously under the pool
+  /// lock, with a write barrier covering later reads/prefetches of an
+  /// in-flight block. Active only when the run has an IoPool
+  /// (pipeline_depth >= 1). Plan-exact and opportunistic runs are
+  /// write-through and never dirty frames, so this matters when a shared
+  /// pool carries dirty frames from outside the run; forcing it off (or
+  /// depth 0) reproduces the historical synchronous spill path exactly.
+  bool writeback_async = true;
   /// Optional caller-owned pool to run against instead of a private one
   /// (memory_cap_bytes is then ignored; the pool's own cap governs). Lets
   /// tests assert pin hygiene after a run — success or error — and is the
@@ -137,6 +157,13 @@ struct ExecStats {
   /// Kernel time hidden behind other kernels by multi-threaded dispatch:
   /// max(0, compute_seconds - wall_seconds). 0 in the serial engine.
   double compute_overlap_seconds = 0.0;
+  /// Disk reads avoided because the block was still resident when a read
+  /// that carries no planned sharing came due: every cache-served read of
+  /// the kOpportunisticCache ablation, and the parallel engine's dedupe of
+  /// physically redundant reads. 0 in plan-exact serial runs (their read
+  /// set is the plan's, independent of residency). The replacement policy
+  /// is what moves this number.
+  int64_t policy_saved_reads = 0;
   BufferPoolStats pool;
 };
 

@@ -1,8 +1,52 @@
 #include "storage/buffer_pool.h"
 
+#include <chrono>
+
+#include "storage/io_pool.h"
 #include "util/logging.h"
 
 namespace riot {
+
+namespace {
+double Since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+BufferPool::BufferPool(int64_t cap_bytes,
+                       std::unique_ptr<ReplacementPolicy> policy)
+    : cap_bytes_(cap_bytes),
+      policy_(policy != nullptr
+                  ? std::move(policy)
+                  : MakeReplacementPolicy(ReplacementKind::kLru)) {}
+
+BufferPool::~BufferPool() {
+  // Write-behind callbacks reference this pool; they must all have fired.
+  // Failures were surfaced through DrainWritebacks/Fetch barriers (or are
+  // dropped here — the pool is going away along with its cache).
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitAllWritebacksLocked(lock);
+}
+
+void BufferPool::WaitAllWritebacksLocked(std::unique_lock<std::mutex>& lock) {
+  writeback_cv_.wait(lock, [this] {
+    for (const auto& [key, pw] : pending_writes_) {
+      if (!pw->done) return false;
+    }
+    return true;
+  });
+}
+
+Status BufferPool::DrainWritebacksLocked(std::unique_lock<std::mutex>& lock) {
+  WaitAllWritebacksLocked(lock);
+  Status first = Status::OK();
+  for (const auto& [key, pw] : pending_writes_) {
+    if (!pw->status.ok() && first.ok()) first = pw->status;
+  }
+  pending_writes_.clear();
+  return first;
+}
 
 BufferPool::Frame* BufferPool::Probe(int array_id, int64_t block) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -10,47 +54,102 @@ BufferPool::Frame* BufferPool::Probe(int array_id, int64_t block) {
   return it == frames_.end() ? nullptr : &it->second;
 }
 
-void BufferPool::TouchLocked(const Key& key) {
-  auto it = lru_pos_.find(key);
-  if (it != lru_pos_.end()) lru_.erase(it->second);
-  lru_.push_back(key);
-  lru_pos_[key] = std::prev(lru_.end());
+Status BufferPool::WaitWritebackLocked(std::unique_lock<std::mutex>& lock,
+                                       const Key& key) {
+  for (;;) {
+    auto pit = pending_writes_.find(key);
+    if (pit == pending_writes_.end()) return Status::OK();
+    if (pit->second->done) {
+      // Completed-ok entries erase themselves; a lingering done entry is a
+      // failed write: the block's disk image is stale and its data is
+      // gone. Surface the error instead of letting the caller reread
+      // garbage (DrainWritebacks clears the poisoning).
+      return pit->second->status;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    writeback_cv_.wait(lock);
+    stats_.writeback_stall_seconds += Since(t0);
+  }
 }
 
-Status BufferPool::EnsureCapacityLocked(int64_t incoming_bytes,
+Status BufferPool::EnsureCapacityLocked(std::unique_lock<std::mutex>& lock,
+                                        int64_t incoming_bytes,
                                         bool for_prefetch) {
   while (used_bytes_ + incoming_bytes > cap_bytes_) {
-    // Find the LRU frame that is neither pinned, retained, nor owned by the
-    // prefetcher.
-    bool evicted = false;
-    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-      auto fit = frames_.find(*it);
+    // The policy orders candidates; dirty frames are unusable for a
+    // prefetch-driven eviction (prefetch must never force a spill).
+    auto usable = [&](const Key& k) {
+      auto fit = frames_.find(k);
       RIOT_CHECK(fit != frames_.end());
-      Frame& f = fit->second;
-      if (f.pins > 0 || f.retain_until_group >= 0) continue;
-      if (f.state != FrameState::kRegular) continue;
-      if (f.dirty) {
-        // Prefetch must never force a spill; decline instead.
-        if (for_prefetch) continue;
-        RIOT_CHECK(f.store != nullptr);
-        RIOT_RETURN_NOT_OK(f.store->WriteBlock(f.block, f.data.data()));
-        ++stats_.dirty_writebacks;
-      }
-      used_bytes_ -= static_cast<int64_t>(f.data.size());
-      ++stats_.evictions;
-      lru_pos_.erase(*it);
-      frames_.erase(fit);
-      lru_.erase(it);
-      evicted = true;
-      break;
-    }
-    if (!evicted) {
+      return !(for_prefetch && fit->second.dirty);
+    };
+    Key victim;
+    if (!policy_->PickVictim(usable, &victim)) {
       return Status::ResourceExhausted(
           "buffer pool cap exceeded with all frames pinned/retained (cap=" +
           std::to_string(cap_bytes_) + ", used=" +
           std::to_string(used_bytes_) + ", need=" +
           std::to_string(incoming_bytes) + ")");
     }
+    auto fit = frames_.find(victim);
+    RIOT_CHECK(fit != frames_.end());
+    Frame& f = fit->second;
+    RIOT_CHECK(IsEvictable(f));
+    if (f.dirty) {
+      RIOT_CHECK(!for_prefetch);
+      RIOT_CHECK(f.store != nullptr);
+      if (write_io_ != nullptr) {
+        const int64_t fbytes = static_cast<int64_t>(f.data.size());
+        // A frame and a pending write of the same block are mutually
+        // exclusive: async eviction erases the frame under this lock, and
+        // Fetch/TryStartPrefetch never re-create it past the barrier.
+        RIOT_CHECK(pending_writes_.count(victim) == 0);
+        // In-flight write-behind buffers live outside the cap; bound them.
+        const int64_t budget = std::max(cap_bytes_ / 4, fbytes);
+        if (writeback_inflight_bytes_ + fbytes > budget) {
+          auto t0 = std::chrono::steady_clock::now();
+          writeback_cv_.wait(lock);
+          stats_.writeback_stall_seconds += Since(t0);
+          continue;
+        }
+        // Move the buffer to the writer and drop the frame; the barrier in
+        // Fetch/TryStartPrefetch covers the block until the write lands.
+        auto pw = std::make_shared<PendingWrite>();
+        pw->data = std::move(f.data);
+        BlockStore* store = f.store;
+        const int64_t block = f.block;
+        pending_writes_[victim] = pw;
+        writeback_inflight_bytes_ += fbytes;
+        ++stats_.dirty_writebacks;
+        ++stats_.async_writebacks;
+        ++stats_.evictions;
+        used_bytes_ -= fbytes;
+        policy_->OnErase(victim);
+        frames_.erase(fit);
+        write_io_->WriteBlockAsync(
+            store, block, pw->data.data(),
+            [this, victim, pw, fbytes](Status st) {
+              std::lock_guard<std::mutex> cb_lock(mu_);
+              pw->done = true;
+              pw->status = std::move(st);
+              writeback_inflight_bytes_ -= fbytes;
+              if (pw->status.ok()) {
+                pending_writes_.erase(victim);
+              } else {
+                // The data cannot reach disk; keep only the status (the
+                // entry poisons the block until DrainWritebacks).
+                pw->data.clear();
+                pw->data.shrink_to_fit();
+              }
+              writeback_cv_.notify_all();
+            });
+        continue;
+      }
+      RIOT_RETURN_NOT_OK(f.store->WriteBlock(f.block, f.data.data()));
+      ++stats_.dirty_writebacks;
+    }
+    ++stats_.evictions;
+    EraseFrameLocked(&f);
   }
   return Status::OK();
 }
@@ -58,26 +157,44 @@ Status BufferPool::EnsureCapacityLocked(int64_t incoming_bytes,
 Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
                                              int64_t bytes, BlockStore* store,
                                              bool load, bool* was_resident) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   Key key{array_id, block};
-  auto it = frames_.find(key);
-  if (was_resident != nullptr) *was_resident = it != frames_.end();
-  if (it != frames_.end()) {
-    Frame& f = it->second;
-    RIOT_CHECK(f.state == FrameState::kRegular)
-        << "Fetch on a block in a prefetch state (adopt/abandon it first)";
-    if (f.discarded) {
-      // Garbage contents (failed load) awaiting its holders' release; the
-      // run is already failing — refuse rather than hand out zeros.
-      return Status::Internal("fetch of a discarded frame (run aborting)");
+  bool counted_miss = false;
+  for (;;) {
+    auto it = frames_.find(key);
+    if (it != frames_.end()) {
+      if (was_resident != nullptr) *was_resident = true;
+      Frame& f = it->second;
+      RIOT_CHECK(f.state == FrameState::kRegular)
+          << "Fetch on a block in a prefetch state (adopt/abandon it first)";
+      if (f.discarded) {
+        // Garbage contents (failed load) awaiting its holders' release; the
+        // run is already failing — refuse rather than hand out zeros.
+        return Status::Internal("fetch of a discarded frame (run aborting)");
+      }
+      if (!counted_miss) ++stats_.hits;
+      MutateTracked(&f, [&] { ++f.pins; });
+      policy_->OnTouch(key);
+      return &f;
     }
-    ++stats_.hits;
-    MutateTracked(&f, [&] { ++f.pins; });
-    TouchLocked(key);
-    return &f;
+    if (pending_writes_.count(key) > 0) {
+      // Write-behind barrier: the block's only current copy is in flight
+      // to disk. Wait it out so the load below observes the written data.
+      RIOT_RETURN_NOT_OK(WaitWritebackLocked(lock, key));
+      continue;  // the wait dropped the lock: re-check residency
+    }
+    if (!counted_miss) {
+      ++stats_.misses;
+      counted_miss = true;
+    }
+    RIOT_RETURN_NOT_OK(EnsureCapacityLocked(lock, bytes,
+                                            /*for_prefetch=*/false));
+    // Capacity waits (write-behind) may have dropped the lock: if the
+    // frame or a pending write materialized meanwhile, start over.
+    if (frames_.count(key) > 0 || pending_writes_.count(key) > 0) continue;
+    break;
   }
-  ++stats_.misses;
-  RIOT_RETURN_NOT_OK(EnsureCapacityLocked(bytes, /*for_prefetch=*/false));
+  if (was_resident != nullptr) *was_resident = false;
   Frame f;
   f.array_id = array_id;
   f.block = block;
@@ -85,6 +202,13 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
   f.store = store;
   if (load) {
     RIOT_CHECK(store != nullptr);
+    // With write-behind active, async writers touch this store from I/O
+    // workers; route the pool's own load through the shared per-store
+    // lock (store implementations are not required to be thread-safe).
+    std::shared_ptr<std::mutex> serial =
+        write_io_ != nullptr ? write_io_->store_mutex(store) : nullptr;
+    std::unique_lock<std::mutex> store_lock;
+    if (serial != nullptr) store_lock = std::unique_lock<std::mutex>(*serial);
     RIOT_RETURN_NOT_OK(store->ReadBlock(block, f.data.data()));
   }
   f.pins = 1;
@@ -92,17 +216,14 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
   required_bytes_ += bytes;
   auto [ins, ok] = frames_.emplace(key, std::move(f));
   RIOT_CHECK(ok);
-  TouchLocked(key);
+  policy_->OnTouch(key);
   return &ins->second;
 }
 
 void BufferPool::EraseFrameLocked(Frame* frame) {
   Key key{frame->array_id, frame->block};
   used_bytes_ -= static_cast<int64_t>(frame->data.size());
-  auto lit = lru_pos_.find(key);
-  RIOT_CHECK(lit != lru_pos_.end());
-  lru_.erase(lit->second);
-  lru_pos_.erase(lit);
+  policy_->OnErase(key);
   frames_.erase(key);
 }
 
@@ -146,12 +267,54 @@ void BufferPool::ReleaseRetainedBefore(int64_t group) {
   }
 }
 
+ReplacementKind BufferPool::replacement_kind() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_->kind();
+}
+
+void BufferPool::BindUsePlan(std::shared_ptr<const BlockUseMap> uses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_->BindUsePlan(std::move(uses));
+}
+
+void BufferPool::UnbindUsePlan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_->UnbindUsePlan();
+}
+
+void BufferPool::AdvanceReplacementClock(int64_t pos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_->AdvanceClock(pos);
+}
+
+void BufferPool::SetWriteBehind(IoPool* io) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (io == nullptr) {
+    // Detaching: every in-flight write must land first (its callback and
+    // buffer reference the departing IoPool's workers).
+    WaitAllWritebacksLocked(lock);
+  }
+  write_io_ = io;
+}
+
+Status BufferPool::DrainWritebacks() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return DrainWritebacksLocked(lock);
+}
+
 BufferPool::Frame* BufferPool::TryStartPrefetch(int array_id, int64_t block,
                                                 int64_t bytes,
                                                 BlockStore* store) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   Key key{array_id, block};
   if (prefetch_bytes_ + bytes > prefetch_budget_bytes_) {
+    ++stats_.prefetch_declined;
+    return nullptr;
+  }
+  if (pending_writes_.count(key) > 0) {
+    // Write-behind barrier: the block is in flight to disk; a prefetch
+    // read now could observe the pre-write image. Decline — prefetch is
+    // opportunistic and the consumer's Fetch barrier handles the wait.
     ++stats_.prefetch_declined;
     return nullptr;
   }
@@ -169,17 +332,19 @@ BufferPool::Frame* BufferPool::TryStartPrefetch(int array_id, int64_t block,
       ++stats_.prefetch_declined;
       return nullptr;
     }
-    f.state = FrameState::kPrefetching;
+    MutateTracked(&f, [&] { f.state = FrameState::kPrefetching; });
     f.store = store;
     prefetch_bytes_ += static_cast<int64_t>(f.data.size());
     ++stats_.prefetch_issued;
-    TouchLocked(key);
+    policy_->OnTouch(key);
     return &f;
   }
-  if (!EnsureCapacityLocked(bytes, /*for_prefetch=*/true).ok()) {
+  if (!EnsureCapacityLocked(lock, bytes, /*for_prefetch=*/true).ok()) {
     ++stats_.prefetch_declined;
     return nullptr;
   }
+  // A prefetch-driven eviction never spills, so the lock was never
+  // dropped: no concurrent frame for `key` can have appeared.
   Frame f;
   f.array_id = array_id;
   f.block = block;
@@ -191,14 +356,14 @@ BufferPool::Frame* BufferPool::TryStartPrefetch(int array_id, int64_t block,
   ++stats_.prefetch_issued;
   auto [ins, ok] = frames_.emplace(key, std::move(f));
   RIOT_CHECK(ok);
-  TouchLocked(key);
+  policy_->OnTouch(key);
   return &ins->second;
 }
 
 void BufferPool::CompletePrefetch(Frame* frame) {
   std::lock_guard<std::mutex> lock(mu_);
   RIOT_CHECK(frame->state == FrameState::kPrefetching);
-  frame->state = FrameState::kPrefetched;
+  MutateTracked(frame, [&] { frame->state = FrameState::kPrefetched; });
 }
 
 BufferPool::Frame* BufferPool::AdoptPrefetched(Frame* frame) {
@@ -209,23 +374,16 @@ BufferPool::Frame* BufferPool::AdoptPrefetched(Frame* frame) {
     frame->state = FrameState::kRegular;
     frame->pins = 1;
   });
-  TouchLocked({frame->array_id, frame->block});
+  policy_->OnTouch({frame->array_id, frame->block});
   return frame;
 }
 
 void BufferPool::AbandonPrefetch(Frame* frame) {
   std::lock_guard<std::mutex> lock(mu_);
   RIOT_CHECK(frame->state == FrameState::kPrefetched);
-  const int64_t bytes = static_cast<int64_t>(frame->data.size());
-  prefetch_bytes_ -= bytes;
-  used_bytes_ -= bytes;
+  prefetch_bytes_ -= static_cast<int64_t>(frame->data.size());
   ++stats_.prefetch_abandoned;
-  Key key{frame->array_id, frame->block};
-  auto lit = lru_pos_.find(key);
-  RIOT_CHECK(lit != lru_pos_.end());
-  lru_.erase(lit->second);
-  lru_pos_.erase(lit);
-  frames_.erase(key);
+  EraseFrameLocked(frame);
 }
 
 void BufferPool::SetPrefetchBudget(int64_t bytes) {
@@ -251,18 +409,26 @@ void BufferPool::Drop(int array_id, int64_t block) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  Status first = DrainWritebacksLocked(lock);
   for (auto& [key, f] : frames_) {
     RIOT_CHECK(f.state != FrameState::kPrefetching)
         << "FlushAll with a prefetch in flight";
     if (f.dirty && f.store != nullptr) {
-      RIOT_RETURN_NOT_OK(f.store->WriteBlock(f.block, f.data.data()));
-      f.dirty = false;
+      std::shared_ptr<std::mutex> serial =
+          write_io_ != nullptr ? write_io_->store_mutex(f.store) : nullptr;
+      std::unique_lock<std::mutex> store_lock;
+      if (serial != nullptr) {
+        store_lock = std::unique_lock<std::mutex>(*serial);
+      }
+      Status st = f.store->WriteBlock(f.block, f.data.data());
+      if (!st.ok() && first.ok()) first = st;
+      if (st.ok()) f.dirty = false;
     }
   }
+  RIOT_RETURN_NOT_OK(first);
   frames_.clear();
-  lru_.clear();
-  lru_pos_.clear();
+  policy_->OnClear();
   used_bytes_ = 0;
   required_bytes_ = 0;
   prefetch_bytes_ = 0;

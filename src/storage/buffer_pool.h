@@ -4,10 +4,26 @@
 // Frames are keyed by (array id, linear block index). The executor pins a
 // frame while a statement instance computes on it, and additionally marks
 // frames "retained" until a given group index to realize sharing
-// opportunities (keep-until-reuse). Unpinned, unretained frames are evicted
-// LRU when the cap is hit; dirty victims are written back through their
-// BlockStore (spilling — a correct plan never triggers it, and tests assert
-// so via the spill counters).
+// opportunities (keep-until-reuse). When the cap is hit, an unpinned,
+// unretained frame is evicted by the pool's pluggable ReplacementPolicy
+// (storage/replacement.h): LRU (the default — bit-for-bit the pool's
+// historical behavior), Clock, or ScheduleOpt, a Belady/MIN policy the
+// executor drives with the plan's known future block-access positions.
+// Victim selection is O(log n): the policies index evictable frames
+// directly instead of scanning the frame table past pinned/retained ones.
+//
+// Dirty victims are written back through their BlockStore (spilling — a
+// correct plan never triggers it, and tests assert so via the spill
+// counters). With SetWriteBehind(io) the write-back is asynchronous: the
+// victim's buffer is handed to `io`'s write workers (serialized against
+// the pool's readers by the IoPool's per-store locks) and the pool moves
+// on; a write barrier makes any later Fetch of an in-flight block wait for
+// the pending write, and a later prefetch of it is declined, so async
+// readers can never observe the pre-write disk image or tear the buffer.
+// In-flight write-behind buffers live outside the cap, bounded by a budget
+// (cap/4); evictions past the budget stall until writes land
+// (BufferPoolStats::writeback_stall_seconds). Without write-behind the
+// historical synchronous write-back is preserved exactly.
 //
 // The pool is thread-safe: the pipelined executor's I/O workers fill
 // prefetch frames while kernel workers (one in the serial engine, many
@@ -16,32 +32,37 @@
 // adopted or abandoned) and its own budget, and is *never* allowed to
 // violate the cap, evict a pinned/retained/in-flight frame, or force a
 // dirty write-back — a prefetch that would need any of those is declined.
-// One caveat: the pool's own BlockStore calls (dirty write-back on
-// eviction, Fetch with load=true) are NOT serialized against async
-// readers of the same store — a caller running async reads must keep
-// frames clean and fetch with load=false, routing every synchronous
-// store access through its own per-store lock (the pipelined executor
-// does both).
+// When write-behind is enabled, the pool's own synchronous store calls
+// (Fetch with load=true) also take the IoPool's per-store lock, closing
+// the historical caveat that pool store calls raced async readers.
 #ifndef RIOTSHARE_STORAGE_BUFFER_POOL_H_
 #define RIOTSHARE_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "storage/block_store.h"
+#include "storage/replacement.h"
 #include "util/status.h"
 
 namespace riot {
+
+class IoPool;
 
 struct BufferPoolStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t evictions = 0;
   int64_t dirty_writebacks = 0;  // spills: should be 0 for in-cap plans
+  int64_t async_writebacks = 0;  // spills handed to write-behind workers
+  /// Wall time callers stalled on in-flight write-behind: Fetch barriers
+  /// on a pending block plus evictions waiting out the write-behind
+  /// buffer budget.
+  double writeback_stall_seconds = 0.0;
   int64_t prefetch_issued = 0;    // TryStartPrefetch successes
   int64_t prefetch_declined = 0;  // no budget/room without touching
                                   // protected frames
@@ -71,7 +92,13 @@ class BufferPool {
     bool discarded = false;
   };
 
-  explicit BufferPool(int64_t cap_bytes) : cap_bytes_(cap_bytes) {}
+  /// `policy` decides eviction order; nullptr = LRU (the historical
+  /// behavior, bit-for-bit).
+  explicit BufferPool(int64_t cap_bytes,
+                      std::unique_ptr<ReplacementPolicy> policy = nullptr);
+  /// Drains any in-flight write-behind (failures were already recorded;
+  /// call DrainWritebacks first to observe them).
+  ~BufferPool();
 
   /// Returns the frame for (array_id, block), fetching from `store` on miss
   /// when `load` is set (otherwise the frame starts zeroed). The returned
@@ -80,6 +107,8 @@ class BufferPool {
   /// `was_resident` (optional) reports whether the frame already existed:
   /// concurrent consumers need the hit/miss answer atomically with the pin
   /// (a separate Probe could race with an eviction in between).
+  /// A miss on a block whose write-behind is still in flight waits for the
+  /// pending write first (and surfaces its error, if it failed).
   Result<Frame*> Fetch(int array_id, int64_t block, int64_t bytes,
                        BlockStore* store, bool load,
                        bool* was_resident = nullptr);
@@ -102,12 +131,34 @@ class BufferPool {
   /// not touch the flag unsynchronized while eviction scans run).
   void MarkClean(Frame* frame);
 
+  // ------------------------------------------------- replacement policy
+  ReplacementKind replacement_kind() const;
+  /// Forwarders to the policy's schedule-driven hooks, under the pool
+  /// lock. No-ops for history-based policies; for ScheduleOpt the executor
+  /// binds the plan's per-block future-use positions before a run, advances
+  /// the clock as statement instances complete, and unbinds afterwards.
+  void BindUsePlan(std::shared_ptr<const BlockUseMap> uses);
+  void UnbindUsePlan();
+  void AdvanceReplacementClock(int64_t pos);
+
+  // --------------------------------------------------------- write-behind
+  /// Routes dirty eviction write-backs through `io`'s write workers
+  /// instead of writing synchronously under the pool lock. The caller must
+  /// DrainWritebacks() and SetWriteBehind(nullptr) before destroying `io`.
+  void SetWriteBehind(IoPool* io);
+  /// Waits for every in-flight write-behind; returns the first failure
+  /// (clearing it, so the pool is reusable afterwards). A failed
+  /// write-behind also poisons its block until drained: a Fetch of it
+  /// returns the write's error rather than silently rereading stale disk.
+  Status DrainWritebacks();
+
   // ------------------------------------------------------- prefetch path
   /// Reserves a kPrefetching frame for (array_id, block) so an I/O worker
   /// can fill frame->data. Declines (returns nullptr) when a frame for the
-  /// block already exists in any state, when the prefetch budget is
-  /// exhausted, or when making room would evict anything but a clean,
-  /// unpinned, unretained regular frame. Never triggers a dirty write-back.
+  /// block already exists in any state, when a write-behind of the block is
+  /// still in flight, when the prefetch budget is exhausted, or when making
+  /// room would evict anything but a clean, unpinned, unretained regular
+  /// frame. Never triggers a dirty write-back.
   Frame* TryStartPrefetch(int array_id, int64_t block, int64_t bytes,
                           BlockStore* store);
   /// I/O completed: kPrefetching -> kPrefetched.
@@ -130,7 +181,8 @@ class BufferPool {
   /// pool only ever carries cache that mirrors the stores.
   void Drop(int array_id, int64_t block);
 
-  /// Drops a clean frame / writes back a dirty one, then drops it.
+  /// Drops a clean frame / writes back a dirty one, then drops it. Drains
+  /// in-flight write-behind first.
   Status FlushAll();
 
   int64_t used_bytes() const;
@@ -147,23 +199,54 @@ class BufferPool {
   BufferPoolStats stats() const;
 
  private:
-  using Key = std::pair<int, int64_t>;
-  Status EnsureCapacityLocked(int64_t incoming_bytes, bool for_prefetch);
-  void TouchLocked(const Key& key);
+  using Key = PoolKey;
+
+  struct PendingWrite {
+    std::vector<uint8_t> data;  // the evicted frame's buffer, moved in
+    Status status;
+    bool done = false;
+  };
+
+  Status EnsureCapacityLocked(std::unique_lock<std::mutex>& lock,
+                              int64_t incoming_bytes, bool for_prefetch);
+  /// Waits out an in-flight write-behind of `key` (returns its error if it
+  /// failed). No-op when none is pending.
+  Status WaitWritebackLocked(std::unique_lock<std::mutex>& lock,
+                             const Key& key);
+  /// Blocks until every in-flight write-behind has completed (successfully
+  /// or not; completed entries may remain to be collected).
+  void WaitAllWritebacksLocked(std::unique_lock<std::mutex>& lock);
+  /// WaitAllWritebacksLocked + collect the first failure and clear the
+  /// pending table.
+  Status DrainWritebacksLocked(std::unique_lock<std::mutex>& lock);
   void EraseFrameLocked(Frame* frame);
   static bool CountsAsRequired(const Frame& f) {
     return f.state == FrameState::kRegular &&
            (f.pins > 0 || f.retain_until_group >= 0);
   }
+  static bool IsEvictable(const Frame& f) {
+    return f.state == FrameState::kRegular && f.pins == 0 &&
+           f.retain_until_group < 0 && !f.discarded;
+  }
   /// Call around any mutation of pins/retention/state to keep the
-  /// required-bytes counter exact.
+  /// required-bytes counter exact and the policy's evictable set current.
   template <typename Fn>
   void MutateTracked(Frame* f, Fn&& fn) {
     const bool before = CountsAsRequired(*f);
+    const bool before_ev = IsEvictable(*f);
     fn();
     const bool after = CountsAsRequired(*f);
+    const bool after_ev = IsEvictable(*f);
     if (before != after) {
       required_bytes_ += (after ? 1 : -1) * static_cast<int64_t>(f->data.size());
+    }
+    if (before_ev != after_ev) {
+      const Key key{f->array_id, f->block};
+      if (after_ev) {
+        policy_->OnEvictable(key);
+      } else {
+        policy_->OnProtected(key);
+      }
     }
   }
 
@@ -174,8 +257,11 @@ class BufferPool {
   int64_t prefetch_bytes_ = 0;
   int64_t prefetch_budget_bytes_ = 0;
   std::map<Key, Frame> frames_;
-  std::list<Key> lru_;  // front = least recently used
-  std::map<Key, std::list<Key>::iterator> lru_pos_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  IoPool* write_io_ = nullptr;
+  int64_t writeback_inflight_bytes_ = 0;
+  std::map<Key, std::shared_ptr<PendingWrite>> pending_writes_;
+  std::condition_variable writeback_cv_;
   BufferPoolStats stats_;
 };
 

@@ -28,8 +28,32 @@ void IoPool::ReadBlockAsync(BlockStore* store, int64_t block, void* buf,
   {
     std::lock_guard<std::mutex> lock(mu_);
     RIOT_CHECK(!stop_);
-    queue_.push_back({store, block, buf, tag});
+    Request req;
+    req.store = store;
+    req.block = block;
+    req.buf = buf;
+    req.tag = tag;
+    queue_.push_back(std::move(req));
     ++outstanding_;
+  }
+  work_cv_.notify_one();
+}
+
+void IoPool::WriteBlockAsync(BlockStore* store, int64_t block,
+                             const void* buf,
+                             std::function<void(Status)> on_done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RIOT_CHECK(!stop_);
+    Request req;
+    req.store = store;
+    req.block = block;
+    req.write_buf = buf;
+    req.is_write = true;
+    req.on_done = std::move(on_done);
+    // Writes do not bump outstanding_: that counter feeds WaitCompletion,
+    // whose consumers only ever expect read completions.
+    queue_.push_back(std::move(req));
   }
   work_cv_.notify_one();
 }
@@ -57,7 +81,7 @@ void IoPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and queue drained
-      req = queue_.front();
+      req = std::move(queue_.front());
       queue_.pop_front();
     }
     serial = store_mutexes_.mutex_for(req.store);
@@ -67,11 +91,17 @@ void IoPool::WorkerLoop() {
       // Time inside the lock: waiting for another worker's turn at this
       // store is queueing, not disk time.
       auto t0 = std::chrono::steady_clock::now();
-      st = req.store->ReadBlock(req.block, req.buf);
-      read_nanos_.fetch_add(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count());
+      st = req.is_write ? req.store->WriteBlock(req.block, req.write_buf)
+                        : req.store->ReadBlock(req.block, req.buf);
+      auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+      (req.is_write ? write_nanos_ : read_nanos_).fetch_add(nanos);
+    }
+    if (req.is_write) {
+      writes_completed_.fetch_add(1);
+      req.on_done(std::move(st));
+      continue;
     }
     reads_completed_.fetch_add(1);
     {

@@ -5,12 +5,15 @@
 // says are needed soon, and kernels keep running while workers block on
 // the device.
 //
-// Reads against the same BlockStore are serialized with a per-store lock
-// (store implementations are not required to support concurrent access);
-// reads against different stores proceed in parallel across workers.
-// Writes stay synchronous on the execution thread: the paper's plans are
-// read-dominated, and write ordering doubles as the dependence barrier the
-// prefetcher relies on.
+// Requests against the same BlockStore are serialized with a per-store
+// lock (store implementations are not required to support concurrent
+// access); requests against different stores proceed in parallel across
+// workers. The executor's write-through writes stay synchronous on the
+// kernel threads — write ordering doubles as the dependence barrier the
+// prefetcher relies on — but the BufferPool's write-behind hands dirty
+// eviction victims (spills) to the same workers via WriteBlockAsync, whose
+// completion is delivered through a caller callback instead of the read
+// completion queue (the queue's consumers only ever expect reads).
 #ifndef RIOTSHARE_STORAGE_IO_POOL_H_
 #define RIOTSHARE_STORAGE_IO_POOL_H_
 
@@ -18,6 +21,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -69,6 +73,17 @@ class IoPool {
   void ReadBlockAsync(BlockStore* store, int64_t block, void* buf,
                       uint64_t tag);
 
+  /// Enqueues store->WriteBlock(block, buf) and invokes `on_done` with the
+  /// write's Status from a worker thread once it lands. `buf` must stay
+  /// valid and untouched until then. Writes never enter the read
+  /// completion queue — WaitCompletion/outstanding() see reads only — so
+  /// read consumers (the executor's prefetcher) and write producers (the
+  /// BufferPool's write-behind) can share one pool without seeing each
+  /// other's completions. `on_done` runs without pool-internal locks held;
+  /// it may take its own locks but must not call back into this IoPool.
+  void WriteBlockAsync(BlockStore* store, int64_t block, const void* buf,
+                       std::function<void(Status)> on_done);
+
   /// Blocks until the next completion is available (completion order, not
   /// submission order). Must only be called when at least one submitted
   /// read has not yet been waited for.
@@ -94,13 +109,21 @@ class IoPool {
     return static_cast<double>(read_nanos_.load()) * 1e-9;
   }
   int64_t reads_completed() const { return reads_completed_.load(); }
+  /// Wall time spent inside WriteBlock on the workers, and writes landed.
+  double write_seconds() const {
+    return static_cast<double>(write_nanos_.load()) * 1e-9;
+  }
+  int64_t writes_completed() const { return writes_completed_.load(); }
 
  private:
   struct Request {
     BlockStore* store = nullptr;
     int64_t block = -1;
-    void* buf = nullptr;
+    void* buf = nullptr;            // read target
+    const void* write_buf = nullptr;  // write source (is_write)
     uint64_t tag = 0;
+    bool is_write = false;
+    std::function<void(Status)> on_done;  // write completion callback
   };
 
   void WorkerLoop();
@@ -115,6 +138,8 @@ class IoPool {
   bool stop_ = false;
   std::atomic<int64_t> read_nanos_{0};
   std::atomic<int64_t> reads_completed_{0};
+  std::atomic<int64_t> write_nanos_{0};
+  std::atomic<int64_t> writes_completed_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,306 @@
+#include "storage/replacement.h"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+#include <set>
+#include <tuple>
+
+#include "util/logging.h"
+
+namespace riot {
+
+std::string ReplacementKindName(ReplacementKind kind) {
+  switch (kind) {
+    case ReplacementKind::kLru: return "lru";
+    case ReplacementKind::kClock: return "clock";
+    case ReplacementKind::kScheduleOpt: return "opt";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// LRU: victims in least-recently-touched order among evictable frames.
+// ---------------------------------------------------------------------------
+class LruPolicy : public ReplacementPolicy {
+ public:
+  ReplacementKind kind() const override { return ReplacementKind::kLru; }
+
+  void OnTouch(const PoolKey& key) override {
+    auto [it, inserted] = last_seq_.emplace(key, 0);
+    if (!inserted) {
+      auto ev = evictable_.find(it->second);
+      if (ev != evictable_.end()) {
+        evictable_.erase(ev);
+        evictable_.emplace(next_seq_, key);
+      }
+    }
+    it->second = next_seq_++;
+  }
+
+  void OnEvictable(const PoolKey& key) override {
+    evictable_.emplace(last_seq_.at(key), key);
+  }
+
+  void OnProtected(const PoolKey& key) override {
+    evictable_.erase(last_seq_.at(key));
+  }
+
+  void OnErase(const PoolKey& key) override {
+    auto it = last_seq_.find(key);
+    if (it == last_seq_.end()) return;
+    evictable_.erase(it->second);
+    last_seq_.erase(it);
+  }
+
+  void OnClear() override {
+    last_seq_.clear();
+    evictable_.clear();
+  }
+
+  bool PickVictim(const std::function<bool(const PoolKey&)>& usable,
+                  PoolKey* victim) override {
+    for (const auto& [seq, key] : evictable_) {
+      if (usable(key)) {
+        *victim = key;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  uint64_t next_seq_ = 0;
+  std::map<PoolKey, uint64_t> last_seq_;
+  std::map<uint64_t, PoolKey> evictable_;  // ordered: least recent first
+};
+
+// ---------------------------------------------------------------------------
+// Clock: second-chance sweep. Evictable frames live on a ring; a touch sets
+// the frame's reference bit; the hand clears bits until it finds an
+// unreferenced usable frame.
+// ---------------------------------------------------------------------------
+class ClockPolicy : public ReplacementPolicy {
+ public:
+  ReplacementKind kind() const override { return ReplacementKind::kClock; }
+
+  void OnTouch(const PoolKey& key) override {
+    auto it = members_.find(key);
+    if (it != members_.end()) it->second.referenced = true;
+  }
+
+  void OnEvictable(const PoolKey& key) override {
+    // Insert just behind the hand: the new frame is the last the current
+    // sweep examines, with one full second chance.
+    auto pos = hand_ == ring_.end() ? ring_.end() : hand_;
+    auto it = ring_.insert(pos, key);
+    if (hand_ == ring_.end()) hand_ = it;
+    members_[key] = Member{it, true};
+  }
+
+  void OnProtected(const PoolKey& key) override { Remove(key); }
+
+  void OnErase(const PoolKey& key) override { Remove(key); }
+
+  void OnClear() override {
+    ring_.clear();
+    members_.clear();
+    hand_ = ring_.end();
+  }
+
+  bool PickVictim(const std::function<bool(const PoolKey&)>& usable,
+                  PoolKey* victim) override {
+    if (ring_.empty()) return false;
+    // Two full sweeps suffice: the first clears every reference bit, the
+    // second returns the first usable frame (or proves none is).
+    const size_t limit = 2 * ring_.size() + 1;
+    for (size_t i = 0; i < limit; ++i) {
+      if (hand_ == ring_.end()) hand_ = ring_.begin();
+      Member& m = members_.at(*hand_);
+      if (m.referenced) {
+        m.referenced = false;
+      } else if (usable(*hand_)) {
+        *victim = *hand_;
+        return true;
+      }
+      ++hand_;
+    }
+    return false;
+  }
+
+ private:
+  struct Member {
+    std::list<PoolKey>::iterator it;
+    bool referenced = true;
+  };
+
+  void Remove(const PoolKey& key) {
+    auto it = members_.find(key);
+    if (it == members_.end()) return;
+    if (hand_ == it->second.it) ++hand_;
+    ring_.erase(it->second.it);
+    members_.erase(it);
+  }
+
+  std::list<PoolKey> ring_;
+  std::map<PoolKey, Member> members_;
+  std::list<PoolKey>::iterator hand_ = ring_.end();
+};
+
+// ---------------------------------------------------------------------------
+// ScheduleOpt: Belady/MIN against the bound plan. Candidates are ordered by
+// cached (next_use, last-touch seq); entries whose cached next use slipped
+// into the past are lazily refreshed when a victim is requested. A cached
+// next use that is still >= the clock is exact: it was the first use at
+// some earlier clock, and no use can appear between the two clocks without
+// having been the first one.
+// ---------------------------------------------------------------------------
+class ScheduleOptPolicy : public ReplacementPolicy {
+ public:
+  ReplacementKind kind() const override {
+    return ReplacementKind::kScheduleOpt;
+  }
+
+  void OnTouch(const PoolKey& key) override {
+    auto [it, inserted] = last_seq_.emplace(key, 0);
+    it->second = next_seq_++;
+    auto ev = candidates_.find(key);
+    if (ev != candidates_.end()) {
+      order_.erase(OrderKey(ev->second, key));
+      ev->second.seq = it->second;
+      order_.insert(OrderKey(ev->second, key));
+    }
+  }
+
+  void OnEvictable(const PoolKey& key) override {
+    Entry e{NextUse(key), last_seq_.at(key)};
+    candidates_.emplace(key, e);
+    order_.insert(OrderKey(e, key));
+  }
+
+  void OnProtected(const PoolKey& key) override { RemoveCandidate(key); }
+
+  void OnErase(const PoolKey& key) override {
+    RemoveCandidate(key);
+    last_seq_.erase(key);
+  }
+
+  void OnClear() override {
+    last_seq_.clear();
+    candidates_.clear();
+    order_.clear();
+  }
+
+  bool PickVictim(const std::function<bool(const PoolKey&)>& usable,
+                  PoolKey* victim) override {
+    RefreshStale();
+    // Farthest next use first; among equals, least recently touched.
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      const PoolKey& key = std::get<2>(*it);
+      if (usable(key)) {
+        *victim = key;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void BindUsePlan(std::shared_ptr<const BlockUseMap> uses) override {
+    uses_ = std::move(uses);
+    clock_ = 0;
+    RecomputeAll();
+  }
+
+  void UnbindUsePlan() override {
+    uses_.reset();
+    clock_ = 0;
+    RecomputeAll();
+  }
+
+  void AdvanceClock(int64_t pos) override {
+    clock_ = std::max(clock_, pos);
+  }
+
+ private:
+  static constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
+
+  struct Entry {
+    int64_t next_use = kNever;
+    uint64_t seq = 0;
+  };
+
+  // Ascending order ends at (max next_use, min seq): invert the seq so
+  // rbegin() yields farthest-next-use with least-recently-touched ties.
+  static std::tuple<int64_t, uint64_t, PoolKey> OrderKey(const Entry& e,
+                                                         const PoolKey& key) {
+    return {e.next_use, std::numeric_limits<uint64_t>::max() - e.seq, key};
+  }
+
+  int64_t NextUse(const PoolKey& key) const {
+    if (uses_ == nullptr) return kNever;
+    auto it = uses_->find(key);
+    if (it == uses_->end()) return kNever;
+    const std::vector<int64_t>& v = it->second;
+    auto p = std::lower_bound(v.begin(), v.end(), clock_);
+    return p == v.end() ? kNever : *p;
+  }
+
+  void RemoveCandidate(const PoolKey& key) {
+    auto it = candidates_.find(key);
+    if (it == candidates_.end()) return;
+    order_.erase(OrderKey(it->second, key));
+    candidates_.erase(it);
+  }
+
+  /// Recomputes entries whose cached next use fell behind the clock (the
+  /// scheduled use passed; the true next use moved later). They cluster at
+  /// the ascending front of `order_`, so the loop stops at the first
+  /// current entry. Each scheduled use is skipped past at most once per
+  /// (bind, block), so the total refresh work is amortized by the plan.
+  void RefreshStale() {
+    while (!order_.empty()) {
+      auto it = order_.begin();
+      if (std::get<0>(*it) >= clock_) break;
+      PoolKey key = std::get<2>(*it);
+      order_.erase(it);
+      Entry& e = candidates_.at(key);
+      e.next_use = NextUse(key);
+      order_.insert(OrderKey(e, key));
+    }
+  }
+
+  void RecomputeAll() {
+    order_.clear();
+    for (auto& [key, e] : candidates_) {
+      e.next_use = NextUse(key);
+      order_.insert(OrderKey(e, key));
+    }
+  }
+
+  std::shared_ptr<const BlockUseMap> uses_;
+  int64_t clock_ = 0;
+  uint64_t next_seq_ = 0;
+  std::map<PoolKey, uint64_t> last_seq_;
+  std::map<PoolKey, Entry> candidates_;
+  std::set<std::tuple<int64_t, uint64_t, PoolKey>> order_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(
+    ReplacementKind kind) {
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case ReplacementKind::kClock:
+      return std::make_unique<ClockPolicy>();
+    case ReplacementKind::kScheduleOpt:
+      return std::make_unique<ScheduleOptPolicy>();
+  }
+  RIOT_CHECK(false) << "unknown replacement kind";
+  return nullptr;
+}
+
+}  // namespace riot

@@ -1,0 +1,99 @@
+// Pluggable buffer-pool eviction policies. The BufferPool owns frame
+// lifecycle and accounting; a ReplacementPolicy only decides *which*
+// evictable frame goes next. Three implementations:
+//
+//   * Lru         — bit-for-bit the pool's historical behavior: victims in
+//                   least-recently-touched order. Evictable frames are kept
+//                   in a side index ordered by last-touch sequence, so
+//                   victim selection no longer scans the whole frame table
+//                   past pinned/retained frames (the old O(n) walk); it is
+//                   O(log n) per decision. (A plain "append when a frame
+//                   becomes evictable" intrusive list would be O(1) but
+//                   orders victims by unpin time, not touch time, changing
+//                   eviction behavior — the seq index keeps LRU exact.)
+//   * Clock       — classic second-chance sweep over evictable frames.
+//   * ScheduleOpt — Belady/MIN driven by the plan's block access script:
+//                   the executor binds per-(array, block) future-use
+//                   positions (core/access_plan's BuildAccessScript emits
+//                   them) and advances the policy's logical clock as
+//                   statement instances complete; the victim is the
+//                   evictable frame whose next use is farthest in the
+//                   future (never-used-again first, least-recently-touched
+//                   as the tie-break). With no bound plan — an unbound
+//                   pool, or a shared pool between runs — it degrades to
+//                   exact LRU order.
+//
+// All methods are called with the owning pool's mutex held; policies need
+// no locking of their own and must not call back into the pool.
+#ifndef RIOTSHARE_STORAGE_REPLACEMENT_H_
+#define RIOTSHARE_STORAGE_REPLACEMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace riot {
+
+/// (array id, linear block index) — the BufferPool's frame key.
+using PoolKey = std::pair<int, int64_t>;
+
+/// Per-(array, block) ascending statement-instance positions at which the
+/// block is accessed (read or write, saved or not). Produced by
+/// core/access_plan from a lowered script; consumed by ScheduleOpt and the
+/// cost model's cache simulator.
+using BlockUseMap = std::map<PoolKey, std::vector<int64_t>>;
+
+enum class ReplacementKind { kLru, kClock, kScheduleOpt };
+
+std::string ReplacementKindName(ReplacementKind kind);
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual ReplacementKind kind() const = 0;
+
+  /// The frame entered the pool or was accessed (fetch hit, miss insert,
+  /// prefetch reservation, adoption).
+  virtual void OnTouch(const PoolKey& key) = 0;
+  /// The frame became an eviction candidate (unpinned, unretained, regular
+  /// state) / ceased being one. Calls are always paired transitions; the
+  /// pool never reports the same state twice in a row.
+  virtual void OnEvictable(const PoolKey& key) = 0;
+  virtual void OnProtected(const PoolKey& key) = 0;
+  /// The frame left the pool (evicted, dropped, abandoned, flushed).
+  /// Called in every state, evictable or not.
+  virtual void OnErase(const PoolKey& key) = 0;
+  /// Every tracked frame left the pool at once (FlushAll).
+  virtual void OnClear() = 0;
+
+  /// Picks the preferred victim among evictable frames for which `usable`
+  /// returns true (the pool filters e.g. dirty frames during a
+  /// prefetch-driven eviction, which must never force a spill). Returns
+  /// false when no usable candidate exists. Must not mutate policy state
+  /// observably: the pool follows up with OnErase for the chosen victim.
+  virtual bool PickVictim(const std::function<bool(const PoolKey&)>& usable,
+                          PoolKey* victim) = 0;
+
+  // ----------------------------------------------- schedule-driven hooks
+  // No-ops for history-based policies; ScheduleOpt overrides.
+  /// Installs the plan's future-use positions; resets the clock to 0.
+  virtual void BindUsePlan(std::shared_ptr<const BlockUseMap> uses) {
+    (void)uses;
+  }
+  /// Removes the bound plan (the policy falls back to LRU order).
+  virtual void UnbindUsePlan() {}
+  /// All uses at statement-instance positions < `pos` are in the past;
+  /// `pos` itself is the instance currently executing. Monotonic.
+  virtual void AdvanceClock(int64_t pos) { (void)pos; }
+};
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(ReplacementKind kind);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_STORAGE_REPLACEMENT_H_

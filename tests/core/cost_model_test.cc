@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/optimizer.h"
 #include "core/plan_realization.h"
 #include "core/schedule_solver.h"
 #include "ops/workload.h"
@@ -169,6 +170,71 @@ TEST(PlanRealizationTest, GroupsFollowTimePrefix) {
   }
   EXPECT_EQ(rp.saved_reads.size(), 0u);
   EXPECT_EQ(rp.spans.size(), 0u);
+}
+
+TEST(CacheSimTest, LooseCapMatchesLinearModelAndTightCapAddsReads) {
+  const int64_t n1 = 3, n2 = 4, n3 = 2;
+  Workload w = MakeExample1(n1, n2, n3);
+  PlanCost c = EvaluatePlanCost(w.program, w.program.original_schedule(), {});
+  // Plan-exact replay at any cap reproduces the linear sharing model's
+  // I/O exactly (reads are plan-determined, not residency-determined).
+  CacheSimOptions sim;
+  sim.cap_bytes = int64_t{1} << 30;
+  auto loose =
+      SimulateCacheBehavior(w.program, w.program.original_schedule(), {}, sim);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(loose->block_reads, c.block_reads);
+  EXPECT_EQ(loose->block_writes, c.block_writes);
+  EXPECT_EQ(loose->evictions, 0);
+  EXPECT_EQ(loose->dirty_writebacks, 0);
+  // The opportunistic ablation with unbounded memory reads each block at
+  // most once; a tight cap must cost strictly more reads under LRU.
+  sim.opportunistic = true;
+  auto huge =
+      SimulateCacheBehavior(w.program, w.program.original_schedule(), {}, sim);
+  ASSERT_TRUE(huge.ok());
+  sim.cap_bytes = c.peak_memory_bytes;
+  auto tight =
+      SimulateCacheBehavior(w.program, w.program.original_schedule(), {}, sim);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GT(tight->block_reads, huge->block_reads);
+  EXPECT_GT(tight->evictions, 0);
+  // Belady at the same cap never reads more than LRU.
+  sim.policy = ReplacementKind::kScheduleOpt;
+  auto opt =
+      SimulateCacheBehavior(w.program, w.program.original_schedule(), {}, sim);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_LE(opt->block_reads, tight->block_reads);
+}
+
+TEST(CacheSimTest, SimulationFailsBelowInstanceFootprint) {
+  Workload w = MakeExample1(2, 2, 1);
+  CacheSimOptions sim;
+  sim.cap_bytes = w.program.array(0).BlockBytes();  // one frame: too small
+  sim.opportunistic = true;
+  auto r =
+      SimulateCacheBehavior(w.program, w.program.original_schedule(), {}, sim);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CostModelTest, PressureCapRanksPlansWhenNoneFits) {
+  // With a cap below every plan's exact requirement, the optimizer falls
+  // back to the cache simulator's capped projection instead of silently
+  // returning the original schedule.
+  Workload w = MakeExample1(3, 4, 2);
+  OptimizerOptions opts;
+  opts.memory_cap_bytes = 1;  // nothing fits exactly
+  opts.cost.pressure_cap_bytes = EvaluatePlanCost(
+      w.program, w.program.original_schedule(), {}).peak_memory_bytes;
+  OptimizationResult r = Optimize(w.program, opts);
+  const Plan& best = r.best();
+  ASSERT_GE(best.cost.capped_block_reads, 0);
+  // The chosen plan minimizes the simulated capped I/O time.
+  for (const Plan& p : r.plans) {
+    if (p.cost.capped_block_reads < 0) continue;
+    EXPECT_LE(best.cost.capped_io_seconds, p.cost.capped_io_seconds);
+  }
 }
 
 TEST(PlanRealizationTest, WWSaveRequiresMemoryServedReadsBetween) {

@@ -419,5 +419,125 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SweepOracleTest,
                          ::testing::Range(uint64_t{1},
                                           uint64_t{1} + FuzzSeedCount()));
 
+// ---------------------------------------------------------------------------
+// Cache-simulator differential oracle: for every fuzzed program, plan case,
+// execution mode, replacement policy, and {tight, loose} cap, the cost
+// model's cache simulator must predict the serial engine's measured
+// block_reads / block_writes / evictions / hits / misses EXACTLY. Also
+// asserts the Belady guarantee on the corpus: ScheduleOpt never reads more
+// blocks than LRU under the opportunistic ablation.
+// ---------------------------------------------------------------------------
+
+class CacheSimTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheSimTest, SimulatorMatchesSerialEngineExactly) {
+  const uint64_t seed = GetParam();
+  GeneratedProgram g = Generate(seed);
+  ASSERT_TRUE(g.program.Validate().ok());
+
+  // Two plans per program, as in the sweep oracle: the original schedule
+  // with no sharing, and (when the solver finds one) a schedule realizing
+  // up to two sharing opportunities — retention + saved reads interact
+  // with eviction, so both must simulate exactly.
+  AnalysisResult analysis = AnalyzeProgram(g.program);
+  ScheduleSolver solver(g.program, analysis.dependences);
+  struct PlanCase {
+    const Schedule* schedule;
+    std::vector<const CoAccess*> q;
+  };
+  std::vector<PlanCase> cases;
+  cases.push_back({&g.program.original_schedule(), {}});
+  std::optional<Schedule> shared_sched;
+  std::vector<const CoAccess*> shared_q;
+  size_t attempts = 0;
+  for (const CoAccess& opp : analysis.sharing) {
+    if (shared_q.size() >= 2 || ++attempts > 8) break;
+    std::vector<const CoAccess*> trial = shared_q;
+    trial.push_back(&opp);
+    auto s = solver.FindSchedule(trial);
+    if (s.has_value()) {
+      shared_q = trial;
+      shared_sched = *s;
+    }
+  }
+  if (shared_sched.has_value()) cases.push_back({&*shared_sched, shared_q});
+
+  auto env = NewMemEnv();
+  int run_idx = 0;
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const PlanCase& pc = cases[ci];
+    const PlanCost cost = EvaluatePlanCost(g.program, *pc.schedule, pc.q);
+    RealizedPlan rp = RealizePlan(g.program, *pc.schedule, pc.q);
+    const AccessScript script = BuildAccessScript(g.program, rp);
+    const int64_t block = g.program.array(0).BlockBytes();
+    for (const bool opportunistic : {false, true}) {
+      // Tight: for plan-exact runs the plan's exact requirement (the
+      // engine errors below it); for the opportunistic ablation a cap
+      // just above the largest instance footprint — maximum pressure.
+      const int64_t tight = opportunistic
+                                ? script.max_instance_bytes + 2 * block
+                                : cost.peak_memory_bytes;
+      const int64_t loose = int64_t{1} << 30;
+      std::map<ReplacementKind, int64_t> tight_reads;
+      for (const ReplacementKind kind :
+           {ReplacementKind::kLru, ReplacementKind::kClock,
+            ReplacementKind::kScheduleOpt}) {
+        for (const int64_t cap : {tight, loose}) {
+          SCOPED_TRACE("seed " + std::to_string(seed) + " case " +
+                       std::to_string(ci) + " mode " +
+                       (opportunistic ? "opportunistic" : "plan-exact") +
+                       " policy " + ReplacementKindName(kind) + " cap " +
+                       std::to_string(cap));
+          auto rt = OpenStores(env.get(), g.program,
+                               "/sim" + std::to_string(run_idx++));
+          ASSERT_TRUE(rt.ok());
+          ASSERT_TRUE(InitIntegers(g.program, *rt, g.inputs, seed).ok());
+          ExecOptions eo;
+          eo.memory_cap_bytes = cap;
+          eo.replacement = kind;
+          eo.mode = opportunistic ? ExecMode::kOpportunisticCache
+                                  : ExecMode::kPlanExact;
+          Executor ex(g.program, rt->raw(), g.kernels, eo);
+          auto stats = ex.Run(*pc.schedule, pc.q);
+          ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+          CacheSimOptions sim;
+          sim.policy = kind;
+          sim.cap_bytes = cap;
+          sim.opportunistic = opportunistic;
+          auto predicted =
+              SimulateCacheBehavior(g.program, *pc.schedule, pc.q, sim);
+          ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+
+          EXPECT_EQ(predicted->block_reads, stats->block_reads);
+          EXPECT_EQ(predicted->block_writes, stats->block_writes);
+          EXPECT_EQ(predicted->read_bytes, stats->bytes_read);
+          EXPECT_EQ(predicted->write_bytes, stats->bytes_written);
+          EXPECT_EQ(predicted->evictions, stats->pool.evictions);
+          EXPECT_EQ(predicted->hits, stats->pool.hits);
+          EXPECT_EQ(predicted->misses, stats->pool.misses);
+          EXPECT_EQ(predicted->dirty_writebacks,
+                    stats->pool.dirty_writebacks);
+          EXPECT_EQ(predicted->policy_saved_reads,
+                    stats->policy_saved_reads);
+          if (opportunistic && cap == tight) {
+            tight_reads[kind] = stats->block_reads;
+          }
+        }
+      }
+      if (opportunistic) {
+        // Belady never loses to LRU on reads — the point of paying for
+        // the future-use annotations.
+        EXPECT_LE(tight_reads[ReplacementKind::kScheduleOpt],
+                  tight_reads[ReplacementKind::kLru])
+            << "seed " << seed << " case " << ci;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheSimTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
 }  // namespace
 }  // namespace riot

@@ -1,0 +1,195 @@
+// Replacement-policy semantics through the BufferPool: LRU must reproduce
+// the historical single-list behavior exactly (victims in last-touch order
+// among evictable frames, pinned/retained frames transparent), Clock must
+// respect pins/retention and give referenced frames a second chance, and
+// ScheduleOpt must evict by farthest-next-use under a bound plan and
+// degrade to LRU order without one.
+#include "storage/replacement.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/block_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/env.h"
+
+namespace riot {
+namespace {
+
+class ReplacementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    auto s = OpenDaf(env_.get(), "/s", kBlock, 64);
+    ASSERT_TRUE(s.ok());
+    store_ = std::move(s).ValueOrDie();
+    std::vector<uint8_t> buf(kBlock);
+    for (int64_t b = 0; b < 64; ++b) {
+      std::fill(buf.begin(), buf.end(), static_cast<uint8_t>(b));
+      ASSERT_TRUE(store_->WriteBlock(b, buf.data()).ok());
+    }
+  }
+
+  // Fetch+unpin so the block lingers as evictable cache.
+  void Cache(BufferPool* pool, int64_t b) {
+    auto f = pool->Fetch(0, b, kBlock, store_.get(), /*load=*/true);
+    ASSERT_TRUE(f.ok());
+    pool->Unpin(*f);
+  }
+
+  static constexpr int64_t kBlock = 128;
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<BlockStore> store_;
+};
+
+TEST_F(ReplacementTest, LruVictimOrderIsLastTouchNotUnpinTime) {
+  // b0 is touched first but unpinned last; historical LRU (one list,
+  // position = last touch) still evicts b0 first. A policy ordering by
+  // unpin time would evict b1 — that is the regression this guards.
+  BufferPool pool(3 * kBlock);
+  auto f0 = pool.Fetch(0, 0, kBlock, store_.get(), true);  // touch b0, pin
+  ASSERT_TRUE(f0.ok());
+  Cache(&pool, 1);  // touch b1, immediately evictable
+  Cache(&pool, 2);  // touch b2
+  pool.Unpin(*f0);  // b0 becomes evictable last, but was touched first
+  Cache(&pool, 3);  // cap forces one eviction
+  EXPECT_EQ(pool.Probe(0, 0), nullptr);
+  EXPECT_NE(pool.Probe(0, 1), nullptr);
+  EXPECT_NE(pool.Probe(0, 2), nullptr);
+  EXPECT_EQ(pool.stats().evictions, 1);
+}
+
+TEST_F(ReplacementTest, LruReTouchMovesFrameBack) {
+  BufferPool pool(3 * kBlock);
+  Cache(&pool, 0);
+  Cache(&pool, 1);
+  Cache(&pool, 2);
+  Cache(&pool, 0);  // hit: b0 becomes most recent
+  Cache(&pool, 3);  // evicts b1, the least recently touched
+  EXPECT_NE(pool.Probe(0, 0), nullptr);
+  EXPECT_EQ(pool.Probe(0, 1), nullptr);
+}
+
+TEST_F(ReplacementTest, ClockSkipsPinnedAndRetained) {
+  BufferPool pool(3 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kClock));
+  auto pinned = pool.Fetch(0, 0, kBlock, store_.get(), true);
+  ASSERT_TRUE(pinned.ok());
+  auto retained = pool.Fetch(0, 1, kBlock, store_.get(), true);
+  ASSERT_TRUE(retained.ok());
+  pool.Retain(*retained, /*until_group=*/9);
+  pool.Unpin(*retained);
+  Cache(&pool, 2);
+  Cache(&pool, 3);  // must evict b2 — the only evictable frame
+  EXPECT_NE(pool.Probe(0, 0), nullptr);
+  EXPECT_NE(pool.Probe(0, 1), nullptr);
+  EXPECT_EQ(pool.Probe(0, 2), nullptr);
+  pool.Unpin(*pinned);
+}
+
+TEST_F(ReplacementTest, ClockSecondChanceSurvivesOneSweep) {
+  BufferPool pool(3 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kClock));
+  Cache(&pool, 0);
+  Cache(&pool, 1);
+  Cache(&pool, 2);
+  // Evictions clear reference bits; a full pass of inserts must cycle
+  // through every frame exactly once before any block is evicted twice.
+  Cache(&pool, 3);
+  Cache(&pool, 4);
+  Cache(&pool, 5);
+  EXPECT_EQ(pool.stats().evictions, 3);
+  // The three originals are gone; the three newest are resident.
+  EXPECT_EQ(pool.Probe(0, 0), nullptr);
+  EXPECT_EQ(pool.Probe(0, 1), nullptr);
+  EXPECT_EQ(pool.Probe(0, 2), nullptr);
+  EXPECT_NE(pool.Probe(0, 3), nullptr);
+  EXPECT_NE(pool.Probe(0, 4), nullptr);
+  EXPECT_NE(pool.Probe(0, 5), nullptr);
+}
+
+TEST_F(ReplacementTest, ScheduleOptEvictsFarthestNextUse) {
+  BufferPool pool(3 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kScheduleOpt));
+  auto uses = std::make_shared<BlockUseMap>();
+  (*uses)[{0, 0}] = {50};      // needed far in the future
+  (*uses)[{0, 1}] = {10};      // needed soon
+  (*uses)[{0, 2}] = {20};
+  pool.BindUsePlan(uses);
+  pool.AdvanceReplacementClock(1);
+  Cache(&pool, 0);
+  Cache(&pool, 1);
+  Cache(&pool, 2);
+  Cache(&pool, 3);  // b3 has no future use, but it is incoming; victim = b0
+  EXPECT_EQ(pool.Probe(0, 0), nullptr);
+  EXPECT_NE(pool.Probe(0, 1), nullptr);
+  EXPECT_NE(pool.Probe(0, 2), nullptr);
+  // b3 is never used again: it goes first from now on.
+  Cache(&pool, 4);
+  EXPECT_EQ(pool.Probe(0, 3), nullptr);
+  EXPECT_NE(pool.Probe(0, 1), nullptr);
+  pool.UnbindUsePlan();
+}
+
+TEST_F(ReplacementTest, ScheduleOptRefreshesPassedUses) {
+  BufferPool pool(2 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kScheduleOpt));
+  auto uses = std::make_shared<BlockUseMap>();
+  (*uses)[{0, 0}] = {10};       // after pos 10 passes: never again
+  (*uses)[{0, 1}] = {5, 30};    // after pos 5 passes: needed at 30
+  pool.BindUsePlan(uses);
+  Cache(&pool, 0);
+  Cache(&pool, 1);
+  // The clock moves past both blocks' first uses; b0's next use is now
+  // "never" while b1 is still due at 30 — the stale cached positions must
+  // be refreshed, evicting b0.
+  pool.AdvanceReplacementClock(15);
+  Cache(&pool, 2);
+  EXPECT_EQ(pool.Probe(0, 0), nullptr);
+  EXPECT_NE(pool.Probe(0, 1), nullptr);
+}
+
+TEST_F(ReplacementTest, ScheduleOptUnboundDegradesToLru) {
+  BufferPool pool(3 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kScheduleOpt));
+  EXPECT_EQ(pool.replacement_kind(), ReplacementKind::kScheduleOpt);
+  Cache(&pool, 0);
+  Cache(&pool, 1);
+  Cache(&pool, 2);
+  Cache(&pool, 0);  // most recent again
+  Cache(&pool, 3);  // no plan bound: LRU order evicts b1
+  EXPECT_NE(pool.Probe(0, 0), nullptr);
+  EXPECT_EQ(pool.Probe(0, 1), nullptr);
+}
+
+TEST_F(ReplacementTest, ScheduleOptNeverEvictsPinnedOrRetained) {
+  BufferPool pool(2 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kScheduleOpt));
+  auto uses = std::make_shared<BlockUseMap>();
+  (*uses)[{0, 0}] = {100};  // farthest next use — but pinned
+  pool.BindUsePlan(uses);
+  auto pinned = pool.Fetch(0, 0, kBlock, store_.get(), true);
+  ASSERT_TRUE(pinned.ok());
+  Cache(&pool, 1);
+  Cache(&pool, 2);  // must evict b1, not the pinned b0
+  EXPECT_NE(pool.Probe(0, 0), nullptr);
+  EXPECT_EQ(pool.Probe(0, 1), nullptr);
+  pool.Unpin(*pinned);
+}
+
+TEST_F(ReplacementTest, AllPoliciesFailCleanlyWhenEverythingIsPinned) {
+  for (ReplacementKind kind : {ReplacementKind::kLru, ReplacementKind::kClock,
+                               ReplacementKind::kScheduleOpt}) {
+    SCOPED_TRACE(ReplacementKindName(kind));
+    BufferPool pool(2 * kBlock, MakeReplacementPolicy(kind));
+    auto a = pool.Fetch(0, 0, kBlock, store_.get(), true);
+    auto b = pool.Fetch(0, 1, kBlock, store_.get(), true);
+    auto c = pool.Fetch(0, 2, kBlock, store_.get(), true);
+    EXPECT_FALSE(c.ok());
+    EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+    pool.Unpin(*a);
+    pool.Unpin(*b);
+  }
+}
+
+}  // namespace
+}  // namespace riot
