@@ -1,0 +1,211 @@
+// Multi-tenant throughput sweep: N concurrent sessions of the 2mm
+// workload (shared inputs, private outputs) over ONE shared
+// BufferPool/IoPool via the SessionRuntime, at several pool caps. Reports
+// per-session and aggregate throughput so the perf trajectory of the
+// server runtime — admission parking, cross-session dedup, fair-share
+// I/O — lands in BENCH_sessions.json from this PR onward. At a fixed cap,
+// aggregate throughput must not collapse as sessions are added (admission
+// may serialize the excess, but never livelock).
+//
+// `--json <path>` writes:
+//   {"bench":"sessions","runs":[{"sessions":N,"cap_bytes":C,
+//     "wall_seconds":W,"aggregate_read_mb":R,"aggregate_written_mb":Wr,
+//     "aggregate_mb_per_s":T,"sessions_parked":P,"policy_saved_reads":D,
+//     "per_session":[{"wall_seconds":..,"block_reads":..,
+//       "admission_wait_seconds":..,"peak_charged_bytes":..,
+//       "budget_bytes":..}, ...]}, ...]}
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cost_model.h"
+#include "ops/session_runtime.h"
+#include "util/logging.h"
+
+namespace riot {
+namespace bench {
+namespace {
+
+struct RunPoint {
+  int sessions = 0;
+  int64_t cap_bytes = 0;
+  double wall_seconds = 0.0;
+  double aggregate_read_mb = 0.0;
+  double aggregate_written_mb = 0.0;
+  double aggregate_mb_per_s = 0.0;
+  int64_t sessions_parked = 0;
+  int64_t policy_saved_reads = 0;
+  std::vector<SessionStats> per_session;
+};
+
+double Since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void WriteJson(const std::string& path, const std::vector<RunPoint>& runs) {
+  std::ofstream out(path);
+  out << "{\"bench\": \"sessions\", \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunPoint& r = runs[i];
+    out << "  {\"sessions\": " << r.sessions
+        << ", \"cap_bytes\": " << r.cap_bytes
+        << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"aggregate_read_mb\": " << r.aggregate_read_mb
+        << ", \"aggregate_written_mb\": " << r.aggregate_written_mb
+        << ", \"aggregate_mb_per_s\": " << r.aggregate_mb_per_s
+        << ", \"sessions_parked\": " << r.sessions_parked
+        << ", \"policy_saved_reads\": " << r.policy_saved_reads
+        << ", \"per_session\": [";
+    for (size_t s = 0; s < r.per_session.size(); ++s) {
+      const SessionStats& ss = r.per_session[s];
+      out << (s == 0 ? "" : ", ") << "{\"wall_seconds\": "
+          << ss.exec.wall_seconds
+          << ", \"block_reads\": " << ss.exec.block_reads
+          << ", \"admission_wait_seconds\": " << ss.admission_wait_seconds
+          << ", \"peak_charged_bytes\": " << ss.peak_charged_bytes
+          << ", \"budget_bytes\": " << ss.budget_bytes << "}";
+    }
+    out << "]}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void Run(const std::string& json_path) {
+  Workload w = MakeTwoMatMul(TwoMatMulConfig::kConfigA, ExecScale(200));
+  w.program.Validate().CheckOK();
+  auto env = NewMemEnv();
+
+  const PlanCost plan_cost =
+      EvaluatePlanCost(w.program, w.program.original_schedule(), {});
+  const int64_t peak = plan_cost.peak_memory_bytes;
+
+  // Shared inputs, initialized once.
+  auto shared = OpenStores(env.get(), w.program, "/in");
+  shared.status().CheckOK();
+  Runtime shared_rt = std::move(shared).ValueOrDie();
+  InitInputs(w, shared_rt, /*seed=*/99).CheckOK();
+
+  std::printf(
+      "\n=== concurrent-session sweep (2mm Config A, shared inputs, MemEnv, "
+      "1/%lld scale; plan peak %.2f MB) ===\n",
+      static_cast<long long>(ExecScale(200)), peak / 1e6);
+  std::printf("%9s %10s %9s %12s %8s %12s %11s\n", "sessions", "cap(xpeak)",
+              "wall(s)", "agg MB/s", "parked", "dedup_reads",
+              "max_wait(s)");
+
+  std::vector<RunPoint> runs;
+  int dir_idx = 0;
+  for (const int cap_mult : {4, 3, 2}) {
+    for (const int nsessions : {1, 2, 4, 8}) {
+      SessionRuntimeOptions ro;
+      ro.pool_cap_bytes = cap_mult * peak;
+      ro.io_threads = 2;
+      SessionRuntime runtime(ro);
+
+      struct Case {
+        Runtime rt;
+        Result<SessionStats> result = Status::Internal("unset");
+      };
+      std::vector<Case> cases(static_cast<size_t>(nsessions));
+      for (Case& c : cases) {
+        auto rt = OpenStores(env.get(), w.program,
+                             "/s" + std::to_string(dir_idx++));
+        rt.status().CheckOK();
+        c.rt = std::move(rt).ValueOrDie();
+      }
+      Schedule sched = w.program.original_schedule();
+
+      auto wall0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> threads;
+      for (int i = 0; i < nsessions; ++i) {
+        threads.emplace_back([&, i] {
+          Case& c = cases[static_cast<size_t>(i)];
+          std::vector<BlockStore*> stores = c.rt.raw();
+          for (int arr : w.input_arrays) {
+            stores[static_cast<size_t>(arr)] =
+                shared_rt.stores[static_cast<size_t>(arr)].get();
+          }
+          SessionSpec spec;
+          spec.program = &w.program;
+          spec.schedule = &sched;
+          spec.stores = std::move(stores);
+          spec.kernels = &w.kernels;
+          spec.exec.pipeline_depth = 1 + i % 2;
+          c.result = runtime.Run(spec);
+        });
+      }
+      for (auto& t : threads) t.join();
+
+      RunPoint pt;
+      pt.sessions = nsessions;
+      pt.cap_bytes = ro.pool_cap_bytes;
+      pt.wall_seconds = Since(wall0);
+      double max_wait = 0.0;
+      int64_t read_bytes = 0, written_bytes = 0;
+      for (Case& c : cases) {
+        c.result.status().CheckOK();
+        read_bytes += c.result->exec.bytes_read;
+        written_bytes += c.result->exec.bytes_written;
+        max_wait = std::max(max_wait, c.result->admission_wait_seconds);
+        RIOT_CHECK_LE(c.result->peak_charged_bytes,
+                      c.result->budget_bytes);
+        pt.per_session.push_back(*c.result);
+      }
+      const RuntimeStats rs = runtime.stats();
+      pt.aggregate_read_mb = read_bytes / 1e6;
+      pt.aggregate_written_mb = written_bytes / 1e6;
+      pt.aggregate_mb_per_s =
+          pt.wall_seconds > 0
+              ? (read_bytes + written_bytes) / 1e6 / pt.wall_seconds
+              : 0.0;
+      pt.sessions_parked = rs.sessions_parked;
+      pt.policy_saved_reads = rs.policy_saved_reads;
+      runs.push_back(pt);
+
+      std::printf("%9d %10d %9.3f %12.1f %8lld %12lld %11.3f\n", nsessions,
+                  cap_mult, pt.wall_seconds, pt.aggregate_mb_per_s,
+                  static_cast<long long>(pt.sessions_parked),
+                  static_cast<long long>(pt.policy_saved_reads),
+                  max_wait);
+
+      // Retire this point's private stores from the shared pool before
+      // they are destroyed (address reuse must never alias cache).
+      for (Case& c : cases) {
+        for (size_t a = 0; a < c.rt.stores.size(); ++a) {
+          const int arr = static_cast<int>(a);
+          bool is_input = false;
+          for (int in : w.input_arrays) is_input |= (in == arr);
+          if (!is_input) {
+            runtime.ReleaseStore(c.rt.stores[a].get()).CheckOK();
+          }
+        }
+      }
+    }
+  }
+  std::printf(
+      "(dedup_reads = reads served from another tenant's resident frames; "
+      "parked = sessions that waited in the admission queue. Aggregate "
+      "throughput at a fixed cap should grow — or at worst flatten — with "
+      "session count, never collapse.)\n");
+
+  if (!json_path.empty()) WriteJson(json_path, runs);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace riot
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+  riot::bench::Run(json_path);
+  return 0;
+}

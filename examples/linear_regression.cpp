@@ -53,8 +53,17 @@ int main() {
   // Model summary: beta column norms and per-response RSS.
   const ArrayInfo& beta_info = w.program.array(5);
   const ArrayInfo& rss_info = w.program.array(8);
-  auto beta = ReadWholeArray(beta_info, rt->stores[5].get()).ValueOrDie();
-  auto rss = ReadWholeArray(rss_info, rt->stores[8].get()).ValueOrDie();
+  auto beta_or = ReadWholeArray(beta_info, rt->stores[5].get());
+  auto rss_or = ReadWholeArray(rss_info, rt->stores[8].get());
+  if (!beta_or.ok() || !rss_or.ok()) {
+    std::fprintf(stderr, "failed to read model back: %s\n",
+                 (!beta_or.ok() ? beta_or.status() : rss_or.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  const std::vector<double>& beta = *beta_or;
+  const std::vector<double>& rss = *rss_or;
   const int64_t m = beta_info.block_elems[0];
   const int64_t k = beta_info.block_elems[1];
   for (int64_t c = 0; c < k; ++c) {

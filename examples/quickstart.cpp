@@ -72,7 +72,12 @@ int main() {
     auto diff = MaxAbsDifference(w.program.array(arr),
                                  rt0.stores[static_cast<size_t>(arr)].get(),
                                  rtb.stores[static_cast<size_t>(arr)].get());
-    diff.status().CheckOK();
+    if (!diff.ok()) {
+      std::fprintf(stderr, "verification read failed on %s: %s\n",
+                   w.program.array(arr).name.c_str(),
+                   diff.status().ToString().c_str());
+      return 1;
+    }
     std::printf("output %s max |diff| = %g\n",
                 w.program.array(arr).name.c_str(), *diff);
   }

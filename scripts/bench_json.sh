@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Machine-readable bench trajectory: runs the 2mm (Config A and B) and
-# linreg sweeps plus the replacement-policy x cap sweep and drops
+# linreg sweeps, the replacement-policy x cap sweep, and the
+# concurrent-session sweep (sessions x pool cap: per-session + aggregate
+# throughput, admission parking, cross-session dedup) and drops
 # BENCH_<name>.json files (wall, io_seconds, compute_seconds, overlap,
-# threads, DAG width, and per-policy block_reads/evictions/spills) into
-# the output directory.
+# threads, DAG width, per-policy block_reads/evictions/spills, and
+# per-session throughput) into the output directory.
 #
 # Usage: scripts/bench_json.sh [build_dir] [out_dir]
 #   build_dir: CMake build tree with the bench binaries (default: build)
@@ -21,7 +23,7 @@ if [[ ! -x "${build_dir}/bench_fig4_2mm_a" ]]; then
 fi
 mkdir -p "${out_dir}"
 
-for bench in fig4_2mm_a fig5_2mm_b fig6_linreg replacement; do
+for bench in fig4_2mm_a fig5_2mm_b fig6_linreg replacement sessions; do
   bin="${build_dir}/bench_${bench}"
   out="${out_dir}/BENCH_${bench}.json"
   echo "=== ${bench} -> ${out}"

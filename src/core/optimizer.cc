@@ -86,6 +86,14 @@ std::vector<std::vector<int>> GenerateCandidates(
 OptimizationResult Optimize(const Program& program,
                             const OptimizerOptions& options) {
   auto t0 = std::chrono::steady_clock::now();
+  // Multi-tenant hint: plan selection (and pressure simulation) happens
+  // against the per-session slice of the pool, not the whole cap.
+  const int sessions = std::max(1, options.concurrent_sessions);
+  const int64_t session_cap_bytes = options.memory_cap_bytes / sessions;
+  CostModelOptions session_cost = options.cost;
+  if (session_cost.pressure_cap_bytes > 0) {
+    session_cost.pressure_cap_bytes /= sessions;
+  }
   OptimizationResult result;
   result.analysis = AnalyzeProgram(program, options.analysis);
   const auto& sharing = result.analysis.sharing;
@@ -166,14 +174,13 @@ OptimizationResult Optimize(const Program& program,
     ++k;
   }
 
-  // Best plan under the memory cap.
+  // Best plan under the (per-session) memory cap.
   result.best_index = 0;
   for (size_t i = 0; i < result.plans.size(); ++i) {
     const Plan& p = result.plans[i];
-    if (p.cost.peak_memory_bytes > options.memory_cap_bytes) continue;
+    if (p.cost.peak_memory_bytes > session_cap_bytes) continue;
     const Plan& cur = result.plans[static_cast<size_t>(result.best_index)];
-    const bool cur_fits =
-        cur.cost.peak_memory_bytes <= options.memory_cap_bytes;
+    const bool cur_fits = cur.cost.peak_memory_bytes <= session_cap_bytes;
     if (!cur_fits || p.cost.io_seconds < cur.cost.io_seconds) {
       result.best_index = static_cast<int>(i);
     }
@@ -184,12 +191,12 @@ OptimizationResult Optimize(const Program& program,
   // (CostModelOptions::pressure_cap_bytes), rank by simulated capped I/O
   // time instead of defaulting to the original schedule — the schedule
   // that degrades best under a plain replacement policy wins.
-  if (options.cost.pressure_cap_bytes > 0 &&
+  if (session_cost.pressure_cap_bytes > 0 &&
       result.plans[static_cast<size_t>(result.best_index)]
-              .cost.peak_memory_bytes > options.memory_cap_bytes) {
+              .cost.peak_memory_bytes > session_cap_bytes) {
     CacheSimOptions sim;
-    sim.policy = options.cost.pressure_policy;
-    sim.cap_bytes = options.cost.pressure_cap_bytes;
+    sim.policy = session_cost.pressure_policy;
+    sim.cap_bytes = session_cost.pressure_cap_bytes;
     sim.opportunistic = true;
     int best_capped = -1;
     for (size_t i = 0; i < result.plans.size(); ++i) {
@@ -199,7 +206,7 @@ OptimizationResult Optimize(const Program& program,
         q.push_back(&sharing[static_cast<size_t>(oi)]);
       }
       auto r = SimulateCacheBehavior(program, p.schedule, q, sim,
-                                     options.cost);
+                                     session_cost);
       if (!r.ok()) continue;  // infeasible at the cap
       p.cost.capped_block_reads = r->block_reads;
       p.cost.capped_evictions = r->evictions;

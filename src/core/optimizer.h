@@ -23,6 +23,13 @@ struct OptimizerOptions {
   /// Memory cap for plan selection; plans above the cap stay in the result
   /// but are not eligible as "best".
   int64_t memory_cap_bytes = std::numeric_limits<int64_t>::max();
+  /// Multi-tenant hint: the number of sessions expected to share the
+  /// buffer pool `memory_cap_bytes` describes. With N > 1 the optimizer
+  /// selects plans against the per-session slice (cap / N) — and scales
+  /// the cost model's `pressure_cap_bytes` the same way — so a plan is
+  /// only called "fitting" when it fits the memory the session runtime
+  /// will actually grant it, not the whole pool.
+  int concurrent_sessions = 1;
   /// Apriori candidate pruning (Lemma 2); false = exhaustive power set
   /// (ablation; exponential in |O| without pruning).
   bool use_apriori = true;

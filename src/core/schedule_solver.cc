@@ -102,7 +102,15 @@ std::optional<Schedule> ScheduleSolver::FindSchedule(
 
   auto feasible = [&](const std::vector<LpConstraint>& cs) {
     ++stats_.lp_calls;
-    return LpFeasible(layout.dim, cs);
+    auto f = LpFeasible(layout.dim, cs);
+    if (!f.ok()) {
+      // Pivot budget exhausted: treat the candidate row as infeasible —
+      // the solver simply fails to find a schedule for this combination
+      // rather than hanging or aborting the whole optimization.
+      RIOT_LOG(Warning) << "schedule LP gave up: " << f.status().ToString();
+      return false;
+    }
+    return *f;
   };
 
   for (size_t d = 1; d <= dmax; ++d) {

@@ -35,11 +35,13 @@ void AtomicMax(std::atomic<int64_t>* target, int64_t value) {
 // Saved/elided writes legitimately leave frame contents different from
 // disk; retention covers every in-run consumer, but such frames must not
 // outlive the run as apparently clean cache in a shared pool. The script
-// knows them statically.
-void DropDivergentWrites(const AccessScript& script, BufferPool* pool) {
+// knows them statically. `remap` translates program array ids to the
+// pool's namespace (identity outside session runs).
+void DropDivergentWrites(const AccessScript& script, BufferPool* pool,
+                         const std::function<int(int)>& remap) {
   for (const BlockAccessRecord& rec : script.records) {
     if (rec.type == AccessType::kWrite && rec.saved) {
-      pool->Drop(rec.array_id, rec.block);
+      pool->Drop(remap(rec.array_id), rec.block);
     }
   }
 }
@@ -59,6 +61,7 @@ BufferPoolStats DiffPoolStats(const BufferPoolStats& end,
   d.prefetch_issued = end.prefetch_issued - start.prefetch_issued;
   d.prefetch_declined = end.prefetch_declined - start.prefetch_declined;
   d.prefetch_abandoned = end.prefetch_abandoned - start.prefetch_abandoned;
+  d.coalesced_loads = end.coalesced_loads - start.coalesced_loads;
   return d;
 }
 
@@ -75,8 +78,11 @@ Executor::Executor(const Program& program, std::vector<BlockStore*> stores,
 Result<ExecStats> Executor::Run(const Schedule& schedule,
                                 const std::vector<const CoAccess*>& realized) {
   // The opportunistic-cache ablation is defined against the serial
-  // reference order; everything else may go parallel.
-  if (opts_.exec_threads > 1 && opts_.mode != ExecMode::kOpportunisticCache) {
+  // reference order, and session runs are serial by contract (the
+  // sessions themselves are the parallelism); everything else may go
+  // parallel.
+  if (opts_.exec_threads > 1 && opts_.session == nullptr &&
+      opts_.mode != ExecMode::kOpportunisticCache) {
     return RunParallel(schedule, realized);
   }
   return RunSerial(schedule, realized);
@@ -104,13 +110,38 @@ Result<ExecStats> Executor::RunSerial(
   BufferPool& pool = opts_.shared_pool != nullptr ? *opts_.shared_pool
                                                   : local_pool;
   const BufferPoolStats pool_stats0 = pool.stats();
+
+  // ------------------------------------------------ multi-tenant context
+  // A session run translates array ids into the shared pool's namespace,
+  // charges its budget account, and coalesces/dedupes reads across
+  // sessions; everything degrades to the identity for solo runs.
+  const SessionBinding* session = opts_.session;
+  PoolAccount* account = session != nullptr ? session->account : nullptr;
+  auto pid = [session](int array_id) {
+    return session != nullptr && !session->pool_array_ids.empty()
+               ? session->pool_array_ids[static_cast<size_t>(array_id)]
+               : array_id;
+  };
+
   // Belady-style replacement needs the plan's future: bind every block's
   // use positions and advance the policy clock per instance below. The
-  // schedule (and hence the access order) is exact in both modes.
+  // schedule (and hence the access order) is exact in both modes. Binds
+  // nest across sessions; with several tenants bound at once the policy
+  // degrades to LRU order (see storage/replacement.h).
   const bool schedule_policy =
       pool.replacement_kind() == ReplacementKind::kScheduleOpt;
+  std::shared_ptr<const BlockUseMap> bound_uses;
   if (schedule_policy) {
-    pool.BindUsePlan(std::make_shared<BlockUseMap>(script.block_uses));
+    if (session != nullptr && !session->pool_array_ids.empty()) {
+      auto remapped = std::make_shared<BlockUseMap>();
+      for (const auto& [key, positions] : script.block_uses) {
+        (*remapped)[{pid(key.first), key.second}] = positions;
+      }
+      bound_uses = std::move(remapped);
+    } else {
+      bound_uses = std::make_shared<BlockUseMap>(script.block_uses);
+    }
+    pool.BindUsePlan(bound_uses);
   }
   ExecStats stats;
 
@@ -127,7 +158,10 @@ Result<ExecStats> Executor::RunSerial(
     bool done = false;
     Status status;
   };
-  std::unique_ptr<IoPool> io;  // declared after `pool`: joins before frames die
+  std::unique_ptr<IoPool> owned_io;  // declared after `pool`: joins before
+                                     // frames die
+  IoPool* io = nullptr;  // owned_io.get(), or the session's shared workers
+  int io_channel = 0;
   std::map<Key, Pending> pending;
   std::map<uint64_t, Key> key_of_tag;
   std::deque<Key> issue_order;
@@ -135,14 +169,22 @@ Result<ExecStats> Executor::RunSerial(
   size_t cursor = 0;  // next script record the prefetcher considers
 
   if (depth > 0) {
-    io = std::make_unique<IoPool>(std::max(1, opts_.io_threads));
-    int64_t budget = opts_.prefetch_budget_bytes;
-    if (budget <= 0) {
-      budget = std::max<int64_t>(
-          0, (pool.cap_bytes() - script.max_instance_bytes) / 2);
+    if (session != nullptr && session->io != nullptr) {
+      // Shared I/O workers: submit on the session's channel; pool-wide
+      // knobs (prefetch budget, write-behind) belong to the runtime.
+      io = session->io;
+      io_channel = session->io_channel;
+    } else {
+      owned_io = std::make_unique<IoPool>(std::max(1, opts_.io_threads));
+      io = owned_io.get();
+      int64_t budget = opts_.prefetch_budget_bytes;
+      if (budget <= 0) {
+        budget = std::max<int64_t>(
+            0, (pool.cap_bytes() - script.max_instance_bytes) / 2);
+      }
+      pool.SetPrefetchBudget(budget);
+      if (opts_.writeback_async) pool.SetWriteBehind(io);
     }
-    pool.SetPrefetchBudget(budget);
-    if (opts_.writeback_async) pool.SetWriteBehind(io.get());
   }
 
   // Blocks until the prefetch for `key` has completed (draining other
@@ -150,7 +192,7 @@ Result<ExecStats> Executor::RunSerial(
   auto wait_pending = [&](const Key& key) -> Pending& {
     Pending& want = pending.at(key);
     while (!want.done) {
-      IoPool::Completion c = io->WaitCompletion();
+      IoPool::Completion c = io->WaitCompletion(io_channel);
       auto it = key_of_tag.find(c.tag);
       RIOT_CHECK(it != key_of_tag.end());
       Pending& p = pending.at(it->second);
@@ -203,15 +245,15 @@ Result<ExecStats> Executor::RunSerial(
     if (rec.dep_pos >= 0 && static_cast<size_t>(rec.dep_pos) >= cur_pos) {
       return Issue::kDepBlocked;
     }
-    Key key{rec.array_id, rec.block};
+    Key key{pid(rec.array_id), rec.block};
     if (pending.count(key) > 0) {
       return Issue::kHandled;  // one in-flight read per block is enough
     }
     BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
     BufferPool::Frame* f =
-        pool.TryStartPrefetch(rec.array_id, rec.block, rec.bytes, store);
+        pool.TryStartPrefetch(pid(rec.array_id), rec.block, rec.bytes, store);
     if (f == nullptr) {
-      if (pool.Probe(rec.array_id, rec.block) != nullptr) {
+      if (pool.Probe(pid(rec.array_id), rec.block) != nullptr) {
         return Issue::kHandled;  // resident; consumer serves it directly
       }
       return Issue::kNoRoom;
@@ -220,7 +262,7 @@ Result<ExecStats> Executor::RunSerial(
     key_of_tag[tag] = key;
     pending.emplace(key, Pending{f, false, Status::OK()});
     issue_order.push_back(key);
-    io->ReadBlockAsync(store, rec.block, f->data.data(), tag);
+    io->ReadBlockAsync(store, rec.block, f->data.data(), tag, io_channel);
     return Issue::kHandled;
   };
   auto advance_prefetcher = [&](size_t cur_group, size_t cur_pos) {
@@ -254,7 +296,11 @@ Result<ExecStats> Executor::RunSerial(
   // time, so the timer starts inside the lock.
   auto sync_store_op = [&](BlockStore* store, auto&& op) -> Status {
     std::shared_ptr<std::mutex> serial =
-        io != nullptr ? io->store_mutex(store) : nullptr;
+        io != nullptr
+            ? io->store_mutex(store)
+            : (session != nullptr && session->store_mutexes != nullptr
+                   ? session->store_mutexes->mutex_for(store)
+                   : nullptr);
     std::unique_lock<std::mutex> lock;
     if (serial != nullptr) lock = std::unique_lock<std::mutex>(*serial);
     auto t0 = std::chrono::steady_clock::now();
@@ -274,16 +320,35 @@ Result<ExecStats> Executor::RunSerial(
   };
 
   // Fetch that relieves prefetch memory pressure instead of failing: the
-  // consumer always wins over lookahead.
-  auto fetch_frame = [&](int array_id, int64_t block, int64_t bytes,
-                         BlockStore* store) -> Result<BufferPool::Frame*> {
+  // consumer always wins over lookahead. Session runs additionally
+  // park-and-retry through kResourceExhausted — another tenant's transient
+  // pressure (its prefetch lookahead, a not-yet-released retention)
+  // resolves as that tenant progresses — and only give up after the
+  // binding's park timeout. `coalesce` marks read fetches whose miss this
+  // caller will fill (MarkLoaded) and whose hit may join another
+  // session's in-flight load.
+  auto fetch_frame = [&](int pool_array_id, int64_t block, int64_t bytes,
+                         BlockStore* store, bool coalesce,
+                         bool* resident_out) -> Result<BufferPool::Frame*> {
+    double parked = 0.0;
+    double backoff = 0.0005;
     for (;;) {
-      auto f = pool.Fetch(array_id, block, bytes, store, /*load=*/false);
+      auto f = pool.Fetch(pool_array_id, block, bytes, store, /*load=*/false,
+                          resident_out, account,
+                          coalesce && session != nullptr);
       if (f.ok() ||
           f.status().code() != StatusCode::kResourceExhausted) {
         return f;
       }
-      if (!cancel_one()) return f;
+      if (cancel_one()) continue;
+      if (session == nullptr || parked >= session->park_timeout_seconds) {
+        return f;
+      }
+      ++stats.session_parks;
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      parked += backoff;
+      stats.session_park_seconds += backoff;
+      backoff = std::min(backoff * 2, 0.05);
     }
   };
 
@@ -301,10 +366,10 @@ Result<ExecStats> Executor::RunSerial(
       const auto& inst = rp.order[pos];
       if (rp.group_of[pos] != cur_group) {
         cur_group = rp.group_of[pos];
-        pool.ReleaseRetainedBefore(static_cast<int64_t>(cur_group));
+        pool.ReleaseRetainedBefore(static_cast<int64_t>(cur_group), account);
       }
       if (schedule_policy) {
-        pool.AdvanceReplacementClock(static_cast<int64_t>(pos));
+        pool.AdvanceReplacementClock(bound_uses, static_cast<int64_t>(pos));
       }
       if (depth > 0) advance_prefetcher(cur_group, pos);
       const Statement& st = prog_.statement(inst.stmt_id);
@@ -322,15 +387,21 @@ Result<ExecStats> Executor::RunSerial(
         const size_t ai = static_cast<size_t>(rec.access_idx);
         const ArrayInfo& arr = prog_.array(rec.array_id);
         BlockStore* store = stores_[static_cast<size_t>(rec.array_id)];
-        Key key{rec.array_id, rec.block};
+        Key key{pid(rec.array_id), rec.block};
         const bool has_pending = depth > 0 && pending.count(key) > 0;
         BufferPool::Frame* frame = nullptr;
 
-        if (rec.type == AccessType::kRead && !rec.saved && has_pending) {
-          // The prefetcher issued this very disk read; adopt its frame.
+        if (rec.type == AccessType::kRead && !rec.saved && has_pending &&
+            (account == nullptr ||
+             account->charged_bytes.load() + rec.bytes <=
+                 account->budget_bytes)) {
+          // The prefetcher issued this very disk read; adopt its frame
+          // (only if the session budget admits it — adoption itself never
+          // refuses, so an over-budget adoption falls through to the
+          // parking fetch path below after canceling the prefetch).
           Pending& p = wait_pending(key);
           if (!p.status.ok()) return p.status;
-          frame = pool.AdoptPrefetched(p.frame);
+          frame = pool.AdoptPrefetched(p.frame, account);
           pending.erase(key);
           ++stats.prefetch_hits;
           stats.bytes_read += rec.bytes;
@@ -340,7 +411,42 @@ Result<ExecStats> Executor::RunSerial(
           // it first (defensive; the script's dependence positions make
           // this unreachable for writes).
           if (has_pending) cancel_key(key);
-          if (rec.type == AccessType::kRead) {
+          if (rec.type == AccessType::kRead && session != nullptr) {
+            // Multi-tenant read: residency is decided atomically with the
+            // pin (a Probe could race another tenant's eviction), resident
+            // frames are served from memory — write-through keeps clean
+            // frames equal to disk, and another session may have loaded
+            // the block already (cross-session dedup) — and misses load
+            // under the pool's coalescing latch so two sessions fetching
+            // one block share a single disk read.
+            bool resident = false;
+            auto f = fetch_frame(key.first, rec.block, rec.bytes, store,
+                                 /*coalesce=*/true, &resident);
+            if (!f.ok()) return f.status();
+            frame = *f;
+            if (!resident) {
+              if (rec.saved && opts_.strict_sharing) {
+                // Created zeroed by this Fetch, never loaded; Discard also
+                // wakes any coalesced waiter (none can exist for a
+                // session-private retained block, but stay defensive).
+                pool.Discard(frame);
+                return Status::Internal(
+                    "saved read not in memory: " + st.name + " access " +
+                    std::to_string(ai) + " (plan/realization bug)");
+              }
+              Status rst = sync_read(store, rec.block, frame->data.data());
+              if (!rst.ok()) {
+                // Garbage frame: wakes coalesced waiters, which bail out.
+                pool.Discard(frame);
+                return rst;
+              }
+              pool.MarkLoaded(frame);
+              stats.bytes_read += rec.bytes;
+              ++stats.block_reads;
+            } else if (!rec.saved) {
+              ++stats.policy_saved_reads;  // cross-session residency win
+            }
+          } else if (rec.type == AccessType::kRead) {
             // A read is served from memory ONLY when the plan realizes a
             // sharing opportunity for it (Section 5.3: a schedule may
             // "accidentally" enable more sharing, but generated code
@@ -361,7 +467,8 @@ Result<ExecStats> Executor::RunSerial(
                   "saved read not in memory: " + st.name + " access " +
                   std::to_string(ai) + " (plan/realization bug)");
             }
-            auto f = fetch_frame(rec.array_id, rec.block, rec.bytes, store);
+            auto f = fetch_frame(rec.array_id, rec.block, rec.bytes, store,
+                                 /*coalesce=*/false, nullptr);
             if (!f.ok()) return f.status();
             frame = *f;
             if (!saved || present == nullptr) {
@@ -378,10 +485,19 @@ Result<ExecStats> Executor::RunSerial(
           } else {
             // Write target: no disk read; a guarded read access of the
             // same block (accumulation) was fetched in the read pass if
-            // live.
-            auto f = fetch_frame(rec.array_id, rec.block, rec.bytes, store);
+            // live. Session runs still fetch with coalescing so a write
+            // colliding with another tenant's in-flight prefetch or load
+            // of the block waits it out instead of CHECK-crashing or
+            // tearing the buffer (only reachable when tenants race reads
+            // against writes on one shared store — outputs are then
+            // order-dependent by nature, but never torn). A created
+            // frame is marked loaded at once: nothing will fill it.
+            bool resident = false;
+            auto f = fetch_frame(key.first, rec.block, rec.bytes, store,
+                                 /*coalesce=*/session != nullptr, &resident);
             if (!f.ok()) return f.status();
             frame = *f;
+            if (session != nullptr && !resident) pool.MarkLoaded(frame);
           }
         }
         frames[ai] = frame;
@@ -390,7 +506,7 @@ Result<ExecStats> Executor::RunSerial(
                               arr.block_elems[0], arr.block_elems[1]};
         view_ptrs[ai] = &views[ai];
         if (rec.retain_until_group >= 0) {
-          pool.Retain(frame, rec.retain_until_group);
+          pool.Retain(frame, rec.retain_until_group, account);
         }
       }
 
@@ -430,14 +546,19 @@ Result<ExecStats> Executor::RunSerial(
           ++stats.block_writes;
         }
         // Either way the in-memory copy is authoritative; retention (set
-        // above) protects it for pending saved reads.
-        frames[ai]->dirty = false;
+        // above) protects it for pending saved reads. Cleared under the
+        // pool lock: concurrent tenants' eviction scans read the flag.
+        pool.MarkClean(frames[ai]);
       }
 
       // Measure the requirement while the instance's frames are still
-      // pinned, then release them.
-      stats.peak_required_bytes =
-          std::max(stats.peak_required_bytes, pool.PinnedOrRetainedBytes());
+      // pinned, then release them. A session reports its own charged
+      // bytes (the shared pool's global requirement mixes tenants).
+      stats.peak_required_bytes = std::max(
+          stats.peak_required_bytes,
+          account != nullptr
+              ? account->peak_charged_bytes.load(std::memory_order_relaxed)
+              : pool.PinnedOrRetainedBytes());
       for (size_t ai = 0; ai < na; ++ai) {
         if (frames[ai] != nullptr) {
           pool.Unpin(frames[ai]);
@@ -457,18 +578,29 @@ Result<ExecStats> Executor::RunSerial(
   }
   while (cancel_one()) {
   }
-  if (io != nullptr) {
+  if (owned_io != nullptr) {
     if (opts_.writeback_async) {
       Status wb = pool.DrainWritebacks();
       pool.SetWriteBehind(nullptr);
       if (run_status.ok() && !wb.ok()) run_status = wb;
     }
-    stats.io_seconds += io->read_seconds() + io->write_seconds();
-    io.reset();  // joins the workers
+    stats.io_seconds += owned_io->read_seconds() + owned_io->write_seconds();
+    owned_io.reset();  // joins the workers
   }
-  pool.ReleaseRetainedBefore(std::numeric_limits<int64_t>::max());
-  DropDivergentWrites(script, &pool);
-  if (schedule_policy) pool.UnbindUsePlan();
+  // A session's shared IoPool needs no drain beyond the cancel loop above
+  // (its channel is empty) and reports worker time runtime-wide, not here.
+  pool.ReleaseRetainedBefore(std::numeric_limits<int64_t>::max(), account);
+  DropDivergentWrites(script, &pool, pid);
+  if (schedule_policy) pool.UnbindUsePlan(bound_uses);
+  // Snapshot the session ledger, then sever the pool's references to it: a
+  // shared frame another tenant still holds required would otherwise keep
+  // pointing at this (caller-stack) account past the run.
+  if (account != nullptr) {
+    stats.peak_required_bytes =
+        std::max(stats.peak_required_bytes,
+                 account->peak_charged_bytes.load(std::memory_order_relaxed));
+    pool.DetachAccount(account);
+  }
   if (!run_status.ok()) return run_status;
 
   stats.pool = DiffPoolStats(pool.stats(), pool_stats0);
@@ -1124,7 +1256,7 @@ Result<ExecStats> Executor::RunParallel(
     io.reset();  // joins the I/O workers
   }
   pool.ReleaseRetainedBefore(std::numeric_limits<int64_t>::max());
-  DropDivergentWrites(script, &pool);
+  DropDivergentWrites(script, &pool, [](int id) { return id; });
   if (schedule_policy) pool.UnbindUsePlan();
 
   if (sc.failed) return sc.error;

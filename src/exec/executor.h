@@ -48,6 +48,43 @@
 
 namespace riot {
 
+class IoPool;
+class StoreMutexMap;
+
+/// \brief Multi-tenant execution context, provided by the session runtime
+/// (ops/session_runtime.h) when several programs run concurrently over one
+/// shared BufferPool. It gives a run:
+///   * a budget ledger (`account`) — frames this run pins or retains are
+///     charged against the session's slice of the pool cap, and a fetch
+///     past the budget parks and retries instead of eating into other
+///     tenants' slices;
+///   * a pool-id remap (`pool_array_ids`) — program array ids translate
+///     into a pool-global namespace where two sessions over the same
+///     BlockStore share frames (cross-session read dedup) while distinct
+///     stores can never collide;
+///   * shared I/O workers (`io` + `io_channel`) — prefetch reads are
+///     submitted on the session's own completion channel, and the pool's
+///     round-robin dispatch keeps one tenant's lookahead from starving
+///     another's;
+///   * cross-session store serialization (`store_mutexes`) for runs
+///     without an I/O pool of their own.
+/// A session run executes on the serial engine (the sessions themselves
+/// are the parallelism), serves resident blocks from memory like the
+/// parallel engine's read dedup, and coalesces concurrent loads of one
+/// block across sessions onto a single disk read.
+struct SessionBinding {
+  PoolAccount* account = nullptr;
+  /// Program array id -> shared-pool array id; empty = identity.
+  std::vector<int> pool_array_ids;
+  IoPool* io = nullptr;
+  int io_channel = 0;
+  StoreMutexMap* store_mutexes = nullptr;
+  /// Total seconds a starved fetch parks-and-retries (waiting out other
+  /// tenants' transient pressure) before the run fails with the pool's
+  /// kResourceExhausted.
+  double park_timeout_seconds = 10.0;
+};
+
 /// \brief In-memory compute for one statement instance. `views` is indexed
 /// by access index; an entry is nullptr when the access's guard excludes the
 /// current iteration. The kernel may branch on `iter` (e.g. initialize an
@@ -125,6 +162,14 @@ struct ExecOptions {
   /// runs must use a fresh pool (or FlushAll), since the parallel engine
   /// serves resident frames without re-touching disk.
   BufferPool* shared_pool = nullptr;
+  /// Multi-tenant context (see SessionBinding). When set the run executes
+  /// on the serial engine regardless of exec_threads, never reconfigures
+  /// the shared pool's prefetch budget or write-behind (the session
+  /// runtime owns pool-wide knobs), and dedupes reads off residency like
+  /// the parallel engine, so I/O counts may come in under the serial
+  /// cost-model prediction. Outputs are unchanged. The binding must
+  /// outlive the run.
+  const SessionBinding* session = nullptr;
 };
 
 struct ExecStats {
@@ -164,6 +209,14 @@ struct ExecStats {
   /// set is the plan's, independent of residency). The replacement policy
   /// is what moves this number.
   int64_t policy_saved_reads = 0;
+  /// Session runs: times a starved fetch parked (budget or transient
+  /// cross-tenant pressure) and the wall time spent parked before the
+  /// retry succeeded. 0 outside session runs, which fail fast instead.
+  int64_t session_parks = 0;
+  double session_park_seconds = 0.0;
+  /// NOTE: under a shared multi-tenant pool these per-run pool deltas
+  /// include concurrent tenants' traffic; per-session I/O counters above
+  /// are exact regardless.
   BufferPoolStats pool;
 };
 

@@ -1,19 +1,36 @@
 #include "exec/verify.h"
 
+#include <algorithm>
 #include <cmath>
-
-#include "util/logging.h"
+#include <limits>
 
 namespace riot {
 
 Result<std::vector<double>> ReadWholeArray(const ArrayInfo& info,
                                            BlockStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("ReadWholeArray: null store for " +
+                                   info.name);
+  }
   const int64_t per_block = info.ElemsPerBlock();
-  std::vector<double> out(
-      static_cast<size_t>(per_block * info.NumBlocks()));
-  for (int64_t b = 0; b < info.NumBlocks(); ++b) {
-    RIOT_RETURN_NOT_OK(
-        store->ReadBlock(b, out.data() + b * per_block));
+  const int64_t num_blocks = info.NumBlocks();
+  if (per_block <= 0 || num_blocks < 0) {
+    return Status::InvalidArgument(
+        "ReadWholeArray: degenerate shape for " + info.name + " (" +
+        std::to_string(per_block) + " elems/block, " +
+        std::to_string(num_blocks) + " blocks)");
+  }
+  if (num_blocks > 0 &&
+      per_block > std::numeric_limits<int64_t>::max() / num_blocks) {
+    return Status::OutOfRange("ReadWholeArray: element count overflows for " +
+                              info.name);
+  }
+  std::vector<double> out(static_cast<size_t>(per_block * num_blocks));
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    // A corrupt or missing block surfaces as Status to the caller; it must
+    // never abort the process (multi-tenant runtimes verify concurrently
+    // with live sessions).
+    RIOT_RETURN_NOT_OK(store->ReadBlock(b, out.data() + b * per_block));
   }
   return out;
 }
@@ -24,11 +41,28 @@ Result<double> MaxAbsDifference(const ArrayInfo& info, BlockStore* a,
   if (!va.ok()) return va.status();
   auto vb = ReadWholeArray(info, b);
   if (!vb.ok()) return vb.status();
+  const std::vector<double>& xa = *va;
+  const std::vector<double>& xb = *vb;
+  if (xa.size() != xb.size()) {
+    return Status::Internal("MaxAbsDifference: size mismatch for " +
+                            info.name);
+  }
   double m = 0.0;
-  for (size_t i = 0; i < va.ValueOrDie().size(); ++i) {
-    m = std::max(m, std::fabs((*va)[i] - (*vb)[i]));
+  for (size_t i = 0; i < xa.size(); ++i) {
+    m = std::max(m, std::fabs(xa[i] - xb[i]));
   }
   return m;
+}
+
+Status VerifyBitEqual(const ArrayInfo& info, BlockStore* expected,
+                      BlockStore* actual) {
+  auto d = MaxAbsDifference(info, expected, actual);
+  if (!d.ok()) return d.status();
+  if (*d != 0.0) {
+    return Status::Internal("output mismatch on " + info.name +
+                            ": max |diff| = " + std::to_string(*d));
+  }
+  return Status::OK();
 }
 
 }  // namespace riot

@@ -1,6 +1,11 @@
 // Verification helpers: read whole arrays back from block stores and
 // compare plans' outputs (optimized plans must produce bitwise-comparable
 // results to the original schedule up to floating-point reassociation).
+//
+// Every helper propagates I/O failures as Status — a corrupt or missing
+// block must never abort the verifying process (the session runtime
+// verifies tenants' outputs while other tenants are live). Callers that
+// genuinely want crash-on-error semantics opt in with ValueOrDie().
 #ifndef RIOTSHARE_EXEC_VERIFY_H_
 #define RIOTSHARE_EXEC_VERIFY_H_
 
@@ -20,6 +25,11 @@ Result<std::vector<double>> ReadWholeArray(const ArrayInfo& info,
 /// \brief Max absolute elementwise difference between two stored arrays.
 Result<double> MaxAbsDifference(const ArrayInfo& info, BlockStore* a,
                                 BlockStore* b);
+
+/// \brief OK iff the arrays are bit-for-bit identical; kInternal with the
+/// max |diff| otherwise. I/O failures propagate as their own Status.
+Status VerifyBitEqual(const ArrayInfo& info, BlockStore* expected,
+                      BlockStore* actual);
 
 }  // namespace riot
 

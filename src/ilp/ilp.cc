@@ -49,7 +49,16 @@ IlpResult SolveIlp(size_t num_vars, const std::vector<LpConstraint>& cons,
     stack.pop_back();
     std::vector<LpConstraint> sys = base;
     sys.insert(sys.end(), node.extra.begin(), node.extra.end());
-    LpSolution relax = SolveLp(num_vars, sys, objective);
+    auto relax_or = SolveLp(num_vars, sys, objective);
+    if (!relax_or.ok()) {
+      // Pivot budget exhausted: stop exploring and return best-so-far,
+      // exactly like the node limit above — never abort the process.
+      RIOT_LOG(Warning) << "ILP relaxation gave up: "
+                        << relax_or.status().ToString()
+                        << "; returning best-so-far";
+      break;
+    }
+    const LpSolution& relax = *relax_or;
     if (relax.status != LpStatus::kOptimal) continue;  // infeasible subtree
     if (best.feasible && relax.objective <= best.objective) continue;  // bound
     if (IsIntegral(relax.x)) {

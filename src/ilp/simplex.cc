@@ -10,13 +10,18 @@ namespace {
 
 // Tableau-based simplex in standard form:
 //   maximize c.y  s.t.  A y = b, y >= 0, b >= 0 (after phase-I setup).
-// Bland's rule (smallest index) for anti-cycling.
+// Dantzig pricing, Bland's rule (smallest index) after a degenerate
+// streak, hard pivot budget across both phases.
 class Tableau {
  public:
   // A: m x n, b: m (must be >= 0), c: n.
-  Tableau(RMatrix a, RVector b, RVector c)
+  Tableau(RMatrix a, RVector b, RVector c, const LpOptions& options)
       : m_(a.rows()), n_(a.cols()), a_(std::move(a)), b_(std::move(b)),
-        c_(std::move(c)), basis_(m_) {}
+        c_(std::move(c)), basis_(m_), opts_(options) {}
+
+  /// The pivot budget ran out; any PhaseI/PhaseII answer is unreliable.
+  bool budget_exhausted() const { return budget_exhausted_; }
+  int64_t pivots() const { return pivots_; }
 
   // Phase I: add m artificial variables with identity columns; minimize
   // their sum. Returns false if infeasible.
@@ -102,6 +107,8 @@ class Tableau {
   // per-column recomputation is O(m n) per candidate and dominates runtime
   // with exact rationals).
   Rational RunSimplex(const RVector& obj) {
+    bool bland = false;       // switched on after a degenerate streak
+    int64_t degen_streak = 0;
     const size_t ncols = a_.cols();
     // rc_j = c_j - c_B^T B^-1 A_j; computed once, then pivot-maintained.
     rc_ = RVector(ncols);
@@ -123,11 +130,26 @@ class Tableau {
       }
     }
     for (;;) {
+      if (pivots_ >= opts_.max_pivots) {
+        budget_exhausted_ = true;
+        break;
+      }
       size_t enter = ncols;
-      for (size_t j = 0; j < ncols; ++j) {
-        if (rc_[j].IsPositive()) {  // Bland: first improving index
-          enter = j;
-          break;
+      if (bland) {
+        // Bland: first improving index — cannot cycle.
+        for (size_t j = 0; j < ncols; ++j) {
+          if (rc_[j].IsPositive()) {
+            enter = j;
+            break;
+          }
+        }
+      } else {
+        // Dantzig: most positive reduced cost (smallest index on ties).
+        for (size_t j = 0; j < ncols; ++j) {
+          if (rc_[j].IsPositive() &&
+              (enter == ncols || rc_[enter] < rc_[j])) {
+            enter = j;
+          }
         }
       }
       if (enter == ncols) break;  // optimal
@@ -147,6 +169,16 @@ class Tableau {
         unbounded_ = true;
         break;
       }
+      // A zero-ratio pivot makes no objective progress (degeneracy): a
+      // long enough streak of them under Dantzig pricing may be a cycle,
+      // which Bland's rule provably exits. Real progress re-arms Dantzig.
+      if (best_ratio.IsZero()) {
+        if (++degen_streak >= opts_.degenerate_pivot_limit) bland = true;
+      } else {
+        degen_streak = 0;
+        bland = false;
+      }
+      ++pivots_;
       Pivot(leave, enter);
     }
     return obj_val_;
@@ -188,13 +220,18 @@ class Tableau {
   RVector rc_;  // reduced-cost row of the active objective
   Rational obj_val_;
   std::vector<size_t> basis_;
+  LpOptions opts_;
+  int64_t pivots_ = 0;  // across both phases
   bool unbounded_ = false;
+  bool budget_exhausted_ = false;
 };
 
 }  // namespace
 
-LpSolution SolveLp(size_t num_vars, const std::vector<LpConstraint>& cons,
-                   const RVector& objective) {
+Result<LpSolution> SolveLp(size_t num_vars,
+                           const std::vector<LpConstraint>& cons,
+                           const RVector& objective,
+                           const LpOptions& options) {
   RIOT_CHECK_EQ(objective.size(), num_vars);
   // Split each free variable v into v+ - v-. Standard-form var count:
   const size_t nsf = 2 * num_vars;
@@ -232,13 +269,28 @@ LpSolution SolveLp(size_t num_vars, const std::vector<LpConstraint>& cons,
     c_sf[2 * v + 1] = -objective[v];
   }
 
-  Tableau t(std::move(a), std::move(b), std::move(c_sf));
+  Tableau t(std::move(a), std::move(b), std::move(c_sf), options);
   LpSolution sol;
-  if (!t.PhaseI()) {
+  const bool phase1_feasible = t.PhaseI();
+  if (t.budget_exhausted()) {
+    return Status::ResourceExhausted(
+        "simplex pivot budget exhausted in phase I (" +
+        std::to_string(t.pivots()) + " pivots, " +
+        std::to_string(cons.size()) + " constraints, " +
+        std::to_string(num_vars) + " vars)");
+  }
+  if (!phase1_feasible) {
     sol.status = LpStatus::kInfeasible;
     return sol;
   }
   auto obj = t.PhaseII();
+  if (t.budget_exhausted()) {
+    return Status::ResourceExhausted(
+        "simplex pivot budget exhausted in phase II (" +
+        std::to_string(t.pivots()) + " pivots, " +
+        std::to_string(cons.size()) + " constraints, " +
+        std::to_string(num_vars) + " vars)");
+  }
   if (!obj.has_value()) {
     sol.status = LpStatus::kUnbounded;
     return sol;
@@ -251,10 +303,13 @@ LpSolution SolveLp(size_t num_vars, const std::vector<LpConstraint>& cons,
   return sol;
 }
 
-bool LpFeasible(size_t num_vars, const std::vector<LpConstraint>& cons) {
+Result<bool> LpFeasible(size_t num_vars,
+                        const std::vector<LpConstraint>& cons,
+                        const LpOptions& options) {
   RVector zero(num_vars);
-  LpSolution s = SolveLp(num_vars, cons, zero);
-  return s.status == LpStatus::kOptimal;
+  auto s = SolveLp(num_vars, cons, zero, options);
+  if (!s.ok()) return s.status();
+  return s->status == LpStatus::kOptimal;
 }
 
 }  // namespace riot

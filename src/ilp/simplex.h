@@ -2,9 +2,16 @@
 //
 // Variables are free (unrestricted in sign) unless constrained otherwise;
 // internally each free variable is split into a difference of nonnegatives.
-// Bland's rule guarantees termination. All arithmetic is exact, so
-// feasibility answers are decisions, not approximations — this is what lets
-// the optimizer treat polyhedron emptiness and schedule legality as exact.
+// All arithmetic is exact, so feasibility answers are decisions, not
+// approximations — this is what lets the optimizer treat polyhedron
+// emptiness and schedule legality as exact.
+//
+// Pricing is Dantzig's rule (most positive reduced cost — fast in
+// practice) with an automatic fallback to Bland's rule after a streak of
+// degenerate (zero-progress) pivots, so cycling on the degenerate LPs that
+// large fused programs produce cannot hang the optimizer. A hard pivot
+// budget backstops both phases: exceeding it surfaces kResourceExhausted
+// to the caller instead of pivoting forever (or aborting the process).
 #ifndef RIOTSHARE_ILP_SIMPLEX_H_
 #define RIOTSHARE_ILP_SIMPLEX_H_
 
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "util/status.h"
 
 namespace riot {
 
@@ -32,14 +40,31 @@ struct LpSolution {
   Rational objective;  // valid iff status == kOptimal
 };
 
+struct LpOptions {
+  /// Hard pivot budget across both phases. Bland's rule guarantees finite
+  /// termination, so on non-adversarial inputs this is never reached; it
+  /// backstops pathological exponential pivot paths. Exceeding it returns
+  /// kResourceExhausted (never aborts).
+  int64_t max_pivots = 1'000'000;
+  /// Consecutive degenerate (zero-progress) pivots tolerated under
+  /// Dantzig pricing before switching to Bland's anti-cycling rule; a
+  /// progress-making pivot switches back.
+  int64_t degenerate_pivot_limit = 64;
+};
+
 /// \brief Maximize objective . x subject to the constraints; x free.
 ///
-/// Pass a zero objective for a pure feasibility test.
-LpSolution SolveLp(size_t num_vars, const std::vector<LpConstraint>& cons,
-                   const RVector& objective);
+/// Pass a zero objective for a pure feasibility test. Fails with
+/// kResourceExhausted when the pivot budget is exhausted.
+Result<LpSolution> SolveLp(size_t num_vars,
+                           const std::vector<LpConstraint>& cons,
+                           const RVector& objective,
+                           const LpOptions& options = {});
 
 /// \brief Convenience: feasibility of the system.
-bool LpFeasible(size_t num_vars, const std::vector<LpConstraint>& cons);
+Result<bool> LpFeasible(size_t num_vars,
+                        const std::vector<LpConstraint>& cons,
+                        const LpOptions& options = {});
 
 }  // namespace riot
 

@@ -1,0 +1,191 @@
+#include "ops/session_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/cost_model.h"
+#include "util/logging.h"
+
+namespace riot {
+
+namespace {
+double Since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+SessionRuntime::SessionRuntime(SessionRuntimeOptions options)
+    : opts_(options),
+      pool_(options.pool_cap_bytes, MakeReplacementPolicy(options.replacement)),
+      io_(std::make_unique<IoPool>(std::max(1, options.io_threads))) {
+  int64_t prefetch = opts_.prefetch_budget_bytes;
+  if (prefetch <= 0) prefetch = opts_.pool_cap_bytes / 8;
+  pool_.SetPrefetchBudget(prefetch);
+  if (opts_.writeback_async) pool_.SetWriteBehind(io_.get());
+}
+
+SessionRuntime::~SessionRuntime() {
+  // Every in-flight write-behind references io_'s workers; land them all
+  // and detach before the IoPool joins. Failures are dropped with the
+  // cache, exactly like ~BufferPool.
+  pool_.DrainWritebacks();
+  pool_.SetWriteBehind(nullptr);
+  io_.reset();
+}
+
+int SessionRuntime::PoolIdFor(BlockStore* store) {
+  auto it = pool_ids_.find(store);
+  if (it == pool_ids_.end()) {
+    it = pool_ids_.emplace(store, next_pool_id_++).first;
+  }
+  return it->second;
+}
+
+Status SessionRuntime::ReleaseStore(BlockStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pool_ids_.find(store);
+  if (it == pool_ids_.end()) return Status::OK();  // never cached
+  const int64_t kept = pool_.DropArrayFrames(it->second);
+  if (kept > 0) {
+    return Status::Internal("ReleaseStore: " + std::to_string(kept) +
+                            " frame(s) of the store still in use");
+  }
+  pool_ids_.erase(it);
+  return Status::OK();
+}
+
+Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
+  if (spec.program == nullptr || spec.schedule == nullptr ||
+      spec.kernels == nullptr) {
+    return Status::InvalidArgument(
+        "SessionSpec: program/schedule/kernels must be set");
+  }
+  if (spec.stores.size() != spec.program->arrays().size()) {
+    return Status::InvalidArgument("SessionSpec: one store per array");
+  }
+
+  // ---- footprint: the session's budget and admission reservation -------
+  int64_t footprint = spec.footprint_bytes;
+  if (footprint <= 0) {
+    // The cost model's peak is exact for the serial engine a session runs
+    // on (pinned + retained in scheduled order).
+    const PlanCost cost =
+        EvaluatePlanCost(*spec.program, *spec.schedule, spec.realized);
+    footprint = cost.peak_memory_bytes;
+  }
+  footprint += opts_.footprint_margin_bytes;
+  if (footprint > opts_.pool_cap_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sessions_rejected;
+    return Status::ResourceExhausted(
+        "session footprint " + std::to_string(footprint) +
+        " exceeds the pool cap " + std::to_string(opts_.pool_cap_bytes) +
+        " even running alone");
+  }
+
+  // ---- admission: strict FIFO over footprint reservations --------------
+  // FIFO (no overtaking) is what makes parking livelock-free: the head
+  // ticket needs only completions to shrink reserved_bytes_, never the
+  // progress of sessions queued behind it.
+  SessionStats out;
+  auto wait0 = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const int64_t ticket = next_ticket_++;
+    admit_queue_.push_back(ticket);
+    const bool must_wait =
+        admit_queue_.front() != ticket ||
+        reserved_bytes_ + footprint > opts_.pool_cap_bytes;
+    if (must_wait) {
+      ++stats_.sessions_parked;
+      out.parked_for_admission = true;
+    }
+    admit_cv_.wait(lock, [&] {
+      return admit_queue_.front() == ticket &&
+             reserved_bytes_ + footprint <= opts_.pool_cap_bytes;
+    });
+    admit_queue_.pop_front();
+    reserved_bytes_ += footprint;
+    ++running_sessions_;
+    stats_.peak_reserved_bytes =
+        std::max(stats_.peak_reserved_bytes, reserved_bytes_);
+    stats_.peak_concurrent_sessions =
+        std::max(stats_.peak_concurrent_sessions, running_sessions_);
+    out.session_id = ticket;
+    out.admission_wait_seconds = Since(wait0);
+    stats_.admission_wait_seconds += out.admission_wait_seconds;
+  }
+  // The next queued ticket may also fit (admission is not exclusive).
+  admit_cv_.notify_all();
+
+  // ---- bind the session into the shared pool's namespace ---------------
+  PoolAccount account;
+  account.budget_bytes = footprint;
+  std::vector<int> pool_array_ids(spec.stores.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < spec.stores.size(); ++i) {
+      pool_array_ids[i] = PoolIdFor(spec.stores[i]);
+    }
+  }
+  const int channel = io_->OpenChannel();
+
+  SessionBinding binding;
+  binding.account = &account;
+  binding.pool_array_ids = std::move(pool_array_ids);
+  binding.io = io_.get();
+  binding.io_channel = channel;
+  binding.store_mutexes = io_->store_mutexes();
+  binding.park_timeout_seconds = opts_.park_timeout_seconds;
+
+  ExecOptions eo = spec.exec;
+  eo.shared_pool = &pool_;
+  eo.session = &binding;
+  eo.exec_threads = 1;  // sessions are the parallelism
+  eo.replacement = opts_.replacement;  // informational; the pool decides
+
+  Executor ex(*spec.program, spec.stores, *spec.kernels, eo);
+  auto run = ex.Run(*spec.schedule, spec.realized);
+
+  io_->CloseChannel(channel);
+
+  // ---- release the reservation, merge stats ----------------------------
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reserved_bytes_ -= footprint;
+    --running_sessions_;
+    if (run.ok()) {
+      ++stats_.sessions_completed;
+      stats_.bytes_read += run->bytes_read;
+      stats_.bytes_written += run->bytes_written;
+      stats_.block_reads += run->block_reads;
+      stats_.block_writes += run->block_writes;
+      stats_.prefetch_hits += run->prefetch_hits;
+      stats_.policy_saved_reads += run->policy_saved_reads;
+      stats_.session_parks += run->session_parks;
+      stats_.io_seconds += run->io_seconds;
+      stats_.compute_seconds += run->compute_seconds;
+      stats_.wall_seconds += run->wall_seconds;
+    } else {
+      ++stats_.sessions_failed;
+    }
+  }
+  admit_cv_.notify_all();
+
+  if (!run.ok()) return run.status();
+  out.budget_bytes = footprint;
+  out.peak_charged_bytes =
+      account.peak_charged_bytes.load(std::memory_order_relaxed);
+  out.budget_rejections =
+      account.budget_rejections.load(std::memory_order_relaxed);
+  out.exec = std::move(run).ValueOrDie();
+  return out;
+}
+
+RuntimeStats SessionRuntime::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace riot

@@ -1,6 +1,7 @@
 #include "polyhedral/polyhedron.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.h"
@@ -90,7 +91,16 @@ std::vector<LpConstraint> Polyhedron::ToLpConstraints() const {
 }
 
 bool Polyhedron::IsEmptyRational() const {
-  return !LpFeasible(dim_, ToLpConstraints());
+  auto feasible = LpFeasible(dim_, ToLpConstraints());
+  if (!feasible.ok()) {
+    // Pivot budget exhausted: conservatively report "not proven empty" —
+    // callers fall back to exact integer enumeration or treat the
+    // dependence as live, both of which are safe (never abort).
+    RIOT_LOG(Warning) << "emptiness LP gave up: "
+                      << feasible.status().ToString();
+    return false;
+  }
+  return !*feasible;
 }
 
 bool Polyhedron::IsEmptyInteger() const {
@@ -103,16 +113,31 @@ bool Polyhedron::IsEmptyInteger() const {
   return !found;
 }
 
+namespace {
+// Bound queries feed integer enumeration, where nullopt means "genuinely
+// unbounded" and trips a CHECK in ForEachIntegerPoint — a pivot-budget
+// giving-up must not masquerade as unboundedness there. Engage Bland's
+// rule immediately (guaranteed finite termination, no cycling) and leave
+// the budget effectively unlimited, exactly the pre-budget guarantees.
+LpOptions BoundQueryLpOptions() {
+  LpOptions o;
+  o.max_pivots = std::numeric_limits<int64_t>::max();
+  o.degenerate_pivot_limit = 1;
+  return o;
+}
+}  // namespace
+
 std::optional<Rational> Polyhedron::Minimize(const RVector& objective) const {
-  LpSolution s = SolveLp(dim_, ToLpConstraints(), objective * Rational(-1));
-  if (s.status != LpStatus::kOptimal) return std::nullopt;
-  return -s.objective;
+  auto s = SolveLp(dim_, ToLpConstraints(), objective * Rational(-1),
+                   BoundQueryLpOptions());
+  if (!s.ok() || s->status != LpStatus::kOptimal) return std::nullopt;
+  return -s->objective;
 }
 
 std::optional<Rational> Polyhedron::Maximize(const RVector& objective) const {
-  LpSolution s = SolveLp(dim_, ToLpConstraints(), objective);
-  if (s.status != LpStatus::kOptimal) return std::nullopt;
-  return s.objective;
+  auto s = SolveLp(dim_, ToLpConstraints(), objective, BoundQueryLpOptions());
+  if (!s.ok() || s->status != LpStatus::kOptimal) return std::nullopt;
+  return s->objective;
 }
 
 std::optional<std::pair<int64_t, int64_t>> Polyhedron::IntegerVarBounds(

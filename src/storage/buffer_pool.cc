@@ -156,25 +156,77 @@ Status BufferPool::EnsureCapacityLocked(std::unique_lock<std::mutex>& lock,
 
 Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
                                              int64_t bytes, BlockStore* store,
-                                             bool load, bool* was_resident) {
+                                             bool load, bool* was_resident,
+                                             PoolAccount* account,
+                                             bool coalesce_loads) {
   std::unique_lock<std::mutex> lock(mu_);
   Key key{array_id, block};
   bool counted_miss = false;
+  // Residency is reported for the iteration that actually returns: a hit
+  // iteration may wait (prefetch state, write barrier) and come back to a
+  // miss, and a stale `true` would make a session caller skip loading a
+  // zero-filled frame.
+  if (was_resident != nullptr) *was_resident = false;
   for (;;) {
     auto it = frames_.find(key);
     if (it != frames_.end()) {
-      if (was_resident != nullptr) *was_resident = true;
       Frame& f = it->second;
-      RIOT_CHECK(f.state == FrameState::kRegular)
-          << "Fetch on a block in a prefetch state (adopt/abandon it first)";
+      if (f.state != FrameState::kRegular) {
+        // Within one run the consumer resolves its own pending prefetches
+        // before fetching, so this is reachable only across tenants: some
+        // other session's prefetch owns the frame. Wait for it to adopt
+        // (frame becomes regular) or abandon (frame disappears), then
+        // restart — either way the block's bytes are never read twice.
+        RIOT_CHECK(coalesce_loads)
+            << "Fetch on a block in a prefetch state (adopt/abandon it "
+               "first)";
+        ++stats_.coalesced_loads;
+        load_cv_.wait(lock, [this, &key] {
+          auto it2 = frames_.find(key);
+          return it2 == frames_.end() ||
+                 it2->second.state == FrameState::kRegular;
+        });
+        continue;
+      }
       if (f.discarded) {
         // Garbage contents (failed load) awaiting its holders' release; the
         // run is already failing — refuse rather than hand out zeros.
         return Status::Internal("fetch of a discarded frame (run aborting)");
       }
+      if (account != nullptr && !CountsAsRequired(f)) {
+        // This pin makes the frame newly required: the session pays for it
+        // (a frame another tenant already holds required stays on their
+        // tab — the budget check below never fires for it).
+        const int64_t sz = static_cast<int64_t>(f.data.size());
+        if (account->charged_bytes.load(std::memory_order_relaxed) + sz >
+            account->budget_bytes) {
+          account->budget_rejections.fetch_add(1, std::memory_order_relaxed);
+          return Status::ResourceExhausted(
+              "session budget exceeded: charged " +
+              std::to_string(
+                  account->charged_bytes.load(std::memory_order_relaxed)) +
+              " + " + std::to_string(sz) + " > budget " +
+              std::to_string(account->budget_bytes));
+        }
+        f.account = account;
+      }
       if (!counted_miss) ++stats_.hits;
+      if (was_resident != nullptr) *was_resident = true;
       MutateTracked(&f, [&] { ++f.pins; });
       policy_->OnTouch(key);
+      if (coalesce_loads && f.loading) {
+        // Another session's creator is mid-load; join its disk read
+        // instead of issuing a second one (or observing a torn buffer).
+        ++stats_.coalesced_loads;
+        Frame* fp = &f;
+        load_cv_.wait(lock, [fp] { return !fp->loading || fp->discarded; });
+        if (fp->discarded) {
+          MutateTracked(fp, [&] { --fp->pins; });
+          if (fp->pins == 0) EraseFrameLocked(fp);
+          return Status::Internal(
+              "coalesced load failed in the loading session");
+        }
+      }
       return &f;
     }
     if (pending_writes_.count(key) > 0) {
@@ -182,6 +234,17 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
       // to disk. Wait it out so the load below observes the written data.
       RIOT_RETURN_NOT_OK(WaitWritebackLocked(lock, key));
       continue;  // the wait dropped the lock: re-check residency
+    }
+    if (account != nullptr &&
+        account->charged_bytes.load(std::memory_order_relaxed) + bytes >
+            account->budget_bytes) {
+      account->budget_rejections.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "session budget exceeded: charged " +
+          std::to_string(
+              account->charged_bytes.load(std::memory_order_relaxed)) +
+          " + " + std::to_string(bytes) + " > budget " +
+          std::to_string(account->budget_bytes));
     }
     if (!counted_miss) {
       ++stats_.misses;
@@ -212,12 +275,59 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
     RIOT_RETURN_NOT_OK(store->ReadBlock(block, f.data.data()));
   }
   f.pins = 1;
+  f.loading = coalesce_loads && !load;  // caller fills it, then MarkLoaded
   used_bytes_ += bytes;
   required_bytes_ += bytes;
+  if (account != nullptr) {
+    f.account = account;
+    const int64_t c =
+        account->charged_bytes.load(std::memory_order_relaxed) + bytes;
+    account->charged_bytes.store(c, std::memory_order_relaxed);
+    if (c > account->peak_charged_bytes.load(std::memory_order_relaxed)) {
+      account->peak_charged_bytes.store(c, std::memory_order_relaxed);
+    }
+  }
   auto [ins, ok] = frames_.emplace(key, std::move(f));
   RIOT_CHECK(ok);
   policy_->OnTouch(key);
   return &ins->second;
+}
+
+void BufferPool::DetachAccount(PoolAccount* account) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, f] : frames_) {
+    if (f.account == account) {
+      // Uncharge without a required-ness transition: the frame stays
+      // required on its other holders' pins/retentions, just no longer on
+      // this (dying) tab. The next claimant pays for it.
+      account->charged_bytes.fetch_sub(static_cast<int64_t>(f.data.size()),
+                                       std::memory_order_relaxed);
+      f.account = nullptr;
+    }
+    if (!f.retentions.empty()) {
+      // Defensive: the run's end-of-run ReleaseRetainedBefore already
+      // released these; never leave a dangling owner pointer behind.
+      MutateTracked(&f, [&] {
+        auto& rs = f.retentions;
+        rs.erase(std::remove_if(rs.begin(), rs.end(),
+                                [&](const Retention& r) {
+                                  return r.owner == account;
+                                }),
+                 rs.end());
+      });
+    }
+  }
+}
+
+void BufferPool::MarkLoaded(Frame* frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RIOT_CHECK(frame->loading);
+    RIOT_CHECK_GT(frame->pins, 0) << "MarkLoaded on an unpinned frame";
+    // Pinned before and after: no evictability/required transition.
+    frame->loading = false;
+  }
+  load_cv_.notify_all();
 }
 
 void BufferPool::EraseFrameLocked(Frame* frame) {
@@ -235,21 +345,34 @@ void BufferPool::Unpin(Frame* frame) {
 }
 
 void BufferPool::Discard(Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
-  RIOT_CHECK_GT(frame->pins, 0);
-  MutateTracked(frame, [&] {
-    --frame->pins;
-    frame->discarded = true;
-    frame->retain_until_group = -1;  // nothing may keep garbage alive
-  });
-  if (frame->pins == 0) EraseFrameLocked(frame);
+  bool was_loading = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RIOT_CHECK_GT(frame->pins, 0);
+    was_loading = frame->loading;
+    MutateTracked(frame, [&] {
+      --frame->pins;
+      frame->discarded = true;
+      frame->loading = false;  // the load failed; waiters must not hang
+      frame->retentions.clear();  // nothing may keep garbage alive
+    });
+    if (frame->pins == 0) EraseFrameLocked(frame);
+  }
+  // Coalesced-load waiters check `discarded` when woken and bail out.
+  if (was_loading) load_cv_.notify_all();
 }
 
-void BufferPool::Retain(Frame* frame, int64_t until_group) {
+void BufferPool::Retain(Frame* frame, int64_t until_group,
+                        const PoolAccount* owner) {
   std::lock_guard<std::mutex> lock(mu_);
   MutateTracked(frame, [&] {
-    frame->retain_until_group =
-        std::max(frame->retain_until_group, until_group);
+    for (Retention& r : frame->retentions) {
+      if (r.owner == owner) {
+        r.until_group = std::max(r.until_group, until_group);
+        return;
+      }
+    }
+    frame->retentions.push_back(Retention{owner, until_group});
   });
 }
 
@@ -258,12 +381,23 @@ void BufferPool::MarkClean(Frame* frame) {
   frame->dirty = false;
 }
 
-void BufferPool::ReleaseRetainedBefore(int64_t group) {
+void BufferPool::ReleaseRetainedBefore(int64_t group,
+                                       const PoolAccount* owner) {
   std::lock_guard<std::mutex> lock(mu_);
+  // O(frames) under mu_ per group boundary; fine while retention counts
+  // are small. If multi-tenant profiles ever show this scan hot, keep a
+  // per-owner index of retained keys instead of walking every frame.
   for (auto& [key, f] : frames_) {
-    if (f.retain_until_group >= 0 && f.retain_until_group < group) {
-      MutateTracked(&f, [&] { f.retain_until_group = -1; });
-    }
+    if (!f.retained()) continue;
+    MutateTracked(&f, [&] {
+      auto& rs = f.retentions;
+      rs.erase(std::remove_if(rs.begin(), rs.end(),
+                              [&](const Retention& r) {
+                                return r.owner == owner &&
+                                       r.until_group < group;
+                              }),
+               rs.end());
+    });
   }
 }
 
@@ -277,14 +411,21 @@ void BufferPool::BindUsePlan(std::shared_ptr<const BlockUseMap> uses) {
   policy_->BindUsePlan(std::move(uses));
 }
 
-void BufferPool::UnbindUsePlan() {
+void BufferPool::UnbindUsePlan(
+    const std::shared_ptr<const BlockUseMap>& uses) {
   std::lock_guard<std::mutex> lock(mu_);
-  policy_->UnbindUsePlan();
+  policy_->UnbindUsePlan(uses);
 }
 
 void BufferPool::AdvanceReplacementClock(int64_t pos) {
   std::lock_guard<std::mutex> lock(mu_);
-  policy_->AdvanceClock(pos);
+  policy_->AdvanceClock(nullptr, pos);
+}
+
+void BufferPool::AdvanceReplacementClock(
+    const std::shared_ptr<const BlockUseMap>& uses, int64_t pos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_->AdvanceClock(uses, pos);
 }
 
 void BufferPool::SetWriteBehind(IoPool* io) {
@@ -328,7 +469,7 @@ BufferPool::Frame* BufferPool::TryStartPrefetch(int array_id, int64_t block,
     // are untouchable — decline instead.
     Frame& f = it->second;
     if (f.state != FrameState::kRegular || f.pins > 0 ||
-        f.retain_until_group >= 0 || f.dirty) {
+        f.retained() || f.dirty) {
       ++stats_.prefetch_declined;
       return nullptr;
     }
@@ -366,24 +507,33 @@ void BufferPool::CompletePrefetch(Frame* frame) {
   MutateTracked(frame, [&] { frame->state = FrameState::kPrefetched; });
 }
 
-BufferPool::Frame* BufferPool::AdoptPrefetched(Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
-  RIOT_CHECK(frame->state == FrameState::kPrefetched);
-  prefetch_bytes_ -= static_cast<int64_t>(frame->data.size());
-  MutateTracked(frame, [&] {
-    frame->state = FrameState::kRegular;
-    frame->pins = 1;
-  });
-  policy_->OnTouch({frame->array_id, frame->block});
+BufferPool::Frame* BufferPool::AdoptPrefetched(Frame* frame,
+                                               PoolAccount* account) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RIOT_CHECK(frame->state == FrameState::kPrefetched);
+    prefetch_bytes_ -= static_cast<int64_t>(frame->data.size());
+    if (account != nullptr) frame->account = account;
+    MutateTracked(frame, [&] {
+      frame->state = FrameState::kRegular;
+      frame->pins = 1;
+    });
+    policy_->OnTouch({frame->array_id, frame->block});
+  }
+  // Cross-tenant fetches of this block wait out the prefetch state.
+  load_cv_.notify_all();
   return frame;
 }
 
 void BufferPool::AbandonPrefetch(Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
-  RIOT_CHECK(frame->state == FrameState::kPrefetched);
-  prefetch_bytes_ -= static_cast<int64_t>(frame->data.size());
-  ++stats_.prefetch_abandoned;
-  EraseFrameLocked(frame);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RIOT_CHECK(frame->state == FrameState::kPrefetched);
+    prefetch_bytes_ -= static_cast<int64_t>(frame->data.size());
+    ++stats_.prefetch_abandoned;
+    EraseFrameLocked(frame);
+  }
+  load_cv_.notify_all();
 }
 
 void BufferPool::SetPrefetchBudget(int64_t bytes) {
@@ -401,11 +551,28 @@ void BufferPool::Drop(int array_id, int64_t block) {
   auto it = frames_.find({array_id, block});
   if (it == frames_.end()) return;
   Frame& f = it->second;
-  if (f.pins > 0 || f.retain_until_group >= 0 ||
+  if (f.pins > 0 || f.retained() ||
       f.state != FrameState::kRegular) {
     return;
   }
   EraseFrameLocked(&f);
+}
+
+int64_t BufferPool::DropArrayFrames(int array_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t kept = 0;
+  for (auto it = frames_.lower_bound({array_id, 0});
+       it != frames_.end() && it->first.first == array_id;) {
+    Frame& f = it->second;
+    ++it;  // EraseFrameLocked invalidates the current iterator
+    if (f.pins > 0 || f.retained() ||
+        f.state != FrameState::kRegular || f.loading) {
+      ++kept;
+      continue;
+    }
+    EraseFrameLocked(&f);
+  }
+  return kept;
 }
 
 Status BufferPool::FlushAll() {
@@ -457,6 +624,21 @@ int64_t BufferPool::PinnedOrRetainedBytes() const {
 BufferPoolStats BufferPool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+BufferPoolSnapshot BufferPool::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferPoolSnapshot s;
+  s.stats = stats_;
+  s.used_bytes = used_bytes_;
+  s.required_bytes = required_bytes_;
+  s.prefetch_bytes = prefetch_bytes_;
+  s.writeback_inflight_bytes = writeback_inflight_bytes_;
+  s.pending_writebacks = static_cast<int64_t>(pending_writes_.size());
+  for (const auto& [key, f] : frames_) {
+    if (f.pins > 0) ++s.pinned_frames;
+  }
+  return s;
 }
 
 }  // namespace riot

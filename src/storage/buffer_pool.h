@@ -38,6 +38,8 @@
 #ifndef RIOTSHARE_STORAGE_BUFFER_POOL_H_
 #define RIOTSHARE_STORAGE_BUFFER_POOL_H_
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -53,6 +55,30 @@ namespace riot {
 
 class IoPool;
 
+/// \brief Per-session ledger of the shared pool's *required* bytes (pinned
+/// or retained frames) attributable to one tenant. A Fetch/adoption that
+/// would lift the tenant's charge above `budget_bytes` is refused with
+/// kResourceExhausted instead of eating into other tenants' slices. A frame
+/// is charged to the account that made it required and uncharged when it
+/// stops being required; a frame another tenant already holds required is
+/// not double-charged (cross-session sharing is free for the second
+/// reader). All mutations happen under the owning pool's mutex; the
+/// atomics let the session runtime and tests read without it.
+///
+/// Known approximation: the first claimant stays charged for a shared
+/// frame until the frame stops being required — even after the claimant
+/// itself unpinned it — because pins carry no owner identity. A tenant
+/// can therefore be transiently over-charged for a frame only a neighbor
+/// still holds; its fetches park-and-retry through the inflated window
+/// (bounded by the neighbor's retention lifetime and the park timeout)
+/// and the budget bound itself is never exceeded.
+struct PoolAccount {
+  int64_t budget_bytes = 0;  // immutable while the account is in use
+  std::atomic<int64_t> charged_bytes{0};
+  std::atomic<int64_t> peak_charged_bytes{0};
+  std::atomic<int64_t> budget_rejections{0};  // fetches refused over budget
+};
+
 struct BufferPoolStats {
   int64_t hits = 0;
   int64_t misses = 0;
@@ -67,6 +93,26 @@ struct BufferPoolStats {
   int64_t prefetch_declined = 0;  // no budget/room without touching
                                   // protected frames
   int64_t prefetch_abandoned = 0;  // issued but never adopted
+  /// Cross-session load coalescing: fetches that waited out (or joined)
+  /// another caller's in-flight load of the same block instead of issuing
+  /// a second disk read.
+  int64_t coalesced_loads = 0;
+};
+
+/// \brief One consistent view of the pool: counters plus the frame-state
+/// aggregates they are usually compared against, all captured under a
+/// single lock acquisition. Reading stats() and used_bytes()/
+/// PinnedFrames() as separate calls can interleave with write-behind
+/// callbacks and concurrent fetches, observing counters mid-update
+/// relative to frame state; invariant checks must go through Snapshot().
+struct BufferPoolSnapshot {
+  BufferPoolStats stats;
+  int64_t used_bytes = 0;
+  int64_t required_bytes = 0;       // pinned or retained regular frames
+  int64_t prefetch_bytes = 0;       // frames in prefetch states
+  int64_t pinned_frames = 0;
+  int64_t writeback_inflight_bytes = 0;
+  int64_t pending_writebacks = 0;   // in-flight or failed-and-poisoned
 };
 
 class BufferPool {
@@ -77,19 +123,47 @@ class BufferPool {
   /// kPrefetched frames hold completed prefetch data awaiting adoption.
   enum class FrameState { kRegular, kPrefetching, kPrefetched };
 
+  /// One owner's keep-until-reuse obligation on a frame. Group indices are
+  /// only comparable within one run, so a shared multi-tenant frame keeps
+  /// one entry per owner (the session's PoolAccount; nullptr for solo
+  /// runs) — tenant A completing its group 5 must never release tenant
+  /// B's "retain until group 5", which counts in a different program's
+  /// numbering.
+  struct Retention {
+    const PoolAccount* owner = nullptr;
+    int64_t until_group = -1;
+  };
+
   struct Frame {
     int array_id = -1;
     int64_t block = -1;
     std::vector<uint8_t> data;
     bool dirty = false;
     int pins = 0;
-    /// Retained until all groups <= retain_until_group complete; -1 = none.
-    int64_t retain_until_group = -1;
+    /// Per-owner keep-until-reuse obligations; empty = unretained. At most
+    /// one entry per owner (Retain merges by max until_group).
+    std::vector<Retention> retentions;
+    bool retained() const { return !retentions.empty(); }
+    /// Legacy view: the farthest until_group across owners; -1 when none.
+    int64_t retain_until_group() const {
+      int64_t m = -1;
+      for (const Retention& r : retentions) m = std::max(m, r.until_group);
+      return m;
+    }
     BlockStore* store = nullptr;  // for dirty write-back on eviction
     FrameState state = FrameState::kRegular;
     /// Contents are garbage (e.g. a failed load): the frame is dropped when
     /// its last pin releases, and Fetch refuses to hand it out meanwhile.
     bool discarded = false;
+    /// A coalescing creator (Fetch with coalesce_loads, miss) is filling
+    /// this frame from disk; concurrent coalescing fetches of the block
+    /// wait for MarkLoaded (or Discard) instead of reading garbage or
+    /// issuing a duplicate disk read. Loading frames are pinned by their
+    /// creator and never evictable.
+    bool loading = false;
+    /// Session the frame's required bytes are charged to; nullptr when
+    /// unrequired or claimed without an account.
+    PoolAccount* account = nullptr;
   };
 
   /// `policy` decides eviction order; nullptr = LRU (the historical
@@ -109,23 +183,49 @@ class BufferPool {
   /// (a separate Probe could race with an eviction in between).
   /// A miss on a block whose write-behind is still in flight waits for the
   /// pending write first (and surfaces its error, if it failed).
+  /// `account`, when set, charges the session ledger for newly-required
+  /// bytes and refuses the fetch (kResourceExhausted) past its budget.
+  /// `coalesce_loads` (multi-tenant runs) makes a miss mark the frame
+  /// `loading` — the caller MUST fill it and call MarkLoaded (or Discard
+  /// on failure) — and makes a hit on a loading frame wait for that load,
+  /// so two sessions fetching the same block coalesce on one disk read.
   Result<Frame*> Fetch(int array_id, int64_t block, int64_t bytes,
                        BlockStore* store, bool load,
-                       bool* was_resident = nullptr);
+                       bool* was_resident = nullptr,
+                       PoolAccount* account = nullptr,
+                       bool coalesce_loads = false);
 
   /// Frame lookup without side effects; nullptr if absent.
   Frame* Probe(int array_id, int64_t block);
 
   void Unpin(Frame* frame);
+  /// Completes a coalesced load (Fetch with coalesce_loads that missed):
+  /// clears the loading mark and wakes waiters. Call after filling
+  /// frame->data, before Unpin.
+  void MarkLoaded(Frame* frame);
+  /// Severs every reference to `account` from the pool: frames still
+  /// charged to it are uncharged and orphaned (a shared frame another
+  /// tenant keeps required would otherwise hold the pointer past the
+  /// owning session's lifetime — the account is typically stack-allocated
+  /// per run), and any retention entries it owns are released. The
+  /// executor calls this in its session cleanup; after it returns the
+  /// account object may be destroyed.
+  void DetachAccount(PoolAccount* account);
   /// Unpin for a frame whose contents must not outlive the caller: marks it
   /// discarded and erases it once the last pin drops (other holders erase
   /// it through their own Unpin/Discard). Used when a load into the frame
   /// failed — a zero/garbage-filled frame must never linger as apparently
   /// clean cache — and when a rolled-back write target was never loaded.
   void Discard(Frame* frame);
-  void Retain(Frame* frame, int64_t until_group);
-  /// Releases every retention that expired strictly before `group`.
-  void ReleaseRetainedBefore(int64_t group);
+  /// Retains on behalf of `owner` (one entry per owner, merged by max;
+  /// nullptr = the solo-run owner — bit-for-bit the historical behavior).
+  void Retain(Frame* frame, int64_t until_group,
+              const PoolAccount* owner = nullptr);
+  /// Releases every retention of `owner` that expired strictly before
+  /// `group`; other owners' retentions (their group indices live in other
+  /// programs' numberings) are untouched.
+  void ReleaseRetainedBefore(int64_t group,
+                             const PoolAccount* owner = nullptr);
   /// Clears the dirty flag under the pool lock (the executor's
   /// write-through makes the in-memory copy match disk; worker threads must
   /// not touch the flag unsynchronized while eviction scans run).
@@ -137,9 +237,18 @@ class BufferPool {
   /// lock. No-ops for history-based policies; for ScheduleOpt the executor
   /// binds the plan's per-block future-use positions before a run, advances
   /// the clock as statement instances complete, and unbinds afterwards.
+  /// Binds may nest (concurrent sessions over one shared pool): while
+  /// exactly one plan is bound, ScheduleOpt applies its Belady bindings;
+  /// with zero or several bound, it degrades to LRU order so one tenant's
+  /// future-use positions never drive another tenant's evictions. Unbind
+  /// with the same pointer that was bound (nullptr = newest, the legacy
+  /// single-binder call).
   void BindUsePlan(std::shared_ptr<const BlockUseMap> uses);
-  void UnbindUsePlan();
+  void UnbindUsePlan(const std::shared_ptr<const BlockUseMap>& uses = nullptr);
+  /// Advances plan `uses`'s clock (nullptr = the sole bound plan).
   void AdvanceReplacementClock(int64_t pos);
+  void AdvanceReplacementClock(const std::shared_ptr<const BlockUseMap>& uses,
+                               int64_t pos);
 
   // --------------------------------------------------------- write-behind
   /// Routes dirty eviction write-backs through `io`'s write workers
@@ -164,8 +273,10 @@ class BufferPool {
   /// I/O completed: kPrefetching -> kPrefetched.
   void CompletePrefetch(Frame* frame);
   /// Hands a kPrefetched frame to the execution thread: the frame becomes
-  /// a pinned regular frame, exactly as if Fetch had loaded it.
-  Frame* AdoptPrefetched(Frame* frame);
+  /// a pinned regular frame, exactly as if Fetch had loaded it. `account`
+  /// charges the newly-required bytes to the session (the caller checks
+  /// its budget before adopting; adoption itself never refuses).
+  Frame* AdoptPrefetched(Frame* frame, PoolAccount* account = nullptr);
   /// Gives up on a completed prefetch: the frame is dropped from the pool
   /// entirely (never demoted to cache — a failed or stale prefetch must
   /// not be able to satisfy a later probe).
@@ -180,6 +291,14 @@ class BufferPool {
   /// legitimately diverged from disk (saved/elided writes), so a shared
   /// pool only ever carries cache that mirrors the stores.
   void Drop(int array_id, int64_t block);
+
+  /// Drops every droppable (clean, unpinned, unretained, regular) frame of
+  /// `array_id`. The session runtime calls this before a tenant's
+  /// BlockStore is destroyed so a later store at the same address can
+  /// never alias stale cache; callers must DrainWritebacks first if the
+  /// array may have dirty history. Returns the number of frames of the
+  /// array that could NOT be dropped (still pinned/retained/in prefetch).
+  int64_t DropArrayFrames(int array_id);
 
   /// Drops a clean frame / writes back a dirty one, then drops it. Drains
   /// in-flight write-behind first.
@@ -197,6 +316,10 @@ class BufferPool {
   int64_t PinnedOrRetainedBytes() const;
   int64_t cap_bytes() const { return cap_bytes_; }
   BufferPoolStats stats() const;
+  /// Counters and frame-state aggregates under ONE lock acquisition (see
+  /// BufferPoolSnapshot) — the only way to compare them consistently while
+  /// I/O workers and write-behind callbacks are live.
+  BufferPoolSnapshot Snapshot() const;
 
  private:
   using Key = PoolKey;
@@ -221,15 +344,15 @@ class BufferPool {
   Status DrainWritebacksLocked(std::unique_lock<std::mutex>& lock);
   void EraseFrameLocked(Frame* frame);
   static bool CountsAsRequired(const Frame& f) {
-    return f.state == FrameState::kRegular &&
-           (f.pins > 0 || f.retain_until_group >= 0);
+    return f.state == FrameState::kRegular && (f.pins > 0 || f.retained());
   }
   static bool IsEvictable(const Frame& f) {
     return f.state == FrameState::kRegular && f.pins == 0 &&
-           f.retain_until_group < 0 && !f.discarded;
+           !f.retained() && !f.discarded && !f.loading;
   }
   /// Call around any mutation of pins/retention/state to keep the
-  /// required-bytes counter exact and the policy's evictable set current.
+  /// required-bytes counter, the per-account ledgers, and the policy's
+  /// evictable set current.
   template <typename Fn>
   void MutateTracked(Frame* f, Fn&& fn) {
     const bool before = CountsAsRequired(*f);
@@ -238,7 +361,24 @@ class BufferPool {
     const bool after = CountsAsRequired(*f);
     const bool after_ev = IsEvictable(*f);
     if (before != after) {
-      required_bytes_ += (after ? 1 : -1) * static_cast<int64_t>(f->data.size());
+      const int64_t sz = static_cast<int64_t>(f->data.size());
+      required_bytes_ += (after ? 1 : -1) * sz;
+      if (f->account != nullptr) {
+        // Under mu_: relaxed atomics suffice (atomicity is only for
+        // lock-free readers outside the pool).
+        PoolAccount* a = f->account;
+        const int64_t c =
+            a->charged_bytes.load(std::memory_order_relaxed) +
+            (after ? sz : -sz);
+        a->charged_bytes.store(c, std::memory_order_relaxed);
+        if (after) {
+          if (c > a->peak_charged_bytes.load(std::memory_order_relaxed)) {
+            a->peak_charged_bytes.store(c, std::memory_order_relaxed);
+          }
+        } else {
+          f->account = nullptr;  // the next claimant pays for it
+        }
+      }
     }
     if (before_ev != after_ev) {
       const Key key{f->array_id, f->block};
@@ -262,6 +402,7 @@ class BufferPool {
   int64_t writeback_inflight_bytes_ = 0;
   std::map<Key, std::shared_ptr<PendingWrite>> pending_writes_;
   std::condition_variable writeback_cv_;
+  std::condition_variable load_cv_;  // coalesced-load completion
   BufferPoolStats stats_;
 };
 

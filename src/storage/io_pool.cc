@@ -8,6 +8,7 @@ namespace riot {
 
 IoPool::IoPool(int num_threads) {
   RIOT_CHECK_GT(num_threads, 0);
+  channels_.emplace(0, Channel{});  // the default channel always exists
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -23,54 +24,108 @@ IoPool::~IoPool() {
   for (auto& w : workers_) w.join();
 }
 
+int IoPool::OpenChannel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RIOT_CHECK(!stop_);
+  int id = next_channel_++;
+  channels_.emplace(id, Channel{});
+  return id;
+}
+
+void IoPool::CloseChannel(int channel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RIOT_CHECK(channel != 0) << "channel 0 cannot be closed";
+  auto it = channels_.find(channel);
+  RIOT_CHECK(it != channels_.end()) << "CloseChannel on unknown channel";
+  RIOT_CHECK_EQ(it->second.outstanding, 0)
+      << "CloseChannel with outstanding reads";
+  RIOT_CHECK_EQ(it->second.queued, 0)
+      << "CloseChannel with queued requests";
+  channels_.erase(it);
+}
+
 void IoPool::ReadBlockAsync(BlockStore* store, int64_t block, void* buf,
-                            uint64_t tag) {
+                            uint64_t tag, int channel) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     RIOT_CHECK(!stop_);
+    Channel& ch = channels_.at(channel);
     Request req;
     req.store = store;
     req.block = block;
     req.buf = buf;
     req.tag = tag;
-    queue_.push_back(std::move(req));
-    ++outstanding_;
+    req.channel = channel;
+    ch.queue.push_back(std::move(req));
+    ++ch.queued;
+    ++ch.outstanding;
+    ++queued_total_;
   }
   work_cv_.notify_one();
 }
 
 void IoPool::WriteBlockAsync(BlockStore* store, int64_t block,
                              const void* buf,
-                             std::function<void(Status)> on_done) {
+                             std::function<void(Status)> on_done,
+                             int channel) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     RIOT_CHECK(!stop_);
+    Channel& ch = channels_.at(channel);
     Request req;
     req.store = store;
     req.block = block;
     req.write_buf = buf;
+    req.channel = channel;
     req.is_write = true;
     req.on_done = std::move(on_done);
-    // Writes do not bump outstanding_: that counter feeds WaitCompletion,
+    // Writes do not bump outstanding: that counter feeds WaitCompletion,
     // whose consumers only ever expect read completions.
-    queue_.push_back(std::move(req));
+    ch.queue.push_back(std::move(req));
+    ++ch.queued;
+    ++queued_total_;
   }
   work_cv_.notify_one();
 }
 
-IoPool::Completion IoPool::WaitCompletion() {
+IoPool::Completion IoPool::WaitCompletion(int channel) {
   std::unique_lock<std::mutex> lock(mu_);
-  RIOT_CHECK_GT(outstanding_, 0) << "WaitCompletion with nothing submitted";
-  done_cv_.wait(lock, [this] { return !done_.empty(); });
-  Completion c = std::move(done_.front());
-  done_.pop_front();
-  --outstanding_;
+  Channel& ch = channels_.at(channel);
+  RIOT_CHECK_GT(ch.outstanding, 0) << "WaitCompletion with nothing submitted";
+  done_cv_.wait(lock, [&ch] { return !ch.done.empty(); });
+  Completion c = std::move(ch.done.front());
+  ch.done.pop_front();
+  --ch.outstanding;
   return c;
 }
 
-int64_t IoPool::outstanding() const {
+int64_t IoPool::outstanding(int channel) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return outstanding_;
+  auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.outstanding;
+}
+
+bool IoPool::PopNextLocked(Request* out) {
+  if (queued_total_ == 0) return false;
+  // Fair-share: start just past the channel served last and take the first
+  // pending request in channel-id ring order, so every tenant's stream
+  // advances before any stream gets a second turn.
+  auto it = channels_.upper_bound(rr_cursor_);
+  for (size_t scanned = 0; scanned <= channels_.size(); ++scanned) {
+    if (it == channels_.end()) it = channels_.begin();
+    Channel& ch = it->second;
+    if (!ch.queue.empty()) {
+      *out = std::move(ch.queue.front());
+      ch.queue.pop_front();
+      --ch.queued;
+      --queued_total_;
+      rr_cursor_ = it->first;
+      return true;
+    }
+    ++it;
+  }
+  RIOT_CHECK(false) << "queued_total_ out of sync with channel queues";
+  return false;
 }
 
 void IoPool::WorkerLoop() {
@@ -79,10 +134,8 @@ void IoPool::WorkerLoop() {
     std::shared_ptr<std::mutex> serial;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and queue drained
-      req = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this] { return stop_ || queued_total_ > 0; });
+      if (!PopNextLocked(&req)) return;  // stop_ set and queues drained
     }
     serial = store_mutexes_.mutex_for(req.store);
     Status st;
@@ -106,9 +159,10 @@ void IoPool::WorkerLoop() {
     reads_completed_.fetch_add(1);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      done_.push_back({req.tag, std::move(st)});
+      // The channel cannot have been closed: it has this outstanding read.
+      channels_.at(req.channel).done.push_back({req.tag, std::move(st)});
     }
-    done_cv_.notify_one();
+    done_cv_.notify_all();
   }
 }
 

@@ -14,6 +14,14 @@
 // eviction victims (spills) to the same workers via WriteBlockAsync, whose
 // completion is delivered through a caller callback instead of the read
 // completion queue (the queue's consumers only ever expect reads).
+//
+// Channels make one pool shareable between concurrent consumers (the
+// session runtime's tenants): each channel is an independent submission
+// stream with its own completion queue — a consumer draining channel c can
+// never observe another channel's completions — and the workers pop
+// pending requests round-robin *across* channels, so one tenant's deep
+// prefetch lookahead cannot starve another's. Channel 0 always exists;
+// every legacy single-consumer call defaults to it.
 #ifndef RIOTSHARE_STORAGE_IO_POOL_H_
 #define RIOTSHARE_STORAGE_IO_POOL_H_
 
@@ -67,11 +75,20 @@ class IoPool {
   IoPool(const IoPool&) = delete;
   IoPool& operator=(const IoPool&) = delete;
 
+  /// Opens a fresh submission/completion channel (ids are never reused).
+  /// Requests submitted on it complete only into its queue, and the
+  /// workers service channels round-robin. Close it when its last read
+  /// completion has been consumed.
+  int OpenChannel();
+  /// Closes a channel opened with OpenChannel. Must have no outstanding
+  /// reads. Channel 0 cannot be closed.
+  void CloseChannel(int channel);
+
   /// Enqueues store->ReadBlock(block, buf). `buf` must stay valid (and
   /// untouched) until the matching completion is consumed. `tag` is echoed
-  /// back verbatim.
+  /// back verbatim (tags are per-channel: two channels may reuse a tag).
   void ReadBlockAsync(BlockStore* store, int64_t block, void* buf,
-                      uint64_t tag);
+                      uint64_t tag, int channel = 0);
 
   /// Enqueues store->WriteBlock(block, buf) and invokes `on_done` with the
   /// write's Status from a worker thread once it lands. `buf` must stay
@@ -82,15 +99,15 @@ class IoPool {
   /// other's completions. `on_done` runs without pool-internal locks held;
   /// it may take its own locks but must not call back into this IoPool.
   void WriteBlockAsync(BlockStore* store, int64_t block, const void* buf,
-                       std::function<void(Status)> on_done);
+                       std::function<void(Status)> on_done, int channel = 0);
 
-  /// Blocks until the next completion is available (completion order, not
-  /// submission order). Must only be called when at least one submitted
-  /// read has not yet been waited for.
-  Completion WaitCompletion();
+  /// Blocks until the channel's next completion is available (completion
+  /// order, not submission order). Must only be called when at least one
+  /// read submitted on the channel has not yet been waited for.
+  Completion WaitCompletion(int channel = 0);
 
-  /// Submitted reads whose completion has not been consumed yet.
-  int64_t outstanding() const;
+  /// Reads submitted on the channel whose completion has not been consumed.
+  int64_t outstanding(int channel = 0) const;
 
   /// The serialization mutex for `store`. Callers performing their own
   /// synchronous reads/writes on a store that also has async reads in
@@ -122,19 +139,31 @@ class IoPool {
     void* buf = nullptr;            // read target
     const void* write_buf = nullptr;  // write source (is_write)
     uint64_t tag = 0;
+    int channel = 0;
     bool is_write = false;
     std::function<void(Status)> on_done;  // write completion callback
   };
 
+  struct Channel {
+    std::deque<Request> queue;
+    std::deque<Completion> done;
+    int64_t outstanding = 0;  // submitted reads not yet waited for
+    int64_t queued = 0;       // requests (reads and writes) not yet popped
+  };
+
   void WorkerLoop();
+  /// Pops the next request round-robin across non-empty channels; false
+  /// when every channel queue is empty. Caller holds mu_.
+  bool PopNextLocked(Request* out);
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::deque<Request> queue_;
-  std::deque<Completion> done_;
+  std::map<int, Channel> channels_;
+  int next_channel_ = 1;
+  int rr_cursor_ = 0;  // channel id the next pop starts after
+  int64_t queued_total_ = 0;
   StoreMutexMap store_mutexes_;
-  int64_t outstanding_ = 0;
   bool stop_ = false;
   std::atomic<int64_t> read_nanos_{0};
   std::atomic<int64_t> reads_completed_{0};

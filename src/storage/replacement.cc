@@ -208,19 +208,47 @@ class ScheduleOptPolicy : public ReplacementPolicy {
   }
 
   void BindUsePlan(std::shared_ptr<const BlockUseMap> uses) override {
-    uses_ = std::move(uses);
-    clock_ = 0;
-    RecomputeAll();
+    bound_.push_back(BoundPlan{std::move(uses), 0});
+    Reactivate();
   }
 
-  void UnbindUsePlan() override {
-    uses_.reset();
-    clock_ = 0;
-    RecomputeAll();
+  void UnbindUsePlan(
+      const std::shared_ptr<const BlockUseMap>& uses) override {
+    if (bound_.empty()) return;
+    if (uses == nullptr) {
+      bound_.pop_back();
+    } else {
+      for (auto it = bound_.rbegin(); it != bound_.rend(); ++it) {
+        if (it->uses == uses) {
+          bound_.erase(std::next(it).base());
+          break;
+        }
+      }
+    }
+    Reactivate();
   }
 
-  void AdvanceClock(int64_t pos) override {
-    clock_ = std::max(clock_, pos);
+  void AdvanceClock(const std::shared_ptr<const BlockUseMap>& uses,
+                    int64_t pos) override {
+    BoundPlan* plan = nullptr;
+    if (uses == nullptr) {
+      if (bound_.size() != 1) return;  // no unambiguous active plan
+      plan = &bound_.front();
+    } else {
+      for (BoundPlan& b : bound_) {
+        if (b.uses == uses) {
+          plan = &b;
+          break;
+        }
+      }
+      if (plan == nullptr) return;
+    }
+    plan->clock = std::max(plan->clock, pos);
+    // Only the sole bound plan drives eviction order; a co-tenant's
+    // progress is bookkept above but must not move the active clock.
+    if (bound_.size() == 1 && plan == &bound_.front()) {
+      clock_ = std::max(clock_, plan->clock);
+    }
   }
 
  private:
@@ -279,6 +307,26 @@ class ScheduleOptPolicy : public ReplacementPolicy {
     }
   }
 
+  /// Applies the sole bound plan (or none): cached next uses from a
+  /// previous active plan are garbage under a new one, so every
+  /// activation change recomputes from scratch.
+  void Reactivate() {
+    if (bound_.size() == 1) {
+      uses_ = bound_.front().uses;
+      clock_ = bound_.front().clock;
+    } else {
+      uses_.reset();
+      clock_ = 0;
+    }
+    RecomputeAll();
+  }
+
+  struct BoundPlan {
+    std::shared_ptr<const BlockUseMap> uses;
+    int64_t clock = 0;
+  };
+
+  std::vector<BoundPlan> bound_;
   std::shared_ptr<const BlockUseMap> uses_;
   int64_t clock_ = 0;
   uint64_t next_seq_ = 0;

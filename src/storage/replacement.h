@@ -81,15 +81,30 @@ class ReplacementPolicy {
 
   // ----------------------------------------------- schedule-driven hooks
   // No-ops for history-based policies; ScheduleOpt overrides.
-  /// Installs the plan's future-use positions; resets the clock to 0.
+  /// Installs a plan's future-use positions. Binds nest (concurrent
+  /// sessions over one shared pool): Belady ordering applies only while
+  /// exactly one plan is bound — with several, position spaces from
+  /// different programs are incomparable, so the policy degrades to LRU
+  /// order rather than letting one tenant's bindings evict another's
+  /// frames. Each plan's clock is tracked per bind, so a plan that
+  /// becomes the sole survivor resumes exact Belady from its own
+  /// progress.
   virtual void BindUsePlan(std::shared_ptr<const BlockUseMap> uses) {
     (void)uses;
   }
-  /// Removes the bound plan (the policy falls back to LRU order).
-  virtual void UnbindUsePlan() {}
-  /// All uses at statement-instance positions < `pos` are in the past;
-  /// `pos` itself is the instance currently executing. Monotonic.
-  virtual void AdvanceClock(int64_t pos) { (void)pos; }
+  /// Removes a bound plan: the one matching `uses`, or the newest when
+  /// `uses` is nullptr (the legacy single-binder call).
+  virtual void UnbindUsePlan(const std::shared_ptr<const BlockUseMap>& uses) {
+    (void)uses;
+  }
+  /// All of plan `uses`'s uses at statement-instance positions < `pos` are
+  /// in the past; `pos` itself is the instance currently executing.
+  /// Monotonic per plan. nullptr addresses the active (sole) plan.
+  virtual void AdvanceClock(const std::shared_ptr<const BlockUseMap>& uses,
+                            int64_t pos) {
+    (void)uses;
+    (void)pos;
+  }
 };
 
 std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(ReplacementKind kind);

@@ -51,6 +51,28 @@ TEST(OptimizerTest, BestPlanRespectsMemoryCap) {
   EXPECT_GE(r2.best().cost.io_seconds, unconstrained_best.cost.io_seconds);
 }
 
+TEST(OptimizerTest, ConcurrentSessionsHintSelectsAgainstPerSessionSlice) {
+  // N concurrent sessions share the pool: a cap that admits the
+  // unconstrained best for one session must be divided by N, so the hint
+  // must pick the same plan a solo run under cap/N would pick.
+  Workload w = MakeExample1(3, 4, 2);
+  OptimizerOptions unlimited;
+  auto r1 = Optimize(w.program, unlimited);
+  const int64_t best_peak = r1.best().cost.peak_memory_bytes;
+
+  OptimizerOptions hinted;
+  hinted.memory_cap_bytes = 4 * best_peak - 1;  // whole pool: would fit
+  hinted.concurrent_sessions = 4;               // per-session slice: won't
+  auto r2 = Optimize(w.program, hinted);
+  EXPECT_LE(r2.best().cost.peak_memory_bytes,
+            hinted.memory_cap_bytes / hinted.concurrent_sessions);
+
+  OptimizerOptions solo_slice;
+  solo_slice.memory_cap_bytes = hinted.memory_cap_bytes / 4;
+  auto r3 = Optimize(w.program, solo_slice);
+  EXPECT_EQ(r2.best().opportunities, r3.best().opportunities);
+}
+
 TEST(OptimizerTest, BestPlanNeverWorseThanOriginal) {
   for (auto [n1, n2, n3] : {std::tuple<int64_t, int64_t, int64_t>{2, 2, 1},
                             {3, 2, 2},

@@ -16,7 +16,7 @@ TEST(SimplexTest, SimpleMaximization) {
       Make({0, 1}, CmpOp::kLe, 3),
       Make({1, 1}, CmpOp::kLe, 5),
   };
-  LpSolution s = SolveLp(2, cons, RVector::FromInts({1, 1}));
+  LpSolution s = SolveLp(2, cons, RVector::FromInts({1, 1})).ValueOrDie();
   ASSERT_EQ(s.status, LpStatus::kOptimal);
   EXPECT_EQ(s.objective, Rational(5));
   EXPECT_EQ(s.x[0] + s.x[1], Rational(5));
@@ -25,7 +25,7 @@ TEST(SimplexTest, SimpleMaximization) {
 TEST(SimplexTest, FreeVariablesCanGoNegative) {
   // max -x s.t. x >= -7  ->  7 at x = -7.
   std::vector<LpConstraint> cons = {Make({1}, CmpOp::kGe, -7)};
-  LpSolution s = SolveLp(1, cons, RVector::FromInts({-1}));
+  LpSolution s = SolveLp(1, cons, RVector::FromInts({-1})).ValueOrDie();
   ASSERT_EQ(s.status, LpStatus::kOptimal);
   EXPECT_EQ(s.x[0], Rational(-7));
 }
@@ -35,14 +35,14 @@ TEST(SimplexTest, InfeasibleDetected) {
       Make({1}, CmpOp::kGe, 3),
       Make({1}, CmpOp::kLe, 2),
   };
-  LpSolution s = SolveLp(1, cons, RVector::FromInts({0}));
+  LpSolution s = SolveLp(1, cons, RVector::FromInts({0})).ValueOrDie();
   EXPECT_EQ(s.status, LpStatus::kInfeasible);
-  EXPECT_FALSE(LpFeasible(1, cons));
+  EXPECT_FALSE(LpFeasible(1, cons).ValueOrDie());
 }
 
 TEST(SimplexTest, UnboundedDetected) {
   std::vector<LpConstraint> cons = {Make({1}, CmpOp::kGe, 0)};
-  LpSolution s = SolveLp(1, cons, RVector::FromInts({1}));
+  LpSolution s = SolveLp(1, cons, RVector::FromInts({1})).ValueOrDie();
   EXPECT_EQ(s.status, LpStatus::kUnbounded);
 }
 
@@ -52,7 +52,7 @@ TEST(SimplexTest, EqualityConstraints) {
       Make({1, 1}, CmpOp::kEq, 10),
       Make({1, -1}, CmpOp::kEq, 2),
   };
-  LpSolution s = SolveLp(2, cons, RVector::FromInts({0, 1}));
+  LpSolution s = SolveLp(2, cons, RVector::FromInts({0, 1})).ValueOrDie();
   ASSERT_EQ(s.status, LpStatus::kOptimal);
   EXPECT_EQ(s.x[0], Rational(6));
   EXPECT_EQ(s.x[1], Rational(4));
@@ -61,7 +61,7 @@ TEST(SimplexTest, EqualityConstraints) {
 TEST(SimplexTest, RationalOptimum) {
   // max x s.t. 2x <= 3  ->  x = 3/2.
   std::vector<LpConstraint> cons = {Make({2}, CmpOp::kLe, 3)};
-  LpSolution s = SolveLp(1, cons, RVector::FromInts({1}));
+  LpSolution s = SolveLp(1, cons, RVector::FromInts({1})).ValueOrDie();
   ASSERT_EQ(s.status, LpStatus::kOptimal);
   EXPECT_EQ(s.x[0], Rational(3, 2));
 }
@@ -74,7 +74,7 @@ TEST(SimplexTest, RedundantConstraintsHarmless) {
       Make({1, 0}, CmpOp::kGe, 0),
       Make({0, 1}, CmpOp::kGe, 0),
   };
-  LpSolution s = SolveLp(2, cons, RVector::FromInts({1, 1}));
+  LpSolution s = SolveLp(2, cons, RVector::FromInts({1, 1})).ValueOrDie();
   ASSERT_EQ(s.status, LpStatus::kOptimal);
   EXPECT_EQ(s.objective, Rational(5));
 }
@@ -87,9 +87,66 @@ TEST(SimplexTest, DegenerateVertexTerminates) {
       Make({-1, 1}, CmpOp::kLe, 1), Make({1, 0}, CmpOp::kGe, 0),
       Make({0, 1}, CmpOp::kGe, 0),
   };
-  LpSolution s = SolveLp(2, cons, RVector::FromInts({1, 1}));
+  LpSolution s = SolveLp(2, cons, RVector::FromInts({1, 1})).ValueOrDie();
   ASSERT_EQ(s.status, LpStatus::kOptimal);
   EXPECT_EQ(s.objective, Rational(1));
+}
+
+TEST(SimplexTest, BealeCyclingExampleTerminatesOptimal) {
+  // Beale (1955): the classic LP on which Dantzig pricing with a naive
+  // tie-break cycles forever at a degenerate vertex. The Bland fallback
+  // (after LpOptions::degenerate_pivot_limit zero-progress pivots) must
+  // exit the cycle and reach the true optimum 1/20 at (1/25, 0, 1, 0).
+  //   max 3/4 x1 - 150 x2 + 1/50 x3 - 6 x4
+  //   s.t. 1/4 x1 - 60 x2 - 1/25 x3 + 9 x4 <= 0
+  //        1/2 x1 - 90 x2 - 1/50 x3 + 3 x4 <= 0
+  //        x3 <= 1,  x >= 0
+  auto rv = [](std::vector<Rational> v) {
+    RVector r(v.size());
+    for (size_t i = 0; i < v.size(); ++i) r[i] = v[i];
+    return r;
+  };
+  std::vector<LpConstraint> cons = {
+      {rv({Rational(1, 4), Rational(-60), Rational(-1, 25), Rational(9)}),
+       CmpOp::kLe, Rational(0)},
+      {rv({Rational(1, 2), Rational(-90), Rational(-1, 50), Rational(3)}),
+       CmpOp::kLe, Rational(0)},
+      {rv({Rational(0), Rational(0), Rational(1), Rational(0)}),
+       CmpOp::kLe, Rational(1)},
+      Make({1, 0, 0, 0}, CmpOp::kGe, 0),
+      Make({0, 1, 0, 0}, CmpOp::kGe, 0),
+      Make({0, 0, 1, 0}, CmpOp::kGe, 0),
+      Make({0, 0, 0, 1}, CmpOp::kGe, 0),
+  };
+  RVector obj = rv({Rational(3, 4), Rational(-150), Rational(1, 50),
+                    Rational(-6)});
+  // A tight degenerate-pivot limit forces the Bland fallback to engage
+  // almost immediately; the answer must still be exactly optimal.
+  LpOptions opts;
+  opts.degenerate_pivot_limit = 2;
+  auto s = SolveLp(4, cons, obj, opts);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_EQ(s->objective, Rational(1, 20));
+}
+
+TEST(SimplexTest, PivotBudgetSurfacesStatusNotAbort) {
+  // A feasible LP that needs phase-I pivots, given no budget to make them:
+  // the solver must return kResourceExhausted, not loop or abort.
+  std::vector<LpConstraint> cons = {
+      Make({1, 0}, CmpOp::kLe, 4),
+      Make({0, 1}, CmpOp::kLe, 3),
+      Make({1, 1}, CmpOp::kGe, 2),
+  };
+  LpOptions opts;
+  opts.max_pivots = 1;
+  auto s = SolveLp(2, cons, RVector::FromInts({1, 1}), opts);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kResourceExhausted);
+  // The same system solves fine with the default budget.
+  auto full = SolveLp(2, cons, RVector::FromInts({1, 1}));
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->status, LpStatus::kOptimal);
 }
 
 // Brute-force cross-check on small integer boxes.
@@ -108,7 +165,7 @@ TEST_P(SimplexPropertyTest, MatchesBruteForceOnBox) {
     cons.push_back(Make({a, b}, CmpOp::kLe, r));
   }
   int64_t ca = std::rand() % 5 - 2, cb = std::rand() % 5 - 2;
-  LpSolution s = SolveLp(2, cons, RVector::FromInts({ca, cb}));
+  LpSolution s = SolveLp(2, cons, RVector::FromInts({ca, cb})).ValueOrDie();
   // Brute force over a fine rational grid (quarters) inside the box.
   bool any = false;
   Rational best;

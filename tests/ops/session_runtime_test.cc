@@ -1,0 +1,274 @@
+// SessionRuntime fast suite: admission control (reject / park / FIFO),
+// per-session budgets charged against the shared pool, cross-session
+// input sharing, and bit-exact outputs versus solo serial runs. The heavy
+// {2,4,8}-session differential soak lives in session_stress_test.cc.
+#include "ops/session_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/cost_model.h"
+#include "exec/verify.h"
+#include "ops/runtime.h"
+#include "ops/workload.h"
+#include "storage/env.h"
+
+namespace riot {
+namespace {
+
+// Serial solo reference: private pool, plan-exact, depth 0.
+Runtime MustSoloRun(const Workload& w, Env* env, const std::string& dir,
+                    uint64_t seed) {
+  auto rt = OpenStores(env, w.program, dir);
+  rt.status().CheckOK();
+  InitInputs(w, *rt, seed).CheckOK();
+  Executor ex(w.program, rt->raw(), w.kernels);
+  ex.Run(w.program.original_schedule(), {}).status().CheckOK();
+  return std::move(rt).ValueOrDie();
+}
+
+int64_t PlanPeakBytes(const Workload& w) {
+  return EvaluatePlanCost(w.program, w.program.original_schedule(), {})
+      .peak_memory_bytes;
+}
+
+TEST(SessionRuntimeTest, RejectsFootprintBeyondCapUpFront) {
+  Workload w = MakeExample1(2, 2, 2);
+  auto env = NewMemEnv();
+  auto rt = OpenStores(env.get(), w.program, "/r");
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(InitInputs(w, *rt, 1).ok());
+
+  SessionRuntimeOptions opts;
+  opts.pool_cap_bytes = PlanPeakBytes(w) / 2;  // can never fit, even alone
+  SessionRuntime runtime(opts);
+
+  SessionSpec spec;
+  spec.program = &w.program;
+  Schedule sched = w.program.original_schedule();
+  spec.schedule = &sched;
+  spec.stores = rt->raw();
+  spec.kernels = &w.kernels;
+  auto r = runtime.Run(spec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(runtime.stats().sessions_rejected, 1);
+  EXPECT_EQ(runtime.stats().sessions_completed, 0);
+}
+
+TEST(SessionRuntimeTest, SingleSessionBitExactAndWithinBudget) {
+  Workload w = MakeExample1(3, 3, 3);
+  auto env = NewMemEnv();
+  Runtime ref = MustSoloRun(w, env.get(), "/ref", 42);
+
+  auto rt = OpenStores(env.get(), w.program, "/s0");
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(InitInputs(w, *rt, 42).ok());
+
+  SessionRuntimeOptions opts;
+  opts.pool_cap_bytes = 4 * PlanPeakBytes(w);
+  SessionRuntime runtime(opts);
+
+  SessionSpec spec;
+  spec.program = &w.program;
+  Schedule sched = w.program.original_schedule();
+  spec.schedule = &sched;
+  spec.stores = rt->raw();
+  spec.kernels = &w.kernels;
+  spec.exec.pipeline_depth = 1;  // prefetch through the shared IoPool
+  auto r = runtime.Run(spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_EQ(r->budget_bytes, PlanPeakBytes(w));
+  EXPECT_LE(r->peak_charged_bytes, r->budget_bytes);
+  EXPECT_GT(r->peak_charged_bytes, 0);
+  EXPECT_EQ(r->budget_rejections, 0);
+  EXPECT_GT(r->exec.bytes_read, 0);
+  for (int arr : w.output_arrays) {
+    EXPECT_TRUE(VerifyBitEqual(w.program.array(arr),
+                               ref.stores[static_cast<size_t>(arr)].get(),
+                               rt->stores[static_cast<size_t>(arr)].get())
+                    .ok());
+  }
+  BufferPoolSnapshot snap = runtime.pool()->Snapshot();
+  EXPECT_EQ(snap.pinned_frames, 0);
+  EXPECT_EQ(snap.required_bytes, 0);
+  EXPECT_EQ(runtime.stats().sessions_completed, 1);
+}
+
+TEST(SessionRuntimeTest, ConcurrentSessionsShareInputsBitExact) {
+  // Two sessions of the same program over the SAME input stores but
+  // private outputs: frames of shared inputs dedup across sessions, and
+  // both outputs must equal the solo reference bit for bit.
+  Workload w = MakeExample1(4, 4, 4);
+  auto env = NewMemEnv();
+  Runtime ref = MustSoloRun(w, env.get(), "/ref", 7);
+
+  auto shared = OpenStores(env.get(), w.program, "/shared");
+  ASSERT_TRUE(shared.ok());
+  ASSERT_TRUE(InitInputs(w, *shared, 7).ok());
+
+  auto rt_a_or = OpenStores(env.get(), w.program, "/sa");
+  auto rt_b_or = OpenStores(env.get(), w.program, "/sb");
+  ASSERT_TRUE(rt_a_or.ok() && rt_b_or.ok());
+  Runtime rt_a = std::move(rt_a_or).ValueOrDie();
+  Runtime rt_b = std::move(rt_b_or).ValueOrDie();
+
+  // Per-session store maps: inputs from the shared runtime, the rest
+  // (intermediate C, output E) private.
+  auto session_stores = [&](Runtime& mine) {
+    std::vector<BlockStore*> stores = mine.raw();
+    for (int arr : w.input_arrays) {
+      stores[static_cast<size_t>(arr)] =
+          shared->stores[static_cast<size_t>(arr)].get();
+    }
+    return stores;
+  };
+
+  SessionRuntimeOptions opts;
+  opts.pool_cap_bytes = 3 * PlanPeakBytes(w);
+  SessionRuntime runtime(opts);
+
+  Schedule sched = w.program.original_schedule();
+  auto run_one = [&](Runtime& mine, int depth,
+                     Result<SessionStats>* out) {
+    SessionSpec spec;
+    spec.program = &w.program;
+    spec.schedule = &sched;
+    spec.stores = session_stores(mine);
+    spec.kernels = &w.kernels;
+    spec.exec.pipeline_depth = depth;
+    *out = runtime.Run(spec);
+  };
+
+  Result<SessionStats> ra = Status::Internal("unset");
+  Result<SessionStats> rb = Status::Internal("unset");
+  std::thread ta([&] { run_one(rt_a, 0, &ra); });
+  std::thread tb([&] { run_one(rt_b, 2, &rb); });
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_LE(ra->peak_charged_bytes, ra->budget_bytes);
+  EXPECT_LE(rb->peak_charged_bytes, rb->budget_bytes);
+
+  for (int arr : w.output_arrays) {
+    const ArrayInfo& info = w.program.array(arr);
+    EXPECT_TRUE(VerifyBitEqual(info,
+                               ref.stores[static_cast<size_t>(arr)].get(),
+                               rt_a.stores[static_cast<size_t>(arr)].get())
+                    .ok());
+    EXPECT_TRUE(VerifyBitEqual(info,
+                               ref.stores[static_cast<size_t>(arr)].get(),
+                               rt_b.stores[static_cast<size_t>(arr)].get())
+                    .ok());
+  }
+  BufferPoolSnapshot snap = runtime.pool()->Snapshot();
+  EXPECT_EQ(snap.pinned_frames, 0);
+  EXPECT_EQ(snap.required_bytes, 0);
+  RuntimeStats rs = runtime.stats();
+  EXPECT_EQ(rs.sessions_completed, 2);
+  EXPECT_EQ(rs.sessions_failed, 0);
+
+  // Retiring a private store drops its cache; the shared inputs too.
+  EXPECT_TRUE(runtime
+                  .ReleaseStore(rt_a.stores[static_cast<size_t>(
+                                                w.output_arrays[0])]
+                                    .get())
+                  .ok());
+  for (int arr : w.input_arrays) {
+    EXPECT_TRUE(runtime
+                    .ReleaseStore(
+                        shared->stores[static_cast<size_t>(arr)].get())
+                    .ok());
+  }
+}
+
+TEST(SessionRuntimeTest, AdmissionParksUntilCapacityFrees) {
+  // Deterministic parking: session A's kernel blocks on a gate while B —
+  // whose reservation cannot coexist with A's — queues behind it. B must
+  // be admitted only after A completes, and both must succeed.
+  Workload w = MakeExample1(2, 2, 2);
+  auto env = NewMemEnv();
+  const int64_t peak = PlanPeakBytes(w);
+
+  auto rt_a = OpenStores(env.get(), w.program, "/a");
+  auto rt_b = OpenStores(env.get(), w.program, "/b");
+  ASSERT_TRUE(rt_a.ok() && rt_b.ok());
+  ASSERT_TRUE(InitInputs(w, *rt_a, 3).ok());
+  ASSERT_TRUE(InitInputs(w, *rt_b, 3).ok());
+
+  SessionRuntimeOptions opts;
+  opts.pool_cap_bytes = 3 * peak;  // fits one 2*peak reservation, not two
+  SessionRuntime runtime(opts);
+
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool a_started = false;
+  bool gate_open = false;
+
+  // A's kernels signal entry and wait for the gate on first invocation.
+  std::vector<StatementKernel> gated = w.kernels;
+  StatementKernel inner = gated[0];
+  gated[0] = [&, inner](const std::vector<int64_t>& iter,
+                        const std::vector<DenseView*>& views) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mu);
+      a_started = true;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return gate_open; });
+    }
+    inner(iter, views);
+  };
+
+  Schedule sched = w.program.original_schedule();
+  auto make_spec = [&](const Runtime& rt,
+                       const std::vector<StatementKernel>* kernels) {
+    SessionSpec spec;
+    spec.program = &w.program;
+    spec.schedule = &sched;
+    spec.stores = rt.raw();
+    spec.kernels = kernels;
+    spec.footprint_bytes = 2 * peak;
+    return spec;
+  };
+
+  Result<SessionStats> ra = Status::Internal("unset");
+  Result<SessionStats> rb = Status::Internal("unset");
+  std::thread ta([&] { ra = runtime.Run(make_spec(*rt_a, &gated)); });
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return a_started; });
+  }
+  // A is admitted and running (blocked in its kernel); B cannot fit.
+  std::thread tb([&] { rb = runtime.Run(make_spec(*rt_b, &w.kernels)); });
+  // Wait until B is observably parked in the admission queue.
+  for (int i = 0; i < 2000 && runtime.stats().sessions_parked == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(runtime.stats().sessions_parked, 1);
+  EXPECT_EQ(runtime.stats().sessions_completed, 0);
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_TRUE(rb->parked_for_admission);
+  RuntimeStats rs = runtime.stats();
+  EXPECT_EQ(rs.sessions_completed, 2);
+  EXPECT_EQ(rs.sessions_parked, 1);
+  EXPECT_LE(rs.peak_reserved_bytes, opts.pool_cap_bytes);
+  EXPECT_EQ(rs.peak_concurrent_sessions, 1);
+}
+
+}  // namespace
+}  // namespace riot

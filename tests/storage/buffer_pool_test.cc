@@ -74,6 +74,46 @@ TEST_F(BufferPoolTest, PinnedFramesAreNotEvicted) {
   pool.Unpin(*pinned);
 }
 
+TEST_F(BufferPoolTest, FetchReportsResidencyFreshEachCall) {
+  // Regression: Fetch must write *was_resident for the iteration that
+  // actually returns — a stale `true` from a prior call (or from a hit
+  // iteration that waited and came back to a miss) would make a session
+  // caller skip loading a zero-filled frame.
+  BufferPool pool(1024);
+  bool resident = true;  // deliberately stale
+  auto f = pool.Fetch(0, 5, kBlock, store_.get(), /*load=*/true, &resident);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(resident);
+  pool.Unpin(*f);
+  resident = false;
+  auto f2 = pool.Fetch(0, 5, kBlock, store_.get(), /*load=*/true, &resident);
+  ASSERT_TRUE(f2.ok());
+  EXPECT_TRUE(resident);
+  pool.Unpin(*f2);
+}
+
+TEST_F(BufferPoolTest, DetachAccountOrphansFramesSharedWithOtherTenants) {
+  // Regression: a frame first-claimed by session A but still pinned by
+  // another tenant when A's run ends must not keep pointing at A's
+  // (stack-lifetime) account — DetachAccount uncharges and orphans it, and
+  // the later unpin must not touch the detached account.
+  BufferPool pool(1024);
+  PoolAccount a;
+  a.budget_bytes = 1024;
+  auto f1 = pool.Fetch(0, 0, kBlock, store_.get(), /*load=*/true, nullptr,
+                       &a);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(a.charged_bytes.load(), kBlock);
+  auto f2 = pool.Fetch(0, 0, kBlock, store_.get(), /*load=*/true);
+  ASSERT_TRUE(f2.ok());  // second tenant, same frame, stays on A's tab
+  pool.Unpin(*f1);       // A's run ends; the frame stays required via f2
+  pool.DetachAccount(&a);
+  EXPECT_EQ(a.charged_bytes.load(), 0);
+  EXPECT_EQ(a.peak_charged_bytes.load(), kBlock);
+  pool.Unpin(*f2);  // must not uncharge (or write) the detached account
+  EXPECT_EQ(a.charged_bytes.load(), 0);
+}
+
 TEST_F(BufferPoolTest, AllPinnedExhaustsPool) {
   BufferPool pool(2 * kBlock);
   auto a = pool.Fetch(0, 0, kBlock, store_.get(), true);
@@ -109,9 +149,9 @@ TEST_F(BufferPoolTest, ReleaseRespectsGroupBoundary) {
   pool.Retain(*a, 5);
   pool.Unpin(*a);
   pool.ReleaseRetainedBefore(5);  // group 5 not finished yet
-  EXPECT_GE((*a)->retain_until_group, 0);
+  EXPECT_GE((*a)->retain_until_group(), 0);
   pool.ReleaseRetainedBefore(6);
-  EXPECT_EQ((*a)->retain_until_group, -1);
+  EXPECT_EQ((*a)->retain_until_group(), -1);
 }
 
 TEST_F(BufferPoolTest, DirtyEvictionWritesBack) {
