@@ -1,0 +1,80 @@
+// Expression-built workloads through the standard harness: covariance
+// (centered X'X with scratch temporaries) and ridge regression at two
+// lambdas (hash-consed X'X / X'y shared across both solves). Reports the
+// usual predicted-vs-measured plan table plus the expression-level facts:
+// CSE hits at graph-construction time and the scratch-write elision the
+// best plan achieves.
+//
+//   --json <path> dumps every run for scripts/bench_json.sh
+//   (BENCH_expr.json).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ir/expr.h"
+
+namespace riot {
+namespace bench {
+namespace {
+
+void RunOne(const std::string& name,
+            const std::function<Workload(int64_t)>& factory,
+            BenchJson* json) {
+  std::printf("=== %s (expression-built) ===\n", name.c_str());
+  Harness h(name, factory);
+  OptimizerOptions opts;
+  opts.max_combination_size = 3;  // covariance/ridge plans are small sets
+  const auto& r = h.Optimize(opts);
+
+  int scratch = 0;
+  for (const ArrayInfo& a : h.paper_workload().program.arrays()) {
+    scratch += a.persistent ? 0 : 1;
+  }
+  std::printf("%zu statements, %d scratch temporaries\n",
+              h.paper_workload().program.statements().size(), scratch);
+
+  std::vector<PlanRun> runs;
+  runs.push_back(h.RunPlan(0, "Plan 0 (original)"));
+  if (r.best_index != 0) {
+    runs.push_back(h.RunPlan(r.best_index, "best plan"));
+  }
+  for (const PlanRun& run : runs) {
+    json->Add(name + "/" + run.label, "plan", /*threads=*/1,
+              /*pipeline_depth=*/0, run.measured);
+  }
+  Harness::PrintRuns(runs);
+  if (runs.size() > 1) {
+    std::printf("scratch-write elision: best plan writes %.2f MB vs %.2f MB "
+                "unoptimized (%.1f%% of temporary I/O gone)\n\n",
+                runs[1].measured.bytes_written / 1e6,
+                runs[0].measured.bytes_written / 1e6,
+                100.0 * (1.0 - double(runs[1].measured.bytes_written) /
+                                   double(runs[0].measured.bytes_written)));
+  }
+}
+
+void Run(int argc, char** argv) {
+  BenchJson json("expr", argc, argv);
+
+  // CSE evidence straight from the graph: ridge's factory spells X'X and
+  // X'y out twice (once per lambda) and hash-consing dedups both.
+  {
+    Workload probe = MakeRidge(ExecScale());
+    std::printf("ridge: %zu statements for two lambdas (10 without CSE)\n\n",
+                probe.program.statements().size());
+  }
+
+  RunOne("covariance", MakeCovariance, &json);
+  RunOne("ridge", MakeRidge, &json);
+
+  RunThreadSweep("ridge", MakeRidge, &json);
+  json.Flush();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace riot
+
+int main(int argc, char** argv) {
+  riot::bench::Run(argc, argv);
+  return 0;
+}

@@ -68,14 +68,21 @@ void Run() {
   // per-element compute (no optimized kernel); measured for real.
   {
     std::printf("\n--- comparators (simulated; see EXPERIMENTS.md E3) ---\n");
-    Workload scalar = h.scaled_workload();
-    scalar.kernels[1] = [](const std::vector<int64_t>& iter,
-                           const std::vector<DenseView*>& v) {
-      BlockGemmScalar(*v[0], false, *v[1], false, v[3], iter[2] > 0);
-    };
-    Harness hs("fig3_scalar", [&](int64_t s) {
+    // Swap the multiply's kernel for the scalar engine, deriving the
+    // accumulate condition from the statement's op spec (the lowered
+    // statement's loop count is not this bench's business).
+    Harness hs("fig3_scalar", [](int64_t s) {
       Workload w = MakeAddMul(s);
-      w.kernels[1] = scalar.kernels[1];
+      const StatementOp op = *w.program.statement(1).op;
+      w.kernels[1] = [op](const std::vector<int64_t>& iter,
+                          const std::vector<DenseView*>& v) {
+        const bool accumulate =
+            op.reduction_iter >= 0 &&
+            iter[static_cast<size_t>(op.reduction_iter)] > 0;
+        BlockGemmScalar(*v[static_cast<size_t>(op.a)], op.trans_a,
+                        *v[static_cast<size_t>(op.b)], op.trans_b,
+                        v[static_cast<size_t>(op.out)], accumulate);
+      };
       return w;
     });
     OptimizerOptions only_plan0;

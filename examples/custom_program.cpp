@@ -2,6 +2,13 @@
 // for (Section 2) — any static-control loop nest over blocked arrays can be
 // expressed directly in the IR and optimized, without a built-in operator.
 //
+// This is the ESCAPE HATCH. Most workloads should use the expression front
+// end (ir/expr.h; see examples/quickstart.cpp and ridge_regression.cpp) and
+// never touch raw IR or kernels. When a computation has no expression op —
+// the reversal access pattern below, the filter/join of MakeJoinFilter —
+// hand-built statements with free-form kernel lambdas remain fully
+// supported, and mix freely with op-specced statements.
+//
 // This example builds the paper's Section 4.3 reversal program
 //   for i: A[i] = B[i];        // s1
 //          C[i] = A[n-1-i];    // s2

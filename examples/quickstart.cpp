@@ -2,16 +2,18 @@
 //
 //   C = A + B;  E = C D     (all arrays blocked on disk)
 //
-// Demonstrates the whole pipeline: build a workload, run the optimizer,
-// inspect the plan space, execute the best plan under its predicted memory
-// requirement, and verify it produces the same result as the unoptimized
-// program with less I/O.
+// Demonstrates the whole pipeline: write the workload as a lazy array
+// expression (five lines — no IR, no kernels), lower it, run the
+// optimizer, inspect the plan space, execute the best plan under its
+// predicted memory requirement, and verify it produces the same result as
+// the unoptimized program with less I/O.
 #include <cstdio>
 
 #include "core/optimizer.h"
 #include "core/pseudocode.h"
 #include "exec/executor.h"
 #include "exec/verify.h"
+#include "ir/expr.h"
 #include "ops/runtime.h"
 #include "ops/workload.h"
 #include "storage/env.h"
@@ -19,10 +21,20 @@
 int main() {
   using namespace riot;
 
-  // 1. A workload = program IR (arrays, statements, accesses, original
-  //    schedule) + per-statement compute kernels.
-  Workload w = MakeExample1(/*n1=*/4, /*n2=*/4, /*n3=*/2,
-                            /*block_rows=*/64, /*block_cols=*/64);
+  // 1. Write the program as a deferred array expression. Nothing executes
+  //    here: the graph is lowered into the blocked polyhedral IR, the
+  //    statements carry typed ops, and every kernel is synthesized — the
+  //    hand-written IR + lambda boilerplate this used to take lives on
+  //    only in examples/custom_program.cpp (the escape hatch).
+  ExprGraph g;
+  ExprRef a = g.Input("A", /*grid=*/{4, 4}, /*block_elems=*/{64, 64});
+  ExprRef b = g.Input("B", {4, 4}, {64, 64});
+  ExprRef c = g.Add(a, b);             // C = A + B    (scratch temporary)
+  ExprRef d = g.Input("D", {4, 2}, {64, 64});
+  ExprRef e = g.Gemm(c, d);            // E = C D
+  g.SetName(c, "C");
+  g.SetName(e, "E");
+  Workload w = FromExpr("quickstart", g, /*outputs=*/{e});
   w.program.Validate().CheckOK();
   std::printf("%s\n", w.program.ToString().c_str());
 

@@ -1,0 +1,251 @@
+#include "core/lowering.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/builder.h"
+
+namespace riot {
+
+namespace {
+
+// Block-subscript symbol: one of the canonical loop roles, or the constant
+// zero a unit (extent-1) grid dimension collapses to.
+enum class Sym { kI, kJ, kK, kZero };
+
+// The loop structure of one statement: roles in canonical outer-to-inner
+// order (i, j, k) with their extents. Unit loops are dropped from the
+// domain entirely — their subscript is the constant 0 — matching the
+// hand-built style for reductions over a single block row (linreg's
+// "for k: U += X[k]'X[k]" has exactly one loop). A statement whose every
+// role is unit gets a single degenerate loop "z" over {0..0}.
+struct LoopNest {
+  std::vector<std::string> iters;
+  std::vector<std::pair<int64_t, int64_t>> bounds;
+  std::map<Sym, size_t> pos;  // kept roles -> iteration-vector index
+
+  void AddRole(Sym role, const char* name, int64_t extent) {
+    if (extent <= 1) return;
+    pos[role] = iters.size();
+    iters.emplace_back(name);
+    bounds.emplace_back(0, extent - 1);
+  }
+
+  void Finalize() {
+    if (iters.empty()) {
+      iters.emplace_back("z");
+      bounds.emplace_back(0, 0);
+    }
+  }
+
+  size_t depth() const { return iters.size(); }
+
+  Polyhedron Domain() const { return RectDomain(bounds, iters); }
+
+  std::vector<std::vector<int64_t>> Phi(Sym row, Sym col) const {
+    std::vector<std::vector<int64_t>> rows;
+    for (Sym s : {row, col}) {
+      std::vector<int64_t> r(depth() + 1, 0);
+      auto it = pos.find(s);
+      if (it != pos.end()) r[it->second] = 1;
+      rows.push_back(std::move(r));
+    }
+    return rows;
+  }
+};
+
+// Appends a read access, collapsing it onto an existing identical one
+// (same array, same map): two operands reading one block must cost one
+// block access. Returns the access index the operand should view.
+int AddRead(Statement* st, int array_id,
+            std::vector<std::vector<int64_t>> phi_rows) {
+  Access a = Read(array_id, std::move(phi_rows));
+  for (size_t i = 0; i < st->accesses.size(); ++i) {
+    if (st->accesses[i].SameFunction(a)) return static_cast<int>(i);
+  }
+  st->accesses.push_back(std::move(a));
+  return static_cast<int>(st->accesses.size()) - 1;
+}
+
+// Appends the guarded accumulator self-read (reduction carry: the k > 0
+// iterations read what k - 1 wrote; k == 0 initializes — paper footnote 1).
+int AddAccRead(Statement* st, int array_id,
+               std::vector<std::vector<int64_t>> phi_rows,
+               const Polyhedron& domain, size_t k_pos) {
+  Access a = Read(array_id, std::move(phi_rows));
+  a.guard = GuardGe(domain, k_pos, 1);
+  st->accesses.push_back(std::move(a));
+  return static_cast<int>(st->accesses.size()) - 1;
+}
+
+}  // namespace
+
+Result<LoweredExpr> LowerExpr(const ExprGraph& graph,
+                              const std::vector<ExprRef>& outputs) {
+  if (graph.size() == 0) {
+    return Status::InvalidArgument("cannot lower an empty expression graph");
+  }
+  if (outputs.empty()) {
+    return Status::InvalidArgument("no outputs bound for lowering");
+  }
+  std::vector<bool> is_output(graph.size(), false);
+  for (ExprRef r : outputs) {
+    if (r < 0 || static_cast<size_t>(r) >= graph.size()) {
+      return Status::InvalidArgument("output ref out of range");
+    }
+    if (graph.node(r).is_input()) {
+      return Status::InvalidArgument("output " + std::to_string(r) +
+                                     " is an input node");
+    }
+    if (is_output[static_cast<size_t>(r)]) {
+      return Status::InvalidArgument("duplicate output ref " +
+                                     std::to_string(r));
+    }
+    is_output[static_cast<size_t>(r)] = true;
+  }
+
+  LoweredExpr out;
+  out.array_of.resize(graph.size(), -1);
+  out.stmt_of.resize(graph.size(), -1);
+
+  // Array names must be unique: the runtime derives each store's file
+  // path from the name, so a collision would silently alias two arrays
+  // onto one file. This includes collisions with auto-generated "t<id>"
+  // temporary names.
+  {
+    std::map<std::string, size_t> seen;
+    for (size_t id = 0; id < graph.size(); ++id) {
+      const ExprNode& n = graph.node(static_cast<ExprRef>(id));
+      const std::string name =
+          n.name.empty() ? "t" + std::to_string(id) : n.name;
+      auto [it, inserted] = seen.emplace(name, id);
+      if (!inserted) {
+        return Status::InvalidArgument(
+            "duplicate array name '" + name + "' (nodes " +
+            std::to_string(it->second) + " and " + std::to_string(id) +
+            "); array names become store file names and must be unique");
+      }
+    }
+  }
+
+  // Arrays first, in node-id order: every node is one array; temporaries
+  // that are neither outputs nor kept are scratch (non-persistent).
+  for (size_t id = 0; id < graph.size(); ++id) {
+    const ExprNode& n = graph.node(static_cast<ExprRef>(id));
+    ArrayInfo info;
+    info.name = n.name.empty() ? "t" + std::to_string(id) : n.name;
+    info.grid = n.shape.grid;
+    info.block_elems = n.shape.block_elems;
+    info.persistent = n.is_input() || is_output[id] || n.keep;
+    out.array_of[id] = out.program.AddArray(std::move(info));
+    if (n.is_input()) out.input_arrays.push_back(out.array_of[id]);
+  }
+
+  // One statement per compute node, each in its own sequential nest, in
+  // node-id (= topological) order.
+  int nest = 0;
+  for (size_t id = 0; id < graph.size(); ++id) {
+    const ExprNode& n = graph.node(static_cast<ExprRef>(id));
+    if (n.is_input()) continue;
+    const int out_arr = out.array_of[id];
+
+    LoopNest loops;
+    StatementOp op;
+    op.kind = n.kind;
+    op.trans_a = n.trans_a;
+    op.trans_b = n.trans_b;
+    op.alpha = n.alpha;
+
+    Statement st;
+    st.name = "s" + std::to_string(nest + 1);
+
+    switch (n.kind) {
+      case StatementOp::Kind::kAdd:
+      case StatementOp::Kind::kSub:
+      case StatementOp::Kind::kScale:
+      case StatementOp::Kind::kAddDiag: {
+        loops.AddRole(Sym::kI, "i", n.shape.grid[0]);
+        loops.AddRole(Sym::kJ, "j", n.shape.grid[1]);
+        loops.Finalize();
+        op.a = AddRead(&st, out.array_of[static_cast<size_t>(n.args[0])],
+                       loops.Phi(Sym::kI, Sym::kJ));
+        if (n.args.size() > 1) {
+          op.b = AddRead(&st, out.array_of[static_cast<size_t>(n.args[1])],
+                         loops.Phi(Sym::kI, Sym::kJ));
+        }
+        st.accesses.push_back(Write(out_arr, loops.Phi(Sym::kI, Sym::kJ)));
+        break;
+      }
+      case StatementOp::Kind::kGemm: {
+        const ExprNode& a = graph.node(n.args[0]);
+        const int64_t gi = n.shape.grid[0];
+        const int64_t gj = n.shape.grid[1];
+        const int64_t gk =
+            n.trans_a ? a.shape.grid[0] : a.shape.grid[1];
+        loops.AddRole(Sym::kI, "i", gi);
+        loops.AddRole(Sym::kJ, "j", gj);
+        loops.AddRole(Sym::kK, "k", gk);
+        loops.Finalize();
+        op.a = AddRead(&st, out.array_of[static_cast<size_t>(n.args[0])],
+                       n.trans_a ? loops.Phi(Sym::kK, Sym::kI)
+                                 : loops.Phi(Sym::kI, Sym::kK));
+        op.b = AddRead(&st, out.array_of[static_cast<size_t>(n.args[1])],
+                       n.trans_b ? loops.Phi(Sym::kJ, Sym::kK)
+                                 : loops.Phi(Sym::kK, Sym::kJ));
+        if (gk > 1) {
+          op.reduction_iter = static_cast<int>(loops.pos.at(Sym::kK));
+          op.acc = AddAccRead(&st, out_arr, loops.Phi(Sym::kI, Sym::kJ),
+                              loops.Domain(),
+                              static_cast<size_t>(op.reduction_iter));
+        }
+        st.accesses.push_back(Write(out_arr, loops.Phi(Sym::kI, Sym::kJ)));
+        break;
+      }
+      case StatementOp::Kind::kInverse: {
+        // Single-block operand and result: a degenerate nest.
+        loops.Finalize();
+        op.a = AddRead(&st, out.array_of[static_cast<size_t>(n.args[0])],
+                       loops.Phi(Sym::kZero, Sym::kZero));
+        st.accesses.push_back(
+            Write(out_arr, loops.Phi(Sym::kZero, Sym::kZero)));
+        break;
+      }
+      case StatementOp::Kind::kSumSquares: {
+        const ExprNode& a = graph.node(n.args[0]);
+        const int64_t gj = a.shape.grid[1];
+        const int64_t gk = a.shape.grid[0];
+        loops.AddRole(Sym::kJ, "j", gj);
+        loops.AddRole(Sym::kK, "k", gk);
+        loops.Finalize();
+        op.a = AddRead(&st, out.array_of[static_cast<size_t>(n.args[0])],
+                       loops.Phi(Sym::kK, Sym::kJ));
+        if (gk > 1) {
+          op.reduction_iter = static_cast<int>(loops.pos.at(Sym::kK));
+          op.acc = AddAccRead(&st, out_arr, loops.Phi(Sym::kZero, Sym::kJ),
+                              loops.Domain(),
+                              static_cast<size_t>(op.reduction_iter));
+        }
+        st.accesses.push_back(
+            Write(out_arr, loops.Phi(Sym::kZero, Sym::kJ)));
+        break;
+      }
+      case StatementOp::Kind::kInput:
+        RIOT_CHECK(false) << "unreachable";
+    }
+
+    op.out = static_cast<int>(st.accesses.size()) - 1;
+    st.iters = loops.iters;
+    st.domain = loops.Domain();
+    st.op = op;
+    out.stmt_of[id] = out.program.AddStatement(std::move(st), nest, 0);
+    ++nest;
+  }
+
+  for (ExprRef r : outputs) {
+    out.output_arrays.push_back(out.array_of[static_cast<size_t>(r)]);
+  }
+  RIOT_RETURN_NOT_OK(out.program.Validate());
+  return out;
+}
+
+}  // namespace riot

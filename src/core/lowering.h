@@ -1,0 +1,55 @@
+// Lowering: from a lazy array-expression DAG (ir/expr.h) to the blocked
+// static-control Program the optimizer consumes (ir/program.h).
+//
+// The pass walks the DAG in node-id order (a topological order by
+// construction) and emits
+//   * one array per node — inputs keep their names; compute nodes become
+//     temporaries marked non-persistent ("scratch") unless they are bound
+//     outputs or explicitly kept, so the existing write-elision machinery
+//     (paper footnote 8) and ScheduleOpt replacement can kill their I/O;
+//   * one statement per compute node, in its own sequential loop nest:
+//     rectangular domains over the non-unit block-grid dimensions, affine
+//     block accesses derived from the shapes, a guarded accumulator
+//     self-read for block-grid contractions (paper footnote 1), and the
+//     node's typed StatementOp so the executor can synthesize the kernel.
+//
+// Hash-consing in the graph means a common subexpression arrives here as a
+// single node and is materialized exactly once, read by every consumer —
+// the schedule optimizer then decides whether those reads are shared in
+// memory or re-fetched. Two operands of one statement that resolve to the
+// same array through the same affine map (X'X reads X's block [k,0] twice)
+// are collapsed into a single access, so the cost model never counts the
+// physically single block read twice.
+#ifndef RIOTSHARE_CORE_LOWERING_H_
+#define RIOTSHARE_CORE_LOWERING_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "ir/program.h"
+#include "util/status.h"
+
+namespace riot {
+
+struct LoweredExpr {
+  Program program;
+  /// Node id -> array id (the identity under the current emission order,
+  /// kept explicit so callers never depend on that coincidence).
+  std::vector<int> array_of;
+  /// Node id -> statement id; -1 for inputs.
+  std::vector<int> stmt_of;
+  std::vector<int> input_arrays;   // every kInput node's array
+  std::vector<int> output_arrays;  // the bound outputs, in binding order
+};
+
+/// \brief Lowers the whole graph (every node ever built — hash-consing
+/// guarantees no duplicates) with `outputs` bound as persistent result
+/// arrays. Fails (InvalidArgument) on an empty graph, an empty or
+/// duplicate output list, or an output that is an input node.
+Result<LoweredExpr> LowerExpr(const ExprGraph& graph,
+                              const std::vector<ExprRef>& outputs);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_CORE_LOWERING_H_

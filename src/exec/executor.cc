@@ -14,6 +14,7 @@
 #include <tuple>
 
 #include "core/access_plan.h"
+#include "exec/kernel_synthesis.h"
 #include "storage/io_pool.h"
 #include "util/logging.h"
 
@@ -72,7 +73,19 @@ Executor::Executor(const Program& program, std::vector<BlockStore*> stores,
     : prog_(program), stores_(std::move(stores)),
       kernels_(std::move(kernels)), opts_(options) {
   RIOT_CHECK_EQ(stores_.size(), prog_.arrays().size());
+  // Op-specced statements are the default path: any statement without an
+  // explicit kernel (missing entry or empty function) gets one synthesized
+  // from its typed StatementOp. A supplied hand-written lambda always wins
+  // (the escape hatch for statements no op kind describes).
+  if (kernels_.empty()) kernels_.resize(prog_.statements().size());
   RIOT_CHECK_EQ(kernels_.size(), prog_.statements().size());
+  for (size_t s = 0; s < kernels_.size(); ++s) {
+    if (kernels_[s]) continue;
+    const Statement& st = prog_.statement(static_cast<int>(s));
+    RIOT_CHECK(st.op.has_value())
+        << "statement " << st.name << " has neither a kernel nor an op spec";
+    kernels_[s] = SynthesizeKernel(*st.op);
+  }
 }
 
 Result<ExecStats> Executor::Run(const Schedule& schedule,

@@ -223,6 +223,10 @@ struct ExecStats {
 class Executor {
  public:
   /// `stores` and `kernels` are indexed by array id / statement id.
+  /// `kernels` may be empty (or have empty entries): statements without an
+  /// explicit kernel must carry a typed StatementOp, from which the kernel
+  /// is synthesized (exec/kernel_synthesis.h). A supplied lambda wins over
+  /// synthesis — the escape hatch for computations no op kind describes.
   Executor(const Program& program, std::vector<BlockStore*> stores,
            std::vector<StatementKernel> kernels, ExecOptions options = {});
 

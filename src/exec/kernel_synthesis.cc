@@ -1,0 +1,90 @@
+#include "exec/kernel_synthesis.h"
+
+#include "kernels/dense.h"
+#include "util/logging.h"
+
+namespace riot {
+
+namespace {
+
+// Whether this iteration accumulates into the output (reduction carry) or
+// initializes it. Mirrors the guard lowering put on the op's `acc` read:
+// active exactly when iter[reduction_iter] > 0.
+bool Accumulates(const StatementOp& op, const std::vector<int64_t>& iter) {
+  return op.reduction_iter >= 0 &&
+         iter[static_cast<size_t>(op.reduction_iter)] > 0;
+}
+
+}  // namespace
+
+StatementKernel SynthesizeKernel(const StatementOp& op) {
+  RIOT_CHECK_GE(op.out, 0) << "op without an output access";
+  RIOT_CHECK_GE(op.a, 0) << "op without a first operand";
+  switch (op.kind) {
+    case StatementOp::Kind::kAdd:
+      RIOT_CHECK_GE(op.b, 0);
+      return [op](const std::vector<int64_t>&,
+                  const std::vector<DenseView*>& v) {
+        BlockAdd(*v[static_cast<size_t>(op.a)],
+                 *v[static_cast<size_t>(op.b)],
+                 v[static_cast<size_t>(op.out)]);
+      };
+    case StatementOp::Kind::kSub:
+      RIOT_CHECK_GE(op.b, 0);
+      return [op](const std::vector<int64_t>&,
+                  const std::vector<DenseView*>& v) {
+        BlockSub(*v[static_cast<size_t>(op.a)],
+                 *v[static_cast<size_t>(op.b)],
+                 v[static_cast<size_t>(op.out)]);
+      };
+    case StatementOp::Kind::kScale:
+      return [op](const std::vector<int64_t>&,
+                  const std::vector<DenseView*>& v) {
+        BlockScale(*v[static_cast<size_t>(op.a)], op.alpha,
+                   v[static_cast<size_t>(op.out)]);
+      };
+    case StatementOp::Kind::kAddDiag:
+      return [op](const std::vector<int64_t>&,
+                  const std::vector<DenseView*>& v) {
+        BlockAddDiag(*v[static_cast<size_t>(op.a)], op.alpha,
+                     v[static_cast<size_t>(op.out)]);
+      };
+    case StatementOp::Kind::kGemm:
+      RIOT_CHECK_GE(op.b, 0);
+      return [op](const std::vector<int64_t>& iter,
+                  const std::vector<DenseView*>& v) {
+        BlockGemm(*v[static_cast<size_t>(op.a)], op.trans_a,
+                  *v[static_cast<size_t>(op.b)], op.trans_b,
+                  v[static_cast<size_t>(op.out)], Accumulates(op, iter),
+                  op.alpha);
+      };
+    case StatementOp::Kind::kInverse:
+      return [op](const std::vector<int64_t>&,
+                  const std::vector<DenseView*>& v) {
+        BlockInverse(*v[static_cast<size_t>(op.a)],
+                     v[static_cast<size_t>(op.out)])
+            .CheckOK();
+      };
+    case StatementOp::Kind::kSumSquares:
+      return [op](const std::vector<int64_t>& iter,
+                  const std::vector<DenseView*>& v) {
+        DenseView* out = v[static_cast<size_t>(op.out)];
+        if (!Accumulates(op, iter)) BlockFillConst(out, 0.0);
+        // Row 0 of the output block carries the running column sums of
+        // squares (the result array has 1-row blocks).
+        const DenseView& e = *v[static_cast<size_t>(op.a)];
+        for (int64_t c = 0; c < e.cols; ++c) {
+          double sum = 0.0;
+          for (int64_t r = 0; r < e.rows; ++r) sum += e.At(r, c) * e.At(r, c);
+          out->At(0, c) += sum;
+        }
+      };
+    case StatementOp::Kind::kInput:
+      break;
+  }
+  RIOT_CHECK(false) << "no kernel for op kind "
+                    << StatementOpKindName(op.kind);
+  return {};
+}
+
+}  // namespace riot

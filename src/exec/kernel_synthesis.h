@@ -1,0 +1,23 @@
+// Kernel synthesis: turns a statement's typed StatementOp spec into the
+// StatementKernel the execution engine runs, dispatching to the dense block
+// kernels (kernels/dense.h). This is what lets expression-lowered programs
+// (core/lowering.h) execute without any hand-written lambda: the Executor
+// synthesizes a kernel for every statement that carries an op and no
+// explicit kernel. Hand-written lambdas remain the escape hatch — when a
+// caller supplies one it always wins over synthesis.
+#ifndef RIOTSHARE_EXEC_KERNEL_SYNTHESIS_H_
+#define RIOTSHARE_EXEC_KERNEL_SYNTHESIS_H_
+
+#include "exec/executor.h"
+#include "ir/statement_op.h"
+
+namespace riot {
+
+/// \brief Builds the in-memory kernel computing `op` over a statement's
+/// access views. CHECK-fails on a malformed spec (missing operand or
+/// output index for the kind) — lowering never produces one.
+StatementKernel SynthesizeKernel(const StatementOp& op);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_EXEC_KERNEL_SYNTHESIS_H_

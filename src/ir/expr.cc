@@ -1,0 +1,198 @@
+#include "ir/expr.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace riot {
+
+namespace {
+
+// Alpha participates in node identity; key it by bit pattern so -0.0/0.0
+// and NaN peculiarities can never alias two semantically different nodes.
+int64_t AlphaBits(double alpha) {
+  int64_t bits;
+  static_assert(sizeof(bits) == sizeof(alpha), "double is 64-bit");
+  std::memcpy(&bits, &alpha, sizeof(bits));
+  return bits;
+}
+
+void CheckShape2d(const ExprShape& s, const char* what) {
+  RIOT_CHECK_EQ(s.grid.size(), 2u) << what << " must be 2-D";
+  RIOT_CHECK_EQ(s.block_elems.size(), 2u) << what << " must be 2-D";
+  for (int d = 0; d < 2; ++d) {
+    RIOT_CHECK(s.grid[static_cast<size_t>(d)] > 0 &&
+               s.block_elems[static_cast<size_t>(d)] > 0)
+        << what << " has empty dimension " << d;
+  }
+}
+
+// Grid/block dims of op(X): transposition swaps both levels.
+ExprShape Oriented(const ExprShape& s, bool trans) {
+  if (!trans) return s;
+  return ExprShape{{s.grid[1], s.grid[0]}, {s.block_elems[1], s.block_elems[0]}};
+}
+
+}  // namespace
+
+std::string ExprShape::ToString() const {
+  std::ostringstream os;
+  os << grid[0] << "x" << grid[1] << " blocks of " << block_elems[0] << "x"
+     << block_elems[1];
+  return os.str();
+}
+
+ExprRef ExprGraph::Intern(ExprNode node) {
+  if (!node.is_input()) {
+    Key key{static_cast<int>(node.kind), node.args, node.trans_a,
+            node.trans_b, AlphaBits(node.alpha)};
+    auto it = interned_.find(key);
+    if (it != interned_.end()) {
+      ++cse_hits_;
+      return it->second;
+    }
+    ExprRef id = static_cast<ExprRef>(nodes_.size());
+    interned_.emplace(std::move(key), id);
+    nodes_.push_back(std::move(node));
+    return id;
+  }
+  ExprRef id = static_cast<ExprRef>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+ExprRef ExprGraph::Input(std::string name, std::vector<int64_t> grid,
+                         std::vector<int64_t> block_elems) {
+  RIOT_CHECK(!name.empty()) << "inputs must be named";
+  for (const ExprNode& n : nodes_) {
+    RIOT_CHECK(!(n.is_input() && n.name == name))
+        << "duplicate input name " << name;
+  }
+  ExprNode n;
+  n.kind = StatementOp::Kind::kInput;
+  n.shape = ExprShape{std::move(grid), std::move(block_elems)};
+  CheckShape2d(n.shape, name.c_str());
+  n.name = std::move(name);
+  return Intern(std::move(n));
+}
+
+ExprRef ExprGraph::Add(ExprRef a, ExprRef b) {
+  RIOT_CHECK(shape(a) == shape(b))
+      << "Add shape mismatch: " << shape(a).ToString() << " vs "
+      << shape(b).ToString();
+  ExprNode n;
+  n.kind = StatementOp::Kind::kAdd;
+  n.args = {a, b};
+  n.shape = shape(a);
+  return Intern(std::move(n));
+}
+
+ExprRef ExprGraph::Sub(ExprRef a, ExprRef b) {
+  RIOT_CHECK(shape(a) == shape(b))
+      << "Sub shape mismatch: " << shape(a).ToString() << " vs "
+      << shape(b).ToString();
+  ExprNode n;
+  n.kind = StatementOp::Kind::kSub;
+  n.args = {a, b};
+  n.shape = shape(a);
+  return Intern(std::move(n));
+}
+
+ExprRef ExprGraph::Scale(ExprRef a, double alpha) {
+  ExprNode n;
+  n.kind = StatementOp::Kind::kScale;
+  n.args = {a};
+  n.shape = shape(a);
+  n.alpha = alpha;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprGraph::AddDiag(ExprRef a, double alpha) {
+  const ExprShape& s = shape(a);
+  RIOT_CHECK(s.grid[0] == 1 && s.grid[1] == 1 &&
+             s.block_elems[0] == s.block_elems[1])
+      << "AddDiag requires a single square block, got " << s.ToString();
+  ExprNode n;
+  n.kind = StatementOp::Kind::kAddDiag;
+  n.args = {a};
+  n.shape = s;
+  n.alpha = alpha;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprGraph::Gemm(ExprRef a, ExprRef b, GemmOptions opts) {
+  const ExprShape oa = Oriented(shape(a), opts.trans_a);
+  const ExprShape ob = Oriented(shape(b), opts.trans_b);
+  RIOT_CHECK(oa.grid[1] == ob.grid[0] && oa.block_elems[1] == ob.block_elems[0])
+      << "Gemm contraction mismatch: op(a) is " << oa.ToString()
+      << ", op(b) is " << ob.ToString();
+  ExprNode n;
+  n.kind = StatementOp::Kind::kGemm;
+  n.args = {a, b};
+  n.shape = ExprShape{{oa.grid[0], ob.grid[1]},
+                      {oa.block_elems[0], ob.block_elems[1]}};
+  n.trans_a = opts.trans_a;
+  n.trans_b = opts.trans_b;
+  n.alpha = opts.alpha;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprGraph::Inverse(ExprRef a) {
+  const ExprShape& s = shape(a);
+  RIOT_CHECK(s.grid[0] == 1 && s.grid[1] == 1 &&
+             s.block_elems[0] == s.block_elems[1])
+      << "Inverse requires a single square block, got " << s.ToString();
+  ExprNode n;
+  n.kind = StatementOp::Kind::kInverse;
+  n.args = {a};
+  n.shape = s;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprGraph::SumSquares(ExprRef a) {
+  const ExprShape& s = shape(a);
+  ExprNode n;
+  n.kind = StatementOp::Kind::kSumSquares;
+  n.args = {a};
+  n.shape = ExprShape{{1, s.grid[1]}, {1, s.block_elems[1]}};
+  return Intern(std::move(n));
+}
+
+void ExprGraph::SetName(ExprRef ref, std::string name) {
+  RIOT_CHECK(!name.empty());
+  node(ref);  // bounds check
+  nodes_[static_cast<size_t>(ref)].name = std::move(name);
+}
+
+void ExprGraph::Keep(ExprRef ref) {
+  RIOT_CHECK(!node(ref).is_input()) << "inputs are always persistent";
+  nodes_[static_cast<size_t>(ref)].keep = true;
+}
+
+std::string ExprGraph::Describe(ExprRef ref) const {
+  const ExprNode& n = node(ref);
+  std::ostringstream os;
+  os << StatementOpKindName(n.kind);
+  if (n.kind == StatementOp::Kind::kGemm && (n.trans_a || n.trans_b)) {
+    os << (n.trans_a ? "^Ta" : "") << (n.trans_b ? "^Tb" : "");
+  }
+  if (n.is_input()) {
+    os << " " << n.name;
+  } else {
+    os << "(";
+    for (size_t i = 0; i < n.args.size(); ++i) {
+      if (i) os << ", ";
+      const ExprNode& arg = node(n.args[i]);
+      os << (arg.name.empty() ? "t" + std::to_string(n.args[i]) : arg.name);
+    }
+    if (n.kind == StatementOp::Kind::kScale ||
+        n.kind == StatementOp::Kind::kAddDiag ||
+        (n.kind == StatementOp::Kind::kGemm && n.alpha != 1.0)) {
+      os << ", alpha=" << n.alpha;
+    }
+    os << ")";
+  }
+  os << " : " << n.shape.ToString();
+  return os.str();
+}
+
+}  // namespace riot

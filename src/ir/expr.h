@@ -1,0 +1,133 @@
+// Lazy array-expression front end: users write whole-array expressions
+// (C = A + B; E = C D; beta = (X'X + lambda I)^-1 X'y; ...) and the system
+// defers evaluation, building an expression DAG that core/lowering.h later
+// lowers to the blocked static-control Program the optimizer consumes —
+// the paper's front story (Section 1: programs are array expressions whose
+// I/O is then scheduled optimally), which hand-built IR + hand-written
+// kernels previously stood in for.
+//
+// Nodes are hash-consed: building the same expression twice (same op, same
+// children, same parameters) returns the existing node, so a common
+// subexpression — ridge regression's X'X under two lambdas, say — is
+// materialized once by lowering. Shape inference runs at construction;
+// ill-shaped expressions fail immediately with a CHECK naming the node.
+//
+// The graph owns only structure and shapes. What each node *computes* is
+// carried into the Program as a typed StatementOp (ir/statement_op.h),
+// from which the executor synthesizes the in-memory kernel — no free-form
+// lambda needed (they remain as an escape hatch for ops the expression
+// language cannot express; see examples/custom_program.cpp).
+#ifndef RIOTSHARE_IR_EXPR_H_
+#define RIOTSHARE_IR_EXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ir/statement_op.h"
+#include "util/logging.h"
+
+namespace riot {
+
+/// \brief Handle to a node in an ExprGraph (the node's id).
+using ExprRef = int;
+
+/// \brief Blocked 2-D shape: a grid of blocks, each block_elems large.
+struct ExprShape {
+  std::vector<int64_t> grid;         // blocks per dimension, e.g. {12, 12}
+  std::vector<int64_t> block_elems;  // elements per block, e.g. {6000, 4000}
+
+  int64_t rows() const { return grid[0] * block_elems[0]; }
+  int64_t cols() const { return grid[1] * block_elems[1]; }
+  bool operator==(const ExprShape& o) const {
+    return grid == o.grid && block_elems == o.block_elems;
+  }
+  std::string ToString() const;
+};
+
+/// \brief One deferred operation. `op.kind` is the semantic payload;
+/// operands are node ids (always created before their consumers, so node
+/// id order is a topological order of the DAG).
+struct ExprNode {
+  StatementOp::Kind kind = StatementOp::Kind::kInput;
+  std::vector<ExprRef> args;
+  ExprShape shape;
+  bool trans_a = false;  // Gemm: op(A) = A^T
+  bool trans_b = false;  // Gemm: op(B) = B^T
+  double alpha = 1.0;    // Gemm scale / Scale factor / AddDiag addend
+  std::string name;      // array name; temporaries default to "t<id>"
+  bool keep = false;     // checkpoint this intermediate to disk (persistent)
+
+  bool is_input() const { return kind == StatementOp::Kind::kInput; }
+};
+
+/// \brief Options for Gemm: C = alpha * op(A) op(B).
+struct GemmOptions {
+  bool trans_a = false;
+  bool trans_b = false;
+  double alpha = 1.0;
+};
+
+class ExprGraph {
+ public:
+  /// A named on-disk input array of the given blocked shape.
+  ExprRef Input(std::string name, std::vector<int64_t> grid,
+                std::vector<int64_t> block_elems);
+
+  /// Elementwise; shapes (grid and block) must match exactly.
+  ExprRef Add(ExprRef a, ExprRef b);
+  ExprRef Sub(ExprRef a, ExprRef b);
+  /// out = alpha * a (elementwise).
+  ExprRef Scale(ExprRef a, double alpha);
+  /// out = a + alpha * I. Requires a single square block (grid {1,1}).
+  ExprRef AddDiag(ExprRef a, double alpha);
+  /// out = alpha * op(a) op(b), contracting over blocks and elements; the
+  /// block-grid contraction lowers to a reduction loop with a guarded
+  /// accumulator read (paper footnote 1).
+  ExprRef Gemm(ExprRef a, ExprRef b, GemmOptions opts = {});
+  /// out = a^-1. Requires a single square block (grid {1,1}).
+  ExprRef Inverse(ExprRef a);
+  /// Column-wise sums of squares over the whole array: out is a
+  /// {1, grid cols} grid of {1, block cols} blocks (the RSS building block).
+  ExprRef SumSquares(ExprRef a);
+
+  /// Names the array the node lowers to ("U", "Bh", ...); purely cosmetic
+  /// for temporaries, and the on-disk name for inputs/outputs.
+  void SetName(ExprRef ref, std::string name);
+  /// Checkpoints an intermediate: its array is persistent (written to
+  /// disk) even though it is not a lowering output. Without this,
+  /// temporaries are scratch — non-persistent, so the optimizer's write
+  /// elision can keep them out of the I/O entirely (paper footnote 8).
+  void Keep(ExprRef ref);
+
+  size_t size() const { return nodes_.size(); }
+  const ExprNode& node(ExprRef ref) const {
+    RIOT_CHECK(ref >= 0 && static_cast<size_t>(ref) < nodes_.size());
+    return nodes_[static_cast<size_t>(ref)];
+  }
+  const std::vector<ExprNode>& nodes() const { return nodes_; }
+
+  /// How many constructions were answered by an existing node (CSE hits).
+  int64_t cse_hits() const { return cse_hits_; }
+
+  /// "gemm^T(t3, t3)"-style rendering of one node (not recursive).
+  std::string Describe(ExprRef ref) const;
+
+ private:
+  ExprRef Intern(ExprNode node);
+  const ExprShape& shape(ExprRef r) const { return node(r).shape; }
+
+  // Hash-consing key: everything semantically identifying a node. Inputs
+  // are never deduplicated (two inputs with one name would be ambiguous;
+  // Input checks name uniqueness instead).
+  using Key = std::tuple<int, std::vector<ExprRef>, bool, bool, int64_t>;
+  std::map<Key, ExprRef> interned_;
+  std::vector<ExprNode> nodes_;
+  int64_t cse_hits_ = 0;
+};
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_IR_EXPR_H_

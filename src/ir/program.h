@@ -13,6 +13,7 @@
 #include "ir/access.h"
 #include "ir/array.h"
 #include "ir/schedule.h"
+#include "ir/statement_op.h"
 #include "polyhedral/polyhedron.h"
 #include "util/status.h"
 
@@ -25,6 +26,12 @@ struct Statement {
   std::vector<std::string> iters;   // loop variable names, outer to inner
   Polyhedron domain;                // over the iteration variables
   std::vector<Access> accesses;     // at most one write
+  /// Typed semantic spec (what the statement computes over its accesses).
+  /// When present the executor synthesizes the kernel from it
+  /// (exec/kernel_synthesis.h); statements lowered from expression DAGs
+  /// (core/lowering.h) always carry one. Absent for hand-built statements
+  /// paired with free-form kernel lambdas (the escape hatch).
+  std::optional<StatementOp> op;
 
   size_t depth() const { return iters.size(); }
 

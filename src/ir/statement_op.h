@@ -1,0 +1,60 @@
+// Typed statement semantics: what a statement computes, not just where it
+// touches blocks. Historically a Statement carried only its accesses and
+// every workload paired it with a hand-written free-form kernel lambda; the
+// StatementOp spec makes the semantic payload explicit so the executor can
+// synthesize the kernel (exec/kernel_synthesis.h) and future passes can
+// reason about the computation (fusion, rewrites). Free-form lambdas remain
+// the escape hatch for statements no StatementOp kind describes.
+#ifndef RIOTSHARE_IR_STATEMENT_OP_H_
+#define RIOTSHARE_IR_STATEMENT_OP_H_
+
+namespace riot {
+
+/// \brief The semantic spec of one statement over its access list. Operand
+/// fields (`a`, `b`, `acc`, `out`) are indices into Statement::accesses —
+/// the same indices the kernel's view vector uses. Two operands may share
+/// one access (X'X reads X once; the kernel views it twice).
+struct StatementOp {
+  enum class Kind {
+    kInput,       // expression-graph leaf; never appears on a Statement
+    kAdd,         // out = a + b            (elementwise)
+    kSub,         // out = a - b            (elementwise)
+    kScale,       // out = alpha * a        (elementwise)
+    kAddDiag,     // out = a + alpha * I    (single square block)
+    kGemm,        // out (+)= alpha * op(a) op(b)
+    kInverse,     // out = a^-1             (single square block)
+    kSumSquares,  // out[0, j] (+)= sum_r a[r, j]^2
+  };
+
+  Kind kind = Kind::kAdd;
+  int a = -1;    // first operand's access index
+  int b = -1;    // second operand's access index (may equal `a`); -1 if unary
+  int acc = -1;  // guarded self-read access index (reduction carry); -1 none
+  int out = -1;  // write access index
+  bool trans_a = false;  // Gemm
+  bool trans_b = false;  // Gemm
+  double alpha = 1.0;    // Gemm scale / Scale factor / AddDiag addend
+  /// Iteration-vector index of the block-grid reduction loop: the kernel
+  /// accumulates when iter[reduction_iter] > 0 and initializes at 0 (the
+  /// guard on `acc` encodes the same condition). -1 = no reduction loop
+  /// (single-trip contraction; the kernel always initializes).
+  int reduction_iter = -1;
+};
+
+inline const char* StatementOpKindName(StatementOp::Kind k) {
+  switch (k) {
+    case StatementOp::Kind::kInput: return "input";
+    case StatementOp::Kind::kAdd: return "add";
+    case StatementOp::Kind::kSub: return "sub";
+    case StatementOp::Kind::kScale: return "scale";
+    case StatementOp::Kind::kAddDiag: return "adddiag";
+    case StatementOp::Kind::kGemm: return "gemm";
+    case StatementOp::Kind::kInverse: return "inverse";
+    case StatementOp::Kind::kSumSquares: return "sumsquares";
+  }
+  return "?";
+}
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_IR_STATEMENT_OP_H_

@@ -21,6 +21,20 @@ void BlockSub(const DenseView& a, const DenseView& b, DenseView* c) {
   for (int64_t i = 0; i < n; ++i) c->data[i] = a.data[i] - b.data[i];
 }
 
+void BlockScale(const DenseView& a, double alpha, DenseView* c) {
+  RIOT_DCHECK(a.rows == c->rows && a.cols == c->cols);
+  const int64_t n = a.elems();
+  for (int64_t i = 0; i < n; ++i) c->data[i] = alpha * a.data[i];
+}
+
+void BlockAddDiag(const DenseView& a, double alpha, DenseView* c) {
+  RIOT_DCHECK(a.rows == a.cols);
+  RIOT_DCHECK(a.rows == c->rows && a.cols == c->cols);
+  const int64_t n = a.elems();
+  for (int64_t i = 0; i < n; ++i) c->data[i] = a.data[i];
+  for (int64_t d = 0; d < a.rows; ++d) c->At(d, d) += alpha;
+}
+
 namespace {
 
 inline double Get(const DenseView& v, bool trans, int64_t r, int64_t c) {

@@ -30,6 +30,12 @@ void BlockAdd(const DenseView& a, const DenseView& b, DenseView* c);
 /// C = A - B (elementwise).
 void BlockSub(const DenseView& a, const DenseView& b, DenseView* c);
 
+/// C = alpha * A (elementwise).
+void BlockScale(const DenseView& a, double alpha, DenseView* c);
+
+/// C = A + alpha * I; A (and C) square.
+void BlockAddDiag(const DenseView& a, double alpha, DenseView* c);
+
 /// C op= alpha * op(A) * op(B); accumulate=false overwrites C.
 /// transpose flags select op(X) = X or X^T (BLAS-style).
 void BlockGemm(const DenseView& a, bool trans_a, const DenseView& b,

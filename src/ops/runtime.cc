@@ -21,12 +21,17 @@ Status InitInputs(const Workload& workload, const Runtime& runtime,
                   uint64_t seed) {
   for (int array_id : workload.input_arrays) {
     const ArrayInfo& arr = workload.program.array(array_id);
+    const auto constant = workload.const_input_values.find(array_id);
     std::vector<double> buf(static_cast<size_t>(arr.ElemsPerBlock()));
     for (int64_t blk = 0; blk < arr.NumBlocks(); ++blk) {
       DenseView v{buf.data(), arr.block_elems[0], arr.block_elems[1]};
-      BlockFillRandom(&v, seed * 1000003 +
-                              static_cast<uint64_t>(array_id) * 101 +
-                              static_cast<uint64_t>(blk));
+      if (constant != workload.const_input_values.end()) {
+        BlockFillConst(&v, constant->second);
+      } else {
+        BlockFillRandom(&v, seed * 1000003 +
+                                static_cast<uint64_t>(array_id) * 101 +
+                                static_cast<uint64_t>(blk));
+      }
       RIOT_RETURN_NOT_OK(
           runtime.stores[static_cast<size_t>(array_id)]->WriteBlock(
               blk, buf.data()));

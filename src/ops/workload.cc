@@ -1,5 +1,7 @@
 #include "ops/workload.h"
 
+#include "core/lowering.h"
+#include "exec/kernel_synthesis.h"
 #include "ir/builder.h"
 #include "kernels/dense.h"
 #include "util/logging.h"
@@ -8,86 +10,51 @@ namespace riot {
 
 namespace {
 
-ArrayInfo Matrix(const std::string& name, int64_t grid_r, int64_t grid_c,
-                 int64_t block_r, int64_t block_c, int64_t scale,
-                 bool persistent = true) {
+// Paper-style blocked matrix shape: grid dims are the paper's exactly,
+// block element dims are the paper's divided by `scale` (so the plan space
+// is scale-invariant).
+std::vector<int64_t> Blk(int64_t block_r, int64_t block_c, int64_t scale,
+                         const char* name) {
   RIOT_CHECK_EQ(block_r % scale, 0) << name << " rows not divisible by scale";
   RIOT_CHECK_EQ(block_c % scale, 0) << name << " cols not divisible by scale";
-  ArrayInfo a;
-  a.name = name;
-  a.grid = {grid_r, grid_c};
-  a.block_elems = {block_r / scale, block_c / scale};
-  a.persistent = persistent;
-  return a;
+  return {block_r / scale, block_c / scale};
 }
 
-// Generic C = A + B over an (n1 x n2) block grid; returns the statement id.
-int AddAdditionStatement(Program* p, int a, int b, int c, int64_t n1,
-                         int64_t n2, int nest, const std::string& name) {
-  Statement s;
-  s.name = name;
-  s.iters = {"i", "k"};
-  s.domain = RectDomain({{0, n1 - 1}, {0, n2 - 1}}, {"i", "k"});
-  s.accesses.push_back(Read(a, {{1, 0, 0}, {0, 1, 0}}));
-  s.accesses.push_back(Read(b, {{1, 0, 0}, {0, 1, 0}}));
-  s.accesses.push_back(Write(c, {{1, 0, 0}, {0, 1, 0}}));
-  return p->AddStatement(std::move(s), nest, 0);
+}  // namespace
+
+Workload FromExpr(std::string name, const ExprGraph& graph,
+                  const std::vector<ExprRef>& outputs) {
+  LoweredExpr lowered = LowerExpr(graph, outputs).ValueOrDie();
+  Workload w;
+  w.name = std::move(name);
+  w.program = std::move(lowered.program);
+  w.input_arrays = std::move(lowered.input_arrays);
+  w.output_arrays = std::move(lowered.output_arrays);
+  // Materialize the synthesized kernels so callers can wrap or replace
+  // individual ones (leaving them empty would also work — the Executor
+  // synthesizes on demand).
+  for (const Statement& st : w.program.statements()) {
+    w.kernels.push_back(SynthesizeKernel(*st.op));
+  }
+  return w;
 }
 
-// Generic E[i,j] += C[i,k] * D[k,j] over (n1 x n3 x n2); the read of E is
-// guarded by k >= 1 (paper footnote 1: k == 0 initializes).
-int AddMultiplyStatement(Program* p, int c, int d, int e, int64_t n1,
-                         int64_t n3, int64_t n2, int nest,
-                         const std::string& name) {
-  Statement s;
-  s.name = name;
-  s.iters = {"i", "j", "k"};
-  s.domain =
-      RectDomain({{0, n1 - 1}, {0, n3 - 1}, {0, n2 - 1}}, {"i", "j", "k"});
-  s.accesses.push_back(Read(c, {{1, 0, 0, 0}, {0, 0, 1, 0}}));  // C[i,k]
-  s.accesses.push_back(Read(d, {{0, 0, 1, 0}, {0, 1, 0, 0}}));  // D[k,j]
-  Access re = Read(e, {{1, 0, 0, 0}, {0, 1, 0, 0}});            // E[i,j]
-  re.guard = GuardGe(s.domain, 2, 1);                           // k >= 1
-  s.accesses.push_back(std::move(re));
-  s.accesses.push_back(Write(e, {{1, 0, 0, 0}, {0, 1, 0, 0}}));
-  return p->AddStatement(std::move(s), nest, 0);
-}
-
-StatementKernel AddKernel() {
-  return [](const std::vector<int64_t>&, const std::vector<DenseView*>& v) {
-    BlockAdd(*v[0], *v[1], v[2]);
-  };
-}
-
-// views: [C, D, E(read, nullable), E(write)]; accumulate when k > 0.
-StatementKernel MulAccumulateKernel() {
-  return [](const std::vector<int64_t>& iter,
-            const std::vector<DenseView*>& v) {
-    const bool accumulate = iter[2] > 0;
-    BlockGemm(*v[0], false, *v[1], false, v[3], accumulate);
-  };
-}
+namespace {
 
 Workload MakeAddMulImpl(int64_t scale, int64_t n1_blocks,
                         int64_t block_rows) {
-  Workload w;
-  w.name = "addmul";
-  Program& p = w.program;
   // Paper Table 2: A,B,C 12x12 blocks of 6000x4000; D 12x1 of 4000x5000;
   // E 12x1 of 6000x5000. The "tall blocks" variant uses 8x12 of 9000x4000.
   const int64_t n1 = n1_blocks, n2 = 12, n3 = 1;
-  int a = p.AddArray(Matrix("A", n1, n2, block_rows, 4000, scale));
-  int b = p.AddArray(Matrix("B", n1, n2, block_rows, 4000, scale));
-  int c = p.AddArray(
-      Matrix("C", n1, n2, block_rows, 4000, scale, /*persistent=*/false));
-  int d = p.AddArray(Matrix("D", n2, n3, 4000, 5000, scale));
-  int e = p.AddArray(Matrix("E", n1, n3, block_rows, 5000, scale));
-  AddAdditionStatement(&p, a, b, c, n1, n2, /*nest=*/0, "s1");
-  AddMultiplyStatement(&p, c, d, e, n1, n3, n2, /*nest=*/1, "s2");
-  w.kernels = {AddKernel(), MulAccumulateKernel()};
-  w.input_arrays = {a, b, d};
-  w.output_arrays = {e};
-  return w;
+  ExprGraph g;
+  ExprRef a = g.Input("A", {n1, n2}, Blk(block_rows, 4000, scale, "A"));
+  ExprRef b = g.Input("B", {n1, n2}, Blk(block_rows, 4000, scale, "B"));
+  ExprRef c = g.Add(a, b);
+  g.SetName(c, "C");  // scratch: written to disk only if the plan must
+  ExprRef d = g.Input("D", {n2, n3}, Blk(4000, 5000, scale, "D"));
+  ExprRef e = g.Gemm(c, d);
+  g.SetName(e, "E");
+  return FromExpr("addmul", g, {e});
 }
 
 }  // namespace
@@ -110,175 +77,128 @@ Workload MakeAddMulBlocked(int64_t block_rows, int64_t scale) {
 }
 
 Workload MakeTwoMatMul(TwoMatMulConfig config, int64_t scale) {
-  Workload w;
-  w.name = config == TwoMatMulConfig::kConfigA ? "twomm_a" : "twomm_b";
-  Program& p = w.program;
-  int a, b, c, d, e;
-  int64_t n1, n2, n3, n4;  // A: n1 x n3 blocks; B: n3 x n2; D: n3 x n4
+  ExprGraph g;
+  ExprRef a, b, c, d, e;
   if (config == TwoMatMulConfig::kConfigA) {
     // Table 3 Config A: A 6x6 of 8000x7000; B,D 6x10 of 7000x3000;
     // C,E 6x10 of 8000x3000.
-    n1 = 6, n3 = 6, n2 = 10, n4 = 10;
-    a = p.AddArray(Matrix("A", n1, n3, 8000, 7000, scale));
-    b = p.AddArray(Matrix("B", n3, n2, 7000, 3000, scale));
-    c = p.AddArray(Matrix("C", n1, n2, 8000, 3000, scale));
-    d = p.AddArray(Matrix("D", n3, n4, 7000, 3000, scale));
-    e = p.AddArray(Matrix("E", n1, n4, 8000, 3000, scale));
+    a = g.Input("A", {6, 6}, Blk(8000, 7000, scale, "A"));
+    b = g.Input("B", {6, 10}, Blk(7000, 3000, scale, "B"));
+    c = g.Gemm(a, b);
+    d = g.Input("D", {6, 10}, Blk(7000, 3000, scale, "D"));
+    e = g.Gemm(a, d);
   } else {
     // Table 3 Config B: A 18x6 of 2000x8000; B 6x4 of 8000x6000;
     // C 18x4 of 2000x6000; D 6x4 of 8000x7000; E 18x4 of 2000x7000.
-    n1 = 18, n3 = 6, n2 = 4, n4 = 4;
-    a = p.AddArray(Matrix("A", n1, n3, 2000, 8000, scale));
-    b = p.AddArray(Matrix("B", n3, n2, 8000, 6000, scale));
-    c = p.AddArray(Matrix("C", n1, n2, 2000, 6000, scale));
-    d = p.AddArray(Matrix("D", n3, n4, 8000, 7000, scale));
-    e = p.AddArray(Matrix("E", n1, n4, 2000, 7000, scale));
+    a = g.Input("A", {18, 6}, Blk(2000, 8000, scale, "A"));
+    b = g.Input("B", {6, 4}, Blk(8000, 6000, scale, "B"));
+    c = g.Gemm(a, b);
+    d = g.Input("D", {6, 4}, Blk(8000, 7000, scale, "D"));
+    e = g.Gemm(a, d);
   }
-  AddMultiplyStatement(&p, a, b, c, n1, n2, n3, /*nest=*/0, "s1");
-  AddMultiplyStatement(&p, a, d, e, n1, n4, n3, /*nest=*/1, "s2");
-  w.kernels = {MulAccumulateKernel(), MulAccumulateKernel()};
-  w.input_arrays = {a, b, d};
-  w.output_arrays = {c, e};
-  return w;
+  g.SetName(c, "C");
+  g.SetName(e, "E");
+  return FromExpr(
+      config == TwoMatMulConfig::kConfigA ? "twomm_a" : "twomm_b", g,
+      {c, e});
 }
 
 Workload MakeLinReg(int64_t scale) {
-  Workload w;
-  w.name = "linreg";
-  Program& p = w.program;
   // Table 4: X 25x1 blocks of 60000x4000; Y, Yhat, E 25x1 of 60000x400;
   // U, W 1x1 of 4000x4000; V, beta 1x1 of 4000x400; RSS 1x1 of 1x400.
   const int64_t nb = 25;
-  int x = p.AddArray(Matrix("X", nb, 1, 60000, 4000, scale));
-  int y = p.AddArray(Matrix("Y", nb, 1, 60000, 400, scale));
-  int u = p.AddArray(Matrix("U", 1, 1, 4000, 4000, scale));
-  int v = p.AddArray(Matrix("V", 1, 1, 4000, 400, scale));
-  int wm = p.AddArray(Matrix("W", 1, 1, 4000, 4000, scale));
-  int beta = p.AddArray(Matrix("Bh", 1, 1, 4000, 400, scale));
-  int yhat = p.AddArray(
-      Matrix("Yh", nb, 1, 60000, 400, scale, /*persistent=*/false));
-  int eres = p.AddArray(
-      Matrix("Er", nb, 1, 60000, 400, scale, /*persistent=*/false));
-  int rss = p.AddArray(Matrix("R", 1, 1, scale, 400, scale));  // 1 x k block
+  ExprGraph g;
+  ExprRef x = g.Input("X", {nb, 1}, Blk(60000, 4000, scale, "X"));
+  ExprRef y = g.Input("Y", {nb, 1}, Blk(60000, 400, scale, "Y"));
+  ExprRef u = g.Gemm(x, x, {true});  // s1: U += X[k]' X[k]
+  ExprRef v = g.Gemm(x, y, {true});  // s2: V += X[k]' Y[k]
+  ExprRef w = g.Inverse(u);                      // s3: W = U^-1
+  ExprRef beta = g.Gemm(w, v);                   // s4: beta = W V
+  ExprRef yhat = g.Gemm(x, beta);                // s5: Yhat[k] = X[k] beta
+  ExprRef e = g.Sub(y, yhat);                    // s6: E[k] = Y[k] - Yhat[k]
+  ExprRef rss = g.SumSquares(e);                 // s7: R += colsumsq(E[k])
+  g.SetName(u, "U");
+  g.SetName(v, "V");
+  g.SetName(w, "W");
+  g.SetName(beta, "Bh");
+  g.SetName(yhat, "Yh");
+  g.SetName(e, "Er");
+  g.SetName(rss, "R");
+  // The paper's Table 4 keeps the small model matrices U, V, W on disk
+  // (only the tall Yhat/E temporaries are elidable); preserve that.
+  g.Keep(u);
+  g.Keep(v);
+  g.Keep(w);
+  return FromExpr("linreg", g, {beta, rss});
+}
 
-  auto dom_k = RectDomain({{0, nb - 1}}, {"k"});
-  auto dom_1 = RectDomain({{0, 0}}, {"z"});
+Workload MakeExample1(int64_t n1, int64_t n2, int64_t n3, int64_t block_rows,
+                      int64_t block_cols) {
+  ExprGraph g;
+  ExprRef a = g.Input("A", {n1, n2}, {block_rows, block_cols});
+  ExprRef b = g.Input("B", {n1, n2}, {block_rows, block_cols});
+  ExprRef c = g.Add(a, b);
+  g.SetName(c, "C");
+  ExprRef d = g.Input("D", {n2, n3}, {block_cols, block_rows});
+  ExprRef e = g.Gemm(c, d);
+  g.SetName(e, "E");
+  return FromExpr("example1", g, {e});
+}
 
-  {  // s1: U += X[k]' X[k]
-    Statement s;
-    s.name = "s1";
-    s.iters = {"k"};
-    s.domain = dom_k;
-    s.accesses.push_back(Read(x, {{1, 0}, {0, 0}}));
-    Access ru = Read(u, {{0, 0}, {0, 0}});
-    ru.guard = GuardGe(dom_k, 0, 1);
-    s.accesses.push_back(std::move(ru));
-    s.accesses.push_back(Write(u, {{0, 0}, {0, 0}}));
-    p.AddStatement(std::move(s), 0, 0);
-    w.kernels.push_back([](const std::vector<int64_t>& iter,
-                           const std::vector<DenseView*>& vv) {
-      BlockGemm(*vv[0], true, *vv[0], false, vv[2], iter[0] > 0);
-    });
+Workload MakeCovariance(int64_t scale) {
+  // X: 16x1 blocks of 30000x3000; O: the all-ones column (16x1 blocks of
+  // 30000x1). G = X'X and M = 1'X (column sums) are accumulated across
+  // X's block rows; both — and the small M'M product — are scratch.
+  const int64_t nb = 16;
+  const double n = static_cast<double>(nb) *
+                   static_cast<double>(30000 / scale);
+  ExprGraph g;
+  ExprRef x = g.Input("X", {nb, 1}, Blk(30000, 3000, scale, "X"));
+  ExprRef ones = g.Input("O", {nb, 1}, Blk(30000, scale, scale, "O"));
+  ExprRef gram = g.Gemm(x, x, {true});          // G = X'X
+  ExprRef m = g.Gemm(ones, x, {true});          // M = 1'X
+  ExprRef mm = g.Gemm(m, m, {true, false, 1.0 / n});
+  ExprRef centered = g.Sub(gram, mm);                // G - (1/n) M'M
+  ExprRef cov = g.Scale(centered, 1.0 / (n - 1.0));
+  g.SetName(gram, "G");
+  g.SetName(m, "M");
+  g.SetName(cov, "Cov");
+  Workload w = FromExpr("covariance", g, {cov});
+  // O is the all-ones column; look it up by name (array ids are a
+  // lowering detail callers must not hard-code).
+  for (const ArrayInfo& arr : w.program.arrays()) {
+    if (arr.name == "O") w.const_input_values[arr.id] = 1.0;
   }
-  {  // s2: V += X[k]' Y[k]
-    Statement s;
-    s.name = "s2";
-    s.iters = {"k"};
-    s.domain = dom_k;
-    s.accesses.push_back(Read(x, {{1, 0}, {0, 0}}));
-    s.accesses.push_back(Read(y, {{1, 0}, {0, 0}}));
-    Access rv = Read(v, {{0, 0}, {0, 0}});
-    rv.guard = GuardGe(dom_k, 0, 1);
-    s.accesses.push_back(std::move(rv));
-    s.accesses.push_back(Write(v, {{0, 0}, {0, 0}}));
-    p.AddStatement(std::move(s), 1, 0);
-    w.kernels.push_back([](const std::vector<int64_t>& iter,
-                           const std::vector<DenseView*>& vv) {
-      BlockGemm(*vv[0], true, *vv[1], false, vv[3], iter[0] > 0);
-    });
+  RIOT_CHECK_EQ(w.const_input_values.size(), 1u);
+  return w;
+}
+
+Workload MakeRidge(int64_t scale) {
+  // beta_l = (X'X + lambda_l I)^-1 X'y for two lambdas. The factory
+  // deliberately spells out the full formula per lambda: hash-consing
+  // dedups the repeated X'X and X'y subexpressions, so each is computed
+  // (and materialized) once — cse_hits() == 2 by construction.
+  const int64_t nb = 16;
+  ExprGraph g;
+  ExprRef x = g.Input("X", {nb, 1}, Blk(30000, 3000, scale, "X"));
+  ExprRef y = g.Input("Y", {nb, 1}, Blk(30000, 400, scale, "Y"));
+  const double lambdas[2] = {2.5, 9.0};
+  std::vector<ExprRef> betas;
+  for (int li = 0; li < 2; ++li) {
+    ExprRef gram = g.Gemm(x, x, {true});  // CSE after 1st lambda
+    ExprRef v = g.Gemm(x, y, {true});     // CSE after 1st lambda
+    ExprRef regularized = g.AddDiag(gram, lambdas[li]);
+    ExprRef winv = g.Inverse(regularized);
+    betas.push_back(g.Gemm(winv, v));
+    g.SetName(gram, "G");
+    g.SetName(v, "V");
+    g.SetName(regularized, li == 0 ? "Ra" : "Rb");
+    g.SetName(winv, li == 0 ? "Wa" : "Wb");
   }
-  {  // s3: W = U^-1
-    Statement s;
-    s.name = "s3";
-    s.iters = {"z"};
-    s.domain = dom_1;
-    s.accesses.push_back(Read(u, {{0, 0}, {0, 0}}));
-    s.accesses.push_back(Write(wm, {{0, 0}, {0, 0}}));
-    p.AddStatement(std::move(s), 2, 0);
-    w.kernels.push_back([](const std::vector<int64_t>&,
-                           const std::vector<DenseView*>& vv) {
-      BlockInverse(*vv[0], vv[1]).CheckOK();
-    });
-  }
-  {  // s4: beta = W V
-    Statement s;
-    s.name = "s4";
-    s.iters = {"z"};
-    s.domain = dom_1;
-    s.accesses.push_back(Read(wm, {{0, 0}, {0, 0}}));
-    s.accesses.push_back(Read(v, {{0, 0}, {0, 0}}));
-    s.accesses.push_back(Write(beta, {{0, 0}, {0, 0}}));
-    p.AddStatement(std::move(s), 3, 0);
-    w.kernels.push_back([](const std::vector<int64_t>&,
-                           const std::vector<DenseView*>& vv) {
-      BlockGemm(*vv[0], false, *vv[1], false, vv[2], false);
-    });
-  }
-  {  // s5: Yhat[k] = X[k] beta
-    Statement s;
-    s.name = "s5";
-    s.iters = {"k"};
-    s.domain = dom_k;
-    s.accesses.push_back(Read(x, {{1, 0}, {0, 0}}));
-    s.accesses.push_back(Read(beta, {{0, 0}, {0, 0}}));
-    s.accesses.push_back(Write(yhat, {{1, 0}, {0, 0}}));
-    p.AddStatement(std::move(s), 4, 0);
-    w.kernels.push_back([](const std::vector<int64_t>&,
-                           const std::vector<DenseView*>& vv) {
-      BlockGemm(*vv[0], false, *vv[1], false, vv[2], false);
-    });
-  }
-  {  // s6: E[k] = Y[k] - Yhat[k]
-    Statement s;
-    s.name = "s6";
-    s.iters = {"k"};
-    s.domain = dom_k;
-    s.accesses.push_back(Read(y, {{1, 0}, {0, 0}}));
-    s.accesses.push_back(Read(yhat, {{1, 0}, {0, 0}}));
-    s.accesses.push_back(Write(eres, {{1, 0}, {0, 0}}));
-    p.AddStatement(std::move(s), 5, 0);
-    w.kernels.push_back([](const std::vector<int64_t>&,
-                           const std::vector<DenseView*>& vv) {
-      BlockSub(*vv[0], *vv[1], vv[2]);
-    });
-  }
-  {  // s7: R += column sums of squares of E[k]
-    Statement s;
-    s.name = "s7";
-    s.iters = {"k"};
-    s.domain = dom_k;
-    s.accesses.push_back(Read(eres, {{1, 0}, {0, 0}}));
-    Access rr = Read(rss, {{0, 0}, {0, 0}});
-    rr.guard = GuardGe(dom_k, 0, 1);
-    s.accesses.push_back(std::move(rr));
-    s.accesses.push_back(Write(rss, {{0, 0}, {0, 0}}));
-    p.AddStatement(std::move(s), 6, 0);
-    w.kernels.push_back([](const std::vector<int64_t>& iter,
-                           const std::vector<DenseView*>& vv) {
-      DenseView* out = vv[2];
-      if (iter[0] == 0) BlockFillConst(out, 0.0);
-      // out has `scale` rows but only row 0 is meaningful; accumulate
-      // column sums of squares into row 0.
-      const DenseView& e = *vv[0];
-      for (int64_t c = 0; c < e.cols; ++c) {
-        double sum = 0.0;
-        for (int64_t r = 0; r < e.rows; ++r) sum += e.At(r, c) * e.At(r, c);
-        out->At(0, c) += sum;
-      }
-    });
-  }
-  w.input_arrays = {x, y};
-  w.output_arrays = {beta, rss};
+  g.SetName(betas[0], "Ba");
+  g.SetName(betas[1], "Bb");
+  RIOT_CHECK_EQ(g.cse_hits(), 2);
+  Workload w = FromExpr("ridge", g, betas);
   return w;
 }
 
@@ -351,25 +271,6 @@ Workload MakeJoinFilter(int64_t nr, int64_t ns, int64_t rows_per_block) {
   }
   w.input_arrays = {r, s_arr};
   w.output_arrays = {t};
-  return w;
-}
-
-Workload MakeExample1(int64_t n1, int64_t n2, int64_t n3, int64_t block_rows,
-                      int64_t block_cols) {
-  Workload w;
-  w.name = "example1";
-  Program& p = w.program;
-  int a = p.AddArray(Matrix("A", n1, n2, block_rows, block_cols, 1));
-  int b = p.AddArray(Matrix("B", n1, n2, block_rows, block_cols, 1));
-  int c = p.AddArray(
-      Matrix("C", n1, n2, block_rows, block_cols, 1, /*persistent=*/false));
-  int d = p.AddArray(Matrix("D", n2, n3, block_cols, block_rows, 1));
-  int e = p.AddArray(Matrix("E", n1, n3, block_rows, block_rows, 1));
-  AddAdditionStatement(&p, a, b, c, n1, n2, /*nest=*/0, "s1");
-  AddMultiplyStatement(&p, c, d, e, n1, n3, n2, /*nest=*/1, "s2");
-  w.kernels = {AddKernel(), MulAccumulateKernel()};
-  w.input_arrays = {a, b, d};
-  w.output_arrays = {e};
   return w;
 }
 

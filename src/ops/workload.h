@@ -2,12 +2,25 @@
 // the optimizer) with statement kernels (consumed by the executor) and
 // array roles (inputs to initialize, outputs to verify).
 //
-// Factories are provided for each program evaluated in the paper:
+// Most factories are written against the lazy expression front end
+// (ir/expr.h): a few lines of array expressions, lowered by
+// core/lowering.h into the blocked IR, with every kernel synthesized from
+// the statements' typed ops. MakeJoinFilter is the escape-hatch
+// counterexample — filter/join semantics have no expression op, so it
+// hand-builds its IR and kernels the historical way.
+//
+// Factories for each program evaluated in the paper:
 //   * MakeAddMul      — Example 1 / Section 6.1: C = A + B; E = C D
 //   * MakeAddMulTall  — the paper's "club" variant with 1.5x-taller blocks
 //   * MakeTwoMatMul   — Section 6.2: C = A B; E = A D (Configs A and B)
 //   * MakeLinReg      — Section 6.3: 7-step ordinary-least-squares pipeline
 //   * MakeExample1    — Example 1 with free block-grid parameters (tests)
+// and two expression-native additions exercising CSE and scratch
+// temporaries:
+//   * MakeCovariance  — centered covariance S = X'X/n - mean' mean-style
+//   * MakeRidge       — ridge regression (X'X + lambda I)^-1 X'y at two
+//                       lambdas; the shared X'X and X'y are hash-consed
+//                       and materialized once
 //
 // Every factory takes `scale`: block element dimensions are the paper's
 // divided by scale, while the block *grids* are the paper's exactly, so the
@@ -15,10 +28,12 @@
 #ifndef RIOTSHARE_OPS_WORKLOAD_H_
 #define RIOTSHARE_OPS_WORKLOAD_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "exec/executor.h"
+#include "ir/expr.h"
 #include "ir/program.h"
 
 namespace riot {
@@ -26,10 +41,24 @@ namespace riot {
 struct Workload {
   std::string name;
   Program program;
-  std::vector<StatementKernel> kernels;  // by statement id
-  std::vector<int> input_arrays;         // initialized before execution
-  std::vector<int> output_arrays;        // compared across plans
+  /// By statement id. Expression-built workloads carry kernels synthesized
+  /// from the statements' ops (so callers may wrap or replace them); an
+  /// empty entry makes the Executor synthesize at construction instead.
+  std::vector<StatementKernel> kernels;
+  std::vector<int> input_arrays;  // initialized before execution
+  std::vector<int> output_arrays; // compared across plans
+  /// Inputs holding a constant instead of random data (e.g. an all-ones
+  /// vector); InitInputs consults this. Keyed by array id.
+  std::map<int, double> const_input_values;
 };
+
+/// \brief Lowers an expression graph into a runnable workload: program from
+/// core/lowering.h, kernels synthesized from every statement's op.
+/// CHECK-fails on a graph LowerExpr rejects (empty/duplicate outputs,
+/// duplicate array names, output that is an input) — call LowerExpr
+/// directly to handle those as recoverable Status instead.
+Workload FromExpr(std::string name, const ExprGraph& graph,
+                  const std::vector<ExprRef>& outputs);
 
 Workload MakeAddMul(int64_t scale);
 Workload MakeAddMulTall(int64_t scale);
@@ -50,6 +79,21 @@ Workload MakeLinReg(int64_t scale);
 Workload MakeExample1(int64_t n1, int64_t n2, int64_t n3,
                       int64_t block_rows = 8, int64_t block_cols = 8);
 
+/// Centered covariance of X's columns (X: 16x1 blocks of 30000x3000):
+///   G = X'X;  M = 1'X;  Cov = (G - (1/n) M'M) / (n - 1)
+/// G, M, and the M'M product are scratch temporaries — non-persistent, so
+/// the optimizer's write elision can keep them off disk entirely.
+/// `scale` must divide 30000 and 3000.
+Workload MakeCovariance(int64_t scale);
+
+/// Ridge regression at two regularization strengths over one dataset
+/// (X: 16x1 blocks of 30000x3000; y: 30000x400):
+///   beta_l = (X'X + lambda_l I)^-1 X'y      for lambda in {2.5, 9.0}
+/// The factory builds the X'X and X'y subexpressions twice, once per
+/// lambda; hash-consed CSE materializes each exactly once (see
+/// ExprGraph::cse_hits). `scale` must divide 30000, 3000, and 400.
+Workload MakeRidge(int64_t scale);
+
 /// Pig/relational-style program (paper Section 4.1: "table scans and nested
 /// loop joins in traditional databases, FILTER and FOREACH commands in Pig"
 /// are static-control):
@@ -58,6 +102,8 @@ Workload MakeExample1(int64_t n1, int64_t n2, int64_t n3,
 /// R: nr blocks of rows x 2 (key, payload); S: ns blocks; T: nr x ns counts.
 /// Sharing opportunities include pipelining U from the filter into the join
 /// and reusing S blocks across the outer loop.
+/// Hand-built IR + free-form kernels: the escape hatch for semantics the
+/// expression language has no op for.
 Workload MakeJoinFilter(int64_t nr, int64_t ns, int64_t rows_per_block = 32);
 
 }  // namespace riot

@@ -1,0 +1,190 @@
+// Lowering: expression DAG -> blocked static-control Program. Asserts the
+// emitted domains, affine accesses, guards, op specs, scratch marking,
+// duplicate-read collapsing, and CSE materialization.
+#include "core/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "ir/expr.h"
+
+namespace riot {
+namespace {
+
+LoweredExpr MustLower(const ExprGraph& g, const std::vector<ExprRef>& outs) {
+  auto r = LowerExpr(g, outs);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+TEST(LoweringTest, Example1StructureMatchesHandBuiltForm) {
+  // C = A + B; E = C D over a 4x3 / 3x2 grid: the classic Example 1.
+  ExprGraph g;
+  ExprRef a = g.Input("A", {4, 3}, {8, 8});
+  ExprRef b = g.Input("B", {4, 3}, {8, 8});
+  ExprRef c = g.Add(a, b);
+  ExprRef d = g.Input("D", {3, 2}, {8, 8});
+  ExprRef e = g.Gemm(c, d);
+  LoweredExpr lo = MustLower(g, {e});
+  const Program& p = lo.program;
+
+  // Arrays in node order: A, B, C, D, E; only the bound output and the
+  // inputs are persistent.
+  ASSERT_EQ(p.arrays().size(), 5u);
+  EXPECT_EQ(p.array(2).name, "t2");
+  EXPECT_FALSE(p.array(2).persistent);  // scratch temporary
+  EXPECT_TRUE(p.array(4).persistent);   // output
+  EXPECT_EQ(lo.input_arrays, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(lo.output_arrays, (std::vector<int>{4}));
+
+  ASSERT_EQ(p.statements().size(), 2u);
+  const Statement& s1 = p.statement(0);
+  EXPECT_EQ(s1.name, "s1");
+  EXPECT_EQ(s1.iters, (std::vector<std::string>{"i", "j"}));
+  ASSERT_EQ(s1.accesses.size(), 3u);  // read A, read B, write C
+  ASSERT_TRUE(s1.op.has_value());
+  EXPECT_EQ(s1.op->kind, StatementOp::Kind::kAdd);
+  EXPECT_EQ(s1.op->a, 0);
+  EXPECT_EQ(s1.op->b, 1);
+  EXPECT_EQ(s1.op->out, 2);
+
+  const Statement& s2 = p.statement(1);
+  EXPECT_EQ(s2.iters, (std::vector<std::string>{"i", "j", "k"}));
+  // read C[i,k], read D[k,j], guarded read E[i,j] (k >= 1), write E[i,j].
+  ASSERT_EQ(s2.accesses.size(), 4u);
+  EXPECT_FALSE(s2.accesses[0].guard.has_value());
+  ASSERT_TRUE(s2.accesses[2].guard.has_value());
+  EXPECT_FALSE(s2.accesses[2].guard->Contains({0, 0, 0}));
+  EXPECT_TRUE(s2.accesses[2].guard->Contains({0, 0, 1}));
+  ASSERT_TRUE(s2.op.has_value());
+  EXPECT_EQ(s2.op->kind, StatementOp::Kind::kGemm);
+  EXPECT_EQ(s2.op->reduction_iter, 2);
+  EXPECT_EQ(s2.op->acc, 2);
+  EXPECT_EQ(s2.op->out, 3);
+  // Block subscripts: C at [i, k], D at [k, j].
+  EXPECT_EQ(s2.accesses[0].BlockAt({2, 1, 0}), (BlockCoord{2, 0}));
+  EXPECT_EQ(s2.accesses[1].BlockAt({2, 1, 0}), (BlockCoord{0, 1}));
+}
+
+TEST(LoweringTest, UnitGridDimsAreDroppedFromDomains) {
+  // U = X'X over a 25x1 grid: one reduction loop, not three.
+  ExprGraph g;
+  ExprRef x = g.Input("X", {25, 1}, {16, 4});
+  ExprRef u = g.Gemm(x, x, {true});
+  LoweredExpr lo = MustLower(g, {u});
+  const Statement& s1 = lo.program.statement(0);
+  ASSERT_EQ(s1.depth(), 1u);
+  EXPECT_EQ(s1.iters[0], "k");
+  EXPECT_EQ(s1.op->reduction_iter, 0);
+  // X read once even though the op views it twice (same array, same map).
+  ASSERT_EQ(s1.accesses.size(), 3u);  // read X, guarded read U, write U
+  EXPECT_EQ(s1.op->a, 0);
+  EXPECT_EQ(s1.op->b, 0);
+  EXPECT_EQ(s1.op->acc, 1);
+  EXPECT_EQ(s1.op->out, 2);
+
+  // All-unit roles degenerate to a single {0..0} loop.
+  ExprGraph g2;
+  ExprRef sq = g2.Input("S", {1, 1}, {4, 4});
+  ExprRef inv = g2.Inverse(sq);
+  LoweredExpr lo2 = MustLower(g2, {inv});
+  const Statement& si = lo2.program.statement(0);
+  EXPECT_EQ(si.iters, (std::vector<std::string>{"z"}));
+  EXPECT_EQ(si.domain.EnumerateIntegerPoints().size(), 1u);
+}
+
+TEST(LoweringTest, SumSquaresLowersToGuardedReduction) {
+  ExprGraph g;
+  ExprRef x = g.Input("X", {6, 2}, {8, 3});
+  ExprRef ss = g.SumSquares(x);
+  LoweredExpr lo = MustLower(g, {ss});
+  const Statement& s = lo.program.statement(0);
+  EXPECT_EQ(s.iters, (std::vector<std::string>{"j", "k"}));
+  ASSERT_EQ(s.accesses.size(), 3u);
+  // X at [k, j]; result at [0, j].
+  EXPECT_EQ(s.accesses[0].BlockAt({1, 4}), (BlockCoord{4, 1}));
+  EXPECT_EQ(s.accesses[2].BlockAt({1, 4}), (BlockCoord{0, 1}));
+  ASSERT_TRUE(s.accesses[1].guard.has_value());
+  EXPECT_EQ(s.op->kind, StatementOp::Kind::kSumSquares);
+  EXPECT_EQ(s.op->reduction_iter, 1);
+}
+
+TEST(LoweringTest, CseSharedNodeMaterializedOnce) {
+  // Ridge-style: (X'X + l1 I)^-1 and (X'X + l2 I)^-1 share one X'X.
+  ExprGraph g;
+  ExprRef x = g.Input("X", {4, 1}, {8, 8});
+  std::vector<ExprRef> outs;
+  for (double lambda : {1.0, 2.0}) {
+    ExprRef gram = g.Gemm(x, x, {true});
+    outs.push_back(g.Inverse(g.AddDiag(gram, lambda)));
+  }
+  EXPECT_EQ(g.cse_hits(), 1);
+  LoweredExpr lo = MustLower(g, outs);
+  // X'X once, two AddDiags, two Inverses.
+  ASSERT_EQ(lo.program.statements().size(), 5u);
+  int gemms = 0;
+  for (const Statement& s : lo.program.statements()) {
+    gemms += s.op->kind == StatementOp::Kind::kGemm ? 1 : 0;
+  }
+  EXPECT_EQ(gemms, 1);
+  // Both AddDiag statements read the single gram array.
+  const int gram_arr = lo.array_of[1];
+  EXPECT_EQ(lo.program.statement(1).accesses[0].array_id, gram_arr);
+  EXPECT_EQ(lo.program.statement(3).accesses[0].array_id, gram_arr);
+}
+
+TEST(LoweringTest, KeepMakesTemporaryPersistent) {
+  ExprGraph g;
+  ExprRef a = g.Input("A", {2, 2}, {4, 4});
+  ExprRef s = g.Add(a, a);
+  ExprRef t = g.Sub(s, a);
+  g.Keep(s);
+  LoweredExpr lo = MustLower(g, {t});
+  EXPECT_TRUE(lo.program.array(lo.array_of[1]).persistent);   // kept
+  EXPECT_TRUE(lo.program.array(lo.array_of[2]).persistent);   // output
+}
+
+TEST(LoweringTest, RejectsBadOutputLists) {
+  ExprGraph g;
+  ExprRef a = g.Input("A", {2, 2}, {4, 4});
+  ExprRef s = g.Add(a, a);
+  EXPECT_FALSE(LowerExpr(g, {}).ok());
+  EXPECT_FALSE(LowerExpr(g, {a}).ok());      // input as output
+  EXPECT_FALSE(LowerExpr(g, {s, s}).ok());   // duplicate
+  EXPECT_FALSE(LowerExpr(g, {99}).ok());     // out of range
+  EXPECT_TRUE(LowerExpr(g, {s}).ok());
+}
+
+TEST(LoweringTest, RejectsDuplicateArrayNames) {
+  // Array names become store file names; a collision would alias two
+  // arrays onto one file.
+  ExprGraph g;
+  ExprRef a = g.Input("A", {2, 2}, {4, 4});
+  ExprRef s = g.Add(a, a);
+  ExprRef t = g.Sub(s, a);
+  g.SetName(s, "A");  // collides with the input
+  EXPECT_FALSE(LowerExpr(g, {t}).ok());
+  g.SetName(s, "t2");  // collides with t's auto-generated temp name
+  EXPECT_FALSE(LowerExpr(g, {t}).ok());
+  g.SetName(s, "S");
+  EXPECT_TRUE(LowerExpr(g, {t}).ok());
+}
+
+TEST(LoweringTest, LoweredProgramsOptimizeEndToEnd) {
+  // The lowered IR must be a first-class citizen of the whole pipeline:
+  // analysis finds the C producer-consumer sharing, and the optimizer
+  // returns plans realizing it.
+  ExprGraph g;
+  ExprRef a = g.Input("A", {3, 3}, {4, 4});
+  ExprRef b = g.Input("B", {3, 3}, {4, 4});
+  ExprRef c = g.Add(a, b);
+  ExprRef d = g.Input("D", {3, 2}, {4, 4});
+  ExprRef e = g.Gemm(c, d);
+  LoweredExpr lo = MustLower(g, {e});
+  OptimizationResult r = Optimize(lo.program);
+  EXPECT_GT(r.plans.size(), 1u);
+  EXPECT_LT(r.best().cost.TotalBytes(), r.plans[0].cost.TotalBytes());
+}
+
+}  // namespace
+}  // namespace riot

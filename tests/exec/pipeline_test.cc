@@ -222,9 +222,21 @@ TEST(PipelineTest, OverlapsComputeWithIoOn2mm) {
   // slack). Pipelined: wall beats io + compute by a real margin.
   EXPECT_GE(s0.wall_seconds, s0.io_seconds + s0.compute_seconds - 0.02);
   EXPECT_GT(s1.prefetch_hits, 0);
+#ifdef RIOT_SANITIZED
+  // Sanitizer instrumentation erodes fixed wall-clock margins — the
+  // overlap/compute second counters race the inflated wall clock on a
+  // 1-core host, and overlap_seconds can legitimately land under 50 ms
+  // even though the ~1.4k prefetched reads really did sleep while kernels
+  // ran. Assert the order-robust consequence instead: with identical I/O
+  // and identical kernels, only overlap can make the pipelined run beat
+  // the synchronous one, and the physically-slept prefetch time keeps the
+  // gap well clear of scheduler noise even when both walls are inflated.
+  EXPECT_LT(s1.wall_seconds, s0.wall_seconds - 0.05);
+#else
   EXPECT_LT(s1.wall_seconds,
             s1.io_seconds + s1.compute_seconds - 0.05);
   EXPECT_GT(s1.overlap_seconds, 0.05);
+#endif
   // Same I/O either way.
   EXPECT_EQ(s1.bytes_read, s0.bytes_read);
   EXPECT_EQ(s1.bytes_written, s0.bytes_written);

@@ -13,19 +13,30 @@
 // while the instance dependence DAG is validated against a brute-force
 // instance-pair dependence check. RIOT_FUZZ_SEEDS overrides the number of
 // fuzzed programs (default 200).
+// The ExprFuzz suite is the differential oracle for the expression front
+// end: random well-shaped expression trees are lowered (core/lowering.h),
+// optimized, and executed at {serial, pipelined, 4-thread}, and every
+// stored output must match — bit for bit — a naive in-memory evaluator
+// over exact linalg/matrix Rationals (inputs are small integers and
+// generation bounds value growth, so double arithmetic is exact and any
+// lowering/synthesis/scheduling bug shows as a hard mismatch).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <functional>
 #include <optional>
 #include <random>
 
 #include "core/access_plan.h"
 #include "core/cost_model.h"
+#include "core/lowering.h"
 #include "core/optimizer.h"
 #include "core/schedule_solver.h"
 #include "ir/builder.h"
+#include "ir/expr.h"
 #include "exec/executor.h"
 #include "exec/verify.h"
+#include "linalg/matrix.h"
 #include "ops/runtime.h"
 #include "storage/env.h"
 
@@ -538,6 +549,324 @@ TEST_P(CacheSimTest, SimulatorMatchesSerialEngineExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheSimTest,
                          ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+// ---------------------------------------------------------------------------
+// Expression-DAG fuzzer: random well-shaped expression trees vs a naive
+// exact evaluator.
+// ---------------------------------------------------------------------------
+
+// One generated DAG plus the per-node value bound the generator maintained
+// (|value| <= bound, so doubles stay exact integers).
+struct GeneratedExpr {
+  ExprGraph graph;
+  std::vector<ExprRef> outputs;
+};
+
+// Keeps every intermediate below 2^48 in absolute value: double arithmetic
+// on integers is then exact, so "bit-for-bit" is a meaningful oracle no
+// matter how plans reassociate.
+constexpr double kMaxBound = 281474976710656.0;  // 2^48
+
+GeneratedExpr GenerateExpr(uint64_t seed) {
+  std::mt19937_64 rng(seed * 7919 + 13);
+  auto pick = [&](int lo, int hi) {
+    return lo + static_cast<int>(rng() % static_cast<uint64_t>(hi - lo + 1));
+  };
+  GeneratedExpr g;
+  std::vector<double> bound;     // node id -> max |value|
+  std::vector<bool> consumed;    // node id -> has a consumer
+  auto track = [&](ExprRef r, double b) {
+    // Hash-consing may return an existing node; sizes then do not grow.
+    if (static_cast<size_t>(r) == bound.size()) {
+      bound.push_back(b);
+      consumed.push_back(false);
+    }
+    return r;
+  };
+
+  const int ninputs = pick(2, 3);
+  for (int i = 0; i < ninputs; ++i) {
+    track(g.graph.Input(std::string(1, static_cast<char>('A' + i)),
+                        {pick(1, 3), pick(1, 3)}, {pick(2, 4), pick(2, 4)}),
+          3.0);
+  }
+
+  const int nops = pick(3, 6);
+  for (int o = 0; o < nops; ++o) {
+    // Rejection-sample a well-shaped, bounded op over existing nodes.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const int n = static_cast<int>(g.graph.size());
+      const ExprRef a = pick(0, n - 1);
+      const ExprRef b = pick(0, n - 1);
+      const ExprShape& sa = g.graph.node(a).shape;
+      const ExprShape& sb = g.graph.node(b).shape;
+      const int kind = pick(0, 5);
+      ExprRef made = -1;
+      switch (kind) {
+        case 0:
+        case 1: {  // Add / Sub
+          if (!(sa == sb) || bound[size_t(a)] + bound[size_t(b)] > kMaxBound) {
+            continue;
+          }
+          made = track(kind == 0 ? g.graph.Add(a, b) : g.graph.Sub(a, b),
+                       bound[size_t(a)] + bound[size_t(b)]);
+          break;
+        }
+        case 2: {  // Scale by a small integer
+          const double alpha = pick(2, 3);
+          if (alpha * bound[size_t(a)] > kMaxBound) continue;
+          made = track(g.graph.Scale(a, alpha), alpha * bound[size_t(a)]);
+          break;
+        }
+        case 3: {  // AddDiag on a single square block
+          if (sa.grid[0] != 1 || sa.grid[1] != 1 ||
+              sa.block_elems[0] != sa.block_elems[1] ||
+              bound[size_t(a)] + 3.0 > kMaxBound) {
+            continue;
+          }
+          made = track(g.graph.AddDiag(a, pick(1, 3)),
+                       bound[size_t(a)] + 3.0);
+          break;
+        }
+        case 4: {  // Gemm with random transposes and integer alpha
+          const bool ta = pick(0, 1) == 1, tb = pick(0, 1) == 1;
+          const int64_t ka = ta ? sa.grid[0] : sa.grid[1];
+          const int64_t kae = ta ? sa.block_elems[0] : sa.block_elems[1];
+          const int64_t kb = tb ? sb.grid[1] : sb.grid[0];
+          const int64_t kbe = tb ? sb.block_elems[1] : sb.block_elems[0];
+          if (ka != kb || kae != kbe) continue;
+          const double alpha = pick(1, 2);
+          const double bb = alpha * bound[size_t(a)] * bound[size_t(b)] *
+                            static_cast<double>(ka * kae);
+          if (bb > kMaxBound) continue;
+          made = track(g.graph.Gemm(a, b, {ta, tb, alpha}), bb);
+          break;
+        }
+        case 5: {  // SumSquares
+          const double rows =
+              static_cast<double>(sa.grid[0] * sa.block_elems[0]);
+          const double bb = bound[size_t(a)] * bound[size_t(a)] * rows;
+          if (bb > kMaxBound) continue;
+          made = track(g.graph.SumSquares(a), bb);
+          break;
+        }
+      }
+      if (made < 0) continue;
+      for (ExprRef arg : g.graph.node(made).args) {
+        consumed[static_cast<size_t>(arg)] = true;
+      }
+      break;
+    }
+  }
+  for (size_t id = 0; id < g.graph.size(); ++id) {
+    if (!g.graph.node(static_cast<ExprRef>(id)).is_input() && !consumed[id]) {
+      g.outputs.push_back(static_cast<ExprRef>(id));
+    }
+  }
+  return g;
+}
+
+// Exact whole-array evaluation of the DAG over Rational matrices. Element
+// (r, c) of node `id` is value(id)->At(r, c); inputs are filled by `fill`.
+std::vector<RMatrix> EvaluateNaive(
+    const ExprGraph& g,
+    const std::function<Rational(int, int64_t, int64_t)>& fill) {
+  std::vector<RMatrix> vals;
+  for (size_t id = 0; id < g.size(); ++id) {
+    const ExprNode& n = g.node(static_cast<ExprRef>(id));
+    const int64_t rows = n.shape.rows(), cols = n.shape.cols();
+    RMatrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+    auto& va = n.args.empty() ? m : vals[static_cast<size_t>(n.args[0])];
+    switch (n.kind) {
+      case StatementOp::Kind::kInput:
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            m.At(size_t(r), size_t(c)) = fill(static_cast<int>(id), r, c);
+          }
+        }
+        break;
+      case StatementOp::Kind::kAdd:
+      case StatementOp::Kind::kSub: {
+        const RMatrix& vb = vals[static_cast<size_t>(n.args[1])];
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            m.At(size_t(r), size_t(c)) =
+                n.kind == StatementOp::Kind::kAdd
+                    ? va.At(size_t(r), size_t(c)) + vb.At(size_t(r), size_t(c))
+                    : va.At(size_t(r), size_t(c)) -
+                          vb.At(size_t(r), size_t(c));
+          }
+        }
+        break;
+      }
+      case StatementOp::Kind::kScale:
+      case StatementOp::Kind::kAddDiag: {
+        const Rational alpha(static_cast<int64_t>(n.alpha));
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            m.At(size_t(r), size_t(c)) =
+                n.kind == StatementOp::Kind::kScale
+                    ? alpha * va.At(size_t(r), size_t(c))
+                    : va.At(size_t(r), size_t(c)) +
+                          (r == c ? alpha : Rational(0));
+          }
+        }
+        break;
+      }
+      case StatementOp::Kind::kGemm: {
+        const RMatrix& vb = vals[static_cast<size_t>(n.args[1])];
+        const Rational alpha(static_cast<int64_t>(n.alpha));
+        const int64_t kk = n.trans_a
+                               ? static_cast<int64_t>(va.rows())
+                               : static_cast<int64_t>(va.cols());
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            Rational acc;
+            for (int64_t k = 0; k < kk; ++k) {
+              const Rational& ea = n.trans_a ? va.At(size_t(k), size_t(r))
+                                             : va.At(size_t(r), size_t(k));
+              const Rational& eb = n.trans_b ? vb.At(size_t(c), size_t(k))
+                                             : vb.At(size_t(k), size_t(c));
+              acc += ea * eb;
+            }
+            m.At(size_t(r), size_t(c)) = alpha * acc;
+          }
+        }
+        break;
+      }
+      case StatementOp::Kind::kInverse:
+        RIOT_CHECK(false) << "fuzzer never generates Inverse (non-integer)";
+        break;
+      case StatementOp::Kind::kSumSquares:
+        for (int64_t c = 0; c < cols; ++c) {
+          Rational acc;
+          for (int64_t r = 0; r < static_cast<int64_t>(va.rows()); ++r) {
+            acc += va.At(size_t(r), size_t(c)) * va.At(size_t(r), size_t(c));
+          }
+          m.At(0, size_t(c)) = acc;
+        }
+        break;
+    }
+    vals.push_back(std::move(m));
+  }
+  return vals;
+}
+
+// Global-element <-> blocked-store mapping (blocks row-major in the store,
+// elements column-major within a block).
+double BlockedAt(const ArrayInfo& info, const std::vector<double>& blocked,
+                 int64_t r, int64_t c) {
+  const int64_t br = info.block_elems[0], bc = info.block_elems[1];
+  const int64_t blk = (r / br) * info.grid[1] + (c / bc);
+  return blocked[static_cast<size_t>(blk * info.ElemsPerBlock() +
+                                     (c % bc) * br + (r % br))];
+}
+
+class ExprFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExprFuzzTest, LoweredExecutionMatchesNaiveEvaluatorBitForBit) {
+  const uint64_t seed = GetParam();
+  GeneratedExpr gen = GenerateExpr(seed);
+  ASSERT_FALSE(gen.outputs.empty());
+  auto lowered = LowerExpr(gen.graph, gen.outputs);
+  ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+  const Program& prog = lowered->program;
+  ASSERT_TRUE(prog.Validate().ok());
+
+  // Integer inputs in 0..3, deterministic in (node, element).
+  auto fill = [seed](int node, int64_t r, int64_t c) {
+    uint64_t h = seed * 0x9E3779B97F4A7C15ULL +
+                 static_cast<uint64_t>(node) * 0x2545F4914F6CDD1DULL +
+                 static_cast<uint64_t>(r) * 1000003ULL +
+                 static_cast<uint64_t>(c) * 10007ULL;
+    h ^= h >> 33;
+    return Rational(static_cast<int64_t>(h % 4));
+  };
+  const std::vector<RMatrix> naive = EvaluateNaive(gen.graph, fill);
+
+  OptimizerOptions opts;
+  opts.max_combination_size = 2;
+  OptimizationResult r = Optimize(prog, opts);
+
+  auto env = NewMemEnv();
+  struct Config {
+    const char* name;
+    int threads;
+    int depth;
+  };
+  const Config configs[] = {
+      {"serial", 1, 0}, {"pipelined", 1, 2}, {"threads4", 4, 2}};
+  int run_idx = 0;
+  const Plan* plan_cases[] = {&r.plans[0], &r.best()};
+  for (const Plan* plan : plan_cases) {
+    std::vector<const CoAccess*> q;
+    for (int oi : plan->opportunities) {
+      q.push_back(&r.analysis.sharing[static_cast<size_t>(oi)]);
+    }
+    for (const Config& cfg : configs) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " cfg " + cfg.name +
+                   (plan == &r.best() ? " best" : " orig"));
+      auto rt = OpenStores(env.get(), prog,
+                           "/ef" + std::to_string(run_idx++));
+      ASSERT_TRUE(rt.ok());
+      // Initialize inputs from the same exact values the naive evaluator
+      // saw.
+      for (size_t id = 0; id < gen.graph.size(); ++id) {
+        const ExprNode& node = gen.graph.node(static_cast<ExprRef>(id));
+        if (!node.is_input()) continue;
+        const int arr = lowered->array_of[id];
+        const ArrayInfo& info = prog.array(arr);
+        std::vector<double> buf(static_cast<size_t>(info.ElemsPerBlock()));
+        for (int64_t blk = 0; blk < info.NumBlocks(); ++blk) {
+          const int64_t brow = blk / info.grid[1], bcol = blk % info.grid[1];
+          for (int64_t c = 0; c < info.block_elems[1]; ++c) {
+            for (int64_t rr = 0; rr < info.block_elems[0]; ++rr) {
+              buf[static_cast<size_t>(c * info.block_elems[0] + rr)] =
+                  fill(static_cast<int>(id),
+                       brow * info.block_elems[0] + rr,
+                       bcol * info.block_elems[1] + c)
+                      .ToDouble();
+            }
+          }
+          ASSERT_TRUE(rt->stores[static_cast<size_t>(arr)]
+                          ->WriteBlock(blk, buf.data())
+                          .ok());
+        }
+      }
+      ExecOptions eo;
+      eo.exec_threads = cfg.threads;
+      eo.pipeline_depth = cfg.depth;
+      // No hand kernels at all: the executor synthesizes from the ops.
+      Executor ex(prog, rt->raw(), {}, eo);
+      auto stats = ex.Run(plan->schedule, q);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+      for (ExprRef out : gen.outputs) {
+        const int arr = lowered->array_of[static_cast<size_t>(out)];
+        const ArrayInfo& info = prog.array(arr);
+        auto blocked =
+            ReadWholeArray(info, rt->stores[static_cast<size_t>(arr)].get());
+        ASSERT_TRUE(blocked.ok());
+        const RMatrix& want = naive[static_cast<size_t>(out)];
+        for (int64_t rr = 0; rr < static_cast<int64_t>(want.rows()); ++rr) {
+          for (int64_t cc = 0; cc < static_cast<int64_t>(want.cols());
+               ++cc) {
+            ASSERT_EQ(BlockedAt(info, *blocked, rr, cc),
+                      want.At(size_t(rr), size_t(cc)).ToDouble())
+                << info.name << " element (" << rr << ", " << cc << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+// Smoke subset runs in the tier-1 suite; the Full sweep (>= 50 seeds, the
+// acceptance bar) is stress-labeled (see CMakeLists.txt).
+INSTANTIATE_TEST_SUITE_P(Smoke, ExprFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+INSTANTIATE_TEST_SUITE_P(Full, ExprFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{61}));
 
 }  // namespace
 }  // namespace riot

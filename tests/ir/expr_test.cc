@@ -1,0 +1,102 @@
+// Expression-DAG front end: shape inference across every op, and
+// hash-consed common-subexpression elimination.
+#include "ir/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace riot {
+namespace {
+
+TEST(ExprTest, ShapeInferenceElementwiseAndScalarOps) {
+  ExprGraph g;
+  ExprRef a = g.Input("A", {3, 2}, {8, 4});
+  ExprRef b = g.Input("B", {3, 2}, {8, 4});
+  for (ExprRef r : {g.Add(a, b), g.Sub(a, b), g.Scale(a, 2.0)}) {
+    EXPECT_EQ(g.node(r).shape, g.node(a).shape);
+  }
+  ExprRef sq = g.Input("S", {1, 1}, {6, 6});
+  ExprRef d = g.AddDiag(sq, 0.5);
+  EXPECT_EQ(g.node(d).shape, g.node(sq).shape);
+  EXPECT_EQ(g.node(d).alpha, 0.5);
+}
+
+TEST(ExprTest, ShapeInferenceGemm) {
+  ExprGraph g;
+  ExprRef a = g.Input("A", {3, 2}, {8, 4});   // 24 x 8 elements
+  ExprRef b = g.Input("B", {2, 5}, {4, 7});   // 8 x 35
+  ExprRef c = g.Gemm(a, b);
+  EXPECT_EQ(g.node(c).shape.grid, (std::vector<int64_t>{3, 5}));
+  EXPECT_EQ(g.node(c).shape.block_elems, (std::vector<int64_t>{8, 7}));
+
+  // A'A: contraction over A's row blocks.
+  ExprRef gram = g.Gemm(a, a, {true});
+  EXPECT_EQ(g.node(gram).shape.grid, (std::vector<int64_t>{2, 2}));
+  EXPECT_EQ(g.node(gram).shape.block_elems, (std::vector<int64_t>{4, 4}));
+
+  // A B'^T with B' = Gemm result: (24x8) x (35x8)^T contraction over cols.
+  ExprRef bt = g.Input("C", {3, 2}, {9, 4});  // 27 x 8
+  ExprRef abt = g.Gemm(a, bt, {false, true});
+  EXPECT_EQ(g.node(abt).shape.grid, (std::vector<int64_t>{3, 3}));
+  EXPECT_EQ(g.node(abt).shape.block_elems, (std::vector<int64_t>{8, 9}));
+}
+
+TEST(ExprTest, ShapeInferenceUnaryOps) {
+  ExprGraph g;
+  ExprRef sq = g.Input("S", {1, 1}, {5, 5});
+  ExprRef inv = g.Inverse(sq);  // may grow the node table; refs stay valid
+  EXPECT_EQ(g.node(inv).shape, g.node(sq).shape);
+
+  ExprRef x = g.Input("X", {4, 2}, {16, 3});
+  ExprRef ss = g.SumSquares(x);
+  EXPECT_EQ(g.node(ss).shape.grid, (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(g.node(ss).shape.block_elems, (std::vector<int64_t>{1, 3}));
+}
+
+TEST(ExprTest, HashConsingDedupsIdenticalSubexpressions) {
+  ExprGraph g;
+  ExprRef x = g.Input("X", {4, 1}, {8, 4});
+  ExprRef y = g.Input("Y", {4, 1}, {8, 2});
+  ExprRef g1 = g.Gemm(x, x, {true});
+  ExprRef g2 = g.Gemm(x, x, {true});
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(g.cse_hits(), 1);
+
+  // Different parameters are different nodes.
+  EXPECT_NE(g.Gemm(x, x, {true, false, 2.0}), g1);
+  EXPECT_NE(g.Gemm(x, y, {true}), g1);
+  EXPECT_EQ(g.cse_hits(), 1);
+
+  // Consumers of the shared node dedup too.
+  ExprRef i1 = g.Inverse(g1);
+  ExprRef i2 = g.Inverse(g2);
+  EXPECT_EQ(i1, i2);
+  EXPECT_EQ(g.cse_hits(), 2);
+
+  // Inputs never dedup (two all-ones vectors are distinct arrays).
+  EXPECT_NE(g.Input("O1", {4, 1}, {8, 1}), g.Input("O2", {4, 1}, {8, 1}));
+}
+
+TEST(ExprTest, NamesAndKeepStick) {
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef s = g.Add(x, x);
+  g.SetName(s, "S");
+  g.Keep(s);
+  EXPECT_EQ(g.node(s).name, "S");
+  EXPECT_TRUE(g.node(s).keep);
+  // Add(x, x) found the existing node; the name stays.
+  EXPECT_EQ(g.Add(x, x), s);
+}
+
+TEST(ExprTest, DescribeMentionsOpAndShape) {
+  ExprGraph g;
+  ExprRef x = g.Input("X", {4, 1}, {8, 4});
+  ExprRef gram = g.Gemm(x, x, {true});
+  std::string d = g.Describe(gram);
+  EXPECT_NE(d.find("gemm"), std::string::npos);
+  EXPECT_NE(d.find("X"), std::string::npos);
+  EXPECT_NE(d.find("1x1 blocks of 4x4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace riot
