@@ -1,12 +1,21 @@
 // Ablation bench (DESIGN.md §5, paper Section 7 future work): joint
 // block-size + I/O-sharing optimization on the addmul program. Quantifies
 // the paper's Section 6.1 observation that spending extra memory on bigger
-// blocks ("club" plan) is inferior to spending it on sharing, and shows the
-// advisor picking the globally best (blocking, plan) pair under a cap.
+// blocks ("club" plan) is inferior to spending it on sharing, shows the
+// advisor picking the globally best (blocking, plan) pair under a cap, and
+// — new with the compute term — shows the cache-aware advisor flipping the
+// block choice the I/O-only model makes, with host-measured kernel rates
+// and end-to-end wall clocks for both picks.
+#include <chrono>
 #include <cstdio>
 
+#include "analysis/loop_characteristics.h"
+#include "bench_common.h"
 #include "core/block_advisor.h"
+#include "exec/executor.h"
+#include "ops/runtime.h"
 #include "ops/workload.h"
+#include "storage/env.h"
 
 namespace riot {
 namespace {
@@ -46,10 +55,116 @@ void Run() {
   }
 }
 
+std::vector<BlockConfigCandidate> TwoConfigs() {
+  std::vector<BlockConfigCandidate> cands;
+  for (int64_t br : {int64_t{12000}, int64_t{6000}}) {
+    cands.push_back({"blocks " + std::to_string(br) + "x4000",
+                     MakeAddMulBlocked(br, /*scale=*/1).program});
+  }
+  return cands;
+}
+
+/// Largest per-instance working set over the program's statements (the
+/// blocks one kernel invocation touches), in bytes.
+int64_t MaxInstanceWorkingSet(const Program& prog) {
+  int64_t ws = 0;
+  for (const LoopCharacteristics& c : AnalyzeProgramLoops(prog)) {
+    if (c.working_set_bytes > ws) ws = c.working_set_bytes;
+  }
+  return ws;
+}
+
+/// Executes a config's original schedule at execution scale against an
+/// in-memory env (unthrottled, compute-bound) and returns the wall seconds.
+double MeasureWall(int64_t block_rows) {
+  Workload w = MakeAddMulBlocked(block_rows, bench::ExecScale());
+  auto env = NewMemEnv();
+  auto rt = OpenStores(env.get(), w.program, "/m");
+  rt.status().CheckOK();
+  InitInputs(w, *rt, /*seed=*/1234).CheckOK();
+  ExecOptions eo;
+  Executor ex(w.program, rt->raw(), w.kernels, eo);
+  auto t0 = std::chrono::steady_clock::now();
+  auto stats = ex.Run(w.program.original_schedule(), {});
+  stats.status().CheckOK();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ISSUE 6: the I/O-only model always prefers the bigger blocks here (each
+// E-row instance re-reads all of D, so fewer row blocks means less re-read
+// volume). The compute term prices what that ignores: the 12000-row gemm
+// instance streams a ~1.02 GB C+D+E working set against ~0.59 GB for the
+// 6000-row config. With host-calibrated kernel rates and a modeled fast
+// tier between the two working sets, every flop of the big-block gemm pays
+// the spill penalty — which dwarfs the saved D reads, and the advisor
+// flips. (core_block_advisor_test asserts the same flip with a synthetic
+// rate table; here the rates are measured on the build host.)
+void RunCacheAware() {
+  std::printf("\n=== Cache-aware compute term (I/O-only vs I/O+compute) "
+              "===\n");
+  KernelRateTable rates = CalibrateKernelRates(/*budget_ms=*/150);
+  std::printf("host-calibrated rates (GFLOP/s): elementwise %.2f  gemm %.2f"
+              "  inverse %.2f  reduction %.2f\n",
+              rates.elementwise_gflops, rates.gemm_gflops,
+              rates.inverse_gflops, rates.reduction_gflops);
+
+  OptimizerOptions io_only;
+  io_only.max_combination_size = 0;  // original plans: volumes are exact
+  BlockAdvice a_io = OptimizeWithBlockSizes(TwoConfigs(), io_only);
+
+  OptimizerOptions cache_aware = io_only;
+  // At paper scale every block spills any real cache, so the boundary sits
+  // between the two candidate working sets: this models a machine whose
+  // fast tier (LLC slice, HBM partition) holds the small-block gemm
+  // instance but not the big one.
+  rates.cache_bytes = int64_t{700} * 1000 * 1000;
+  rates.cache_penalty = 4.0;
+  cache_aware.cost.compute = rates;
+  BlockAdvice a_cc = OptimizeWithBlockSizes(TwoConfigs(), cache_aware);
+
+  std::printf("%-20s %12s %10s %12s %12s\n", "configuration", "max ws(MB)",
+              "I/O(s)", "compute(s)", "total(s)");
+  for (size_t i = 0; i < a_cc.outcomes.size(); ++i) {
+    const auto& o = a_cc.outcomes[i];
+    if (!o.feasible) continue;
+    std::printf("%-20s %12.0f %10.1f %12.1f %12.1f\n", o.label.c_str(),
+                MaxInstanceWorkingSet(TwoConfigs()[i].program) / 1e6,
+                o.best_plan.cost.io_seconds, o.best_plan.cost.compute_seconds,
+                o.best_plan.cost.TotalSeconds());
+  }
+  const char* io_pick =
+      a_io.best_candidate >= 0
+          ? a_io.outcomes[static_cast<size_t>(a_io.best_candidate)]
+                .label.c_str()
+          : "-";
+  const char* cc_pick =
+      a_cc.best_candidate >= 0
+          ? a_cc.outcomes[static_cast<size_t>(a_cc.best_candidate)]
+                .label.c_str()
+          : "-";
+  std::printf("I/O-only pick: %s\ncache-aware pick: %s%s\n", io_pick, cc_pick,
+              a_io.best_candidate != a_cc.best_candidate ? "  (flipped)"
+                                                         : "");
+
+  // Ground truth: run both configs end-to-end at 1/ExecScale() on an
+  // in-memory env (compute-bound). Walls include kernel time plus per-block
+  // scheduling/copy overhead; at small scales the two converge because the
+  // packed GEMM blocks internally — the gap the advisor prices appears when
+  // blocks exceed the host cache (raise with RIOT_SCALE=8).
+  double wall_big = MeasureWall(12000);
+  double wall_small = MeasureWall(6000);
+  std::printf("measured end-to-end (in-memory, 1/%lld scale): "
+              "12000-row %.3f s, 6000-row %.3f s\n",
+              static_cast<long long>(bench::ExecScale()), wall_big,
+              wall_small);
+}
+
 }  // namespace
 }  // namespace riot
 
 int main() {
   riot::Run();
+  riot::RunCacheAware();
   return 0;
 }

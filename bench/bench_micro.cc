@@ -113,7 +113,16 @@ void BM_BufferPoolFetchHit(benchmark::State& state) {
 }
 BENCHMARK(BM_BufferPoolFetchHit);
 
-void BM_Gemm(benchmark::State& state) {
+// --------------------------------------------------------------- kernels
+// GEMM GFLOP/s sweep (items/s == FLOP/s: items = 2 n^3 per iteration):
+// packed (BlockGemm) vs the pre-packing loop nest (BlockGemmNaive) vs the
+// SciDB-like scalar engine, untransposed and both-transposed. The packed/
+// naive ratio at 512+ is the ISSUE 6 acceptance number; on transposed
+// operands the naive path degrades to strided access while packing absorbs
+// the flags, so the gap widens by another order of magnitude.
+enum class GemmImpl { kPacked, kNaive, kScalar };
+
+void GemmBench(benchmark::State& state, GemmImpl impl, bool ta, bool tb) {
   const int64_t n = state.range(0);
   std::vector<double> a(static_cast<size_t>(n * n)),
       b(static_cast<size_t>(n * n)), c(static_cast<size_t>(n * n));
@@ -121,12 +130,77 @@ void BM_Gemm(benchmark::State& state) {
   BlockFillRandom(&va, 1);
   BlockFillRandom(&vb, 2);
   for (auto _ : state) {
-    BlockGemm(va, false, vb, false, &vc, false);
+    switch (impl) {
+      case GemmImpl::kPacked:
+        BlockGemm(va, ta, vb, tb, &vc, false);
+        break;
+      case GemmImpl::kNaive:
+        BlockGemmNaive(va, ta, vb, tb, &vc, false);
+        break;
+      case GemmImpl::kScalar:
+        BlockGemmScalar(va, ta, vb, tb, &vc, false);
+        break;
+    }
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(GemmBench, packed_nn, GemmImpl::kPacked, false, false)
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(768);
+BENCHMARK_CAPTURE(GemmBench, packed_tt, GemmImpl::kPacked, true, true)
+    ->Arg(256)->Arg(512)->Arg(768);
+BENCHMARK_CAPTURE(GemmBench, naive_nn, GemmImpl::kNaive, false, false)
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(768);
+BENCHMARK_CAPTURE(GemmBench, naive_tt, GemmImpl::kNaive, true, true)
+    ->Arg(256)->Arg(512)->Arg(768);
+BENCHMARK_CAPTURE(GemmBench, scalar_nn, GemmImpl::kScalar, false, false)
+    ->Arg(256)->Arg(512);
+
+// Elementwise single-pass kernels: bytes/s (2 streams in, 1 out).
+void BM_ElementwiseAdd(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<double> a(static_cast<size_t>(n * n)),
+      b(static_cast<size_t>(n * n)), c(static_cast<size_t>(n * n));
+  DenseView va{a.data(), n, n}, vb{b.data(), n, n}, vc{c.data(), n, n};
+  BlockFillRandom(&va, 1);
+  BlockFillRandom(&vb, 2);
+  for (auto _ : state) {
+    BlockAdd(va, vb, &vc);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 3 * n * n *
+                          static_cast<int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_ElementwiseAdd)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_ElementwiseScale(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<double> a(static_cast<size_t>(n * n)),
+      c(static_cast<size_t>(n * n));
+  DenseView va{a.data(), n, n}, vc{c.data(), n, n};
+  BlockFillRandom(&va, 1);
+  for (auto _ : state) {
+    BlockScale(va, 1.0009765625, &vc);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * n * n *
+                          static_cast<int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_ElementwiseScale)->Arg(256)->Arg(1024);
+
+// Fixed-lane reduction: bytes/s of one input stream.
+void BM_SumSquares(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<double> a(static_cast<size_t>(n * n));
+  DenseView va{a.data(), n, n};
+  BlockFillRandom(&va, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BlockSumSquares(va));
+  }
+  state.SetBytesProcessed(state.iterations() * n * n *
+                          static_cast<int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_SumSquares)->Arg(256)->Arg(1024)->Arg(2048);
 
 void BM_StoreWrite(benchmark::State& state) {
   auto env = NewMemEnv();

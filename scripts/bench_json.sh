@@ -31,4 +31,20 @@ for bench in fig4_2mm_a fig5_2mm_b fig6_linreg replacement sessions expr; do
   echo "=== ${bench} -> ${out}"
   "${bin}" --json "${out}"
 done
+
+# Kernel microbenchmarks (google-benchmark binary, built only when the
+# library is present): GFLOP/s for packed vs naive vs scalar GEMM across
+# sizes/transposes, elementwise bandwidth, reduction bandwidth. For the
+# host's full-ISA numbers, point build_dir at a -DRIOT_NATIVE=ON tree
+# (the committed BENCH_kernels.json is a native run; the portable-build
+# run is kept as BENCH_kernels_baseline.json).
+if [[ -x "${build_dir}/bench_micro" ]]; then
+  out="${out_dir}/BENCH_kernels.json"
+  echo "=== kernels -> ${out}"
+  "${build_dir}/bench_micro" \
+    --benchmark_filter='GemmBench|BM_Elementwise|BM_SumSquares' \
+    --benchmark_out="${out}" --benchmark_out_format=json
+else
+  echo "bench_micro not built (google-benchmark missing); skipping BENCH_kernels.json" >&2
+fi
 echo "wrote: $(ls "${out_dir}"/BENCH_*.json | tr '\n' ' ')"

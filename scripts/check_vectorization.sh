@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Proof that the dense kernels autovectorize (ISSUE 6): compiles
+# src/kernels/dense.cc standalone at -O3 with the vectorizer's opt-report
+# enabled and asserts that each kernel of interest — the GEMM microkernel,
+# the elementwise single-pass kernels, and the fixed-lane reduction — has at
+# least one vectorized loop reported INSIDE its body (by line range), then
+# disassembles the object and asserts packed double-precision SIMD
+# arithmetic is actually emitted. Runs twice: baseline x86-64 and, when the
+# compiler supports it, -march=native (where the GEMM path must use FMA if
+# the host has it).
+#
+# Usage: scripts/check_vectorization.sh [compiler]   (default: c++)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+CXX="${1:-${CXX:-c++}}"
+SRC=src/kernels/dense.cc
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+# Kernels that MUST vectorize, matched by their defining line in dense.cc.
+kernels=(MicroKernel BlockAdd BlockSub BlockScale SumSquaresRange)
+
+# start line of a function definition in dense.cc
+start_line() { grep -n "^[a-z].* $1(\|^void $1(\|^double $1(" "${SRC}" | head -1 | cut -d: -f1; }
+# first closing brace at column 0 after the start line = end of function
+end_line() { awk -v s="$1" 'NR > s && /^}/ { print NR; exit }' "${SRC}"; }
+
+fail=0
+check() {
+  local label="$1"; shift
+  echo "== ${label}: ${CXX} -O3 $*"
+  "${CXX}" -std=c++17 -O3 "$@" -Isrc -c "${SRC}" -o "${tmp}/dense.o" \
+      -fopt-info-vec-optimized="${tmp}/vec.txt"
+  local total
+  total=$(grep -c "loop vectorized" "${tmp}/vec.txt" || true)
+  echo "   ${total} vectorized loops reported"
+  for k in "${kernels[@]}"; do
+    local s e n
+    s="$(start_line "${k}")"
+    e="$(end_line "${s}")"
+    n=$(awk -F: -v s="${s}" -v e="${e}" \
+        '/loop vectorized/ && $2+0 >= s && $2+0 <= e' "${tmp}/vec.txt" |
+        wc -l)
+    if [[ "${n}" -ge 1 ]]; then
+      echo "   ok   ${k} (lines ${s}-${e}): ${n} vectorized loop(s)"
+    else
+      echo "   FAIL ${k} (lines ${s}-${e}): no vectorized loop reported"
+      fail=1
+    fi
+  done
+  objdump -d "${tmp}/dense.o" > "${tmp}/asm.txt"
+  if grep -Eq '(v?mulpd|vfmadd[0-9]+pd)' "${tmp}/asm.txt"; then
+    echo "   ok   packed double SIMD arithmetic present in object code"
+  else
+    echo "   FAIL no packed double SIMD arithmetic in object code"
+    fail=1
+  fi
+  if [[ "$*" == *native* ]] && grep -q '^flags.* fma ' /proc/cpuinfo 2>/dev/null; then
+    if grep -Eq 'vfmadd[0-9]+pd' "${tmp}/asm.txt"; then
+      echo "   ok   native build uses FMA"
+    else
+      echo "   FAIL host has FMA but native build emits none"
+      fail=1
+    fi
+  fi
+}
+
+check "baseline x86-64"
+if "${CXX}" -march=native -x c++ -c -o /dev/null /dev/null 2>/dev/null; then
+  check "host-native" -march=native
+else
+  echo "== host-native: compiler rejects -march=native; skipped"
+fi
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "vectorization check FAILED"
+  exit 1
+fi
+echo "vectorization check passed"

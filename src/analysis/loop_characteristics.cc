@@ -1,0 +1,222 @@
+#include "analysis/loop_characteristics.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "kernels/dense.h"
+#include "util/logging.h"
+
+namespace riot {
+
+const char* ReuseClassName(ReuseClass r) {
+  switch (r) {
+    case ReuseClass::kStreaming: return "streaming";
+    case ReuseClass::kPanel: return "panel";
+    case ReuseClass::kFull: return "full";
+  }
+  return "?";
+}
+
+const char* KernelClassName(KernelClass k) {
+  switch (k) {
+    case KernelClass::kElementwise: return "elementwise";
+    case KernelClass::kGemm: return "gemm";
+    case KernelClass::kInverse: return "inverse";
+    case KernelClass::kReduction: return "reduction";
+  }
+  return "?";
+}
+
+namespace {
+
+// Distinct bytes one instance touches: every access resolves to exactly one
+// block (affine map of the iteration vector), so the instance working set is
+// the set of distinct (array, subscript function) pairs. Type is ignored —
+// the guarded self-read of a reduction touches the same block as its write.
+int64_t InstanceWorkingSetBytes(const Program& prog, const Statement& stmt) {
+  int64_t bytes = 0;
+  for (size_t i = 0; i < stmt.accesses.size(); ++i) {
+    const Access& a = stmt.accesses[i];
+    bool dup = false;
+    for (size_t j = 0; j < i && !dup; ++j) {
+      const Access& p = stmt.accesses[j];
+      dup = p.array_id == a.array_id && p.phi == a.phi;
+    }
+    if (!dup) bytes += prog.array(a.array_id).BlockBytes();
+  }
+  return bytes;
+}
+
+// Block extents of the array behind access index `idx` (or of the write
+// access if idx is out of range).
+const ArrayInfo& AccessArray(const Program& prog, const Statement& stmt,
+                             int idx) {
+  RIOT_CHECK(idx >= 0 && idx < static_cast<int>(stmt.accesses.size()));
+  return prog.array(stmt.accesses[static_cast<size_t>(idx)].array_id);
+}
+
+}  // namespace
+
+LoopCharacteristics AnalyzeStatement(const Program& prog,
+                                     const Statement& stmt) {
+  LoopCharacteristics c;
+  c.working_set_bytes = InstanceWorkingSetBytes(prog, stmt);
+  c.instances = static_cast<int64_t>(prog.InstancesOf(stmt.id).size());
+
+  if (!stmt.op.has_value()) {
+    // Free-form kernel: assume a streaming elementwise pass over the write
+    // block (one flop per element).
+    const Access* w = stmt.WriteAccess();
+    if (w != nullptr) {
+      c.flops_per_instance =
+          static_cast<double>(prog.array(w->array_id).ElemsPerBlock());
+    }
+  } else {
+    const StatementOp& op = *stmt.op;
+    switch (op.kind) {
+      case StatementOp::Kind::kInput:
+        break;
+      case StatementOp::Kind::kAdd:
+      case StatementOp::Kind::kSub:
+      case StatementOp::Kind::kScale: {
+        c.flops_per_instance = static_cast<double>(
+            AccessArray(prog, stmt, op.out).ElemsPerBlock());
+        break;
+      }
+      case StatementOp::Kind::kAddDiag: {
+        // Copy plus one add per diagonal element.
+        c.flops_per_instance = static_cast<double>(
+            AccessArray(prog, stmt, op.out).block_elems[0]);
+        break;
+      }
+      case StatementOp::Kind::kGemm: {
+        const ArrayInfo& out = AccessArray(prog, stmt, op.out);
+        const ArrayInfo& a = AccessArray(prog, stmt, op.a);
+        const int64_t m = out.block_elems[0];
+        const int64_t n = out.block_elems.size() > 1 ? out.block_elems[1] : 1;
+        const int64_t kk = op.trans_a
+                               ? a.block_elems[0]
+                               : (a.block_elems.size() > 1 ? a.block_elems[1]
+                                                           : 1);
+        c.flops_per_instance = 2.0 * static_cast<double>(m) *
+                               static_cast<double>(n) *
+                               static_cast<double>(kk);
+        c.reuse = ReuseClass::kPanel;
+        c.kernel_class = KernelClass::kGemm;
+        break;
+      }
+      case StatementOp::Kind::kInverse: {
+        const double nn =
+            static_cast<double>(AccessArray(prog, stmt, op.out).block_elems[0]);
+        // LU (2/3 n^3) + two triangular solves per column (2 n^3): ~2 n^3.
+        c.flops_per_instance = 2.0 * nn * nn * nn;
+        c.reuse = ReuseClass::kFull;
+        c.kernel_class = KernelClass::kInverse;
+        c.vectorizable = false;  // data-dependent pivoting
+        break;
+      }
+      case StatementOp::Kind::kSumSquares: {
+        c.flops_per_instance = 2.0 * static_cast<double>(
+            AccessArray(prog, stmt, op.a).ElemsPerBlock());
+        c.kernel_class = KernelClass::kReduction;
+        break;
+      }
+    }
+  }
+
+  c.total_flops = c.flops_per_instance * static_cast<double>(c.instances);
+  c.arithmetic_intensity =
+      c.working_set_bytes > 0
+          ? c.flops_per_instance / static_cast<double>(c.working_set_bytes)
+          : 0.0;
+  return c;
+}
+
+std::vector<LoopCharacteristics> AnalyzeProgramLoops(const Program& prog) {
+  std::vector<LoopCharacteristics> out;
+  out.reserve(prog.statements().size());
+  for (const Statement& s : prog.statements()) {
+    out.push_back(AnalyzeStatement(prog, s));
+  }
+  return out;
+}
+
+double KernelRateTable::RateFor(KernelClass k) const {
+  switch (k) {
+    case KernelClass::kElementwise: return elementwise_gflops;
+    case KernelClass::kGemm: return gemm_gflops;
+    case KernelClass::kInverse: return inverse_gflops;
+    case KernelClass::kReduction: return reduction_gflops;
+  }
+  return elementwise_gflops;
+}
+
+double EstimateInstanceSeconds(const LoopCharacteristics& c,
+                               const KernelRateTable& rates) {
+  double rate = rates.RateFor(c.kernel_class);
+  if (rate <= 0.0) return 0.0;
+  if (c.working_set_bytes > rates.cache_bytes && rates.cache_penalty > 1.0) {
+    rate /= rates.cache_penalty;
+  }
+  return c.flops_per_instance / (rate * 1e9);
+}
+
+namespace {
+
+// Run `body` (whose one call performs `flops` FP ops) until `budget_ms`
+// elapses and return the measured GFLOP/s.
+template <typename Fn>
+double MeasureGflops(double flops, int budget_ms, Fn&& body) {
+  using Clock = std::chrono::steady_clock;
+  body();  // warm-up (and cold-start page faults)
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(budget_ms);
+  int iters = 0;
+  auto now = start;
+  do {
+    body();
+    ++iters;
+    now = Clock::now();
+  } while (now < deadline);
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now - start)
+          .count();
+  if (secs <= 0.0) return 1.0;
+  return flops * iters / secs / 1e9;
+}
+
+}  // namespace
+
+KernelRateTable CalibrateKernelRates(int budget_ms) {
+  KernelRateTable t;
+  const int slice = budget_ms > 4 ? budget_ms / 4 : 1;
+  const int64_t n = 256;  // L2-resident: measures compute, not memory
+
+  std::vector<double> a(static_cast<size_t>(n * n));
+  std::vector<double> b(static_cast<size_t>(n * n));
+  std::vector<double> c(static_cast<size_t>(n * n));
+  DenseView va{a.data(), n, n}, vb{b.data(), n, n}, vc{c.data(), n, n};
+  BlockFillRandom(&va, 1);
+  BlockFillRandom(&vb, 2);
+
+  t.elementwise_gflops = MeasureGflops(
+      static_cast<double>(n * n), slice, [&] { BlockAdd(va, vb, &vc); });
+  t.gemm_gflops = MeasureGflops(
+      2.0 * n * n * n, slice,
+      [&] { BlockGemm(va, false, vb, false, &vc, false); });
+  t.reduction_gflops = MeasureGflops(
+      2.0 * n * n, slice, [&] { (void)BlockSumSquares(va); });
+
+  const int64_t ni = 128;
+  std::vector<double> im(static_cast<size_t>(ni * ni));
+  std::vector<double> iout(static_cast<size_t>(ni * ni));
+  DenseView vim{im.data(), ni, ni}, viout{iout.data(), ni, ni};
+  BlockFillRandom(&vim, 3);
+  for (int64_t d = 0; d < ni; ++d) vim.At(d, d) += 10.0;
+  t.inverse_gflops = MeasureGflops(2.0 * ni * ni * ni, slice,
+                                   [&] { (void)BlockInverse(vim, &viout); });
+  return t;
+}
+
+}  // namespace riot

@@ -1,0 +1,99 @@
+// Per-statement loop characteristics (working set, reuse, flops) estimated
+// from the typed StatementOp and the access maps — the polyhedral IR already
+// knows every block an instance touches, so the analysis is exact at block
+// granularity. The result feeds the cost model's in-memory compute term
+// (core/cost_model.h): flops convert to seconds through a per-kernel-class
+// rate table, with a cache penalty when an instance's working set spills the
+// modeled cache. The shape follows cacheSight-style loop analyzers:
+// working-set size, reuse-distance class, vectorizability, trip counts.
+#ifndef RIOTSHARE_ANALYSIS_LOOP_CHARACTERISTICS_H_
+#define RIOTSHARE_ANALYSIS_LOOP_CHARACTERISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace riot {
+
+/// How a statement instance revisits its working set.
+enum class ReuseClass {
+  kStreaming,  // every element touched O(1) times (elementwise, reductions)
+  kPanel,      // one operand panel reused across the other (GEMM-like)
+  kFull,       // whole working set revisited O(n) times (LU/inverse)
+};
+
+/// Which calibrated throughput rate applies (KernelRateTable field).
+enum class KernelClass {
+  kElementwise,
+  kGemm,
+  kInverse,
+  kReduction,
+};
+
+const char* ReuseClassName(ReuseClass r);
+const char* KernelClassName(KernelClass k);
+
+/// \brief Estimated execution profile of one statement's per-instance loop.
+struct LoopCharacteristics {
+  /// FP operations one statement instance performs (block-level dims).
+  double flops_per_instance = 0.0;
+  /// Distinct bytes one instance touches: accessed blocks deduped by
+  /// (array, subscript function) — the same block read and written counts
+  /// once.
+  int64_t working_set_bytes = 0;
+  ReuseClass reuse = ReuseClass::kStreaming;
+  KernelClass kernel_class = KernelClass::kElementwise;
+  /// Whether the innermost loop is unit-stride and free of data-dependent
+  /// control (the autovectorizer handles it). LU pivoting is not.
+  bool vectorizable = true;
+  /// Domain cardinality (number of instances of the statement).
+  int64_t instances = 0;
+  double total_flops = 0.0;  // flops_per_instance * instances
+  /// flops per working-set byte; the classic roofline x-axis.
+  double arithmetic_intensity = 0.0;
+};
+
+/// Analyze one statement. Statements without a typed op are modeled as a
+/// streaming elementwise pass over their write block (the free-form-lambda
+/// escape hatch gives the analysis nothing better to go on).
+LoopCharacteristics AnalyzeStatement(const Program& prog,
+                                     const Statement& stmt);
+
+/// Analyze every statement of the program (index = statement id).
+std::vector<LoopCharacteristics> AnalyzeProgramLoops(const Program& prog);
+
+/// \brief Calibrated kernel throughput rates used to turn flops into
+/// seconds, plus the two-level cache model: instances whose working set
+/// exceeds `cache_bytes` run at rate/`cache_penalty`.
+///
+/// Defaults are conservative portable-build numbers; call
+/// CalibrateKernelRates for host-measured rates, or set fields synthetically
+/// in tests.
+struct KernelRateTable {
+  double elementwise_gflops = 1.0;
+  double gemm_gflops = 3.0;
+  double inverse_gflops = 0.5;
+  double reduction_gflops = 1.5;
+  /// Modeled last-usefully-shared cache level (~L2/L3) in bytes.
+  int64_t cache_bytes = 2ll << 20;
+  /// Rate divisor applied when an instance working set exceeds cache_bytes.
+  double cache_penalty = 3.0;
+
+  double RateFor(KernelClass k) const;
+};
+
+/// Seconds one instance of a statement with characteristics `c` takes under
+/// `rates` (applies the cache penalty when the working set spills).
+double EstimateInstanceSeconds(const LoopCharacteristics& c,
+                               const KernelRateTable& rates);
+
+/// Measure real kernel throughput on this host (runs each kernel class for
+/// roughly `budget_ms` / 4 milliseconds) and return a populated table.
+/// cache_bytes / cache_penalty keep their defaults — they describe the
+/// model, not the measurement.
+KernelRateTable CalibrateKernelRates(int budget_ms = 200);
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_ANALYSIS_LOOP_CHARACTERISTICS_H_

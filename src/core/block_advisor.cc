@@ -26,10 +26,15 @@ BlockAdvice OptimizeWithBlockSizes(
   for (size_t i = 0; i < advice.outcomes.size(); ++i) {
     const auto& o = advice.outcomes[i];
     if (!o.feasible) continue;
+    // Rank by modeled end-to-end time: I/O plus (when
+    // CostModelOptions::compute is set) the in-memory compute term. Block
+    // configurations change both volume and per-block cache behavior, so
+    // with the compute term on the advisor can reject a configuration whose
+    // bigger blocks save I/O but spill the cache.
     if (advice.best_candidate < 0 ||
-        o.best_plan.cost.io_seconds <
+        o.best_plan.cost.TotalSeconds() <
             advice.outcomes[static_cast<size_t>(advice.best_candidate)]
-                .best_plan.cost.io_seconds) {
+                .best_plan.cost.TotalSeconds()) {
       advice.best_candidate = static_cast<int>(i);
     }
   }

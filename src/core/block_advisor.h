@@ -42,7 +42,9 @@ struct BlockAdvice {
 };
 
 /// \brief Optimizes every candidate configuration and ranks them by the
-/// best-plan I/O time under options.memory_cap_bytes.
+/// best-plan modeled time under options.memory_cap_bytes — I/O time alone
+/// by default, I/O plus in-memory compute when the cost options carry a
+/// KernelRateTable (options.cost.compute).
 BlockAdvice OptimizeWithBlockSizes(std::vector<BlockConfigCandidate> candidates,
                                    const OptimizerOptions& options = {});
 

@@ -98,6 +98,26 @@ PlanCost EvaluatePlanCost(const Program& program, const Schedule& schedule,
       static_cast<double>(cost.baseline_read_bytes) / rd +
       static_cast<double>(cost.baseline_write_bytes) / wr;
 
+  // In-memory compute term: per-statement characteristics priced through
+  // the calibrated rate table, summed over every scheduled instance. The
+  // per-instance seconds depend only on the statement (all instances of a
+  // statement touch same-shaped blocks), so analyze each statement once.
+  if (options.compute.has_value()) {
+    std::map<int, double> per_instance_s;
+    for (const auto& inst : rp.order) {
+      auto it = per_instance_s.find(inst.stmt_id);
+      if (it == per_instance_s.end()) {
+        const LoopCharacteristics lc =
+            AnalyzeStatement(program, program.statement(inst.stmt_id));
+        it = per_instance_s
+                 .emplace(inst.stmt_id,
+                          EstimateInstanceSeconds(lc, *options.compute))
+                 .first;
+      }
+      cost.compute_seconds += it->second;
+    }
+  }
+
   // Memory-pressure projection: how this schedule behaves as a plain
   // bounded cache when its exact requirement cannot be afforded.
   if (options.pressure_cap_bytes > 0) {

@@ -22,10 +22,12 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/coaccess.h"
+#include "analysis/loop_characteristics.h"
 #include "ir/program.h"
 #include "ir/schedule.h"
 #include "storage/replacement.h"
@@ -48,6 +50,17 @@ struct CostModelOptions {
   /// skips the simulation.
   int64_t pressure_cap_bytes = 0;
   ReplacementKind pressure_policy = ReplacementKind::kScheduleOpt;
+  /// In-memory compute term. When set, EvaluatePlanCost prices each
+  /// statement instance's flops through the rate table (with the table's
+  /// cache penalty when the instance working set spills its modeled cache,
+  /// see analysis/loop_characteristics.h) into PlanCost::compute_seconds,
+  /// and plan ranking uses TotalSeconds() = io + compute. The compute term
+  /// is identical across plans of one program (same statements either way),
+  /// so single-program plan choice is unchanged — but configurations with
+  /// different block sizes now trade I/O volume against cache behavior,
+  /// which is exactly what BlockAdvisor ranks. nullopt (default) keeps the
+  /// historical I/O-only model with compute_seconds == 0.
+  std::optional<KernelRateTable> compute;
 };
 
 struct PlanCost {
@@ -66,8 +79,18 @@ struct PlanCost {
   int64_t capped_block_reads = -1;
   int64_t capped_evictions = -1;
   double capped_io_seconds = 0.0;
+  /// In-memory compute time over all statement instances (0 unless
+  /// CostModelOptions::compute is set).
+  double compute_seconds = 0.0;
 
   int64_t TotalBytes() const { return read_bytes + write_bytes; }
+  /// End-to-end modeled serial time: disk I/O plus in-memory compute.
+  double TotalSeconds() const { return io_seconds + compute_seconds; }
+  /// Pressure-mode analogue (capped_io_seconds is only meaningful when the
+  /// cache simulation ran).
+  double CappedTotalSeconds() const {
+    return capped_io_seconds + compute_seconds;
+  }
   double SavingsFraction() const {
     double base = static_cast<double>(baseline_read_bytes) +
                   static_cast<double>(baseline_write_bytes);

@@ -181,7 +181,7 @@ OptimizationResult Optimize(const Program& program,
     if (p.cost.peak_memory_bytes > session_cap_bytes) continue;
     const Plan& cur = result.plans[static_cast<size_t>(result.best_index)];
     const bool cur_fits = cur.cost.peak_memory_bytes <= session_cap_bytes;
-    if (!cur_fits || p.cost.io_seconds < cur.cost.io_seconds) {
+    if (!cur_fits || p.cost.TotalSeconds() < cur.cost.TotalSeconds()) {
       result.best_index = static_cast<int>(i);
     }
   }
@@ -212,9 +212,9 @@ OptimizationResult Optimize(const Program& program,
       p.cost.capped_evictions = r->evictions;
       p.cost.capped_io_seconds = r->io_seconds;
       if (best_capped < 0 ||
-          p.cost.capped_io_seconds <
+          p.cost.CappedTotalSeconds() <
               result.plans[static_cast<size_t>(best_capped)]
-                  .cost.capped_io_seconds) {
+                  .cost.CappedTotalSeconds()) {
         best_capped = static_cast<int>(i);
       }
     }

@@ -515,6 +515,8 @@ Result<ExecStats> Executor::RunSerial(
         }
         frames[ai] = frame;
         RIOT_CHECK_EQ(arr.ndim(), 2u) << "executor requires 2-D arrays";
+        RIOT_DCHECK(IsAligned(frame->data.data()))
+            << "kernel view over unaligned frame";
         views[ai] = DenseView{reinterpret_cast<double*>(frame->data.data()),
                               arr.block_elems[0], arr.block_elems[1]};
         view_ptrs[ai] = &views[ai];
@@ -1076,6 +1078,8 @@ Result<ExecStats> Executor::RunParallel(
       created_write[ai] = created && is_write[ai];
       const ArrayInfo& arr = prog_.array(rec.array_id);
       RIOT_CHECK_EQ(arr.ndim(), 2u) << "executor requires 2-D arrays";
+      RIOT_DCHECK(IsAligned(frames[ai]->data.data()))
+          << "kernel view over unaligned frame";
       views[ai] = DenseView{reinterpret_cast<double*>(frames[ai]->data.data()),
                             arr.block_elems[0], arr.block_elems[1]};
       view_ptrs[ai] = &views[ai];

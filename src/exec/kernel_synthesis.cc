@@ -71,12 +71,16 @@ StatementKernel SynthesizeKernel(const StatementOp& op) {
         DenseView* out = v[static_cast<size_t>(op.out)];
         if (!Accumulates(op, iter)) BlockFillConst(out, 0.0);
         // Row 0 of the output block carries the running column sums of
-        // squares (the result array has 1-row blocks).
+        // squares (the result array has 1-row blocks), so the vectorized
+        // column-reduction kernel can accumulate straight into it.
         const DenseView& e = *v[static_cast<size_t>(op.a)];
-        for (int64_t c = 0; c < e.cols; ++c) {
-          double sum = 0.0;
-          for (int64_t r = 0; r < e.rows; ++r) sum += e.At(r, c) * e.At(r, c);
-          out->At(0, c) += sum;
+        if (out->rows == 1) {
+          BlockColumnSumSquares(e, out->data);
+        } else {
+          for (int64_t c = 0; c < e.cols; ++c) {
+            const DenseView col{e.data + c * e.rows, e.rows, 1};
+            out->At(0, c) += BlockSumSquares(col);
+          }
         }
       };
     case StatementOp::Kind::kInput:

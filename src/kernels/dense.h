@@ -2,6 +2,13 @@
 // standing in for GotoBLAS2. All kernels operate on raw double buffers
 // viewed as column-major matrices (the paper's storage scheme: blocks laid
 // out column-major, elements within a block column-major).
+//
+// GEMM follows the GotoBLAS decomposition: op(A)/op(B) panels are packed
+// into contiguous 64-byte-aligned buffers (the pack step absorbs both
+// transpose flags, so all four flag combinations run the same register-tiled
+// microkernel), with kc/mc/nc cache blocking around an mr x nr inner tile.
+// Reductions use a fixed lane count and a fixed combine tree so results are
+// run-to-run deterministic without -ffast-math.
 #ifndef RIOTSHARE_KERNELS_DENSE_H_
 #define RIOTSHARE_KERNELS_DENSE_H_
 
@@ -24,6 +31,29 @@ struct DenseView {
   int64_t elems() const { return rows * cols; }
 };
 
+// GEMM tiling parameters (see README "Kernel microarchitecture").
+// The register tile is mr x nr accumulators; wider vector units get a
+// bigger tile, sized so the autovectorizer keeps the whole accumulator
+// block in registers with the i axis vectorized and bv[j] broadcast
+// (AVX-512: 18 zmm accumulators of 32; AVX2: 8 ymm of 16; SSE2: 8 xmm of
+// 16). kc/mc/nc are the cache-blocking factors: one packed A panel is
+// mc*kc doubles (targets L2), one packed B panel kc*nc doubles (L3/DRAM
+// streamed once per mc strip); mc and nc are multiples of every tier's
+// mr/nr so interior panels tile evenly.
+#if defined(__AVX512F__)
+inline constexpr int kGemmMr = 24;
+inline constexpr int kGemmNr = 6;
+#elif defined(__AVX2__)
+inline constexpr int kGemmMr = 8;
+inline constexpr int kGemmNr = 4;
+#else
+inline constexpr int kGemmMr = 4;
+inline constexpr int kGemmNr = 4;
+#endif
+inline constexpr int64_t kGemmKc = 256;
+inline constexpr int64_t kGemmMc = 120;
+inline constexpr int64_t kGemmNc = 1020;
+
 /// C = A + B (elementwise); all views same shape.
 void BlockAdd(const DenseView& a, const DenseView& b, DenseView* c);
 
@@ -38,9 +68,23 @@ void BlockAddDiag(const DenseView& a, double alpha, DenseView* c);
 
 /// C op= alpha * op(A) * op(B); accumulate=false overwrites C.
 /// transpose flags select op(X) = X or X^T (BLAS-style).
+///
+/// Packed implementation: both operands are repacked into aligned panels
+/// (absorbing the transpose flags), so every flag combination runs the same
+/// contiguous microkernel. Summation order over k is fixed (kc chunks
+/// ascending, elements ascending within a chunk) and independent of the
+/// m/n blocking, so results are run-to-run deterministic.
 void BlockGemm(const DenseView& a, bool trans_a, const DenseView& b,
                bool trans_b, DenseView* c, bool accumulate,
                double alpha = 1.0);
+
+/// The pre-packing triple-loop GEMM (axpy fast path for the untransposed
+/// case, strided element-at-a-time fallback otherwise). Kept only as a
+/// reference comparator for tests and the kernel microbench baseline —
+/// production call sites use BlockGemm.
+void BlockGemmNaive(const DenseView& a, bool trans_a, const DenseView& b,
+                    bool trans_b, DenseView* c, bool accumulate,
+                    double alpha = 1.0);
 
 /// Scalar (non-blocked, element-at-a-time with function-call overhead)
 /// GEMM used to model a system computing without an optimized kernel
@@ -55,7 +99,8 @@ void BlockFillConst(DenseView* v, double value);
 /// out = in^-1 via LU with partial pivoting; fails on singular input.
 Status BlockInverse(const DenseView& in, DenseView* out);
 
-/// Sum of squares of all elements (RSS building block).
+/// Sum of squares of all elements (RSS building block). Fixed 8-lane
+/// accumulation with a fixed combine tree: deterministic and SLP-friendly.
 double BlockSumSquares(const DenseView& v);
 
 /// Column-wise sum of squares added into acc[0..cols): RSS per response.

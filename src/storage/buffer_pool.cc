@@ -262,6 +262,8 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
   f.array_id = array_id;
   f.block = block;
   f.data.resize(static_cast<size_t>(bytes));
+  RIOT_DCHECK(IsAligned(f.data.data()))
+      << "frame buffer not cache-line aligned";
   f.store = store;
   if (load) {
     RIOT_CHECK(store != nullptr);
@@ -490,6 +492,8 @@ BufferPool::Frame* BufferPool::TryStartPrefetch(int array_id, int64_t block,
   f.array_id = array_id;
   f.block = block;
   f.data.resize(static_cast<size_t>(bytes));
+  RIOT_DCHECK(IsAligned(f.data.data()))
+      << "frame buffer not cache-line aligned";
   f.store = store;
   f.state = FrameState::kPrefetching;
   used_bytes_ += bytes;

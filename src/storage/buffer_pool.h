@@ -49,6 +49,7 @@
 
 #include "storage/block_store.h"
 #include "storage/replacement.h"
+#include "util/aligned.h"
 #include "util/status.h"
 
 namespace riot {
@@ -137,7 +138,9 @@ class BufferPool {
   struct Frame {
     int array_id = -1;
     int64_t block = -1;
-    std::vector<uint8_t> data;
+    /// 64-byte-aligned (util/aligned.h): the packed SIMD kernels view frame
+    /// payloads as double matrices and rely on cache-line-aligned starts.
+    AlignedBuffer data;
     bool dirty = false;
     int pins = 0;
     /// Per-owner keep-until-reuse obligations; empty = unretained. At most
@@ -325,7 +328,7 @@ class BufferPool {
   using Key = PoolKey;
 
   struct PendingWrite {
-    std::vector<uint8_t> data;  // the evicted frame's buffer, moved in
+    AlignedBuffer data;  // the evicted frame's buffer, moved in
     Status status;
     bool done = false;
   };

@@ -1,0 +1,64 @@
+// Cache-line-aligned allocation. Block frame buffers and kernel packing
+// buffers are allocated at 64-byte alignment so the packed SIMD kernels
+// (kernels/dense.cc) can assume aligned panels and full-cache-line streams;
+// the views handed to kernels from outside the pool (tests, benches) remain
+// free to be unaligned — alignment is an optimization contract, not a
+// correctness requirement, everywhere except the pack buffers themselves.
+#ifndef RIOTSHARE_UTIL_ALIGNED_H_
+#define RIOTSHARE_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace riot {
+
+/// Alignment of every buffer-pool frame and kernel pack buffer: one x86
+/// cache line, which also satisfies any SSE/AVX/AVX-512 vector load.
+constexpr size_t kFrameAlignment = 64;
+static_assert(kFrameAlignment % alignof(double) == 0,
+              "frame alignment must hold doubles");
+static_assert((kFrameAlignment & (kFrameAlignment - 1)) == 0,
+              "alignment must be a power of two");
+
+inline bool IsAligned(const void* p, size_t align = kFrameAlignment) {
+  return (reinterpret_cast<uintptr_t>(p) & (align - 1)) == 0;
+}
+
+/// Minimal C++17 allocator delegating to the aligned operator new (present
+/// since C++17; no posix_memalign portability seam needed).
+template <typename T, size_t Align = kFrameAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment below the type's own");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  bool operator==(const AlignedAllocator&) const noexcept { return true; }
+  bool operator!=(const AlignedAllocator&) const noexcept { return false; }
+};
+
+/// 64-byte-aligned byte buffer: the type of every BufferPool frame.
+using AlignedBuffer = std::vector<uint8_t, AlignedAllocator<uint8_t>>;
+
+/// 64-byte-aligned double buffer (kernel packing panels).
+using AlignedDoubles = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_UTIL_ALIGNED_H_

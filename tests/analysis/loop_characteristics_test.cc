@@ -1,0 +1,153 @@
+// Loop characteristics pass (working set / reuse / flops) and the cost
+// model's in-memory compute term built on it.
+#include "analysis/loop_characteristics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "ops/workload.h"
+
+namespace riot {
+namespace {
+
+TEST(LoopCharacteristicsTest, ClassifiesExample1Statements) {
+  Workload w = MakeExample1(2, 2, 2, /*block_rows=*/8, /*block_cols=*/8);
+  const Program& prog = w.program;
+  auto chars = AnalyzeProgramLoops(prog);
+  ASSERT_EQ(chars.size(), prog.statements().size());
+
+  bool saw_gemm = false, saw_elementwise = false;
+  for (size_t sid = 0; sid < prog.statements().size(); ++sid) {
+    const Statement& st = prog.statement(static_cast<int>(sid));
+    const LoopCharacteristics& c = chars[sid];
+    ASSERT_TRUE(st.op.has_value());
+    EXPECT_GT(c.instances, 0);
+    EXPECT_GT(c.working_set_bytes, 0);
+    EXPECT_DOUBLE_EQ(c.total_flops,
+                     c.flops_per_instance * static_cast<double>(c.instances));
+    switch (st.op->kind) {
+      case StatementOp::Kind::kGemm: {
+        saw_gemm = true;
+        EXPECT_EQ(c.reuse, ReuseClass::kPanel);
+        EXPECT_EQ(c.kernel_class, KernelClass::kGemm);
+        EXPECT_TRUE(c.vectorizable);
+        const ArrayInfo& out =
+            prog.array(st.accesses[static_cast<size_t>(st.op->out)].array_id);
+        const ArrayInfo& a =
+            prog.array(st.accesses[static_cast<size_t>(st.op->a)].array_id);
+        const int64_t m = out.block_elems[0];
+        const int64_t n = out.block_elems[1];
+        const int64_t k =
+            st.op->trans_a ? a.block_elems[0] : a.block_elems[1];
+        EXPECT_DOUBLE_EQ(c.flops_per_instance,
+                         2.0 * static_cast<double>(m * n * k));
+        break;
+      }
+      case StatementOp::Kind::kAdd:
+      case StatementOp::Kind::kSub: {
+        saw_elementwise = true;
+        EXPECT_EQ(c.reuse, ReuseClass::kStreaming);
+        EXPECT_EQ(c.kernel_class, KernelClass::kElementwise);
+        const ArrayInfo& out =
+            prog.array(st.accesses[static_cast<size_t>(st.op->out)].array_id);
+        EXPECT_DOUBLE_EQ(c.flops_per_instance,
+                         static_cast<double>(out.ElemsPerBlock()));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_gemm);
+  EXPECT_TRUE(saw_elementwise);
+}
+
+TEST(LoopCharacteristicsTest, WorkingSetDedupesRepeatedSubscripts) {
+  // The gemm reduction statement reads its own output (guarded carry) and
+  // writes it: same array, same subscript function — one block, counted
+  // once. So its working set is exactly three distinct blocks (a, b, out).
+  Workload w = MakeExample1(2, 3, 2, 8, 8);
+  const Program& prog = w.program;
+  for (const Statement& st : prog.statements()) {
+    if (!st.op || st.op->kind != StatementOp::Kind::kGemm) continue;
+    const LoopCharacteristics c = AnalyzeStatement(prog, st);
+    int64_t expect = 0;
+    // a, b, out arrays (acc aliases out's subscript).
+    const auto& acc = st.accesses;
+    expect += prog.array(acc[static_cast<size_t>(st.op->a)].array_id)
+                  .BlockBytes();
+    expect += prog.array(acc[static_cast<size_t>(st.op->b)].array_id)
+                  .BlockBytes();
+    expect += prog.array(acc[static_cast<size_t>(st.op->out)].array_id)
+                  .BlockBytes();
+    EXPECT_EQ(c.working_set_bytes, expect);
+    EXPECT_GT(acc.size(), 3u);  // the guarded carry read exists and dedupes
+  }
+}
+
+TEST(LoopCharacteristicsTest, CachePenaltyAppliesAboveCacheSize) {
+  LoopCharacteristics c;
+  c.flops_per_instance = 2e9;
+  c.working_set_bytes = 1 << 20;
+  c.kernel_class = KernelClass::kGemm;
+  KernelRateTable t;
+  t.gemm_gflops = 2.0;
+  t.cache_bytes = 2 << 20;
+  t.cache_penalty = 3.0;
+  EXPECT_DOUBLE_EQ(EstimateInstanceSeconds(c, t), 1.0);  // in-cache: 2G/2G
+  c.working_set_bytes = 4 << 20;  // spills: rate / 3
+  EXPECT_DOUBLE_EQ(EstimateInstanceSeconds(c, t), 3.0);
+}
+
+TEST(LoopCharacteristicsTest, RateTableSelectsPerClassRates) {
+  KernelRateTable t;
+  t.elementwise_gflops = 1.0;
+  t.gemm_gflops = 2.0;
+  t.inverse_gflops = 3.0;
+  t.reduction_gflops = 4.0;
+  EXPECT_DOUBLE_EQ(t.RateFor(KernelClass::kElementwise), 1.0);
+  EXPECT_DOUBLE_EQ(t.RateFor(KernelClass::kGemm), 2.0);
+  EXPECT_DOUBLE_EQ(t.RateFor(KernelClass::kInverse), 3.0);
+  EXPECT_DOUBLE_EQ(t.RateFor(KernelClass::kReduction), 4.0);
+}
+
+TEST(LoopCharacteristicsTest, CostModelComputeTermOffByDefaultOnWhenSet) {
+  Workload w = MakeExample1(2, 2, 2, 8, 8);
+  const Program& prog = w.program;
+  const Schedule& sched = prog.original_schedule();
+
+  CostModelOptions io_only;
+  PlanCost base = EvaluatePlanCost(prog, sched, {}, io_only);
+  EXPECT_DOUBLE_EQ(base.compute_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(base.TotalSeconds(), base.io_seconds);
+
+  CostModelOptions with_compute = io_only;
+  with_compute.compute = KernelRateTable{};
+  PlanCost cc = EvaluatePlanCost(prog, sched, {}, with_compute);
+  EXPECT_GT(cc.compute_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(cc.TotalSeconds(), cc.io_seconds + cc.compute_seconds);
+  // The I/O half of the model is untouched by the compute term.
+  EXPECT_EQ(cc.read_bytes, base.read_bytes);
+  EXPECT_EQ(cc.write_bytes, base.write_bytes);
+  EXPECT_DOUBLE_EQ(cc.io_seconds, base.io_seconds);
+
+  // Hand-check the sum: per-statement instance seconds times instances.
+  double expect = 0.0;
+  auto chars = AnalyzeProgramLoops(prog);
+  for (size_t sid = 0; sid < chars.size(); ++sid) {
+    expect += EstimateInstanceSeconds(chars[sid], *with_compute.compute) *
+              static_cast<double>(chars[sid].instances);
+  }
+  EXPECT_NEAR(cc.compute_seconds, expect, 1e-12);
+}
+
+TEST(LoopCharacteristicsTest, CalibrationProducesPositiveRates) {
+  KernelRateTable t = CalibrateKernelRates(/*budget_ms=*/40);
+  EXPECT_GT(t.elementwise_gflops, 0.0);
+  EXPECT_GT(t.gemm_gflops, 0.0);
+  EXPECT_GT(t.inverse_gflops, 0.0);
+  EXPECT_GT(t.reduction_gflops, 0.0);
+}
+
+}  // namespace
+}  // namespace riot

@@ -49,6 +49,47 @@ TEST(BlockAdvisorTest, SharingBeatsBiggerBlocksUnderSameCap) {
             tall.outcomes[0].best_plan.cost.io_seconds);
 }
 
+TEST(BlockAdvisorTest, CacheAwareComputeTermFlipsBlockChoice) {
+  // The paper's "blindly enlarging array blocks is not the best way of
+  // utilizing extra memory", carried down to the cache level. Bigger blocks
+  // genuinely save disk I/O here (each E-row instance re-reads all of D, so
+  // halving the row-block count halves D's re-read volume) and the I/O-only
+  // model duly picks them. But the 12000-row gemm instance touches a
+  // C + D + E block working set of ~1.02 GB vs ~0.59 GB for 6000-row
+  // blocks; a synthetic rate table whose modeled cache sits between the two
+  // makes the big-block gemm pay the spill penalty on every one of its
+  // flops, which dwarfs the saved D reads — the cache-aware advisor flips
+  // to the smaller blocks. (bench_block_size reports the same comparison
+  // with host-measured rates and wall clocks.)
+  auto cands = AddMulFamily({12000, 6000});
+  OptimizerOptions io_only;
+  io_only.max_combination_size = 0;  // original plans: volume is exact
+  auto a1 = OptimizeWithBlockSizes(cands, io_only);
+  ASSERT_EQ(a1.best_candidate, 0);
+  ASSERT_TRUE(a1.outcomes[1].feasible);
+  EXPECT_LT(a1.outcomes[0].best_plan.cost.io_seconds,
+            a1.outcomes[1].best_plan.cost.io_seconds);
+
+  OptimizerOptions cache_aware = io_only;
+  KernelRateTable rates;
+  rates.elementwise_gflops = 4.0;
+  rates.gemm_gflops = 4.0;
+  rates.reduction_gflops = 4.0;
+  rates.cache_bytes = int64_t{700} * 1000 * 1000;  // between the two sets
+  rates.cache_penalty = 4.0;
+  cache_aware.cost.compute = rates;
+  auto a2 = OptimizeWithBlockSizes(cands, cache_aware);
+  ASSERT_EQ(a2.best_candidate, 1);  // flipped
+  const PlanCost& big = a2.outcomes[0].best_plan.cost;
+  const PlanCost& small = a2.outcomes[1].best_plan.cost;
+  EXPECT_GT(big.compute_seconds, small.compute_seconds);  // the penalty
+  EXPECT_LT(small.TotalSeconds(), big.TotalSeconds());
+  // The compute term left the I/O half untouched: same volumes as the
+  // I/O-only evaluation of the same plans.
+  EXPECT_EQ(big.read_bytes, a1.outcomes[0].best_plan.cost.read_bytes);
+  EXPECT_EQ(small.read_bytes, a1.outcomes[1].best_plan.cost.read_bytes);
+}
+
 TEST(BlockAdvisorTest, InfeasibleUnderTinyCap) {
   OptimizerOptions opts;
   opts.memory_cap_bytes = 1;  // nothing fits

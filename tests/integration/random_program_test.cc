@@ -584,10 +584,19 @@ GeneratedExpr GenerateExpr(uint64_t seed) {
     return r;
   };
 
+  // Block element sizes straddle the packed GEMM's register tile
+  // (kGemmMr x kGemmNr) and include primes, so edge tiles, full tiles, and
+  // multi-tile panels all flow through the differential against the exact
+  // evaluator. Bounds math is unchanged: the generator still rejects any op
+  // whose value bound would leave the exact-integer range.
+  auto pick_bsize = [&]() -> int64_t {
+    static constexpr int64_t kSizes[] = {2, 3, 4, 5, 7, 9, 13, 17};
+    return kSizes[rng() % (sizeof(kSizes) / sizeof(kSizes[0]))];
+  };
   const int ninputs = pick(2, 3);
   for (int i = 0; i < ninputs; ++i) {
     track(g.graph.Input(std::string(1, static_cast<char>('A' + i)),
-                        {pick(1, 3), pick(1, 3)}, {pick(2, 4), pick(2, 4)}),
+                        {pick(1, 3), pick(1, 3)}, {pick_bsize(), pick_bsize()}),
           3.0);
   }
 

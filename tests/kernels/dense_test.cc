@@ -204,5 +204,118 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 3, 8), ::testing::Values(1, 5),
                        ::testing::Values(2, 7)));
 
+// Fill with small integers: every product and partial sum below is an exact
+// integer well inside 2^53, so the packed kernel must match the naive
+// reference BIT-exactly no matter how packing reassociates the sums.
+void FillInts(DenseView* v, int64_t salt) {
+  for (int64_t c = 0; c < v->cols; ++c) {
+    for (int64_t r = 0; r < v->rows; ++r) {
+      v->At(r, c) = static_cast<double>((r * 7 + c * 13 + salt) % 33 - 16);
+    }
+  }
+}
+
+// Exhaustive {trans_a, trans_b} x {accumulate} x {alpha} over ragged shapes
+// (1 x n, n x 1, primes, multi-register-tile, multi-kc-chunk), packed
+// BlockGemm vs the pre-packing BlockGemmNaive reference.
+class GemmFlagMatrixTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmFlagMatrixTest, PackedMatchesNaiveBitExactOnIntegers) {
+  auto [mi, ki, ni] = GetParam();
+  const int64_t m = mi, k = ki, n = ni;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      // Operand buffers sized for the chosen op() orientation.
+      auto a = Buf(ta ? k : m, ta ? m : k);
+      auto b = Buf(tb ? n : k, tb ? k : n);
+      DenseView va{a.data(), ta ? k : m, ta ? m : k};
+      DenseView vb{b.data(), tb ? n : k, tb ? k : n};
+      FillInts(&va, 3);
+      FillInts(&vb, 5);
+      for (bool acc : {false, true}) {
+        // 0.5 is a power of two: exact scaling of exact-integer sums.
+        for (double alpha : {1.0, -2.0, 0.5, 0.0}) {
+          auto c1 = Buf(m, n), c2 = Buf(m, n);
+          DenseView vc1{c1.data(), m, n}, vc2{c2.data(), m, n};
+          if (acc) {
+            FillInts(&vc1, 9);
+            FillInts(&vc2, 9);
+          }
+          BlockGemm(va, ta, vb, tb, &vc1, acc, alpha);
+          BlockGemmNaive(va, ta, vb, tb, &vc2, acc, alpha);
+          ASSERT_EQ(c1, c2) << "m=" << m << " k=" << k << " n=" << n
+                            << " ta=" << ta << " tb=" << tb << " acc=" << acc
+                            << " alpha=" << alpha;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RaggedShapes, GemmFlagMatrixTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 5, 9),
+                      std::make_tuple(9, 5, 1), std::make_tuple(4, 4, 4),
+                      std::make_tuple(13, 17, 11), std::make_tuple(31, 8, 6),
+                      // m spans multiple mc strips, k spans two kc chunks.
+                      std::make_tuple(131, 300, 23)));
+
+TEST(DenseKernelTest, GemmRunToRunDeterministicOnGeneralDoubles) {
+  // Packing fixes the summation order (kc chunks ascending, elements
+  // ascending within a chunk), so two runs over irrational-ish data must be
+  // bitwise identical.
+  const int64_t m = 67, k = 300, n = 19;
+  auto a = Buf(m, k), b = Buf(k, n), c1 = Buf(m, n), c2 = Buf(m, n);
+  DenseView va{a.data(), m, k}, vb{b.data(), k, n};
+  DenseView vc1{c1.data(), m, n}, vc2{c2.data(), m, n};
+  BlockFillRandom(&va, 77);
+  BlockFillRandom(&vb, 78);
+  BlockGemm(va, false, vb, false, &vc1, false, 1.0 / 3.0);
+  BlockGemm(va, false, vb, false, &vc2, false, 1.0 / 3.0);
+  ASSERT_EQ(c1, c2);
+}
+
+TEST(DenseKernelTest, GemmTransposedAgainstExplicitTransposeLarge) {
+  // Accuracy guard for the transpose-absorbing pack on a shape that
+  // exercises edge tiles in both dimensions.
+  const int64_t m = 61, k = 37, n = 29;
+  auto a = Buf(k, m);  // holds A^T
+  auto b = Buf(n, k);  // holds B^T
+  DenseView vat{a.data(), k, m}, vbt{b.data(), n, k};
+  BlockFillRandom(&vat, 21);
+  BlockFillRandom(&vbt, 22);
+  // Materialize A and B explicitly.
+  auto ax = Buf(m, k), bx = Buf(k, n);
+  DenseView vax{ax.data(), m, k}, vbx{bx.data(), k, n};
+  for (int64_t r = 0; r < m; ++r)
+    for (int64_t c = 0; c < k; ++c) vax.At(r, c) = vat.At(c, r);
+  for (int64_t r = 0; r < k; ++r)
+    for (int64_t c = 0; c < n; ++c) vbx.At(r, c) = vbt.At(c, r);
+  auto cref = Buf(m, n), cflag = Buf(m, n);
+  DenseView vref{cref.data(), m, n}, vflag{cflag.data(), m, n};
+  BlockGemm(vax, false, vbx, false, &vref, false);
+  BlockGemm(vat, true, vbt, true, &vflag, false);
+  // Same packed summation order either way: bitwise equal, not just close.
+  ASSERT_EQ(cref, cflag);
+}
+
+TEST(DenseKernelTest, SumSquaresDeterministicAndMatchesColumns) {
+  const int64_t rows = 103, cols = 7;
+  auto x = Buf(rows, cols);
+  DenseView vx{x.data(), rows, cols};
+  BlockFillRandom(&vx, 99);
+  const double s1 = BlockSumSquares(vx);
+  const double s2 = BlockSumSquares(vx);
+  ASSERT_EQ(s1, s2);
+  // Whole-block result is the exact sum of the per-column kernel results
+  // (same lanes, same combine tree per column).
+  std::vector<double> acc(static_cast<size_t>(cols), 0.0);
+  BlockColumnSumSquares(vx, acc.data());
+  double total = 0.0;
+  for (double v : acc) total += v;
+  ASSERT_EQ(s1, total);
+}
+
 }  // namespace
 }  // namespace riot

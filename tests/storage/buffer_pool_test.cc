@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/aligned.h"
+
 namespace riot {
 namespace {
 
@@ -192,6 +194,22 @@ TEST_F(BufferPoolTest, FlushAllWritesDirtyAndClears) {
   std::vector<uint8_t> buf(kBlock);
   ASSERT_TRUE(store_->ReadBlock(4, buf.data()).ok());
   EXPECT_EQ(buf[0], 0x77);
+}
+
+TEST_F(BufferPoolTest, FrameBuffersAreCacheLineAligned) {
+  // The packed SIMD kernels view frame payloads as double matrices and the
+  // executor DCHECKs this contract on every view it builds: every frame
+  // buffer the pool hands out must start on a 64-byte boundary, across
+  // evictions and re-fetches.
+  static_assert(kFrameAlignment == 64, "kernel alignment contract");
+  BufferPool pool(8 * kBlock);
+  for (int64_t b = 0; b < 32; ++b) {  // > cap: forces eviction/realloc churn
+    auto f = pool.Fetch(0, b % 64, kBlock, store_.get(), /*load=*/true);
+    ASSERT_TRUE(f.ok());
+    EXPECT_TRUE(IsAligned((*f)->data.data()))
+        << "frame for block " << b << " at " << (*f)->data.data();
+    pool.Unpin(*f);
+  }
 }
 
 TEST_F(BufferPoolTest, FetchWithoutLoadZeroes) {
