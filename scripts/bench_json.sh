@@ -2,9 +2,11 @@
 # Machine-readable bench trajectory: runs the 2mm (Config A and B) and
 # linreg sweeps, the replacement-policy x cap sweep, the
 # concurrent-session sweep (sessions x pool cap: per-session + aggregate
-# throughput, admission parking, cross-session dedup), and the
+# throughput, admission parking, cross-session dedup), the
 # expression-built workloads (covariance + ridge: CSE, scratch-write
-# elision) and drops
+# elision), and the open-loop serving sweep (Zipf whale-plus-mice traffic
+# vs offered load per admission policy: p50/p99/p999, mouse/whale tails,
+# admission waits) and drops
 # BENCH_<name>.json files (wall, io_seconds, compute_seconds, overlap,
 # threads, DAG width, per-policy block_reads/evictions/spills, and
 # per-session throughput) into the output directory.
@@ -25,7 +27,7 @@ if [[ ! -x "${build_dir}/bench_fig4_2mm_a" ]]; then
 fi
 mkdir -p "${out_dir}"
 
-for bench in fig4_2mm_a fig5_2mm_b fig6_linreg replacement sessions expr; do
+for bench in fig4_2mm_a fig5_2mm_b fig6_linreg replacement sessions expr serve; do
   bin="${build_dir}/bench_${bench}"
   out="${out_dir}/BENCH_${bench}.json"
   echo "=== ${bench} -> ${out}"

@@ -94,6 +94,14 @@ OptimizationResult Optimize(const Program& program,
   if (session_cost.pressure_cap_bytes > 0) {
     session_cost.pressure_cap_bytes /= sessions;
   }
+  if (options.calibrate_compute_rates && !session_cost.compute.has_value()) {
+    // One measurement per process: every Optimize call shares the table so
+    // repeated optimizations don't each pay the calibration budget (and
+    // rank identically within a run).
+    static const KernelRateTable calibrated =
+        CalibrateKernelRates(options.calibrate_budget_ms);
+    session_cost.compute = calibrated;
+  }
   OptimizationResult result;
   result.analysis = AnalyzeProgram(program, options.analysis);
   const auto& sharing = result.analysis.sharing;
@@ -105,7 +113,7 @@ OptimizationResult Optimize(const Program& program,
   // only; the (much dearer) capped cache simulation is deferred to the
   // pressure fallback below, which runs it for the few surviving plans and
   // only when no plan fits the cap.
-  CostModelOptions enumerate_cost = options.cost;
+  CostModelOptions enumerate_cost = session_cost;  // incl. calibrated rates
   enumerate_cost.pressure_cap_bytes = 0;
 
   auto add_plan = [&](std::vector<int> opps, Schedule sched) {

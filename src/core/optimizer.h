@@ -38,6 +38,14 @@ struct OptimizerOptions {
   /// Worker threads for candidate testing within an Apriori level
   /// (candidates are independent). 0 = hardware concurrency.
   size_t num_threads = 0;
+  /// Measure this host's kernel throughput (CalibrateKernelRates, once per
+  /// process, cached) and rank plans by io + compute seconds instead of
+  /// I/O alone. Off by default: calibration costs ~calibrate_budget_ms of
+  /// wall time on first use and makes plan choice host-dependent, which
+  /// differential tests pin down by leaving it off. A caller that already
+  /// set `cost.compute` keeps its own table.
+  bool calibrate_compute_rates = false;
+  int calibrate_budget_ms = 200;
   CostModelOptions cost;
   AnalysisOptions analysis;
   SolverOptions solver;

@@ -442,7 +442,7 @@ Result<ExecStats> Executor::RunSerial(
                 // Created zeroed by this Fetch, never loaded; Discard also
                 // wakes any coalesced waiter (none can exist for a
                 // session-private retained block, but stay defensive).
-                pool.Discard(frame);
+                pool.Discard(frame, account);
                 return Status::Internal(
                     "saved read not in memory: " + st.name + " access " +
                     std::to_string(ai) + " (plan/realization bug)");
@@ -450,7 +450,7 @@ Result<ExecStats> Executor::RunSerial(
               Status rst = sync_read(store, rec.block, frame->data.data());
               if (!rst.ok()) {
                 // Garbage frame: wakes coalesced waiters, which bail out.
-                pool.Discard(frame);
+                pool.Discard(frame, account);
                 return rst;
               }
               pool.MarkLoaded(frame);
@@ -489,7 +489,7 @@ Result<ExecStats> Executor::RunSerial(
               if (!rst.ok()) {
                 // The frame now holds zeros/garbage; it must not linger in
                 // the pool as apparently clean cache (shared_pool reuse).
-                pool.Discard(frame);
+                pool.Discard(frame, account);
                 return rst;
               }
               stats.bytes_read += rec.bytes;
@@ -552,7 +552,7 @@ Result<ExecStats> Executor::RunSerial(
               if (rw.type != AccessType::kWrite || frames[aj] == nullptr) {
                 continue;
               }
-              pool.Discard(frames[aj]);
+              pool.Discard(frames[aj], account);
               frames[aj] = nullptr;
             }
             return wst;
@@ -576,7 +576,7 @@ Result<ExecStats> Executor::RunSerial(
               : pool.PinnedOrRetainedBytes());
       for (size_t ai = 0; ai < na; ++ai) {
         if (frames[ai] != nullptr) {
-          pool.Unpin(frames[ai]);
+          pool.Unpin(frames[ai], account);
           frames[ai] = nullptr;
         }
       }
@@ -589,7 +589,7 @@ Result<ExecStats> Executor::RunSerial(
   // write-behind, join the I/O workers, and release every retention this
   // run created.
   for (BufferPool::Frame* f : frames) {
-    if (f != nullptr) pool.Unpin(f);
+    if (f != nullptr) pool.Unpin(f, account);
   }
   while (cancel_one()) {
   }

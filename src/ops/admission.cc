@@ -1,0 +1,115 @@
+#include "ops/admission.h"
+
+#include "util/logging.h"
+
+namespace riot {
+
+namespace {
+
+class FifoPolicy : public AdmissionPolicy {
+ public:
+  AdmissionPolicyKind kind() const override {
+    return AdmissionPolicyKind::kFifo;
+  }
+  const char* name() const override { return "fifo"; }
+  int PickNext(const std::vector<AdmissionCandidate>& waiting,
+               int64_t available_bytes) const override {
+    // Strict arrival order: the head either fits now or everyone waits.
+    // This is what makes parking livelock-free — the head needs only
+    // completions to free reservation, never the progress of sessions
+    // queued behind it.
+    if (waiting.empty()) return -1;
+    return waiting[0].footprint_bytes <= available_bytes ? 0 : -1;
+  }
+};
+
+/// Shared shape of the two reordering policies: serve the oldest waiter
+/// FIFO-style once it ages past the starvation bound; otherwise admit the
+/// fitting waiter with the smallest key (ties broken by arrival order).
+class KeyedPolicy : public AdmissionPolicy {
+ public:
+  explicit KeyedPolicy(double aging_seconds) : aging_seconds_(aging_seconds) {}
+  int PickNext(const std::vector<AdmissionCandidate>& waiting,
+               int64_t available_bytes) const override {
+    if (waiting.empty()) return -1;
+    if (waiting[0].waited_seconds >= aging_seconds_) {
+      // Starvation bound: the oldest waiter regains FIFO priority; nothing
+      // overtakes it while it waits for capacity, so its total wait is
+      // bounded by aging + the completion of already-running sessions.
+      return waiting[0].footprint_bytes <= available_bytes ? 0 : -1;
+    }
+    int best = -1;
+    for (size_t i = 0; i < waiting.size(); ++i) {
+      if (waiting[i].footprint_bytes > available_bytes) continue;
+      if (best < 0 ||
+          Key(waiting[i]) < Key(waiting[static_cast<size_t>(best)])) {
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+
+ protected:
+  virtual double Key(const AdmissionCandidate& c) const = 0;
+
+ private:
+  const double aging_seconds_;
+};
+
+class SmallestFootprintPolicy : public KeyedPolicy {
+ public:
+  using KeyedPolicy::KeyedPolicy;
+  AdmissionPolicyKind kind() const override {
+    return AdmissionPolicyKind::kSmallestFootprint;
+  }
+  const char* name() const override { return "smallest_footprint"; }
+
+ protected:
+  double Key(const AdmissionCandidate& c) const override {
+    return static_cast<double>(c.footprint_bytes);
+  }
+};
+
+class ShortestWorkPolicy : public KeyedPolicy {
+ public:
+  using KeyedPolicy::KeyedPolicy;
+  AdmissionPolicyKind kind() const override {
+    return AdmissionPolicyKind::kShortestWork;
+  }
+  const char* name() const override { return "shortest_work"; }
+
+ protected:
+  double Key(const AdmissionCandidate& c) const override {
+    return c.expected_work_seconds;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(AdmissionPolicyKind kind,
+                                                     double aging_seconds) {
+  switch (kind) {
+    case AdmissionPolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>();
+    case AdmissionPolicyKind::kSmallestFootprint:
+      return std::make_unique<SmallestFootprintPolicy>(aging_seconds);
+    case AdmissionPolicyKind::kShortestWork:
+      return std::make_unique<ShortestWorkPolicy>(aging_seconds);
+  }
+  RIOT_CHECK(false) << "unknown AdmissionPolicyKind";
+  return nullptr;
+}
+
+const char* AdmissionPolicyName(AdmissionPolicyKind kind) {
+  switch (kind) {
+    case AdmissionPolicyKind::kFifo:
+      return "fifo";
+    case AdmissionPolicyKind::kSmallestFootprint:
+      return "smallest_footprint";
+    case AdmissionPolicyKind::kShortestWork:
+      return "shortest_work";
+  }
+  return "?";
+}
+
+}  // namespace riot

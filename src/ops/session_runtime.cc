@@ -17,6 +17,8 @@ double Since(const std::chrono::steady_clock::time_point& t0) {
 
 SessionRuntime::SessionRuntime(SessionRuntimeOptions options)
     : opts_(options),
+      admission_(MakeAdmissionPolicy(options.admission,
+                                     options.admission_aging_seconds)),
       pool_(options.pool_cap_bytes, MakeReplacementPolicy(options.replacement)),
       io_(std::make_unique<IoPool>(std::max(1, options.io_threads))) {
   int64_t prefetch = opts_.prefetch_budget_bytes;
@@ -32,6 +34,41 @@ SessionRuntime::~SessionRuntime() {
   pool_.DrainWritebacks();
   pool_.SetWriteBehind(nullptr);
   io_.reset();
+}
+
+void SessionRuntime::AdmitLocked() {
+  bool admitted_any = false;
+  while (!admit_queue_.empty()) {
+    std::vector<AdmissionCandidate> waiting;
+    waiting.reserve(admit_queue_.size());
+    const auto now = std::chrono::steady_clock::now();
+    for (const Waiter* w : admit_queue_) {
+      AdmissionCandidate c;
+      c.ticket = w->ticket;
+      c.footprint_bytes = w->footprint_bytes;
+      c.expected_work_seconds = w->expected_work_seconds;
+      c.waited_seconds =
+          std::chrono::duration<double>(now - w->enqueued).count();
+      waiting.push_back(c);
+    }
+    const int pick =
+        admission_->PickNext(waiting, opts_.pool_cap_bytes - reserved_bytes_);
+    if (pick < 0) break;
+    RIOT_CHECK_LT(static_cast<size_t>(pick), admit_queue_.size());
+    Waiter* w = admit_queue_[static_cast<size_t>(pick)];
+    RIOT_CHECK_LE(reserved_bytes_ + w->footprint_bytes, opts_.pool_cap_bytes)
+        << "admission policy admitted past the pool cap";
+    admit_queue_.erase(admit_queue_.begin() + pick);
+    w->admitted = true;
+    reserved_bytes_ += w->footprint_bytes;
+    ++running_sessions_;
+    stats_.peak_reserved_bytes =
+        std::max(stats_.peak_reserved_bytes, reserved_bytes_);
+    stats_.peak_concurrent_sessions =
+        std::max(stats_.peak_concurrent_sessions, running_sessions_);
+    admitted_any = true;
+  }
+  if (admitted_any) admit_cv_.notify_all();
 }
 
 int SessionRuntime::PoolIdFor(BlockStore* store) {
@@ -67,12 +104,17 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
 
   // ---- footprint: the session's budget and admission reservation -------
   int64_t footprint = spec.footprint_bytes;
-  if (footprint <= 0) {
+  double work = spec.expected_work_seconds;
+  const bool need_work =
+      work <= 0 && opts_.admission == AdmissionPolicyKind::kShortestWork;
+  if (footprint <= 0 || need_work) {
     // The cost model's peak is exact for the serial engine a session runs
-    // on (pinned + retained in scheduled order).
-    const PlanCost cost =
-        EvaluatePlanCost(*spec.program, *spec.schedule, spec.realized);
-    footprint = cost.peak_memory_bytes;
+    // on (pinned + retained in scheduled order); TotalSeconds is the
+    // modeled io + compute the shortest-work policy ranks by.
+    const PlanCost cost = EvaluatePlanCost(*spec.program, *spec.schedule,
+                                           spec.realized, opts_.cost);
+    if (footprint <= 0) footprint = cost.peak_memory_bytes;
+    if (work <= 0) work = cost.TotalSeconds();
   }
   footprint += opts_.footprint_margin_bytes;
   if (footprint > opts_.pool_cap_bytes) {
@@ -84,40 +126,34 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
         " even running alone");
   }
 
-  // ---- admission: strict FIFO over footprint reservations --------------
-  // FIFO (no overtaking) is what makes parking livelock-free: the head
-  // ticket needs only completions to shrink reserved_bytes_, never the
-  // progress of sessions queued behind it.
+  // ---- admission: policy-ordered footprint reservations ----------------
+  // Parking stays livelock-free under every policy: an admitted waiter
+  // needs only completions to shrink reserved_bytes_, FIFO never lets
+  // anything overtake its head, and the reordering policies age back to
+  // FIFO, so some waiter always needs only completions to get in.
   SessionStats out;
   auto wait0 = std::chrono::steady_clock::now();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    const int64_t ticket = next_ticket_++;
-    admit_queue_.push_back(ticket);
-    const bool must_wait =
-        admit_queue_.front() != ticket ||
-        reserved_bytes_ + footprint > opts_.pool_cap_bytes;
-    if (must_wait) {
+    Waiter me;
+    me.ticket = next_ticket_++;
+    me.footprint_bytes = footprint;
+    me.expected_work_seconds = work;
+    me.enqueued = wait0;
+    admit_queue_.push_back(&me);
+    AdmitLocked();
+    if (!me.admitted) {
       ++stats_.sessions_parked;
       out.parked_for_admission = true;
+      // Always terminates: every spec passed the footprint <= cap check,
+      // so whenever the runtime drains to idle the policy's next pick
+      // (any policy) fits the fully-free reservation.
+      admit_cv_.wait(lock, [&] { return me.admitted; });
     }
-    admit_cv_.wait(lock, [&] {
-      return admit_queue_.front() == ticket &&
-             reserved_bytes_ + footprint <= opts_.pool_cap_bytes;
-    });
-    admit_queue_.pop_front();
-    reserved_bytes_ += footprint;
-    ++running_sessions_;
-    stats_.peak_reserved_bytes =
-        std::max(stats_.peak_reserved_bytes, reserved_bytes_);
-    stats_.peak_concurrent_sessions =
-        std::max(stats_.peak_concurrent_sessions, running_sessions_);
-    out.session_id = ticket;
+    out.session_id = me.ticket;
     out.admission_wait_seconds = Since(wait0);
     stats_.admission_wait_seconds += out.admission_wait_seconds;
   }
-  // The next queued ticket may also fit (admission is not exclusive).
-  admit_cv_.notify_all();
 
   // ---- bind the session into the shared pool's namespace ---------------
   PoolAccount account;
@@ -155,6 +191,7 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
     std::lock_guard<std::mutex> lock(mu_);
     reserved_bytes_ -= footprint;
     --running_sessions_;
+    AdmitLocked();  // freed reservation may admit parked waiters
     if (run.ok()) {
       ++stats_.sessions_completed;
       stats_.bytes_read += run->bytes_read;
@@ -171,7 +208,6 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
       ++stats_.sessions_failed;
     }
   }
-  admit_cv_.notify_all();
 
   if (!run.ok()) return run.status();
   out.budget_bytes = footprint;

@@ -8,10 +8,13 @@
 //   * Admission control — a session declares its plan footprint (the cost
 //     model's exact peak requirement by default) and is admitted only
 //     when the sum of admitted footprints fits the pool cap. Sessions
-//     that do not fit PARK in FIFO order until running sessions complete
-//     (no thrashing, no livelock: admission is strictly ordered and every
-//     completion re-examines the queue). A footprint that can never fit
-//     is rejected up front with kResourceExhausted.
+//     that do not fit PARK until running sessions complete (no thrashing,
+//     no livelock: every completion re-examines the queue). The *order*
+//     of admission is a pluggable AdmissionPolicy (ops/admission.h):
+//     strict FIFO by default, or footprint-/expected-work-aware
+//     small-job-first with an aging starvation bound for latency SLOs.
+//     A footprint that can never fit is rejected up front with
+//     kResourceExhausted.
 //
 //   * Per-session budgets — each admitted session's pinned+retained bytes
 //     are charged to its PoolAccount, capped at its declared footprint.
@@ -39,6 +42,7 @@
 #ifndef RIOTSHARE_OPS_SESSION_RUNTIME_H_
 #define RIOTSHARE_OPS_SESSION_RUNTIME_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,9 +52,11 @@
 #include <vector>
 
 #include "analysis/coaccess.h"
+#include "core/cost_model.h"
 #include "exec/executor.h"
 #include "ir/program.h"
 #include "ir/schedule.h"
+#include "ops/admission.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_pool.h"
 #include "util/status.h"
@@ -75,6 +81,17 @@ struct SessionRuntimeOptions {
   int64_t footprint_margin_bytes = 0;
   /// Seconds a starved fetch inside a session parks before giving up.
   double park_timeout_seconds = 10.0;
+  /// Admission-queue ordering (ops/admission.h). kFifo is the historical
+  /// strict arrival order; the SLO-aware policies overtake a parked whale
+  /// with mice that fit now.
+  AdmissionPolicyKind admission = AdmissionPolicyKind::kFifo;
+  /// Starvation bound for the non-FIFO policies: a waiter older than this
+  /// regains FIFO priority (nothing overtakes it further).
+  double admission_aging_seconds = 2.0;
+  /// Cost-model options used to derive footprints and expected work for
+  /// specs that do not declare them (e.g. calibrated compute rates so
+  /// shortest-work ranks by io + compute).
+  CostModelOptions cost;
 };
 
 /// \brief One program execution request. The spec's pointers must outlive
@@ -96,6 +113,11 @@ struct SessionSpec {
   /// Peak pinned+retained bytes the plan needs — the session's budget and
   /// admission reservation. 0 = derive exactly from the cost model.
   int64_t footprint_bytes = 0;
+  /// Modeled execution seconds (the cost model's TotalSeconds()) that the
+  /// shortest-expected-work admission policy ranks by. 0 = derive from
+  /// the cost model when that policy is active (callers that run many
+  /// identical jobs should pre-compute it once).
+  double expected_work_seconds = 0;
 };
 
 struct SessionStats {
@@ -161,9 +183,25 @@ class SessionRuntime {
   IoPool* io() { return io_.get(); }
 
  private:
+  /// One parked Run() call. Queued in arrival order; the waiter's thread
+  /// sleeps on admit_cv_ until AdmitLocked marks it admitted.
+  struct Waiter {
+    int64_t ticket = 0;
+    int64_t footprint_bytes = 0;
+    double expected_work_seconds = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    bool admitted = false;
+  };
+
   int PoolIdFor(BlockStore* store);  // registry: same store, same id
+  /// Runs the admission policy over the parked waiters until it admits no
+  /// one, reserving footprints and marking waiters admitted. Called on
+  /// every arrival and every completion, under mu_; wakes admitted
+  /// waiters via admit_cv_.
+  void AdmitLocked();
 
   const SessionRuntimeOptions opts_;
+  const std::unique_ptr<AdmissionPolicy> admission_;
   BufferPool pool_;
   std::unique_ptr<IoPool> io_;
 
@@ -171,7 +209,8 @@ class SessionRuntime {
   std::condition_variable admit_cv_;
   std::map<BlockStore*, int> pool_ids_;
   int next_pool_id_ = 0;
-  std::deque<int64_t> admit_queue_;  // FIFO tickets
+  std::deque<Waiter*> admit_queue_;  // arrival order; entries live on the
+                                     // waiting Run() call's stack
   int64_t next_ticket_ = 0;
   int64_t reserved_bytes_ = 0;
   int64_t running_sessions_ = 0;

@@ -1,0 +1,102 @@
+// The serving catalog: the datasets and job templates behind the traffic
+// the open-loop generator emits. Three expression-built templates run
+// against Zipf-popular datasets:
+//
+//   * read mouse  — r = SumSquares(X + Y): scans the dataset, writes one
+//                   tiny result row (read-heavy OLAP probe),
+//   * write mouse — W = X + Y: materializes a full-size derived array
+//                   (write-heavy),
+//   * whale       — E = (XW + YW) ZW over much larger arrays: the
+//                   heavyweight analytical job whose footprint and
+//                   runtime dwarf the mice (the head-of-line hazard).
+//
+// Dataset *inputs* are opened once and shared by every concurrent job —
+// the hot-array sharing (cross-session frame dedup, budget transfer) the
+// serving layer exists to exercise. Outputs and scratch temporaries are
+// private per worker slot (slot s reuses its output stores across jobs),
+// so concurrent identical jobs never write one buffer — results are
+// throwaway, isolation is what matters. Footprints and expected work per
+// template are computed once from the cost model and stamped onto every
+// SessionSpec, so admission decisions cost nothing per job.
+#ifndef RIOTSHARE_SERVE_CATALOG_H_
+#define RIOTSHARE_SERVE_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "ops/runtime.h"
+#include "ops/session_runtime.h"
+#include "ops/workload.h"
+#include "serve/workload_gen.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace riot {
+namespace serve {
+
+struct CatalogOptions {
+  int num_datasets = 4;
+  /// Independent worker slots (>= the server's worker threads): slot s
+  /// owns the non-input stores job s-of-the-moment writes.
+  int num_slots = 4;
+  /// Mouse arrays: mouse_grid x mouse_grid blocks of mouse_block^2 doubles.
+  int64_t mouse_grid = 2;
+  int64_t mouse_block = 64;
+  /// Whale arrays, same shape parameters.
+  int64_t whale_grid = 4;
+  int64_t whale_block = 128;
+  uint64_t seed = 7;
+  /// Prices the templates' footprints and expected work (pass the rates of
+  /// the env the server runs against so shortest-work ranks realistically).
+  CostModelOptions cost;
+};
+
+class Catalog {
+ public:
+  /// Opens and initializes every store under `env` (not owned; must
+  /// outlive the catalog). Paths are prefixed "/serve".
+  static Result<std::unique_ptr<Catalog>> Create(Env* env,
+                                                 const CatalogOptions& opts);
+
+  /// The ready-to-run spec for `job` executing on worker `slot`. The
+  /// returned spec's pointers reference catalog-owned state; they are
+  /// valid for the catalog's lifetime. Concurrent Bind calls are safe;
+  /// two concurrent jobs may share a slot's stores only if they share the
+  /// slot (the server pins one slot per worker).
+  SessionSpec Bind(const JobSpec& job, int slot) const;
+
+  int64_t footprint_bytes(JobKind kind) const;
+  double expected_work_seconds(JobKind kind) const;
+  int num_datasets() const { return opts_.num_datasets; }
+  int num_slots() const { return opts_.num_slots; }
+
+  /// Drops every catalog store's cached frames from `rt`'s shared pool.
+  /// Call after draining the server and before destroying the catalog if
+  /// the runtime outlives it.
+  Status ReleaseFrom(SessionRuntime& rt) const;
+
+ private:
+  /// One template: the lowered workload plus per-dataset shared input
+  /// stores and per-slot private non-input stores.
+  struct Template {
+    Workload workload;
+    int64_t footprint_bytes = 0;
+    double expected_work_seconds = 0;
+    std::vector<bool> is_input;        // by array id
+    std::vector<Runtime> by_dataset;   // inputs used; one per dataset
+    std::vector<Runtime> by_slot;      // non-inputs used; one per slot
+  };
+
+  Catalog() = default;
+  const Template& TemplateFor(JobKind kind) const;
+
+  CatalogOptions opts_;
+  Template read_, write_, whale_;
+};
+
+}  // namespace serve
+}  // namespace riot
+
+#endif  // RIOTSHARE_SERVE_CATALOG_H_

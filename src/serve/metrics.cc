@@ -1,0 +1,103 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace riot {
+namespace serve {
+
+namespace {
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+int LatencyHistogram::BucketFor(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN/negative
+  const int b = 1 + static_cast<int>(std::log10(seconds / kMinSeconds) *
+                                     kBucketsPerDecade);
+  return std::min(b, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketUpperBound(int bucket) {
+  return kMinSeconds *
+         std::pow(10.0, static_cast<double>(bucket) / kBucketsPerDecade);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0) seconds = 0;
+  ++buckets_[static_cast<size_t>(BucketFor(seconds))];
+  ++count_;
+  sum_ += seconds;
+  max_ = std::max(max_, seconds);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-th sample (1-based, ceil): the smallest bucket whose
+  // cumulative count reaches it holds the answer.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * count_)));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // The final bucket is open-ended — its only honest bound is the
+      // exact max, which also caps every interior bucket.
+      if (i == kNumBuckets - 1) return max_;
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Metrics::OnSubmit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.submitted;
+  if (first_submit_seconds_ < 0) first_submit_seconds_ = NowSeconds();
+}
+
+void Metrics::OnDone(bool ok, bool whale, double latency_seconds,
+                     double queue_wait_seconds,
+                     double admission_wait_seconds,
+                     double exec_wall_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ++s_.completed;
+    s_.admission_wait.Record(admission_wait_seconds);
+    s_.exec_wall.Record(exec_wall_seconds);
+  } else {
+    ++s_.failed;
+  }
+  s_.latency.Record(latency_seconds);
+  (whale ? s_.latency_whales : s_.latency_mice).Record(latency_seconds);
+  s_.queue_wait.Record(queue_wait_seconds);
+  last_done_seconds_ = NowSeconds();
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out = s_;
+  if (first_submit_seconds_ >= 0 && last_done_seconds_ >= 0) {
+    out.elapsed_seconds =
+        std::max(0.0, last_done_seconds_ - first_submit_seconds_);
+    if (out.elapsed_seconds > 0) {
+      out.throughput_jobs_per_sec = out.completed / out.elapsed_seconds;
+    }
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace riot

@@ -1,0 +1,103 @@
+// Serving-side observability: latency histograms and aggregate counters,
+// measured the way production measures an open-loop service — every
+// completed job records its end-to-end latency (submit -> done), its
+// queue wait (submit -> a worker picked it up), the admission wait inside
+// SessionRuntime, and its execution wall time, and the server reports
+// p50/p99/p999 plus throughput over the measurement window.
+//
+// The histogram is fixed-shape and log-spaced (25 buckets per decade from
+// 1us), so Record is O(1), Merge is element-wise, percentile error is
+// bounded by one bucket width (< 10%), and two runs over the same
+// latencies report identical quantiles — deterministic enough to unit
+// test exactly.
+#ifndef RIOTSHARE_SERVE_METRICS_H_
+#define RIOTSHARE_SERVE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace riot {
+namespace serve {
+
+/// \brief Fixed log-spaced histogram of durations in seconds. Not
+/// thread-safe on its own; Metrics (below) synchronizes the server's.
+class LatencyHistogram {
+ public:
+  static constexpr double kMinSeconds = 1e-6;   // bucket 0 upper bound
+  static constexpr int kBucketsPerDecade = 25;  // ~9.6% resolution
+  static constexpr int kDecades = 9;            // 1us .. 1000s
+  static constexpr int kNumBuckets = kBucketsPerDecade * kDecades + 1;
+
+  void Record(double seconds);
+  void Merge(const LatencyHistogram& other);
+
+  int64_t count() const { return count_; }
+  double mean_seconds() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double max_seconds() const { return max_; }
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the q-th sample (clamped to the exact observed max, so Quantile(1)
+  /// == max_seconds()). 0 when empty.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P99() const { return Quantile(0.99); }
+  double P999() const { return Quantile(0.999); }
+
+ private:
+  static int BucketFor(double seconds);
+  static double BucketUpperBound(int bucket);
+
+  std::array<int64_t, kNumBuckets> buckets_{};
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+};
+
+/// \brief One consistent copy of the server's counters and histograms.
+struct MetricsSnapshot {
+  int64_t submitted = 0;
+  int64_t completed = 0;  // jobs whose session ran to success
+  int64_t failed = 0;     // jobs whose session returned an error
+  /// Seconds from the first submit to the last completion seen so far (the
+  /// open-loop measurement window).
+  double elapsed_seconds = 0;
+  /// Completions per elapsed second.
+  double throughput_jobs_per_sec = 0;
+  LatencyHistogram latency;         // submit -> completion
+  /// Per-class views of `latency`: the whale-plus-mice SLO story is the
+  /// MICE tail — FIFO head-of-line blocking adds whale service time to
+  /// mouse latency, which the overall histogram (whale-dominated at the
+  /// very tail) can mask.
+  LatencyHistogram latency_mice;
+  LatencyHistogram latency_whales;
+  LatencyHistogram queue_wait;      // submit -> picked up by a worker
+  LatencyHistogram admission_wait;  // SessionRuntime admission parking
+  LatencyHistogram exec_wall;       // executor wall time
+};
+
+/// \brief Thread-safe recorder the server's workers feed.
+class Metrics {
+ public:
+  void OnSubmit();
+  /// `ok` distinguishes completed from failed; failed jobs still record
+  /// latency and queue wait (an error answer is still an answer the
+  /// client waited for) but no admission/exec breakdown.
+  /// `whale` routes the latency sample into the per-class histogram
+  /// (mice vs whales) on top of the overall one.
+  void OnDone(bool ok, bool whale, double latency_seconds,
+              double queue_wait_seconds, double admission_wait_seconds,
+              double exec_wall_seconds);
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  MetricsSnapshot s_;
+  double first_submit_seconds_ = -1;  // monotonic clock, -1 = none yet
+  double last_done_seconds_ = -1;
+};
+
+}  // namespace serve
+}  // namespace riot
+
+#endif  // RIOTSHARE_SERVE_METRICS_H_

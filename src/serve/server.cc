@@ -1,0 +1,92 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace riot {
+namespace serve {
+
+namespace {
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+}  // namespace
+
+Server::Server(const Catalog* catalog, const ServerOptions& options)
+    : catalog_(catalog), opts_(options), runtime_(options.runtime) {
+  RIOT_CHECK_GT(opts_.worker_threads, 0);
+  RIOT_CHECK(opts_.worker_threads <= catalog_->num_slots())
+      << "more workers than catalog slots: two workers would share one "
+         "slot's output stores";
+  workers_.reserve(static_cast<size_t>(opts_.worker_threads));
+  for (int i = 0; i < opts_.worker_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Submit(const JobSpec& job) {
+  metrics_.OnSubmit();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Queued{job, std::chrono::steady_clock::now()});
+  }
+  work_cv_.notify_one();
+}
+
+void Server::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock,
+                 [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void Server::WorkerLoop(int slot) {
+  for (;;) {
+    Queued item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    const auto picked = std::chrono::steady_clock::now();
+    const SessionSpec spec = catalog_->Bind(item.job, slot);
+    Result<SessionStats> result = runtime_.Run(spec);
+    const auto done = std::chrono::steady_clock::now();
+
+    double admission_wait = 0, exec_wall = 0;
+    if (result.ok()) {
+      admission_wait = result->admission_wait_seconds;
+      exec_wall = result->exec.wall_seconds;
+    }
+    metrics_.OnDone(result.ok(), item.job.kind == JobKind::kWhale,
+                    Seconds(done - item.submitted),
+                    Seconds(picked - item.submitted), admission_wait,
+                    exec_wall);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace riot

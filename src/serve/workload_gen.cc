@@ -1,0 +1,78 @@
+#include "serve/workload_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace riot {
+namespace serve {
+
+double FastZipf::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += std::pow(1.0 / i, theta);
+  return sum;
+}
+
+FastZipf::FastZipf(uint64_t n, double theta) : n_(n), theta_(theta) {
+  RIOT_CHECK_GT(n, 0u);
+  RIOT_CHECK(theta >= 0 && theta < 1) << "FastZipf needs theta in [0, 1)";
+  zetan_ = Zeta(n, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+         (1.0 - Zeta(2, theta) / zetan_);
+}
+
+uint64_t FastZipf::Sample(Rng& rng) const {
+  // Gray et al. constant-time inversion (the YCSB generator): the first
+  // two ranks are handled exactly, the tail through the eta interpolation.
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      n_ * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, n_ - 1);
+}
+
+OpenLoopGenerator::OpenLoopGenerator(const TrafficOptions& options)
+    : opts_(options),
+      rng_(options.seed),
+      zipf_(static_cast<uint64_t>(std::max(1, options.num_datasets)),
+            options.zipf_theta) {
+  RIOT_CHECK_GT(opts_.offered_jobs_per_sec, 0.0);
+}
+
+JobSpec OpenLoopGenerator::Next() {
+  JobSpec job;
+  job.id = next_id_++;
+  job.dataset = static_cast<int>(zipf_.Sample(rng_));
+  const double r = rng_.NextDouble();
+  if (r < opts_.whale_fraction) {
+    job.kind = JobKind::kWhale;
+  } else if (rng_.NextDouble() < opts_.write_fraction) {
+    job.kind = JobKind::kWrite;
+  } else {
+    job.kind = JobKind::kRead;
+  }
+  const double mean_gap = 1.0 / opts_.offered_jobs_per_sec;
+  if (opts_.poisson_arrivals) {
+    // Exponential inter-arrival; clamp u away from 0 so -log stays finite.
+    const double u = std::max(rng_.NextDouble(), 1e-12);
+    clock_seconds_ += -std::log(u) * mean_gap;
+  } else {
+    clock_seconds_ += mean_gap;
+  }
+  job.arrival_seconds = clock_seconds_;
+  return job;
+}
+
+std::vector<JobSpec> OpenLoopGenerator::Take(int64_t count) {
+  std::vector<JobSpec> out;
+  out.reserve(static_cast<size_t>(std::max<int64_t>(count, 0)));
+  for (int64_t i = 0; i < count; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace serve
+}  // namespace riot

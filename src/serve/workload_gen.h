@@ -1,0 +1,111 @@
+// YCSB-style open-loop traffic generation for the serving front end:
+// Zipf-skewed dataset popularity (the FastZipf O(1) sampler of Gray et
+// al., the YCSB idiom), a read/write procedure mix, an occasional "whale"
+// (a heavyweight analytical job among the mice), and Poisson arrivals at
+// a configurable offered load in jobs/sec.
+//
+// Open loop means arrival times are generated independently of service
+// times: when the system falls behind, the queue grows and latency
+// explodes — exactly the regime closed-loop benches can never show, and
+// the one that separates admission policies (head-of-line whales vs
+// small-job-first). Everything is deterministic given the seed.
+#ifndef RIOTSHARE_SERVE_WORKLOAD_GEN_H_
+#define RIOTSHARE_SERVE_WORKLOAD_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace riot {
+namespace serve {
+
+/// \brief splitmix64: tiny, seedable, and statistically solid for traffic
+/// generation (not cryptographic). One stream per generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief O(1) Zipf(theta) sampler over ranks [0, n) (0 = hottest), after
+/// Gray et al. "Quickly generating billion-record synthetic databases"
+/// (the YCSB generator). theta in [0, 1): 0 = uniform, 0.99 = the YCSB
+/// default heavy skew.
+class FastZipf {
+ public:
+  FastZipf(uint64_t n, double theta);
+  uint64_t Sample(Rng& rng) const;
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+enum class JobKind {
+  kRead,   // read-heavy mouse: scans the dataset, writes a tiny result
+  kWrite,  // write-heavy mouse: materializes a full-size output
+  kWhale,  // heavyweight analytical job (large footprint + long runtime)
+};
+
+/// \brief One generated request: which dataset, what kind, and when it
+/// arrives (seconds from the start of the stream).
+struct JobSpec {
+  int64_t id = 0;
+  JobKind kind = JobKind::kRead;
+  int dataset = 0;  // Zipf rank into the catalog's datasets
+  double arrival_seconds = 0;
+};
+
+struct TrafficOptions {
+  double offered_jobs_per_sec = 50.0;
+  int num_datasets = 4;
+  /// Zipf skew over datasets; 0 disables skew (uniform).
+  double zipf_theta = 0.99;
+  /// Fraction of mice that are write-heavy (the YCSB r/w mix knob).
+  double write_fraction = 0.1;
+  /// Fraction of all jobs that are whales (0 = pure-mice traffic).
+  double whale_fraction = 0.0;
+  /// Poisson arrivals (exponential inter-arrival at the offered rate);
+  /// false = a deterministic fixed-interval stream.
+  bool poisson_arrivals = true;
+  uint64_t seed = 1;
+};
+
+/// \brief Deterministic open-loop stream: Next() yields jobs with
+/// monotonically increasing arrival times at the offered rate.
+class OpenLoopGenerator {
+ public:
+  explicit OpenLoopGenerator(const TrafficOptions& options);
+  JobSpec Next();
+  /// The whole stream for a window, e.g. Take(ceil(rate * seconds)).
+  std::vector<JobSpec> Take(int64_t count);
+
+ private:
+  TrafficOptions opts_;
+  Rng rng_;
+  FastZipf zipf_;
+  double clock_seconds_ = 0;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace serve
+}  // namespace riot
+
+#endif  // RIOTSHARE_SERVE_WORKLOAD_GEN_H_

@@ -38,6 +38,80 @@ void BufferPool::WaitAllWritebacksLocked(std::unique_lock<std::mutex>& lock) {
   });
 }
 
+void BufferPool::AddHoldLocked(Frame* f, PoolAccount* account) {
+  if (account == nullptr) return;  // anonymous pins are not tracked
+  for (Holder& h : f->holders) {
+    if (h.account == account) {
+      ++h.pins;
+      return;
+    }
+  }
+  f->holders.push_back(Holder{account, 1});
+}
+
+void BufferPool::DropHoldLocked(Frame* f, PoolAccount* account) {
+  if (account == nullptr) return;
+  for (auto it = f->holders.begin(); it != f->holders.end(); ++it) {
+    if (it->account == account) {
+      if (--it->pins == 0) f->holders.erase(it);
+      return;
+    }
+  }
+  RIOT_CHECK(false) << "Unpin/Discard with an account that holds no pin on "
+                       "the frame (pin/unpin account mismatch)";
+}
+
+void BufferPool::RechargeLocked(Frame* f) {
+  PoolAccount* want = nullptr;
+  if (CountsAsRequired(*f)) {
+    auto holds = [f](const PoolAccount* a) {
+      for (const Holder& h : f->holders) {
+        if (h.account == a) return true;
+      }
+      for (const Retention& r : f->retentions) {
+        if (r.owner == a) return true;
+      }
+      return false;
+    };
+    if (f->account != nullptr && holds(f->account)) {
+      want = f->account;  // the charged claimant still claims the frame
+    } else {
+      // The charged claimant (if any) let go while the frame stays
+      // required: transfer to a surviving pin holder, else a retention
+      // owner. All-anonymous claimants leave the charge orphaned.
+      for (const Holder& h : f->holders) {
+        if (h.account != nullptr) {
+          want = h.account;
+          break;
+        }
+      }
+      if (want == nullptr) {
+        for (const Retention& r : f->retentions) {
+          if (r.owner != nullptr) {
+            want = r.owner;
+            break;
+          }
+        }
+      }
+    }
+  }
+  if (want == f->account) return;
+  // Under mu_: relaxed atomics suffice (atomicity is only for lock-free
+  // readers outside the pool).
+  const int64_t sz = static_cast<int64_t>(f->data.size());
+  if (f->account != nullptr) {
+    f->account->charged_bytes.fetch_sub(sz, std::memory_order_relaxed);
+  }
+  if (want != nullptr) {
+    const int64_t c = want->charged_bytes.load(std::memory_order_relaxed) + sz;
+    want->charged_bytes.store(c, std::memory_order_relaxed);
+    if (c > want->peak_charged_bytes.load(std::memory_order_relaxed)) {
+      want->peak_charged_bytes.store(c, std::memory_order_relaxed);
+    }
+  }
+  f->account = want;
+}
+
 Status BufferPool::DrainWritebacksLocked(std::unique_lock<std::mutex>& lock) {
   WaitAllWritebacksLocked(lock);
   Status first = Status::OK();
@@ -208,11 +282,13 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
               " + " + std::to_string(sz) + " > budget " +
               std::to_string(account->budget_bytes));
         }
-        f.account = account;
       }
       if (!counted_miss) ++stats_.hits;
       if (was_resident != nullptr) *was_resident = true;
-      MutateTracked(&f, [&] { ++f.pins; });
+      MutateTracked(&f, [&] {
+        ++f.pins;
+        AddHoldLocked(&f, account);
+      });
       policy_->OnTouch(key);
       if (coalesce_loads && f.loading) {
         // Another session's creator is mid-load; join its disk read
@@ -221,7 +297,10 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
         Frame* fp = &f;
         load_cv_.wait(lock, [fp] { return !fp->loading || fp->discarded; });
         if (fp->discarded) {
-          MutateTracked(fp, [&] { --fp->pins; });
+          MutateTracked(fp, [&] {
+            --fp->pins;
+            DropHoldLocked(fp, account);
+          });
           if (fp->pins == 0) EraseFrameLocked(fp);
           return Status::Internal(
               "coalesced load failed in the loading session");
@@ -278,19 +357,12 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
   }
   f.pins = 1;
   f.loading = coalesce_loads && !load;  // caller fills it, then MarkLoaded
+  AddHoldLocked(&f, account);
   used_bytes_ += bytes;
   required_bytes_ += bytes;
-  if (account != nullptr) {
-    f.account = account;
-    const int64_t c =
-        account->charged_bytes.load(std::memory_order_relaxed) + bytes;
-    account->charged_bytes.store(c, std::memory_order_relaxed);
-    if (c > account->peak_charged_bytes.load(std::memory_order_relaxed)) {
-      account->peak_charged_bytes.store(c, std::memory_order_relaxed);
-    }
-  }
   auto [ins, ok] = frames_.emplace(key, std::move(f));
   RIOT_CHECK(ok);
+  RechargeLocked(&ins->second);  // charges `account` (budget checked above)
   policy_->OnTouch(key);
   return &ins->second;
 }
@@ -298,26 +370,26 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
 void BufferPool::DetachAccount(PoolAccount* account) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, f] : frames_) {
-    if (f.account == account) {
-      // Uncharge without a required-ness transition: the frame stays
-      // required on its other holders' pins/retentions, just no longer on
-      // this (dying) tab. The next claimant pays for it.
-      account->charged_bytes.fetch_sub(static_cast<int64_t>(f.data.size()),
-                                       std::memory_order_relaxed);
-      f.account = nullptr;
+    if (f.account != account && f.holders.empty() && f.retentions.empty()) {
+      continue;
     }
-    if (!f.retentions.empty()) {
-      // Defensive: the run's end-of-run ReleaseRetainedBefore already
-      // released these; never leave a dangling owner pointer behind.
-      MutateTracked(&f, [&] {
-        auto& rs = f.retentions;
-        rs.erase(std::remove_if(rs.begin(), rs.end(),
-                                [&](const Retention& r) {
-                                  return r.owner == account;
-                                }),
-                 rs.end());
-      });
-    }
+    // Drop the account's holds and retentions (normally already released
+    // by the executor's cleanup — this is the backstop that guarantees no
+    // dangling pointer survives the account). MutateTracked's recharge
+    // then transfers any remaining charge to a surviving claimant, or
+    // orphans it when only anonymous pins keep the frame required.
+    MutateTracked(&f, [&] {
+      auto& hs = f.holders;
+      hs.erase(std::remove_if(
+                   hs.begin(), hs.end(),
+                   [&](const Holder& h) { return h.account == account; }),
+               hs.end());
+      auto& rs = f.retentions;
+      rs.erase(std::remove_if(
+                   rs.begin(), rs.end(),
+                   [&](const Retention& r) { return r.owner == account; }),
+               rs.end());
+    });
   }
 }
 
@@ -339,14 +411,17 @@ void BufferPool::EraseFrameLocked(Frame* frame) {
   frames_.erase(key);
 }
 
-void BufferPool::Unpin(Frame* frame) {
+void BufferPool::Unpin(Frame* frame, PoolAccount* account) {
   std::lock_guard<std::mutex> lock(mu_);
   RIOT_CHECK_GT(frame->pins, 0);
-  MutateTracked(frame, [&] { --frame->pins; });
+  MutateTracked(frame, [&] {
+    --frame->pins;
+    DropHoldLocked(frame, account);
+  });
   if (frame->discarded && frame->pins == 0) EraseFrameLocked(frame);
 }
 
-void BufferPool::Discard(Frame* frame) {
+void BufferPool::Discard(Frame* frame, PoolAccount* account) {
   bool was_loading = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -354,6 +429,7 @@ void BufferPool::Discard(Frame* frame) {
     was_loading = frame->loading;
     MutateTracked(frame, [&] {
       --frame->pins;
+      DropHoldLocked(frame, account);
       frame->discarded = true;
       frame->loading = false;  // the load failed; waiters must not hang
       frame->retentions.clear();  // nothing may keep garbage alive
@@ -365,7 +441,7 @@ void BufferPool::Discard(Frame* frame) {
 }
 
 void BufferPool::Retain(Frame* frame, int64_t until_group,
-                        const PoolAccount* owner) {
+                        PoolAccount* owner) {
   std::lock_guard<std::mutex> lock(mu_);
   MutateTracked(frame, [&] {
     for (Retention& r : frame->retentions) {
@@ -383,8 +459,7 @@ void BufferPool::MarkClean(Frame* frame) {
   frame->dirty = false;
 }
 
-void BufferPool::ReleaseRetainedBefore(int64_t group,
-                                       const PoolAccount* owner) {
+void BufferPool::ReleaseRetainedBefore(int64_t group, PoolAccount* owner) {
   std::lock_guard<std::mutex> lock(mu_);
   // O(frames) under mu_ per group boundary; fine while retention counts
   // are small. If multi-tenant profiles ever show this scan hot, keep a
@@ -517,10 +592,10 @@ BufferPool::Frame* BufferPool::AdoptPrefetched(Frame* frame,
     std::lock_guard<std::mutex> lock(mu_);
     RIOT_CHECK(frame->state == FrameState::kPrefetched);
     prefetch_bytes_ -= static_cast<int64_t>(frame->data.size());
-    if (account != nullptr) frame->account = account;
     MutateTracked(frame, [&] {
       frame->state = FrameState::kRegular;
       frame->pins = 1;
+      AddHoldLocked(frame, account);
     });
     policy_->OnTouch({frame->array_id, frame->block});
   }

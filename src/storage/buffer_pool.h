@@ -66,13 +66,18 @@ class IoPool;
 /// reader). All mutations happen under the owning pool's mutex; the
 /// atomics let the session runtime and tests read without it.
 ///
-/// Known approximation: the first claimant stays charged for a shared
-/// frame until the frame stops being required — even after the claimant
-/// itself unpinned it — because pins carry no owner identity. A tenant
-/// can therefore be transiently over-charged for a frame only a neighbor
-/// still holds; its fetches park-and-retry through the inflated window
-/// (bounded by the neighbor's retention lifetime and the park timeout)
-/// and the budget bound itself is never exceeded.
+/// Pins carry owner identity (Frame::holders), so when the charged
+/// claimant of a shared frame releases its own pins and retentions — or
+/// detaches — while another tenant still holds the frame required, the
+/// charge is *transferred* to a surviving claimant rather than left on
+/// (or stranded with) the releaser's ledger. A tenant is therefore only
+/// ever charged for frames it itself holds required, which is bounded by
+/// its plan footprint: a session whose budget covers its footprint sees
+/// zero budget_rejections regardless of what its neighbors share. (A
+/// transfer charges the survivor without a budget check for the same
+/// reason — the frame is already in the survivor's footprint.) Pins
+/// taken without an account are anonymous and never charged or
+/// transferred to.
 struct PoolAccount {
   int64_t budget_bytes = 0;  // immutable while the account is in use
   std::atomic<int64_t> charged_bytes{0};
@@ -131,8 +136,17 @@ class BufferPool {
   /// B's "retain until group 5", which counts in a different program's
   /// numbering.
   struct Retention {
-    const PoolAccount* owner = nullptr;
+    PoolAccount* owner = nullptr;
     int64_t until_group = -1;
+  };
+
+  /// One tenant's pin count on a frame. Only account-carrying pins are
+  /// recorded (anonymous pins are `pins` minus the holders' sum); the
+  /// entry exists so the pool knows which tenants still claim a shared
+  /// frame when the charged one lets go (see PoolAccount).
+  struct Holder {
+    PoolAccount* account = nullptr;
+    int pins = 0;
   };
 
   struct Frame {
@@ -146,6 +160,10 @@ class BufferPool {
     /// Per-owner keep-until-reuse obligations; empty = unretained. At most
     /// one entry per owner (Retain merges by max until_group).
     std::vector<Retention> retentions;
+    /// Per-account pin counts (at most one entry per account; anonymous
+    /// pins are not recorded). Kept so the budget charge can follow a
+    /// surviving claimant when the charged tenant releases.
+    std::vector<Holder> holders;
     bool retained() const { return !retentions.empty(); }
     /// Legacy view: the farthest until_group across owners; -1 when none.
     int64_t retain_until_group() const {
@@ -165,7 +183,10 @@ class BufferPool {
     /// creator and never evictable.
     bool loading = false;
     /// Session the frame's required bytes are charged to; nullptr when
-    /// unrequired or claimed without an account.
+    /// unrequired or claimed without an account. Always one of the
+    /// frame's current claimants (a holder with pins, or a retention
+    /// owner) — RechargeLocked moves it when the charged claimant lets
+    /// go while others remain.
     PoolAccount* account = nullptr;
   };
 
@@ -201,34 +222,38 @@ class BufferPool {
   /// Frame lookup without side effects; nullptr if absent.
   Frame* Probe(int array_id, int64_t block);
 
-  void Unpin(Frame* frame);
+  /// Releases one pin. `account` must be the account the matching Fetch /
+  /// AdoptPrefetched pinned with (nullptr for anonymous pins): it
+  /// releases that tenant's hold so the budget charge can transfer to a
+  /// surviving claimant of a shared frame.
+  void Unpin(Frame* frame, PoolAccount* account = nullptr);
   /// Completes a coalesced load (Fetch with coalesce_loads that missed):
   /// clears the loading mark and wakes waiters. Call after filling
   /// frame->data, before Unpin.
   void MarkLoaded(Frame* frame);
-  /// Severs every reference to `account` from the pool: frames still
-  /// charged to it are uncharged and orphaned (a shared frame another
-  /// tenant keeps required would otherwise hold the pointer past the
-  /// owning session's lifetime — the account is typically stack-allocated
-  /// per run), and any retention entries it owns are released. The
-  /// executor calls this in its session cleanup; after it returns the
-  /// account object may be destroyed.
+  /// Severs every reference to `account` from the pool: its holder
+  /// entries and retentions are dropped, and frames still charged to it
+  /// are uncharged — transferring the charge to a surviving claimant if a
+  /// shared frame stays required (a dangling pointer would otherwise
+  /// outlive the owning session; the account is typically
+  /// stack-allocated per run). The executor calls this in its session
+  /// cleanup; after it returns the account object may be destroyed.
   void DetachAccount(PoolAccount* account);
   /// Unpin for a frame whose contents must not outlive the caller: marks it
   /// discarded and erases it once the last pin drops (other holders erase
   /// it through their own Unpin/Discard). Used when a load into the frame
   /// failed — a zero/garbage-filled frame must never linger as apparently
   /// clean cache — and when a rolled-back write target was never loaded.
-  void Discard(Frame* frame);
+  /// `account` as in Unpin.
+  void Discard(Frame* frame, PoolAccount* account = nullptr);
   /// Retains on behalf of `owner` (one entry per owner, merged by max;
   /// nullptr = the solo-run owner — bit-for-bit the historical behavior).
   void Retain(Frame* frame, int64_t until_group,
-              const PoolAccount* owner = nullptr);
+              PoolAccount* owner = nullptr);
   /// Releases every retention of `owner` that expired strictly before
   /// `group`; other owners' retentions (their group indices live in other
   /// programs' numberings) are untouched.
-  void ReleaseRetainedBefore(int64_t group,
-                             const PoolAccount* owner = nullptr);
+  void ReleaseRetainedBefore(int64_t group, PoolAccount* owner = nullptr);
   /// Clears the dirty flag under the pool lock (the executor's
   /// write-through makes the in-memory copy match disk; worker threads must
   /// not touch the flag unsynchronized while eviction scans run).
@@ -353,7 +378,20 @@ class BufferPool {
     return f.state == FrameState::kRegular && f.pins == 0 &&
            !f.retained() && !f.discarded && !f.loading;
   }
-  /// Call around any mutation of pins/retention/state to keep the
+  /// Records/releases `account`'s hold (one pin) on a frame. nullptr =
+  /// anonymous, not tracked. Call inside a MutateTracked fn alongside the
+  /// matching pins change so RechargeLocked sees consistent state.
+  static void AddHoldLocked(Frame* f, PoolAccount* account);
+  static void DropHoldLocked(Frame* f, PoolAccount* account);
+  /// Re-points the frame's budget charge at a claimant that still
+  /// requires it: uncharges when the frame stops being required, keeps
+  /// the current claimant while it holds a pin or retention, and
+  /// otherwise transfers the charge to a surviving holder (else a
+  /// retention owner). The transfer charges the survivor without a
+  /// budget check — the frame is already part of the survivor's own
+  /// required footprint, which its budget covers (see PoolAccount).
+  void RechargeLocked(Frame* f);
+  /// Call around any mutation of pins/holders/retention/state to keep the
   /// required-bytes counter, the per-account ledgers, and the policy's
   /// evictable set current.
   template <typename Fn>
@@ -364,25 +402,10 @@ class BufferPool {
     const bool after = CountsAsRequired(*f);
     const bool after_ev = IsEvictable(*f);
     if (before != after) {
-      const int64_t sz = static_cast<int64_t>(f->data.size());
-      required_bytes_ += (after ? 1 : -1) * sz;
-      if (f->account != nullptr) {
-        // Under mu_: relaxed atomics suffice (atomicity is only for
-        // lock-free readers outside the pool).
-        PoolAccount* a = f->account;
-        const int64_t c =
-            a->charged_bytes.load(std::memory_order_relaxed) +
-            (after ? sz : -sz);
-        a->charged_bytes.store(c, std::memory_order_relaxed);
-        if (after) {
-          if (c > a->peak_charged_bytes.load(std::memory_order_relaxed)) {
-            a->peak_charged_bytes.store(c, std::memory_order_relaxed);
-          }
-        } else {
-          f->account = nullptr;  // the next claimant pays for it
-        }
-      }
+      required_bytes_ +=
+          (after ? 1 : -1) * static_cast<int64_t>(f->data.size());
     }
+    RechargeLocked(f);
     if (before_ev != after_ev) {
       const Key key{f->array_id, f->block};
       if (after_ev) {

@@ -160,5 +160,54 @@ TEST(OptimizerTest, AblationNoMultiplicityReductionStillSound) {
   EXPECT_LE(r.best().cost.io_seconds, r.plans[0].cost.io_seconds);
 }
 
+TEST(OptimizerTest, CalibratedComputeRatesRankByIoPlusCompute) {
+  // The calibrate_compute_rates flag measures this host's kernel rates
+  // once and prices plans by io + compute; without it (and without a
+  // caller-set rate table) ranking is I/O-only and compute_seconds stays
+  // zero. Feasibility (the opportunity sets) must not change -- only the
+  // ranking inputs do.
+  Workload w = MakeExample1(2, 3, 2);
+  OptimizerOptions plain;
+  OptimizerOptions calibrated;
+  calibrated.calibrate_compute_rates = true;
+  calibrated.calibrate_budget_ms = 20;  // keep the one-time probe cheap
+  auto rp = Optimize(w.program, plain);
+  auto rc = Optimize(w.program, calibrated);
+
+  ASSERT_FALSE(rp.plans.empty());
+  ASSERT_FALSE(rc.plans.empty());
+  for (const auto& p : rp.plans) {
+    EXPECT_EQ(p.cost.compute_seconds, 0.0);
+  }
+  bool any_compute = false;
+  for (const auto& p : rc.plans) {
+    EXPECT_GE(p.cost.compute_seconds, 0.0);
+    any_compute |= p.cost.compute_seconds > 0;
+    EXPECT_DOUBLE_EQ(p.cost.TotalSeconds(),
+                     p.cost.io_seconds + p.cost.compute_seconds);
+  }
+  EXPECT_TRUE(any_compute);
+
+  std::set<std::vector<int>> sp, sc;
+  for (const auto& p : rp.plans) sp.insert(p.opportunities);
+  for (const auto& p : rc.plans) sc.insert(p.opportunities);
+  EXPECT_EQ(sp, sc);
+
+  // A caller-set rate table wins over calibration (the flag only fills a
+  // missing table), so explicit tables remain reproducible across hosts.
+  KernelRateTable fixed;
+  fixed.elementwise_gflops = 1.0;
+  fixed.gemm_gflops = 1.0;
+  OptimizerOptions manual = calibrated;
+  manual.cost.compute = fixed;
+  auto rm1 = Optimize(w.program, manual);
+  auto rm2 = Optimize(w.program, manual);
+  ASSERT_EQ(rm1.plans.size(), rm2.plans.size());
+  for (size_t i = 0; i < rm1.plans.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rm1.plans[i].cost.compute_seconds,
+                     rm2.plans[i].cost.compute_seconds);
+  }
+}
+
 }  // namespace
 }  // namespace riot

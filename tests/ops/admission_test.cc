@@ -1,0 +1,327 @@
+// Admission-policy suite: the pluggable ordering behind SessionRuntime's
+// admission queue. Unit tests pin the decision functions (FIFO never
+// overtakes; small-job-first and shortest-work pick among fitting waiters
+// with arrival-order ties; aging restores FIFO priority), and integration
+// tests drive SessionRuntime end to end: the FIFO-order regression, the
+// SJF mouse-overtakes-parked-whale win, and the aging starvation bound.
+#include "ops/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "ops/runtime.h"
+#include "ops/session_runtime.h"
+#include "ops/workload.h"
+#include "storage/env.h"
+
+namespace riot {
+namespace {
+
+AdmissionCandidate Cand(int64_t ticket, int64_t footprint, double work = 0,
+                        double waited = 0) {
+  AdmissionCandidate c;
+  c.ticket = ticket;
+  c.footprint_bytes = footprint;
+  c.expected_work_seconds = work;
+  c.waited_seconds = waited;
+  return c;
+}
+
+TEST(AdmissionPolicyTest, FifoAdmitsHeadWhenItFits) {
+  auto p = MakeAdmissionPolicy(AdmissionPolicyKind::kFifo);
+  EXPECT_EQ(p->kind(), AdmissionPolicyKind::kFifo);
+  EXPECT_EQ(p->PickNext({Cand(1, 100), Cand(2, 50)}, 100), 0);
+}
+
+TEST(AdmissionPolicyTest, FifoNeverOvertakesABlockedHead) {
+  auto p = MakeAdmissionPolicy(AdmissionPolicyKind::kFifo);
+  // The whale at the head does not fit; the mouse behind it would, but
+  // FIFO holds the line.
+  EXPECT_EQ(p->PickNext({Cand(1, 1000), Cand(2, 10)}, 100), -1);
+}
+
+TEST(AdmissionPolicyTest, SmallestFootprintPicksSmallestFitting) {
+  auto p = MakeAdmissionPolicy(AdmissionPolicyKind::kSmallestFootprint);
+  // Head whale blocked; among the rest, 30 < 50 even though 50 arrived
+  // first.
+  EXPECT_EQ(
+      p->PickNext({Cand(1, 1000), Cand(2, 50), Cand(3, 30)}, 100), 2);
+  // Ties break by arrival order.
+  EXPECT_EQ(p->PickNext({Cand(1, 1000), Cand(2, 30), Cand(3, 30)}, 100),
+            1);
+  // Nothing fits: admit no one.
+  EXPECT_EQ(p->PickNext({Cand(1, 200), Cand(2, 150)}, 100), -1);
+}
+
+TEST(AdmissionPolicyTest, ShortestWorkRanksByExpectedSeconds) {
+  auto p = MakeAdmissionPolicy(AdmissionPolicyKind::kShortestWork);
+  // All fit; the least expected work wins regardless of footprint.
+  EXPECT_EQ(p->PickNext({Cand(1, 10, 9.0), Cand(2, 90, 1.0)}, 100), 1);
+  // A shorter job that does NOT fit cannot be picked.
+  EXPECT_EQ(p->PickNext({Cand(1, 10, 9.0), Cand(2, 900, 1.0)}, 100), 0);
+}
+
+TEST(AdmissionPolicyTest, AgingRestoresFifoPriority) {
+  for (auto kind : {AdmissionPolicyKind::kSmallestFootprint,
+                    AdmissionPolicyKind::kShortestWork}) {
+    auto p = MakeAdmissionPolicy(kind, /*aging_seconds=*/1.0);
+    // The head has aged past the bound: nothing may overtake it, even
+    // though the mouse fits and the head does not.
+    EXPECT_EQ(p->PickNext(
+                  {Cand(1, 1000, 9.0, /*waited=*/2.0), Cand(2, 10, 0.1)},
+                  100),
+              -1)
+        << p->name();
+    // Once capacity allows, the aged head itself is admitted.
+    EXPECT_EQ(p->PickNext(
+                  {Cand(1, 1000, 9.0, /*waited=*/2.0), Cand(2, 10, 0.1)},
+                  1000),
+              0)
+        << p->name();
+  }
+}
+
+TEST(AdmissionPolicyTest, FactoryNamesAreStable) {
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicyKind::kFifo), "fifo");
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicyKind::kSmallestFootprint),
+               "smallest_footprint");
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicyKind::kShortestWork),
+               "shortest_work");
+  for (auto kind :
+       {AdmissionPolicyKind::kFifo, AdmissionPolicyKind::kSmallestFootprint,
+        AdmissionPolicyKind::kShortestWork}) {
+    auto p = MakeAdmissionPolicy(kind);
+    EXPECT_EQ(p->kind(), kind);
+    EXPECT_STREQ(p->name(), AdmissionPolicyName(kind));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Integration against SessionRuntime: a gated session occupies the pool
+// while others queue, making admission order observable.
+
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  bool open = false;
+
+  void WaitStarted() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+// Wraps a workload's first kernel: signal `started`, then block until the
+// gate opens (first invocation only blocks; the gate stays open after).
+std::vector<StatementKernel> Gated(const Workload& w, Gate* gate) {
+  std::vector<StatementKernel> kernels = w.kernels;
+  StatementKernel inner = kernels[0];
+  kernels[0] = [gate, inner](const std::vector<int64_t>& iter,
+                             const std::vector<DenseView*>& views) {
+    {
+      std::unique_lock<std::mutex> lock(gate->mu);
+      gate->started = true;
+      gate->cv.notify_all();
+      gate->cv.wait(lock, [&] { return gate->open; });
+    }
+    inner(iter, views);
+  };
+  return kernels;
+}
+
+class AdmissionIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    w_ = MakeExample1(2, 2, 2);
+    env_ = NewMemEnv();
+    peak_ = EvaluatePlanCost(w_.program, w_.program.original_schedule(), {})
+                .peak_memory_bytes;
+    sched_ = w_.program.original_schedule();
+  }
+
+  Runtime MustOpen(const std::string& dir, uint64_t seed) {
+    auto rt = OpenStores(env_.get(), w_.program, dir);
+    rt.status().CheckOK();
+    InitInputs(w_, *rt, seed).CheckOK();
+    return std::move(rt).ValueOrDie();
+  }
+
+  SessionSpec Spec(const Runtime& rt, int64_t footprint,
+                   const std::vector<StatementKernel>* kernels,
+                   double work = 0) {
+    SessionSpec spec;
+    spec.program = &w_.program;
+    spec.schedule = &sched_;
+    spec.stores = rt.raw();
+    spec.kernels = kernels;
+    spec.footprint_bytes = footprint;
+    spec.expected_work_seconds = work;
+    return spec;
+  }
+
+  void WaitParked(SessionRuntime& runtime, int64_t n) {
+    for (int i = 0; i < 5000 && runtime.stats().sessions_parked < n; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(runtime.stats().sessions_parked, n);
+  }
+
+  Workload w_;
+  std::unique_ptr<Env> env_;
+  Schedule sched_;
+  int64_t peak_ = 0;
+};
+
+// The regression: FIFO admits in strict arrival order even when a later
+// waiter fits first — exactly the pre-policy behavior.
+TEST_F(AdmissionIntegrationTest, FifoHoldsArrivalOrder) {
+  Runtime rt_a = MustOpen("/a", 3);
+  Runtime rt_whale = MustOpen("/w", 3);
+  Runtime rt_mouse = MustOpen("/m", 3);
+
+  SessionRuntimeOptions opts;
+  opts.pool_cap_bytes = 3 * peak_;  // A(2p) running; whale(2p) parks;
+                                    // mouse(1p) would fit alongside A
+  SessionRuntime runtime(opts);
+
+  Gate gate;
+  auto gated = Gated(w_, &gate);
+
+  Result<SessionStats> ra = Status::Internal("unset");
+  Result<SessionStats> rw = Status::Internal("unset");
+  Result<SessionStats> rm = Status::Internal("unset");
+  std::thread ta([&] { ra = runtime.Run(Spec(rt_a, 2 * peak_, &gated)); });
+  gate.WaitStarted();
+  std::thread tw(
+      [&] { rw = runtime.Run(Spec(rt_whale, 2 * peak_, &w_.kernels)); });
+  WaitParked(runtime, 1);
+  std::thread tm(
+      [&] { rm = runtime.Run(Spec(rt_mouse, peak_, &w_.kernels)); });
+  WaitParked(runtime, 2);
+
+  // FIFO: the mouse must NOT start while the whale is parked ahead of it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(runtime.stats().sessions_completed, 0);
+  EXPECT_EQ(runtime.stats().peak_concurrent_sessions, 1);
+
+  gate.Open();
+  ta.join();
+  tw.join();
+  tm.join();
+  ASSERT_TRUE(ra.ok() && rw.ok() && rm.ok());
+  EXPECT_EQ(runtime.stats().sessions_completed, 3);
+}
+
+// The win: small-job-first admits a fitting mouse past a parked whale, so
+// the mouse finishes while the whale is still waiting for capacity.
+TEST_F(AdmissionIntegrationTest, SjfMouseOvertakesParkedWhale) {
+  for (auto kind : {AdmissionPolicyKind::kSmallestFootprint,
+                    AdmissionPolicyKind::kShortestWork}) {
+    Runtime rt_a = MustOpen("/a" + std::string(AdmissionPolicyName(kind)), 3);
+    Runtime rt_whale =
+        MustOpen("/w" + std::string(AdmissionPolicyName(kind)), 3);
+    Runtime rt_mouse =
+        MustOpen("/m" + std::string(AdmissionPolicyName(kind)), 3);
+
+    SessionRuntimeOptions opts;
+    opts.pool_cap_bytes = 3 * peak_;
+    opts.admission = kind;
+    opts.admission_aging_seconds = 60.0;  // aging must not kick in here
+    SessionRuntime runtime(opts);
+
+    Gate gate;
+    auto gated = Gated(w_, &gate);
+
+    Result<SessionStats> ra = Status::Internal("unset");
+    Result<SessionStats> rw = Status::Internal("unset");
+    Result<SessionStats> rm = Status::Internal("unset");
+    std::thread ta(
+        [&] { ra = runtime.Run(Spec(rt_a, 2 * peak_, &gated, 10.0)); });
+    gate.WaitStarted();
+    std::thread tw([&] {
+      rw = runtime.Run(Spec(rt_whale, 2 * peak_, &w_.kernels, 10.0));
+    });
+    WaitParked(runtime, 1);
+    std::thread tm([&] {
+      rm = runtime.Run(Spec(rt_mouse, peak_, &w_.kernels, 0.01));
+    });
+
+    // The mouse overtakes: it completes while A still blocks the gate and
+    // the whale still parks.
+    for (int i = 0; i < 5000 && runtime.stats().sessions_completed < 1;
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(runtime.stats().sessions_completed, 1)
+        << AdmissionPolicyName(kind);
+    tm.join();
+    ASSERT_TRUE(rm.ok());
+
+    gate.Open();
+    ta.join();
+    tw.join();
+    ASSERT_TRUE(ra.ok() && rw.ok());
+    EXPECT_TRUE(rw->parked_for_admission);
+    EXPECT_EQ(runtime.stats().sessions_completed, 3);
+  }
+}
+
+// The bound: with tiny aging, a stream of mice cannot starve the whale —
+// once the whale ages, mice stop overtaking until it gets in.
+TEST_F(AdmissionIntegrationTest, AgingBoundsWhaleStarvation) {
+  Runtime rt_a = MustOpen("/a", 3);
+  Runtime rt_whale = MustOpen("/w", 3);
+  Runtime rt_mouse = MustOpen("/m", 3);
+
+  SessionRuntimeOptions opts;
+  opts.pool_cap_bytes = 3 * peak_;
+  opts.admission = AdmissionPolicyKind::kSmallestFootprint;
+  opts.admission_aging_seconds = 0.05;  // ages almost immediately
+  SessionRuntime runtime(opts);
+
+  Gate gate;
+  auto gated = Gated(w_, &gate);
+
+  Result<SessionStats> ra = Status::Internal("unset");
+  Result<SessionStats> rw = Status::Internal("unset");
+  std::thread ta([&] { ra = runtime.Run(Spec(rt_a, 2 * peak_, &gated)); });
+  gate.WaitStarted();
+  std::thread tw(
+      [&] { rw = runtime.Run(Spec(rt_whale, 2 * peak_, &w_.kernels)); });
+  WaitParked(runtime, 1);
+  // Let the whale age past the bound, then offer a mouse that fits.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Result<SessionStats> rm = Status::Internal("unset");
+  std::thread tm(
+      [&] { rm = runtime.Run(Spec(rt_mouse, peak_, &w_.kernels)); });
+  WaitParked(runtime, 2);
+  // Aged whale holds the line: the mouse must not complete ahead of it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(runtime.stats().sessions_completed, 0);
+
+  gate.Open();
+  ta.join();
+  tw.join();
+  tm.join();
+  ASSERT_TRUE(ra.ok() && rw.ok() && rm.ok());
+  EXPECT_EQ(runtime.stats().sessions_completed, 3);
+}
+
+}  // namespace
+}  // namespace riot

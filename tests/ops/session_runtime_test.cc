@@ -270,5 +270,113 @@ TEST(SessionRuntimeTest, AdmissionParksUntilCapacityFrees) {
   EXPECT_EQ(rs.peak_concurrent_sessions, 1);
 }
 
+TEST(SessionRuntimeTest, ParkTimeoutGiveUpLeaksNothing) {
+  // Fault injection for the starved-fetch give-up path: a session whose
+  // declared footprint (hence pool budget) is too small for even one
+  // block deterministically starves — every fetch is a budget rejection,
+  // the executor parks-and-retries, and after park_timeout_seconds it
+  // gives up with kResourceExhausted. The give-up must leak nothing: no
+  // pins, no load latches, no admission reservation — the co-tenant
+  // running beside it finishes bit-exact, and a follow-up session needing
+  // the WHOLE cap (proof the reservation was returned) reusing the SAME
+  // stores (proof no latch/pin survived on their frames) runs clean.
+  Workload w = MakeExample1(2, 2, 2);
+  auto env = NewMemEnv();
+  Runtime ref = MustSoloRun(w, env.get(), "/ref", 3);
+  const int64_t peak = PlanPeakBytes(w);
+
+  auto rt_a = OpenStores(env.get(), w.program, "/a");
+  auto rt_b = OpenStores(env.get(), w.program, "/b");
+  ASSERT_TRUE(rt_a.ok() && rt_b.ok());
+  ASSERT_TRUE(InitInputs(w, *rt_a, 3).ok());
+  ASSERT_TRUE(InitInputs(w, *rt_b, 3).ok());
+
+  SessionRuntimeOptions opts;
+  opts.pool_cap_bytes = 4 * peak;
+  opts.park_timeout_seconds = 0.05;  // starved fetches give up fast
+  SessionRuntime runtime(opts);
+
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool a_started = false;
+  bool gate_open = false;
+  std::vector<StatementKernel> gated = w.kernels;
+  StatementKernel inner = gated[0];
+  gated[0] = [&, inner](const std::vector<int64_t>& iter,
+                        const std::vector<DenseView*>& views) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mu);
+      a_started = true;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return gate_open; });
+    }
+    inner(iter, views);
+  };
+
+  Schedule sched = w.program.original_schedule();
+  auto make_spec = [&](const Runtime& rt,
+                       const std::vector<StatementKernel>* kernels,
+                       int64_t footprint) {
+    SessionSpec spec;
+    spec.program = &w.program;
+    spec.schedule = &sched;
+    spec.stores = rt.raw();
+    spec.kernels = kernels;
+    spec.footprint_bytes = footprint;
+    return spec;
+  };
+
+  Result<SessionStats> ra = Status::Internal("unset");
+  std::thread ta(
+      [&] { ra = runtime.Run(make_spec(*rt_a, &gated, 2 * peak)); });
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return a_started; });
+  }
+
+  // B: a 16-byte budget cannot hold any block — starves and gives up.
+  auto rb = runtime.Run(make_spec(*rt_b, &w.kernels, 16));
+  ASSERT_FALSE(rb.ok());
+  EXPECT_EQ(rb.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(runtime.stats().sessions_failed, 1);
+
+  // The co-tenant was never disturbed.
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  ta.join();
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  for (int arr : w.output_arrays) {
+    const ArrayInfo& info = w.program.array(arr);
+    EXPECT_TRUE(VerifyBitEqual(info,
+                               ref.stores[static_cast<size_t>(arr)].get(),
+                               rt_a->stores[static_cast<size_t>(arr)].get())
+                    .ok());
+  }
+
+  // No pins or required bytes survive the give-up.
+  BufferPoolSnapshot snap = runtime.pool()->Snapshot();
+  EXPECT_EQ(snap.pinned_frames, 0);
+  EXPECT_EQ(snap.required_bytes, 0);
+
+  // Full-cap follow-up over B's stores: admits without parking (the dead
+  // session's reservation is gone) and runs to a bit-exact finish (its
+  // frames carry no stale latch or pin).
+  auto rc = runtime.Run(make_spec(*rt_b, &w.kernels, 4 * peak));
+  ASSERT_TRUE(rc.ok()) << rc.status().ToString();
+  EXPECT_FALSE(rc->parked_for_admission);
+  EXPECT_LE(rc->peak_charged_bytes, rc->budget_bytes);
+  for (int arr : w.output_arrays) {
+    const ArrayInfo& info = w.program.array(arr);
+    EXPECT_TRUE(VerifyBitEqual(info,
+                               ref.stores[static_cast<size_t>(arr)].get(),
+                               rt_b->stores[static_cast<size_t>(arr)].get())
+                    .ok());
+  }
+  EXPECT_EQ(runtime.stats().sessions_completed, 2);
+}
+
 }  // namespace
 }  // namespace riot

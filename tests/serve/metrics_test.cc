@@ -1,0 +1,123 @@
+// Deterministic checks of the serving histogram: bucket math, quantiles
+// bounded by one bucket width, merge, and the Metrics recorder's
+// completed/failed accounting.
+#include "serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace riot {
+namespace serve {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.mean_seconds(), 0);
+  EXPECT_EQ(h.max_seconds(), 0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleEveryQuantile) {
+  LatencyHistogram h;
+  h.Record(0.0123);
+  EXPECT_EQ(h.count(), 1);
+  // Every quantile is that sample: the bucket bound clamps to the max.
+  EXPECT_DOUBLE_EQ(h.P50(), 0.0123);
+  EXPECT_DOUBLE_EQ(h.P99(), 0.0123);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0123);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.0123);
+}
+
+TEST(LatencyHistogramTest, QuantileWithinOneBucketWidth) {
+  // 1..1000 ms uniformly: p50 must be ~500ms within the ~9.6% bucket
+  // resolution, p99 ~990ms, and Quantile(1) exactly the max.
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 1e-3);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_NEAR(h.P50(), 0.5, 0.5 * 0.11);
+  EXPECT_NEAR(h.P99(), 0.99, 0.99 * 0.11);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
+  EXPECT_NEAR(h.mean_seconds(), 0.5005, 1e-9);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotone) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 257; ++i) h.Record(i * 3.7e-5);
+  double prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.max_seconds());
+}
+
+TEST(LatencyHistogramTest, ExtremesLandInEndBuckets) {
+  LatencyHistogram h;
+  h.Record(0);        // below 1us -> bucket 0
+  h.Record(-1);       // clamped, never UB
+  h.Record(1e-9);
+  h.Record(5000.0);   // beyond the last decade -> clamped to the top bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5000.0);
+  EXPECT_LE(h.Quantile(0.5), 1e-6);
+}
+
+TEST(LatencyHistogramTest, DeterministicAcrossRuns) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = 1e-5 * (1 + (i * 2654435761u % 9973));
+    a.Record(v);
+    b.Record(v);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q));
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram lo, hi, both;
+  for (int i = 1; i <= 100; ++i) {
+    lo.Record(i * 1e-4);
+    both.Record(i * 1e-4);
+  }
+  for (int i = 1; i <= 100; ++i) {
+    hi.Record(i * 1e-2);
+    both.Record(i * 1e-2);
+  }
+  lo.Merge(hi);
+  EXPECT_EQ(lo.count(), both.count());
+  for (double q : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_DOUBLE_EQ(lo.Quantile(q), both.Quantile(q));
+  }
+  EXPECT_DOUBLE_EQ(lo.max_seconds(), both.max_seconds());
+}
+
+TEST(MetricsTest, CountsCompletedAndFailedSeparately) {
+  Metrics m;
+  m.OnSubmit();
+  m.OnSubmit();
+  m.OnSubmit();
+  m.OnDone(true, /*whale=*/false, 0.010, 0.002, 0.001, 0.007);
+  m.OnDone(true, /*whale=*/true, 0.020, 0.004, 0.002, 0.014);
+  // Failed: latency still counts.
+  m.OnDone(false, /*whale=*/false, 0.500, 0.450, 0.0, 0.0);
+  const MetricsSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.submitted, 3);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_EQ(s.latency.count(), 3);
+  EXPECT_EQ(s.latency_mice.count(), 2);
+  EXPECT_EQ(s.latency_whales.count(), 1);
+  EXPECT_DOUBLE_EQ(s.latency_whales.max_seconds(), 0.020);
+  EXPECT_EQ(s.queue_wait.count(), 3);
+  // Admission/exec breakdowns only exist for jobs that actually ran.
+  EXPECT_EQ(s.admission_wait.count(), 2);
+  EXPECT_EQ(s.exec_wall.count(), 2);
+  EXPECT_DOUBLE_EQ(s.latency.max_seconds(), 0.5);
+  EXPECT_GE(s.elapsed_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace riot

@@ -1,0 +1,77 @@
+// Open-loop soak (stress label): hundreds of jobs at an offered load that
+// overruns capacity, whales mixed in, across admission policies — the
+// TSan/ASan stress leg drives this to shake races out of the full
+// serve -> session -> shared-pool stack. Asserts no job fails, budgets
+// hold for every session, and SJF does not starve the whale (aging).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ops/admission.h"
+#include "serve/catalog.h"
+#include "serve/server.h"
+#include "serve/workload_gen.h"
+#include "storage/env.h"
+
+namespace riot {
+namespace serve {
+namespace {
+
+void Soak(AdmissionPolicyKind policy) {
+  auto env = NewMemEnv();
+  CatalogOptions copts;
+  copts.num_datasets = 4;
+  copts.num_slots = 8;
+  copts.mouse_grid = 2;
+  copts.mouse_block = 16;
+  copts.whale_grid = 3;
+  copts.whale_block = 48;
+  auto catalog = Catalog::Create(env.get(), copts);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+
+  ServerOptions sopts;
+  sopts.worker_threads = 8;
+  sopts.runtime.admission = policy;
+  sopts.runtime.admission_aging_seconds = 0.5;
+  // Tight cap: one whale plus a few mice fit; concurrent whales park, so
+  // admission continuously reorders under pressure.
+  const int64_t whale_fp = (*catalog)->footprint_bytes(JobKind::kWhale);
+  sopts.runtime.pool_cap_bytes = whale_fp + whale_fp / 2;
+  Server server(catalog->get(), sopts);
+
+  TrafficOptions traffic;
+  traffic.num_datasets = 4;
+  traffic.write_fraction = 0.25;
+  traffic.whale_fraction = 0.1;
+  traffic.zipf_theta = 0.99;
+  traffic.seed = 31 + static_cast<uint64_t>(policy);
+  OpenLoopGenerator gen(traffic);
+  const int kJobs = 300;
+  for (const JobSpec& job : gen.Take(kJobs)) server.Submit(job);
+  server.Drain();
+
+  const MetricsSnapshot s = server.Snapshot();
+  EXPECT_EQ(s.submitted, kJobs);
+  EXPECT_EQ(s.completed, kJobs) << "policy="
+                                << AdmissionPolicyName(policy);
+  EXPECT_EQ(s.failed, 0);
+
+  const RuntimeStats rs = server.runtime().stats();
+  EXPECT_EQ(rs.sessions_completed, kJobs);
+  EXPECT_LE(rs.peak_reserved_bytes, sopts.runtime.pool_cap_bytes);
+  ASSERT_TRUE((*catalog)->ReleaseFrom(server.runtime()).ok());
+}
+
+TEST(ServeSoakTest, OpenLoopFifo) { Soak(AdmissionPolicyKind::kFifo); }
+
+TEST(ServeSoakTest, OpenLoopSmallestFootprint) {
+  Soak(AdmissionPolicyKind::kSmallestFootprint);
+}
+
+TEST(ServeSoakTest, OpenLoopShortestWork) {
+  Soak(AdmissionPolicyKind::kShortestWork);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace riot

@@ -1,0 +1,130 @@
+// The open-loop generator: Zipf skew (hot datasets dominate, theta=0 is
+// uniform), the read/write/whale mix, arrival-rate accuracy for both
+// Poisson and fixed-interval streams, and determinism by seed.
+#include "serve/workload_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace riot {
+namespace serve {
+namespace {
+
+TEST(FastZipfTest, HeavySkewConcentratesOnHotRanks) {
+  Rng rng(42);
+  FastZipf zipf(100, 0.99);
+  std::vector<int> counts(100, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<size_t>(zipf.Sample(rng))];
+  }
+  // Rank 0 alone draws ~1/zeta(100) ~ 19% under theta=0.99; the top ten
+  // ranks together well over half. Generous bounds keep this stable.
+  EXPECT_GT(counts[0], kDraws / 8);
+  int top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += counts[i];
+  EXPECT_GT(top10, kDraws / 2);
+  // Monotone-ish: the hottest rank beats the coldest by an order of
+  // magnitude.
+  EXPECT_GT(counts[0], 10 * counts[99]);
+}
+
+TEST(FastZipfTest, ThetaZeroIsUniform) {
+  Rng rng(7);
+  FastZipf zipf(16, 0.0);
+  std::vector<int> counts(16, 0);
+  const int kDraws = 160000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<size_t>(zipf.Sample(rng))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 16, kDraws / 16 * 0.15);
+  }
+}
+
+TEST(FastZipfTest, RanksStayInRange) {
+  Rng rng(3);
+  FastZipf zipf(5, 0.9);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 5u);
+  }
+}
+
+TEST(OpenLoopGeneratorTest, PoissonArrivalsHitTheOfferedRate) {
+  TrafficOptions opts;
+  opts.offered_jobs_per_sec = 200.0;
+  opts.seed = 11;
+  OpenLoopGenerator gen(opts);
+  const auto jobs = gen.Take(20000);
+  ASSERT_EQ(jobs.size(), 20000u);
+  // Arrivals are strictly ordered and average 1/rate apart (within 5%).
+  double prev = -1;
+  for (const JobSpec& j : jobs) {
+    EXPECT_GT(j.arrival_seconds, prev);
+    prev = j.arrival_seconds;
+  }
+  const double mean_gap = jobs.back().arrival_seconds / 20000;
+  EXPECT_NEAR(mean_gap, 1.0 / 200.0, 0.05 / 200.0);
+}
+
+TEST(OpenLoopGeneratorTest, FixedIntervalIsExact) {
+  TrafficOptions opts;
+  opts.offered_jobs_per_sec = 10.0;
+  opts.poisson_arrivals = false;
+  OpenLoopGenerator gen(opts);
+  const auto jobs = gen.Take(5);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_NEAR(jobs[i].arrival_seconds, 0.1 * (i + 1), 1e-12);
+    EXPECT_EQ(jobs[i].id, static_cast<int64_t>(i));
+  }
+}
+
+TEST(OpenLoopGeneratorTest, MixFractionsRespected) {
+  TrafficOptions opts;
+  opts.write_fraction = 0.2;
+  opts.whale_fraction = 0.05;
+  opts.seed = 5;
+  OpenLoopGenerator gen(opts);
+  int reads = 0, writes = 0, whales = 0;
+  const int kJobs = 50000;
+  for (int i = 0; i < kJobs; ++i) {
+    switch (gen.Next().kind) {
+      case JobKind::kRead: ++reads; break;
+      case JobKind::kWrite: ++writes; break;
+      case JobKind::kWhale: ++whales; break;
+    }
+  }
+  EXPECT_NEAR(whales, kJobs * 0.05, kJobs * 0.01);
+  // write_fraction applies to the non-whale remainder.
+  EXPECT_NEAR(writes, kJobs * 0.95 * 0.2, kJobs * 0.02);
+  EXPECT_EQ(reads + writes + whales, kJobs);
+}
+
+TEST(OpenLoopGeneratorTest, DeterministicBySeed) {
+  TrafficOptions opts;
+  opts.whale_fraction = 0.1;
+  opts.seed = 99;
+  OpenLoopGenerator a(opts), b(opts);
+  for (int i = 0; i < 1000; ++i) {
+    const JobSpec ja = a.Next(), jb = b.Next();
+    EXPECT_EQ(ja.id, jb.id);
+    EXPECT_EQ(ja.dataset, jb.dataset);
+    EXPECT_EQ(static_cast<int>(ja.kind), static_cast<int>(jb.kind));
+    EXPECT_DOUBLE_EQ(ja.arrival_seconds, jb.arrival_seconds);
+  }
+  opts.seed = 100;
+  OpenLoopGenerator c(opts);
+  TrafficOptions opts99 = opts;
+  opts99.seed = 99;
+  OpenLoopGenerator d(opts99);
+  bool any_diff = false;
+  for (int i = 0; i < 100 && !any_diff; ++i) {
+    any_diff = c.Next().arrival_seconds != d.Next().arrival_seconds;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace riot

@@ -95,10 +95,11 @@ TEST_F(BufferPoolTest, FetchReportsResidencyFreshEachCall) {
 }
 
 TEST_F(BufferPoolTest, DetachAccountOrphansFramesSharedWithOtherTenants) {
-  // Regression: a frame first-claimed by session A but still pinned by
-  // another tenant when A's run ends must not keep pointing at A's
-  // (stack-lifetime) account — DetachAccount uncharges and orphans it, and
-  // the later unpin must not touch the detached account.
+  // Regression: a frame first-claimed by session A but still pinned by an
+  // anonymous tenant when A's run ends must not keep pointing at A's
+  // (stack-lifetime) account — releasing A's pin orphans the charge (the
+  // survivor carries no account), and the later unpin must not touch the
+  // detached account.
   BufferPool pool(1024);
   PoolAccount a;
   a.budget_bytes = 1024;
@@ -107,12 +108,71 @@ TEST_F(BufferPoolTest, DetachAccountOrphansFramesSharedWithOtherTenants) {
   ASSERT_TRUE(f1.ok());
   EXPECT_EQ(a.charged_bytes.load(), kBlock);
   auto f2 = pool.Fetch(0, 0, kBlock, store_.get(), /*load=*/true);
-  ASSERT_TRUE(f2.ok());  // second tenant, same frame, stays on A's tab
-  pool.Unpin(*f1);       // A's run ends; the frame stays required via f2
+  ASSERT_TRUE(f2.ok());   // second (anonymous) tenant, same frame
+  pool.Unpin(*f1, &a);    // A's run ends; the frame stays required via f2
+  EXPECT_EQ(a.charged_bytes.load(), 0);  // charge released with A's pin
   pool.DetachAccount(&a);
   EXPECT_EQ(a.charged_bytes.load(), 0);
   EXPECT_EQ(a.peak_charged_bytes.load(), kBlock);
   pool.Unpin(*f2);  // must not uncharge (or write) the detached account
+  EXPECT_EQ(a.charged_bytes.load(), 0);
+}
+
+TEST_F(BufferPoolTest, SharedFrameChargeTransfersToSurvivingClaimant) {
+  // The PR-4 approximation left the first claimant charged for a shared
+  // frame until it stopped being required globally; now the charge follows
+  // a surviving claimant when the first one lets go, so each tenant is
+  // only ever charged for frames it itself holds.
+  BufferPool pool(1024);
+  PoolAccount a, b;
+  a.budget_bytes = kBlock;  // exactly one block of budget each
+  b.budget_bytes = kBlock;
+  auto fa = pool.Fetch(0, 0, kBlock, store_.get(), /*load=*/true, nullptr,
+                       &a);
+  ASSERT_TRUE(fa.ok());
+  auto fb = pool.Fetch(0, 0, kBlock, store_.get(), /*load=*/true, nullptr,
+                       &b);
+  ASSERT_TRUE(fb.ok());  // same frame, free for the second reader
+  EXPECT_EQ(a.charged_bytes.load(), kBlock);
+  EXPECT_EQ(b.charged_bytes.load(), 0);
+  pool.Unpin(*fa, &a);  // A releases; B still pins -> charge moves to B
+  EXPECT_EQ(a.charged_bytes.load(), 0);
+  EXPECT_EQ(b.charged_bytes.load(), kBlock);
+  // A's budget is fully free again: a fetch of another block must succeed
+  // with zero rejections (the old accounting would have rejected here).
+  auto fa2 = pool.Fetch(0, 1, kBlock, store_.get(), /*load=*/true, nullptr,
+                        &a);
+  ASSERT_TRUE(fa2.ok());
+  EXPECT_EQ(a.budget_rejections.load(), 0);
+  EXPECT_EQ(a.charged_bytes.load(), kBlock);
+  EXPECT_LE(a.peak_charged_bytes.load(), a.budget_bytes);
+  EXPECT_LE(b.peak_charged_bytes.load(), b.budget_bytes);
+  pool.Unpin(*fa2, &a);
+  pool.Unpin(*fb, &b);
+  EXPECT_EQ(b.charged_bytes.load(), 0);
+}
+
+TEST_F(BufferPoolTest, ChargeTransfersToRetentionOwnerOnUnpin) {
+  // A claimant that holds the frame only via a retention (pins released,
+  // keep-until-reuse still active) is a valid transfer target.
+  BufferPool pool(1024);
+  PoolAccount a, b;
+  a.budget_bytes = 1024;
+  b.budget_bytes = 1024;
+  auto fb = pool.Fetch(0, 0, kBlock, store_.get(), /*load=*/true, nullptr,
+                       &b);
+  ASSERT_TRUE(fb.ok());
+  pool.Retain(*fb, /*until_group=*/5, &b);
+  pool.Unpin(*fb, &b);  // B holds via retention only; stays charged
+  EXPECT_EQ(b.charged_bytes.load(), kBlock);
+  auto fa = pool.Fetch(0, 0, kBlock, store_.get(), /*load=*/true, nullptr,
+                       &a);
+  ASSERT_TRUE(fa.ok());
+  EXPECT_EQ(a.charged_bytes.load(), 0);  // B already pays
+  pool.ReleaseRetainedBefore(/*group=*/6, &b);  // B's claim ends
+  EXPECT_EQ(b.charged_bytes.load(), 0);
+  EXPECT_EQ(a.charged_bytes.load(), kBlock);  // transferred to A's pin
+  pool.Unpin(*fa, &a);
   EXPECT_EQ(a.charged_bytes.load(), 0);
 }
 
