@@ -8,14 +8,22 @@
 // small-job-first admission keeps the mice flowing and cuts p99 at the
 // same offered load (the whale's extra wait is bounded by aging).
 //
+// A second sweep holds the offered load fixed and varies the buffer-pool
+// cap crossed with the replacement policy: at sub-working-set caps the
+// merged multi-plan ScheduleOpt clock saves block reads over LRU even
+// with many sessions bound at once (the PR-8 merged-clock payoff, here
+// under real thread interleavings rather than the lockstep oracle).
+//
 // `--json <path>` writes:
-//   {"bench":"serve","runs":[{"policy":"fifo","offered_jobs_per_sec":40,
+//   {"bench":"serve","runs":[{"policy":"fifo","replacement":"lru",
+//     "offered_jobs_per_sec":40,"pool_cap_bytes":..,
 //     "jobs":N,"completed":..,"failed":..,"elapsed_seconds":..,
 //     "throughput_jobs_per_sec":..,"latency_p50_s":..,"latency_p99_s":..,
 //     "latency_p999_s":..,"latency_mean_s":..,"latency_max_s":..,
 //     "queue_wait_p99_s":..,"admission_wait_p99_s":..,
 //     "admission_wait_mean_s":..,"exec_wall_p50_s":..,
-//     "sessions_parked":..,"peak_reserved_bytes":..}, ...]}
+//     "sessions_parked":..,"peak_reserved_bytes":..,
+//     "block_reads":..,"policy_saved_reads":..,"evictions":..}, ...]}
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -28,6 +36,7 @@
 #include "serve/catalog.h"
 #include "serve/server.h"
 #include "serve/workload_gen.h"
+#include "storage/replacement.h"
 #include "util/logging.h"
 
 namespace riot {
@@ -46,22 +55,27 @@ using serve::TrafficOptions;
 
 struct ServePoint {
   std::string policy;
+  std::string replacement;
   double offered = 0;
   int jobs = 0;
+  int64_t pool_cap_bytes = 0;
   MetricsSnapshot snap;
   int64_t sessions_parked = 0;
   int64_t peak_reserved_bytes = 0;
+  int64_t block_reads = 0;
+  int64_t policy_saved_reads = 0;
+  int64_t evictions = 0;
 };
 
 ServePoint RunOne(const Catalog& catalog, AdmissionPolicyKind policy,
+                  ReplacementKind replacement, int64_t pool_cap_bytes,
                   double offered_jobs_per_sec, int jobs) {
   ServerOptions sopts;
   sopts.worker_threads = 8;
   sopts.runtime.admission = policy;
   sopts.runtime.admission_aging_seconds = 0.5;  // bound whale starvation tightly
-  // One whale plus a handful of mice coexist; a second whale parks.
-  const int64_t whale_fp = catalog.footprint_bytes(JobKind::kWhale);
-  sopts.runtime.pool_cap_bytes = whale_fp + whale_fp / 2;
+  sopts.runtime.replacement = replacement;
+  sopts.runtime.pool_cap_bytes = pool_cap_bytes;
   Server server(&catalog, sopts);
 
   TrafficOptions traffic;
@@ -87,12 +101,17 @@ ServePoint RunOne(const Catalog& catalog, AdmissionPolicyKind policy,
 
   ServePoint pt;
   pt.policy = AdmissionPolicyName(policy);
+  pt.replacement = ReplacementKindName(replacement);
   pt.offered = offered_jobs_per_sec;
   pt.jobs = jobs;
+  pt.pool_cap_bytes = pool_cap_bytes;
   pt.snap = server.Snapshot();
   const RuntimeStats rs = server.runtime().stats();
   pt.sessions_parked = rs.sessions_parked;
   pt.peak_reserved_bytes = rs.peak_reserved_bytes;
+  pt.block_reads = rs.block_reads;
+  pt.policy_saved_reads = rs.policy_saved_reads;
+  pt.evictions = rs.pool.evictions;
   RIOT_CHECK_EQ(pt.snap.completed + pt.snap.failed,
                 static_cast<int64_t>(jobs));
   return pt;
@@ -104,7 +123,9 @@ void WriteJson(const std::string& path, const std::vector<ServePoint>& runs) {
   for (size_t i = 0; i < runs.size(); ++i) {
     const ServePoint& r = runs[i];
     out << "  {\"policy\": \"" << r.policy << "\""
+        << ", \"replacement\": \"" << r.replacement << "\""
         << ", \"offered_jobs_per_sec\": " << r.offered
+        << ", \"pool_cap_bytes\": " << r.pool_cap_bytes
         << ", \"jobs\": " << r.jobs
         << ", \"completed\": " << r.snap.completed
         << ", \"failed\": " << r.snap.failed
@@ -127,7 +148,10 @@ void WriteJson(const std::string& path, const std::vector<ServePoint>& runs) {
         << r.snap.admission_wait.mean_seconds()
         << ", \"exec_wall_p50_s\": " << r.snap.exec_wall.P50()
         << ", \"sessions_parked\": " << r.sessions_parked
-        << ", \"peak_reserved_bytes\": " << r.peak_reserved_bytes << "}"
+        << ", \"peak_reserved_bytes\": " << r.peak_reserved_bytes
+        << ", \"block_reads\": " << r.block_reads
+        << ", \"policy_saved_reads\": " << r.policy_saved_reads
+        << ", \"evictions\": " << r.evictions << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "]}\n";
@@ -166,11 +190,15 @@ void Run(const std::string& json_path) {
 
   std::vector<ServePoint> runs;
   const int kJobs = 400;
+  // One whale plus a handful of mice coexist; a second whale parks.
+  const int64_t whale_fp = (*catalog)->footprint_bytes(JobKind::kWhale);
+  const int64_t tight_cap = whale_fp + whale_fp / 2;
   for (const double offered : {10.0, 20.0, 30.0}) {
     for (const auto policy : {AdmissionPolicyKind::kFifo,
                               AdmissionPolicyKind::kSmallestFootprint,
                               AdmissionPolicyKind::kShortestWork}) {
-      ServePoint pt = RunOne(**catalog, policy, offered, kJobs);
+      ServePoint pt = RunOne(**catalog, policy, ReplacementKind::kLru,
+                             tight_cap, offered, kJobs);
       std::printf(
           "%15s %9.0f %6d %9.1f %9.2f %9.2f %10.2f %10.2f %9.2f %8lld\n",
           pt.policy.c_str(), pt.offered, pt.jobs,
@@ -188,6 +216,37 @@ void Run(const std::string& json_path) {
       "blocking; small-job-first/shortest-work admission lets mice "
       "overtake a parked whale, cutting tail latency at the same offered "
       "load.)\n");
+
+  // Cap x replacement sweep at a fixed offered load: how much disk traffic
+  // each eviction policy saves as the pool shrinks below the hot working
+  // set. FIFO admission and one seed per cap, so within a cap every
+  // replacement policy faces the identical arrival stream.
+  std::printf(
+      "\n=== buffer-pool cap x replacement sweep (FIFO admission, "
+      "20 jobs/s) ===\n");
+  std::printf("%12s %12s %6s %12s %12s %10s %9s %9s\n", "cap(KB)",
+              "replacement", "jobs", "block_reads", "saved_reads",
+              "evictions", "tput/s", "p99(ms)");
+  for (const int64_t cap : {tight_cap, 2 * tight_cap, 4 * tight_cap}) {
+    for (const auto replacement :
+         {ReplacementKind::kLru, ReplacementKind::kClock,
+          ReplacementKind::kScheduleOpt}) {
+      ServePoint pt = RunOne(**catalog, AdmissionPolicyKind::kFifo,
+                             replacement, cap, /*offered=*/20.0, kJobs);
+      std::printf(
+          "%12.1f %12s %6d %12lld %12lld %10lld %9.1f %9.2f\n", cap / 1e3,
+          pt.replacement.c_str(), pt.jobs,
+          static_cast<long long>(pt.block_reads),
+          static_cast<long long>(pt.policy_saved_reads),
+          static_cast<long long>(pt.evictions),
+          pt.snap.throughput_jobs_per_sec, pt.snap.latency.P99() * 1e3);
+      runs.push_back(std::move(pt));
+    }
+  }
+  std::printf(
+      "(the merged multi-plan clock keeps ScheduleOpt's future-use "
+      "ordering live while several sessions are bound, so its saved reads "
+      "over LRU survive multi-tenancy at sub-working-set caps.)\n");
 
   if (!json_path.empty()) WriteJson(json_path, runs);
 }

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Machine-readable bench trajectory: runs the 2mm (Config A and B) and
-# linreg sweeps, the replacement-policy x cap sweep, the
+# linreg sweeps, the replacement-policy x cap sweep (solo, plus the
+# three-session lockstep multi-tenant sweep where the merged ScheduleOpt
+# clock must beat LRU at the sub-working-set cap), the
 # concurrent-session sweep (sessions x pool cap: per-session + aggregate
 # throughput, admission parking, cross-session dedup), the
 # expression-built workloads (covariance + ridge: CSE, scratch-write
 # elision), and the open-loop serving sweep (Zipf whale-plus-mice traffic
 # vs offered load per admission policy: p50/p99/p999, mouse/whale tails,
-# admission waits) and drops
+# admission waits; plus a pool-cap x replacement sweep with per-run
+# block_reads / policy_saved_reads / evictions) and drops
 # BENCH_<name>.json files (wall, io_seconds, compute_seconds, overlap,
 # threads, DAG width, per-policy block_reads/evictions/spills, and
 # per-session throughput) into the output directory.

@@ -141,6 +141,56 @@ Result<CacheSimResult> SimulateCacheBehavior(
     const std::vector<const CoAccess*>& realized, const CacheSimOptions& sim,
     const CostModelOptions& options = {});
 
+/// One tenant of a multi-tenant cache simulation: a planned program plus
+/// its mapping into the shared pool's namespace.
+struct TenantCacheScript {
+  const Program* program = nullptr;
+  const Schedule* schedule = nullptr;
+  std::vector<const CoAccess*> realized;
+  /// Program array id -> shared-pool array id (the session runtime's
+  /// PoolIdFor registry). Empty = identity (distinct tenants then collide
+  /// on array ids — only correct for a single tenant).
+  std::vector<int> pool_array_ids;
+  /// Session budget ledger the replay charges (0 = the pool cap). Must
+  /// admit the plan's peak footprint: the sim fails where the engine
+  /// would park.
+  int64_t budget_bytes = 0;
+};
+
+struct MultiTenantCacheResult {
+  /// Pool-global counters (hits/misses/evictions) plus summed traffic.
+  CacheSimResult total;
+  /// Per-session I/O attribution: block_reads/block_writes/bytes and
+  /// policy_saved_reads are per tenant; hits/misses/evictions (pool-global
+  /// by nature) stay zero here.
+  std::vector<CacheSimResult> per_tenant;
+};
+
+/// \brief Replays an interleaving of several tenants' access scripts
+/// against one shared BufferPool, mirroring the session-mode depth-0
+/// serial engine exactly (multi-tenant read discipline: a resident block
+/// is served from memory and counts policy_saved_reads unless the
+/// tenant's own plan saved it; misses read disk).
+///
+/// `interleaving` lists the tenant index whose next statement instance
+/// runs at each global step; tenant t must appear exactly
+/// (t's scheduled instance count) times. Pool operations are replayed at
+/// lockstep-turn granularity — each step performs the previous instance's
+/// write-out/unpin, then the next instance's clock advance and fetches —
+/// matching an engine run whose kernels are serialized in the same order
+/// (see LockstepGate in ops/lockstep.h). Under merged-clock ScheduleOpt
+/// the per-tenant binds/clocks evolve exactly as the engine's, so
+/// per-tenant reads and pool-global evictions are an exact oracle for
+/// such a run.
+///
+/// `sim.opportunistic` drops each tenant's realized sharing set (the
+/// engine's kOpportunisticCache mode); `sim.policy`/`sim.cap_bytes`
+/// configure the shared pool.
+Result<MultiTenantCacheResult> SimulateMultiTenantCache(
+    const std::vector<TenantCacheScript>& tenants,
+    const std::vector<int>& interleaving, const CacheSimOptions& sim,
+    const CostModelOptions& options = {});
+
 }  // namespace riot
 
 #endif  // RIOTSHARE_CORE_COST_MODEL_H_

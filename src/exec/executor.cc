@@ -140,7 +140,8 @@ Result<ExecStats> Executor::RunSerial(
   // use positions and advance the policy clock per instance below. The
   // schedule (and hence the access order) is exact in both modes. Binds
   // nest across sessions; with several tenants bound at once the policy
-  // degrades to LRU order (see storage/replacement.h).
+  // merges every plan's future uses into one normalized timeline
+  // (see storage/replacement.h).
   const bool schedule_policy =
       pool.replacement_kind() == ReplacementKind::kScheduleOpt;
   std::shared_ptr<const BlockUseMap> bound_uses;
@@ -659,8 +660,10 @@ Result<ExecStats> Executor::RunParallel(
   // DAG, so a use is never declared past while its instance can still run.
   const bool schedule_policy =
       pool.replacement_kind() == ReplacementKind::kScheduleOpt;
+  std::shared_ptr<const BlockUseMap> bound_uses;
   if (schedule_policy) {
-    pool.BindUsePlan(std::make_shared<BlockUseMap>(script.block_uses));
+    bound_uses = std::make_shared<BlockUseMap>(script.block_uses);
+    pool.BindUsePlan(bound_uses);
   }
   const int depth = std::max(0, opts_.pipeline_depth);
   const int nworkers = static_cast<int>(std::min<size_t>(
@@ -1196,7 +1199,8 @@ Result<ExecStats> Executor::RunParallel(
         if (schedule_policy && sc.frontier != old_frontier) {
           // Pool lock nests inside sc.mu here; pool code never takes
           // sc.mu, so the order is acyclic.
-          pool.AdvanceReplacementClock(static_cast<int64_t>(sc.frontier));
+          pool.AdvanceReplacementClock(bound_uses,
+                                       static_cast<int64_t>(sc.frontier));
         }
         const size_t g = rp.group_of[pos];
         if (--sc.group_left[g] == 0) {
@@ -1274,7 +1278,7 @@ Result<ExecStats> Executor::RunParallel(
   }
   pool.ReleaseRetainedBefore(std::numeric_limits<int64_t>::max());
   DropDivergentWrites(script, &pool, [](int id) { return id; });
-  if (schedule_policy) pool.UnbindUsePlan();
+  if (schedule_policy) pool.UnbindUsePlan(bound_uses);
 
   if (sc.failed) return sc.error;
 

@@ -140,7 +140,10 @@ struct ExecOptions {
   /// linear extension of the DAG, so the clock never runs ahead of an
   /// incomplete instance). It applies under both execution modes (the
   /// schedule, and hence the access order, is exact even when the sharing
-  /// set is ignored); with no bound plan it degrades to LRU order.
+  /// set is ignored). Concurrent runs over a shared pool each bind their
+  /// own plan: ScheduleOpt merges the bound plans' future uses through
+  /// per-plan normalized clocks (see storage/replacement.h); with no
+  /// bound plan at all it is exact LRU.
   ReplacementKind replacement = ReplacementKind::kLru;
   /// Hand dirty eviction victims (spills) to the run's I/O workers
   /// (write-behind) instead of writing back synchronously under the pool

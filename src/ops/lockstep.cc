@@ -1,0 +1,54 @@
+#include "ops/lockstep.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace riot {
+
+LockstepGate::LockstepGate(int sessions, std::vector<int> turns)
+    : turns_(std::move(turns)),
+      arrived_(static_cast<size_t>(sessions), false) {
+  for (int t : turns_) {
+    RIOT_CHECK(t >= 0 && t < sessions) << "lockstep: bad turn index " << t;
+  }
+}
+
+void LockstepGate::AwaitArrival(int s) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return arrived_[static_cast<size_t>(s)]; });
+}
+
+void LockstepGate::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = true;
+  cv_.notify_all();
+}
+
+void LockstepGate::EnterKernel(int s) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (holder_ == s) {
+    holder_ = -1;  // turn unit complete: pass the token on
+    cv_.notify_all();
+  }
+  if (!arrived_[static_cast<size_t>(s)]) {
+    arrived_[static_cast<size_t>(s)] = true;
+    cv_.notify_all();
+  }
+  cv_.wait(lock, [&] {
+    return started_ && holder_ == -1 && cursor_ < turns_.size() &&
+           turns_[cursor_] == s;
+  });
+  holder_ = s;
+  ++cursor_;
+}
+
+void LockstepGate::Finish(int s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (holder_ == s) {
+    holder_ = -1;
+    cv_.notify_all();
+  }
+}
+
+}  // namespace riot

@@ -1,0 +1,78 @@
+// Deterministic kernel interleaving for concurrent session runs.
+//
+// Real multi-tenant executions interleave pool operations wherever the OS
+// schedules them, so pool counters (reads, evictions) are not reproducible
+// run to run — fine for production, useless for a differential oracle. A
+// LockstepGate serializes N sessions' *kernels* into one caller-chosen
+// global order (`turns`: the session index per kernel slot), turning the
+// whole multi-tenant run into a deterministic sequence of pool-op "turn
+// units" that core/cost_model's SimulateMultiTenantCache replays exactly:
+//
+//   * Each session's statement kernels are wrapped with EnterKernel(s):
+//     the call releases the token the session has held since its previous
+//     kernel entry, then blocks until the global turn order reaches this
+//     session again. The token is therefore held across [kernel i,
+//     write-out i, unpin i, clock advance i+1, fetches i+1] — every pool
+//     op a depth-0 serial session performs between two kernel entries —
+//     so turns never overlap.
+//   * Spawns are serialized: the caller spawns session s, calls
+//     AwaitArrival(s) (returns once s blocks at its first kernel entry,
+//     i.e. after its bind/advance(0)/fetch(0) prologue ran), and only
+//     then spawns s+1 — prologue pool ops execute in session order.
+//   * Start() opens the gate; until then every session waits at its first
+//     kernel entry.
+//   * Finish(s) releases s's final token after Executor::Run returns, so
+//     a session's epilogue (retention release, divergent-write drop,
+//     unbind, account detach) runs under its last turn.
+//
+// The gate only schedules; it touches no pool state. Sessions must run
+// the serial engine at pipeline depth 0 with budgets that never park — a
+// parked session holds its turn forever (the run deadlocks by design: a
+// lockstep schedule with parking is not the schedule the caller asked
+// for).
+#ifndef RIOTSHARE_OPS_LOCKSTEP_H_
+#define RIOTSHARE_OPS_LOCKSTEP_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace riot {
+
+class LockstepGate {
+ public:
+  /// `turns[k]` is the session whose k-th global kernel slot it is; each
+  /// session must appear exactly its scheduled-instance count of times.
+  LockstepGate(int sessions, std::vector<int> turns);
+
+  /// Blocks until session `s` first blocks inside EnterKernel (its
+  /// prologue pool ops are complete). Call between spawning s and s+1.
+  void AwaitArrival(int s);
+
+  /// Opens the gate: the first turn's session may run. Call after every
+  /// session has arrived.
+  void Start();
+
+  /// Kernel-entry hook for session `s`: releases the token held since the
+  /// session's previous kernel, waits for the session's next turn, takes
+  /// the token. Wrap each statement kernel so this runs first.
+  void EnterKernel(int s);
+
+  /// Releases session `s`'s final token (no-op if it holds none). Call
+  /// after the session's Executor::Run returned.
+  void Finish(int s);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<int> turns_;
+  std::vector<bool> arrived_;
+  size_t cursor_ = 0;   // next kernel slot to grant
+  int holder_ = -1;     // session holding the token, -1 = none
+  bool started_ = false;
+};
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_OPS_LOCKSTEP_H_

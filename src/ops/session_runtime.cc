@@ -220,8 +220,14 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
 }
 
 RuntimeStats SessionRuntime::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  RuntimeStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  // Pool counters carry their own lock; never nest it under mu_.
+  out.pool = pool_.stats();
+  return out;
 }
 
 }  // namespace riot

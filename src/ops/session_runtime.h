@@ -66,9 +66,11 @@ namespace riot {
 struct SessionRuntimeOptions {
   /// Shared pool cap carved into per-session budgets by admission.
   int64_t pool_cap_bytes = int64_t{64} << 20;
-  /// Replacement policy of the shared pool. ScheduleOpt applies exact
-  /// Belady only while a single session is bound (see replacement.h);
-  /// LRU is the steady-state multi-tenant choice.
+  /// Replacement policy of the shared pool. ScheduleOpt is exact Belady
+  /// with one session bound and merges every concurrent session's future
+  /// uses into one normalized clock with several (see replacement.h), so
+  /// it now beats LRU under multi-tenancy too; LRU remains the cheapest
+  /// default for workloads that never rebind the same blocks.
   ReplacementKind replacement = ReplacementKind::kLru;
   /// Shared I/O workers servicing every session's prefetch traffic.
   int io_threads = 2;
@@ -155,6 +157,10 @@ struct RuntimeStats {
   double io_seconds = 0.0;
   double compute_seconds = 0.0;
   double wall_seconds = 0.0;  // summed across sessions (not elapsed time)
+  /// Pool-global counters snapshotted at stats() time: evictions and
+  /// cross-session effects (coalesced loads, policy-saved reads) that no
+  /// per-session ExecStats sum can attribute.
+  BufferPoolStats pool;
 };
 
 class SessionRuntime {

@@ -265,14 +265,15 @@ class BufferPool {
   /// lock. No-ops for history-based policies; for ScheduleOpt the executor
   /// binds the plan's per-block future-use positions before a run, advances
   /// the clock as statement instances complete, and unbinds afterwards.
-  /// Binds may nest (concurrent sessions over one shared pool): while
-  /// exactly one plan is bound, ScheduleOpt applies its Belady bindings;
-  /// with zero or several bound, it degrades to LRU order so one tenant's
-  /// future-use positions never drive another tenant's evictions. Unbind
-  /// with the same pointer that was bound (nullptr = newest, the legacy
-  /// single-binder call).
+  /// Binds nest (concurrent sessions over one shared pool): with one plan
+  /// bound ScheduleOpt is exact Belady; with several, every plan
+  /// contributes to a merged future-use ordering through its own
+  /// normalized clock (see storage/replacement.h); with zero it is exact
+  /// LRU. Each binder owns its `uses` pointer and must pass the same
+  /// pointer to UnbindUsePlan and AdvanceReplacementClock — nullptr
+  /// unbinds are a CHECK failure.
   void BindUsePlan(std::shared_ptr<const BlockUseMap> uses);
-  void UnbindUsePlan(const std::shared_ptr<const BlockUseMap>& uses = nullptr);
+  void UnbindUsePlan(const std::shared_ptr<const BlockUseMap>& uses);
   /// Advances plan `uses`'s clock (nullptr = the sole bound plan).
   void AdvanceReplacementClock(int64_t pos);
   void AdvanceReplacementClock(const std::shared_ptr<const BlockUseMap>& uses,

@@ -150,12 +150,32 @@ class ClockPolicy : public ReplacementPolicy {
 };
 
 // ---------------------------------------------------------------------------
-// ScheduleOpt: Belady/MIN against the bound plan. Candidates are ordered by
-// cached (next_use, last-touch seq); entries whose cached next use slipped
-// into the past are lazily refreshed when a victim is requested. A cached
-// next use that is still >= the clock is exact: it was the first use at
-// some earlier clock, and no use can appear between the two clocks without
-// having been the first one.
+// ScheduleOpt: Belady/MIN against the bound plan(s). Candidates are ordered
+// by cached (score, last-touch seq), where the score depends on how many
+// plans are bound:
+//
+//   * one plan:      the absolute next-use position (historical solo
+//                    Belady). Entries whose cached next use slipped into
+//                    the past are lazily refreshed when a victim is
+//                    requested: a cached next use still >= the clock is
+//                    exact — it was the first use at some earlier clock,
+//                    and no use can appear between the two clocks without
+//                    having been the first one.
+//   * several plans: the merged future-use clock — min over bound plans of
+//                    (plan's next use of the frame - plan's own clock),
+//                    i.e. the fewest statement instances ANY tenant will
+//                    run before touching the frame again. Normalized
+//                    distances from different snapshots of the clocks are
+//                    not mutually comparable (each plan's advance shifts
+//                    only its own contributions), so the order is rebuilt
+//                    on the first victim request after any clock moved —
+//                    O(n K log n) then, free while no tenant progressed,
+//                    and evictions between advances reuse the order.
+//
+// kNever (no bound plan uses the frame again) sorts above every finite
+// score with least-recently-touched tie-breaks, so unclaimed frames are
+// evicted first in LRU order among themselves in every mode — and with
+// zero plans bound everything is unclaimed and the policy IS exact LRU.
 // ---------------------------------------------------------------------------
 class ScheduleOptPolicy : public ReplacementPolicy {
  public:
@@ -175,7 +195,7 @@ class ScheduleOptPolicy : public ReplacementPolicy {
   }
 
   void OnEvictable(const PoolKey& key) override {
-    Entry e{NextUse(key), last_seq_.at(key)};
+    Entry e{ScoreOf(key), last_seq_.at(key)};
     candidates_.emplace(key, e);
     order_.insert(OrderKey(e, key));
   }
@@ -195,8 +215,18 @@ class ScheduleOptPolicy : public ReplacementPolicy {
 
   bool PickVictim(const std::function<bool(const PoolKey&)>& usable,
                   PoolKey* victim) override {
-    RefreshStale();
-    // Farthest next use first; among equals, least recently touched.
+    if (bound_.size() >= 2) {
+      // Merged mode: normalized distances cached before the latest clock
+      // advance are incomparable with fresh ones; rebuild once per
+      // advance, on demand.
+      if (merged_stale_) {
+        RecomputeAll();
+        merged_stale_ = false;
+      }
+    } else {
+      RefreshStale();
+    }
+    // Farthest score first; among equals, least recently touched.
     for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
       const PoolKey& key = std::get<2>(*it);
       if (usable(key)) {
@@ -214,17 +244,19 @@ class ScheduleOptPolicy : public ReplacementPolicy {
 
   void UnbindUsePlan(
       const std::shared_ptr<const BlockUseMap>& uses) override {
-    if (bound_.empty()) return;
-    if (uses == nullptr) {
-      bound_.pop_back();
-    } else {
-      for (auto it = bound_.rbegin(); it != bound_.rend(); ++it) {
-        if (it->uses == uses) {
-          bound_.erase(std::next(it).base());
-          break;
-        }
+    RIOT_CHECK(uses != nullptr)
+        << "UnbindUsePlan: every binder owns its uses pointer and must "
+           "pass it back (a \"newest bind\" guess under concurrency would "
+           "unbind another tenant's plan)";
+    bool found = false;
+    for (auto it = bound_.begin(); it != bound_.end(); ++it) {
+      if (it->uses == uses) {
+        bound_.erase(it);
+        found = true;
+        break;
       }
     }
+    RIOT_CHECK(found) << "UnbindUsePlan: plan was never bound";
     Reactivate();
   }
 
@@ -243,11 +275,16 @@ class ScheduleOptPolicy : public ReplacementPolicy {
       }
       if (plan == nullptr) return;
     }
-    plan->clock = std::max(plan->clock, pos);
-    // Only the sole bound plan drives eviction order; a co-tenant's
-    // progress is bookkept above but must not move the active clock.
-    if (bound_.size() == 1 && plan == &bound_.front()) {
+    if (pos <= plan->clock) return;  // monotonic; repeats are no-ops
+    plan->clock = pos;
+    if (bound_.size() == 1) {
+      // Solo: the plan's clock IS the policy clock; staleness is handled
+      // incrementally by RefreshStale.
       clock_ = std::max(clock_, plan->clock);
+    } else if (bound_.size() >= 2) {
+      // Merged: this plan's normalized distances shrank relative to every
+      // other plan's; cached scores must be rebuilt before the next pick.
+      merged_stale_ = true;
     }
   }
 
@@ -255,15 +292,18 @@ class ScheduleOptPolicy : public ReplacementPolicy {
   static constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
 
   struct Entry {
-    int64_t next_use = kNever;
+    /// Solo mode: absolute next-use position. Merged mode: min normalized
+    /// distance across bound plans. kNever: no bound plan claims the
+    /// frame again.
+    int64_t score = kNever;
     uint64_t seq = 0;
   };
 
-  // Ascending order ends at (max next_use, min seq): invert the seq so
-  // rbegin() yields farthest-next-use with least-recently-touched ties.
+  // Ascending order ends at (max score, min seq): invert the seq so
+  // rbegin() yields farthest-score with least-recently-touched ties.
   static std::tuple<int64_t, uint64_t, PoolKey> OrderKey(const Entry& e,
                                                          const PoolKey& key) {
-    return {e.next_use, std::numeric_limits<uint64_t>::max() - e.seq, key};
+    return {e.score, std::numeric_limits<uint64_t>::max() - e.seq, key};
   }
 
   int64_t NextUse(const PoolKey& key) const {
@@ -275,6 +315,25 @@ class ScheduleOptPolicy : public ReplacementPolicy {
     return p == v.end() ? kNever : *p;
   }
 
+  /// Merged mode: the fewest remaining statement instances any bound plan
+  /// runs before touching `key` again; kNever when none does.
+  int64_t MergedDistance(const PoolKey& key) const {
+    int64_t best = kNever;
+    for (const BoundPlan& b : bound_) {
+      auto it = b.uses->find(key);
+      if (it == b.uses->end()) continue;
+      const std::vector<int64_t>& v = it->second;
+      auto p = std::lower_bound(v.begin(), v.end(), b.clock);
+      if (p == v.end()) continue;
+      best = std::min(best, *p - b.clock);
+    }
+    return best;
+  }
+
+  int64_t ScoreOf(const PoolKey& key) const {
+    return bound_.size() >= 2 ? MergedDistance(key) : NextUse(key);
+  }
+
   void RemoveCandidate(const PoolKey& key) {
     auto it = candidates_.find(key);
     if (it == candidates_.end()) return;
@@ -282,11 +341,13 @@ class ScheduleOptPolicy : public ReplacementPolicy {
     candidates_.erase(it);
   }
 
-  /// Recomputes entries whose cached next use fell behind the clock (the
-  /// scheduled use passed; the true next use moved later). They cluster at
-  /// the ascending front of `order_`, so the loop stops at the first
-  /// current entry. Each scheduled use is skipped past at most once per
-  /// (bind, block), so the total refresh work is amortized by the plan.
+  /// Solo mode: recomputes entries whose cached next use fell behind the
+  /// clock (the scheduled use passed; the true next use moved later). They
+  /// cluster at the ascending front of `order_`, so the loop stops at the
+  /// first current entry. Each scheduled use is skipped past at most once
+  /// per (bind, block), so the total refresh work is amortized by the
+  /// plan. (With zero plans every score is kNever >= clock_ = 0 and this
+  /// is a no-op.)
   void RefreshStale() {
     while (!order_.empty()) {
       auto it = order_.begin();
@@ -294,7 +355,7 @@ class ScheduleOptPolicy : public ReplacementPolicy {
       PoolKey key = std::get<2>(*it);
       order_.erase(it);
       Entry& e = candidates_.at(key);
-      e.next_use = NextUse(key);
+      e.score = NextUse(key);
       order_.insert(OrderKey(e, key));
     }
   }
@@ -302,14 +363,16 @@ class ScheduleOptPolicy : public ReplacementPolicy {
   void RecomputeAll() {
     order_.clear();
     for (auto& [key, e] : candidates_) {
-      e.next_use = NextUse(key);
+      e.score = ScoreOf(key);
       order_.insert(OrderKey(e, key));
     }
   }
 
-  /// Applies the sole bound plan (or none): cached next uses from a
-  /// previous active plan are garbage under a new one, so every
-  /// activation change recomputes from scratch.
+  /// Applies the current bind set: cached scores from a previous
+  /// activation (different plan set, or solo-vs-merged scoring) are
+  /// garbage under the new one, so every activation change recomputes
+  /// from scratch. Solo mode mirrors the surviving plan into
+  /// uses_/clock_ so it resumes exact Belady from its own progress.
   void Reactivate() {
     if (bound_.size() == 1) {
       uses_ = bound_.front().uses;
@@ -318,6 +381,7 @@ class ScheduleOptPolicy : public ReplacementPolicy {
       uses_.reset();
       clock_ = 0;
     }
+    merged_stale_ = false;
     RecomputeAll();
   }
 
@@ -327,8 +391,9 @@ class ScheduleOptPolicy : public ReplacementPolicy {
   };
 
   std::vector<BoundPlan> bound_;
-  std::shared_ptr<const BlockUseMap> uses_;
-  int64_t clock_ = 0;
+  std::shared_ptr<const BlockUseMap> uses_;  // solo mode only
+  int64_t clock_ = 0;                        // solo mode only
+  bool merged_stale_ = false;  // a clock moved since the last rebuild
   uint64_t next_seq_ = 0;
   std::map<PoolKey, uint64_t> last_seq_;
   std::map<PoolKey, Entry> candidates_;

@@ -12,16 +12,40 @@
 //                   orders victims by unpin time, not touch time, changing
 //                   eviction behavior — the seq index keeps LRU exact.)
 //   * Clock       — classic second-chance sweep over evictable frames.
-//   * ScheduleOpt — Belady/MIN driven by the plan's block access script:
-//                   the executor binds per-(array, block) future-use
+//   * ScheduleOpt — Belady/MIN driven by the plans' block access scripts:
+//                   each executor binds its per-(array, block) future-use
 //                   positions (core/access_plan's BuildAccessScript emits
-//                   them) and advances the policy's logical clock as
-//                   statement instances complete; the victim is the
-//                   evictable frame whose next use is farthest in the
-//                   future (never-used-again first, least-recently-touched
-//                   as the tie-break). With no bound plan — an unbound
-//                   pool, or a shared pool between runs — it degrades to
-//                   exact LRU order.
+//                   them) and advances its own logical clock as statement
+//                   instances complete. Victim scoring by bind count:
+//
+//                   one bound plan    exact Belady: the victim is the
+//                                     evictable frame whose next use is
+//                                     farthest in the future
+//                                     (never-used-again first,
+//                                     least-recently-touched tie-break).
+//                   several plans     merged future-use clock: each plan's
+//                   (concurrent       next use of a frame is normalized to
+//                   sessions over     the plan's *remaining instances
+//                   one shared pool)  before that use* (next_use_pos minus
+//                                     the plan's own advanced clock) —
+//                                     comparable across programs where raw
+//                                     positions are not; a frame several
+//                                     tenants will touch scores the
+//                                     minimum normalized distance (a
+//                                     shared Zipf-head input is kept as
+//                                     long as ANY tenant reuses it soon).
+//                                     Frames no bound plan claims again
+//                                     are the best victims, in LRU order
+//                                     among themselves; claimed frames
+//                                     rank behind them, farthest merged
+//                                     distance first.
+//                   zero plans        exact LRU order (an unbound pool, or
+//                                     a shared pool between runs).
+//
+//                   With one plan the merged score (next_use - clock) is
+//                   an order-preserving shift of the absolute position, so
+//                   solo victim selection is bit-for-bit the historical
+//                   Belady behavior.
 //
 // All methods are called with the owning pool's mutex held; policies need
 // no locking of their own and must not call back into the pool.
@@ -82,24 +106,25 @@ class ReplacementPolicy {
   // ----------------------------------------------- schedule-driven hooks
   // No-ops for history-based policies; ScheduleOpt overrides.
   /// Installs a plan's future-use positions. Binds nest (concurrent
-  /// sessions over one shared pool): Belady ordering applies only while
-  /// exactly one plan is bound — with several, position spaces from
-  /// different programs are incomparable, so the policy degrades to LRU
-  /// order rather than letting one tenant's bindings evict another's
-  /// frames. Each plan's clock is tracked per bind, so a plan that
-  /// becomes the sole survivor resumes exact Belady from its own
-  /// progress.
+  /// sessions over one shared pool): every bound plan contributes to the
+  /// merged victim ordering through its own normalized clock (see the
+  /// header comment), and each plan's clock is tracked per bind, so a
+  /// plan that becomes the sole survivor resumes exact solo Belady from
+  /// its own progress.
   virtual void BindUsePlan(std::shared_ptr<const BlockUseMap> uses) {
     (void)uses;
   }
-  /// Removes a bound plan: the one matching `uses`, or the newest when
-  /// `uses` is nullptr (the legacy single-binder call).
+  /// Removes the bound plan matching `uses`. Every binder owns its `uses`
+  /// pointer and must pass it back; nullptr is a CHECK failure (the legacy
+  /// "newest bind" guess silently corrupted the surviving plan's clock
+  /// when concurrent unbinds raced).
   virtual void UnbindUsePlan(const std::shared_ptr<const BlockUseMap>& uses) {
     (void)uses;
   }
   /// All of plan `uses`'s uses at statement-instance positions < `pos` are
   /// in the past; `pos` itself is the instance currently executing.
-  /// Monotonic per plan. nullptr addresses the active (sole) plan.
+  /// Monotonic per plan. nullptr addresses the active (sole) plan and is
+  /// ignored when several are bound (no unambiguous addressee).
   virtual void AdvanceClock(const std::shared_ptr<const BlockUseMap>& uses,
                             int64_t pos) {
     (void)uses;

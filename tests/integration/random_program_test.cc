@@ -22,10 +22,14 @@
 // lowering/synthesis/scheduling bug shows as a hard mismatch).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <random>
+#include <thread>
 
 #include "core/access_plan.h"
 #include "core/cost_model.h"
@@ -37,7 +41,9 @@
 #include "exec/executor.h"
 #include "exec/verify.h"
 #include "linalg/matrix.h"
+#include "ops/lockstep.h"
 #include "ops/runtime.h"
+#include "storage/buffer_pool.h"
 #include "storage/env.h"
 
 namespace riot {
@@ -549,6 +555,245 @@ TEST_P(CacheSimTest, SimulatorMatchesSerialEngineExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheSimTest,
                          ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+// ---------------------------------------------------------------------------
+// Multi-tenant replacement oracle: 2-4 random sessions run concurrently
+// over one shared sub-working-set pool with their kernels serialized into a
+// random (but fixed) global order by a LockstepGate. For each replacement
+// policy the extended cache simulator must predict every session's
+// block_reads / bytes / policy_saved_reads and the pool's evictions /
+// hits / misses EXACTLY; outputs must be bit-identical to solo runs; and
+// merged-clock ScheduleOpt must never read more blocks than LRU on the
+// same interleaving.
+// ---------------------------------------------------------------------------
+
+class MultiTenantOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiTenantOracleTest, MergedClockMatchesSimulatorExactly) {
+  const uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed * 7919 + 13);
+  const int nsessions = 2 + static_cast<int>(rng() % 3);
+
+  // Per session: its own program (distinct seed), stores, and plan — a
+  // solver schedule realizing sharing when one exists and a seeded coin
+  // allows (saved reads + retention + divergent saved writes must all
+  // stay exact under co-tenancy), else the original schedule.
+  struct Session {
+    GeneratedProgram g;
+    AnalysisResult analysis;
+    std::optional<Schedule> shared_sched;
+    const Schedule* schedule = nullptr;
+    std::vector<const CoAccess*> q;
+    int64_t footprint = 0;
+    size_t instances = 0;
+    std::vector<int> pool_ids;  // program array id -> shared-pool id
+  };
+  std::vector<Session> sessions(static_cast<size_t>(nsessions));
+  int next_pool_id = 0;
+  for (int s = 0; s < nsessions; ++s) {
+    Session& sess = sessions[static_cast<size_t>(s)];
+    sess.g = Generate(seed * 31 + static_cast<uint64_t>(s) + 1);
+    ASSERT_TRUE(sess.g.program.Validate().ok());
+    sess.analysis = AnalyzeProgram(sess.g.program);
+    if (rng() % 2 == 0) {
+      ScheduleSolver solver(sess.g.program, sess.analysis.dependences);
+      size_t attempts = 0;
+      for (const CoAccess& opp : sess.analysis.sharing) {
+        if (sess.q.size() >= 2 || ++attempts > 8) break;
+        std::vector<const CoAccess*> trial = sess.q;
+        trial.push_back(&opp);
+        auto sched = solver.FindSchedule(trial);
+        if (sched.has_value()) {
+          sess.q = trial;
+          sess.shared_sched = *sched;
+        }
+      }
+    }
+    sess.schedule = sess.shared_sched.has_value()
+                        ? &*sess.shared_sched
+                        : &sess.g.program.original_schedule();
+    const PlanCost cost =
+        EvaluatePlanCost(sess.g.program, *sess.schedule, sess.q);
+    sess.footprint = cost.peak_memory_bytes;
+    sess.instances =
+        RealizePlan(sess.g.program, *sess.schedule, sess.q).order.size();
+    for (int a = 0; a < static_cast<int>(sess.g.program.arrays().size());
+         ++a) {
+      sess.pool_ids.push_back(next_pool_id++);
+    }
+  }
+
+  // Sub-working-set shared cap: every tenant's exact requirement fits
+  // simultaneously (no parking under lockstep), but far less than the
+  // total data the sessions touch — evictions decide the read counts.
+  int64_t cap = 0;
+  for (const Session& sess : sessions) cap += sess.footprint;
+
+  // One random kernel interleaving, shared by engine and simulator and by
+  // every policy (reads are only comparable on a fixed schedule).
+  std::vector<int> interleaving;
+  for (int s = 0; s < nsessions; ++s) {
+    interleaving.insert(interleaving.end(), sessions[size_t(s)].instances,
+                        s);
+  }
+  std::shuffle(interleaving.begin(), interleaving.end(), rng);
+
+  auto env = NewMemEnv();
+
+  // Solo references (loose cap, own pool): the bit-identity baseline.
+  std::vector<std::unique_ptr<Runtime>> ref_rts;
+  for (int s = 0; s < nsessions; ++s) {
+    Session& sess = sessions[static_cast<size_t>(s)];
+    auto rt = OpenStores(env.get(), sess.g.program,
+                         "/mt_ref" + std::to_string(s));
+    ASSERT_TRUE(rt.ok());
+    ASSERT_TRUE(
+        InitIntegers(sess.g.program, *rt, sess.g.inputs, seed).ok());
+    Executor ex(sess.g.program, rt->raw(), sess.g.kernels);
+    auto st = ex.Run(*sess.schedule, sess.q);
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+    ref_rts.push_back(std::make_unique<Runtime>(std::move(rt).ValueOrDie()));
+  }
+
+  std::map<ReplacementKind, int64_t> total_reads;
+  int run_idx = 0;
+  for (const ReplacementKind kind :
+       {ReplacementKind::kLru, ReplacementKind::kClock,
+        ReplacementKind::kScheduleOpt}) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " sessions " +
+                 std::to_string(nsessions) + " policy " +
+                 ReplacementKindName(kind) + " cap " + std::to_string(cap));
+
+    BufferPool pool(cap, MakeReplacementPolicy(kind));
+    LockstepGate gate(nsessions, interleaving);
+
+    std::vector<std::unique_ptr<Runtime>> rts;
+    std::vector<std::unique_ptr<PoolAccount>> accounts;
+    std::vector<std::vector<StatementKernel>> gated_kernels;
+    for (int s = 0; s < nsessions; ++s) {
+      Session& sess = sessions[static_cast<size_t>(s)];
+      auto rt = OpenStores(env.get(), sess.g.program,
+                           "/mt" + std::to_string(run_idx) + "_" +
+                               std::to_string(s));
+      ASSERT_TRUE(rt.ok());
+      ASSERT_TRUE(
+          InitIntegers(sess.g.program, *rt, sess.g.inputs, seed).ok());
+      rts.push_back(std::make_unique<Runtime>(std::move(rt).ValueOrDie()));
+      auto account = std::make_unique<PoolAccount>();
+      account->budget_bytes = sess.footprint;
+      accounts.push_back(std::move(account));
+      std::vector<StatementKernel> wrapped;
+      for (const StatementKernel& k : sess.g.kernels) {
+        wrapped.push_back([&gate, s, k](const std::vector<int64_t>& iter,
+                                        const std::vector<DenseView*>& v) {
+          gate.EnterKernel(s);
+          k(iter, v);
+        });
+      }
+      gated_kernels.push_back(std::move(wrapped));
+    }
+    ++run_idx;
+
+    // Serialized spawn: session s's bind/advance(0)/fetch(0) prologue
+    // completes (it blocks at kernel 0) before s+1 starts.
+    std::vector<Result<ExecStats>> stats(
+        static_cast<size_t>(nsessions),
+        Result<ExecStats>(Status::Internal("not run")));
+    std::vector<std::thread> threads;
+    for (int s = 0; s < nsessions; ++s) {
+      Session& sess = sessions[static_cast<size_t>(s)];
+      threads.emplace_back([&, s]() {
+        SessionBinding binding;
+        binding.account = accounts[static_cast<size_t>(s)].get();
+        binding.pool_array_ids = sess.pool_ids;
+        ExecOptions eo;
+        eo.shared_pool = &pool;
+        eo.replacement = kind;
+        eo.session = &binding;
+        Executor ex(sess.g.program, rts[static_cast<size_t>(s)]->raw(),
+                    gated_kernels[static_cast<size_t>(s)], eo);
+        stats[static_cast<size_t>(s)] = ex.Run(*sess.schedule, sess.q);
+        gate.Finish(s);
+      });
+      gate.AwaitArrival(s);
+    }
+    gate.Start();
+    for (std::thread& t : threads) t.join();
+
+    // The extended simulator replays the same interleaving and must be
+    // exact: per-session reads/writes/saved-reads, pool-global evictions.
+    std::vector<TenantCacheScript> tenants;
+    for (int s = 0; s < nsessions; ++s) {
+      Session& sess = sessions[static_cast<size_t>(s)];
+      TenantCacheScript ts;
+      ts.program = &sess.g.program;
+      ts.schedule = sess.schedule;
+      ts.realized = sess.q;
+      ts.pool_array_ids = sess.pool_ids;
+      ts.budget_bytes = sess.footprint;
+      tenants.push_back(std::move(ts));
+    }
+    CacheSimOptions sim;
+    sim.policy = kind;
+    sim.cap_bytes = cap;
+    auto predicted = SimulateMultiTenantCache(tenants, interleaving, sim);
+    ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+
+    int64_t engine_reads = 0;
+    for (int s = 0; s < nsessions; ++s) {
+      SCOPED_TRACE("session " + std::to_string(s));
+      const auto& st = stats[static_cast<size_t>(s)];
+      ASSERT_TRUE(st.ok()) << st.status().ToString();
+      EXPECT_EQ(st->session_parks, 0);
+      const CacheSimResult& per =
+          predicted->per_tenant[static_cast<size_t>(s)];
+      EXPECT_EQ(per.block_reads, st->block_reads);
+      EXPECT_EQ(per.read_bytes, st->bytes_read);
+      EXPECT_EQ(per.block_writes, st->block_writes);
+      EXPECT_EQ(per.write_bytes, st->bytes_written);
+      EXPECT_EQ(per.policy_saved_reads, st->policy_saved_reads);
+      engine_reads += st->block_reads;
+      // Bit-identity: co-tenancy changes I/O, never results.
+      for (int arr : sessions[static_cast<size_t>(s)].g.outputs) {
+        auto diff = MaxAbsDifference(
+            sessions[static_cast<size_t>(s)].g.program.array(arr),
+            ref_rts[static_cast<size_t>(s)]
+                ->stores[static_cast<size_t>(arr)]
+                .get(),
+            rts[static_cast<size_t>(s)]
+                ->stores[static_cast<size_t>(arr)]
+                .get());
+        ASSERT_TRUE(diff.ok());
+        EXPECT_EQ(*diff, 0.0)
+            << "array "
+            << sessions[static_cast<size_t>(s)].g.program.array(arr).name;
+      }
+    }
+    const BufferPoolStats ps = pool.stats();
+    EXPECT_EQ(predicted->total.evictions, ps.evictions);
+    EXPECT_EQ(predicted->total.hits, ps.hits);
+    EXPECT_EQ(predicted->total.misses, ps.misses);
+    EXPECT_EQ(predicted->total.dirty_writebacks, ps.dirty_writebacks);
+    EXPECT_EQ(predicted->total.block_reads, engine_reads);
+    EXPECT_EQ(pool.PinnedFrames(), 0);
+    EXPECT_EQ(pool.PinnedOrRetainedBytes(), 0);
+    total_reads[kind] = engine_reads;
+  }
+
+  // The merged future-use clock must not lose to history-based LRU on the
+  // same interleaving — the whole point of keeping the schedules bound
+  // under multi-tenancy.
+  EXPECT_LE(total_reads[ReplacementKind::kScheduleOpt],
+            total_reads[ReplacementKind::kLru])
+      << "seed " << seed;
+}
+
+// A fast smoke slice runs in tier-1; the full corpus is stress-labeled
+// (see CMakeLists: integration/mt_replacement_smoke / _oracle).
+INSTANTIATE_TEST_SUITE_P(Smoke, MultiTenantOracleTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
+INSTANTIATE_TEST_SUITE_P(Full, MultiTenantOracleTest,
+                         ::testing::Range(uint64_t{7}, uint64_t{47}));
 
 // ---------------------------------------------------------------------------
 // Expression-DAG fuzzer: random well-shaped expression trees vs a naive

@@ -2,8 +2,9 @@
 // the historical single-list behavior exactly (victims in last-touch order
 // among evictable frames, pinned/retained frames transparent), Clock must
 // respect pins/retention and give referenced frames a second chance, and
-// ScheduleOpt must evict by farthest-next-use under a bound plan and
-// degrade to LRU order without one.
+// ScheduleOpt must evict by farthest-next-use under a bound plan, merge
+// several bound plans' futures through normalized per-plan clocks, and
+// degrade to LRU order without any.
 #include "storage/replacement.h"
 
 #include <gtest/gtest.h>
@@ -127,7 +128,7 @@ TEST_F(ReplacementTest, ScheduleOptEvictsFarthestNextUse) {
   Cache(&pool, 4);
   EXPECT_EQ(pool.Probe(0, 3), nullptr);
   EXPECT_NE(pool.Probe(0, 1), nullptr);
-  pool.UnbindUsePlan();
+  pool.UnbindUsePlan(uses);
 }
 
 TEST_F(ReplacementTest, ScheduleOptRefreshesPassedUses) {
@@ -174,6 +175,130 @@ TEST_F(ReplacementTest, ScheduleOptNeverEvictsPinnedOrRetained) {
   EXPECT_NE(pool.Probe(0, 0), nullptr);
   EXPECT_EQ(pool.Probe(0, 1), nullptr);
   pool.Unpin(*pinned);
+}
+
+TEST_F(ReplacementTest, MergedClockComparesNormalizedDistances) {
+  // Two plans with wildly different absolute position scales: plan A is at
+  // pos 100 of a long program, plan B at pos 2 of a short one. Raw
+  // positions would call A's blocks "later"; normalized remaining-instance
+  // distances compare them correctly.
+  BufferPool pool(3 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kScheduleOpt));
+  auto a = std::make_shared<BlockUseMap>();
+  (*a)[{0, 0}] = {103};  // 3 instances away for A
+  auto b = std::make_shared<BlockUseMap>();
+  (*b)[{0, 1}] = {12};  // 10 instances away for B
+  (*b)[{0, 2}] = {4};   // 2 instances away for B
+  pool.BindUsePlan(a);
+  pool.BindUsePlan(b);
+  pool.AdvanceReplacementClock(a, 100);
+  pool.AdvanceReplacementClock(b, 2);
+  Cache(&pool, 0);
+  Cache(&pool, 1);
+  Cache(&pool, 2);
+  // Distances: b0 = 3 (A), b1 = 10 (B), b2 = 2 (B). Farthest is b1 even
+  // though its absolute position (12) is far below b0's (103).
+  Cache(&pool, 3);
+  EXPECT_NE(pool.Probe(0, 0), nullptr);
+  EXPECT_EQ(pool.Probe(0, 1), nullptr);
+  EXPECT_NE(pool.Probe(0, 2), nullptr);
+  pool.UnbindUsePlan(a);
+  pool.UnbindUsePlan(b);
+}
+
+TEST_F(ReplacementTest, MergedClockSharedFrameTakesMinimumDistance) {
+  // Both tenants read block 0; tenant A not for a long time, tenant B
+  // soon. The shared frame must be kept on B's account (min distance),
+  // so the victim is the frame only A claims, at a middling distance.
+  BufferPool pool(2 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kScheduleOpt));
+  auto a = std::make_shared<BlockUseMap>();
+  (*a)[{0, 0}] = {90};  // 90 away for A
+  (*a)[{0, 1}] = {50};  // 50 away for A
+  auto b = std::make_shared<BlockUseMap>();
+  (*b)[{0, 0}] = {1};  // but only 1 away for B
+  pool.BindUsePlan(a);
+  pool.BindUsePlan(b);
+  Cache(&pool, 0);
+  Cache(&pool, 1);
+  Cache(&pool, 2);  // victim must be b1 (dist 50), not the shared b0
+  EXPECT_NE(pool.Probe(0, 0), nullptr);
+  EXPECT_EQ(pool.Probe(0, 1), nullptr);
+  pool.UnbindUsePlan(a);
+  pool.UnbindUsePlan(b);
+}
+
+TEST_F(ReplacementTest, MergedClockUnclaimedFramesGoFirstInLruOrder) {
+  BufferPool pool(3 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kScheduleOpt));
+  auto a = std::make_shared<BlockUseMap>();
+  (*a)[{0, 0}] = {5};
+  auto b = std::make_shared<BlockUseMap>();
+  (*b)[{0, 0}] = {7};
+  pool.BindUsePlan(a);
+  pool.BindUsePlan(b);
+  Cache(&pool, 0);  // claimed by both plans
+  Cache(&pool, 1);  // unclaimed
+  Cache(&pool, 2);  // unclaimed
+  Cache(&pool, 1);  // re-touch: b2 is now the least recent unclaimed
+  // Unclaimed frames are better victims than any claimed frame, LRU
+  // among themselves: evict b2, then b1, before touching b0.
+  Cache(&pool, 3);
+  EXPECT_EQ(pool.Probe(0, 2), nullptr);
+  EXPECT_NE(pool.Probe(0, 0), nullptr);
+  EXPECT_NE(pool.Probe(0, 1), nullptr);
+  Cache(&pool, 4);  // b3 (unclaimed, older than b1? no — b1 older) —
+  // after the previous insert order is b1 (oldest), b3, b4: evict b1.
+  EXPECT_EQ(pool.Probe(0, 1), nullptr);
+  EXPECT_NE(pool.Probe(0, 0), nullptr);
+  pool.UnbindUsePlan(a);
+  pool.UnbindUsePlan(b);
+}
+
+TEST_F(ReplacementTest, MergedClockAdvanceShiftsOnlyThatPlansDistances) {
+  // A frame's cached distance must not survive its plan's clock advance:
+  // after B runs 8 instances, B's block is due in 1, A's in 4.
+  BufferPool pool(2 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kScheduleOpt));
+  auto a = std::make_shared<BlockUseMap>();
+  (*a)[{0, 0}] = {4};  // 4 away for A (A never advances)
+  auto b = std::make_shared<BlockUseMap>();
+  (*b)[{0, 1}] = {9};  // 9 away for B at bind time
+  pool.BindUsePlan(a);
+  pool.BindUsePlan(b);
+  Cache(&pool, 0);
+  Cache(&pool, 1);
+  // At bind-time distances (b0=4, b1=9) the victim would be b1. After B
+  // advances to 8, b1's distance is 1 — the victim must become b0.
+  pool.AdvanceReplacementClock(b, 8);
+  Cache(&pool, 2);
+  EXPECT_EQ(pool.Probe(0, 0), nullptr);
+  EXPECT_NE(pool.Probe(0, 1), nullptr);
+  pool.UnbindUsePlan(a);
+  pool.UnbindUsePlan(b);
+}
+
+TEST_F(ReplacementTest, MergedClockSoleSurvivorResumesExactBelady) {
+  BufferPool pool(2 * kBlock,
+                  MakeReplacementPolicy(ReplacementKind::kScheduleOpt));
+  auto a = std::make_shared<BlockUseMap>();
+  (*a)[{0, 0}] = {10};
+  (*a)[{0, 1}] = {20};
+  auto b = std::make_shared<BlockUseMap>();
+  (*b)[{0, 0}] = {1};
+  pool.BindUsePlan(a);
+  pool.AdvanceReplacementClock(a, 5);
+  pool.BindUsePlan(b);
+  // B departs; A must resume solo Belady from its own clock (5), not
+  // from zero: b0 (next use 10) goes before b1 (next use 20)? No —
+  // farthest next use is the victim: b1 at 20 goes first.
+  pool.UnbindUsePlan(b);
+  Cache(&pool, 0);
+  Cache(&pool, 1);
+  Cache(&pool, 2);
+  EXPECT_NE(pool.Probe(0, 0), nullptr);
+  EXPECT_EQ(pool.Probe(0, 1), nullptr);
+  pool.UnbindUsePlan(a);
 }
 
 TEST_F(ReplacementTest, AllPoliciesFailCleanlyWhenEverythingIsPinned) {
