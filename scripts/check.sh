@@ -17,6 +17,28 @@ for build_type in Debug Release; do
   cmake --build "${dir}" -j "${jobs}"
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" -LE stress
 done
+
+# Static-analysis gate, mirroring the CI static-analysis job. The
+# plan-integrity linter runs everywhere; the Clang legs (thread-safety
+# annotations as errors, clang-tidy) need a Clang toolchain and are
+# skipped with a notice when one is not installed.
+echo "=== static analysis ==="
+./build-release/riot_lint --seeds 25
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-clang -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DRIOT_THREAD_SAFETY=ON \
+    -DRIOT_BUILD_BENCHES=OFF -DRIOT_BUILD_EXAMPLES=OFF
+  cmake --build build-clang -j "${jobs}"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    find src -name '*.cc' -print0 | sort -z | \
+      xargs -0 clang-tidy -p build-clang --quiet
+  else
+    echo "clang-tidy not installed; skipping (CI runs it)"
+  fi
+else
+  echo "clang not installed; skipping thread-safety/clang-tidy legs (CI runs them)"
+fi
 if [[ "${run_stress}" == "1" ]]; then
   echo "=== stress (Release) ==="
   ctest --test-dir build-release --output-on-failure -j "${jobs}" -L stress

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <limits>
 #include <map>
@@ -13,10 +12,12 @@
 #include <thread>
 #include <tuple>
 
+#include "analysis/program_lint.h"
 #include "core/access_plan.h"
 #include "exec/kernel_synthesis.h"
 #include "storage/io_pool.h"
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 
 namespace riot {
 
@@ -86,10 +87,31 @@ Executor::Executor(const Program& program, std::vector<BlockStore*> stores,
         << "statement " << st.name << " has neither a kernel nor an op spec";
     kernels_[s] = SynthesizeKernel(*st.op);
   }
+  if (opts_.lint) {
+    auto lint = LintProgram(prog_);
+    if (!lint.ok()) {
+      lint_status_ = lint.status();
+    } else if (!lint->ok()) {
+      lint_status_ = Status::InvalidArgument(lint->ToString());
+    }
+  }
+}
+
+Status Executor::LintLoweredPlan(const RealizedPlan& rp,
+                                 const AccessScript& script,
+                                 const InstanceDag* dag) const {
+  if (!opts_.lint) return Status::OK();
+  const InstanceDag local = dag == nullptr ? BuildInstanceDag(script)
+                                           : InstanceDag{};
+  auto lint = LintScript(prog_, rp, script, dag != nullptr ? *dag : local);
+  RIOT_RETURN_NOT_OK(lint.status());
+  if (!lint->ok()) return Status::InvalidArgument(lint->ToString());
+  return Status::OK();
 }
 
 Result<ExecStats> Executor::Run(const Schedule& schedule,
                                 const std::vector<const CoAccess*>& realized) {
+  RIOT_RETURN_NOT_OK(lint_status_);
   // The opportunistic-cache ablation is defined against the serial
   // reference order, and session runs are serial by contract (the
   // sessions themselves are the parallelism); everything else may go
@@ -118,6 +140,7 @@ Result<ExecStats> Executor::RunSerial(
                                     ? std::vector<const CoAccess*>{}
                                     : realized);
   const AccessScript script = BuildAccessScript(prog_, rp);
+  RIOT_RETURN_NOT_OK(LintLoweredPlan(rp, script, nullptr));
   BufferPool local_pool(opts_.memory_cap_bytes,
                         MakeReplacementPolicy(opts_.replacement));
   BufferPool& pool = opts_.shared_pool != nullptr ? *opts_.shared_pool
@@ -648,6 +671,7 @@ Result<ExecStats> Executor::RunParallel(
   RealizedPlan rp = RealizePlan(prog_, schedule, realized);
   const AccessScript script = BuildAccessScript(prog_, rp);
   const InstanceDag dag = BuildInstanceDag(script);
+  RIOT_RETURN_NOT_OK(LintLoweredPlan(rp, script, &dag));
   const size_t n = rp.order.size();
 
   BufferPool local_pool(opts_.memory_cap_bytes,
@@ -720,15 +744,17 @@ Result<ExecStats> Executor::RunParallel(
   // pending-table check *and* the subsequent pool Fetch, so the prefetcher
   // can never slip a kPrefetching frame under a consumer between the two.
   struct PrefetchState {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool draining = false;  // one thread at a time sits in WaitCompletion
-    std::map<Key, Pending> pending;
-    std::map<uint64_t, Key> key_of_tag;
-    std::deque<Key> issue_order;
-    std::deque<size_t> deferred;  // dep-blocked record indices
-    size_t cursor = 0;
-    uint64_t next_tag = 0;
+    Mutex mu;
+    CondVar cv;
+    // One thread at a time sits in WaitCompletion.
+    bool draining GUARDED_BY(mu) = false;
+    std::map<Key, Pending> pending GUARDED_BY(mu);
+    std::map<uint64_t, Key> key_of_tag GUARDED_BY(mu);
+    std::deque<Key> issue_order GUARDED_BY(mu);
+    // Dep-blocked record indices.
+    std::deque<size_t> deferred GUARDED_BY(mu);
+    size_t cursor GUARDED_BY(mu) = 0;
+    uint64_t next_tag GUARDED_BY(mu) = 0;
   } pf;
 
   // Load latch: (array, block) entries whose frame a consumer is currently
@@ -736,49 +762,56 @@ Result<ExecStats> Executor::RunParallel(
   // (under pf.mu); later readers of the same frame wait here instead of
   // racing the load.
   struct LatchState {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::set<Key> loading;
+    Mutex mu;
+    CondVar cv;
+    std::set<Key> loading GUARDED_BY(mu);
   } latch;
 
   // ------------------------------------------------------ scheduler state
   struct Sched {
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
+    // Smallest scheduled position first.
     std::priority_queue<size_t, std::vector<size_t>, std::greater<size_t>>
-        ready;                  // smallest scheduled position first
-    std::vector<size_t> parked; // memory-starved; re-queued on progress
-    std::vector<uint32_t> pred_left;
-    std::vector<size_t> group_left;  // incomplete instances per group
-    size_t n_done = 0;
-    size_t frontier = 0;   // smallest incomplete position
-    size_t running = 0;
-    uint64_t progress_epoch = 0;
-    int64_t max_width = 0;
-    bool failed = false;
-    Status error;
+        ready GUARDED_BY(mu);
+    // Memory-starved; re-queued on progress.
+    std::vector<size_t> parked GUARDED_BY(mu);
+    std::vector<uint32_t> pred_left GUARDED_BY(mu);
+    // Incomplete instances per group.
+    std::vector<size_t> group_left GUARDED_BY(mu);
+    size_t n_done GUARDED_BY(mu) = 0;
+    // Smallest incomplete position.
+    size_t frontier GUARDED_BY(mu) = 0;
+    size_t running GUARDED_BY(mu) = 0;
+    uint64_t progress_epoch GUARDED_BY(mu) = 0;
+    int64_t max_width GUARDED_BY(mu) = 0;
+    bool failed GUARDED_BY(mu) = false;
+    Status error GUARDED_BY(mu);
   } sc;
-  sc.pred_left = dag.pred_count;
-  sc.group_left.assign(rp.num_groups, 0);
-  for (size_t p = 0; p < n; ++p) {
-    ++sc.group_left[rp.group_of[p]];
-    if (dag.pred_count[p] == 0) sc.ready.push(p);
+  {
+    MutexLock lock(&sc.mu);  // workers not yet spawned; lock for the analysis
+    sc.pred_left = dag.pred_count;
+    sc.group_left.assign(rp.num_groups, 0);
+    for (size_t p = 0; p < n; ++p) {
+      ++sc.group_left[rp.group_of[p]];
+      if (dag.pred_count[p] == 0) sc.ready.push(p);
+    }
   }
 
   // Registers a terminal error (first one wins) and wakes every waiter so
   // the run unwinds promptly.
   auto fail_run = [&](const Status& st) {
     {
-      std::lock_guard<std::mutex> lock(sc.mu);
+      MutexLock lock(&sc.mu);
       if (!sc.failed) {
         sc.failed = true;
         sc.error = st;
       }
     }
     aborting.store(true);
-    sc.cv.notify_all();
-    latch.cv.notify_all();
-    pf.cv.notify_all();
+    sc.cv.NotifyAll();
+    latch.cv.NotifyAll();
+    pf.cv.NotifyAll();
   };
 
   auto sync_store_op = [&](BlockStore* store, double* io_acc,
@@ -795,8 +828,12 @@ Result<ExecStats> Executor::RunParallel(
   };
 
   // --- prefetch helpers; callers hold pf.mu through the passed lock ------
+  // The `_locked` lambdas run entirely under pf.mu, but receive it through
+  // a caller-owned UniqueMutexLock the analysis cannot attribute, so each
+  // carries NO_THREAD_SAFETY_ANALYSIS; the callers below are all analyzed.
   // Marks the pending entry a consumed IoPool completion belongs to done.
-  auto resolve_completion_locked = [&](IoPool::Completion c) {
+  auto resolve_completion_locked =
+      [&](IoPool::Completion c) NO_THREAD_SAFETY_ANALYSIS {
     auto it = pf.key_of_tag.find(c.tag);
     RIOT_CHECK(it != pf.key_of_tag.end());
     Pending& p = pf.pending.at(it->second);
@@ -811,29 +848,29 @@ Result<ExecStats> Executor::RunParallel(
   // entry while this one waited — concurrent consumers may race for the
   // same block, and the first resolution wins. pf.mu is dropped while
   // sitting in WaitCompletion; only one thread drains at a time.
-  auto wait_pending_locked = [&](std::unique_lock<std::mutex>& l,
-                                 const Key& key) -> Pending* {
+  auto wait_pending_locked = [&](UniqueMutexLock& l, const Key& key)
+      NO_THREAD_SAFETY_ANALYSIS -> Pending* {
     for (;;) {
       auto want = pf.pending.find(key);
       if (want == pf.pending.end()) return nullptr;
       if (want->second.done) return &want->second;
       if (!pf.draining) {
         pf.draining = true;
-        l.unlock();
+        l.Unlock();
         IoPool::Completion c = io->WaitCompletion();
-        l.lock();
+        l.Lock();
         pf.draining = false;
         resolve_completion_locked(std::move(c));
-        pf.cv.notify_all();
+        pf.cv.NotifyAll();
       } else {
-        pf.cv.wait(l);
+        pf.cv.Wait(l);
       }
     }
   };
 
   // False when the entry vanished before this thread could cancel it.
-  auto cancel_key_locked = [&](std::unique_lock<std::mutex>& l,
-                               const Key& key) -> bool {
+  auto cancel_key_locked = [&](UniqueMutexLock& l, const Key& key)
+      NO_THREAD_SAFETY_ANALYSIS -> bool {
     Pending* p = wait_pending_locked(l, key);
     if (p == nullptr) return false;
     if (p->status.ok()) {
@@ -846,7 +883,8 @@ Result<ExecStats> Executor::RunParallel(
     return true;
   };
 
-  auto cancel_one_locked = [&](std::unique_lock<std::mutex>& l) -> bool {
+  auto cancel_one_locked =
+      [&](UniqueMutexLock& l) NO_THREAD_SAFETY_ANALYSIS -> bool {
     while (!pf.issue_order.empty()) {
       Key key = pf.issue_order.back();
       pf.issue_order.pop_back();
@@ -857,7 +895,8 @@ Result<ExecStats> Executor::RunParallel(
   };
 
   enum class Issue { kHandled, kDepBlocked, kNoRoom };
-  auto try_issue_locked = [&](const BlockAccessRecord& rec) -> Issue {
+  auto try_issue_locked =
+      [&](const BlockAccessRecord& rec) NO_THREAD_SAFETY_ANALYSIS -> Issue {
     if (completed[rec.pos].load()) return Issue::kHandled;
     if (rec.dep_pos >= 0 &&
         !completed[static_cast<size_t>(rec.dep_pos)].load()) {
@@ -884,7 +923,7 @@ Result<ExecStats> Executor::RunParallel(
 
   auto advance_prefetcher = [&]() {
     if (io == nullptr) return;
-    std::unique_lock<std::mutex> l(pf.mu);
+    UniqueMutexLock l(&pf.mu);
     for (auto it = pf.deferred.begin(); it != pf.deferred.end();) {
       Issue res = try_issue_locked(script.records[*it]);
       if (res == Issue::kNoRoom) return;
@@ -930,7 +969,7 @@ Result<ExecStats> Executor::RunParallel(
     bool resident = false;
     bool must_load = false;
     {
-      std::unique_lock<std::mutex> pl(pf.mu);
+      UniqueMutexLock pl(&pf.mu);
       if (pf.pending.count(key) > 0) {
         if (rec.type == AccessType::kRead && !rec.saved) {
           // The prefetcher issued this very disk read; adopt its frame
@@ -975,7 +1014,7 @@ Result<ExecStats> Executor::RunParallel(
               std::to_string(rec.access_idx) + " (plan/realization bug)");
         }
         must_load = true;
-        std::lock_guard<std::mutex> ll(latch.mu);
+        MutexLock ll(&latch.mu);
         latch.loading.insert(key);
       }
     }
@@ -992,10 +1031,10 @@ Result<ExecStats> Executor::RunParallel(
         pool.Discard(frame);
       }
       {
-        std::lock_guard<std::mutex> ll(latch.mu);
+        MutexLock ll(&latch.mu);
         latch.loading.erase(key);
       }
-      latch.cv.notify_all();
+      latch.cv.NotifyAll();
       if (!st_load.ok()) return st_load;
       ls.bytes_read += rec.bytes;
       ++ls.block_reads;
@@ -1008,14 +1047,14 @@ Result<ExecStats> Executor::RunParallel(
       // consumers instead dedupe the physically redundant read — a
       // residency win the replacement policy gets credit for.
       if (!rec.saved) ++ls.policy_saved_reads;
-      std::unique_lock<std::mutex> ll(latch.mu);
-      latch.cv.wait(ll, [&] {
-        return latch.loading.count(key) == 0 || aborting.load();
-      });
+      UniqueMutexLock ll(&latch.mu);
+      while (latch.loading.count(key) != 0 && !aborting.load()) {
+        latch.cv.Wait(ll);
+      }
       if (aborting.load()) {
         // The run is failing; this frame may be the failed loader's
         // garbage (then it is marked discarded and this Unpin erases it).
-        ll.unlock();
+        ll.Unlock();
         pool.Unpin(frame);
         return Status::Internal("aborted: concurrent I/O failure");
       }
@@ -1141,12 +1180,12 @@ Result<ExecStats> Executor::RunParallel(
       if (aborting.load()) return Outcome::kError;
       Outcome oc = try_exec_once(pos, ls);
       if (oc != Outcome::kPressure) return oc;
-      std::unique_lock<std::mutex> sl(sc.mu);
+      UniqueMutexLock sl(&sc.mu);
       if (sc.failed) return Outcome::kError;
       if (pos != sc.frontier) return Outcome::kPressure;  // caller parks
       if (sc.running == 1) {
         if (retried_alone) {
-          sl.unlock();
+          sl.Unlock();
           fail_run(Status::ResourceExhausted(
               "buffer pool cap exceeded with all frames pinned/retained "
               "(parallel frontier instance " +
@@ -1158,9 +1197,9 @@ Result<ExecStats> Executor::RunParallel(
       }
       retried_alone = false;
       uint64_t epoch = sc.progress_epoch;
-      sc.cv.wait(sl, [&] {
-        return sc.failed || sc.running == 1 || sc.progress_epoch != epoch;
-      });
+      while (!(sc.failed || sc.running == 1 || sc.progress_epoch != epoch)) {
+        sc.cv.Wait(sl);
+      }
       if (sc.failed) return Outcome::kError;
     }
   };
@@ -1169,11 +1208,11 @@ Result<ExecStats> Executor::RunParallel(
   std::vector<LocalStats> worker_stats(static_cast<size_t>(nworkers));
   auto worker = [&](int wid) {
     LocalStats& ls = worker_stats[static_cast<size_t>(wid)];
-    std::unique_lock<std::mutex> sl(sc.mu);
+    UniqueMutexLock sl(&sc.mu);
     for (;;) {
-      sc.cv.wait(sl, [&] {
-        return sc.failed || !sc.ready.empty() || sc.n_done == n;
-      });
+      while (!(sc.failed || !sc.ready.empty() || sc.n_done == n)) {
+        sc.cv.Wait(sl);
+      }
       if (sc.failed || sc.n_done == n) return;
       size_t pos = sc.ready.top();
       sc.ready.pop();
@@ -1181,12 +1220,12 @@ Result<ExecStats> Executor::RunParallel(
       sc.max_width = std::max(
           sc.max_width,
           static_cast<int64_t>(sc.running + sc.ready.size()));
-      sl.unlock();
+      sl.Unlock();
 
       if (depth > 0) advance_prefetcher();
       Outcome oc = exec_instance(pos, ls);
 
-      sl.lock();
+      sl.Lock();
       --sc.running;
       ++sc.progress_epoch;
       if (oc == Outcome::kDone) {
@@ -1231,7 +1270,7 @@ Result<ExecStats> Executor::RunParallel(
       }
       // kError: fail_run already recorded it; fall through and let every
       // worker observe sc.failed.
-      sc.cv.notify_all();
+      sc.cv.NotifyAll();
     }
   };
 
@@ -1245,11 +1284,11 @@ Result<ExecStats> Executor::RunParallel(
   // it on error) so no kPrefetching frame survives this run — mandatory
   // when the pool is shared.
   if (io != nullptr) {
-    std::unique_lock<std::mutex> pl(pf.mu);
+    UniqueMutexLock pl(&pf.mu);
     while (io->outstanding() > 0) {
-      pl.unlock();
+      pl.Unlock();
       IoPool::Completion c = io->WaitCompletion();
-      pl.lock();
+      pl.Lock();
       resolve_completion_locked(std::move(c));
     }
     for (auto& [key, p] : pf.pending) {
@@ -1266,7 +1305,7 @@ Result<ExecStats> Executor::RunParallel(
       Status wb = pool.DrainWritebacks();
       pool.SetWriteBehind(nullptr);
       if (!wb.ok()) {
-        std::lock_guard<std::mutex> lock(sc.mu);
+        MutexLock lock(&sc.mu);
         if (!sc.failed) {
           sc.failed = true;
           sc.error = wb;
@@ -1280,7 +1319,11 @@ Result<ExecStats> Executor::RunParallel(
   DropDivergentWrites(script, &pool, [](int id) { return id; });
   if (schedule_policy) pool.UnbindUsePlan(bound_uses);
 
-  if (sc.failed) return sc.error;
+  {
+    MutexLock lock(&sc.mu);  // workers are joined; lock for the analysis
+    stats.max_ready_width = sc.max_width;
+    if (sc.failed) return sc.error;
+  }
 
   for (const LocalStats& ls : worker_stats) {
     stats.bytes_read += ls.bytes_read;
@@ -1296,7 +1339,6 @@ Result<ExecStats> Executor::RunParallel(
   stats.block_reads += canceled_reads.load();
   stats.prefetch_wasted = prefetch_wasted.load();
   stats.peak_required_bytes = peak_required.load();
-  stats.max_ready_width = sc.max_width;
   stats.pool = DiffPoolStats(pool.stats(), pool_stats0);
   stats.wall_seconds = Since(wall0);
   stats.overlap_seconds = std::max(

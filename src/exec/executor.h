@@ -50,6 +50,8 @@ namespace riot {
 
 class IoPool;
 class StoreMutexMap;
+struct AccessScript;
+struct InstanceDag;
 
 /// \brief Multi-tenant execution context, provided by the session runtime
 /// (ops/session_runtime.h) when several programs run concurrently over one
@@ -173,6 +175,18 @@ struct ExecOptions {
   /// cost-model prediction. Outputs are unchanged. The binding must
   /// outlive the run.
   const SessionBinding* session = nullptr;
+  /// Static plan-integrity lint (analysis/program_lint.h): the constructor
+  /// lints the program and Run() lints every lowered plan before touching
+  /// the stores, failing with kInvalidArgument and the full LintReport on
+  /// any finding. Pure analysis — execution order, I/O, and outputs are
+  /// bit-for-bit unchanged when the lint passes. Defaults on in debug
+  /// builds, off in release (the checks are O(instances^2) on small
+  /// streams).
+#ifndef NDEBUG
+  bool lint = true;
+#else
+  bool lint = false;
+#endif
 };
 
 struct ExecStats {
@@ -245,11 +259,17 @@ class Executor {
                               const std::vector<const CoAccess*>& realized);
   Result<ExecStats> RunParallel(const Schedule& schedule,
                                 const std::vector<const CoAccess*>& realized);
+  /// Script-level lint of the lowered plan (ExecOptions::lint); OK when
+  /// linting is off or the plan is clean.
+  Status LintLoweredPlan(const RealizedPlan& rp, const AccessScript& script,
+                         const InstanceDag* dag) const;
 
   const Program& prog_;
   std::vector<BlockStore*> stores_;
   std::vector<StatementKernel> kernels_;
   ExecOptions opts_;
+  /// Program-level lint finding from the constructor; surfaced by Run().
+  Status lint_status_;
 };
 
 }  // namespace riot

@@ -15,39 +15,43 @@ LockstepGate::LockstepGate(int sessions, std::vector<int> turns)
 }
 
 void LockstepGate::AwaitArrival(int s) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return arrived_[static_cast<size_t>(s)]; });
+  UniqueMutexLock lock(&mu_);
+  while (!arrived_[static_cast<size_t>(s)]) cv_.Wait(lock);
 }
 
 void LockstepGate::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   started_ = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LockstepGate::EnterKernel(int s) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(&mu_);
   if (holder_ == s) {
     holder_ = -1;  // turn unit complete: pass the token on
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (!arrived_[static_cast<size_t>(s)]) {
     arrived_[static_cast<size_t>(s)] = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
-  cv_.wait(lock, [&] {
-    return started_ && holder_ == -1 && cursor_ < turns_.size() &&
-           turns_[cursor_] == s;
-  });
+  while (!(started_ && holder_ == -1 && cursor_ < turns_.size() &&
+           turns_[cursor_] == s)) {
+    RIOT_CHECK(!started_ || cursor_ < turns_.size())
+        << "lockstep: session " << s
+        << " entered a kernel past the last scheduled turn (turn list too "
+           "short — the gate would deadlock instead of failing loudly)";
+    cv_.Wait(lock);
+  }
   holder_ = s;
   ++cursor_;
 }
 
 void LockstepGate::Finish(int s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (holder_ == s) {
     holder_ = -1;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 

@@ -33,10 +33,10 @@
 #ifndef RIOTSHARE_OPS_LOCKSTEP_H_
 #define RIOTSHARE_OPS_LOCKSTEP_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace riot {
 
@@ -48,29 +48,29 @@ class LockstepGate {
 
   /// Blocks until session `s` first blocks inside EnterKernel (its
   /// prologue pool ops are complete). Call between spawning s and s+1.
-  void AwaitArrival(int s);
+  void AwaitArrival(int s) EXCLUDES(mu_);
 
   /// Opens the gate: the first turn's session may run. Call after every
   /// session has arrived.
-  void Start();
+  void Start() EXCLUDES(mu_);
 
   /// Kernel-entry hook for session `s`: releases the token held since the
   /// session's previous kernel, waits for the session's next turn, takes
   /// the token. Wrap each statement kernel so this runs first.
-  void EnterKernel(int s);
+  void EnterKernel(int s) EXCLUDES(mu_);
 
   /// Releases session `s`'s final token (no-op if it holds none). Call
   /// after the session's Executor::Run returned.
-  void Finish(int s);
+  void Finish(int s) EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<int> turns_;
-  std::vector<bool> arrived_;
-  size_t cursor_ = 0;   // next kernel slot to grant
-  int holder_ = -1;     // session holding the token, -1 = none
-  bool started_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<int> turns_ GUARDED_BY(mu_);
+  std::vector<bool> arrived_ GUARDED_BY(mu_);
+  size_t cursor_ GUARDED_BY(mu_) = 0;  // next kernel slot to grant
+  int holder_ GUARDED_BY(mu_) = -1;    // session holding the token; -1 none
+  bool started_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace riot

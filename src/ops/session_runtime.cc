@@ -68,7 +68,7 @@ void SessionRuntime::AdmitLocked() {
         std::max(stats_.peak_concurrent_sessions, running_sessions_);
     admitted_any = true;
   }
-  if (admitted_any) admit_cv_.notify_all();
+  if (admitted_any) admit_cv_.NotifyAll();
 }
 
 int SessionRuntime::PoolIdFor(BlockStore* store) {
@@ -80,15 +80,25 @@ int SessionRuntime::PoolIdFor(BlockStore* store) {
 }
 
 Status SessionRuntime::ReleaseStore(BlockStore* store) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = pool_ids_.find(store);
-  if (it == pool_ids_.end()) return Status::OK();  // never cached
-  const int64_t kept = pool_.DropArrayFrames(it->second);
+  int id = -1;
+  {
+    MutexLock lock(&mu_);
+    auto it = pool_ids_.find(store);
+    if (it == pool_ids_.end()) return Status::OK();  // never cached
+    id = it->second;
+  }
+  // The pool's mutex must not nest under mu_ (see the lock-order note in
+  // session_runtime.h), so drop the frames between the two mu_ sections.
+  // A concurrent PoolIdFor can only re-mint the same id for the same
+  // store, which the caller's contract says no session is using anymore.
+  const int64_t kept = pool_.DropArrayFrames(id);
   if (kept > 0) {
     return Status::Internal("ReleaseStore: " + std::to_string(kept) +
                             " frame(s) of the store still in use");
   }
-  pool_ids_.erase(it);
+  MutexLock lock(&mu_);
+  auto it = pool_ids_.find(store);
+  if (it != pool_ids_.end() && it->second == id) pool_ids_.erase(it);
   return Status::OK();
 }
 
@@ -118,7 +128,7 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
   }
   footprint += opts_.footprint_margin_bytes;
   if (footprint > opts_.pool_cap_bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.sessions_rejected;
     return Status::ResourceExhausted(
         "session footprint " + std::to_string(footprint) +
@@ -134,7 +144,7 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
   SessionStats out;
   auto wait0 = std::chrono::steady_clock::now();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    UniqueMutexLock lock(&mu_);
     Waiter me;
     me.ticket = next_ticket_++;
     me.footprint_bytes = footprint;
@@ -148,7 +158,7 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
       // Always terminates: every spec passed the footprint <= cap check,
       // so whenever the runtime drains to idle the policy's next pick
       // (any policy) fits the fully-free reservation.
-      admit_cv_.wait(lock, [&] { return me.admitted; });
+      while (!me.admitted) admit_cv_.Wait(lock);
     }
     out.session_id = me.ticket;
     out.admission_wait_seconds = Since(wait0);
@@ -160,7 +170,7 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
   account.budget_bytes = footprint;
   std::vector<int> pool_array_ids(spec.stores.size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (size_t i = 0; i < spec.stores.size(); ++i) {
       pool_array_ids[i] = PoolIdFor(spec.stores[i]);
     }
@@ -188,7 +198,7 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
 
   // ---- release the reservation, merge stats ----------------------------
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     reserved_bytes_ -= footprint;
     --running_sessions_;
     AdmitLocked();  // freed reservation may admit parked waiters
@@ -222,7 +232,7 @@ Result<SessionStats> SessionRuntime::Run(const SessionSpec& spec) {
 RuntimeStats SessionRuntime::stats() const {
   RuntimeStats out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out = stats_;
   }
   // Pool counters carry their own lock; never nest it under mu_.

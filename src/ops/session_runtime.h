@@ -43,12 +43,10 @@
 #define RIOTSHARE_OPS_SESSION_RUNTIME_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "analysis/coaccess.h"
@@ -60,6 +58,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/io_pool.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace riot {
 
@@ -176,21 +175,24 @@ class SessionRuntime {
   /// pool, releases the reservation, and returns the session's stats.
   /// Thread-safe; blocks while parked. Fails fast with kResourceExhausted
   /// when the footprint cannot fit the pool cap even alone.
-  Result<SessionStats> Run(const SessionSpec& spec);
+  Result<SessionStats> Run(const SessionSpec& spec) EXCLUDES(mu_);
 
   /// Drops the shared pool's frames for `store` and retires its pool id.
   /// MUST be called before destroying a BlockStore that any session used:
   /// a later store allocated at the same address would otherwise alias
   /// the stale cache. Fails if frames of the store are still in use.
-  Status ReleaseStore(BlockStore* store);
+  Status ReleaseStore(BlockStore* store) EXCLUDES(mu_);
 
-  RuntimeStats stats() const;
+  RuntimeStats stats() const EXCLUDES(mu_);
   BufferPool* pool() { return &pool_; }
   IoPool* io() { return io_.get(); }
 
  private:
   /// One parked Run() call. Queued in arrival order; the waiter's thread
-  /// sleeps on admit_cv_ until AdmitLocked marks it admitted.
+  /// sleeps on admit_cv_ until AdmitLocked marks it admitted. Fields
+  /// (notably `admitted`) are written by AdmitLocked and read by the
+  /// parked waiter, both under mu_; a nested type cannot name the outer
+  /// mutex, so the struct carries no annotations.
   struct Waiter {
     int64_t ticket = 0;
     int64_t footprint_bytes = 0;
@@ -199,28 +201,33 @@ class SessionRuntime {
     bool admitted = false;
   };
 
-  int PoolIdFor(BlockStore* store);  // registry: same store, same id
+  int PoolIdFor(BlockStore* store) REQUIRES(mu_);  // registry: same
+                                                   // store, same id
   /// Runs the admission policy over the parked waiters until it admits no
   /// one, reserving footprints and marking waiters admitted. Called on
   /// every arrival and every completion, under mu_; wakes admitted
   /// waiters via admit_cv_.
-  void AdmitLocked();
+  void AdmitLocked() REQUIRES(mu_);
 
   const SessionRuntimeOptions opts_;
   const std::unique_ptr<AdmissionPolicy> admission_;
   BufferPool pool_;
   std::unique_ptr<IoPool> io_;
 
-  mutable std::mutex mu_;
-  std::condition_variable admit_cv_;
-  std::map<BlockStore*, int> pool_ids_;
-  int next_pool_id_ = 0;
-  std::deque<Waiter*> admit_queue_;  // arrival order; entries live on the
-                                     // waiting Run() call's stack
-  int64_t next_ticket_ = 0;
-  int64_t reserved_bytes_ = 0;
-  int64_t running_sessions_ = 0;
-  RuntimeStats stats_;
+  /// Lock order: pool_'s internal mutex is NEVER acquired while mu_ is
+  /// held (executors hold pool state while Run() re-enters mu_ to merge
+  /// stats; nesting the other way here would create an inversion window).
+  /// stats() and ReleaseStore() both stage their pool calls outside mu_.
+  mutable Mutex mu_;
+  CondVar admit_cv_;
+  std::map<BlockStore*, int> pool_ids_ GUARDED_BY(mu_);
+  int next_pool_id_ GUARDED_BY(mu_) = 0;
+  // Arrival order; entries live on the waiting Run() call's stack.
+  std::deque<Waiter*> admit_queue_ GUARDED_BY(mu_);
+  int64_t next_ticket_ GUARDED_BY(mu_) = 0;
+  int64_t reserved_bytes_ GUARDED_BY(mu_) = 0;
+  int64_t running_sessions_ GUARDED_BY(mu_) = 0;
+  RuntimeStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace riot

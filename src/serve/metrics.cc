@@ -63,7 +63,7 @@ double LatencyHistogram::Quantile(double q) const {
 }
 
 void Metrics::OnSubmit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++s_.submitted;
   if (first_submit_seconds_ < 0) first_submit_seconds_ = NowSeconds();
 }
@@ -72,7 +72,7 @@ void Metrics::OnDone(bool ok, bool whale, double latency_seconds,
                      double queue_wait_seconds,
                      double admission_wait_seconds,
                      double exec_wall_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (ok) {
     ++s_.completed;
     s_.admission_wait.Record(admission_wait_seconds);
@@ -87,7 +87,7 @@ void Metrics::OnDone(bool ok, bool whale, double latency_seconds,
 }
 
 MetricsSnapshot Metrics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MetricsSnapshot out = s_;
   if (first_submit_seconds_ >= 0 && last_done_seconds_ >= 0) {
     out.elapsed_seconds =

@@ -15,8 +15,9 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "util/thread_annotations.h"
 
 namespace riot {
 namespace serve {
@@ -79,7 +80,7 @@ struct MetricsSnapshot {
 /// \brief Thread-safe recorder the server's workers feed.
 class Metrics {
  public:
-  void OnSubmit();
+  void OnSubmit() EXCLUDES(mu_);
   /// `ok` distinguishes completed from failed; failed jobs still record
   /// latency and queue wait (an error answer is still an answer the
   /// client waited for) but no admission/exec breakdown.
@@ -87,14 +88,15 @@ class Metrics {
   /// (mice vs whales) on top of the overall one.
   void OnDone(bool ok, bool whale, double latency_seconds,
               double queue_wait_seconds, double admission_wait_seconds,
-              double exec_wall_seconds);
-  MetricsSnapshot Snapshot() const;
+              double exec_wall_seconds) EXCLUDES(mu_);
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  MetricsSnapshot s_;
-  double first_submit_seconds_ = -1;  // monotonic clock, -1 = none yet
-  double last_done_seconds_ = -1;
+  mutable Mutex mu_;
+  MetricsSnapshot s_ GUARDED_BY(mu_);
+  // Monotonic clock, -1 = none yet.
+  double first_submit_seconds_ GUARDED_BY(mu_) = -1;
+  double last_done_seconds_ GUARDED_BY(mu_) = -1;
 };
 
 }  // namespace serve

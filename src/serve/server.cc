@@ -30,25 +30,29 @@ Server::~Server() { Shutdown(); }
 void Server::Submit(const JobSpec& job) {
   metrics_.OnSubmit();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(Queued{job, std::chrono::steady_clock::now()});
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void Server::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock,
-                 [this] { return queue_.empty() && in_flight_ == 0; });
+  UniqueMutexLock lock(&mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) drain_cv_.Wait(lock);
 }
 
 void Server::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) return;
     stop_ = true;
+    // Dropped jobs must not strand a concurrent Drain(): its predicate
+    // watches queue_ and in_flight_, and nothing would ever empty the
+    // queue once the workers stop.
+    queue_.clear();
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
+  drain_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
 }
@@ -57,8 +61,8 @@ void Server::WorkerLoop(int slot) {
   for (;;) {
     Queued item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueMutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(lock);
       if (stop_) return;
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -81,9 +85,9 @@ void Server::WorkerLoop(int slot) {
                     exec_wall);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.NotifyAll();
     }
   }
 }

@@ -10,9 +10,7 @@
 #define RIOTSHARE_SERVE_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -20,6 +18,7 @@
 #include "serve/catalog.h"
 #include "serve/metrics.h"
 #include "serve/workload_gen.h"
+#include "util/thread_annotations.h"
 
 namespace riot {
 namespace serve {
@@ -44,15 +43,17 @@ class Server {
 
   /// Enqueues one job and returns immediately (open loop: the caller's
   /// arrival process never waits on service).
-  void Submit(const JobSpec& job);
+  void Submit(const JobSpec& job) EXCLUDES(mu_);
 
-  /// Blocks until every submitted job has completed. Submit may be called
-  /// again afterwards.
-  void Drain();
+  /// Blocks until every submitted job has completed (or, after a
+  /// Shutdown, until the in-flight jobs finish — queued-but-unstarted
+  /// jobs were dropped and no longer count). Submit may be called again
+  /// afterwards only if the server is not shut down.
+  void Drain() EXCLUDES(mu_);
 
   /// Stops the workers after the jobs they are currently running;
   /// queued-but-unstarted jobs are dropped. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   MetricsSnapshot Snapshot() const { return metrics_.Snapshot(); }
   SessionRuntime& runtime() { return runtime_; }
@@ -63,19 +64,19 @@ class Server {
     std::chrono::steady_clock::time_point submitted;
   };
 
-  void WorkerLoop(int slot);
+  void WorkerLoop(int slot) EXCLUDES(mu_);
 
   const Catalog* const catalog_;
   const ServerOptions opts_;
   SessionRuntime runtime_;
   Metrics metrics_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
-  std::condition_variable drain_cv_;  // Drain: queue empty and workers idle
-  std::deque<Queued> queue_;
-  int in_flight_ = 0;  // jobs popped but not yet finished
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;   // workers: queue non-empty or stopping
+  CondVar drain_cv_;  // Drain: queue empty and workers idle
+  std::deque<Queued> queue_ GUARDED_BY(mu_);
+  int in_flight_ GUARDED_BY(mu_) = 0;  // jobs popped but not yet finished
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

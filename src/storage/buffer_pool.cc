@@ -25,17 +25,24 @@ BufferPool::~BufferPool() {
   // Write-behind callbacks reference this pool; they must all have fired.
   // Failures were surfaced through DrainWritebacks/Fetch barriers (or are
   // dropped here — the pool is going away along with its cache).
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(&mu_);
   WaitAllWritebacksLocked(lock);
 }
 
-void BufferPool::WaitAllWritebacksLocked(std::unique_lock<std::mutex>& lock) {
-  writeback_cv_.wait(lock, [this] {
+void BufferPool::WaitAllWritebacksLocked(UniqueMutexLock& lock) {
+  // Predicate spelled as an explicit loop so the guarded reads stay inside
+  // this REQUIRES(mu_) body (see util/thread_annotations.h on CondVar).
+  for (;;) {
+    bool all_done = true;
     for (const auto& [key, pw] : pending_writes_) {
-      if (!pw->done) return false;
+      if (!pw->done) {
+        all_done = false;
+        break;
+      }
     }
-    return true;
-  });
+    if (all_done) return;
+    writeback_cv_.Wait(lock);
+  }
 }
 
 void BufferPool::AddHoldLocked(Frame* f, PoolAccount* account) {
@@ -112,7 +119,7 @@ void BufferPool::RechargeLocked(Frame* f) {
   f->account = want;
 }
 
-Status BufferPool::DrainWritebacksLocked(std::unique_lock<std::mutex>& lock) {
+Status BufferPool::DrainWritebacksLocked(UniqueMutexLock& lock) {
   WaitAllWritebacksLocked(lock);
   Status first = Status::OK();
   for (const auto& [key, pw] : pending_writes_) {
@@ -123,12 +130,12 @@ Status BufferPool::DrainWritebacksLocked(std::unique_lock<std::mutex>& lock) {
 }
 
 BufferPool::Frame* BufferPool::Probe(int array_id, int64_t block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = frames_.find({array_id, block});
   return it == frames_.end() ? nullptr : &it->second;
 }
 
-Status BufferPool::WaitWritebackLocked(std::unique_lock<std::mutex>& lock,
+Status BufferPool::WaitWritebackLocked(UniqueMutexLock& lock,
                                        const Key& key) {
   for (;;) {
     auto pit = pending_writes_.find(key);
@@ -141,12 +148,12 @@ Status BufferPool::WaitWritebackLocked(std::unique_lock<std::mutex>& lock,
       return pit->second->status;
     }
     auto t0 = std::chrono::steady_clock::now();
-    writeback_cv_.wait(lock);
+    writeback_cv_.Wait(lock);
     stats_.writeback_stall_seconds += Since(t0);
   }
 }
 
-Status BufferPool::EnsureCapacityLocked(std::unique_lock<std::mutex>& lock,
+Status BufferPool::EnsureCapacityLocked(UniqueMutexLock& lock,
                                         int64_t incoming_bytes,
                                         bool for_prefetch) {
   while (used_bytes_ + incoming_bytes > cap_bytes_) {
@@ -182,7 +189,7 @@ Status BufferPool::EnsureCapacityLocked(std::unique_lock<std::mutex>& lock,
         const int64_t budget = std::max(cap_bytes_ / 4, fbytes);
         if (writeback_inflight_bytes_ + fbytes > budget) {
           auto t0 = std::chrono::steady_clock::now();
-          writeback_cv_.wait(lock);
+          writeback_cv_.Wait(lock);
           stats_.writeback_stall_seconds += Since(t0);
           continue;
         }
@@ -203,7 +210,7 @@ Status BufferPool::EnsureCapacityLocked(std::unique_lock<std::mutex>& lock,
         write_io_->WriteBlockAsync(
             store, block, pw->data.data(),
             [this, victim, pw, fbytes](Status st) {
-              std::lock_guard<std::mutex> cb_lock(mu_);
+              MutexLock cb_lock(&mu_);
               pw->done = true;
               pw->status = std::move(st);
               writeback_inflight_bytes_ -= fbytes;
@@ -215,7 +222,7 @@ Status BufferPool::EnsureCapacityLocked(std::unique_lock<std::mutex>& lock,
                 pw->data.clear();
                 pw->data.shrink_to_fit();
               }
-              writeback_cv_.notify_all();
+              writeback_cv_.NotifyAll();
             });
         continue;
       }
@@ -233,7 +240,7 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
                                              bool load, bool* was_resident,
                                              PoolAccount* account,
                                              bool coalesce_loads) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(&mu_);
   Key key{array_id, block};
   bool counted_miss = false;
   // Residency is reported for the iteration that actually returns: a hit
@@ -255,11 +262,14 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
             << "Fetch on a block in a prefetch state (adopt/abandon it "
                "first)";
         ++stats_.coalesced_loads;
-        load_cv_.wait(lock, [this, &key] {
+        for (;;) {
           auto it2 = frames_.find(key);
-          return it2 == frames_.end() ||
-                 it2->second.state == FrameState::kRegular;
-        });
+          if (it2 == frames_.end() ||
+              it2->second.state == FrameState::kRegular) {
+            break;
+          }
+          load_cv_.Wait(lock);
+        }
         continue;
       }
       if (f.discarded) {
@@ -295,7 +305,7 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
         // instead of issuing a second one (or observing a torn buffer).
         ++stats_.coalesced_loads;
         Frame* fp = &f;
-        load_cv_.wait(lock, [fp] { return !fp->loading || fp->discarded; });
+        while (fp->loading && !fp->discarded) load_cv_.Wait(lock);
         if (fp->discarded) {
           MutateTracked(fp, [&] {
             --fp->pins;
@@ -368,7 +378,7 @@ Result<BufferPool::Frame*> BufferPool::Fetch(int array_id, int64_t block,
 }
 
 void BufferPool::DetachAccount(PoolAccount* account) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [key, f] : frames_) {
     if (f.account != account && f.holders.empty() && f.retentions.empty()) {
       continue;
@@ -395,13 +405,13 @@ void BufferPool::DetachAccount(PoolAccount* account) {
 
 void BufferPool::MarkLoaded(Frame* frame) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     RIOT_CHECK(frame->loading);
     RIOT_CHECK_GT(frame->pins, 0) << "MarkLoaded on an unpinned frame";
     // Pinned before and after: no evictability/required transition.
     frame->loading = false;
   }
-  load_cv_.notify_all();
+  load_cv_.NotifyAll();
 }
 
 void BufferPool::EraseFrameLocked(Frame* frame) {
@@ -412,7 +422,7 @@ void BufferPool::EraseFrameLocked(Frame* frame) {
 }
 
 void BufferPool::Unpin(Frame* frame, PoolAccount* account) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RIOT_CHECK_GT(frame->pins, 0);
   MutateTracked(frame, [&] {
     --frame->pins;
@@ -424,7 +434,7 @@ void BufferPool::Unpin(Frame* frame, PoolAccount* account) {
 void BufferPool::Discard(Frame* frame, PoolAccount* account) {
   bool was_loading = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     RIOT_CHECK_GT(frame->pins, 0);
     was_loading = frame->loading;
     MutateTracked(frame, [&] {
@@ -437,12 +447,12 @@ void BufferPool::Discard(Frame* frame, PoolAccount* account) {
     if (frame->pins == 0) EraseFrameLocked(frame);
   }
   // Coalesced-load waiters check `discarded` when woken and bail out.
-  if (was_loading) load_cv_.notify_all();
+  if (was_loading) load_cv_.NotifyAll();
 }
 
 void BufferPool::Retain(Frame* frame, int64_t until_group,
                         PoolAccount* owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MutateTracked(frame, [&] {
     for (Retention& r : frame->retentions) {
       if (r.owner == owner) {
@@ -455,12 +465,12 @@ void BufferPool::Retain(Frame* frame, int64_t until_group,
 }
 
 void BufferPool::MarkClean(Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   frame->dirty = false;
 }
 
 void BufferPool::ReleaseRetainedBefore(int64_t group, PoolAccount* owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // O(frames) under mu_ per group boundary; fine while retention counts
   // are small. If multi-tenant profiles ever show this scan hot, keep a
   // per-owner index of retained keys instead of walking every frame.
@@ -479,34 +489,34 @@ void BufferPool::ReleaseRetainedBefore(int64_t group, PoolAccount* owner) {
 }
 
 ReplacementKind BufferPool::replacement_kind() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return policy_->kind();
 }
 
 void BufferPool::BindUsePlan(std::shared_ptr<const BlockUseMap> uses) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   policy_->BindUsePlan(std::move(uses));
 }
 
 void BufferPool::UnbindUsePlan(
     const std::shared_ptr<const BlockUseMap>& uses) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   policy_->UnbindUsePlan(uses);
 }
 
 void BufferPool::AdvanceReplacementClock(int64_t pos) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   policy_->AdvanceClock(nullptr, pos);
 }
 
 void BufferPool::AdvanceReplacementClock(
     const std::shared_ptr<const BlockUseMap>& uses, int64_t pos) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   policy_->AdvanceClock(uses, pos);
 }
 
 void BufferPool::SetWriteBehind(IoPool* io) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(&mu_);
   if (io == nullptr) {
     // Detaching: every in-flight write must land first (its callback and
     // buffer reference the departing IoPool's workers).
@@ -516,14 +526,14 @@ void BufferPool::SetWriteBehind(IoPool* io) {
 }
 
 Status BufferPool::DrainWritebacks() {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(&mu_);
   return DrainWritebacksLocked(lock);
 }
 
 BufferPool::Frame* BufferPool::TryStartPrefetch(int array_id, int64_t block,
                                                 int64_t bytes,
                                                 BlockStore* store) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(&mu_);
   Key key{array_id, block};
   if (prefetch_bytes_ + bytes > prefetch_budget_bytes_) {
     ++stats_.prefetch_declined;
@@ -581,7 +591,7 @@ BufferPool::Frame* BufferPool::TryStartPrefetch(int array_id, int64_t block,
 }
 
 void BufferPool::CompletePrefetch(Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RIOT_CHECK(frame->state == FrameState::kPrefetching);
   MutateTracked(frame, [&] { frame->state = FrameState::kPrefetched; });
 }
@@ -589,7 +599,7 @@ void BufferPool::CompletePrefetch(Frame* frame) {
 BufferPool::Frame* BufferPool::AdoptPrefetched(Frame* frame,
                                                PoolAccount* account) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     RIOT_CHECK(frame->state == FrameState::kPrefetched);
     prefetch_bytes_ -= static_cast<int64_t>(frame->data.size());
     MutateTracked(frame, [&] {
@@ -600,33 +610,33 @@ BufferPool::Frame* BufferPool::AdoptPrefetched(Frame* frame,
     policy_->OnTouch({frame->array_id, frame->block});
   }
   // Cross-tenant fetches of this block wait out the prefetch state.
-  load_cv_.notify_all();
+  load_cv_.NotifyAll();
   return frame;
 }
 
 void BufferPool::AbandonPrefetch(Frame* frame) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     RIOT_CHECK(frame->state == FrameState::kPrefetched);
     prefetch_bytes_ -= static_cast<int64_t>(frame->data.size());
     ++stats_.prefetch_abandoned;
     EraseFrameLocked(frame);
   }
-  load_cv_.notify_all();
+  load_cv_.NotifyAll();
 }
 
 void BufferPool::SetPrefetchBudget(int64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   prefetch_budget_bytes_ = bytes;
 }
 
 int64_t BufferPool::prefetch_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return prefetch_bytes_;
 }
 
 void BufferPool::Drop(int array_id, int64_t block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = frames_.find({array_id, block});
   if (it == frames_.end()) return;
   Frame& f = it->second;
@@ -638,7 +648,7 @@ void BufferPool::Drop(int array_id, int64_t block) {
 }
 
 int64_t BufferPool::DropArrayFrames(int array_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t kept = 0;
   for (auto it = frames_.lower_bound({array_id, 0});
        it != frames_.end() && it->first.first == array_id;) {
@@ -655,7 +665,7 @@ int64_t BufferPool::DropArrayFrames(int array_id) {
 }
 
 Status BufferPool::FlushAll() {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(&mu_);
   Status first = DrainWritebacksLocked(lock);
   for (auto& [key, f] : frames_) {
     RIOT_CHECK(f.state != FrameState::kPrefetching)
@@ -682,12 +692,12 @@ Status BufferPool::FlushAll() {
 }
 
 int64_t BufferPool::used_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return used_bytes_;
 }
 
 int64_t BufferPool::PinnedFrames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t n = 0;
   for (const auto& [key, f] : frames_) {
     if (f.pins > 0) ++n;
@@ -696,17 +706,17 @@ int64_t BufferPool::PinnedFrames() const {
 }
 
 int64_t BufferPool::PinnedOrRetainedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return required_bytes_;
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 BufferPoolSnapshot BufferPool::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   BufferPoolSnapshot s;
   s.stats = stats_;
   s.used_bytes = used_bytes_;

@@ -40,17 +40,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "storage/block_store.h"
 #include "storage/replacement.h"
 #include "util/aligned.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace riot {
 
@@ -217,20 +216,20 @@ class BufferPool {
                        BlockStore* store, bool load,
                        bool* was_resident = nullptr,
                        PoolAccount* account = nullptr,
-                       bool coalesce_loads = false);
+                       bool coalesce_loads = false) EXCLUDES(mu_);
 
   /// Frame lookup without side effects; nullptr if absent.
-  Frame* Probe(int array_id, int64_t block);
+  Frame* Probe(int array_id, int64_t block) EXCLUDES(mu_);
 
   /// Releases one pin. `account` must be the account the matching Fetch /
   /// AdoptPrefetched pinned with (nullptr for anonymous pins): it
   /// releases that tenant's hold so the budget charge can transfer to a
   /// surviving claimant of a shared frame.
-  void Unpin(Frame* frame, PoolAccount* account = nullptr);
+  void Unpin(Frame* frame, PoolAccount* account = nullptr) EXCLUDES(mu_);
   /// Completes a coalesced load (Fetch with coalesce_loads that missed):
   /// clears the loading mark and wakes waiters. Call after filling
   /// frame->data, before Unpin.
-  void MarkLoaded(Frame* frame);
+  void MarkLoaded(Frame* frame) EXCLUDES(mu_);
   /// Severs every reference to `account` from the pool: its holder
   /// entries and retentions are dropped, and frames still charged to it
   /// are uncharged — transferring the charge to a surviving claimant if a
@@ -238,29 +237,30 @@ class BufferPool {
   /// outlive the owning session; the account is typically
   /// stack-allocated per run). The executor calls this in its session
   /// cleanup; after it returns the account object may be destroyed.
-  void DetachAccount(PoolAccount* account);
+  void DetachAccount(PoolAccount* account) EXCLUDES(mu_);
   /// Unpin for a frame whose contents must not outlive the caller: marks it
   /// discarded and erases it once the last pin drops (other holders erase
   /// it through their own Unpin/Discard). Used when a load into the frame
   /// failed — a zero/garbage-filled frame must never linger as apparently
   /// clean cache — and when a rolled-back write target was never loaded.
   /// `account` as in Unpin.
-  void Discard(Frame* frame, PoolAccount* account = nullptr);
+  void Discard(Frame* frame, PoolAccount* account = nullptr) EXCLUDES(mu_);
   /// Retains on behalf of `owner` (one entry per owner, merged by max;
   /// nullptr = the solo-run owner — bit-for-bit the historical behavior).
   void Retain(Frame* frame, int64_t until_group,
-              PoolAccount* owner = nullptr);
+              PoolAccount* owner = nullptr) EXCLUDES(mu_);
   /// Releases every retention of `owner` that expired strictly before
   /// `group`; other owners' retentions (their group indices live in other
   /// programs' numberings) are untouched.
-  void ReleaseRetainedBefore(int64_t group, PoolAccount* owner = nullptr);
+  void ReleaseRetainedBefore(int64_t group, PoolAccount* owner = nullptr)
+      EXCLUDES(mu_);
   /// Clears the dirty flag under the pool lock (the executor's
   /// write-through makes the in-memory copy match disk; worker threads must
   /// not touch the flag unsynchronized while eviction scans run).
-  void MarkClean(Frame* frame);
+  void MarkClean(Frame* frame) EXCLUDES(mu_);
 
   // ------------------------------------------------- replacement policy
-  ReplacementKind replacement_kind() const;
+  ReplacementKind replacement_kind() const EXCLUDES(mu_);
   /// Forwarders to the policy's schedule-driven hooks, under the pool
   /// lock. No-ops for history-based policies; for ScheduleOpt the executor
   /// binds the plan's per-block future-use positions before a run, advances
@@ -272,23 +272,24 @@ class BufferPool {
   /// LRU. Each binder owns its `uses` pointer and must pass the same
   /// pointer to UnbindUsePlan and AdvanceReplacementClock — nullptr
   /// unbinds are a CHECK failure.
-  void BindUsePlan(std::shared_ptr<const BlockUseMap> uses);
-  void UnbindUsePlan(const std::shared_ptr<const BlockUseMap>& uses);
+  void BindUsePlan(std::shared_ptr<const BlockUseMap> uses) EXCLUDES(mu_);
+  void UnbindUsePlan(const std::shared_ptr<const BlockUseMap>& uses)
+      EXCLUDES(mu_);
   /// Advances plan `uses`'s clock (nullptr = the sole bound plan).
-  void AdvanceReplacementClock(int64_t pos);
+  void AdvanceReplacementClock(int64_t pos) EXCLUDES(mu_);
   void AdvanceReplacementClock(const std::shared_ptr<const BlockUseMap>& uses,
-                               int64_t pos);
+                               int64_t pos) EXCLUDES(mu_);
 
   // --------------------------------------------------------- write-behind
   /// Routes dirty eviction write-backs through `io`'s write workers
   /// instead of writing synchronously under the pool lock. The caller must
   /// DrainWritebacks() and SetWriteBehind(nullptr) before destroying `io`.
-  void SetWriteBehind(IoPool* io);
+  void SetWriteBehind(IoPool* io) EXCLUDES(mu_);
   /// Waits for every in-flight write-behind; returns the first failure
   /// (clearing it, so the pool is reusable afterwards). A failed
   /// write-behind also poisons its block until drained: a Fetch of it
   /// returns the write's error rather than silently rereading stale disk.
-  Status DrainWritebacks();
+  Status DrainWritebacks() EXCLUDES(mu_);
 
   // ------------------------------------------------------- prefetch path
   /// Reserves a kPrefetching frame for (array_id, block) so an I/O worker
@@ -298,28 +299,29 @@ class BufferPool {
   /// room would evict anything but a clean, unpinned, unretained regular
   /// frame. Never triggers a dirty write-back.
   Frame* TryStartPrefetch(int array_id, int64_t block, int64_t bytes,
-                          BlockStore* store);
+                          BlockStore* store) EXCLUDES(mu_);
   /// I/O completed: kPrefetching -> kPrefetched.
-  void CompletePrefetch(Frame* frame);
+  void CompletePrefetch(Frame* frame) EXCLUDES(mu_);
   /// Hands a kPrefetched frame to the execution thread: the frame becomes
   /// a pinned regular frame, exactly as if Fetch had loaded it. `account`
   /// charges the newly-required bytes to the session (the caller checks
   /// its budget before adopting; adoption itself never refuses).
-  Frame* AdoptPrefetched(Frame* frame, PoolAccount* account = nullptr);
+  Frame* AdoptPrefetched(Frame* frame, PoolAccount* account = nullptr)
+      EXCLUDES(mu_);
   /// Gives up on a completed prefetch: the frame is dropped from the pool
   /// entirely (never demoted to cache — a failed or stale prefetch must
   /// not be able to satisfy a later probe).
-  void AbandonPrefetch(Frame* frame);
+  void AbandonPrefetch(Frame* frame) EXCLUDES(mu_);
   /// Max total bytes of frames in prefetch states; 0 disables prefetch.
-  void SetPrefetchBudget(int64_t bytes);
-  int64_t prefetch_bytes() const;
+  void SetPrefetchBudget(int64_t bytes) EXCLUDES(mu_);
+  int64_t prefetch_bytes() const EXCLUDES(mu_);
 
   /// Drops the frame for (array_id, block) without write-back, if present,
   /// unpinned, unretained, and in the regular state; no-op otherwise. The
   /// executor uses this at end of run to drop frames whose contents
   /// legitimately diverged from disk (saved/elided writes), so a shared
   /// pool only ever carries cache that mirrors the stores.
-  void Drop(int array_id, int64_t block);
+  void Drop(int array_id, int64_t block) EXCLUDES(mu_);
 
   /// Drops every droppable (clean, unpinned, unretained, regular) frame of
   /// `array_id`. The session runtime calls this before a tenant's
@@ -327,51 +329,57 @@ class BufferPool {
   /// never alias stale cache; callers must DrainWritebacks first if the
   /// array may have dirty history. Returns the number of frames of the
   /// array that could NOT be dropped (still pinned/retained/in prefetch).
-  int64_t DropArrayFrames(int array_id);
+  int64_t DropArrayFrames(int array_id) EXCLUDES(mu_);
 
   /// Drops a clean frame / writes back a dirty one, then drops it. Drains
   /// in-flight write-behind first.
-  Status FlushAll();
+  Status FlushAll() EXCLUDES(mu_);
 
-  int64_t used_bytes() const;
+  int64_t used_bytes() const EXCLUDES(mu_);
   /// Number of frames currently pinned (pins > 0). A completed Executor::Run
   /// — success or error — must leave this at zero; fault-injection tests
   /// assert it through a shared pool.
-  int64_t PinnedFrames() const;
+  int64_t PinnedFrames() const EXCLUDES(mu_);
   /// Bytes the plan currently *requires* resident (pinned or retained
   /// regular frames); comparable to the cost model's memory prediction,
   /// unlike used_bytes() which also counts lazily-evicted cache and
   /// prefetch lookahead. Maintained incrementally — O(1).
-  int64_t PinnedOrRetainedBytes() const;
+  int64_t PinnedOrRetainedBytes() const EXCLUDES(mu_);
   int64_t cap_bytes() const { return cap_bytes_; }
-  BufferPoolStats stats() const;
+  BufferPoolStats stats() const EXCLUDES(mu_);
   /// Counters and frame-state aggregates under ONE lock acquisition (see
   /// BufferPoolSnapshot) — the only way to compare them consistently while
   /// I/O workers and write-behind callbacks are live.
-  BufferPoolSnapshot Snapshot() const;
+  BufferPoolSnapshot Snapshot() const EXCLUDES(mu_);
 
  private:
   using Key = PoolKey;
 
+  /// Fields are guarded by the owning pool's mu_ (the write-behind
+  /// completion callback mutates them under it). Not annotated: a nested
+  /// type cannot name the outer instance's mutex.
   struct PendingWrite {
     AlignedBuffer data;  // the evicted frame's buffer, moved in
     Status status;
     bool done = false;
   };
 
-  Status EnsureCapacityLocked(std::unique_lock<std::mutex>& lock,
-                              int64_t incoming_bytes, bool for_prefetch);
+  /// The *Locked helpers take the caller's scoped lock where they may have
+  /// to drop and re-acquire it (cv waits); REQUIRES(mu_) makes the analysis
+  /// enforce that every caller actually holds it.
+  Status EnsureCapacityLocked(UniqueMutexLock& lock, int64_t incoming_bytes,
+                              bool for_prefetch) REQUIRES(mu_);
   /// Waits out an in-flight write-behind of `key` (returns its error if it
   /// failed). No-op when none is pending.
-  Status WaitWritebackLocked(std::unique_lock<std::mutex>& lock,
-                             const Key& key);
+  Status WaitWritebackLocked(UniqueMutexLock& lock, const Key& key)
+      REQUIRES(mu_);
   /// Blocks until every in-flight write-behind has completed (successfully
   /// or not; completed entries may remain to be collected).
-  void WaitAllWritebacksLocked(std::unique_lock<std::mutex>& lock);
+  void WaitAllWritebacksLocked(UniqueMutexLock& lock) REQUIRES(mu_);
   /// WaitAllWritebacksLocked + collect the first failure and clear the
   /// pending table.
-  Status DrainWritebacksLocked(std::unique_lock<std::mutex>& lock);
-  void EraseFrameLocked(Frame* frame);
+  Status DrainWritebacksLocked(UniqueMutexLock& lock) REQUIRES(mu_);
+  void EraseFrameLocked(Frame* frame) REQUIRES(mu_);
   static bool CountsAsRequired(const Frame& f) {
     return f.state == FrameState::kRegular && (f.pins > 0 || f.retained());
   }
@@ -381,7 +389,10 @@ class BufferPool {
   }
   /// Records/releases `account`'s hold (one pin) on a frame. nullptr =
   /// anonymous, not tracked. Call inside a MutateTracked fn alongside the
-  /// matching pins change so RechargeLocked sees consistent state.
+  /// matching pins change so RechargeLocked sees consistent state. Static
+  /// (no pool state touched), so they carry no REQUIRES; every caller is a
+  /// REQUIRES(mu_) context and Frame interiors are mu_-protected by the
+  /// convention documented on Frame.
   static void AddHoldLocked(Frame* f, PoolAccount* account);
   static void DropHoldLocked(Frame* f, PoolAccount* account);
   /// Re-points the frame's budget charge at a claimant that still
@@ -391,12 +402,12 @@ class BufferPool {
   /// retention owner). The transfer charges the survivor without a
   /// budget check — the frame is already part of the survivor's own
   /// required footprint, which its budget covers (see PoolAccount).
-  void RechargeLocked(Frame* f);
+  void RechargeLocked(Frame* f) REQUIRES(mu_);
   /// Call around any mutation of pins/holders/retention/state to keep the
   /// required-bytes counter, the per-account ledgers, and the policy's
   /// evictable set current.
   template <typename Fn>
-  void MutateTracked(Frame* f, Fn&& fn) {
+  void MutateTracked(Frame* f, Fn&& fn) REQUIRES(mu_) {
     const bool before = CountsAsRequired(*f);
     const bool before_ev = IsEvictable(*f);
     fn();
@@ -418,19 +429,24 @@ class BufferPool {
   }
 
   const int64_t cap_bytes_;
-  mutable std::mutex mu_;
-  int64_t used_bytes_ = 0;
-  int64_t required_bytes_ = 0;
-  int64_t prefetch_bytes_ = 0;
-  int64_t prefetch_budget_bytes_ = 0;
-  std::map<Key, Frame> frames_;
-  std::unique_ptr<ReplacementPolicy> policy_;
-  IoPool* write_io_ = nullptr;
-  int64_t writeback_inflight_bytes_ = 0;
-  std::map<Key, std::shared_ptr<PendingWrite>> pending_writes_;
-  std::condition_variable writeback_cv_;
-  std::condition_variable load_cv_;  // coalesced-load completion
-  BufferPoolStats stats_;
+  mutable Mutex mu_;
+  int64_t used_bytes_ GUARDED_BY(mu_) = 0;
+  int64_t required_bytes_ GUARDED_BY(mu_) = 0;
+  int64_t prefetch_bytes_ GUARDED_BY(mu_) = 0;
+  int64_t prefetch_budget_bytes_ GUARDED_BY(mu_) = 0;
+  /// Frame *metadata* (pins, retentions, state, dirty, ...) is mu_-guarded
+  /// throughout; frames_ itself carries the annotation. Frame::data payloads
+  /// are deliberately read and written by pin holders without the lock —
+  /// a pinned frame's buffer is stable (never evicted, never refilled), so
+  /// the pin itself is the synchronization.
+  std::map<Key, Frame> frames_ GUARDED_BY(mu_);
+  std::unique_ptr<ReplacementPolicy> policy_ GUARDED_BY(mu_);
+  IoPool* write_io_ GUARDED_BY(mu_) = nullptr;
+  int64_t writeback_inflight_bytes_ GUARDED_BY(mu_) = 0;
+  std::map<Key, std::shared_ptr<PendingWrite>> pending_writes_ GUARDED_BY(mu_);
+  CondVar writeback_cv_;
+  CondVar load_cv_;  // coalesced-load completion
+  BufferPoolStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace riot

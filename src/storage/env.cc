@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 
 namespace riot {
 
@@ -118,8 +119,8 @@ class PosixEnv : public Env {
 // ------------------------------------------------------------------ MemEnv
 
 struct MemFileData {
-  std::vector<uint8_t> bytes;
-  std::mutex mu;
+  Mutex mu;
+  std::vector<uint8_t> bytes GUARDED_BY(mu);
 };
 
 class MemFile : public File {
@@ -128,7 +129,7 @@ class MemFile : public File {
       : data_(std::move(data)), stats_(stats) {}
 
   Status Read(uint64_t offset, size_t n, void* buf) override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    MutexLock lock(&data_->mu);
     if (offset + n > data_->bytes.size()) {
       return Status::IoError("MemFile read past end");
     }
@@ -139,7 +140,7 @@ class MemFile : public File {
   }
 
   Status Write(uint64_t offset, size_t n, const void* buf) override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    MutexLock lock(&data_->mu);
     if (offset + n > data_->bytes.size()) {
       data_->bytes.resize(offset + n);
     }
@@ -150,7 +151,7 @@ class MemFile : public File {
   }
 
   Result<uint64_t> Size() override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    MutexLock lock(&data_->mu);
     return static_cast<uint64_t>(data_->bytes.size());
   }
 
@@ -163,7 +164,7 @@ class MemEnv : public Env {
  public:
   Result<std::unique_ptr<File>> OpenFile(const std::string& path,
                                          bool create) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(path);
     if (it == files_.end()) {
       if (!create) return Status::NotFound("no such mem file: " + path);
@@ -173,19 +174,19 @@ class MemEnv : public Env {
   }
 
   Status DeleteFile(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     files_.erase(path);
     return Status::OK();
   }
 
   bool FileExists(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return files_.count(path) > 0;
   }
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<MemFileData>> files_;
+  Mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFileData>> files_ GUARDED_BY(mu_);
 };
 
 // ------------------------------------------------------------ ThrottledEnv

@@ -17,15 +17,15 @@ IoPool::IoPool(int num_threads) {
 
 IoPool::~IoPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 int IoPool::OpenChannel() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RIOT_CHECK(!stop_);
   int id = next_channel_++;
   channels_.emplace(id, Channel{});
@@ -33,7 +33,7 @@ int IoPool::OpenChannel() {
 }
 
 void IoPool::CloseChannel(int channel) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RIOT_CHECK(channel != 0) << "channel 0 cannot be closed";
   auto it = channels_.find(channel);
   RIOT_CHECK(it != channels_.end()) << "CloseChannel on unknown channel";
@@ -47,7 +47,7 @@ void IoPool::CloseChannel(int channel) {
 void IoPool::ReadBlockAsync(BlockStore* store, int64_t block, void* buf,
                             uint64_t tag, int channel) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     RIOT_CHECK(!stop_);
     Channel& ch = channels_.at(channel);
     Request req;
@@ -61,7 +61,7 @@ void IoPool::ReadBlockAsync(BlockStore* store, int64_t block, void* buf,
     ++ch.outstanding;
     ++queued_total_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void IoPool::WriteBlockAsync(BlockStore* store, int64_t block,
@@ -69,7 +69,7 @@ void IoPool::WriteBlockAsync(BlockStore* store, int64_t block,
                              std::function<void(Status)> on_done,
                              int channel) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     RIOT_CHECK(!stop_);
     Channel& ch = channels_.at(channel);
     Request req;
@@ -85,14 +85,14 @@ void IoPool::WriteBlockAsync(BlockStore* store, int64_t block,
     ++ch.queued;
     ++queued_total_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 IoPool::Completion IoPool::WaitCompletion(int channel) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(&mu_);
   Channel& ch = channels_.at(channel);
   RIOT_CHECK_GT(ch.outstanding, 0) << "WaitCompletion with nothing submitted";
-  done_cv_.wait(lock, [&ch] { return !ch.done.empty(); });
+  while (ch.done.empty()) done_cv_.Wait(lock);
   Completion c = std::move(ch.done.front());
   ch.done.pop_front();
   --ch.outstanding;
@@ -100,7 +100,7 @@ IoPool::Completion IoPool::WaitCompletion(int channel) {
 }
 
 int64_t IoPool::outstanding(int channel) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = channels_.find(channel);
   return it == channels_.end() ? 0 : it->second.outstanding;
 }
@@ -133,8 +133,8 @@ void IoPool::WorkerLoop() {
     Request req;
     std::shared_ptr<std::mutex> serial;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || queued_total_ > 0; });
+      UniqueMutexLock lock(&mu_);
+      while (!stop_ && queued_total_ == 0) work_cv_.Wait(lock);
       if (!PopNextLocked(&req)) return;  // stop_ set and queues drained
     }
     serial = store_mutexes_.mutex_for(req.store);
@@ -158,11 +158,11 @@ void IoPool::WorkerLoop() {
     }
     reads_completed_.fetch_add(1);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       // The channel cannot have been closed: it has this outstanding read.
       channels_.at(req.channel).done.push_back({req.tag, std::move(st)});
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 

@@ -38,6 +38,7 @@
 
 #include "storage/block_store.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace riot {
 
@@ -48,8 +49,11 @@ namespace riot {
 /// every store call through the store's mutex from one shared map.
 class StoreMutexMap {
  public:
-  std::shared_ptr<std::mutex> mutex_for(BlockStore* store) {
-    std::lock_guard<std::mutex> lock(mu_);
+  /// The handed-out per-store mutexes stay raw std::mutex: they leave this
+  /// map for arbitrary executor/pool threads, outside any annotatable
+  /// scope.
+  std::shared_ptr<std::mutex> mutex_for(BlockStore* store) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = map_.find(store);
     if (it == map_.end()) {
       it = map_.emplace(store, std::make_shared<std::mutex>()).first;
@@ -58,8 +62,8 @@ class StoreMutexMap {
   }
 
  private:
-  std::mutex mu_;
-  std::map<BlockStore*, std::shared_ptr<std::mutex>> map_;
+  Mutex mu_;
+  std::map<BlockStore*, std::shared_ptr<std::mutex>> map_ GUARDED_BY(mu_);
 };
 
 class IoPool {
@@ -79,16 +83,16 @@ class IoPool {
   /// Requests submitted on it complete only into its queue, and the
   /// workers service channels round-robin. Close it when its last read
   /// completion has been consumed.
-  int OpenChannel();
+  int OpenChannel() EXCLUDES(mu_);
   /// Closes a channel opened with OpenChannel. Must have no outstanding
   /// reads. Channel 0 cannot be closed.
-  void CloseChannel(int channel);
+  void CloseChannel(int channel) EXCLUDES(mu_);
 
   /// Enqueues store->ReadBlock(block, buf). `buf` must stay valid (and
   /// untouched) until the matching completion is consumed. `tag` is echoed
   /// back verbatim (tags are per-channel: two channels may reuse a tag).
   void ReadBlockAsync(BlockStore* store, int64_t block, void* buf,
-                      uint64_t tag, int channel = 0);
+                      uint64_t tag, int channel = 0) EXCLUDES(mu_);
 
   /// Enqueues store->WriteBlock(block, buf) and invokes `on_done` with the
   /// write's Status from a worker thread once it lands. `buf` must stay
@@ -99,15 +103,16 @@ class IoPool {
   /// other's completions. `on_done` runs without pool-internal locks held;
   /// it may take its own locks but must not call back into this IoPool.
   void WriteBlockAsync(BlockStore* store, int64_t block, const void* buf,
-                       std::function<void(Status)> on_done, int channel = 0);
+                       std::function<void(Status)> on_done, int channel = 0)
+      EXCLUDES(mu_);
 
   /// Blocks until the channel's next completion is available (completion
   /// order, not submission order). Must only be called when at least one
   /// read submitted on the channel has not yet been waited for.
-  Completion WaitCompletion(int channel = 0);
+  Completion WaitCompletion(int channel = 0) EXCLUDES(mu_);
 
   /// Reads submitted on the channel whose completion has not been consumed.
-  int64_t outstanding(int channel = 0) const;
+  int64_t outstanding(int channel = 0) const EXCLUDES(mu_);
 
   /// The serialization mutex for `store`. Callers performing their own
   /// synchronous reads/writes on a store that also has async reads in
@@ -151,20 +156,21 @@ class IoPool {
     int64_t queued = 0;       // requests (reads and writes) not yet popped
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   /// Pops the next request round-robin across non-empty channels; false
-  /// when every channel queue is empty. Caller holds mu_.
-  bool PopNextLocked(Request* out);
+  /// when every channel queue is empty.
+  bool PopNextLocked(Request* out) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::map<int, Channel> channels_;
-  int next_channel_ = 1;
-  int rr_cursor_ = 0;  // channel id the next pop starts after
-  int64_t queued_total_ = 0;
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::map<int, Channel> channels_ GUARDED_BY(mu_);
+  int next_channel_ GUARDED_BY(mu_) = 1;
+  // Channel id the next pop starts after.
+  int rr_cursor_ GUARDED_BY(mu_) = 0;
+  int64_t queued_total_ GUARDED_BY(mu_) = 0;
   StoreMutexMap store_mutexes_;
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::atomic<int64_t> read_nanos_{0};
   std::atomic<int64_t> reads_completed_{0};
   std::atomic<int64_t> write_nanos_{0};

@@ -31,6 +31,7 @@
 #include <random>
 #include <thread>
 
+#include "analysis/program_lint.h"
 #include "core/access_plan.h"
 #include "core/cost_model.h"
 #include "core/lowering.h"
@@ -182,6 +183,15 @@ TEST_P(RandomProgramTest, AllPlansExactAndEquivalent) {
   opts.max_combination_size = 2;  // keeps the fuzz sweep fast
   OptimizationResult r = Optimize(g.program, opts);
 
+  // The static linter must accept every generated program (zero false
+  // positives over the fuzz corpus); mutation coverage for true positives
+  // lives in tests/analysis/program_lint_test.cc.
+  {
+    auto lint = LintProgram(g.program);
+    ASSERT_TRUE(lint.ok()) << lint.status().ToString();
+    EXPECT_TRUE(lint->ok()) << lint->ToString();
+  }
+
   auto env = NewMemEnv();
   auto ref_rt = OpenStores(env.get(), g.program, "/ref");
   ASSERT_TRUE(ref_rt.ok());
@@ -203,6 +213,11 @@ TEST_P(RandomProgramTest, AllPlansExactAndEquivalent) {
     std::vector<const CoAccess*> q;
     for (int oi : plan.opportunities) {
       q.push_back(&r.analysis.sharing[static_cast<size_t>(oi)]);
+    }
+    {
+      auto lint = LintPlan(g.program, plan.schedule, q);
+      ASSERT_TRUE(lint.ok()) << lint.status().ToString();
+      EXPECT_TRUE(lint->ok()) << lint->ToString();
     }
     ExecOptions eo;
     eo.memory_cap_bytes = plan.cost.peak_memory_bytes;
@@ -1056,6 +1071,14 @@ TEST_P(ExprFuzzTest, LoweredExecutionMatchesNaiveEvaluatorBitForBit) {
     std::vector<const CoAccess*> q;
     for (int oi : plan->opportunities) {
       q.push_back(&r.analysis.sharing[static_cast<size_t>(oi)]);
+    }
+    {
+      // Op-lowered expression programs must also lint clean at both
+      // levels — this corpus exercises the StatementOp checks the
+      // hand-kernel fuzz family can't.
+      auto lint = LintPlan(prog, plan->schedule, q);
+      ASSERT_TRUE(lint.ok()) << lint.status().ToString();
+      EXPECT_TRUE(lint->ok()) << lint->ToString();
     }
     for (const Config& cfg : configs) {
       SCOPED_TRACE("seed " + std::to_string(seed) + " cfg " + cfg.name +
