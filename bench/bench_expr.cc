@@ -10,7 +10,9 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "exec/verify.h"
 #include "ir/expr.h"
+#include "util/logging.h"
 
 namespace riot {
 namespace bench {
@@ -52,6 +54,99 @@ void RunOne(const std::string& name,
   }
 }
 
+// Fusion sweep (ISSUE 10): the 7-op elementwise chain through both
+// lowerings on a paper-rate throttled disk (real sleeps, so wall clock is
+// I/O-bound the way the paper's disk is) under the same memory cap. The
+// fused lowering must strictly reduce statements, scratch temporaries, and
+// block reads, produce bit-identical output, and not be slower.
+void RunFusionSweep(BenchJson* json) {
+  const int64_t scale = ExecScale();
+  auto base = NewMemEnv();
+  auto disk = NewThrottledEnv(base.get(), kPaperReadMBps, kPaperWriteMBps,
+                              /*per_request_ms=*/0.05, /*sleep_scale=*/1.0);
+
+  std::printf(
+      "\n=== elementwise chain: fused vs unfused lowering (throttled disk "
+      "%g/%g MB/s, 1/%lld scale, same cap) ===\n",
+      kPaperReadMBps, kPaperWriteMBps, static_cast<long long>(scale));
+  std::printf("%10s %6s %8s %12s %10s %11s %9s\n", "lowering", "stmts",
+              "scratch", "block_reads", "read(MB)", "write(MB)", "wall(s)");
+
+  struct SweepRun {
+    ExecStats stats;
+    size_t statements;
+    int scratch;
+  };
+  SweepRun runs[2];
+  Runtime ref_rt;
+  ArrayInfo ref_out;
+  int ref_arr = -1;
+  int64_t cap = 0;
+  for (const bool fuse : {true, false}) {
+    Workload w = MakeElementwiseChain(scale, fuse);
+    w.program.Validate().CheckOK();
+    int scratch = 0;
+    int64_t block_bytes = 0;
+    for (const ArrayInfo& a : w.program.arrays()) {
+      scratch += a.persistent ? 0 : 1;
+      block_bytes = std::max(block_bytes, a.BlockBytes());
+    }
+    // Both lowerings get the identical cap: enough for a handful of blocks,
+    // far too small to hide the unfused chain's temporaries in the pool.
+    if (cap == 0) cap = 8 * block_bytes;
+
+    auto rt = OpenStores(disk.get(), w.program, fuse ? "/fused" : "/unfused");
+    rt.status().CheckOK();
+    InitInputs(w, *rt, /*seed=*/1234).CheckOK();
+    ExecOptions eo;
+    eo.memory_cap_bytes = cap;
+    Executor ex(w.program, rt->raw(), w.kernels, eo);
+    auto stats = ex.Run(w.program.original_schedule(), {});
+    stats.status().CheckOK();
+
+    const char* name = fuse ? "fused" : "unfused";
+    std::printf("%10s %6zu %8d %12lld %10.2f %11.2f %9.3f\n", name,
+                w.program.statements().size(), scratch,
+                static_cast<long long>(stats->block_reads),
+                stats->bytes_read / 1e6, stats->bytes_written / 1e6,
+                stats->wall_seconds);
+    if (json != nullptr) {
+      json->Add(std::string("chain-") + name, "fusion", /*threads=*/1,
+                /*pipeline_depth=*/0, *stats);
+    }
+    runs[fuse ? 0 : 1] = {*stats, w.program.statements().size(), scratch};
+    if (fuse) {
+      RIOT_CHECK_EQ(w.output_arrays.size(), 1u);
+      ref_arr = w.output_arrays[0];
+      ref_out = w.program.array(ref_arr);
+      ref_rt = std::move(rt).ValueOrDie();
+    } else {
+      // Same graph, same inputs: the two lowerings must agree bit for bit
+      // (the output's array id differs between lowerings; its shape cannot).
+      auto d = MaxAbsDifference(
+          ref_out, ref_rt.stores[static_cast<size_t>(ref_arr)].get(),
+          rt->stores[static_cast<size_t>(w.output_arrays[0])].get());
+      d.status().CheckOK();
+      RIOT_CHECK(*d == 0.0) << "fused/unfused outputs diverged: " << *d;
+    }
+  }
+
+  const SweepRun& f = runs[0];
+  const SweepRun& u = runs[1];
+  RIOT_CHECK_LT(f.statements, u.statements);
+  RIOT_CHECK_LT(f.scratch, u.scratch);
+  RIOT_CHECK_LT(f.stats.block_reads, u.stats.block_reads);
+  RIOT_CHECK(f.stats.wall_seconds <= u.stats.wall_seconds)
+      << "fused lowering slower than unfused on a disk-bound config";
+  std::printf("fusion: %zu -> %zu statements, %d -> %d scratch, "
+              "%lld -> %lld block reads, wall %.3fs -> %.3fs (%.2fx)\n\n",
+              u.statements, f.statements, u.scratch, f.scratch,
+              static_cast<long long>(u.stats.block_reads),
+              static_cast<long long>(f.stats.block_reads),
+              u.stats.wall_seconds, f.stats.wall_seconds,
+              u.stats.wall_seconds / f.stats.wall_seconds);
+}
+
 void Run(int argc, char** argv) {
   BenchJson json("expr", argc, argv);
 
@@ -63,9 +158,10 @@ void Run(int argc, char** argv) {
                 probe.program.statements().size());
   }
 
-  RunOne("covariance", MakeCovariance, &json);
+  RunOne("covariance", [](int64_t s) { return MakeCovariance(s); }, &json);
   RunOne("ridge", MakeRidge, &json);
 
+  RunFusionSweep(&json);
   RunThreadSweep("ridge", MakeRidge, &json);
   json.Flush();
 }

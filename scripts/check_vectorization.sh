@@ -18,7 +18,7 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "${tmp}"' EXIT
 
 # Kernels that MUST vectorize, matched by their defining line in dense.cc.
-kernels=(MicroKernel BlockAdd BlockSub BlockScale SumSquaresRange)
+kernels=(MicroKernel BlockAdd BlockSub BlockScale BlockFusedEval SumSquaresRange)
 
 # start line of a function definition in dense.cc
 start_line() { grep -n "^[a-z].* $1(\|^void $1(\|^double $1(" "${SRC}" | head -1 | cut -d: -f1; }

@@ -1,6 +1,10 @@
 #include "analysis/loop_characteristics.h"
 
+#include <atomic>
 #include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -122,6 +126,34 @@ LoopCharacteristics AnalyzeStatement(const Program& prog,
         c.kernel_class = KernelClass::kReduction;
         break;
       }
+      case StatementOp::Kind::kMap:
+      case StatementOp::Kind::kZip: {
+        c.flops_per_instance = static_cast<double>(
+            AccessArray(prog, stmt, op.out).ElemsPerBlock());
+        // The registered scalar fn is called through a pointer per element;
+        // the autovectorizer cannot widen across the call.
+        c.vectorizable = false;
+        break;
+      }
+      case StatementOp::Kind::kFused: {
+        // One streaming pass; each non-load tape op costs one flop per
+        // element. The working set (computed above from the accesses) is
+        // already the shrunken fused one: external operands plus the single
+        // write — no materialized intermediates.
+        int compute_ops = 0;
+        bool calls_scalar_fn = false;
+        for (const TapeOp& t : op.tape) {
+          if (t.code == TapeOp::Code::kLoad) continue;
+          ++compute_ops;
+          calls_scalar_fn |= t.code == TapeOp::Code::kMap ||
+                             t.code == TapeOp::Code::kZip;
+        }
+        c.flops_per_instance =
+            static_cast<double>(compute_ops) *
+            static_cast<double>(AccessArray(prog, stmt, op.out).ElemsPerBlock());
+        c.vectorizable = !calls_scalar_fn;
+        break;
+      }
     }
   }
 
@@ -186,36 +218,117 @@ double MeasureGflops(double flops, int budget_ms, Fn&& body) {
   return flops * iters / secs / 1e9;
 }
 
+// Multi-worker variant: `make_body(w)` builds worker w's measurement body
+// over PRIVATE buffers; all workers then hammer their bodies concurrently
+// for `budget_ms` and the PER-WORKER contended rate comes back (aggregate
+// throughput / workers). Private buffers mean the contention measured is
+// the real shared-resource kind — memory bandwidth, shared cache, SMT —
+// not false sharing of the measurement harness.
+template <typename MakeBody>
+double MeasureGflopsWorkers(double flops, int budget_ms, int workers,
+                            MakeBody&& make_body) {
+  if (workers <= 1) return MeasureGflops(flops, budget_ms, make_body(0));
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::function<void()>> bodies;
+  bodies.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) bodies.push_back(make_body(w));
+  for (auto& b : bodies) b();  // warm up every worker's buffers
+
+  std::atomic<bool> go{false};
+  std::atomic<int64_t> total_iters{0};
+  std::atomic<int64_t> elapsed_ns{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      const auto start = Clock::now();
+      const auto deadline = start + std::chrono::milliseconds(budget_ms);
+      int64_t iters = 0;
+      auto now = start;
+      do {
+        bodies[static_cast<size_t>(w)]();
+        ++iters;
+        now = Clock::now();
+      } while (now < deadline);
+      total_iters.fetch_add(iters);
+      elapsed_ns.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
+              .count());
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double avg_secs = static_cast<double>(elapsed_ns.load()) / workers / 1e9;
+  if (avg_secs <= 0.0) return 1.0;
+  // Aggregate throughput across all workers, then per-worker share.
+  const double aggregate =
+      flops * static_cast<double>(total_iters.load()) / avg_secs / 1e9;
+  return aggregate / workers;
+}
+
 }  // namespace
 
-KernelRateTable CalibrateKernelRates(int budget_ms) {
+KernelRateTable CalibrateKernelRates(int budget_ms, int workers) {
   KernelRateTable t;
+  if (workers < 1) workers = 1;
+  t.calibrated_workers = workers;
   const int slice = budget_ms > 4 ? budget_ms / 4 : 1;
   const int64_t n = 256;  // L2-resident: measures compute, not memory
 
-  std::vector<double> a(static_cast<size_t>(n * n));
-  std::vector<double> b(static_cast<size_t>(n * n));
-  std::vector<double> c(static_cast<size_t>(n * n));
-  DenseView va{a.data(), n, n}, vb{b.data(), n, n}, vc{c.data(), n, n};
-  BlockFillRandom(&va, 1);
-  BlockFillRandom(&vb, 2);
+  // Per-worker private operand buffers, alive for the whole sweep.
+  struct Bufs {
+    std::vector<double> a, b, c;
+    DenseView va, vb, vc;
+  };
+  std::vector<std::unique_ptr<Bufs>> bufs;
+  for (int w = 0; w < workers; ++w) {
+    auto bf = std::make_unique<Bufs>();
+    bf->a.resize(static_cast<size_t>(n * n));
+    bf->b.resize(static_cast<size_t>(n * n));
+    bf->c.resize(static_cast<size_t>(n * n));
+    bf->va = DenseView{bf->a.data(), n, n};
+    bf->vb = DenseView{bf->b.data(), n, n};
+    bf->vc = DenseView{bf->c.data(), n, n};
+    BlockFillRandom(&bf->va, 1 + static_cast<uint64_t>(w) * 2);
+    BlockFillRandom(&bf->vb, 2 + static_cast<uint64_t>(w) * 2);
+    bufs.push_back(std::move(bf));
+  }
 
-  t.elementwise_gflops = MeasureGflops(
-      static_cast<double>(n * n), slice, [&] { BlockAdd(va, vb, &vc); });
-  t.gemm_gflops = MeasureGflops(
-      2.0 * n * n * n, slice,
-      [&] { BlockGemm(va, false, vb, false, &vc, false); });
-  t.reduction_gflops = MeasureGflops(
-      2.0 * n * n, slice, [&] { (void)BlockSumSquares(va); });
+  t.elementwise_gflops = MeasureGflopsWorkers(
+      static_cast<double>(n * n), slice, workers, [&](int w) {
+        Bufs* bf = bufs[static_cast<size_t>(w)].get();
+        return [bf] { BlockAdd(bf->va, bf->vb, &bf->vc); };
+      });
+  t.gemm_gflops = MeasureGflopsWorkers(
+      2.0 * n * n * n, slice, workers, [&](int w) {
+        Bufs* bf = bufs[static_cast<size_t>(w)].get();
+        return [bf] { BlockGemm(bf->va, false, bf->vb, false, &bf->vc, false); };
+      });
+  t.reduction_gflops = MeasureGflopsWorkers(
+      2.0 * n * n, slice, workers, [&](int w) {
+        Bufs* bf = bufs[static_cast<size_t>(w)].get();
+        return [bf] { (void)BlockSumSquares(bf->va); };
+      });
 
   const int64_t ni = 128;
-  std::vector<double> im(static_cast<size_t>(ni * ni));
-  std::vector<double> iout(static_cast<size_t>(ni * ni));
-  DenseView vim{im.data(), ni, ni}, viout{iout.data(), ni, ni};
-  BlockFillRandom(&vim, 3);
-  for (int64_t d = 0; d < ni; ++d) vim.At(d, d) += 10.0;
-  t.inverse_gflops = MeasureGflops(2.0 * ni * ni * ni, slice,
-                                   [&] { (void)BlockInverse(vim, &viout); });
+  std::vector<std::unique_ptr<Bufs>> ibufs;
+  for (int w = 0; w < workers; ++w) {
+    auto bf = std::make_unique<Bufs>();
+    bf->a.resize(static_cast<size_t>(ni * ni));
+    bf->c.resize(static_cast<size_t>(ni * ni));
+    bf->va = DenseView{bf->a.data(), ni, ni};
+    bf->vc = DenseView{bf->c.data(), ni, ni};
+    BlockFillRandom(&bf->va, 3 + static_cast<uint64_t>(w));
+    for (int64_t d = 0; d < ni; ++d) bf->va.At(d, d) += 10.0;
+    ibufs.push_back(std::move(bf));
+  }
+  t.inverse_gflops = MeasureGflopsWorkers(
+      2.0 * ni * ni * ni, slice, workers, [&](int w) {
+        Bufs* bf = ibufs[static_cast<size_t>(w)].get();
+        return [bf] { (void)BlockInverse(bf->va, &bf->vc); };
+      });
   return t;
 }
 

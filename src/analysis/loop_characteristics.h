@@ -79,6 +79,12 @@ struct KernelRateTable {
   int64_t cache_bytes = 2ll << 20;
   /// Rate divisor applied when an instance working set exceeds cache_bytes.
   double cache_penalty = 3.0;
+  /// Worker count the rates were measured at (CalibrateKernelRates
+  /// `workers`). The per-class rates are PER-WORKER contended rates: with
+  /// N kernel workers sharing memory bandwidth and cache, each worker's
+  /// effective throughput is lower than the solo rate, and the cost
+  /// model's per-instance compute term wants that contended figure.
+  int calibrated_workers = 1;
 
   double RateFor(KernelClass k) const;
 };
@@ -92,7 +98,14 @@ double EstimateInstanceSeconds(const LoopCharacteristics& c,
 /// roughly `budget_ms` / 4 milliseconds) and return a populated table.
 /// cache_bytes / cache_penalty keep their defaults — they describe the
 /// model, not the measurement.
-KernelRateTable CalibrateKernelRates(int budget_ms = 200);
+///
+/// `workers` > 1 runs the sweep with that many concurrent measurement
+/// threads, each on private buffers, and reports each class's PER-WORKER
+/// rate under contention — the rate one of the executor's `exec_threads`
+/// kernel workers actually sees when its siblings are busy (bandwidth-bound
+/// elementwise/reduction classes degrade far more than cache-resident
+/// GEMM). The returned table records the count in `calibrated_workers`.
+KernelRateTable CalibrateKernelRates(int budget_ms = 200, int workers = 1);
 
 }  // namespace riot
 

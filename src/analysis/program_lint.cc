@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "ir/scalar_ops.h"
+#include "kernels/dense.h"
 #include "linalg/rational.h"
 
 namespace riot {
@@ -15,6 +17,7 @@ const char* LintCodeName(LintCode code) {
     case LintCode::kMalformedAccess: return "malformed-access";
     case LintCode::kSubscriptOutOfGrid: return "subscript-out-of-grid";
     case LintCode::kOpArityMismatch: return "op-arity-mismatch";
+    case LintCode::kMalformedTape: return "malformed-tape";
     case LintCode::kUnguardedAccumulator: return "unguarded-accumulator";
     case LintCode::kUseBeforeDef: return "use-before-def";
     case LintCode::kElidedWriteRead: return "elided-write-read";
@@ -100,6 +103,77 @@ bool ValidAccess(const Statement& st, int idx, AccessType want) {
          st.accesses[static_cast<size_t>(idx)].type == want;
 }
 
+// Validate a kFused statement's scalar tape: post-order positions only,
+// per-code arity, loads naming real read accesses, resolvable scalar fns,
+// and no read access the tape never consumes (paid I/O feeding nothing).
+void LintFusedTape(const Statement& st, LintReport* report) {
+  const StatementOp& op = *st.op;
+  const int sid = st.id;
+  if (op.tape.empty()) {
+    Add(report, LintCode::kMalformedTape, sid, -1, -1,
+        "fused statement has an empty tape");
+    return;
+  }
+  if (op.tape.size() > static_cast<size_t>(kMaxFusedTapeOps)) {
+    Add(report, LintCode::kMalformedTape, sid, -1, -1,
+        "tape length " + std::to_string(op.tape.size()) +
+            " exceeds kMaxFusedTapeOps");
+    return;
+  }
+  if (op.acc >= 0 || op.reduction_iter >= 0) {
+    Add(report, LintCode::kMalformedTape, sid, op.acc, -1,
+        "fused statements are pure elementwise; acc/reduction_iter must be "
+        "unset");
+  }
+  std::vector<bool> read_consumed(st.accesses.size(), false);
+  for (size_t p = 0; p < op.tape.size(); ++p) {
+    const TapeOp& t = op.tape[p];
+    const std::string at = "tape[" + std::to_string(p) + "] ";
+    const bool unary = t.code == TapeOp::Code::kScale ||
+                       t.code == TapeOp::Code::kMap;
+    if (t.code == TapeOp::Code::kLoad) {
+      if (!ValidAccess(st, t.a, AccessType::kRead)) {
+        Add(report, LintCode::kMalformedTape, sid, t.a, -1,
+            at + "load does not name a read access");
+      } else {
+        read_consumed[static_cast<size_t>(t.a)] = true;
+      }
+      if (t.b != -1) {
+        Add(report, LintCode::kMalformedTape, sid, t.a, -1,
+            at + "load must leave `b` unset");
+      }
+      continue;
+    }
+    if (t.a < 0 || t.a >= static_cast<int>(p)) {
+      Add(report, LintCode::kMalformedTape, sid, -1, -1,
+          at + "operand `a` is not an earlier tape position");
+    }
+    if (unary) {
+      if (t.b != -1) {
+        Add(report, LintCode::kMalformedTape, sid, -1, -1,
+            at + "unary op must leave `b` unset");
+      }
+    } else if (t.b < 0 || t.b >= static_cast<int>(p)) {
+      Add(report, LintCode::kMalformedTape, sid, -1, -1,
+          at + "operand `b` is not an earlier tape position");
+    }
+    if (t.code == TapeOp::Code::kMap && !IsScalarMap(t.scalar_fn)) {
+      Add(report, LintCode::kMalformedTape, sid, -1, -1,
+          at + "map references no registered unary scalar fn");
+    }
+    if (t.code == TapeOp::Code::kZip && !IsScalarZip(t.scalar_fn)) {
+      Add(report, LintCode::kMalformedTape, sid, -1, -1,
+          at + "zip references no registered binary scalar fn");
+    }
+  }
+  for (size_t i = 0; i < st.accesses.size(); ++i) {
+    if (st.accesses[i].type == AccessType::kRead && !read_consumed[i]) {
+      Add(report, LintCode::kMalformedTape, sid, static_cast<int>(i), -1,
+          "read access is never loaded by the tape (I/O feeding nothing)");
+    }
+  }
+}
+
 void LintStatementOp(const Program& program, const Statement& st,
                      LintReport* report) {
   const StatementOp& op = *st.op;
@@ -117,7 +191,7 @@ void LintStatementOp(const Program& program, const Statement& st,
     return;
   }
   const bool binary = op.kind == Kind::kAdd || op.kind == Kind::kSub ||
-                      op.kind == Kind::kGemm;
+                      op.kind == Kind::kGemm || op.kind == Kind::kZip;
   if (!ValidAccess(st, op.a, AccessType::kRead)) {
     Add(report, LintCode::kOpArityMismatch, sid, op.a, -1,
         "op `a` does not name a read access of the statement");
@@ -126,6 +200,21 @@ void LintStatementOp(const Program& program, const Statement& st,
     Add(report, LintCode::kOpArityMismatch, sid, op.b, -1,
         std::string(StatementOpKindName(op.kind)) +
             " is binary but `b` does not name a read access");
+  }
+  if (op.kind == Kind::kMap && !IsScalarMap(op.scalar_fn)) {
+    Add(report, LintCode::kOpArityMismatch, sid, -1, -1,
+        "kMap statement references no registered unary scalar fn");
+  }
+  if (op.kind == Kind::kZip && !IsScalarZip(op.scalar_fn)) {
+    Add(report, LintCode::kOpArityMismatch, sid, -1, -1,
+        "kZip statement references no registered binary scalar fn");
+  }
+  if (op.kind == Kind::kFused) {
+    LintFusedTape(st, report);
+  } else if (!op.tape.empty()) {
+    Add(report, LintCode::kMalformedTape, sid, -1, -1,
+        std::string(StatementOpKindName(op.kind)) +
+            " statement carries a tape; only kFused may");
   }
   if (op.reduction_iter >= static_cast<int>(st.depth())) {
     Add(report, LintCode::kOpArityMismatch, sid, -1, -1,

@@ -49,6 +49,7 @@ enum class LintCode {
   kMalformedAccess,      // phi shape vs array/statement, bad array id
   kSubscriptOutOfGrid,   // phi row provably escapes the block grid
   kOpArityMismatch,      // StatementOp operands vs access list
+  kMalformedTape,        // fused statement's scalar tape is inconsistent
   kUnguardedAccumulator, // accumulator self-read live at reduction start
   kUseBeforeDef,         // non-persistent block read before any write
   kElidedWriteRead,      // elided write, yet a later disk read of the block

@@ -1,0 +1,84 @@
+#include "core/fusion.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace riot {
+
+bool FusableKind(StatementOp::Kind k) {
+  switch (k) {
+    case StatementOp::Kind::kAdd:
+    case StatementOp::Kind::kSub:
+    case StatementOp::Kind::kScale:
+    case StatementOp::Kind::kMap:
+    case StatementOp::Kind::kZip:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FusionPlan PlanFusion(const ExprGraph& graph,
+                      const std::vector<ExprRef>& outputs,
+                      const FusionOptions& options) {
+  const size_t n = graph.size();
+  FusionPlan plan;
+  plan.fused_into.assign(n, -1);
+  plan.cluster_root.resize(n);
+  std::iota(plan.cluster_root.begin(), plan.cluster_root.end(), 0);
+  if (!options.enable || n == 0) return plan;
+
+  // Use count = number of (consumer, arg-slot) pairs, so a node consumed
+  // twice by one statement (Add(p, p)) counts 2 and stays materialized.
+  std::vector<int> use_count(n, 0);
+  for (size_t id = 0; id < n; ++id) {
+    for (ExprRef a : graph.node(static_cast<ExprRef>(id)).args) {
+      ++use_count[static_cast<size_t>(a)];
+    }
+  }
+  std::vector<bool> is_output(n, false);
+  for (ExprRef r : outputs) {
+    if (r >= 0 && static_cast<size_t>(r) < n) {
+      is_output[static_cast<size_t>(r)] = true;
+    }
+  }
+
+  // Prospective tape length per cluster root: compute ops + loads (external
+  // operand edges; an upper bound — lowering dedups repeated loads).
+  std::vector<int> cluster_ops(n, 0);
+  std::vector<int> cluster_loads(n, 0);
+
+  // Walk consumers in decreasing id order: operands always have smaller
+  // ids, so by the time a node is visited its own cluster membership is
+  // settled and cluster_root[c] is final.
+  for (int c = static_cast<int>(n) - 1; c >= 0; --c) {
+    const ExprNode& nc = graph.node(c);
+    if (nc.is_input() || !FusableKind(nc.kind)) continue;
+    const int root = plan.cluster_root[static_cast<size_t>(c)];
+    if (root == c && cluster_ops[static_cast<size_t>(c)] == 0) {
+      cluster_ops[static_cast<size_t>(c)] = 1;
+      cluster_loads[static_cast<size_t>(c)] = static_cast<int>(nc.args.size());
+    }
+    for (ExprRef arg : nc.args) {
+      const size_t p = static_cast<size_t>(arg);
+      const ExprNode& np = graph.node(arg);
+      if (np.is_input() || !FusableKind(np.kind)) continue;
+      if (use_count[p] != 1 || is_output[p] || np.keep) continue;
+      if (plan.Fused(arg)) continue;
+      // Fusing p turns one load into one op plus p's own operand loads.
+      const int new_ops = cluster_ops[static_cast<size_t>(root)] + 1;
+      const int new_loads = cluster_loads[static_cast<size_t>(root)] - 1 +
+                            static_cast<int>(np.args.size());
+      if (new_ops + new_loads > options.max_tape_ops) continue;
+      plan.fused_into[p] = c;
+      plan.cluster_root[p] = root;
+      cluster_ops[static_cast<size_t>(root)] = new_ops;
+      cluster_loads[static_cast<size_t>(root)] = new_loads;
+      ++plan.fused_nodes;
+    }
+  }
+  return plan;
+}
+
+}  // namespace riot

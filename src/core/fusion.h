@@ -1,0 +1,64 @@
+// Fusion planning: decide, before lowering, which elementwise expression
+// nodes collapse into a single compound statement. A producer fuses into its
+// consumer when both are elementwise (Add/Sub/Scale and the registered
+// scalar Map/Zip ops), the producer has exactly one consumer use, and the
+// producer is neither a bound output nor `Keep()`-ed. Each resulting cluster
+// is a tree rooted at a node whose own consumer cannot absorb it; lowering
+// (core/lowering.cc) emits the whole cluster as ONE statement carrying a
+// post-order scalar tape (ir/statement_op.h TapeOp), so the chain costs one
+// streaming read of its external inputs and one write — the per-node
+// temporaries, their writes, and the per-node re-read passes all disappear.
+//
+// What deliberately breaks fusion:
+//   * CSE-shared nodes (use count > 1, counting (consumer, arg-slot) pairs —
+//     Add(p, p) keeps p materialized): the schedule optimizer is the right
+//     owner of sharing decisions for multi-consumer values.
+//   * Outputs and Keep()-ed nodes: their arrays are the user contract.
+//   * Non-elementwise producers/consumers (Gemm/Inverse/SumSquares/AddDiag):
+//     different iteration spaces.
+//   * Tape-length cap (`max_tape_ops`): bounds the fused kernel's per-strip
+//     scratch so intermediates stay register/L1-resident.
+#ifndef RIOTSHARE_CORE_FUSION_H_
+#define RIOTSHARE_CORE_FUSION_H_
+
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace riot {
+
+struct FusionOptions {
+  /// Off = plan nothing (every node materialized; historical lowering).
+  bool enable = true;
+  /// Upper bound on one fused statement's tape length (loads + compute
+  /// ops). Must not exceed kernels/dense.h kMaxFusedTapeOps.
+  int max_tape_ops = 24;
+};
+
+struct FusionPlan {
+  /// Node id -> the consumer node it fuses into; -1 when the node stays
+  /// materialized (inputs, cluster roots, unfused nodes).
+  std::vector<int> fused_into;
+  /// Node id -> the cluster root whose statement computes it (identity for
+  /// materialized nodes).
+  std::vector<int> cluster_root;
+  /// Number of nodes fused away (= statements and temporaries eliminated).
+  int fused_nodes = 0;
+
+  bool Fused(ExprRef r) const {
+    return fused_into[static_cast<size_t>(r)] >= 0;
+  }
+};
+
+/// True for kinds that can join a fused elementwise cluster.
+bool FusableKind(StatementOp::Kind k);
+
+/// Plans fusion over the whole graph with `outputs` bound. Never fails:
+/// with fusion disabled (or nothing fusable) the plan is the identity.
+FusionPlan PlanFusion(const ExprGraph& graph,
+                      const std::vector<ExprRef>& outputs,
+                      const FusionOptions& options = {});
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_CORE_FUSION_H_

@@ -1,9 +1,11 @@
 #include "core/lowering.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 
 #include "ir/builder.h"
+#include "kernels/dense.h"
 
 namespace riot {
 
@@ -81,9 +83,14 @@ int AddAccRead(Statement* st, int array_id,
 }  // namespace
 
 Result<LoweredExpr> LowerExpr(const ExprGraph& graph,
-                              const std::vector<ExprRef>& outputs) {
+                              const std::vector<ExprRef>& outputs,
+                              const LowerOptions& options) {
   if (graph.size() == 0) {
     return Status::InvalidArgument("cannot lower an empty expression graph");
+  }
+  if (options.max_fused_tape_ops < 2 ||
+      options.max_fused_tape_ops > kMaxFusedTapeOps) {
+    return Status::InvalidArgument("max_fused_tape_ops out of range");
   }
   if (outputs.empty()) {
     return Status::InvalidArgument("no outputs bound for lowering");
@@ -128,9 +135,19 @@ Result<LoweredExpr> LowerExpr(const ExprGraph& graph,
     }
   }
 
-  // Arrays first, in node-id order: every node is one array; temporaries
-  // that are neither outputs nor kept are scratch (non-persistent).
+  // Plan fusion: fused-away nodes get no array and no statement of their
+  // own; their cluster root's compound statement computes them.
+  FusionOptions fopts;
+  fopts.enable = options.fuse;
+  fopts.max_tape_ops = options.max_fused_tape_ops;
+  const FusionPlan plan = PlanFusion(graph, outputs, fopts);
+  out.fused_nodes = plan.fused_nodes;
+
+  // Arrays first, in node-id order: every materialized node is one array;
+  // temporaries that are neither outputs nor kept are scratch
+  // (non-persistent).
   for (size_t id = 0; id < graph.size(); ++id) {
+    if (plan.Fused(static_cast<ExprRef>(id))) continue;
     const ExprNode& n = graph.node(static_cast<ExprRef>(id));
     ArrayInfo info;
     info.name = n.name.empty() ? "t" + std::to_string(id) : n.name;
@@ -141,13 +158,99 @@ Result<LoweredExpr> LowerExpr(const ExprGraph& graph,
     if (n.is_input()) out.input_arrays.push_back(out.array_of[id]);
   }
 
-  // One statement per compute node, each in its own sequential nest, in
-  // node-id (= topological) order.
+  // Cluster members (only roots with at least one fused-in producer emit a
+  // compound statement; singleton "clusters" take the historical path).
+  std::vector<std::vector<ExprRef>> members(graph.size());
+  for (size_t id = 0; id < graph.size(); ++id) {
+    if (plan.Fused(static_cast<ExprRef>(id))) {
+      members[static_cast<size_t>(plan.cluster_root[id])].push_back(
+          static_cast<ExprRef>(id));
+    }
+  }
+
+  // One statement per materialized compute node, each in its own
+  // sequential nest, in node-id (= topological) order.
   int nest = 0;
   for (size_t id = 0; id < graph.size(); ++id) {
     const ExprNode& n = graph.node(static_cast<ExprRef>(id));
-    if (n.is_input()) continue;
+    if (n.is_input() || plan.Fused(static_cast<ExprRef>(id))) continue;
     const int out_arr = out.array_of[id];
+
+    if (!members[id].empty()) {
+      // Compound statement for the fused cluster rooted here: one i,j nest
+      // over the root's grid (cluster members all share one shape), deduped
+      // reads of every external operand, one write, and the post-order
+      // scalar tape the kernel interprets per element.
+      LoopNest loops;
+      loops.AddRole(Sym::kI, "i", n.shape.grid[0]);
+      loops.AddRole(Sym::kJ, "j", n.shape.grid[1]);
+      loops.Finalize();
+
+      Statement st;
+      st.name = "s" + std::to_string(nest + 1);
+      StatementOp op;
+      op.kind = StatementOp::Kind::kFused;
+
+      std::map<ExprRef, int> load_pos;  // external node -> tape position
+      std::function<int(ExprRef)> emit = [&](ExprRef nid) -> int {
+        if (plan.cluster_root[static_cast<size_t>(nid)] !=
+            static_cast<int>(id)) {
+          auto it = load_pos.find(nid);
+          if (it != load_pos.end()) return it->second;
+          TapeOp t;
+          t.code = TapeOp::Code::kLoad;
+          t.a = AddRead(&st, out.array_of[static_cast<size_t>(nid)],
+                        loops.Phi(Sym::kI, Sym::kJ));
+          op.tape.push_back(t);
+          const int pos = static_cast<int>(op.tape.size()) - 1;
+          load_pos.emplace(nid, pos);
+          return pos;
+        }
+        const ExprNode& m = graph.node(nid);
+        TapeOp t;
+        switch (m.kind) {
+          case StatementOp::Kind::kAdd:
+            t.code = TapeOp::Code::kAdd;
+            break;
+          case StatementOp::Kind::kSub:
+            t.code = TapeOp::Code::kSub;
+            break;
+          case StatementOp::Kind::kScale:
+            t.code = TapeOp::Code::kScale;
+            t.alpha = m.alpha;
+            break;
+          case StatementOp::Kind::kMap:
+            t.code = TapeOp::Code::kMap;
+            t.scalar_fn = m.scalar_fn;
+            break;
+          case StatementOp::Kind::kZip:
+            t.code = TapeOp::Code::kZip;
+            t.scalar_fn = m.scalar_fn;
+            break;
+          default:
+            RIOT_CHECK(false) << "non-fusable kind in cluster";
+        }
+        t.a = emit(m.args[0]);
+        if (m.args.size() > 1) t.b = emit(m.args[1]);
+        op.tape.push_back(t);
+        return static_cast<int>(op.tape.size()) - 1;
+      };
+      emit(static_cast<ExprRef>(id));
+
+      st.accesses.push_back(Write(out_arr, loops.Phi(Sym::kI, Sym::kJ)));
+      op.a = 0;  // first access is necessarily the first operand load
+      op.out = static_cast<int>(st.accesses.size()) - 1;
+      st.iters = loops.iters;
+      st.domain = loops.Domain();
+      st.op = op;
+      const int sid = out.program.AddStatement(std::move(st), nest, 0);
+      out.stmt_of[id] = sid;
+      for (ExprRef m : members[id]) {
+        out.stmt_of[static_cast<size_t>(m)] = sid;
+      }
+      ++nest;
+      continue;
+    }
 
     LoopNest loops;
     StatementOp op;
@@ -155,6 +258,7 @@ Result<LoweredExpr> LowerExpr(const ExprGraph& graph,
     op.trans_a = n.trans_a;
     op.trans_b = n.trans_b;
     op.alpha = n.alpha;
+    op.scalar_fn = n.scalar_fn;
 
     Statement st;
     st.name = "s" + std::to_string(nest + 1);
@@ -163,6 +267,8 @@ Result<LoweredExpr> LowerExpr(const ExprGraph& graph,
       case StatementOp::Kind::kAdd:
       case StatementOp::Kind::kSub:
       case StatementOp::Kind::kScale:
+      case StatementOp::Kind::kMap:
+      case StatementOp::Kind::kZip:
       case StatementOp::Kind::kAddDiag: {
         loops.AddRole(Sym::kI, "i", n.shape.grid[0]);
         loops.AddRole(Sym::kJ, "j", n.shape.grid[1]);
@@ -230,6 +336,7 @@ Result<LoweredExpr> LowerExpr(const ExprGraph& graph,
         break;
       }
       case StatementOp::Kind::kInput:
+      case StatementOp::Kind::kFused:  // built above, never an ExprNode kind
         RIOT_CHECK(false) << "unreachable";
     }
 

@@ -1,17 +1,23 @@
 // Lowering: from a lazy array-expression DAG (ir/expr.h) to the blocked
 // static-control Program the optimizer consumes (ir/program.h).
 //
-// The pass walks the DAG in node-id order (a topological order by
-// construction) and emits
-//   * one array per node — inputs keep their names; compute nodes become
-//     temporaries marked non-persistent ("scratch") unless they are bound
-//     outputs or explicitly kept, so the existing write-elision machinery
-//     (paper footnote 8) and ScheduleOpt replacement can kill their I/O;
-//   * one statement per compute node, in its own sequential loop nest:
-//     rectangular domains over the non-unit block-grid dimensions, affine
-//     block accesses derived from the shapes, a guarded accumulator
+// The pass first plans fusion (core/fusion.h): single-consumer elementwise
+// chains collapse into one compound statement carrying a post-order scalar
+// tape, so fused-away nodes get NO array and NO statement of their own —
+// their values live in registers inside the fused kernel. It then walks the
+// DAG in node-id order (a topological order by construction) and emits
+//   * one array per materialized node — inputs keep their names; compute
+//     nodes become temporaries marked non-persistent ("scratch") unless
+//     they are bound outputs or explicitly kept, so the existing
+//     write-elision machinery (paper footnote 8) and ScheduleOpt
+//     replacement can kill their I/O;
+//   * one statement per materialized compute node, in its own sequential
+//     nest: rectangular domains over the non-unit block-grid dimensions,
+//     affine block accesses derived from the shapes, a guarded accumulator
 //     self-read for block-grid contractions (paper footnote 1), and the
-//     node's typed StatementOp so the executor can synthesize the kernel.
+//     node's typed StatementOp — a single opcode, or a TapeOp tape
+//     (Kind::kFused) for a fused cluster — so the executor can synthesize
+//     the kernel.
 //
 // Hash-consing in the graph means a common subexpression arrives here as a
 // single node and is materialized exactly once, read by every consumer —
@@ -26,21 +32,36 @@
 #include <string>
 #include <vector>
 
+#include "core/fusion.h"
 #include "ir/expr.h"
 #include "ir/program.h"
 #include "util/status.h"
 
 namespace riot {
 
+struct LowerOptions {
+  /// Fuse single-consumer elementwise chains into compound single-pass
+  /// statements (core/fusion.h). `fuse = false` is the escape hatch back to
+  /// the historical one-statement-one-temporary-per-node lowering; per-node
+  /// opt-out is ExprGraph::Keep(), which forces materialization.
+  bool fuse = true;
+  /// Tape-length cap (loads + compute ops) per fused statement; must not
+  /// exceed kernels/dense.h kMaxFusedTapeOps.
+  int max_fused_tape_ops = 24;
+};
+
 struct LoweredExpr {
   Program program;
-  /// Node id -> array id (the identity under the current emission order,
-  /// kept explicit so callers never depend on that coincidence).
+  /// Node id -> array id; -1 for nodes fused away into a consumer's
+  /// compound statement (they have no array — that is the point of fusion).
   std::vector<int> array_of;
-  /// Node id -> statement id; -1 for inputs.
+  /// Node id -> statement id; -1 for inputs. A fused-away node maps to the
+  /// compound statement of its cluster root (the statement computing it).
   std::vector<int> stmt_of;
   std::vector<int> input_arrays;   // every kInput node's array
   std::vector<int> output_arrays;  // the bound outputs, in binding order
+  /// Nodes eliminated by fusion (statements and temporaries saved).
+  int fused_nodes = 0;
 };
 
 /// \brief Lowers the whole graph (every node ever built — hash-consing
@@ -48,7 +69,8 @@ struct LoweredExpr {
 /// arrays. Fails (InvalidArgument) on an empty graph, an empty or
 /// duplicate output list, or an output that is an input node.
 Result<LoweredExpr> LowerExpr(const ExprGraph& graph,
-                              const std::vector<ExprRef>& outputs);
+                              const std::vector<ExprRef>& outputs,
+                              const LowerOptions& options = {});
 
 }  // namespace riot
 

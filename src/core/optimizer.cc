@@ -6,6 +6,7 @@
 #include <functional>
 #include <thread>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -95,12 +96,23 @@ OptimizationResult Optimize(const Program& program,
     session_cost.pressure_cap_bytes /= sessions;
   }
   if (options.calibrate_compute_rates && !session_cost.compute.has_value()) {
-    // One measurement per process: every Optimize call shares the table so
-    // repeated optimizations don't each pay the calibration budget (and
-    // rank identically within a run).
-    static const KernelRateTable calibrated =
-        CalibrateKernelRates(options.calibrate_budget_ms);
-    session_cost.compute = calibrated;
+    // One measurement per process and worker count: every Optimize call at
+    // the same calibrate_exec_threads shares a table so repeated
+    // optimizations don't each pay the calibration budget (and rank
+    // identically within a run).
+    static std::mutex calibrated_mu;
+    static std::map<int, KernelRateTable>* calibrated_by_workers =
+        new std::map<int, KernelRateTable>();
+    const int workers = std::max(1, options.calibrate_exec_threads);
+    std::lock_guard<std::mutex> lock(calibrated_mu);
+    auto it = calibrated_by_workers->find(workers);
+    if (it == calibrated_by_workers->end()) {
+      it = calibrated_by_workers
+               ->emplace(workers, CalibrateKernelRates(
+                                      options.calibrate_budget_ms, workers))
+               .first;
+    }
+    session_cost.compute = it->second;
   }
   OptimizationResult result;
   result.analysis = AnalyzeProgram(program, options.analysis);

@@ -46,6 +46,12 @@ struct OptimizerOptions {
   /// set `cost.compute` keeps its own table.
   bool calibrate_compute_rates = false;
   int calibrate_budget_ms = 200;
+  /// Worker count the calibration sweep contends at — set it to the
+  /// executor's `exec_threads` so the compute term prices instances at the
+  /// per-worker rate they will actually see (bandwidth-bound classes
+  /// degrade under siblings; a solo-measured rate is optimistic). Tables
+  /// are cached per worker count, measured once per process each.
+  int calibrate_exec_threads = 1;
   CostModelOptions cost;
   AnalysisOptions analysis;
   SolverOptions solver;

@@ -1,5 +1,6 @@
 #include "exec/kernel_synthesis.h"
 
+#include "ir/scalar_ops.h"
 #include "kernels/dense.h"
 #include "util/logging.h"
 
@@ -13,6 +14,67 @@ namespace {
 bool Accumulates(const StatementOp& op, const std::vector<int64_t>& iter) {
   return op.reduction_iter >= 0 &&
          iter[static_cast<size_t>(op.reduction_iter)] > 0;
+}
+
+// Compile a fused statement's tape once: resolve scalar-fn ids to pointers
+// and access indices to dense input slots, producing the executable FusedOp
+// program BlockFusedEval interprets. `slots[s]` is the access index whose
+// view feeds input slot s.
+struct CompiledTape {
+  std::vector<FusedOp> ops;
+  std::vector<int> slots;
+};
+
+CompiledTape CompileTape(const StatementOp& op) {
+  RIOT_CHECK(!op.tape.empty()) << "fused op without a tape";
+  RIOT_CHECK_LE(op.tape.size(), static_cast<size_t>(kMaxFusedTapeOps));
+  CompiledTape ct;
+  for (const TapeOp& t : op.tape) {
+    FusedOp f;
+    f.b = t.b;
+    f.alpha = t.alpha;
+    switch (t.code) {
+      case TapeOp::Code::kLoad: {
+        f.code = FusedOp::Code::kLoad;
+        int slot = -1;
+        for (size_t s = 0; s < ct.slots.size(); ++s) {
+          if (ct.slots[s] == t.a) slot = static_cast<int>(s);
+        }
+        if (slot < 0) {
+          ct.slots.push_back(t.a);
+          slot = static_cast<int>(ct.slots.size()) - 1;
+        }
+        f.a = slot;
+        break;
+      }
+      case TapeOp::Code::kAdd:
+        f.code = FusedOp::Code::kAdd;
+        f.a = t.a;
+        break;
+      case TapeOp::Code::kSub:
+        f.code = FusedOp::Code::kSub;
+        f.a = t.a;
+        break;
+      case TapeOp::Code::kScale:
+        f.code = FusedOp::Code::kScale;
+        f.a = t.a;
+        break;
+      case TapeOp::Code::kMap:
+        f.code = FusedOp::Code::kMap;
+        f.a = t.a;
+        f.map_fn = ScalarFnById(t.scalar_fn).map;
+        RIOT_CHECK(f.map_fn != nullptr) << "tape map op with non-map fn";
+        break;
+      case TapeOp::Code::kZip:
+        f.code = FusedOp::Code::kZip;
+        f.a = t.a;
+        f.zip_fn = ScalarFnById(t.scalar_fn).zip;
+        RIOT_CHECK(f.zip_fn != nullptr) << "tape zip op with non-zip fn";
+        break;
+    }
+    ct.ops.push_back(f);
+  }
+  return ct;
 }
 
 }  // namespace
@@ -83,6 +145,40 @@ StatementKernel SynthesizeKernel(const StatementOp& op) {
           }
         }
       };
+    case StatementOp::Kind::kMap: {
+      ScalarMapFn fn = ScalarFnById(op.scalar_fn).map;
+      RIOT_CHECK(fn != nullptr) << "kMap with non-map scalar fn";
+      return [op, fn](const std::vector<int64_t>&,
+                      const std::vector<DenseView*>& v) {
+        BlockMap(fn, *v[static_cast<size_t>(op.a)],
+                 v[static_cast<size_t>(op.out)]);
+      };
+    }
+    case StatementOp::Kind::kZip: {
+      RIOT_CHECK_GE(op.b, 0);
+      ScalarZipFn fn = ScalarFnById(op.scalar_fn).zip;
+      RIOT_CHECK(fn != nullptr) << "kZip with non-zip scalar fn";
+      return [op, fn](const std::vector<int64_t>&,
+                      const std::vector<DenseView*>& v) {
+        BlockZip(fn, *v[static_cast<size_t>(op.a)],
+                 *v[static_cast<size_t>(op.b)],
+                 v[static_cast<size_t>(op.out)]);
+      };
+    }
+    case StatementOp::Kind::kFused: {
+      CompiledTape ct = CompileTape(op);
+      return [ct = std::move(ct), out_idx = op.out](
+                 const std::vector<int64_t>&,
+                 const std::vector<DenseView*>& v) {
+        const double* inputs[kMaxFusedTapeOps];
+        for (size_t s = 0; s < ct.slots.size(); ++s) {
+          inputs[s] = v[static_cast<size_t>(ct.slots[s])]->data;
+        }
+        DenseView* out = v[static_cast<size_t>(out_idx)];
+        BlockFusedEval(ct.ops.data(), static_cast<int>(ct.ops.size()),
+                       inputs, out->data, out->elems());
+      };
+    }
     case StatementOp::Kind::kInput:
       break;
   }

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "ir/scalar_ops.h"
+
 namespace riot {
 
 namespace {
@@ -44,7 +46,7 @@ std::string ExprShape::ToString() const {
 ExprRef ExprGraph::Intern(ExprNode node) {
   if (!node.is_input()) {
     Key key{static_cast<int>(node.kind), node.args, node.trans_a,
-            node.trans_b, AlphaBits(node.alpha)};
+            node.trans_b, AlphaBits(node.alpha), node.scalar_fn};
     auto it = interned_.find(key);
     if (it != interned_.end()) {
       ++cse_hits_;
@@ -157,6 +159,31 @@ ExprRef ExprGraph::SumSquares(ExprRef a) {
   return Intern(std::move(n));
 }
 
+ExprRef ExprGraph::Map(ExprRef a, int scalar_fn) {
+  RIOT_CHECK(IsScalarMap(scalar_fn))
+      << "Map needs a registered unary scalar fn, got id " << scalar_fn;
+  ExprNode n;
+  n.kind = StatementOp::Kind::kMap;
+  n.args = {a};
+  n.shape = shape(a);
+  n.scalar_fn = scalar_fn;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprGraph::Zip(ExprRef a, ExprRef b, int scalar_fn) {
+  RIOT_CHECK(IsScalarZip(scalar_fn))
+      << "Zip needs a registered binary scalar fn, got id " << scalar_fn;
+  RIOT_CHECK(shape(a) == shape(b))
+      << "Zip shape mismatch: " << shape(a).ToString() << " vs "
+      << shape(b).ToString();
+  ExprNode n;
+  n.kind = StatementOp::Kind::kZip;
+  n.args = {a, b};
+  n.shape = shape(a);
+  n.scalar_fn = scalar_fn;
+  return Intern(std::move(n));
+}
+
 void ExprGraph::SetName(ExprRef ref, std::string name) {
   RIOT_CHECK(!name.empty());
   node(ref);  // bounds check
@@ -175,6 +202,7 @@ std::string ExprGraph::Describe(ExprRef ref) const {
   if (n.kind == StatementOp::Kind::kGemm && (n.trans_a || n.trans_b)) {
     os << (n.trans_a ? "^Ta" : "") << (n.trans_b ? "^Tb" : "");
   }
+  if (n.scalar_fn >= 0) os << "[" << ScalarFnById(n.scalar_fn).name << "]";
   if (n.is_input()) {
     os << " " << n.name;
   } else {

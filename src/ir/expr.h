@@ -57,6 +57,7 @@ struct ExprNode {
   bool trans_a = false;  // Gemm: op(A) = A^T
   bool trans_b = false;  // Gemm: op(B) = B^T
   double alpha = 1.0;    // Gemm scale / Scale factor / AddDiag addend
+  int scalar_fn = -1;    // Map/Zip: registered scalar fn id (ir/scalar_ops.h)
   std::string name;      // array name; temporaries default to "t<id>"
   bool keep = false;     // checkpoint this intermediate to disk (persistent)
 
@@ -92,6 +93,12 @@ class ExprGraph {
   /// Column-wise sums of squares over the whole array: out is a
   /// {1, grid cols} grid of {1, block cols} blocks (the RSS building block).
   ExprRef SumSquares(ExprRef a);
+  /// out = fn(a) elementwise, where `scalar_fn` is the id of a registered
+  /// unary scalar function (ir/scalar_ops.h RegisterScalarMap / built-ins).
+  ExprRef Map(ExprRef a, int scalar_fn);
+  /// out = fn(a, b) elementwise; shapes must match exactly and `scalar_fn`
+  /// must name a registered binary scalar function (RegisterScalarZip).
+  ExprRef Zip(ExprRef a, ExprRef b, int scalar_fn);
 
   /// Names the array the node lowers to ("U", "Bh", ...); purely cosmetic
   /// for temporaries, and the on-disk name for inputs/outputs.
@@ -122,7 +129,7 @@ class ExprGraph {
   // Hash-consing key: everything semantically identifying a node. Inputs
   // are never deduplicated (two inputs with one name would be ambiguous;
   // Input checks name uniqueness instead).
-  using Key = std::tuple<int, std::vector<ExprRef>, bool, bool, int64_t>;
+  using Key = std::tuple<int, std::vector<ExprRef>, bool, bool, int64_t, int>;
   std::map<Key, ExprRef> interned_;
   std::vector<ExprNode> nodes_;
   int64_t cse_hits_ = 0;

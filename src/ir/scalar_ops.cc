@@ -1,0 +1,97 @@
+#include "ir/scalar_ops.h"
+
+#include <mutex>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace riot {
+namespace {
+
+double ScalarAbs(double x) { return x < 0 ? -x : x; }
+double ScalarRelu(double x) { return x < 0 ? 0.0 : x; }
+double ScalarMin(double x, double y) { return y < x ? y : x; }
+double ScalarMax(double x, double y) { return x < y ? y : x; }
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ScalarFnInfo> fns;
+
+  Registry() {
+    fns.push_back({"abs", &ScalarAbs, nullptr});    // kScalarAbs
+    fns.push_back({"relu", &ScalarRelu, nullptr});  // kScalarRelu
+    fns.push_back({"min", nullptr, &ScalarMin});    // kScalarMin
+    fns.push_back({"max", nullptr, &ScalarMax});    // kScalarMax
+  }
+};
+
+// Function-local static so the registry is constructed (built-ins first) on
+// first use regardless of static-init order across translation units.
+Registry& Reg() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+int RegisterLocked(Registry& reg, const std::string& name, ScalarMapFn map,
+                   ScalarZipFn zip) {
+  for (const ScalarFnInfo& f : reg.fns) {
+    RIOT_CHECK(f.name != name) << "duplicate scalar fn name: " << name;
+  }
+  reg.fns.push_back({name, map, zip});
+  return static_cast<int>(reg.fns.size()) - 1;
+}
+
+}  // namespace
+
+int RegisterScalarMap(const std::string& name, ScalarMapFn fn) {
+  RIOT_CHECK(fn != nullptr) << "null scalar map fn: " << name;
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return RegisterLocked(reg, name, fn, nullptr);
+}
+
+int RegisterScalarZip(const std::string& name, ScalarZipFn fn) {
+  RIOT_CHECK(fn != nullptr) << "null scalar zip fn: " << name;
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return RegisterLocked(reg, name, nullptr, fn);
+}
+
+ScalarFnInfo ScalarFnById(int id) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  RIOT_CHECK(id >= 0 && id < static_cast<int>(reg.fns.size()))
+      << "unregistered scalar fn id " << id;
+  return reg.fns[id];
+}
+
+int FindScalarFn(const std::string& name) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (int i = 0; i < static_cast<int>(reg.fns.size()); ++i) {
+    if (reg.fns[i].name == name) return i;
+  }
+  return -1;
+}
+
+int NumScalarFns() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return static_cast<int>(reg.fns.size());
+}
+
+bool IsScalarMap(int id) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return id >= 0 && id < static_cast<int>(reg.fns.size()) &&
+         reg.fns[id].map != nullptr;
+}
+
+bool IsScalarZip(int id) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return id >= 0 && id < static_cast<int>(reg.fns.size()) &&
+         reg.fns[id].zip != nullptr;
+}
+
+}  // namespace riot

@@ -1,0 +1,62 @@
+// Registry of user-defined scalar functions usable in expressions. A scalar
+// op is a plain C function pointer — `double(double)` for a map (unary) or
+// `double(double, double)` for a zip (binary) — registered once under a
+// unique name and referenced everywhere else by its integer id: ExprGraph
+// nodes (ir/expr.h Map/Zip), StatementOp::scalar_fn, TapeOp::scalar_fn, and
+// kernel synthesis, which resolves the id back to the pointer when it builds
+// the statement kernel. Function pointers (not std::function) keep the fused
+// tape interpreter allocation-free and let lowering treat the id as plain
+// data that hashes into the CSE key.
+//
+// Registration is process-global and append-only: ids are dense, stable for
+// the life of the process, and never reused. The four built-ins below are
+// registered eagerly in a fixed order so their ids are compile-time
+// constants; they are exact over integers, which the expression fuzzer's
+// Rational differential oracle relies on.
+#ifndef RIOTSHARE_IR_SCALAR_OPS_H_
+#define RIOTSHARE_IR_SCALAR_OPS_H_
+
+#include <string>
+
+namespace riot {
+
+using ScalarMapFn = double (*)(double);
+using ScalarZipFn = double (*)(double, double);
+
+/// One registered scalar function: exactly one of `map` / `zip` is non-null.
+struct ScalarFnInfo {
+  std::string name;
+  ScalarMapFn map = nullptr;
+  ScalarZipFn zip = nullptr;
+};
+
+/// Register a unary scalar fn; returns its id. CHECK-fails on a duplicate
+/// name or null fn. Thread-safe.
+int RegisterScalarMap(const std::string& name, ScalarMapFn fn);
+
+/// Register a binary scalar fn; returns its id. CHECK-fails on a duplicate
+/// name or null fn. Thread-safe.
+int RegisterScalarZip(const std::string& name, ScalarZipFn fn);
+
+/// Look up a registered fn by id. CHECK-fails when `id` is out of range.
+ScalarFnInfo ScalarFnById(int id);
+
+/// Id of the fn registered under `name`, or -1 when none is.
+int FindScalarFn(const std::string& name);
+
+/// Number of registered fns; valid ids are [0, NumScalarFns()).
+int NumScalarFns();
+
+/// True when `id` names a registered fn of the wanted arity.
+bool IsScalarMap(int id);
+bool IsScalarZip(int id);
+
+// Built-in ids — registered in this order before any user registration.
+inline constexpr int kScalarAbs = 0;   // map: |x|
+inline constexpr int kScalarRelu = 1;  // map: max(x, 0)
+inline constexpr int kScalarMin = 2;   // zip: min(x, y)
+inline constexpr int kScalarMax = 3;   // zip: max(x, y)
+
+}  // namespace riot
+
+#endif  // RIOTSHARE_IR_SCALAR_OPS_H_

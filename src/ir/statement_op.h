@@ -8,7 +8,47 @@
 #ifndef RIOTSHARE_IR_STATEMENT_OP_H_
 #define RIOTSHARE_IR_STATEMENT_OP_H_
 
+#include <vector>
+
 namespace riot {
+
+/// \brief One instruction of a fused statement's scalar tape (the micro-IR a
+/// `Kind::kFused` StatementOp carries). The tape is the post-order
+/// linearization of a cluster of elementwise expression nodes: `kLoad` pushes
+/// one element of a read operand, every other code combines earlier tape
+/// positions, and the final position is the value written to `out`. The
+/// executor interprets the tape once per element in a single unit-stride
+/// pass (kernels/dense.h BlockFusedEval), so a whole producer-consumer chain
+/// costs one read of its external inputs and one write — no materialized
+/// intermediates.
+struct TapeOp {
+  enum class Code {
+    kLoad,   // push element of read access `a` (a = Statement access index)
+    kAdd,    // tape[a] + tape[b]
+    kSub,    // tape[a] - tape[b]
+    kScale,  // alpha * tape[a]
+    kMap,    // scalar_fn(tape[a])           (registered unary fn)
+    kZip,    // scalar_fn(tape[a], tape[b])  (registered binary fn)
+  };
+
+  Code code = Code::kLoad;
+  int a = -1;  // kLoad: read access index; otherwise earlier tape position
+  int b = -1;  // second tape position for kAdd/kSub/kZip; -1 for unary codes
+  double alpha = 1.0;    // kScale factor
+  int scalar_fn = -1;    // ir/scalar_ops.h registry id for kMap/kZip
+};
+
+inline const char* TapeOpCodeName(TapeOp::Code c) {
+  switch (c) {
+    case TapeOp::Code::kLoad: return "load";
+    case TapeOp::Code::kAdd: return "add";
+    case TapeOp::Code::kSub: return "sub";
+    case TapeOp::Code::kScale: return "scale";
+    case TapeOp::Code::kMap: return "map";
+    case TapeOp::Code::kZip: return "zip";
+  }
+  return "?";
+}
 
 /// \brief The semantic spec of one statement over its access list. Operand
 /// fields (`a`, `b`, `acc`, `out`) are indices into Statement::accesses —
@@ -24,6 +64,9 @@ struct StatementOp {
     kGemm,        // out (+)= alpha * op(a) op(b)
     kInverse,     // out = a^-1             (single square block)
     kSumSquares,  // out[0, j] (+)= sum_r a[r, j]^2
+    kMap,         // out = scalar_fn(a)     (elementwise, registered fn)
+    kZip,         // out = scalar_fn(a, b)  (elementwise, registered fn)
+    kFused,       // out = tape(reads)      (fused elementwise cluster)
   };
 
   Kind kind = Kind::kAdd;
@@ -39,6 +82,11 @@ struct StatementOp {
   /// guard on `acc` encodes the same condition). -1 = no reduction loop
   /// (single-trip contraction; the kernel always initializes).
   int reduction_iter = -1;
+  /// Registered scalar fn id (ir/scalar_ops.h) for kMap/kZip statements.
+  int scalar_fn = -1;
+  /// Scalar tape for kFused statements: post-order, last entry is the value
+  /// written to `out`. Empty for every other kind (program_lint enforces).
+  std::vector<TapeOp> tape;
 };
 
 inline const char* StatementOpKindName(StatementOp::Kind k) {
@@ -51,6 +99,9 @@ inline const char* StatementOpKindName(StatementOp::Kind k) {
     case StatementOp::Kind::kGemm: return "gemm";
     case StatementOp::Kind::kInverse: return "inverse";
     case StatementOp::Kind::kSumSquares: return "sumsquares";
+    case StatementOp::Kind::kMap: return "map";
+    case StatementOp::Kind::kZip: return "zip";
+    case StatementOp::Kind::kFused: return "fused";
   }
   return "?";
 }

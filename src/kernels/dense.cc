@@ -48,6 +48,87 @@ void BlockAddDiag(const DenseView& a, double alpha, DenseView* c) {
   for (int64_t d = 0; d < a.rows; ++d) c->data[d * step] += alpha;
 }
 
+void BlockMap(double (*fn)(double), const DenseView& a, DenseView* c) {
+  RIOT_DCHECK(a.rows == c->rows && a.cols == c->cols);
+  const int64_t n = a.elems();
+  const double* pa = a.data;
+  double* pc = c->data;
+  for (int64_t i = 0; i < n; ++i) pc[i] = fn(pa[i]);
+}
+
+void BlockZip(double (*fn)(double, double), const DenseView& a,
+              const DenseView& b, DenseView* c) {
+  RIOT_DCHECK(a.rows == b.rows && a.cols == b.cols);
+  RIOT_DCHECK(a.rows == c->rows && a.cols == c->cols);
+  const int64_t n = a.elems();
+  const double* pa = a.data;
+  const double* pb = b.data;
+  double* pc = c->data;
+  for (int64_t i = 0; i < n; ++i) pc[i] = fn(pa[i], pb[i]);
+}
+
+void BlockFusedEval(const FusedOp* tape, int n_ops,
+                    const double* const* inputs, double* out, int64_t n) {
+  RIOT_DCHECK(n_ops >= 1 && n_ops <= kMaxFusedTapeOps);
+  // Strip-mined, op-outer: each tape op is one unit-stride loop over the
+  // current strip, so the loop vectorizer turns every arithmetic code into
+  // packed SIMD (map/zip strips stay scalar — indirect calls through user
+  // scalar fns can't vectorize). Intermediates never touch memory outside
+  // the strip rows, and a partial last strip runs the same loops with a
+  // shorter trip — per element the op sequence is identical everywhere,
+  // which keeps fused and unfused lowerings bit-identical.
+  double regs[kMaxFusedTapeOps][kFusedStripElems];
+  const int last = n_ops - 1;
+  for (int64_t i = 0; i < n; i += kFusedStripElems) {
+    const int64_t ws = std::min<int64_t>(kFusedStripElems, n - i);
+    for (int t = 0; t <= last; ++t) {
+      const FusedOp& op = tape[t];
+      double* __restrict__ dst = regs[t];
+      switch (op.code) {
+        case FusedOp::Code::kLoad: {
+          const double* __restrict__ src = inputs[op.a] + i;
+          for (int64_t j = 0; j < ws; ++j) dst[j] = src[j];
+          break;
+        }
+        case FusedOp::Code::kAdd: {
+          const double* ra = regs[op.a];
+          const double* rb = regs[op.b];
+          for (int64_t j = 0; j < ws; ++j) dst[j] = ra[j] + rb[j];
+          break;
+        }
+        case FusedOp::Code::kSub: {
+          const double* ra = regs[op.a];
+          const double* rb = regs[op.b];
+          for (int64_t j = 0; j < ws; ++j) dst[j] = ra[j] - rb[j];
+          break;
+        }
+        case FusedOp::Code::kScale: {
+          const double* ra = regs[op.a];
+          const double alpha = op.alpha;
+          for (int64_t j = 0; j < ws; ++j) dst[j] = alpha * ra[j];
+          break;
+        }
+        case FusedOp::Code::kMap: {
+          const double* ra = regs[op.a];
+          for (int64_t j = 0; j < ws; ++j) dst[j] = op.map_fn(ra[j]);
+          break;
+        }
+        case FusedOp::Code::kZip: {
+          const double* ra = regs[op.a];
+          const double* rb = regs[op.b];
+          for (int64_t j = 0; j < ws; ++j) {
+            dst[j] = op.zip_fn(ra[j], rb[j]);
+          }
+          break;
+        }
+      }
+    }
+    const double* rl = regs[last];
+    double* __restrict__ po = out + i;
+    for (int64_t j = 0; j < ws; ++j) po[j] = rl[j];
+  }
+}
+
 namespace {
 
 inline double Get(const DenseView& v, bool trans, int64_t r, int64_t c) {

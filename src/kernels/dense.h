@@ -66,6 +66,49 @@ void BlockScale(const DenseView& a, double alpha, DenseView* c);
 /// C = A + alpha * I; A (and C) square.
 void BlockAddDiag(const DenseView& a, double alpha, DenseView* c);
 
+/// C = fn(A) elementwise (registered scalar map, by pointer).
+void BlockMap(double (*fn)(double), const DenseView& a, DenseView* c);
+
+/// C = fn(A, B) elementwise (registered scalar zip, by pointer).
+void BlockZip(double (*fn)(double, double), const DenseView& a,
+              const DenseView& b, DenseView* c);
+
+/// \brief One compiled instruction of a fused statement's scalar tape —
+/// the executable mirror of ir/statement_op.h TapeOp with access indices
+/// resolved to input slots and scalar-fn ids resolved to pointers (kernel
+/// synthesis does the resolution once per statement, not per element).
+struct FusedOp {
+  enum class Code { kLoad, kAdd, kSub, kScale, kMap, kZip };
+  Code code = Code::kLoad;
+  int a = -1;  // kLoad: slot in `inputs`; otherwise an earlier tape position
+  int b = -1;  // second tape position for kAdd/kSub/kZip
+  double alpha = 1.0;                     // kScale
+  double (*map_fn)(double) = nullptr;     // kMap
+  double (*zip_fn)(double, double) = nullptr;  // kZip
+};
+
+/// Hard cap on one fused tape's length: bounds the interpreter's strip
+/// scratch (kMaxFusedTapeOps x kFusedStripElems doubles declared; only the
+/// rows of live tape positions are touched, so a typical tape's working
+/// strips stay L1-resident). core/fusion.h plans clusters under this.
+inline constexpr int kMaxFusedTapeOps = 32;
+
+/// Strip width of the fused-tape interpreter: each tape op runs as one
+/// unit-stride loop over a strip this wide (16 KB of doubles for an
+/// 8-entry tape), so the loop vectorizer turns every arithmetic op into
+/// packed SIMD while intermediates never leave the strip buffer.
+inline constexpr int kFusedStripElems = 256;
+
+/// out[i] = tape(inputs...[i]) for i in [0, n): single-pass interpretation
+/// of a fused elementwise cluster. All input buffers and `out` are dense
+/// unit-stride arrays of n elements; the last tape position is the result.
+/// Strict per-element evaluation order matches running the constituent
+/// kernels (BlockAdd/BlockSub/BlockScale/BlockMap/BlockZip) one at a time
+/// through materialized temporaries, so fused and unfused lowerings are
+/// bit-identical.
+void BlockFusedEval(const FusedOp* tape, int n_ops,
+                    const double* const* inputs, double* out, int64_t n);
+
 /// C op= alpha * op(A) * op(B); accumulate=false overwrites C.
 /// transpose flags select op(X) = X or X^T (BLAS-style).
 ///

@@ -3,6 +3,7 @@
 #include "core/lowering.h"
 #include "exec/kernel_synthesis.h"
 #include "ir/builder.h"
+#include "ir/scalar_ops.h"
 #include "kernels/dense.h"
 #include "util/logging.h"
 
@@ -23,8 +24,9 @@ std::vector<int64_t> Blk(int64_t block_r, int64_t block_c, int64_t scale,
 }  // namespace
 
 Workload FromExpr(std::string name, const ExprGraph& graph,
-                  const std::vector<ExprRef>& outputs) {
-  LoweredExpr lowered = LowerExpr(graph, outputs).ValueOrDie();
+                  const std::vector<ExprRef>& outputs,
+                  const LowerOptions& lower) {
+  LoweredExpr lowered = LowerExpr(graph, outputs, lower).ValueOrDie();
   Workload w;
   w.name = std::move(name);
   w.program = std::move(lowered.program);
@@ -145,7 +147,7 @@ Workload MakeExample1(int64_t n1, int64_t n2, int64_t n3, int64_t block_rows,
   return FromExpr("example1", g, {e});
 }
 
-Workload MakeCovariance(int64_t scale) {
+Workload MakeCovariance(int64_t scale, bool fuse) {
   // X: 16x1 blocks of 30000x3000; O: the all-ones column (16x1 blocks of
   // 30000x1). G = X'X and M = 1'X (column sums) are accumulated across
   // X's block rows; both — and the small M'M product — are scratch.
@@ -163,7 +165,9 @@ Workload MakeCovariance(int64_t scale) {
   g.SetName(gram, "G");
   g.SetName(m, "M");
   g.SetName(cov, "Cov");
-  Workload w = FromExpr("covariance", g, {cov});
+  LowerOptions lower;
+  lower.fuse = fuse;
+  Workload w = FromExpr("covariance", g, {cov}, lower);
   // O is the all-ones column; look it up by name (array ids are a
   // lowering detail callers must not hard-code).
   for (const ArrayInfo& arr : w.program.arrays()) {
@@ -200,6 +204,32 @@ Workload MakeRidge(int64_t scale) {
   RIOT_CHECK_EQ(g.cse_hits(), 2);
   Workload w = FromExpr("ridge", g, betas);
   return w;
+}
+
+ExprRef BuildElementwiseChain(ExprGraph* g, int64_t scale) {
+  // Every constant is a small integer and every op is exact over integers
+  // (relu/max compare, never round), so integer-filled inputs stay exactly
+  // representable and the Rational differential oracle can demand
+  // bit-identical doubles from both the fused and unfused lowerings.
+  ExprRef x = g->Input("X", {8, 2}, Blk(24000, 3000, scale, "chain"));
+  ExprRef y = g->Input("Y", {8, 2}, Blk(24000, 3000, scale, "chain"));
+  ExprRef t = g->Add(x, y);
+  t = g->Scale(t, 2.0);
+  t = g->Sub(t, y);
+  t = g->Map(t, kScalarRelu);
+  t = g->Add(t, x);
+  t = g->Zip(t, y, kScalarMax);
+  t = g->Scale(t, 3.0);
+  g->SetName(t, "Z");
+  return t;
+}
+
+Workload MakeElementwiseChain(int64_t scale, bool fuse) {
+  ExprGraph g;
+  ExprRef z = BuildElementwiseChain(&g, scale);
+  LowerOptions lower;
+  lower.fuse = fuse;
+  return FromExpr(fuse ? "chain" : "chain_unfused", g, {z}, lower);
 }
 
 Workload MakeJoinFilter(int64_t nr, int64_t ns, int64_t rows_per_block) {

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/lowering.h"
 #include "exec/executor.h"
 #include "ir/expr.h"
 #include "ir/program.h"
@@ -56,9 +57,11 @@ struct Workload {
 /// core/lowering.h, kernels synthesized from every statement's op.
 /// CHECK-fails on a graph LowerExpr rejects (empty/duplicate outputs,
 /// duplicate array names, output that is an input) — call LowerExpr
-/// directly to handle those as recoverable Status instead.
+/// directly to handle those as recoverable Status instead. `lower` controls
+/// elementwise fusion; `{.fuse = false}` is the unfused escape hatch.
 Workload FromExpr(std::string name, const ExprGraph& graph,
-                  const std::vector<ExprRef>& outputs);
+                  const std::vector<ExprRef>& outputs,
+                  const LowerOptions& lower = {});
 
 Workload MakeAddMul(int64_t scale);
 Workload MakeAddMulTall(int64_t scale);
@@ -82,9 +85,11 @@ Workload MakeExample1(int64_t n1, int64_t n2, int64_t n3,
 /// Centered covariance of X's columns (X: 16x1 blocks of 30000x3000):
 ///   G = X'X;  M = 1'X;  Cov = (G - (1/n) M'M) / (n - 1)
 /// G, M, and the M'M product are scratch temporaries — non-persistent, so
-/// the optimizer's write elision can keep them off disk entirely.
+/// the optimizer's write elision can keep them off disk entirely; the
+/// centered difference fuses into the final Scale (`fuse` selects the
+/// lowering, for fused-vs-unfused differentials).
 /// `scale` must divide 30000 and 3000.
-Workload MakeCovariance(int64_t scale);
+Workload MakeCovariance(int64_t scale, bool fuse = true);
 
 /// Ridge regression at two regularization strengths over one dataset
 /// (X: 16x1 blocks of 30000x3000; y: 30000x400):
@@ -93,6 +98,20 @@ Workload MakeCovariance(int64_t scale);
 /// lambda; hash-consed CSE materializes each exactly once (see
 /// ExprGraph::cse_hits). `scale` must divide 30000, 3000, and 400.
 Workload MakeRidge(int64_t scale);
+
+/// \brief Builds the synthetic deep elementwise-chain graph into `g` and
+/// returns the chain's final node: 7 fusable elementwise ops
+/// (Add/Scale/Sub/Map/Add/Zip/Scale over inputs X and Y, integer-exact
+/// constants) feeding one output Z. With fusion the whole chain lowers to
+/// ONE compound statement and zero scratch temporaries; unfused it is 7
+/// statements and 6 temporaries — the headline fusion benchmark shape.
+/// Exposed separately from MakeElementwiseChain so differential tests can
+/// run the same graph through both lowerings and the Rational oracle.
+ExprRef BuildElementwiseChain(ExprGraph* g, int64_t scale);
+
+/// The deep-chain graph as a runnable workload (X, Y: 8x2 blocks of
+/// (24000/scale) x (3000/scale)); `fuse` selects the lowering.
+Workload MakeElementwiseChain(int64_t scale, bool fuse = true);
 
 /// Pig/relational-style program (paper Section 4.1: "table scans and nested
 /// loop joins in traditional databases, FILTER and FOREACH commands in Pig"

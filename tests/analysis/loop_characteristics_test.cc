@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "core/cost_model.h"
+#include "core/lowering.h"
+#include "ir/scalar_ops.h"
 #include "ops/workload.h"
 
 namespace riot {
@@ -147,6 +149,63 @@ TEST(LoopCharacteristicsTest, CalibrationProducesPositiveRates) {
   EXPECT_GT(t.gemm_gflops, 0.0);
   EXPECT_GT(t.inverse_gflops, 0.0);
   EXPECT_GT(t.reduction_gflops, 0.0);
+  EXPECT_EQ(t.calibrated_workers, 1);
+}
+
+TEST(LoopCharacteristicsTest, MultiWorkerCalibrationReportsPerWorkerRates) {
+  KernelRateTable t = CalibrateKernelRates(/*budget_ms=*/40, /*workers=*/2);
+  EXPECT_EQ(t.calibrated_workers, 2);
+  // Per-worker rates under contention are still positive; they need not be
+  // lower than the solo rates on a noisy machine, so only positivity and
+  // the worker count are pinned here.
+  EXPECT_GT(t.elementwise_gflops, 0.0);
+  EXPECT_GT(t.gemm_gflops, 0.0);
+  EXPECT_GT(t.inverse_gflops, 0.0);
+  EXPECT_GT(t.reduction_gflops, 0.0);
+}
+
+TEST(LoopCharacteristicsTest, FusedStatementFlopsCountTapeComputeOps) {
+  // The 7-op chain fuses into one statement; its flops per instance are the
+  // number of non-load tape entries times the output block's element count.
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {8, 8});
+  ExprRef y = g.Input("Y", {2, 2}, {8, 8});
+  ExprRef t = g.Add(x, y);
+  t = g.Scale(t, 2.0);
+  t = g.Sub(t, y);
+  t = g.Map(t, kScalarRelu);
+  t = g.Zip(t, y, kScalarMax);
+
+  auto lo = LowerExpr(g, {t});
+  ASSERT_TRUE(lo.ok());
+  ASSERT_EQ(lo->program.statements().size(), 1u);
+  const Statement& st = lo->program.statement(0);
+  ASSERT_EQ(st.op->kind, StatementOp::Kind::kFused);
+  int compute_ops = 0;
+  for (const TapeOp& op : st.op->tape) {
+    compute_ops += op.code == TapeOp::Code::kLoad ? 0 : 1;
+  }
+  EXPECT_EQ(compute_ops, 5);
+
+  auto chars = AnalyzeProgramLoops(lo->program);
+  ASSERT_EQ(chars.size(), 1u);
+  EXPECT_EQ(chars[0].kernel_class, KernelClass::kElementwise);
+  EXPECT_DOUBLE_EQ(chars[0].flops_per_instance, 5.0 * 8 * 8);
+  // Indirect calls through user scalar-fn pointers defeat autovectorization.
+  EXPECT_FALSE(chars[0].vectorizable);
+
+  // The same chain without map/zip keeps the vectorizable guarantee that
+  // scripts/check_vectorization.sh proves for BlockFusedEval.
+  ExprGraph h;
+  ExprRef hx = h.Input("X", {2, 2}, {8, 8});
+  ExprRef hy = h.Input("Y", {2, 2}, {8, 8});
+  ExprRef pure = h.Sub(h.Scale(h.Add(hx, hy), 2.0), hy);
+  auto lp = LowerExpr(h, {pure});
+  ASSERT_TRUE(lp.ok());
+  ASSERT_EQ(lp->program.statements().size(), 1u);
+  auto pchars = AnalyzeProgramLoops(lp->program);
+  EXPECT_TRUE(pchars[0].vectorizable);
+  EXPECT_DOUBLE_EQ(pchars[0].flops_per_instance, 3.0 * 8 * 8);
 }
 
 }  // namespace

@@ -9,13 +9,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 #include <vector>
 
 #include "core/access_plan.h"
+#include "core/lowering.h"
 #include "core/plan_realization.h"
 #include "ir/builder.h"
 #include "ir/program.h"
+#include "ir/scalar_ops.h"
 
 namespace riot {
 namespace {
@@ -336,6 +339,161 @@ TEST(ProgramLintTest, InstanceCapSkipsBruteForceOnly) {
   EXPECT_TRUE(report->ok()) << report->ToString();
   EXPECT_FALSE(report->dag_cross_checked);
   EXPECT_EQ(report->instances_checked, 8u);
+}
+
+// ---- Fused-tape mutations ------------------------------------------------
+// Start from a clean fused program (a real LowerExpr chain), break exactly
+// one tape invariant, and assert kMalformedTape fires.
+
+// Z = max(relu(2 * (X + Y) - Y), Y) * 3-ish: one compound statement with a
+// load-dedup, a scale, a map, and a zip on the tape.
+Program FusedChain() {
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef y = g.Input("Y", {2, 2}, {4, 4});
+  ExprRef t = g.Add(x, y);
+  t = g.Scale(t, 2.0);
+  t = g.Sub(t, y);
+  t = g.Map(t, kScalarRelu);
+  t = g.Zip(t, y, kScalarMax);
+  LoweredExpr lo = LowerExpr(g, {t}).ValueOrDie();
+  EXPECT_EQ(lo.program.statements().size(), 1u);
+  EXPECT_EQ(lo.program.statement(0).op->kind, StatementOp::Kind::kFused);
+  return lo.program;
+}
+
+// Rebuild the program with statement 0's op mutated by `mutate`.
+Program MutateFusedOp(const Program& p,
+                      const std::function<void(StatementOp*)>& mutate) {
+  Program q;
+  for (const auto& a : p.arrays()) q.AddArray(a);
+  Statement st = p.statements()[0];
+  mutate(&*st.op);
+  q.AddStatement(std::move(st), 0, 0);
+  return q;
+}
+
+TEST(ProgramLintTest, CleanFusedChainLintsClean) {
+  Program p = FusedChain();
+  ASSERT_TRUE(p.Validate().ok());
+  auto report = LintProgram(p);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->ToString();
+  auto plan = LintPlan(p, p.original_schedule(), {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->ok()) << plan->ToString();
+}
+
+TEST(ProgramLintTest, EmptyTapeIsFlagged) {
+  Program q = MutateFusedOp(FusedChain(),
+                            [](StatementOp* op) { op->tape.clear(); });
+  auto report = LintProgram(q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Has(LintCode::kMalformedTape)) << report->ToString();
+}
+
+TEST(ProgramLintTest, TapeOperandFromTheFutureIsFlagged) {
+  // A compute op referencing its own (or a later) position breaks the
+  // post-order contract the interpreter relies on.
+  Program q = MutateFusedOp(FusedChain(), [](StatementOp* op) {
+    for (TapeOp& t : op->tape) {
+      if (t.code == TapeOp::Code::kAdd) {
+        t.a = static_cast<int>(op->tape.size()) - 1;
+      }
+    }
+  });
+  auto report = LintProgram(q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Has(LintCode::kMalformedTape)) << report->ToString();
+}
+
+TEST(ProgramLintTest, TapeLoadNamingWriteAccessIsFlagged) {
+  Program q = MutateFusedOp(FusedChain(), [](StatementOp* op) {
+    op->tape[0].a = op->out;  // loads must name read accesses
+  });
+  auto report = LintProgram(q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Has(LintCode::kMalformedTape)) << report->ToString();
+}
+
+TEST(ProgramLintTest, TapeUnaryOpWithSecondOperandIsFlagged) {
+  Program q = MutateFusedOp(FusedChain(), [](StatementOp* op) {
+    for (TapeOp& t : op->tape) {
+      if (t.code == TapeOp::Code::kScale) t.b = 0;
+    }
+  });
+  auto report = LintProgram(q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Has(LintCode::kMalformedTape)) << report->ToString();
+}
+
+TEST(ProgramLintTest, TapeMapWithZipFnIsFlagged) {
+  // kScalarMax is a zip; a map op naming it must be rejected before kernel
+  // synthesis would dereference a null map pointer.
+  Program q = MutateFusedOp(FusedChain(), [](StatementOp* op) {
+    for (TapeOp& t : op->tape) {
+      if (t.code == TapeOp::Code::kMap) t.scalar_fn = kScalarMax;
+    }
+  });
+  auto report = LintProgram(q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Has(LintCode::kMalformedTape)) << report->ToString();
+}
+
+TEST(ProgramLintTest, TapeUnconsumedReadIsFlagged) {
+  // Redirect the zip's load of Y onto X's tape position: the Y read access
+  // remains on the statement but nothing consumes it — paid I/O feeding
+  // nothing.
+  Program q = MutateFusedOp(FusedChain(), [](StatementOp* op) {
+    int first_load = -1;
+    for (size_t i = 0; i < op->tape.size(); ++i) {
+      if (op->tape[i].code != TapeOp::Code::kLoad) continue;
+      if (first_load < 0) {
+        first_load = op->tape[static_cast<size_t>(i)].a;
+      } else {
+        op->tape[i].a = first_load;
+      }
+    }
+  });
+  auto report = LintProgram(q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Has(LintCode::kMalformedTape)) << report->ToString();
+}
+
+TEST(ProgramLintTest, TapeOnNonFusedKindIsFlagged) {
+  Program q = MutateFusedOp(FusedChain(), [](StatementOp* op) {
+    // Keep the tape but claim to be a plain elementwise op.
+    op->kind = StatementOp::Kind::kAdd;
+    op->a = 0;
+    op->b = 1;
+  });
+  auto report = LintProgram(q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Has(LintCode::kMalformedTape)) << report->ToString();
+}
+
+TEST(ProgramLintTest, FusedWithAccumulatorIsFlagged) {
+  Program q = MutateFusedOp(FusedChain(), [](StatementOp* op) {
+    op->acc = 0;  // fused statements are pure elementwise
+  });
+  auto report = LintProgram(q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Has(LintCode::kMalformedTape)) << report->ToString();
+}
+
+TEST(ProgramLintTest, ZipStatementWithoutSecondOperandIsFlagged) {
+  // A singleton kZip statement missing `b` trips the binary arity check.
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef y = g.Input("Y", {2, 2}, {4, 4});
+  ExprRef out = g.Zip(x, y, kScalarMin);
+  LowerOptions off;
+  off.fuse = false;
+  LoweredExpr lo = LowerExpr(g, {out}, off).ValueOrDie();
+  Program q = MutateFusedOp(lo.program, [](StatementOp* op) { op->b = -1; });
+  auto report = LintProgram(q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Has(LintCode::kOpArityMismatch)) << report->ToString();
 }
 
 }  // namespace

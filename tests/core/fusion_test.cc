@@ -1,0 +1,225 @@
+// Fusion pass: cluster boundaries and fused lowering structure. Pins the
+// rules from core/fusion.h — single-consumer elementwise chains collapse
+// into one compound statement; CSE-shared nodes, Keep()-ed nodes, bound
+// outputs, non-elementwise producers/consumers, and the tape-length cap
+// all break fusion — plus the shape of the emitted tape itself.
+#include "core/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lowering.h"
+#include "ir/scalar_ops.h"
+
+namespace riot {
+namespace {
+
+LoweredExpr MustLower(const ExprGraph& g, const std::vector<ExprRef>& outs,
+                      const LowerOptions& opts = {}) {
+  auto r = LowerExpr(g, outs, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+int ScratchArrays(const Program& p) {
+  int scratch = 0;
+  for (const ArrayInfo& a : p.arrays()) scratch += a.persistent ? 0 : 1;
+  return scratch;
+}
+
+TEST(FusionTest, ChainCollapsesToOneStatement) {
+  // Scale(Sub(Add(x, y), y), 3): four fusable nodes, single consumers
+  // throughout -> one compound statement, zero scratch arrays.
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef y = g.Input("Y", {2, 2}, {4, 4});
+  ExprRef t = g.Scale(g.Sub(g.Add(x, y), y), 3.0);
+  LoweredExpr lo = MustLower(g, {t});
+
+  ASSERT_EQ(lo.program.statements().size(), 1u);
+  EXPECT_EQ(lo.program.arrays().size(), 3u);  // X, Y, output only
+  EXPECT_EQ(ScratchArrays(lo.program), 0);
+  EXPECT_EQ(lo.fused_nodes, 2);
+
+  const Statement& st = lo.program.statement(0);
+  ASSERT_TRUE(st.op.has_value());
+  EXPECT_EQ(st.op->kind, StatementOp::Kind::kFused);
+  // Tape: load x, load y, add, sub (y deduped onto the same load), scale.
+  ASSERT_EQ(st.op->tape.size(), 5u);
+  EXPECT_EQ(st.op->tape[0].code, TapeOp::Code::kLoad);
+  EXPECT_EQ(st.op->tape[1].code, TapeOp::Code::kLoad);
+  EXPECT_EQ(st.op->tape[2].code, TapeOp::Code::kAdd);
+  EXPECT_EQ(st.op->tape[3].code, TapeOp::Code::kSub);
+  EXPECT_EQ(st.op->tape[3].b, 1);  // reuses y's load position
+  EXPECT_EQ(st.op->tape[4].code, TapeOp::Code::kScale);
+  EXPECT_EQ(st.op->tape[4].alpha, 3.0);
+  // Accesses: read X, read Y (once), write out.
+  EXPECT_EQ(st.accesses.size(), 3u);
+  EXPECT_EQ(st.op->out, 2);
+
+  // Fused-away nodes have no array but map to the compound statement.
+  const ExprRef add = g.Add(x, y);  // CSE returns the existing node
+  EXPECT_EQ(lo.array_of[static_cast<size_t>(add)], -1);
+  EXPECT_EQ(lo.stmt_of[static_cast<size_t>(add)], lo.stmt_of[t]);
+}
+
+TEST(FusionTest, FuseOffRestoresPerNodeLowering) {
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef y = g.Input("Y", {2, 2}, {4, 4});
+  ExprRef t = g.Scale(g.Sub(g.Add(x, y), y), 3.0);
+  LowerOptions off;
+  off.fuse = false;
+  LoweredExpr lo = MustLower(g, {t}, off);
+  EXPECT_EQ(lo.program.statements().size(), 3u);
+  EXPECT_EQ(lo.program.arrays().size(), 5u);
+  EXPECT_EQ(ScratchArrays(lo.program), 2);
+  EXPECT_EQ(lo.fused_nodes, 0);
+  EXPECT_EQ(lo.program.statement(0).op->kind, StatementOp::Kind::kAdd);
+}
+
+TEST(FusionTest, CseSharedNodeBreaksFusion) {
+  // p = Add(x, y) feeds two distinct consumers: it must stay materialized
+  // (the scheduler owns sharing for multi-consumer values).
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef y = g.Input("Y", {2, 2}, {4, 4});
+  ExprRef p = g.Add(x, y);
+  ExprRef out = g.Sub(g.Scale(p, 2.0), g.Map(p, kScalarRelu));
+  LoweredExpr lo = MustLower(g, {out});
+  // p materialized; Scale and Map fuse into the final Sub.
+  EXPECT_EQ(lo.program.statements().size(), 2u);
+  EXPECT_GE(lo.array_of[static_cast<size_t>(p)], 0);
+  EXPECT_EQ(lo.fused_nodes, 2);
+}
+
+TEST(FusionTest, SameNodeTwiceInOneConsumerBreaksFusion) {
+  // Add(p, p): two (consumer, arg-slot) uses, so p stays materialized —
+  // fusing it would duplicate its whole subtree into the tape.
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef p = g.Scale(x, 2.0);
+  ExprRef out = g.Add(p, p);
+  LoweredExpr lo = MustLower(g, {out});
+  EXPECT_EQ(lo.program.statements().size(), 2u);
+  EXPECT_GE(lo.array_of[static_cast<size_t>(p)], 0);
+  EXPECT_EQ(lo.fused_nodes, 0);
+}
+
+TEST(FusionTest, KeepBreaksFusion) {
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef p = g.Scale(x, 2.0);
+  g.Keep(p);  // user demands the intermediate on disk
+  ExprRef out = g.Scale(p, 3.0);
+  LoweredExpr lo = MustLower(g, {out});
+  EXPECT_EQ(lo.program.statements().size(), 2u);
+  EXPECT_TRUE(
+      lo.program.array(lo.array_of[static_cast<size_t>(p)]).persistent);
+  EXPECT_EQ(lo.fused_nodes, 0);
+}
+
+TEST(FusionTest, BoundOutputBreaksFusion) {
+  // p is itself an output: its array is the user contract, no fusing away.
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef p = g.Scale(x, 2.0);
+  ExprRef out = g.Scale(p, 3.0);
+  LoweredExpr lo = MustLower(g, {p, out});
+  EXPECT_EQ(lo.program.statements().size(), 2u);
+  EXPECT_EQ(lo.fused_nodes, 0);
+}
+
+TEST(FusionTest, NonElementwiseNeighborsBreakFusion) {
+  // Gemm consumer: Add feeding a Gemm stays a statement (different
+  // iteration space). Gemm producer: Scale(Gemm) keeps the Gemm statement
+  // and the Scale lowers as a plain singleton, not a tape.
+  ExprGraph g;
+  ExprRef a = g.Input("A", {2, 2}, {4, 4});
+  ExprRef b = g.Input("B", {2, 2}, {4, 4});
+  ExprRef sum = g.Add(a, b);
+  ExprRef prod = g.Gemm(sum, b);
+  ExprRef out = g.Scale(prod, 0.5);
+  LoweredExpr lo = MustLower(g, {out});
+  ASSERT_EQ(lo.program.statements().size(), 3u);
+  EXPECT_EQ(lo.program.statement(0).op->kind, StatementOp::Kind::kAdd);
+  EXPECT_EQ(lo.program.statement(1).op->kind, StatementOp::Kind::kGemm);
+  EXPECT_EQ(lo.program.statement(2).op->kind, StatementOp::Kind::kScale);
+  EXPECT_EQ(lo.fused_nodes, 0);
+}
+
+TEST(FusionTest, SingletonMapAndZipLowerAsTypedStatements) {
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef y = g.Input("Y", {2, 2}, {4, 4});
+  ExprRef m = g.Map(x, kScalarAbs);
+  ExprRef out = g.Zip(m, y, kScalarMin);
+  // Map has a single consumer (the Zip) so the pair fuses; with fusion off
+  // they are typed kMap / kZip statements.
+  LowerOptions off;
+  off.fuse = false;
+  LoweredExpr lo = MustLower(g, {out}, off);
+  ASSERT_EQ(lo.program.statements().size(), 2u);
+  EXPECT_EQ(lo.program.statement(0).op->kind, StatementOp::Kind::kMap);
+  EXPECT_EQ(lo.program.statement(0).op->scalar_fn, kScalarAbs);
+  EXPECT_EQ(lo.program.statement(1).op->kind, StatementOp::Kind::kZip);
+  EXPECT_EQ(lo.program.statement(1).op->scalar_fn, kScalarMin);
+
+  LoweredExpr fused = MustLower(g, {out});
+  ASSERT_EQ(fused.program.statements().size(), 1u);
+  EXPECT_EQ(fused.program.statement(0).op->kind, StatementOp::Kind::kFused);
+}
+
+TEST(FusionTest, TapeCapSplitsLongChains) {
+  // A chain deeper than the cap allows must split into several compound
+  // statements rather than one unbounded tape.
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef t = x;
+  for (int i = 0; i < 20; ++i) t = g.Scale(t, static_cast<double>(i + 2));
+  LowerOptions opts;
+  opts.max_fused_tape_ops = 6;  // 1 load + <= 5 scale ops per statement
+  LoweredExpr lo = MustLower(g, {t}, opts);
+  EXPECT_GT(lo.program.statements().size(), 1u);
+  for (const Statement& st : lo.program.statements()) {
+    ASSERT_TRUE(st.op.has_value());
+    EXPECT_LE(st.op->tape.size(), 6u);
+  }
+  // Every node still computed: 20 scales spread over the statements.
+  size_t total_scales = 0;
+  for (const Statement& st : lo.program.statements()) {
+    if (st.op->kind == StatementOp::Kind::kFused) {
+      for (const TapeOp& op : st.op->tape) {
+        total_scales += op.code == TapeOp::Code::kScale ? 1 : 0;
+      }
+    } else if (st.op->kind == StatementOp::Kind::kScale) {
+      ++total_scales;
+    }
+  }
+  EXPECT_EQ(total_scales, 20u);
+}
+
+TEST(FusionTest, PlanFusionReportsClusters) {
+  ExprGraph g;
+  ExprRef x = g.Input("X", {2, 2}, {4, 4});
+  ExprRef y = g.Input("Y", {2, 2}, {4, 4});
+  ExprRef a = g.Add(x, y);
+  ExprRef b = g.Scale(a, 2.0);
+  ExprRef c = g.Sub(b, x);
+  FusionPlan plan = PlanFusion(g, {c});
+  EXPECT_EQ(plan.fused_nodes, 2);
+  EXPECT_TRUE(plan.Fused(a));
+  EXPECT_TRUE(plan.Fused(b));
+  EXPECT_FALSE(plan.Fused(c));
+  EXPECT_EQ(plan.cluster_root[static_cast<size_t>(a)], c);
+  EXPECT_EQ(plan.cluster_root[static_cast<size_t>(b)], c);
+  EXPECT_EQ(plan.fused_into[static_cast<size_t>(a)], b);
+  EXPECT_EQ(plan.fused_into[static_cast<size_t>(b)], c);
+
+  FusionOptions off;
+  off.enable = false;
+  FusionPlan none = PlanFusion(g, {c}, off);
+  EXPECT_EQ(none.fused_nodes, 0);
+}
+
+}  // namespace
+}  // namespace riot

@@ -39,6 +39,7 @@
 #include "core/schedule_solver.h"
 #include "ir/builder.h"
 #include "ir/expr.h"
+#include "ir/scalar_ops.h"
 #include "exec/executor.h"
 #include "exec/verify.h"
 #include "linalg/matrix.h"
@@ -869,7 +870,7 @@ GeneratedExpr GenerateExpr(uint64_t seed) {
       const ExprRef b = pick(0, n - 1);
       const ExprShape& sa = g.graph.node(a).shape;
       const ExprShape& sb = g.graph.node(b).shape;
-      const int kind = pick(0, 5);
+      const int kind = pick(0, 7);
       ExprRef made = -1;
       switch (kind) {
         case 0:
@@ -919,6 +920,19 @@ GeneratedExpr GenerateExpr(uint64_t seed) {
           made = track(g.graph.SumSquares(a), bb);
           break;
         }
+        case 6: {  // Map: abs / relu, exact on integers, bound unchanged
+          made = track(
+              g.graph.Map(a, pick(0, 1) == 0 ? kScalarAbs : kScalarRelu),
+              bound[size_t(a)]);
+          break;
+        }
+        case 7: {  // Zip: min / max, bound is the larger operand bound
+          if (!(sa == sb)) continue;
+          made = track(
+              g.graph.Zip(a, b, pick(0, 1) == 0 ? kScalarMin : kScalarMax),
+              std::max(bound[size_t(a)], bound[size_t(b)]));
+          break;
+        }
       }
       if (made < 0) continue;
       for (ExprRef arg : g.graph.node(made).args) {
@@ -927,10 +941,115 @@ GeneratedExpr GenerateExpr(uint64_t seed) {
       break;
     }
   }
+
   for (size_t id = 0; id < g.graph.size(); ++id) {
     if (!g.graph.node(static_cast<ExprRef>(id)).is_input() && !consumed[id]) {
       g.outputs.push_back(static_cast<ExprRef>(id));
     }
+  }
+  return g;
+}
+
+// Chain-focused corpus: two same-shape inputs feeding a deep single-
+// consumer elementwise chain — the fusion planner's main diet — rooted
+// half the time on a diamond (one producer, two branches that rejoin)
+// whose shared producer must stay materialized while both branches fuse
+// into the join. These graphs maximize fusion depth; the test runs them on
+// the original schedule only, because the long same-shape statement runs
+// they lower to UNFUSED would blow up plan enumeration for no extra
+// differential value.
+GeneratedExpr GenerateChainExpr(uint64_t seed) {
+  std::mt19937_64 rng(seed * 6271 + 101);
+  auto pick = [&](int lo, int hi) {
+    return lo + static_cast<int>(rng() % static_cast<uint64_t>(hi - lo + 1));
+  };
+  GeneratedExpr g;
+  std::vector<double> bound;
+  std::vector<bool> consumed;
+  auto track = [&](ExprRef r, double b) {
+    if (static_cast<size_t>(r) == bound.size()) {
+      bound.push_back(b);
+      consumed.push_back(false);
+    }
+    return r;
+  };
+  const int64_t gr = pick(1, 3), gc = pick(1, 3);
+  const int64_t br = pick(2, 13), bc = pick(2, 13);
+  const ExprRef x = track(g.graph.Input("X", {gr, gc}, {br, bc}), 3.0);
+  const ExprRef y = track(g.graph.Input("Y", {gr, gc}, {br, bc}), 3.0);
+
+  // One fusable op on top of t; second operands come from {t, x, y}. Abs
+  // is the no-growth fallback once the integer-exactness headroom is gone.
+  auto apply = [&](ExprRef t) -> ExprRef {
+    const double bt = bound[size_t(t)];
+    const ExprRef other = pick(0, 1) == 0 ? x : y;
+    const double bo = bound[size_t(other)];
+    switch (pick(0, 6)) {
+      case 0:
+        if (2.0 * bt <= kMaxBound) {
+          return track(g.graph.Scale(t, 2.0), 2.0 * bt);
+        }
+        break;
+      case 1:
+        if (bt + bo <= kMaxBound) {
+          return track(g.graph.Add(t, other), bt + bo);
+        }
+        break;
+      case 2:
+        if (bt + bo <= kMaxBound) {
+          return track(g.graph.Sub(t, other), bt + bo);
+        }
+        break;
+      case 3:
+        // Same node on both slots: two (consumer, slot) uses, so t must
+        // NOT fuse into this consumer — the planner's duplicate-arg rule.
+        if (bt + bt <= kMaxBound) {
+          return track(g.graph.Add(t, t), bt + bt);
+        }
+        break;
+      case 4:
+        return track(g.graph.Map(t, kScalarRelu), bt);
+      case 5:
+        return track(g.graph.Zip(t, other, kScalarMax), std::max(bt, bo));
+      case 6:
+        return track(g.graph.Zip(t, other, kScalarMin), std::max(bt, bo));
+      default:
+        break;
+    }
+    return track(g.graph.Map(t, kScalarAbs), bt);
+  };
+
+  ExprRef t = pick(0, 1) == 0 ? x : y;
+  if (pick(0, 1) == 1) {
+    const ExprRef seed_node = track(g.graph.Add(x, y), 6.0);
+    const ExprRef branch_a = track(g.graph.Map(seed_node, kScalarRelu), 6.0);
+    const ExprRef branch_b = track(g.graph.Scale(seed_node, 2.0), 12.0);
+    consumed[size_t(seed_node)] = true;
+    t = track(g.graph.Sub(branch_b, branch_a), 18.0);
+    consumed[size_t(branch_a)] = true;
+    consumed[size_t(branch_b)] = true;
+  }
+  const int chain = pick(4, 8);
+  for (int i = 0; i < chain; ++i) {
+    const ExprRef next = apply(t);
+    consumed[size_t(t)] = true;
+    t = next;
+  }
+  auto collect = [&] {
+    g.outputs.clear();
+    for (size_t id = 0; id < g.graph.size(); ++id) {
+      if (!g.graph.node(static_cast<ExprRef>(id)).is_input() &&
+          !consumed[id]) {
+        g.outputs.push_back(static_cast<ExprRef>(id));
+      }
+    }
+  };
+  collect();
+  while (g.outputs.empty()) {
+    // Hash-consing can land the chain tip on an already-consumed node;
+    // keep wrapping until some node is free to be the output.
+    t = track(g.graph.Map(t, kScalarAbs), bound[size_t(t)]);
+    collect();
   }
   return g;
 }
@@ -1003,6 +1122,32 @@ std::vector<RMatrix> EvaluateNaive(
         }
         break;
       }
+      case StatementOp::Kind::kMap:
+        // Built-in maps only: abs and relu are exact over integers.
+        RIOT_CHECK(n.scalar_fn == kScalarAbs || n.scalar_fn == kScalarRelu);
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            const Rational& v = va.At(size_t(r), size_t(c));
+            m.At(size_t(r), size_t(c)) =
+                n.scalar_fn == kScalarAbs
+                    ? v.Abs()
+                    : (v.IsNegative() ? Rational(0) : v);
+          }
+        }
+        break;
+      case StatementOp::Kind::kZip: {
+        RIOT_CHECK(n.scalar_fn == kScalarMin || n.scalar_fn == kScalarMax);
+        const RMatrix& vb = vals[static_cast<size_t>(n.args[1])];
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            const Rational& x = va.At(size_t(r), size_t(c));
+            const Rational& y = vb.At(size_t(r), size_t(c));
+            m.At(size_t(r), size_t(c)) =
+                (n.scalar_fn == kScalarMin) == (x < y) ? x : y;
+          }
+        }
+        break;
+      }
       case StatementOp::Kind::kInverse:
         RIOT_CHECK(false) << "fuzzer never generates Inverse (non-integer)";
         break;
@@ -1031,19 +1176,17 @@ double BlockedAt(const ArrayInfo& info, const std::vector<double>& blocked,
                                      (c % bc) * br + (r % br))];
 }
 
-class ExprFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+struct EngineConfig {
+  const char* name;
+  int threads;
+  int depth;
+};
+constexpr EngineConfig kEngineConfigs[] = {
+    {"serial", 1, 0}, {"pipelined", 1, 2}, {"threads4", 4, 2}};
 
-TEST_P(ExprFuzzTest, LoweredExecutionMatchesNaiveEvaluatorBitForBit) {
-  const uint64_t seed = GetParam();
-  GeneratedExpr gen = GenerateExpr(seed);
-  ASSERT_FALSE(gen.outputs.empty());
-  auto lowered = LowerExpr(gen.graph, gen.outputs);
-  ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
-  const Program& prog = lowered->program;
-  ASSERT_TRUE(prog.Validate().ok());
-
-  // Integer inputs in 0..3, deterministic in (node, element).
-  auto fill = [seed](int node, int64_t r, int64_t c) {
+// Integer inputs in 0..3, deterministic in (node, element).
+std::function<Rational(int, int64_t, int64_t)> MakeIntegerFill(uint64_t seed) {
+  return [seed](int node, int64_t r, int64_t c) {
     uint64_t h = seed * 0x9E3779B97F4A7C15ULL +
                  static_cast<uint64_t>(node) * 0x2545F4914F6CDD1DULL +
                  static_cast<uint64_t>(r) * 1000003ULL +
@@ -1051,89 +1194,172 @@ TEST_P(ExprFuzzTest, LoweredExecutionMatchesNaiveEvaluatorBitForBit) {
     h ^= h >> 33;
     return Rational(static_cast<int64_t>(h % 4));
   };
+}
+
+// Writes the exact integer inputs into `lo`'s stores, runs the program under
+// (sched, q) with the given engine config, and checks every output element
+// bitwise against the exact evaluator's values.
+void RunLoweredAndCheck(
+    const GeneratedExpr& gen, const LoweredExpr& lo,
+    const std::vector<RMatrix>& naive,
+    const std::function<Rational(int, int64_t, int64_t)>& fill,
+    const Schedule& sched, const std::vector<const CoAccess*>& q,
+    const EngineConfig& cfg, Env* env, const std::string& path) {
+  const Program& prog = lo.program;
+  auto rt = OpenStores(env, prog, path);
+  ASSERT_TRUE(rt.ok());
+  // Initialize inputs from the same exact values the naive evaluator saw.
+  for (size_t id = 0; id < gen.graph.size(); ++id) {
+    const ExprNode& node = gen.graph.node(static_cast<ExprRef>(id));
+    if (!node.is_input()) continue;
+    const int arr = lo.array_of[id];
+    const ArrayInfo& info = prog.array(arr);
+    std::vector<double> buf(static_cast<size_t>(info.ElemsPerBlock()));
+    for (int64_t blk = 0; blk < info.NumBlocks(); ++blk) {
+      const int64_t brow = blk / info.grid[1], bcol = blk % info.grid[1];
+      for (int64_t c = 0; c < info.block_elems[1]; ++c) {
+        for (int64_t rr = 0; rr < info.block_elems[0]; ++rr) {
+          buf[static_cast<size_t>(c * info.block_elems[0] + rr)] =
+              fill(static_cast<int>(id), brow * info.block_elems[0] + rr,
+                   bcol * info.block_elems[1] + c)
+                  .ToDouble();
+        }
+      }
+      ASSERT_TRUE(rt->stores[static_cast<size_t>(arr)]
+                      ->WriteBlock(blk, buf.data())
+                      .ok());
+    }
+  }
+  ExecOptions eo;
+  eo.exec_threads = cfg.threads;
+  eo.pipeline_depth = cfg.depth;
+  // No hand kernels at all: the executor synthesizes from the ops.
+  Executor ex(prog, rt->raw(), {}, eo);
+  auto stats = ex.Run(sched, q);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  for (ExprRef out : gen.outputs) {
+    const int arr = lo.array_of[static_cast<size_t>(out)];
+    const ArrayInfo& info = prog.array(arr);
+    auto blocked =
+        ReadWholeArray(info, rt->stores[static_cast<size_t>(arr)].get());
+    ASSERT_TRUE(blocked.ok());
+    const RMatrix& want = naive[static_cast<size_t>(out)];
+    for (int64_t rr = 0; rr < static_cast<int64_t>(want.rows()); ++rr) {
+      for (int64_t cc = 0; cc < static_cast<int64_t>(want.cols()); ++cc) {
+        ASSERT_EQ(BlockedAt(info, *blocked, rr, cc),
+                  want.At(size_t(rr), size_t(cc)).ToDouble())
+            << info.name << " element (" << rr << ", " << cc << ")";
+      }
+    }
+  }
+}
+
+class ExprFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExprFuzzTest, LoweredExecutionMatchesNaiveEvaluatorBitForBit) {
+  const uint64_t seed = GetParam();
+  GeneratedExpr gen = GenerateExpr(seed);
+  ASSERT_FALSE(gen.outputs.empty());
+  // Both lowerings of the same DAG: fused (default) and per-node. Fusion
+  // must only ever remove statements and scratch arrays, and both must
+  // match the exact evaluator bit for bit under every engine config —
+  // the three-way fused / unfused / Rational differential.
+  auto lowered = LowerExpr(gen.graph, gen.outputs);
+  ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+  LowerOptions fuse_off;
+  fuse_off.fuse = false;
+  auto unfused = LowerExpr(gen.graph, gen.outputs, fuse_off);
+  ASSERT_TRUE(unfused.ok()) << unfused.status().ToString();
+  EXPECT_EQ(unfused->fused_nodes, 0);
+  EXPECT_LE(lowered->program.statements().size(),
+            unfused->program.statements().size());
+  EXPECT_EQ(unfused->program.statements().size() -
+                lowered->program.statements().size(),
+            static_cast<size_t>(lowered->fused_nodes));
+
+  const auto fill = MakeIntegerFill(seed);
   const std::vector<RMatrix> naive = EvaluateNaive(gen.graph, fill);
 
-  OptimizerOptions opts;
-  opts.max_combination_size = 2;
-  OptimizationResult r = Optimize(prog, opts);
+  auto env = NewMemEnv();
+  int run_idx = 0;
+  for (const LoweredExpr* lo : {&*lowered, &*unfused}) {
+    const Program& prog = lo->program;
+    ASSERT_TRUE(prog.Validate().ok());
+
+    OptimizerOptions opts;
+    opts.max_combination_size = 2;
+    OptimizationResult r = Optimize(prog, opts);
+    const Plan* plan_cases[] = {&r.plans[0], &r.best()};
+    for (const Plan* plan : plan_cases) {
+      std::vector<const CoAccess*> q;
+      for (int oi : plan->opportunities) {
+        q.push_back(&r.analysis.sharing[static_cast<size_t>(oi)]);
+      }
+      {
+        // Op-lowered expression programs must also lint clean at both
+        // levels — this corpus exercises the StatementOp checks the
+        // hand-kernel fuzz family can't, including the fused-tape rules.
+        auto lint = LintPlan(prog, plan->schedule, q);
+        ASSERT_TRUE(lint.ok()) << lint.status().ToString();
+        EXPECT_TRUE(lint->ok()) << lint->ToString();
+      }
+      for (const EngineConfig& cfg : kEngineConfigs) {
+        SCOPED_TRACE("seed " + std::to_string(seed) + " cfg " + cfg.name +
+                     (plan == &r.best() ? " best" : " orig") +
+                     (lo == &*lowered ? " fused" : " unfused"));
+        ASSERT_NO_FATAL_FAILURE(RunLoweredAndCheck(
+            gen, *lo, naive, fill, plan->schedule, q, cfg, env.get(),
+            "/ef" + std::to_string(run_idx++)));
+      }
+    }
+  }
+}
+
+// Chain corpus: deep single-consumer chains (and rejoining diamonds) from
+// GenerateChainExpr, the graphs where fusion does the most work. Runs the
+// original schedule only — the long same-shape statement runs these lower
+// to UNFUSED make plan enumeration combinatorially expensive without adding
+// differential value, which the base corpus above already covers.
+TEST_P(ExprFuzzTest, FusedChainMatchesUnfusedAndExactOracle) {
+  const uint64_t seed = GetParam();
+  GeneratedExpr gen = GenerateChainExpr(seed);
+  ASSERT_FALSE(gen.outputs.empty());
+  auto fused = LowerExpr(gen.graph, gen.outputs);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  LowerOptions fuse_off;
+  fuse_off.fuse = false;
+  auto unfused = LowerExpr(gen.graph, gen.outputs, fuse_off);
+  ASSERT_TRUE(unfused.ok()) << unfused.status().ToString();
+  EXPECT_EQ(unfused->fused_nodes, 0);
+  // A chain can in principle be all duplicate-arg ops (which must not
+  // fuse), so only <= is guaranteed per seed; the statement delta must
+  // still account exactly for every fused-away node.
+  EXPECT_LE(fused->program.statements().size(),
+            unfused->program.statements().size());
+  EXPECT_EQ(unfused->program.statements().size() -
+                fused->program.statements().size(),
+            static_cast<size_t>(fused->fused_nodes));
+
+  const auto fill = MakeIntegerFill(seed);
+  const std::vector<RMatrix> naive = EvaluateNaive(gen.graph, fill);
 
   auto env = NewMemEnv();
-  struct Config {
-    const char* name;
-    int threads;
-    int depth;
-  };
-  const Config configs[] = {
-      {"serial", 1, 0}, {"pipelined", 1, 2}, {"threads4", 4, 2}};
   int run_idx = 0;
-  const Plan* plan_cases[] = {&r.plans[0], &r.best()};
-  for (const Plan* plan : plan_cases) {
-    std::vector<const CoAccess*> q;
-    for (int oi : plan->opportunities) {
-      q.push_back(&r.analysis.sharing[static_cast<size_t>(oi)]);
-    }
+  for (const LoweredExpr* lo : {&*fused, &*unfused}) {
+    const Program& prog = lo->program;
+    ASSERT_TRUE(prog.Validate().ok());
     {
-      // Op-lowered expression programs must also lint clean at both
-      // levels — this corpus exercises the StatementOp checks the
-      // hand-kernel fuzz family can't.
-      auto lint = LintPlan(prog, plan->schedule, q);
+      auto lint = LintPlan(prog, prog.original_schedule(), {});
       ASSERT_TRUE(lint.ok()) << lint.status().ToString();
       EXPECT_TRUE(lint->ok()) << lint->ToString();
     }
-    for (const Config& cfg : configs) {
+    for (const EngineConfig& cfg : kEngineConfigs) {
       SCOPED_TRACE("seed " + std::to_string(seed) + " cfg " + cfg.name +
-                   (plan == &r.best() ? " best" : " orig"));
-      auto rt = OpenStores(env.get(), prog,
-                           "/ef" + std::to_string(run_idx++));
-      ASSERT_TRUE(rt.ok());
-      // Initialize inputs from the same exact values the naive evaluator
-      // saw.
-      for (size_t id = 0; id < gen.graph.size(); ++id) {
-        const ExprNode& node = gen.graph.node(static_cast<ExprRef>(id));
-        if (!node.is_input()) continue;
-        const int arr = lowered->array_of[id];
-        const ArrayInfo& info = prog.array(arr);
-        std::vector<double> buf(static_cast<size_t>(info.ElemsPerBlock()));
-        for (int64_t blk = 0; blk < info.NumBlocks(); ++blk) {
-          const int64_t brow = blk / info.grid[1], bcol = blk % info.grid[1];
-          for (int64_t c = 0; c < info.block_elems[1]; ++c) {
-            for (int64_t rr = 0; rr < info.block_elems[0]; ++rr) {
-              buf[static_cast<size_t>(c * info.block_elems[0] + rr)] =
-                  fill(static_cast<int>(id),
-                       brow * info.block_elems[0] + rr,
-                       bcol * info.block_elems[1] + c)
-                      .ToDouble();
-            }
-          }
-          ASSERT_TRUE(rt->stores[static_cast<size_t>(arr)]
-                          ->WriteBlock(blk, buf.data())
-                          .ok());
-        }
-      }
-      ExecOptions eo;
-      eo.exec_threads = cfg.threads;
-      eo.pipeline_depth = cfg.depth;
-      // No hand kernels at all: the executor synthesizes from the ops.
-      Executor ex(prog, rt->raw(), {}, eo);
-      auto stats = ex.Run(plan->schedule, q);
-      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-
-      for (ExprRef out : gen.outputs) {
-        const int arr = lowered->array_of[static_cast<size_t>(out)];
-        const ArrayInfo& info = prog.array(arr);
-        auto blocked =
-            ReadWholeArray(info, rt->stores[static_cast<size_t>(arr)].get());
-        ASSERT_TRUE(blocked.ok());
-        const RMatrix& want = naive[static_cast<size_t>(out)];
-        for (int64_t rr = 0; rr < static_cast<int64_t>(want.rows()); ++rr) {
-          for (int64_t cc = 0; cc < static_cast<int64_t>(want.cols());
-               ++cc) {
-            ASSERT_EQ(BlockedAt(info, *blocked, rr, cc),
-                      want.At(size_t(rr), size_t(cc)).ToDouble())
-                << info.name << " element (" << rr << ", " << cc << ")";
-          }
-        }
-      }
+                   (lo == &*fused ? " fused" : " unfused"));
+      ASSERT_NO_FATAL_FAILURE(RunLoweredAndCheck(
+          gen, *lo, naive, fill, prog.original_schedule(), {}, cfg,
+          env.get(), "/ec" + std::to_string(run_idx++)));
     }
   }
 }

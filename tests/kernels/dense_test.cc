@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
+
+#include "ir/scalar_ops.h"
 
 namespace riot {
 namespace {
@@ -298,6 +301,86 @@ TEST(DenseKernelTest, GemmTransposedAgainstExplicitTransposeLarge) {
   BlockGemm(vat, true, vbt, true, &vflag, false);
   // Same packed summation order either way: bitwise equal, not just close.
   ASSERT_EQ(cref, cflag);
+}
+
+TEST(DenseKernelTest, FusedEvalBitMatchesComposedKernels) {
+  // Tape for relu(2 * (x + y) - y) zip-max y: the fused single pass must be
+  // bitwise equal to chaining the standalone kernels through temporaries —
+  // one IEEE op per tape entry, same order, no contraction.
+  const int64_t rows = 37, cols = 5;  // odd count exercises the scalar tail
+  auto x = Buf(rows, cols), y = Buf(rows, cols);
+  DenseView vx{x.data(), rows, cols}, vy{y.data(), rows, cols};
+  BlockFillRandom(&vx, 7);
+  BlockFillRandom(&vy, 8);
+
+  ScalarMapFn relu = ScalarFnById(kScalarRelu).map;
+  ScalarZipFn vmax = ScalarFnById(kScalarMax).zip;
+  std::vector<FusedOp> tape(7);
+  tape[0].code = FusedOp::Code::kLoad;
+  tape[0].a = 0;  // x
+  tape[1].code = FusedOp::Code::kLoad;
+  tape[1].a = 1;  // y
+  tape[2].code = FusedOp::Code::kAdd;
+  tape[2].a = 0;
+  tape[2].b = 1;
+  tape[3].code = FusedOp::Code::kScale;
+  tape[3].a = 2;
+  tape[3].alpha = 2.0;
+  tape[4].code = FusedOp::Code::kSub;
+  tape[4].a = 3;
+  tape[4].b = 1;
+  tape[5].code = FusedOp::Code::kMap;
+  tape[5].a = 4;
+  tape[5].map_fn = relu;
+  tape[6].code = FusedOp::Code::kZip;
+  tape[6].a = 5;
+  tape[6].b = 1;
+  tape[6].zip_fn = vmax;
+
+  auto fused = Buf(rows, cols);
+  const double* inputs[2] = {x.data(), y.data()};
+  BlockFusedEval(tape.data(), static_cast<int>(tape.size()), inputs,
+                 fused.data(), rows * cols);
+
+  auto t1 = Buf(rows, cols), t2 = Buf(rows, cols);
+  DenseView v1{t1.data(), rows, cols}, v2{t2.data(), rows, cols};
+  BlockAdd(vx, vy, &v1);
+  BlockScale(v1, 2.0, &v2);
+  BlockSub(v2, vy, &v1);
+  BlockMap(relu, v1, &v2);
+  BlockZip(vmax, v2, vy, &v1);
+  ASSERT_EQ(fused, t1);  // bitwise, element for element
+}
+
+TEST(DenseKernelTest, FusedEvalSingleLoadCopies) {
+  // Degenerate one-op tape: plain copy through the strip-mined path.
+  const int64_t n = kFusedStripElems * 3 + 1;
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) x[static_cast<size_t>(i)] = 0.5 * i;
+  std::vector<double> out(static_cast<size_t>(n), -1.0);
+  FusedOp load;
+  load.code = FusedOp::Code::kLoad;
+  load.a = 0;
+  const double* inputs[1] = {x.data()};
+  BlockFusedEval(&load, 1, inputs, out.data(), n);
+  EXPECT_EQ(out, x);
+}
+
+TEST(DenseKernelTest, MapAndZipApplyScalarFns) {
+  auto a = Buf(2, 2), b = Buf(2, 2), c = Buf(2, 2);
+  DenseView va{a.data(), 2, 2}, vb{b.data(), 2, 2}, vc{c.data(), 2, 2};
+  for (int i = 0; i < 4; ++i) {
+    a[static_cast<size_t>(i)] = i - 2;  // -2, -1, 0, 1
+    b[static_cast<size_t>(i)] = -i;
+  }
+  BlockMap(ScalarFnById(kScalarAbs).map, va, &vc);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(c[static_cast<size_t>(i)], std::abs(i - 2));
+  }
+  BlockZip(ScalarFnById(kScalarMin).zip, va, vb, &vc);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(c[static_cast<size_t>(i)], std::min(i - 2, -i));
+  }
 }
 
 TEST(DenseKernelTest, SumSquaresDeterministicAndMatchesColumns) {

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "core/optimizer.h"
+#include "linalg/rational.h"
 #include "exec/verify.h"
 #include "ir/builder.h"
 #include "kernels/dense.h"
@@ -393,12 +394,13 @@ TEST(ExprWorkloadTest, RidgeSharesGramMatrixAndElidesScratchWrites) {
 
 TEST(ExprWorkloadTest, CovarianceElidesScratchAndMatchesNaive) {
   Workload w = MakeCovariance(/*scale=*/1000);
-  // G, M, M'M, and the centered difference are scratch.
+  // G, M, and M'M are scratch. The centered difference (G - (1/n) M'M) is
+  // fused into the final Scale — it has no array at all anymore.
   int scratch = 0;
   for (const ArrayInfo& a : w.program.arrays()) {
     scratch += a.persistent ? 0 : 1;
   }
-  EXPECT_EQ(scratch, 4);
+  EXPECT_EQ(scratch, 3);
 
   OptimizerOptions opts;
   opts.max_combination_size = 3;
@@ -411,6 +413,29 @@ TEST(ExprWorkloadTest, CovarianceElidesScratchAndMatchesNaive) {
   EXPECT_EQ(best.stats.bytes_written, r.best().cost.write_bytes);
   EXPECT_LT(best.stats.bytes_written, orig.stats.bytes_written);
   const int cov_arr = w.output_arrays[0];
+
+  // Unfused lowering of the same graph: the centered-difference Sub comes
+  // back as its own statement with its own temporary and its own read and
+  // write passes — strictly more statements, scratch, and block reads at
+  // the same plan — and the output stays bit-identical (X and O lower to
+  // array ids 0/1 in both variants, so seeded InitInputs matches).
+  Workload uw = MakeCovariance(/*scale=*/1000, /*fuse=*/false);
+  int uscratch = 0;
+  for (const ArrayInfo& a : uw.program.arrays()) {
+    uscratch += a.persistent ? 0 : 1;
+  }
+  EXPECT_EQ(uw.program.statements().size(),
+            w.program.statements().size() + 1);
+  EXPECT_EQ(uscratch, scratch + 1);
+  OptimizationResult ur = Optimize(uw.program, opts);
+  RunResult uorig = RunPlanOn(uw, env.get(), "/c_unf", ur.plans[0], ur);
+  EXPECT_LT(orig.stats.block_reads, uorig.stats.block_reads);
+  const int ucov_arr = uw.output_arrays[0];
+  EXPECT_TRUE(
+      VerifyBitEqual(w.program.array(cov_arr),
+                     orig.rt.stores[static_cast<size_t>(cov_arr)].get(),
+                     uorig.rt.stores[static_cast<size_t>(ucov_arr)].get())
+          .ok());
   EXPECT_TRUE(VerifyBitEqual(w.program.array(cov_arr),
                              orig.rt.stores[static_cast<size_t>(cov_arr)]
                                  .get(),
@@ -449,6 +474,107 @@ TEST(ExprWorkloadTest, CovarianceElidesScratchAndMatchesNaive) {
       acc /= static_cast<double>(nrows - 1);
       EXPECT_NEAR(cov[static_cast<size_t>(b * m + a)], acc, 1e-9)
           << "cov(" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(ExprWorkloadTest, ElementwiseChainFusedMatchesUnfusedAndExactOracle) {
+  // The three-way differential the fusion pass is accepted on: the 7-op
+  // elementwise chain lowered fused (one compound statement, no scratch)
+  // and unfused (one statement + temporary per node) must agree bit for
+  // bit with each other AND with an exact Rational evaluation, while the
+  // fused run does strictly less I/O at the same memory cap.
+  const int64_t scale = 1000;  // 24 x 3 element blocks, 8 x 2 grids
+  Workload fused = MakeElementwiseChain(scale, /*fuse=*/true);
+  Workload unfused = MakeElementwiseChain(scale, /*fuse=*/false);
+  ASSERT_TRUE(fused.program.Validate().ok());
+  ASSERT_TRUE(unfused.program.Validate().ok());
+
+  auto scratch_of = [](const Workload& w) {
+    int scratch = 0;
+    for (const ArrayInfo& a : w.program.arrays()) {
+      scratch += a.persistent ? 0 : 1;
+    }
+    return scratch;
+  };
+  ASSERT_EQ(fused.program.statements().size(), 1u);
+  EXPECT_EQ(scratch_of(fused), 0);
+  ASSERT_EQ(unfused.program.statements().size(), 7u);
+  EXPECT_EQ(scratch_of(unfused), 6);
+
+  // Integer inputs in [-3, 3], deterministic in (array, block, element):
+  // every chain op is then exact integer arithmetic well inside 2^53.
+  auto fill = [](int arr, int64_t blk, int64_t idx) {
+    uint64_t h = static_cast<uint64_t>(arr) * 0x9E3779B97F4A7C15ULL +
+                 static_cast<uint64_t>(blk) * 0x2545F4914F6CDD1DULL +
+                 static_cast<uint64_t>(idx) * 1000003ULL;
+    h ^= h >> 31;
+    return static_cast<int64_t>(h % 7) - 3;
+  };
+
+  auto env = NewMemEnv();
+  auto run = [&](const Workload& w, const std::string& dir) {
+    auto rt = OpenStores(env.get(), w.program, dir);
+    EXPECT_TRUE(rt.ok());
+    for (int arr : w.input_arrays) {
+      const ArrayInfo& info = w.program.array(arr);
+      std::vector<double> buf(static_cast<size_t>(info.ElemsPerBlock()));
+      for (int64_t blk = 0; blk < info.NumBlocks(); ++blk) {
+        for (int64_t i = 0; i < info.ElemsPerBlock(); ++i) {
+          buf[static_cast<size_t>(i)] =
+              static_cast<double>(fill(arr, blk, i));
+        }
+        EXPECT_TRUE(rt->stores[static_cast<size_t>(arr)]
+                        ->WriteBlock(blk, buf.data())
+                        .ok());
+      }
+    }
+    Executor ex(w.program, rt->raw(), w.kernels, {});
+    auto stats = ex.Run(w.program.original_schedule(), {});
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return RunResult{*stats, std::move(rt).ValueOrDie()};
+  };
+  RunResult f = run(fused, "/chain_f");
+  RunResult u = run(unfused, "/chain_u");
+
+  // Same (default) cap: killing the temporaries must strictly reduce both
+  // directions of block traffic.
+  EXPECT_LT(f.stats.block_reads, u.stats.block_reads);
+  EXPECT_LT(f.stats.bytes_read, u.stats.bytes_read);
+  EXPECT_LT(f.stats.bytes_written, u.stats.bytes_written);
+
+  // Exact oracle: z = 3 * max(relu(2(x + y) - y) + x, y), elementwise.
+  const int x_arr = fused.input_arrays[0], y_arr = fused.input_arrays[1];
+  const ArrayInfo& xi = fused.program.array(x_arr);
+  auto oracle_at = [&](int64_t blk, int64_t idx) {
+    const Rational x(fill(x_arr, blk, idx));
+    const Rational y(fill(y_arr, blk, idx));
+    Rational t = Rational(2) * (x + y) - y;
+    if (t.IsNegative()) t = Rational(0);  // relu
+    t = t + x;
+    if (t < y) t = y;  // max
+    return (Rational(3) * t).ToDouble();
+  };
+
+  const int zf_arr = fused.output_arrays[0];
+  const int zu_arr = unfused.output_arrays[0];
+  const ArrayInfo& zf = fused.program.array(zf_arr);
+  ASSERT_EQ(fused.program.array(zf_arr).name, "Z");
+  ASSERT_EQ(unfused.program.array(zu_arr).name, "Z");
+  auto zfb = ReadWholeArray(zf, f.rt.stores[static_cast<size_t>(zf_arr)]
+                                    .get())
+                 .ValueOrDie();
+  auto zub = ReadWholeArray(unfused.program.array(zu_arr),
+                            u.rt.stores[static_cast<size_t>(zu_arr)].get())
+                 .ValueOrDie();
+  ASSERT_EQ(zfb.size(), zub.size());
+  for (int64_t blk = 0; blk < xi.NumBlocks(); ++blk) {
+    for (int64_t i = 0; i < xi.ElemsPerBlock(); ++i) {
+      const size_t at =
+          static_cast<size_t>(blk * xi.ElemsPerBlock() + i);
+      const double want = oracle_at(blk, i);
+      ASSERT_EQ(zfb[at], want) << "fused block " << blk << " elem " << i;
+      ASSERT_EQ(zub[at], want) << "unfused block " << blk << " elem " << i;
     }
   }
 }
